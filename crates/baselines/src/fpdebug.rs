@@ -1,0 +1,157 @@
+//! An FpDebug-style detector: per-operation shadow error, reported by opcode
+//! address.
+
+use fpvm::{Addr, Machine, MachineError, Program, Tracer};
+use shadowreal::{bits_error, BigFloat, Real, RealOp};
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-operation error statistics, keyed by statement index (the analogue of
+/// FpDebug's per-instruction-address report).
+#[derive(Clone, Debug, Default)]
+pub struct FpDebugReport {
+    /// For each operation statement: (executions, max error bits, sum of
+    /// error bits).
+    pub per_operation: BTreeMap<usize, (u64, f64, f64)>,
+}
+
+impl FpDebugReport {
+    /// Statements whose maximum error exceeds the threshold, most erroneous
+    /// first.
+    pub fn erroneous_operations(&self, threshold_bits: f64) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = self
+            .per_operation
+            .iter()
+            .filter(|(_, (_, max, _))| *max > threshold_bits)
+            .map(|(&pc, &(_, max, _))| (pc, max))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+}
+
+/// The FpDebug-style tracer: shadows every float with a `BigFloat` and
+/// records the error of every operation result, with no influence tracking,
+/// no symbolic expressions, and no spot model.
+#[derive(Debug, Default)]
+pub struct FpDebugDetector {
+    shadows: HashMap<Addr, BigFloat>,
+    report: FpDebugReport,
+}
+
+impl FpDebugDetector {
+    /// Creates a fresh detector.
+    pub fn new() -> FpDebugDetector {
+        FpDebugDetector::default()
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> &FpDebugReport {
+        &self.report
+    }
+
+    /// Runs a program over a set of inputs and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors.
+    pub fn analyze(program: &Program, inputs: &[Vec<f64>]) -> Result<FpDebugReport, MachineError> {
+        let mut detector = FpDebugDetector::new();
+        let machine = Machine::new(program);
+        for input in inputs {
+            machine.run_traced(input, &mut detector)?;
+        }
+        Ok(detector.report.clone())
+    }
+
+    fn shadow(&mut self, addr: Addr, value: f64) -> BigFloat {
+        self.shadows
+            .get(&addr)
+            .cloned()
+            .unwrap_or_else(|| BigFloat::from_f64(value))
+    }
+}
+
+impl Tracer for FpDebugDetector {
+    fn on_start(&mut self, _program: &Program, _args: &[f64]) {
+        self.shadows.clear();
+    }
+
+    fn on_const_f(&mut self, _pc: usize, dest: Addr, value: f64) {
+        self.shadows.insert(dest, BigFloat::from_f64(value));
+    }
+
+    fn on_const_i(&mut self, _pc: usize, dest: Addr, _value: i64) {
+        self.shadows.remove(&dest);
+    }
+
+    fn on_copy(&mut self, _pc: usize, dest: Addr, src: Addr, value: fpvm::Value) {
+        match self.shadows.get(&src).cloned() {
+            Some(s) => {
+                self.shadows.insert(dest, s);
+            }
+            None => {
+                if let fpvm::Value::F(v) = value {
+                    self.shadows.insert(dest, BigFloat::from_f64(v));
+                } else {
+                    self.shadows.remove(&dest);
+                }
+            }
+        }
+    }
+
+    fn on_compute(
+        &mut self,
+        pc: usize,
+        op: RealOp,
+        dest: Addr,
+        args: &[Addr],
+        arg_values: &[f64],
+        result: f64,
+    ) {
+        let exact_args: Vec<BigFloat> = args
+            .iter()
+            .zip(arg_values)
+            .map(|(&a, &v)| self.shadow(a, v))
+            .collect();
+        let exact = BigFloat::apply(op, &exact_args);
+        let error = bits_error(result, exact.to_f64());
+        let entry = self.report.per_operation.entry(pc).or_insert((0, 0.0, 0.0));
+        entry.0 += 1;
+        entry.1 = entry.1.max(error);
+        entry.2 += error;
+        self.shadows.insert(dest, exact);
+    }
+
+    fn on_cast_to_int(&mut self, _pc: usize, dest: Addr, _src: Addr, _value: f64, _result: i64) {
+        self.shadows.remove(&dest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_core;
+    use fpvm::compile_core;
+
+    #[test]
+    fn detects_error_at_the_operation_that_exhibits_it() {
+        let core = parse_core("(FPCore (x) (* (- (+ x 1) x) 2))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![10f64.powi(i)]).collect();
+        let report = FpDebugDetector::analyze(&program, &inputs).unwrap();
+        let erroneous = report.erroneous_operations(5.0);
+        assert!(!erroneous.is_empty());
+        // FpDebug blames the subtraction *and* everything downstream of it,
+        // because it reports accumulated error per instruction rather than
+        // local error: the multiplication also shows up.
+        assert!(erroneous.len() >= 2, "{erroneous:?}");
+    }
+
+    #[test]
+    fn accurate_programs_have_no_erroneous_operations() {
+        let core = parse_core("(FPCore (x y) (sqrt (+ (* x x) (* y y))))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let report = FpDebugDetector::analyze(&program, &[vec![3.0, 4.0]]).unwrap();
+        assert!(report.erroneous_operations(5.0).is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Baseline floating-point error detectors, for the Table 1 comparison.
+//!
+//! The paper compares Herbgrind against three prior dynamic tools. None of
+//! them is available as a Rust library, so — per the substitution rule in
+//! `DESIGN.md` — this crate re-implements the *detection strategy* of each
+//! over the same abstract machine, which is what the feature-matrix and
+//! overhead comparison of Table 1 needs:
+//!
+//! * [`fpdebug`] — FpDebug (Benz et al., PLDI 2012): MPFR-style shadow values
+//!   for every operation, error reported per opcode address, no notion of
+//!   spots, influences, symbolic expressions, or input ranges.
+//! * [`verrou`] — Verrou (Févotte & Lathuilière): random-rounding
+//!   perturbation of every operation; error is *suggested* by output
+//!   differences between perturbed runs, with no localization at all.
+//! * [`bz`] — Bao & Zhang (FSE 2013): a lightweight heuristic that watches
+//!   "discrete factors" (branches and float→int conversions) for operands so
+//!   close together that a rounding-error-sized perturbation could flip
+//!   them; cheap, but with a high false-positive rate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bz;
+pub mod fpdebug;
+pub mod table;
+pub mod verrou;
+
+pub use bz::{BzDetector, BzReport};
+pub use fpdebug::{FpDebugDetector, FpDebugReport};
+pub use table::{feature_matrix, render_feature_matrix, FeatureRow, TOOLS};
+pub use verrou::{run_perturbed, verrou_compare, VerrouReport};

@@ -1,0 +1,87 @@
+//! The Table 1 feature matrix.
+//!
+//! Table 1 of the paper compares FpDebug, BZ, Verrou, and Herbgrind along a
+//! fixed set of capabilities. The capabilities of the three baselines are
+//! properties of the detection strategies reproduced in this crate; the
+//! matrix is therefore data, printed by `examples/table1_features.rs` and
+//! checked by tests so it cannot drift from the implementations.
+
+/// One row of the feature matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FeatureRow {
+    /// The feature name, as in Table 1.
+    pub feature: &'static str,
+    /// Support in FpDebug / BZ / Verrou / Herbgrind.
+    pub support: [bool; 4],
+}
+
+/// The tools, in the column order of Table 1.
+pub const TOOLS: [&str; 4] = ["FpDebug", "BZ", "Verrou", "Herbgrind"];
+
+/// The feature matrix of Table 1 (the "Localization" row, which is textual
+/// in the paper, is represented by the two abstraction features below).
+pub fn feature_matrix() -> Vec<FeatureRow> {
+    vec![
+        FeatureRow { feature: "Dynamic", support: [true, true, true, true] },
+        FeatureRow { feature: "Detects Error", support: [true, true, true, true] },
+        FeatureRow { feature: "Shadow Reals", support: [true, false, false, true] },
+        FeatureRow { feature: "Local Error", support: [false, false, false, true] },
+        FeatureRow { feature: "Library Abstraction", support: [false, false, false, true] },
+        FeatureRow { feature: "Output-Sensitive Error Report", support: [false, false, false, true] },
+        FeatureRow { feature: "Detect Control Divergence", support: [false, true, false, true] },
+        FeatureRow { feature: "Abstracted Code Fragment Localization", support: [false, false, false, true] },
+        FeatureRow { feature: "Characterize Inputs", support: [false, false, false, true] },
+        FeatureRow { feature: "Automatically Re-run in High Precision", support: [false, true, false, false] },
+    ]
+}
+
+/// Renders the matrix as an aligned text table.
+pub fn render_feature_matrix() -> String {
+    let rows = feature_matrix();
+    let width = rows.iter().map(|r| r.feature.len()).max().unwrap_or(0);
+    let mut out = format!("{:width$}  {}\n", "Feature", TOOLS.join("  "), width = width);
+    for row in rows {
+        let marks: Vec<String> = row
+            .support
+            .iter()
+            .zip(TOOLS)
+            .map(|(s, tool)| format!("{:^width$}", if *s { "yes" } else { "no" }, width = tool.len()))
+            .collect();
+        out.push_str(&format!("{:width$}  {}\n", row.feature, marks.join("  "), width = width));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn herbgrind_supports_every_analysis_feature_except_reruns() {
+        for row in feature_matrix() {
+            let herbgrind = row.support[3];
+            if row.feature == "Automatically Re-run in High Precision" {
+                assert!(!herbgrind);
+            } else {
+                assert!(herbgrind, "{} should be supported", row.feature);
+            }
+        }
+    }
+
+    #[test]
+    fn only_herbgrind_localizes_to_code_fragments() {
+        let row = feature_matrix()
+            .into_iter()
+            .find(|r| r.feature == "Abstracted Code Fragment Localization")
+            .unwrap();
+        assert_eq!(row.support, [false, false, false, true]);
+    }
+
+    #[test]
+    fn rendered_table_mentions_every_tool() {
+        let text = render_feature_matrix();
+        for tool in TOOLS {
+            assert!(text.contains(tool));
+        }
+    }
+}

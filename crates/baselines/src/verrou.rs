@@ -1,0 +1,200 @@
+//! A Verrou-style detector: random-rounding perturbation.
+//!
+//! Verrou perturbs the rounding of every floating-point operation and infers
+//! potential instability from differences between perturbed runs. It has
+//! very low overhead because there are no shadow values at all; the price is
+//! that it reports only *that* something is unstable, not *where*.
+
+use fpcore::CmpOp;
+use fpvm::{MachineError, Pred, Program, Statement, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shadowreal::{bits_error, Real, RealOp};
+
+/// The result of comparing perturbed runs of a program.
+#[derive(Clone, Debug, Default)]
+pub struct VerrouReport {
+    /// Maximum bits of difference between the nominal outputs and any
+    /// perturbed run's outputs.
+    pub max_output_deviation_bits: f64,
+    /// Number of perturbed runs whose control flow diverged from the nominal
+    /// run (detected as a different number of outputs or steps).
+    pub control_divergences: u64,
+    /// Number of perturbed runs performed.
+    pub runs: u64,
+}
+
+impl VerrouReport {
+    /// Verrou's verdict: the program is *possibly unstable* when perturbation
+    /// moved an output by more than the threshold.
+    pub fn possibly_unstable(&self, threshold_bits: f64) -> bool {
+        self.max_output_deviation_bits > threshold_bits || self.control_divergences > 0
+    }
+}
+
+/// Runs a program with every floating-point operation's result perturbed by
+/// a random ±1 ulp (random-rounding mode), returning its outputs.
+///
+/// This is a separate interpreter rather than a [`fpvm::Tracer`] because it
+/// must *change* the client computation, which tracers cannot do.
+///
+/// # Errors
+///
+/// Returns interpreter-equivalent errors (arity mismatch, step budget, bad
+/// program counter).
+pub fn run_perturbed(
+    program: &Program,
+    args: &[f64],
+    seed: u64,
+    step_limit: u64,
+) -> Result<(Vec<f64>, u64), MachineError> {
+    if args.len() != program.arg_addrs.len() {
+        return Err(MachineError::ArityMismatch {
+            expected: program.arg_addrs.len(),
+            actual: args.len(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut memory: Vec<Value> = vec![Value::F(0.0); program.num_addrs];
+    for (&addr, &value) in program.arg_addrs.iter().zip(args) {
+        memory[addr] = Value::F(value);
+    }
+    let mut outputs = Vec::new();
+    let mut steps = 0u64;
+    let mut pc = 0usize;
+    loop {
+        if steps >= step_limit {
+            return Err(MachineError::StepBudgetExceeded { limit: step_limit });
+        }
+        steps += 1;
+        let Some(stmt) = program.statements.get(pc) else {
+            return Err(MachineError::PcOutOfRange { pc });
+        };
+        match stmt {
+            Statement::Halt => break,
+            Statement::ConstF { dest, value } => {
+                memory[*dest] = Value::F(*value);
+                pc += 1;
+            }
+            Statement::ConstI { dest, value } => {
+                memory[*dest] = Value::I(*value);
+                pc += 1;
+            }
+            Statement::Copy { dest, src } => {
+                memory[*dest] = memory[*src];
+                pc += 1;
+            }
+            Statement::Compute { dest, op, args } => {
+                let arg_values: Vec<f64> = args.iter().map(|&a| memory[a].as_f64()).collect();
+                let nominal = <f64 as Real>::apply(*op, &arg_values);
+                memory[*dest] = Value::F(perturb(nominal, *op, &mut rng));
+                pc += 1;
+            }
+            Statement::CastToInt { dest, src } => {
+                memory[*dest] = Value::I(memory[*src].as_f64().trunc() as i64);
+                pc += 1;
+            }
+            Statement::Branch { pred, target } => match pred {
+                Pred::Always => pc = *target,
+                Pred::Cmp(op, a, b) => {
+                    let taken = holds(*op, memory[*a].as_f64(), memory[*b].as_f64());
+                    pc = if taken { *target } else { pc + 1 };
+                }
+            },
+            Statement::Output { src } => {
+                outputs.push(memory[*src].as_f64());
+                pc += 1;
+            }
+        }
+    }
+    Ok((outputs, steps))
+}
+
+fn holds(op: CmpOp, a: f64, b: f64) -> bool {
+    op.holds(a.partial_cmp(&b))
+}
+
+fn perturb(value: f64, op: RealOp, rng: &mut StdRng) -> f64 {
+    if !value.is_finite() || value == 0.0 {
+        return value;
+    }
+    // Exact-by-construction operations are not perturbed (Verrou leaves
+    // copies and sign manipulations alone).
+    if matches!(op, RealOp::Neg | RealOp::Fabs | RealOp::Copysign | RealOp::Floor | RealOp::Ceil | RealOp::Trunc | RealOp::Round) {
+        return value;
+    }
+    match rng.gen_range(0..3u8) {
+        0 => f64::from_bits(value.to_bits().wrapping_add(1)),
+        1 => f64::from_bits(value.to_bits().wrapping_sub(1)),
+        _ => value,
+    }
+}
+
+/// Runs the nominal program and `runs` perturbed executions, comparing
+/// outputs (the Verrou workflow).
+///
+/// # Errors
+///
+/// Propagates interpreter errors from the nominal or perturbed runs.
+pub fn verrou_compare(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    runs: u64,
+    seed: u64,
+) -> Result<VerrouReport, MachineError> {
+    let machine = fpvm::Machine::new(program);
+    let mut report = VerrouReport::default();
+    for input in inputs {
+        let nominal = machine.run(input)?;
+        for r in 0..runs {
+            let (outputs, _) =
+                run_perturbed(program, input, seed.wrapping_add(r), fpvm::interp::DEFAULT_STEP_LIMIT)?;
+            report.runs += 1;
+            if outputs.len() != nominal.outputs.len() {
+                report.control_divergences += 1;
+                continue;
+            }
+            for (a, b) in outputs.iter().zip(&nominal.outputs) {
+                let dev = bits_error(*a, *b);
+                if dev > report.max_output_deviation_bits {
+                    report.max_output_deviation_bits = dev;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_core;
+    use fpvm::compile_core;
+
+    #[test]
+    fn stable_programs_show_tiny_deviation() {
+        let core = parse_core("(FPCore (x y) (sqrt (+ (* x x) (* y y))))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let report = verrou_compare(&program, &[vec![3.0, 4.0]], 5, 1).unwrap();
+        assert!(!report.possibly_unstable(5.0), "{report:?}");
+    }
+
+    #[test]
+    fn cancellation_is_flagged_as_possibly_unstable() {
+        let core = parse_core("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let inputs: Vec<Vec<f64>> = vec![vec![1e13], vec![1e14]];
+        let report = verrou_compare(&program, &inputs, 8, 3).unwrap();
+        assert!(report.possibly_unstable(5.0), "{report:?}");
+    }
+
+    #[test]
+    fn perturbed_run_reports_arity_errors() {
+        let core = parse_core("(FPCore (x) (+ x 1))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        assert!(matches!(
+            run_perturbed(&program, &[], 0, 1000),
+            Err(MachineError::ArityMismatch { .. })
+        ));
+    }
+}

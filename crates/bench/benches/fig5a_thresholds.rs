@@ -1,0 +1,31 @@
+//! Figure 5a: number of computations flagged vs the local-error threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use herbgrind_bench::quality_benchmarks;
+use std::hint::black_box;
+
+fn fig5a(c: &mut Criterion) {
+    let suite = fpbench::suite();
+    let thresholds = [1.0, 2.0, 4.0, 8.0, 16.0, 24.0, 32.0, 40.0, 48.0];
+    let points = fpbench::threshold_sweep(&suite, 40, 2024, &thresholds);
+    println!("[figure 5a] local-error threshold (bits) -> flagged computations");
+    for p in &points {
+        println!(
+            "[figure 5a] {:>5.1} bits -> {:>5} flagged operations ({} erroneous spots)",
+            p.threshold_bits, p.flagged_operations, p.erroneous_spots
+        );
+    }
+
+    let small = quality_benchmarks(8);
+    let mut group = c.benchmark_group("fig5a_thresholds");
+    group.sample_size(10);
+    for threshold in [1.0, 16.0, 40.0] {
+        group.bench_function(format!("threshold_{threshold}"), |b| {
+            b.iter(|| black_box(fpbench::threshold_sweep(&small, 20, 2024, &[threshold])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5a);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 5b: benchmarks improved under the three input-characteristic
+//! configurations (no ranges / single range / sign-split ranges).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use herbgrind::RangeKind;
+use herbgrind_bench::quality_benchmarks;
+use std::hint::black_box;
+
+fn fig5b(c: &mut Criterion) {
+    let suite = quality_benchmarks(30);
+    let points = fpbench::range_kind_sweep(&suite, 40, 2024);
+    println!("[figure 5b] range kind -> improvable root causes / significant benchmarks");
+    for p in &points {
+        println!(
+            "[figure 5b] {:?}: {} / {}",
+            p.kind, p.improvable_root_causes, p.significant
+        );
+    }
+
+    let small = quality_benchmarks(6);
+    let mut group = c.benchmark_group("fig5b_ranges");
+    group.sample_size(10);
+    for kind in [RangeKind::None, RangeKind::Single, RangeKind::SignSplit] {
+        let config = herbgrind::AnalysisConfig::default().with_range_kind(kind);
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| black_box(fpbench::improvability(&small, 20, 2024, &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5b);
+criterion_main!(benches);

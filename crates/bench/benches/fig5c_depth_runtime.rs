@@ -1,0 +1,27 @@
+//! Figure 5c: analysis runtime as a function of the maximum expression
+//! depth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use herbgrind::AnalysisConfig;
+use herbgrind_bench::prepared_timing_benchmarks;
+use std::hint::black_box;
+
+fn fig5c(c: &mut Criterion) {
+    let prepared = prepared_timing_benchmarks(40);
+    let mut group = c.benchmark_group("fig5c_depth_runtime");
+    group.sample_size(10);
+    for depth in [1usize, 2, 3, 5, 10, 16] {
+        let config = AnalysisConfig::default().with_max_expression_depth(depth);
+        group.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| {
+                for p in &prepared {
+                    black_box(p.run_herbgrind(&config).expect("herbgrind"));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5c);
+criterion_main!(benches);

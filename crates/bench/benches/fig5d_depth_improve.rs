@@ -1,0 +1,33 @@
+//! Figure 5d: benchmarks improved as a function of the maximum expression
+//! depth (depth 1 reproduces FpDebug-style single-operation reports, which
+//! the improvement oracle cannot act on).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use herbgrind_bench::quality_benchmarks;
+use std::hint::black_box;
+
+fn fig5d(c: &mut Criterion) {
+    let suite = quality_benchmarks(30);
+    let depths = [1usize, 2, 3, 5, 10];
+    let points = fpbench::depth_sweep(&suite, 40, 2024, &depths);
+    println!("[figure 5d] max expression depth -> improvable root causes / significant (runtime)");
+    for p in &points {
+        println!(
+            "[figure 5d] depth {:>2}: {} / {} ({:.1}s analysis)",
+            p.depth, p.improvable_root_causes, p.significant, p.analysis_seconds
+        );
+    }
+
+    let small = quality_benchmarks(6);
+    let mut group = c.benchmark_group("fig5d_depth_improve");
+    group.sample_size(10);
+    for depth in [1usize, 5] {
+        group.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| black_box(fpbench::depth_sweep(&small, 20, 2024, &[depth])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5d);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! §8.1 improvability: the headline numbers of the evaluation.
+//!
+//! Regenerates the "N benchmarks / M with significant error / detected /
+//! improvable root causes" counts over the embedded suite, and times one
+//! pass of the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use herbgrind::AnalysisConfig;
+use herbgrind_bench::quality_benchmarks;
+use std::hint::black_box;
+
+fn improvability(c: &mut Criterion) {
+    // Print the regenerated §8.1 counts once, over a substantial slice of the
+    // suite (the paper's corpus has 86 benchmarks; ours is the same order of
+    // magnitude — see EXPERIMENTS.md).
+    let suite = fpbench::suite();
+    let summary = fpbench::improvability(&suite, 60, 2024, &AnalysisConfig::default());
+    println!("[section 8.1] {}", summary.to_text());
+
+    // Time the experiment itself on a smaller slice so Criterion can iterate.
+    let small = quality_benchmarks(8);
+    let mut group = c.benchmark_group("improvability");
+    group.sample_size(10);
+    group.bench_function("suite_subset_8", |b| {
+        b.iter(|| {
+            black_box(fpbench::improvability(
+                &small,
+                30,
+                2024,
+                &AnalysisConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, improvability);
+criterion_main!(benches);

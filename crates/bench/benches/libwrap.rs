@@ -1,0 +1,52 @@
+//! §8.2 library wrapping: report sizes and analysis cost with math-library
+//! calls wrapped (single operations) vs lowered into their internals.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use herbgrind::AnalysisConfig;
+use herbgrind_bench::prepared_timing_benchmarks;
+use std::hint::black_box;
+
+fn libwrap(c: &mut Criterion) {
+    let libm_benches: Vec<_> = fpbench::suite()
+        .into_iter()
+        .filter(|core| {
+            let printed = fpcore::core_to_string(core);
+            ["exp", "log", "sin", "cos", "tan", "pow"]
+                .iter()
+                .any(|f| printed.contains(f))
+        })
+        .collect();
+    let cmp = fpbench::wrapping_comparison(&libm_benches, 40, 2024, &AnalysisConfig::default())
+        .expect("comparison");
+    println!(
+        "[section 8.2] wrapped: {} flagged, largest expression {} ops, {} expressions > 9 ops",
+        cmp.wrapped_flagged, cmp.wrapped_max_ops, cmp.wrapped_over_9
+    );
+    println!(
+        "[section 8.2] unwrapped: {} flagged, largest expression {} ops, {} expressions > 9 ops",
+        cmp.unwrapped_flagged, cmp.unwrapped_max_ops, cmp.unwrapped_over_9
+    );
+
+    let prepared = prepared_timing_benchmarks(30);
+    let config = AnalysisConfig::default();
+    let mut group = c.benchmark_group("libwrap");
+    group.sample_size(10);
+    group.bench_function("wrapped", |b| {
+        b.iter(|| {
+            for p in &prepared {
+                black_box(p.run_herbgrind(&config).expect("herbgrind"));
+            }
+        })
+    });
+    group.bench_function("unwrapped", |b| {
+        b.iter(|| {
+            for p in &prepared {
+                black_box(p.run_herbgrind_unwrapped(&config).expect("herbgrind"));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, libwrap);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Table 1 (overhead row): native interpretation vs FpDebug-, BZ-, Verrou-
+//! style baselines vs Herbgrind, over the same benchmark slice.
+//!
+//! The paper reports 395x (FpDebug), 7.91x (BZ), 7x (Verrou), and 574x
+//! (Herbgrind) over native binaries; here every configuration runs on the
+//! same abstract machine, so the regenerated row is the relative ordering
+//! and rough magnitudes of the per-group timings below.
+
+use baselines::{verrou_compare, BzDetector, FpDebugDetector};
+use criterion::{criterion_group, criterion_main, Criterion};
+use herbgrind::AnalysisConfig;
+use herbgrind_bench::prepared_timing_benchmarks;
+use std::hint::black_box;
+
+fn table1_overhead(c: &mut Criterion) {
+    let prepared = prepared_timing_benchmarks(40);
+    let config = AnalysisConfig::default();
+
+    let mut group = c.benchmark_group("table1_overhead");
+    group.sample_size(10);
+
+    group.bench_function("native", |b| {
+        b.iter(|| {
+            for p in &prepared {
+                black_box(p.run_native().expect("native"));
+            }
+        })
+    });
+    group.bench_function("bz_heuristic", |b| {
+        b.iter(|| {
+            for p in &prepared {
+                black_box(BzDetector::analyze(&p.program, &p.inputs).expect("bz"));
+            }
+        })
+    });
+    group.bench_function("verrou_perturbation", |b| {
+        b.iter(|| {
+            for p in &prepared {
+                black_box(verrou_compare(&p.program, &p.inputs, 2, 7).expect("verrou"));
+            }
+        })
+    });
+    group.bench_function("fpdebug_shadow", |b| {
+        b.iter(|| {
+            for p in &prepared {
+                black_box(FpDebugDetector::analyze(&p.program, &p.inputs).expect("fpdebug"));
+            }
+        })
+    });
+    group.bench_function("herbgrind", |b| {
+        b.iter(|| {
+            for p in &prepared {
+                black_box(p.run_herbgrind(&config).expect("herbgrind"));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table1_overhead);
+criterion_main!(benches);

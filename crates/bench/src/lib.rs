@@ -1,0 +1,62 @@
+//! Shared helpers for the Criterion benches that regenerate the paper's
+//! tables and figures.
+//!
+//! Each bench in `benches/` corresponds to one evaluation artifact (see
+//! `DESIGN.md` for the experiment index) and prints the regenerated
+//! rows/series alongside Criterion's timing output, so running
+//! `cargo bench --workspace` reproduces both the overhead numbers and the
+//! analysis-quality numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fpbench::PreparedBenchmark;
+use fpcore::FPCore;
+
+/// The benchmarks used by the timing-oriented benches: a slice of the suite
+/// that exercises arithmetic, libm calls, and loops, kept small enough for
+/// Criterion's repeated measurement.
+pub fn timing_benchmarks() -> Vec<FPCore> {
+    [
+        "NMSE example 3.1",
+        "doppler1",
+        "verhulst",
+        "sine",
+        "NMSE problem 3.3.6",
+        "harmonic sum loop",
+    ]
+    .iter()
+    .filter_map(|name| fpbench::by_name(name))
+    .collect()
+}
+
+/// The benchmarks used by the quality-oriented benches (improvability,
+/// threshold/depth/range sweeps): a broader slice of the suite with a mix of
+/// erroneous and accurate kernels.
+pub fn quality_benchmarks(limit: usize) -> Vec<FPCore> {
+    fpbench::subset(limit)
+}
+
+/// Prepares the timing benchmarks with a fixed sample count and seed.
+pub fn prepared_timing_benchmarks(samples: usize) -> Vec<PreparedBenchmark> {
+    timing_benchmarks()
+        .iter()
+        .filter_map(|core| fpbench::prepare(core, samples, 2024).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_benchmarks_are_available() {
+        assert_eq!(timing_benchmarks().len(), 6);
+        assert!(!prepared_timing_benchmarks(5).is_empty());
+    }
+
+    #[test]
+    fn quality_benchmarks_respect_the_limit() {
+        assert_eq!(quality_benchmarks(10).len(), 10);
+    }
+}

@@ -1,0 +1,537 @@
+//! The Herbgrind analysis proper: a [`Tracer`] that maintains the shadow
+//! state of Figure 3 and the per-statement records of Figure 4.
+
+use crate::config::AnalysisConfig;
+use crate::localerr::{local_error, total_error};
+use crate::records::{InfluenceSet, OpRecord, SpotKind, SpotRecord};
+use crate::report::Report;
+use crate::trace::ConcreteExpr;
+use fpcore::CmpOp;
+use fpvm::{Addr, Machine, MachineError, Program, SourceLoc, Tracer, Value};
+use shadowreal::{BigFloat, Real, RealOp, MAX_ERROR_BITS};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// The shadow of one memory location: its exact value, the concrete
+/// expression that produced it, and the candidate root causes that influenced
+/// it (the three shadow memories `M_R`, `M_E`, `M_I` of Figure 3).
+#[derive(Clone, Debug)]
+struct Shadow<R> {
+    real: R,
+    expr: Rc<ConcreteExpr>,
+    influences: InfluenceSet,
+}
+
+/// The Herbgrind dynamic analysis, generic over the shadow-real
+/// representation.
+///
+/// Attach it to a machine run with [`fpvm::Machine::run_traced`], or use the
+/// [`analyze`] driver. Records accumulate across runs, so one `Herbgrind`
+/// value can observe a whole input sweep; shadow memory is reset per run.
+#[derive(Debug)]
+pub struct Herbgrind<R: Real> {
+    config: AnalysisConfig,
+    shadows: HashMap<Addr, Shadow<R>>,
+    ops: BTreeMap<usize, OpRecord>,
+    spots: BTreeMap<usize, SpotRecord>,
+    locations: Vec<SourceLoc>,
+    program_name: String,
+    runs: u64,
+    compensations_detected: u64,
+    branch_divergences: u64,
+}
+
+impl<R: Real> Herbgrind<R> {
+    /// Creates an analysis with the given configuration.
+    pub fn new(config: AnalysisConfig) -> Herbgrind<R> {
+        Herbgrind {
+            config,
+            shadows: HashMap::new(),
+            ops: BTreeMap::new(),
+            spots: BTreeMap::new(),
+            locations: Vec::new(),
+            program_name: String::new(),
+            runs: 0,
+            compensations_detected: 0,
+            branch_divergences: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// The number of runs observed so far.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// The number of compensating operations whose influence was suppressed
+    /// (§5.3 / §8.3).
+    pub fn compensations_detected(&self) -> u64 {
+        self.compensations_detected
+    }
+
+    /// The number of control-flow divergences between the float and shadow
+    /// executions.
+    pub fn branch_divergences(&self) -> u64 {
+        self.branch_divergences
+    }
+
+    /// Per-statement operation records (candidate root causes and their
+    /// symbolic expressions).
+    pub fn op_records(&self) -> &BTreeMap<usize, OpRecord> {
+        &self.ops
+    }
+
+    /// Per-statement spot records.
+    pub fn spot_records(&self) -> &BTreeMap<usize, SpotRecord> {
+        &self.spots
+    }
+
+    fn location(&self, pc: usize) -> SourceLoc {
+        self.locations.get(pc).cloned().unwrap_or_default()
+    }
+
+    /// Returns the shadow for an address, creating a leaf shadow from the
+    /// client value when the location has never been written by a tracked
+    /// float operation (the lazy shadowing of §6).
+    fn shadow_of(&mut self, addr: Addr, client_value: f64) -> Shadow<R> {
+        if let Some(existing) = self.shadows.get(&addr) {
+            return existing.clone();
+        }
+        let fresh = Shadow {
+            real: R::from_f64(client_value),
+            expr: ConcreteExpr::leaf(client_value),
+            influences: InfluenceSet::new(),
+        };
+        self.shadows.insert(addr, fresh.clone());
+        fresh
+    }
+
+    /// Detects a compensating addition or subtraction (§5.3): the operation
+    /// returns one of its arguments exactly in the reals, and its output has
+    /// less error than that passed-through argument. Returns the index of
+    /// the passed-through argument.
+    fn detect_compensation(
+        &self,
+        op: RealOp,
+        exact_args: &[R],
+        arg_values: &[f64],
+        exact_result: &R,
+        client_result: f64,
+    ) -> Option<usize> {
+        if !self.config.detect_compensation || !matches!(op, RealOp::Add | RealOp::Sub) {
+            return None;
+        }
+        for (i, exact_arg) in exact_args.iter().enumerate() {
+            let passes_through = if op == RealOp::Sub && i == 1 {
+                // a - b returns (the negation of) b only when a is zero;
+                // treat only the first argument as a pass-through candidate
+                // for subtraction.
+                false
+            } else {
+                exact_result.eq_value(exact_arg)
+            };
+            if !passes_through {
+                continue;
+            }
+            let output_error = total_error(client_result, exact_result);
+            let arg_error = total_error(arg_values[i], exact_arg);
+            if output_error <= arg_error {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Produces the final report.
+    pub fn report(&self) -> Report {
+        Report::build(
+            &self.program_name,
+            &self.config,
+            &self.ops,
+            &self.spots,
+            self.runs,
+            self.compensations_detected,
+            self.branch_divergences,
+        )
+    }
+}
+
+impl<R: Real> Tracer for Herbgrind<R> {
+    fn on_start(&mut self, program: &Program, _args: &[f64]) {
+        // Shadow memory is per-run (machine memory is reinitialized); the
+        // per-statement records persist across runs.
+        self.shadows.clear();
+        if self.locations.is_empty() {
+            self.locations = program.locations.clone();
+            self.program_name = program.name.clone();
+        }
+        self.runs += 1;
+    }
+
+    fn on_const_f(&mut self, _pc: usize, dest: Addr, value: f64) {
+        self.shadows.insert(
+            dest,
+            Shadow {
+                real: R::from_f64(value),
+                expr: ConcreteExpr::leaf(value),
+                influences: InfluenceSet::new(),
+            },
+        );
+    }
+
+    fn on_const_i(&mut self, _pc: usize, dest: Addr, _value: i64) {
+        self.shadows.remove(&dest);
+    }
+
+    fn on_copy(&mut self, _pc: usize, dest: Addr, src: Addr, value: Value) {
+        // Copies share the shadow value (§6 "Sharing"); copying a location we
+        // never shadowed lazily creates a leaf shadow for float values.
+        match self.shadows.get(&src).cloned() {
+            Some(shadow) => {
+                self.shadows.insert(dest, shadow);
+            }
+            None => {
+                if let Value::F(v) = value {
+                    let fresh = Shadow {
+                        real: R::from_f64(v),
+                        expr: ConcreteExpr::leaf(v),
+                        influences: InfluenceSet::new(),
+                    };
+                    self.shadows.insert(src, fresh.clone());
+                    self.shadows.insert(dest, fresh);
+                } else {
+                    self.shadows.remove(&dest);
+                }
+            }
+        }
+    }
+
+    fn on_compute(
+        &mut self,
+        pc: usize,
+        op: RealOp,
+        dest: Addr,
+        args: &[Addr],
+        arg_values: &[f64],
+        result: f64,
+    ) {
+        // Gather the shadows of the operands (creating leaf shadows lazily).
+        let mut exact_args = Vec::with_capacity(args.len());
+        let mut arg_exprs = Vec::with_capacity(args.len());
+        let mut influences = InfluenceSet::new();
+        for (&addr, &value) in args.iter().zip(arg_values) {
+            let shadow = self.shadow_of(addr, value);
+            exact_args.push(shadow.real.clone());
+            arg_exprs.push(Rc::clone(&shadow.expr));
+            influences.extend(shadow.influences.iter().copied());
+        }
+
+        // Local error of this operation on exact inputs (Figure 4).
+        let (local_err, exact_result) = local_error(op, &exact_args);
+        let erroneous = local_err > self.config.local_error_threshold;
+
+        // Compensation detection (§5.3): the compensating term's influences
+        // are not propagated, and the compensated operation is not itself
+        // reported as a candidate root cause.
+        let compensation = self.detect_compensation(op, &exact_args, arg_values, &exact_result, result);
+        if let Some(passthrough_index) = compensation {
+            self.compensations_detected += 1;
+            influences.clear();
+            let shadow = self.shadow_of(args[passthrough_index], arg_values[passthrough_index]);
+            influences.extend(shadow.influences.iter().copied());
+        } else if erroneous {
+            influences.insert(pc);
+        }
+
+        // Build the (depth-bounded) concrete expression for the result.
+        let node = ConcreteExpr::node(op, result, arg_exprs, pc, self.location(pc))
+            .truncate_to_depth(self.config.max_expression_depth);
+
+        // Update the operation record (unless the operation is a detected
+        // compensation, which the user should not see).
+        if compensation.is_none() {
+            let location = self.location(pc);
+            let config = self.config.clone();
+            let record = self
+                .ops
+                .entry(pc)
+                .or_insert_with(|| OpRecord::new(op, location, &config));
+            record.record(&node, local_err, erroneous, &config);
+        }
+
+        // Update the destination shadow.
+        self.shadows.insert(
+            dest,
+            Shadow {
+                real: exact_result,
+                expr: node,
+                influences,
+            },
+        );
+    }
+
+    fn on_cast_to_int(&mut self, pc: usize, dest: Addr, src: Addr, value: f64, result: i64) {
+        let shadow = self.shadow_of(src, value);
+        let shadow_int = shadow.real.to_f64().trunc();
+        let diverged = shadow_int as i64 != result;
+        let error = if diverged { MAX_ERROR_BITS } else { 0.0 };
+        let location = self.location(pc);
+        let record = self
+            .spots
+            .entry(pc)
+            .or_insert_with(|| SpotRecord::new(SpotKind::FloatToInt, location));
+        record.record(error, diverged, &shadow.influences);
+        self.shadows.remove(&dest);
+    }
+
+    fn on_branch(
+        &mut self,
+        pc: usize,
+        cmp: CmpOp,
+        lhs: Addr,
+        rhs: Addr,
+        lhs_value: Value,
+        rhs_value: Value,
+        taken: bool,
+    ) {
+        let lhs_shadow = self.shadow_of(lhs, lhs_value.as_f64());
+        let rhs_shadow = self.shadow_of(rhs, rhs_value.as_f64());
+        let shadow_taken = cmp.holds(lhs_shadow.real.compare(&rhs_shadow.real));
+        let diverged = shadow_taken != taken;
+        if diverged {
+            self.branch_divergences += 1;
+        }
+        let mut influences = InfluenceSet::new();
+        influences.extend(lhs_shadow.influences.iter().copied());
+        influences.extend(rhs_shadow.influences.iter().copied());
+        let error = if diverged { MAX_ERROR_BITS } else { 0.0 };
+        let location = self.location(pc);
+        let record = self
+            .spots
+            .entry(pc)
+            .or_insert_with(|| SpotRecord::new(SpotKind::Branch, location));
+        record.record(error, diverged, &influences);
+        // The analysis follows the client's control flow (the divergence is
+        // recorded, not acted on), exactly as the paper describes.
+    }
+
+    fn on_output(&mut self, pc: usize, src: Addr, value: f64) {
+        let shadow = self.shadow_of(src, value);
+        // A NaN reaching an output is always reported with maximal error,
+        // matching the paper's Gram-Schmidt case study (a NaN produced by a
+        // division by zero is reported as 64 bits of error even though the
+        // real-number execution is equally undefined there).
+        let error = if value.is_nan() {
+            MAX_ERROR_BITS
+        } else {
+            total_error(value, &shadow.real)
+        };
+        let erroneous = error > self.config.output_error_threshold;
+        let location = self.location(pc);
+        let record = self
+            .spots
+            .entry(pc)
+            .or_insert_with(|| SpotRecord::new(SpotKind::Output, location));
+        record.record(error, erroneous, &shadow.influences);
+    }
+}
+
+/// Runs a program under the analysis for every input vector, using the
+/// default [`BigFloat`] shadow reals, and returns the report.
+///
+/// # Errors
+///
+/// Propagates [`MachineError`] from the underlying interpreter (arity
+/// mismatches or exhausted step budgets).
+pub fn analyze(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<Report, MachineError> {
+    shadowreal::bigfloat::set_default_precision(config.shadow_precision);
+    analyze_with_shadow::<BigFloat>(program, inputs, config)
+}
+
+/// Runs a program under the analysis with an explicit shadow-real type
+/// (`BigFloat`, `DoubleDouble`, or `f64` for a no-op shadow).
+///
+/// # Errors
+///
+/// Propagates [`MachineError`] from the underlying interpreter.
+pub fn analyze_with_shadow<R: Real>(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<Report, MachineError> {
+    let mut analysis = Herbgrind::<R>::new(config.clone());
+    let machine = Machine::new(program).with_step_limit(config.step_limit);
+    for input in inputs {
+        machine.run_traced(input, &mut analysis)?;
+    }
+    Ok(analysis.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_core;
+    use fpvm::compile_core;
+
+    fn run_analysis(src: &str, inputs: &[Vec<f64>]) -> Report {
+        let core = parse_core(src).expect("parse");
+        let program = compile_core(&core, Default::default()).expect("compile");
+        analyze(&program, inputs, &AnalysisConfig::default()).expect("analysis")
+    }
+
+    #[test]
+    fn accurate_programs_produce_clean_reports() {
+        let report = run_analysis(
+            "(FPCore (x y) (sqrt (+ (* x x) (* y y))))",
+            &[vec![3.0, 4.0], vec![1.0, 1.0], vec![0.5, 0.25]],
+        );
+        assert!(!report.has_significant_error(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn cancellation_is_detected_and_attributed() {
+        // sqrt(x+1) - sqrt(x) for large x: the subtraction is the root cause.
+        let inputs: Vec<Vec<f64>> = (0..30).map(|i| vec![10f64.powi(i)]).collect();
+        let report = run_analysis("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))", &inputs);
+        assert!(report.has_significant_error());
+        let spot = &report.spots[0];
+        assert!(spot.erroneous > 0);
+        assert!(!spot.root_causes.is_empty());
+        let cause = &spot.root_causes[0];
+        assert!(
+            cause.fpcore.contains("(- (sqrt"),
+            "unexpected root cause {}",
+            cause.fpcore
+        );
+    }
+
+    #[test]
+    fn influences_flow_through_later_operations() {
+        // The error is introduced by the subtraction but observed only after
+        // passing through a multiplication; the root cause must still be the
+        // subtraction expression.
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![10f64.powi(i), 3.0]).collect();
+        let report = run_analysis("(FPCore (x k) (* (- (+ x 1) x) k))", &inputs);
+        assert!(report.has_significant_error());
+        let cause = &report.spots[0].root_causes[0];
+        assert!(cause.fpcore.contains('-'), "{}", cause.fpcore);
+    }
+
+    #[test]
+    fn branch_divergence_is_a_spot() {
+        // The PID-controller pattern: a loop counter incremented by 0.2
+        // iterates once too many for some bounds. The branch is a spot and it
+        // is influenced by the erroneous increment.
+        let core = parse_core(
+            "(FPCore (n) (while (< t n) ((t 0 (+ t 0.2)) (c 0 (+ c 1))) c))",
+        )
+        .unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let config = AnalysisConfig::default().with_local_error_threshold(1.0);
+        let report = analyze(&program, &[vec![10.0]], &config).unwrap();
+        assert!(report.branch_divergences > 0, "{}", report.to_text());
+        let branch_spot = report
+            .spots
+            .iter()
+            .find(|s| s.kind_label == "Compare")
+            .expect("branch spot present");
+        assert!(branch_spot.erroneous > 0);
+    }
+
+    #[test]
+    fn nan_outputs_have_maximal_error() {
+        // A NaN reaching an output is reported with maximal (64-bit) error
+        // even when the shadow execution also produces NaN, as in the
+        // paper's Gram-Schmidt case study.
+        let report = run_analysis("(FPCore (x) (sqrt x))", &[vec![-1.0]]);
+        assert!(report.has_significant_error());
+        assert!(report.spots[0].max_error_bits >= 60.0);
+        // But a NaN that never reaches a spot (the accurate branch is taken)
+        // is not reported.
+        let report = run_analysis("(FPCore (x) (if (< x 0) 1 (sqrt x)))", &[vec![4.0]]);
+        assert!(!report.has_significant_error());
+    }
+
+    #[test]
+    fn compensation_is_not_reported_as_a_root_cause() {
+        // Fast2Sum: s = a + b; e = b - (s - a); the compensating term e is
+        // exactly zero in the reals, so the operations that extract it have
+        // huge local error but must not surface as root causes. A genuinely
+        // erroneous computation (`bad`) makes the output a real spot so that
+        // influences are recorded at all.
+        let src = "(FPCore (a b)
+            (let* ((s (+ a b)) (t (- s a)) (e (- b t)) (r (+ s e))
+                   (bad (- (+ a 1) a)))
+              (* r bad)))";
+        let core = parse_core(src).unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![10f64.powi(i), 1.0 + (i as f64) * 0.125])
+            .collect();
+        let with_detection = analyze(&program, &inputs, &AnalysisConfig::default()).unwrap();
+        let without_detection = analyze(
+            &program,
+            &inputs,
+            &AnalysisConfig::default().with_compensation_detection(false),
+        )
+        .unwrap();
+        assert!(with_detection.compensations_detected > 0);
+        assert!(with_detection.has_significant_error());
+        // With detection the compensation machinery does not appear among
+        // the root causes; without it, it shows up as extra false positives.
+        let clean_causes: usize = with_detection.spots.iter().map(|s| s.root_causes.len()).sum();
+        let noisy_causes: usize = without_detection
+            .spots
+            .iter()
+            .map(|s| s.root_causes.len())
+            .sum();
+        assert!(clean_causes > 0);
+        assert!(clean_causes < noisy_causes, "{clean_causes} vs {noisy_causes}");
+    }
+
+    #[test]
+    fn fpdebug_configuration_reports_single_operations() {
+        let inputs: Vec<Vec<f64>> = (0..25).map(|i| vec![10f64.powi(i)]).collect();
+        let core = parse_core("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let report = analyze(&program, &inputs, &AnalysisConfig::fpdebug_like()).unwrap();
+        assert!(report.has_significant_error());
+        let cause = &report.spots[0].root_causes[0];
+        // Depth-1 expressions contain exactly one operation.
+        assert_eq!(cause.symbolic.operation_count(), 1, "{}", cause.fpcore);
+    }
+
+    #[test]
+    fn reports_accumulate_across_runs_and_reset_shadows() {
+        let core = parse_core("(FPCore (x) (- (+ x 1) x))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let mut analysis = Herbgrind::<BigFloat>::new(AnalysisConfig::default());
+        let machine = Machine::new(&program);
+        for i in 0..10 {
+            machine.run_traced(&[10f64.powi(i * 2)], &mut analysis).unwrap();
+        }
+        assert_eq!(analysis.runs(), 10);
+        let report = analysis.report();
+        assert_eq!(report.total_runs, 10);
+        assert!(report.spots.iter().any(|s| s.total == 10));
+    }
+
+    #[test]
+    fn doubledouble_shadow_detects_the_same_cancellation() {
+        let core = parse_core("(FPCore (x) (- (+ x 1) x))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![10f64.powi(i)]).collect();
+        let report =
+            analyze_with_shadow::<shadowreal::DoubleDouble>(&program, &inputs, &AnalysisConfig::default())
+                .unwrap();
+        assert!(report.has_significant_error());
+    }
+}

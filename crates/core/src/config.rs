@@ -1,0 +1,135 @@
+//! Analysis configuration: the tunable parameters explored in §8.2.
+
+/// Which kind of input-range characteristic to compute (Figure 5b).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RangeKind {
+    /// Do not track ranges (only a representative example input).
+    None,
+    /// Track a single `[min, max]` range per variable.
+    Single,
+    /// Track separate ranges for negative and positive values of each
+    /// variable.
+    SignSplit,
+}
+
+/// Configuration for a Herbgrind analysis run.
+///
+/// The defaults correspond to the paper's default configuration; each field
+/// maps to one of the knobs varied in the evaluation (§8).
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    /// Local-error threshold `Tℓ` in bits: operations whose local error
+    /// exceeds this are candidate root causes (Figure 5a varies this).
+    pub local_error_threshold: f64,
+    /// Output-error threshold `Tm` in bits: spots whose error exceeds this
+    /// report their influences.
+    pub output_error_threshold: f64,
+    /// Maximum depth of tracked concrete/symbolic expressions (Figures 5c and
+    /// 5d vary this); depth 1 reports only the erroneous operation itself,
+    /// like FpDebug.
+    pub max_expression_depth: usize,
+    /// Depth to which subtree equivalence is computed during
+    /// anti-unification (§6.1; default 5).
+    pub antiunify_equivalence_depth: usize,
+    /// Which input-range characteristics to compute (Figure 5b).
+    pub range_kind: RangeKind,
+    /// Whether compensating additions/subtractions are detected and their
+    /// influence suppressed (§5.3 / §8.3).
+    pub detect_compensation: bool,
+    /// Mantissa precision, in bits, of the shadow reals (the paper's
+    /// `--precision`, default 1000 there; 256 here is ample for doubles).
+    pub shadow_precision: u32,
+    /// Step budget per machine run.
+    pub step_limit: u64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            local_error_threshold: 5.0,
+            output_error_threshold: 5.0,
+            max_expression_depth: 16,
+            antiunify_equivalence_depth: 5,
+            range_kind: RangeKind::SignSplit,
+            detect_compensation: true,
+            shadow_precision: 256,
+            step_limit: 50_000_000,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// A configuration that mimics FpDebug: only the operation where error
+    /// appears is reported (expression depth 1), no ranges.
+    pub fn fpdebug_like() -> AnalysisConfig {
+        AnalysisConfig {
+            max_expression_depth: 1,
+            range_kind: RangeKind::None,
+            ..AnalysisConfig::default()
+        }
+    }
+
+    /// Sets the local-error threshold (builder style).
+    pub fn with_local_error_threshold(mut self, bits: f64) -> Self {
+        self.local_error_threshold = bits;
+        self
+    }
+
+    /// Sets the maximum expression depth (builder style).
+    pub fn with_max_expression_depth(mut self, depth: usize) -> Self {
+        self.max_expression_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the range kind (builder style).
+    pub fn with_range_kind(mut self, kind: RangeKind) -> Self {
+        self.range_kind = kind;
+        self
+    }
+
+    /// Enables or disables compensation detection (builder style).
+    pub fn with_compensation_detection(mut self, enabled: bool) -> Self {
+        self.detect_compensation = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_configuration() {
+        let c = AnalysisConfig::default();
+        assert_eq!(c.antiunify_equivalence_depth, 5);
+        assert_eq!(c.range_kind, RangeKind::SignSplit);
+        assert!(c.detect_compensation);
+        assert!(c.local_error_threshold > 0.0);
+    }
+
+    #[test]
+    fn fpdebug_configuration_disables_expressions() {
+        let c = AnalysisConfig::fpdebug_like();
+        assert_eq!(c.max_expression_depth, 1);
+        assert_eq!(c.range_kind, RangeKind::None);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = AnalysisConfig::default()
+            .with_local_error_threshold(16.0)
+            .with_max_expression_depth(3)
+            .with_range_kind(RangeKind::Single)
+            .with_compensation_detection(false);
+        assert_eq!(c.local_error_threshold, 16.0);
+        assert_eq!(c.max_expression_depth, 3);
+        assert_eq!(c.range_kind, RangeKind::Single);
+        assert!(!c.detect_compensation);
+    }
+
+    #[test]
+    fn depth_is_clamped_to_at_least_one() {
+        let c = AnalysisConfig::default().with_max_expression_depth(0);
+        assert_eq!(c.max_expression_depth, 1);
+    }
+}

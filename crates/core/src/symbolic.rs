@@ -1,0 +1,441 @@
+//! Symbolic expressions and anti-unification (§4.3, §6.1).
+//!
+//! A symbolic expression is the most-specific generalization of all the
+//! concrete expressions observed at one operation: positions that held the
+//! same value in every execution remain constants, positions that varied
+//! become variables, and positions that always held *equivalent* subtrees
+//! share a variable. Generalization uses Plotkin's anti-unification
+//! algorithm, with the paper's approximation that subtree equivalence is
+//! only computed to a bounded depth (§6.1, default 5).
+
+use crate::trace::ConcreteExpr;
+use shadowreal::RealOp;
+use std::rc::Rc;
+
+/// A symbolic expression: the generalization Herbgrind reports to the user.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SymbolicExpr {
+    /// A position that held this exact double in every observed execution.
+    Const(f64),
+    /// A position that varied; positions with the same index always held
+    /// equivalent subtrees.
+    Var(usize),
+    /// An operation applied in every observed execution.
+    Node {
+        /// The operation.
+        op: RealOp,
+        /// The generalized operands.
+        children: Vec<SymbolicExpr>,
+    },
+}
+
+/// Where a variable of a freshly generalized expression came from, used to
+/// carry input-characteristic summaries across incremental anti-unification
+/// passes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VarOrigin {
+    /// The position was already a variable with this index in the previous
+    /// symbolic expression.
+    FromVar(usize),
+    /// The position was a constant with this value in all previous
+    /// executions and has now been generalized.
+    FromConst(f64),
+}
+
+/// One variable of the result of an anti-unification pass: its index, its
+/// origin, and the value it took in the newly observed concrete expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarAssignment {
+    /// Variable index in the new symbolic expression.
+    pub var: usize,
+    /// Origin in the previous symbolic expression.
+    pub origin: VarOrigin,
+    /// The value observed for this variable in the new concrete expression.
+    pub value: f64,
+}
+
+impl SymbolicExpr {
+    /// Builds the initial symbolic expression from a single concrete trace:
+    /// operation structure is kept, leaves become constants.
+    pub fn from_concrete(expr: &ConcreteExpr) -> SymbolicExpr {
+        match expr {
+            ConcreteExpr::Leaf { value } => SymbolicExpr::Const(*value),
+            ConcreteExpr::Node { op, children, .. } => SymbolicExpr::Node {
+                op: *op,
+                children: children.iter().map(|c| Self::from_concrete(c)).collect(),
+            },
+        }
+    }
+
+    /// The number of distinct variables.
+    pub fn variable_count(&self) -> usize {
+        let mut vars = Vec::new();
+        self.collect_vars(&mut vars);
+        vars.len()
+    }
+
+    fn collect_vars(&self, out: &mut Vec<usize>) {
+        match self {
+            SymbolicExpr::Const(_) => {}
+            SymbolicExpr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            SymbolicExpr::Node { children, .. } => {
+                for c in children {
+                    c.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// All distinct variable indices, in first-occurrence order.
+    pub fn variables(&self) -> Vec<usize> {
+        let mut vars = Vec::new();
+        self.collect_vars(&mut vars);
+        vars
+    }
+
+    /// The number of operation nodes.
+    pub fn operation_count(&self) -> usize {
+        match self {
+            SymbolicExpr::Const(_) | SymbolicExpr::Var(_) => 0,
+            SymbolicExpr::Node { children, .. } => {
+                1 + children.iter().map(|c| c.operation_count()).sum::<usize>()
+            }
+        }
+    }
+
+    /// The depth in operation nodes.
+    pub fn depth(&self) -> usize {
+        match self {
+            SymbolicExpr::Const(_) | SymbolicExpr::Var(_) => 0,
+            SymbolicExpr::Node { children, .. } => {
+                1 + children.iter().map(|c| c.depth()).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Structural equality bounded to `depth` levels; variables must have
+    /// identical indices, constants identical bit patterns.
+    fn equivalent_to_depth(&self, other: &SymbolicExpr, depth: usize) -> bool {
+        if depth == 0 {
+            return true;
+        }
+        match (self, other) {
+            (SymbolicExpr::Const(a), SymbolicExpr::Const(b)) => a.to_bits() == b.to_bits(),
+            (SymbolicExpr::Var(a), SymbolicExpr::Var(b)) => a == b,
+            (
+                SymbolicExpr::Node {
+                    op: op_a,
+                    children: ch_a,
+                },
+                SymbolicExpr::Node {
+                    op: op_b,
+                    children: ch_b,
+                },
+            ) => {
+                op_a == op_b
+                    && ch_a.len() == ch_b.len()
+                    && ch_a
+                        .iter()
+                        .zip(ch_b)
+                        .all(|(a, b)| a.equivalent_to_depth(b, depth - 1))
+            }
+            _ => false,
+        }
+    }
+
+    /// Converts to an FPCore expression using the given variable names (one
+    /// per variable index, in [`SymbolicExpr::variables`] order).
+    pub fn to_fpcore(&self, names: &[(usize, String)]) -> fpcore::Expr {
+        match self {
+            SymbolicExpr::Const(c) => fpcore::Expr::Number(*c),
+            SymbolicExpr::Var(v) => {
+                let name = names
+                    .iter()
+                    .find(|(idx, _)| idx == v)
+                    .map(|(_, n)| n.clone())
+                    .unwrap_or_else(|| format!("v{v}"));
+                fpcore::Expr::Var(name)
+            }
+            SymbolicExpr::Node { op, children } => {
+                fpcore::Expr::Op(*op, children.iter().map(|c| c.to_fpcore(names)).collect())
+            }
+        }
+    }
+
+    /// Assigns conventional names (x, y, z, a, b, ...) to the variables.
+    pub fn default_names(&self) -> Vec<(usize, String)> {
+        const NAMES: [&str; 12] = ["x", "y", "z", "a", "b", "c", "d", "e1", "f", "g", "h", "k"];
+        self.variables()
+            .into_iter()
+            .enumerate()
+            .map(|(i, var)| {
+                let name = NAMES
+                    .get(i)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("v{i}"));
+                (var, name)
+            })
+            .collect()
+    }
+}
+
+/// The incremental anti-unification state for one operation (one static
+/// statement).
+#[derive(Clone, Debug, Default)]
+pub struct Generalizer {
+    current: Option<SymbolicExpr>,
+    equivalence_depth: usize,
+}
+
+struct PairTable {
+    depth: usize,
+    entries: Vec<(SymbolicExpr, Rc<ConcreteExpr>, usize)>,
+    assignments: Vec<VarAssignment>,
+}
+
+impl PairTable {
+    fn variable_for(&mut self, sym: &SymbolicExpr, conc: &Rc<ConcreteExpr>) -> usize {
+        for (s, c, var) in &self.entries {
+            if s.equivalent_to_depth(sym, self.depth) && c.equivalent_to_depth(conc, self.depth) {
+                return *var;
+            }
+        }
+        let var = self.entries.len();
+        self.entries.push((sym.clone(), Rc::clone(conc), var));
+        let origin = match sym {
+            SymbolicExpr::Var(v) => VarOrigin::FromVar(*v),
+            SymbolicExpr::Const(c) => VarOrigin::FromConst(*c),
+            SymbolicExpr::Node { .. } => VarOrigin::FromConst(conc.value()),
+        };
+        self.assignments.push(VarAssignment {
+            var,
+            origin,
+            value: conc.value(),
+        });
+        var
+    }
+}
+
+impl Generalizer {
+    /// Creates a generalizer using the given bounded equivalence depth.
+    pub fn new(equivalence_depth: usize) -> Generalizer {
+        Generalizer {
+            current: None,
+            equivalence_depth: equivalence_depth.max(1),
+        }
+    }
+
+    /// The current symbolic expression, if any concrete expression has been
+    /// observed.
+    pub fn current(&self) -> Option<&SymbolicExpr> {
+        self.current.as_ref()
+    }
+
+    /// Folds a newly observed concrete expression into the generalization,
+    /// returning the variable assignments for this observation (used to
+    /// update input characteristics).
+    pub fn observe(&mut self, concrete: &Rc<ConcreteExpr>) -> Vec<VarAssignment> {
+        match self.current.take() {
+            None => {
+                self.current = Some(SymbolicExpr::from_concrete(concrete));
+                Vec::new()
+            }
+            Some(previous) => {
+                let mut table = PairTable {
+                    depth: self.equivalence_depth,
+                    entries: Vec::new(),
+                    assignments: Vec::new(),
+                };
+                let generalized = antiunify(&previous, concrete, &mut table);
+                self.current = Some(generalized);
+                table.assignments
+            }
+        }
+    }
+}
+
+fn antiunify(sym: &SymbolicExpr, conc: &Rc<ConcreteExpr>, table: &mut PairTable) -> SymbolicExpr {
+    match (sym, conc.as_ref()) {
+        (SymbolicExpr::Const(c), ConcreteExpr::Leaf { value }) if c.to_bits() == value.to_bits() => {
+            SymbolicExpr::Const(*c)
+        }
+        (
+            SymbolicExpr::Node { op, children },
+            ConcreteExpr::Node {
+                op: conc_op,
+                children: conc_children,
+                ..
+            },
+        ) if op == conc_op && children.len() == conc_children.len() => SymbolicExpr::Node {
+            op: *op,
+            children: children
+                .iter()
+                .zip(conc_children)
+                .map(|(s, c)| antiunify(s, c, table))
+                .collect(),
+        },
+        _ => SymbolicExpr::Var(table.variable_for(sym, conc)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpvm::SourceLoc;
+
+    fn dist_trace(x: f64, y: f64) -> Rc<ConcreteExpr> {
+        // sqrt(x*x + y*y) - x
+        let lx = ConcreteExpr::leaf(x);
+        let ly = ConcreteExpr::leaf(y);
+        let xx = ConcreteExpr::node(RealOp::Mul, x * x, vec![lx.clone(), lx.clone()], 0, SourceLoc::default());
+        let yy = ConcreteExpr::node(RealOp::Mul, y * y, vec![ly.clone(), ly], 1, SourceLoc::default());
+        let sum = ConcreteExpr::node(RealOp::Add, x * x + y * y, vec![xx, yy], 2, SourceLoc::default());
+        let root = ConcreteExpr::node(RealOp::Sqrt, (x * x + y * y).sqrt(), vec![sum], 3, SourceLoc::default());
+        ConcreteExpr::node(
+            RealOp::Sub,
+            (x * x + y * y).sqrt() - x,
+            vec![root, lx],
+            4,
+            SourceLoc::default(),
+        )
+    }
+
+    #[test]
+    fn single_observation_keeps_constants() {
+        let mut g = Generalizer::new(5);
+        let assignments = g.observe(&dist_trace(3.0, 4.0));
+        assert!(assignments.is_empty());
+        let sym = g.current().unwrap();
+        assert_eq!(sym.variable_count(), 0);
+        assert_eq!(sym.operation_count(), 5);
+    }
+
+    #[test]
+    fn repeated_positions_share_a_variable() {
+        let mut g = Generalizer::new(5);
+        g.observe(&dist_trace(3.0, 4.0));
+        let assignments = g.observe(&dist_trace(5.0, 12.0));
+        let sym = g.current().unwrap();
+        // The three occurrences of x generalize to one variable and the two
+        // occurrences of y to another: exactly 2 variables.
+        assert_eq!(sym.variable_count(), 2, "{sym:?}");
+        // Assignments report the new instance's values for both variables.
+        let mut values: Vec<f64> = assignments.iter().map(|a| a.value).collect();
+        values.sort_by(f64::total_cmp);
+        values.dedup();
+        assert_eq!(values, vec![5.0, 12.0]);
+        // The structure is preserved.
+        assert_eq!(sym.operation_count(), 5);
+        assert_eq!(sym.depth(), 4);
+    }
+
+    #[test]
+    fn further_observations_preserve_variables() {
+        let mut g = Generalizer::new(5);
+        g.observe(&dist_trace(3.0, 4.0));
+        g.observe(&dist_trace(5.0, 12.0));
+        let assignments = g.observe(&dist_trace(8.0, 15.0));
+        let sym = g.current().unwrap();
+        assert_eq!(sym.variable_count(), 2);
+        // Origins now refer to existing variables, not constants.
+        assert!(assignments
+            .iter()
+            .all(|a| matches!(a.origin, VarOrigin::FromVar(_))));
+    }
+
+    #[test]
+    fn constant_positions_stay_constant() {
+        // exp(x) - 1: the 1 is the same in every execution.
+        let make = |x: f64| {
+            let lx = ConcreteExpr::leaf(x);
+            let one = ConcreteExpr::leaf(1.0);
+            let e = ConcreteExpr::node(RealOp::Exp, x.exp(), vec![lx], 0, SourceLoc::default());
+            ConcreteExpr::node(RealOp::Sub, x.exp() - 1.0, vec![e, one], 1, SourceLoc::default())
+        };
+        let mut g = Generalizer::new(5);
+        g.observe(&make(0.5));
+        g.observe(&make(2.0));
+        let sym = g.current().unwrap();
+        assert_eq!(sym.variable_count(), 1);
+        // Find the constant 1.0 in the tree.
+        let fp = sym.to_fpcore(&sym.default_names());
+        let printed = fpcore::expr_to_string(&fp);
+        assert!(printed.contains('1'), "{printed}");
+        assert_eq!(printed, "(- (exp x) 1)");
+    }
+
+    #[test]
+    fn different_operations_generalize_to_a_variable() {
+        let a = ConcreteExpr::node(
+            RealOp::Sqrt,
+            2.0,
+            vec![ConcreteExpr::leaf(4.0)],
+            0,
+            SourceLoc::default(),
+        );
+        let b = ConcreteExpr::node(
+            RealOp::Exp,
+            1.0,
+            vec![ConcreteExpr::leaf(0.0)],
+            0,
+            SourceLoc::default(),
+        );
+        let top_a = ConcreteExpr::node(RealOp::Add, 3.0, vec![a, ConcreteExpr::leaf(1.0)], 1, SourceLoc::default());
+        let top_b = ConcreteExpr::node(RealOp::Add, 2.0, vec![b, ConcreteExpr::leaf(1.0)], 1, SourceLoc::default());
+        let mut g = Generalizer::new(5);
+        g.observe(&top_a);
+        g.observe(&top_b);
+        let sym = g.current().unwrap();
+        assert_eq!(sym.variable_count(), 1);
+        assert_eq!(sym.operation_count(), 1); // only the + survives
+    }
+
+    #[test]
+    fn bounded_depth_merges_distant_differences() {
+        // Two positions whose generalization-triggering mismatch sits above
+        // deep subtrees that differ only several levels down: shallow
+        // equivalence cannot tell the positions apart (one shared variable),
+        // deep equivalence can (two variables). This is the soundness /
+        // precision trade-off of §6.1.
+        let subtree = |op: RealOp, leaf: f64| {
+            let l = ConcreteExpr::leaf(leaf);
+            let s = ConcreteExpr::node(RealOp::Sqrt, leaf.sqrt(), vec![l], 0, SourceLoc::default());
+            let one = ConcreteExpr::leaf(1.0);
+            ConcreteExpr::node(op, leaf.sqrt(), vec![s, one], 1, SourceLoc::default())
+        };
+        let obs = |op: RealOp| {
+            ConcreteExpr::node(
+                RealOp::Add,
+                0.0,
+                vec![subtree(op, 4.0), subtree(op, 9.0)],
+                2,
+                SourceLoc::default(),
+            )
+        };
+        // First observation uses Mul at the two positions, second uses Div,
+        // so both positions become variables; whether they *share* a
+        // variable depends on the equivalence depth.
+        let with_depth = |depth: usize| {
+            let mut g = Generalizer::new(depth);
+            g.observe(&obs(RealOp::Mul));
+            g.observe(&obs(RealOp::Div));
+            g.current().unwrap().variable_count()
+        };
+        assert_eq!(with_depth(1), 1);
+        assert_eq!(with_depth(5), 2);
+    }
+
+    #[test]
+    fn fpcore_conversion_uses_conventional_names() {
+        let mut g = Generalizer::new(5);
+        g.observe(&dist_trace(3.0, 4.0));
+        g.observe(&dist_trace(6.0, 8.0));
+        let sym = g.current().unwrap();
+        let printed = fpcore::expr_to_string(&sym.to_fpcore(&sym.default_names()));
+        assert_eq!(printed, "(- (sqrt (+ (* x x) (* y y))) x)");
+    }
+}

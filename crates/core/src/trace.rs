@@ -1,0 +1,258 @@
+//! Concrete expression traces (§4.3).
+//!
+//! Every floating-point value carries a *concrete expression*: the tree of
+//! floating-point operations that produced it, with copies through memory
+//! and data structures elided. Nodes are reference-counted and shared
+//! between shadow values, exactly as the paper's implementation shares trace
+//! nodes between copies (§6 "Sharing").
+
+use fpvm::SourceLoc;
+use shadowreal::RealOp;
+use std::rc::Rc;
+
+/// A node in a concrete expression trace.
+#[derive(Clone, Debug)]
+pub enum ConcreteExpr {
+    /// A value that was not produced by a tracked floating-point operation:
+    /// a program input, a constant, or an integer-derived value.
+    Leaf {
+        /// The double value observed.
+        value: f64,
+    },
+    /// A floating-point operation.
+    Node {
+        /// The operation.
+        op: RealOp,
+        /// The double value the client computed here.
+        value: f64,
+        /// The operand traces.
+        children: Vec<Rc<ConcreteExpr>>,
+        /// The statement (program counter) that executed the operation.
+        pc: usize,
+        /// The source location of that statement.
+        loc: SourceLoc,
+    },
+}
+
+impl ConcreteExpr {
+    /// Creates a leaf node.
+    pub fn leaf(value: f64) -> Rc<ConcreteExpr> {
+        Rc::new(ConcreteExpr::Leaf { value })
+    }
+
+    /// Creates an operation node.
+    pub fn node(
+        op: RealOp,
+        value: f64,
+        children: Vec<Rc<ConcreteExpr>>,
+        pc: usize,
+        loc: SourceLoc,
+    ) -> Rc<ConcreteExpr> {
+        Rc::new(ConcreteExpr::Node {
+            op,
+            value,
+            children,
+            pc,
+            loc,
+        })
+    }
+
+    /// The double value at this node.
+    pub fn value(&self) -> f64 {
+        match self {
+            ConcreteExpr::Leaf { value } | ConcreteExpr::Node { value, .. } => *value,
+        }
+    }
+
+    /// True if this is a leaf (input/constant) node.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, ConcreteExpr::Leaf { .. })
+    }
+
+    /// The depth of the trace in operation nodes (a leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        match self {
+            ConcreteExpr::Leaf { .. } => 0,
+            ConcreteExpr::Node { children, .. } => {
+                1 + children.iter().map(|c| c.depth()).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The number of operation nodes in the trace.
+    pub fn operation_count(&self) -> usize {
+        match self {
+            ConcreteExpr::Leaf { .. } => 0,
+            ConcreteExpr::Node { children, .. } => {
+                1 + children.iter().map(|c| c.operation_count()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Returns a copy of the trace truncated to at most `max_depth` levels of
+    /// operations; subtrees below the cut become leaves holding their value.
+    ///
+    /// This implements the maximum-expression-depth knob of Figures 5c/5d: a
+    /// depth of 1 keeps only the top operation.
+    pub fn truncate_to_depth(self: &Rc<ConcreteExpr>, max_depth: usize) -> Rc<ConcreteExpr> {
+        if max_depth == 0 {
+            return ConcreteExpr::leaf(self.value());
+        }
+        match self.as_ref() {
+            ConcreteExpr::Leaf { .. } => Rc::clone(self),
+            ConcreteExpr::Node {
+                op,
+                value,
+                children,
+                pc,
+                loc,
+            } => {
+                if self.depth() <= max_depth {
+                    return Rc::clone(self);
+                }
+                let truncated = children
+                    .iter()
+                    .map(|c| c.truncate_to_depth(max_depth - 1))
+                    .collect();
+                ConcreteExpr::node(*op, *value, truncated, *pc, loc.clone())
+            }
+        }
+    }
+
+    /// Structural equality bounded to `depth` levels (used by the
+    /// approximate anti-unification of §6.1). Values are compared by bit
+    /// pattern so that NaNs compare equal to themselves.
+    pub fn equivalent_to_depth(&self, other: &ConcreteExpr, depth: usize) -> bool {
+        if depth == 0 {
+            return true;
+        }
+        match (self, other) {
+            (ConcreteExpr::Leaf { value: a }, ConcreteExpr::Leaf { value: b }) => {
+                a.to_bits() == b.to_bits()
+            }
+            (
+                ConcreteExpr::Node {
+                    op: op_a,
+                    children: ch_a,
+                    ..
+                },
+                ConcreteExpr::Node {
+                    op: op_b,
+                    children: ch_b,
+                    ..
+                },
+            ) => {
+                op_a == op_b
+                    && ch_a.len() == ch_b.len()
+                    && ch_a
+                        .iter()
+                        .zip(ch_b)
+                        .all(|(a, b)| a.equivalent_to_depth(b, depth - 1))
+            }
+            _ => false,
+        }
+    }
+
+    /// The source locations of every operation node, outermost first (the
+    /// paper notes Herbgrind can provide source locations for each node of
+    /// the extracted expression).
+    pub fn locations(&self) -> Vec<SourceLoc> {
+        let mut out = Vec::new();
+        self.collect_locations(&mut out);
+        out
+    }
+
+    fn collect_locations(&self, out: &mut Vec<SourceLoc>) {
+        if let ConcreteExpr::Node { loc, children, .. } = self {
+            out.push(loc.clone());
+            for c in children {
+                c.collect_locations(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Rc<ConcreteExpr> {
+        // (sqrt(x*x + y*y)) - x  with x=3, y=4
+        let x = ConcreteExpr::leaf(3.0);
+        let y = ConcreteExpr::leaf(4.0);
+        let xx = ConcreteExpr::node(RealOp::Mul, 9.0, vec![x.clone(), x.clone()], 0, SourceLoc::default());
+        let yy = ConcreteExpr::node(RealOp::Mul, 16.0, vec![y.clone(), y], 1, SourceLoc::default());
+        let sum = ConcreteExpr::node(RealOp::Add, 25.0, vec![xx, yy], 2, SourceLoc::default());
+        let root = ConcreteExpr::node(RealOp::Sqrt, 5.0, vec![sum], 3, SourceLoc::default());
+        ConcreteExpr::node(RealOp::Sub, 2.0, vec![root, x], 4, SourceLoc::default())
+    }
+
+    #[test]
+    fn depth_and_operation_count() {
+        let t = sample_trace();
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.operation_count(), 5);
+        assert_eq!(t.value(), 2.0);
+    }
+
+    #[test]
+    fn truncation_limits_depth() {
+        let t = sample_trace();
+        let shallow = t.truncate_to_depth(1);
+        assert_eq!(shallow.depth(), 1);
+        assert_eq!(shallow.value(), 2.0);
+        // Children of the truncated node are leaves carrying the observed values.
+        if let ConcreteExpr::Node { children, .. } = shallow.as_ref() {
+            assert!(children.iter().all(|c| c.is_leaf()));
+            assert_eq!(children[0].value(), 5.0);
+            assert_eq!(children[1].value(), 3.0);
+        } else {
+            panic!("expected a node");
+        }
+        // Truncating deeper than the trace is the identity (same allocation).
+        let same = t.truncate_to_depth(10);
+        assert!(Rc::ptr_eq(&t, &same));
+    }
+
+    #[test]
+    fn bounded_equivalence() {
+        let a = sample_trace();
+        let b = sample_trace();
+        assert!(a.equivalent_to_depth(&b, 10));
+        // A trace with a different leaf value differs at depth 5 but is
+        // indistinguishable at depth 1 (same top operation).
+        let x = ConcreteExpr::leaf(3.0);
+        let different = ConcreteExpr::node(
+            RealOp::Sub,
+            2.0,
+            vec![ConcreteExpr::leaf(5.0), x],
+            4,
+            SourceLoc::default(),
+        );
+        assert!(a.equivalent_to_depth(&different, 1));
+        assert!(!a.equivalent_to_depth(&different, 2));
+    }
+
+    #[test]
+    fn nan_leaves_compare_equal_to_themselves() {
+        let a = ConcreteExpr::leaf(f64::NAN);
+        let b = ConcreteExpr::leaf(f64::NAN);
+        assert!(a.equivalent_to_depth(&b, 3));
+    }
+
+    #[test]
+    fn sharing_is_by_reference() {
+        let x = ConcreteExpr::leaf(1.5);
+        let node = ConcreteExpr::node(RealOp::Add, 3.0, vec![x.clone(), x.clone()], 0, SourceLoc::default());
+        if let ConcreteExpr::Node { children, .. } = node.as_ref() {
+            assert!(Rc::ptr_eq(&children[0], &children[1]));
+        }
+    }
+
+    #[test]
+    fn locations_are_collected_outermost_first() {
+        let t = sample_trace();
+        let locs = t.locations();
+        assert_eq!(locs.len(), 5);
+    }
+}

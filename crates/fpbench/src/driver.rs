@@ -1,0 +1,135 @@
+//! Running benchmarks under the analysis: the glue between the suite, the
+//! machine, Herbgrind, and the improvement oracle.
+
+use fpcore::FPCore;
+use fpvm::{compile_core, CompileOptions, Machine, Program};
+use herbgrind::{analyze, AnalysisConfig, Report};
+use herbie_lite::SampleError;
+use std::fmt;
+
+/// Errors produced while driving a benchmark through the pipeline.
+#[derive(Clone, Debug)]
+pub enum DriverError {
+    /// The benchmark failed to compile to a machine program.
+    Compile(String),
+    /// Input sampling failed.
+    Sampling(SampleError),
+    /// The machine run failed (step budget, arity).
+    Machine(String),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Compile(e) => write!(f, "compile error: {e}"),
+            DriverError::Sampling(e) => write!(f, "sampling error: {e}"),
+            DriverError::Machine(e) => write!(f, "machine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// A benchmark prepared for execution: the parsed core, the compiled
+/// program, and sampled inputs.
+#[derive(Clone, Debug)]
+pub struct PreparedBenchmark {
+    /// The source benchmark.
+    pub core: FPCore,
+    /// The compiled machine program (library calls wrapped).
+    pub program: Program,
+    /// The compiled machine program with library calls lowered (§8.2).
+    pub program_lowered: Program,
+    /// Sampled inputs satisfying the precondition.
+    pub inputs: Vec<Vec<f64>>,
+}
+
+/// Compiles a benchmark and samples `samples` inputs for it.
+///
+/// # Errors
+///
+/// Returns a [`DriverError`] if compilation or sampling fails.
+pub fn prepare(core: &FPCore, samples: usize, seed: u64) -> Result<PreparedBenchmark, DriverError> {
+    let program = compile_core(core, CompileOptions::default())
+        .map_err(|e| DriverError::Compile(e.to_string()))?;
+    let program_lowered = compile_core(
+        core,
+        CompileOptions {
+            lower_library_calls: true,
+            source_file: None,
+        },
+    )
+    .map_err(|e| DriverError::Compile(e.to_string()))?;
+    let inputs = herbie_lite::sample_inputs(core, samples, seed).map_err(DriverError::Sampling)?;
+    Ok(PreparedBenchmark {
+        core: core.clone(),
+        program,
+        program_lowered,
+        inputs,
+    })
+}
+
+impl PreparedBenchmark {
+    /// Runs the benchmark natively (no instrumentation) on all its inputs,
+    /// returning the number of statements executed. Used as the baseline for
+    /// overhead measurements (Table 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DriverError::Machine`] error if any run fails.
+    pub fn run_native(&self) -> Result<u64, DriverError> {
+        let machine = Machine::new(&self.program);
+        let mut steps = 0;
+        for input in &self.inputs {
+            steps += machine
+                .run(input)
+                .map_err(|e| DriverError::Machine(e.to_string()))?
+                .steps;
+        }
+        Ok(steps)
+    }
+
+    /// Runs the benchmark under Herbgrind on all its inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DriverError::Machine`] error if any run fails.
+    pub fn run_herbgrind(&self, config: &AnalysisConfig) -> Result<Report, DriverError> {
+        analyze(&self.program, &self.inputs, config).map_err(|e| DriverError::Machine(e.to_string()))
+    }
+
+    /// Runs the benchmark under Herbgrind with library calls lowered into
+    /// their internal instruction sequences (wrapping disabled, §8.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DriverError::Machine`] error if any run fails.
+    pub fn run_herbgrind_unwrapped(&self, config: &AnalysisConfig) -> Result<Report, DriverError> {
+        analyze(&self.program_lowered, &self.inputs, config)
+            .map_err(|e| DriverError::Machine(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::by_name;
+
+    #[test]
+    fn prepare_and_run_a_cancellation_benchmark() {
+        let core = by_name("NMSE example 3.1").unwrap();
+        let prepared = prepare(&core, 30, 7).unwrap();
+        assert_eq!(prepared.inputs.len(), 30);
+        let report = prepared.run_herbgrind(&AnalysisConfig::default()).unwrap();
+        assert!(report.has_significant_error());
+        let steps = prepared.run_native().unwrap();
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn lowered_programs_are_larger() {
+        let core = by_name("NMSE section 3.5").unwrap();
+        let prepared = prepare(&core, 5, 3).unwrap();
+        assert!(prepared.program_lowered.compute_count() > prepared.program.compute_count());
+    }
+}

@@ -1,0 +1,384 @@
+//! The paper's evaluation experiments (§8), as reusable drivers.
+//!
+//! Each function here regenerates the data behind one table or figure; the
+//! Criterion benches in `crates/bench` and the runnable examples print the
+//! results. The drivers take a benchmark list and a per-benchmark sample
+//! count so that quick runs (tests) and full runs (benches) share the code.
+
+use crate::driver::{prepare, DriverError};
+use fpcore::FPCore;
+use herbgrind::{AnalysisConfig, RangeKind};
+use herbie_lite::{improve, ImprovementOptions};
+
+/// The per-benchmark outcome of the improvability experiment (§8.1).
+#[derive(Clone, Debug)]
+pub struct ImprovabilityRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Average error of the benchmark itself (the oracle's view), in bits.
+    pub oracle_error_bits: f64,
+    /// Whether the oracle (Herbie-lite on the source expression) can improve
+    /// the benchmark.
+    pub oracle_improvable: bool,
+    /// Whether Herbgrind reported significant error for the benchmark.
+    pub herbgrind_detected: bool,
+    /// Whether Herbgrind produced at least one candidate root cause.
+    pub herbgrind_has_candidate: bool,
+    /// Whether the improvement oracle found significant error in Herbgrind's
+    /// reported root cause and could improve it (the "true root cause"
+    /// criterion).
+    pub root_cause_improvable: bool,
+}
+
+/// Aggregated results of the improvability experiment (§8.1).
+#[derive(Clone, Debug, Default)]
+pub struct ImprovabilitySummary {
+    /// Per-benchmark rows.
+    pub rows: Vec<ImprovabilityRow>,
+    /// Number of benchmarks examined.
+    pub total: usize,
+    /// Benchmarks with significant oracle error (> 5 bits).
+    pub significant: usize,
+    /// Of those, how many the oracle can improve.
+    pub oracle_improvable: usize,
+    /// Of the significant ones, how many Herbgrind flags.
+    pub detected_by_herbgrind: usize,
+    /// Of the significant ones, how many have an improvable Herbgrind root
+    /// cause.
+    pub improvable_root_causes: usize,
+}
+
+/// Runs the improvability experiment (§8.1) over the given benchmarks.
+///
+/// Benchmarks that cannot be prepared (e.g. unsatisfiable preconditions) are
+/// skipped, mirroring the paper's use of only the compilable subset.
+pub fn improvability(
+    benchmarks: &[FPCore],
+    samples: usize,
+    seed: u64,
+    config: &AnalysisConfig,
+) -> ImprovabilitySummary {
+    let options = ImprovementOptions::default();
+    let mut summary = ImprovabilitySummary::default();
+    for core in benchmarks {
+        let Ok(prepared) = prepare(core, samples, seed) else {
+            continue;
+        };
+        // Oracle: improve the source expression directly.
+        let Ok(oracle) = improve(core, &prepared.inputs, &options) else {
+            continue;
+        };
+        let Ok(report) = prepared.run_herbgrind(config) else {
+            continue;
+        };
+        // Herbgrind's candidates: feed each reported root cause back to the
+        // improvement oracle on inputs sampled from the reported ranges.
+        let mut root_cause_improvable = false;
+        for cause_core in report.root_cause_cores() {
+            let Ok(cause_inputs) = herbie_lite::sample_inputs(&cause_core, samples, seed) else {
+                continue;
+            };
+            if let Ok(result) = improve(&cause_core, &cause_inputs, &options) {
+                if result.had_significant_error(&options) && result.improved {
+                    root_cause_improvable = true;
+                    break;
+                }
+            }
+        }
+        let row = ImprovabilityRow {
+            name: core.display_name().to_string(),
+            oracle_error_bits: oracle.original_error_bits,
+            oracle_improvable: oracle.improved,
+            herbgrind_detected: report.has_significant_error(),
+            herbgrind_has_candidate: !report.all_root_causes().is_empty(),
+            root_cause_improvable,
+        };
+        summary.total += 1;
+        if oracle.original_error_bits > options.significant_error_bits {
+            summary.significant += 1;
+            if row.oracle_improvable {
+                summary.oracle_improvable += 1;
+            }
+            if row.herbgrind_detected {
+                summary.detected_by_herbgrind += 1;
+            }
+            if row.root_cause_improvable {
+                summary.improvable_root_causes += 1;
+            }
+        }
+        summary.rows.push(row);
+    }
+    summary
+}
+
+impl ImprovabilitySummary {
+    /// Renders the summary as the §8.1 prose numbers.
+    pub fn to_text(&self) -> String {
+        format!(
+            "of {} benchmarks, {} have significant error (>5 bits); \
+             Herbgrind detects {} of them; the oracle improves {}; \
+             Herbgrind produces improvable root causes for {}",
+            self.total,
+            self.significant,
+            self.detected_by_herbgrind,
+            self.oracle_improvable,
+            self.improvable_root_causes
+        )
+    }
+}
+
+/// One point of the Figure 5a sweep: a local-error threshold and how many
+/// operations were flagged across the suite.
+#[derive(Clone, Debug)]
+pub struct ThresholdPoint {
+    /// The local-error threshold in bits.
+    pub threshold_bits: f64,
+    /// Operations flagged as candidate root causes across all benchmarks.
+    pub flagged_operations: usize,
+    /// Spots with significant error across all benchmarks.
+    pub erroneous_spots: usize,
+}
+
+/// Sweeps the local-error threshold (Figure 5a).
+pub fn threshold_sweep(
+    benchmarks: &[FPCore],
+    samples: usize,
+    seed: u64,
+    thresholds: &[f64],
+) -> Vec<ThresholdPoint> {
+    thresholds
+        .iter()
+        .map(|&threshold_bits| {
+            let config = AnalysisConfig::default().with_local_error_threshold(threshold_bits);
+            let mut flagged = 0usize;
+            let mut erroneous_spots = 0usize;
+            for core in benchmarks {
+                if let Ok(prepared) = prepare(core, samples, seed) {
+                    if let Ok(report) = prepared.run_herbgrind(&config) {
+                        flagged += report.flagged_operations;
+                        erroneous_spots += report.spots.len();
+                    }
+                }
+            }
+            ThresholdPoint {
+                threshold_bits,
+                flagged_operations: flagged,
+                erroneous_spots,
+            }
+        })
+        .collect()
+}
+
+/// One point of the Figure 5b comparison: a range kind and how many
+/// benchmarks end up with improvable root causes under it.
+#[derive(Clone, Debug)]
+pub struct RangeKindPoint {
+    /// The configuration evaluated.
+    pub kind: RangeKind,
+    /// Benchmarks whose Herbgrind root cause the oracle could improve.
+    pub improvable_root_causes: usize,
+    /// Benchmarks with significant error (denominator).
+    pub significant: usize,
+}
+
+/// Compares the three input-characteristic configurations (Figure 5b).
+pub fn range_kind_sweep(benchmarks: &[FPCore], samples: usize, seed: u64) -> Vec<RangeKindPoint> {
+    [RangeKind::None, RangeKind::Single, RangeKind::SignSplit]
+        .into_iter()
+        .map(|kind| {
+            let config = AnalysisConfig::default().with_range_kind(kind);
+            let summary = improvability(benchmarks, samples, seed, &config);
+            RangeKindPoint {
+                kind,
+                improvable_root_causes: summary.improvable_root_causes,
+                significant: summary.significant,
+            }
+        })
+        .collect()
+}
+
+/// One point of the Figure 5c/5d sweep: a maximum expression depth, the
+/// analysis runtime, and the number of improvable root causes.
+#[derive(Clone, Debug)]
+pub struct DepthPoint {
+    /// The maximum expression depth.
+    pub depth: usize,
+    /// Wall-clock seconds spent in the analysis across the suite.
+    pub analysis_seconds: f64,
+    /// Benchmarks with improvable Herbgrind root causes.
+    pub improvable_root_causes: usize,
+    /// Benchmarks with significant error.
+    pub significant: usize,
+}
+
+/// Sweeps the maximum expression depth (Figures 5c and 5d).
+pub fn depth_sweep(
+    benchmarks: &[FPCore],
+    samples: usize,
+    seed: u64,
+    depths: &[usize],
+) -> Vec<DepthPoint> {
+    depths
+        .iter()
+        .map(|&depth| {
+            let config = AnalysisConfig::default().with_max_expression_depth(depth);
+            let start = std::time::Instant::now();
+            let summary = improvability(benchmarks, samples, seed, &config);
+            DepthPoint {
+                depth,
+                analysis_seconds: start.elapsed().as_secs_f64(),
+                improvable_root_causes: summary.improvable_root_causes,
+                significant: summary.significant,
+            }
+        })
+        .collect()
+}
+
+/// The library-wrapping comparison (§8.2): expression sizes with wrapping on
+/// and off.
+#[derive(Clone, Debug, Default)]
+pub struct WrappingComparison {
+    /// Number of problematic (flagged) expressions with wrapping enabled.
+    pub wrapped_flagged: usize,
+    /// Number of problematic expressions with wrapping disabled.
+    pub unwrapped_flagged: usize,
+    /// Largest reported expression (operation count) with wrapping enabled.
+    pub wrapped_max_ops: usize,
+    /// Largest reported expression with wrapping disabled.
+    pub unwrapped_max_ops: usize,
+    /// Reported expressions larger than 9 operations, wrapping enabled.
+    pub wrapped_over_9: usize,
+    /// Reported expressions larger than 9 operations, wrapping disabled.
+    pub unwrapped_over_9: usize,
+}
+
+/// Runs the library-wrapping ablation (§8.2) over the given benchmarks.
+///
+/// # Errors
+///
+/// Propagates driver errors only if *every* benchmark fails; individual
+/// failures are skipped.
+pub fn wrapping_comparison(
+    benchmarks: &[FPCore],
+    samples: usize,
+    seed: u64,
+    config: &AnalysisConfig,
+) -> Result<WrappingComparison, DriverError> {
+    let mut out = WrappingComparison::default();
+    let mut any = false;
+    for core in benchmarks {
+        let Ok(prepared) = prepare(core, samples, seed) else {
+            continue;
+        };
+        let (Ok(wrapped), Ok(unwrapped)) = (
+            prepared.run_herbgrind(config),
+            prepared.run_herbgrind_unwrapped(config),
+        ) else {
+            continue;
+        };
+        any = true;
+        for (report, flagged, max_ops, over9) in [
+            (
+                &wrapped,
+                &mut out.wrapped_flagged,
+                &mut out.wrapped_max_ops,
+                &mut out.wrapped_over_9,
+            ),
+            (
+                &unwrapped,
+                &mut out.unwrapped_flagged,
+                &mut out.unwrapped_max_ops,
+                &mut out.unwrapped_over_9,
+            ),
+        ] {
+            *flagged += report.flagged_operations;
+            for cause in report.all_root_causes() {
+                let ops = cause.symbolic.operation_count();
+                *max_ops = (*max_ops).max(ops);
+                if ops > 9 {
+                    *over9 += 1;
+                }
+            }
+        }
+    }
+    if any {
+        Ok(out)
+    } else {
+        Err(DriverError::Compile("no benchmark could be prepared".to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{by_name, subset};
+
+    fn small_suite() -> Vec<FPCore> {
+        // A handful of benchmarks that exercise both erroneous and clean
+        // behaviour, kept small so tests stay fast.
+        [
+            "NMSE example 3.1",
+            "NMSE section 3.5",
+            "verhulst",
+            "plotter complex sqrt",
+            "sineOrder3",
+        ]
+        .iter()
+        .map(|n| by_name(n).expect("benchmark present"))
+        .collect()
+    }
+
+    #[test]
+    fn improvability_experiment_produces_sensible_counts() {
+        let summary = improvability(&small_suite(), 40, 3, &AnalysisConfig::default());
+        assert_eq!(summary.total, 5);
+        // The cancellation benchmarks are significant and detected; verhulst
+        // and sineOrder3 are accurate.
+        assert!(summary.significant >= 2, "{}", summary.to_text());
+        assert!(summary.detected_by_herbgrind >= 2, "{}", summary.to_text());
+        assert!(summary.improvable_root_causes >= 1, "{}", summary.to_text());
+        assert!(summary.significant <= summary.total);
+        assert!(summary.improvable_root_causes <= summary.significant);
+    }
+
+    #[test]
+    fn threshold_sweep_is_monotone() {
+        let points = threshold_sweep(&small_suite(), 25, 3, &[1.0, 16.0, 40.0]);
+        assert_eq!(points.len(), 3);
+        // Higher thresholds flag fewer (or equal) operations.
+        assert!(points[0].flagged_operations >= points[1].flagged_operations);
+        assert!(points[1].flagged_operations >= points[2].flagged_operations);
+    }
+
+    #[test]
+    fn depth_sweep_reports_fewer_improvements_at_depth_one() {
+        let benches = vec![by_name("NMSE example 3.1").unwrap(), by_name("plotter complex sqrt").unwrap()];
+        let points = depth_sweep(&benches, 40, 3, &[1, 10]);
+        assert_eq!(points.len(), 2);
+        // Depth 1 (FpDebug-like) produces single-operation expressions which
+        // the oracle cannot improve; full depth can.
+        assert!(points[1].improvable_root_causes >= points[0].improvable_root_causes);
+        assert!(points[1].improvable_root_causes >= 1);
+        assert_eq!(points[0].improvable_root_causes, 0);
+    }
+
+    #[test]
+    fn wrapping_comparison_shows_larger_expressions_unwrapped() {
+        let benches = vec![by_name("NMSE section 3.5").unwrap(), by_name("NMSE problem 3.3.6").unwrap()];
+        let cmp = wrapping_comparison(&benches, 25, 3, &AnalysisConfig::default()).unwrap();
+        assert!(
+            cmp.unwrapped_max_ops > cmp.wrapped_max_ops,
+            "unwrapped {} vs wrapped {}",
+            cmp.unwrapped_max_ops,
+            cmp.wrapped_max_ops
+        );
+    }
+
+    #[test]
+    fn subset_of_full_suite_runs_through_improvability() {
+        // A smoke test over the first few suite entries to make sure the
+        // full-suite driver path works end to end.
+        let summary = improvability(&subset(6), 15, 5, &AnalysisConfig::default());
+        assert!(summary.total >= 5);
+    }
+}

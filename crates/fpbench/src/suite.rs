@@ -1,0 +1,235 @@
+//! The embedded FPCore benchmark corpus.
+//!
+//! The paper evaluates on the FPBench general-purpose suite (86 benchmarks
+//! at the time). This module embeds a corpus in the same FPCore format,
+//! drawn from the same well-known sources the public suite collects:
+//! Hamming's *Numerical Methods for Scientists and Engineers* (the NMSE
+//! problems), the Rosa/Daisy verification benchmarks, Herbie's example
+//! suite, and a few loop kernels. The corpus is re-typed here rather than
+//! vendored (no network access), so benchmark counts differ slightly from
+//! the paper; EXPERIMENTS.md reports results against this corpus.
+
+use fpcore::{parse_cores, FPCore};
+
+/// The FPCore source text of the whole suite.
+pub const SUITE_SOURCE: &str = r#"
+;; ---- Hamming / NMSE style cancellation benchmarks ----
+(FPCore (x) :name "NMSE example 3.1" :pre (<= 1 x 1e15) (- (sqrt (+ x 1)) (sqrt x)))
+(FPCore (x eps) :name "NMSE example 3.3" :pre (and (<= 1e-3 x 1.5) (<= 1e-14 eps 1e-6)) (- (sin (+ x eps)) (sin x)))
+(FPCore (x) :name "NMSE example 3.4" :pre (<= 1e-9 x 1e-3) (/ (- 1 (cos x)) (sin x)))
+(FPCore (N) :name "NMSE example 3.5" :pre (<= 1 N 1e12) (- (atan (+ N 1)) (atan N)))
+(FPCore (x) :name "NMSE example 3.6" :pre (<= 1 x 1e14) (- (/ 1 (sqrt x)) (/ 1 (sqrt (+ x 1)))))
+(FPCore (x) :name "NMSE problem 3.3.1" :pre (<= 1 x 1e14) (- (/ 1 (+ x 1)) (/ 1 x)))
+(FPCore (x eps) :name "NMSE problem 3.3.2" :pre (and (<= 1e-3 x 1.5) (<= 1e-14 eps 1e-6)) (- (tan (+ x eps)) (tan x)))
+(FPCore (x) :name "NMSE problem 3.3.3" :pre (<= 1 x 1e12) (+ (- (/ 1 (+ x 1)) (/ 2 x)) (/ 1 (- x 1))))
+(FPCore (x) :name "NMSE problem 3.3.4" :pre (<= 1 x 1e13) (- (pow (+ x 1) (/ 1 3)) (pow x (/ 1 3))))
+(FPCore (x eps) :name "NMSE problem 3.3.5" :pre (and (<= 1e-3 x 1.5) (<= 1e-14 eps 1e-7)) (- (cos (+ x eps)) (cos x)))
+(FPCore (N) :name "NMSE problem 3.3.6" :pre (<= 10 N 1e12) (- (log (+ N 1)) (log N)))
+(FPCore (x) :name "NMSE problem 3.3.7" :pre (<= 1e-12 x 1e-5) (+ (- (exp x) 2) (exp (- x))))
+(FPCore (x) :name "NMSE problem 3.4.1" :pre (<= 1e-9 x 1e-3) (/ (- 1 (cos x)) (* x x)))
+(FPCore (a b eps) :name "NMSE problem 3.4.2" :pre (and (<= 1 a 10) (<= 1 b 10) (<= 1e-14 eps 1e-6)) (/ (* eps (- (exp (* (+ a b) eps)) 1)) (* (- (exp (* a eps)) 1) (- (exp (* b eps)) 1))))
+(FPCore (eps) :name "NMSE problem 3.4.3" :pre (<= 1e-12 eps 1e-6) (log (/ (- 1 eps) (+ 1 eps))))
+(FPCore (x) :name "NMSE problem 3.4.4" :pre (<= 1e-9 x 1) (sqrt (/ (- (exp (* 2 x)) 1) (- (exp x) 1))))
+(FPCore (x) :name "NMSE problem 3.4.5" :pre (<= 1e-9 x 1e-2) (/ (- x (sin x)) (- x (tan x))))
+(FPCore (x n) :name "NMSE problem 3.4.6" :pre (and (<= 1 x 1e8) (<= 1 n 40)) (- (pow (+ x 1) (/ 1 n)) (pow x (/ 1 n))))
+(FPCore (x) :name "NMSE section 3.5" :pre (<= 1e-14 x 1e-6) (- (exp x) 1))
+(FPCore (x) :name "NMSE section 3.11" :pre (<= 1e-14 x 1e-6) (/ (- (exp x) 1) x))
+(FPCore (x) :name "expm1 over x squared" :pre (<= 1e-12 x 1e-6) (/ (- (exp x) 1) (* x x)))
+(FPCore (x) :name "log of one plus" :pre (<= 1e-16 x 1e-8) (log (+ 1 x)))
+(FPCore (x) :name "one minus cosine" :pre (<= 1e-9 x 1e-4) (- 1 (cos x)))
+(FPCore (x y) :name "difference of squares" :pre (and (<= 1e3 x 1e8) (<= 1e3 y 1e8)) (- (* x x) (* y y)))
+
+;; ---- Quadratic formula family (Herbie examples) ----
+(FPCore (a b c) :name "quadratic root (positive)" :pre (and (<= 1e-3 a 1) (<= 1e3 b 1e8) (<= 1e-3 c 1)) (/ (+ (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a)))
+(FPCore (a b c) :name "quadratic root (negative)" :pre (and (<= 1e-3 a 1) (<= 1e3 b 1e8) (<= 1e-3 c 1)) (/ (- (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a)))
+(FPCore (a b2 c) :name "quadratic midpoint form" :pre (and (<= 1e-3 a 1) (<= 1e3 b2 1e7) (<= 1e-3 c 1)) (/ (+ (- b2) (sqrt (- (* b2 b2) (* a c)))) a))
+(FPCore (x) :name "2sqrt" :pre (<= 1 x 1e15) (- (sqrt (+ x 1)) (sqrt x)))
+(FPCore (x) :name "expq2" :pre (<= 1e-14 x 1e-7) (/ (- (exp x) 1) (- (exp x) (exp (- x)))))
+(FPCore (x y) :name "plotter complex sqrt" :pre (and (<= 1e-9 x 0.25) (<= 1e-12 y 1e-8)) (- (sqrt (+ (* x x) (* y y))) x))
+(FPCore (x y) :name "hypotenuse minus leg" :pre (and (<= 1 x 1e7) (<= 1e-8 y 1e-2)) (- (sqrt (+ (* x x) (* y y))) x))
+(FPCore (a b) :name "asinh-like log form" :pre (and (<= 1e-8 a 1) (<= 1 b 1e8)) (log (+ b (sqrt (+ (* b b) a)))))
+
+;; ---- Rosa / Daisy verification kernels ----
+(FPCore (u v T) :name "doppler1" :pre (and (<= -100 u 100) (<= 20 v 20000) (<= -30 T 50))
+  (let ((t1 (+ 331.4 (* 0.6 T)))) (/ (* (- t1) v) (* (+ t1 u) (+ t1 u)))))
+(FPCore (u v T) :name "doppler2" :pre (and (<= -125 u 125) (<= 15 v 25000) (<= -40 T 60))
+  (let ((t1 (+ 331.4 (* 0.6 T)))) (/ (* (- t1) v) (* (+ t1 u) (+ t1 u)))))
+(FPCore (u v T) :name "doppler3" :pre (and (<= -30 u 120) (<= 320 v 20300) (<= -50 T 30))
+  (let ((t1 (+ 331.4 (* 0.6 T)))) (/ (* (- t1) v) (* (+ t1 u) (+ t1 u)))))
+(FPCore (x1 x2 x3) :name "rigidBody1" :pre (and (<= -15 x1 15) (<= -15 x2 15) (<= -15 x3 15))
+  (- (- (+ (- (* x1 x2)) (* (* 2 x2) x3)) x1) x3))
+(FPCore (x1 x2 x3) :name "rigidBody2" :pre (and (<= -15 x1 15) (<= -15 x2 15) (<= -15 x3 15))
+  (- (+ (- (+ (* (* (* 2 x1) x2) x3) (* (* 3 x3) x3)) (* (* (* x2 x1) x2) x3)) (* (* 3 x3) x3)) x2))
+(FPCore (v w r) :name "turbine1" :pre (and (<= -4.5 v -0.3) (<= 0.4 w 0.9) (<= 3.8 r 7.8))
+  (- (- (+ 3 (/ 2 (* r r))) (/ (* (* 0.125 (- 3 (* 2 v))) (* (* w w) r)) (- 1 v))) 4.5))
+(FPCore (v w r) :name "turbine2" :pre (and (<= -4.5 v -0.3) (<= 0.4 w 0.9) (<= 3.8 r 7.8))
+  (- (- (* 6 v) (/ (* (* 0.5 v) (* (* w w) r)) (- 1 v))) 2.5))
+(FPCore (v w r) :name "turbine3" :pre (and (<= -4.5 v -0.3) (<= 0.4 w 0.9) (<= 3.8 r 7.8))
+  (- (- (- 3 (/ 2 (* r r))) (/ (* (* 0.125 (+ 1 (* 2 v))) (* (* w w) r)) (- 1 v))) 0.5))
+(FPCore (x1 x2) :name "jetEngine" :pre (and (<= -5 x1 5) (<= -20 x2 5))
+  (let ((t (/ (* (* 3 x1) x1) (+ (* x1 x1) 1))))
+    (+ x1 (+ (* (* (* (* (* (* 2 x1) t) (- t 3)) (+ (* x1 x1) (* (* x1 t) (- t 6)))) (- t 3)) (/ 1 (+ (* x1 x1) 1))) (* (* 3 x1) x1)))))
+(FPCore (T) :name "carbonGas" :pre (<= 300 T 400)
+  (let ((p 3.5e7) (a 0.401) (b 42.7e-6) (N 1000) (V 0.5))
+    (- (* (+ p (* (* a (/ N V)) (/ N V))) (- V (* N b))) (* (* 1.3806503e-23 N) T))))
+(FPCore (x) :name "verhulst" :pre (<= 0.1 x 0.3)
+  (let ((r 4.0) (K 1.11)) (/ (* r x) (+ 1 (/ x K)))))
+(FPCore (x) :name "predatorPrey" :pre (<= 0.1 x 0.3)
+  (let ((r 4.0) (K 1.11)) (/ (* (* r x) x) (+ 1 (* (/ x K) (/ x K))))))
+(FPCore (v) :name "sine" :pre (<= -1.57 v 1.57)
+  (+ (- v (/ (* (* v v) v) 6)) (- (/ (* (* (* (* v v) v) v) v) 120) (/ (pow v 7) 5040))))
+(FPCore (x) :name "sineOrder3" :pre (<= -2 x 2)
+  (- (* 0.954929658551372 x) (* 0.12900613773279798 (* (* x x) x))))
+(FPCore (x) :name "sqroot" :pre (<= 0 x 1)
+  (- (+ (- (+ 1 (* 0.5 x)) (* (* 0.125 x) x)) (* (* (* 0.0625 x) x) x)) (* (* (* (* 0.0390625 x) x) x) x)))
+(FPCore (x1 x2) :name "kepler0-reduced" :pre (and (<= 4 x1 6.36) (<= 4 x2 6.36))
+  (- (* x1 x2) (+ x1 x2)))
+(FPCore (x1 x2 x3) :name "kepler1" :pre (and (<= 4 x1 6.36) (<= 4 x2 6.36) (<= 4 x3 6.36))
+  (- (- (- (+ (* x1 x2) (* x2 x3)) (* x1 x3)) (* x2 x2)) 1))
+(FPCore (x1 x2 x3) :name "himmilbeau" :pre (and (<= -5 x1 5) (<= -5 x2 5) (<= -5 x3 5))
+  (+ (* (- (+ (* x1 x1) x2) 11) (- (+ (* x1 x1) x2) 11)) (* (- (+ x1 (* x2 x2)) 7) (- (+ x1 (* x2 x2)) 7))))
+
+;; ---- Geometry and physics fragments ----
+(FPCore (a b c) :name "triangle area (Heron)" :pre (and (<= 1 a 1e6) (<= 1 b 1e6) (<= 1e-6 c 1))
+  (let ((s (/ (+ (+ a b) c) 2))) (sqrt (* (* (* s (- s a)) (- s b)) (- s c)))))
+(FPCore (x y) :name "atan2 quotient" :pre (and (<= 1e-8 x 10) (<= 1e-8 y 10)) (atan2 y x))
+(FPCore (x0 y0 x1 y1) :name "segment length" :pre (and (<= 0 x0 1) (<= 0 y0 1) (<= 0 x1 1) (<= 0 y1 1))
+  (sqrt (+ (* (- x1 x0) (- x1 x0)) (* (- y1 y0) (- y1 y0)))))
+(FPCore (x y z) :name "dot product near cancellation" :pre (and (<= 1e6 x 1e8) (<= -1e8 y -1e6) (<= 0 z 1))
+  (+ (+ (* x 1.0) (* y 1.0)) z))
+(FPCore (m1 m2 r) :name "gravitational force" :pre (and (<= 1 m1 1e10) (<= 1 m2 1e10) (<= 1e-3 r 1e3))
+  (/ (* (* 6.674e-11 m1) m2) (* r r)))
+(FPCore (v c) :name "lorentz factor" :pre (and (<= 1 v 1e6) (<= 2.9e8 c 3e8))
+  (/ 1 (sqrt (- 1 (/ (* v v) (* c c))))))
+(FPCore (theta) :name "haversine core" :pre (<= 1e-8 theta 1e-3)
+  (* 2 (asin (sqrt (* (sin (/ theta 2)) (sin (/ theta 2)))))))
+(FPCore (x) :name "logit" :pre (<= 1e-8 x 0.5) (log (/ x (- 1 x))))
+(FPCore (x) :name "sigmoid tail" :pre (<= 20 x 700) (/ 1 (+ 1 (exp (- x)))))
+(FPCore (p q) :name "relative difference" :pre (and (<= 1e6 p 1e9) (<= 1e6 q 1e9)) (/ (- p q) (+ p q)))
+(FPCore (x) :name "tanh via exp" :pre (<= 1e-9 x 1e-3) (/ (- (exp x) (exp (- x))) (+ (exp x) (exp (- x)))))
+(FPCore (x) :name "cosine distance tail" :pre (<= 1e-8 x 1e-3) (- 1 (* (cos x) (cos x))))
+(FPCore (a x) :name "pow near one" :pre (and (<= 0.999999 a 1.000001) (<= 1e6 x 1e9)) (pow a x))
+(FPCore (x) :name "cube root difference" :pre (<= 1 x 1e12) (- (cbrt (+ x 1)) (cbrt x)))
+(FPCore (x y) :name "harmonic mean" :pre (and (<= 1e-6 x 1e6) (<= 1e-6 y 1e6)) (/ 2 (+ (/ 1 x) (/ 1 y))))
+(FPCore (x) :name "softplus tail" :pre (<= 30 x 700) (log (+ 1 (exp x))))
+(FPCore (x mu sigma) :name "gaussian exponent" :pre (and (<= -1 x 1) (<= -1 mu 1) (<= 1e-3 sigma 1))
+  (exp (- (/ (* (- x mu) (- x mu)) (* (* 2 sigma) sigma)))))
+(FPCore (x) :name "inverse sqrt difference" :pre (<= 1 x 1e13) (- (/ 1 (sqrt x)) (/ 1 (sqrt (+ x 2)))))
+(FPCore (a b) :name "log sum exp (two)" :pre (and (<= 600 a 700) (<= 600 b 700)) (log (+ (exp a) (exp b))))
+(FPCore (x) :name "compound interest error" :pre (<= 1e5 x 1e9) (- (pow (+ 1 (/ 1 x)) x) E))
+(FPCore (r) :name "circle area delta" :pre (<= 1e3 r 1e8) (- (* PI (* (+ r 1e-6) (+ r 1e-6))) (* PI (* r r))))
+
+;; ---- Polynomial / series kernels ----
+(FPCore (x) :name "exp taylor 5" :pre (<= -1 x 1)
+  (+ 1 (+ x (+ (/ (* x x) 2) (+ (/ (* (* x x) x) 6) (/ (* (* (* x x) x) x) 24))))))
+(FPCore (x) :name "log1p series" :pre (<= -0.5 x 0.5)
+  (- x (- (/ (* x x) 2) (/ (* (* x x) x) 3))))
+(FPCore (x) :name "horner cubic" :pre (<= -10 x 10)
+  (+ 1 (* x (+ 2 (* x (+ 3 (* x 4)))))))
+(FPCore (x) :name "naive cubic" :pre (<= -10 x 10)
+  (+ (+ (+ 1 (* 2 x)) (* 3 (* x x))) (* 4 (* (* x x) x))))
+(FPCore (x) :name "wilkinson-ish product" :pre (<= 0.9999999 x 1.0000001)
+  (* (* (* (- x 1) (- x 2)) (- x 3)) (- x 4)))
+(FPCore (x) :name "catastrophic quadratic" :pre (<= 1e7 x 1e8)
+  (+ (- (* x x) (* 2 x)) 1))
+
+;; ---- Loop kernels (while) ----
+(FPCore (N) :name "harmonic sum loop" :pre (<= 10 N 2000)
+  (while (<= i N) ((i 1 (+ i 1)) (s 0 (+ s (/ 1 i)))) s))
+(FPCore (N) :name "pid-style counter loop" :pre (<= 5 N 50)
+  (while (< t N) ((t 0 (+ t 0.2)) (c 0 (+ c 1))) c))
+(FPCore (N) :name "naive variance accumulation" :pre (<= 10 N 500)
+  (while (<= i N) ((i 1 (+ i 1)) (s 0 (+ s (* (+ 1e8 i) (+ 1e8 i)))) (q 0 (+ q (+ 1e8 i))))
+    (- (/ s N) (* (/ q N) (/ q N)))))
+(FPCore (N) :name "alternating series" :pre (<= 10 N 1000)
+  (while (<= i N) ((i 1 (+ i 1)) (sign 1 (- 0 sign)) (s 0 (+ s (/ sign i)))) s))
+(FPCore (x0 N) :name "newton sqrt iteration" :pre (and (<= 1 x0 100) (<= 1 N 20))
+  (while (<= i N) ((i 1 (+ i 1)) (g x0 (* 0.5 (+ g (/ x0 g))))) g))
+(FPCore (N) :name "compensation-free running sum" :pre (<= 10 N 2000)
+  (while (<= i N) ((i 1 (+ i 1)) (s 0 (+ s 0.1))) (- s (* 0.1 N))))
+"#;
+
+/// Returns the parsed benchmark suite.
+///
+/// # Panics
+///
+/// Panics if the embedded suite fails to parse (a build-time invariant
+/// guarded by tests).
+pub fn suite() -> Vec<FPCore> {
+    parse_cores(SUITE_SOURCE).expect("embedded FPBench suite parses")
+}
+
+/// Returns the benchmark with the given `:name`, if present.
+pub fn by_name(name: &str) -> Option<FPCore> {
+    suite().into_iter().find(|c| c.display_name() == name)
+}
+
+/// Returns a deterministic subset of the suite of at most `limit` benchmarks
+/// (used by the quicker benchmark harnesses).
+pub fn subset(limit: usize) -> Vec<FPCore> {
+    let mut all = suite();
+    all.truncate(limit);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_parses_and_is_reasonably_large() {
+        let cores = suite();
+        assert!(cores.len() >= 60, "only {} benchmarks", cores.len());
+    }
+
+    #[test]
+    fn every_benchmark_has_a_name_and_a_precondition_or_no_args() {
+        for core in suite() {
+            assert!(core.name.is_some(), "unnamed benchmark");
+            assert!(
+                core.pre.is_some() || core.arguments.is_empty(),
+                "{} has arguments but no precondition",
+                core.display_name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let cores = suite();
+        let mut names: Vec<&str> = cores.iter().map(|c| c.display_name()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate benchmark names");
+    }
+
+    #[test]
+    fn every_benchmark_compiles_and_runs() {
+        for core in suite() {
+            let program = fpvm::compile_core(&core, Default::default())
+                .unwrap_or_else(|e| panic!("{} fails to compile: {e}", core.display_name()));
+            program
+                .validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", core.display_name()));
+            // Run on one sampled input to make sure the program terminates.
+            let inputs = herbie_lite::sample_inputs(&core, 1, 1)
+                .unwrap_or_else(|e| panic!("{} unsampleable: {e}", core.display_name()));
+            fpvm::Machine::new(&program)
+                .run(&inputs[0])
+                .unwrap_or_else(|e| panic!("{} failed to run: {e}", core.display_name()));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        assert!(by_name("doppler1").is_some());
+        assert!(by_name("no such benchmark").is_none());
+    }
+
+    #[test]
+    fn subset_truncates_deterministically() {
+        assert_eq!(subset(5).len(), 5);
+        assert_eq!(subset(5)[0].display_name(), subset(10)[0].display_name());
+    }
+}

@@ -1,0 +1,448 @@
+//! Abstract syntax for FPCore expressions and top-level cores.
+
+use shadowreal::RealOp;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named mathematical constant usable in FPCore expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Constant {
+    Pi,
+    HalfPi,
+    E,
+    Ln2,
+    Infinity,
+    NegInfinity,
+    Nan,
+    True,
+    False,
+}
+
+impl Constant {
+    /// The FPCore spelling of the constant.
+    pub fn name(self) -> &'static str {
+        match self {
+            Constant::Pi => "PI",
+            Constant::HalfPi => "PI_2",
+            Constant::E => "E",
+            Constant::Ln2 => "LN2",
+            Constant::Infinity => "INFINITY",
+            Constant::NegInfinity => "-INFINITY",
+            Constant::Nan => "NAN",
+            Constant::True => "TRUE",
+            Constant::False => "FALSE",
+        }
+    }
+
+    /// Looks up a constant by its FPCore spelling.
+    pub fn from_name(name: &str) -> Option<Constant> {
+        Some(match name {
+            "PI" => Constant::Pi,
+            "PI_2" => Constant::HalfPi,
+            "E" => Constant::E,
+            "LN2" => Constant::Ln2,
+            "INFINITY" => Constant::Infinity,
+            "-INFINITY" => Constant::NegInfinity,
+            "NAN" => Constant::Nan,
+            "TRUE" => Constant::True,
+            "FALSE" => Constant::False,
+            _ => return None,
+        })
+    }
+
+    /// The double-precision value of the constant (for `TRUE`/`FALSE`, 1/0).
+    pub fn value(self) -> f64 {
+        match self {
+            Constant::Pi => std::f64::consts::PI,
+            Constant::HalfPi => std::f64::consts::FRAC_PI_2,
+            Constant::E => std::f64::consts::E,
+            Constant::Ln2 => std::f64::consts::LN_2,
+            Constant::Infinity => f64::INFINITY,
+            Constant::NegInfinity => f64::NEG_INFINITY,
+            Constant::Nan => f64::NAN,
+            Constant::True => 1.0,
+            Constant::False => 0.0,
+        }
+    }
+}
+
+/// A comparison operator appearing in preconditions and `if` tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    /// The FPCore spelling of the operator.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    /// Evaluates the comparison on an adjacent pair ordering result.
+    pub fn holds(self, ord: Option<std::cmp::Ordering>) -> bool {
+        use std::cmp::Ordering::*;
+        match (self, ord) {
+            (_, None) => matches!(self, CmpOp::Ne),
+            (CmpOp::Lt, Some(Less)) => true,
+            (CmpOp::Le, Some(Less | Equal)) => true,
+            (CmpOp::Gt, Some(Greater)) => true,
+            (CmpOp::Ge, Some(Greater | Equal)) => true,
+            (CmpOp::Eq, Some(Equal)) => true,
+            (CmpOp::Ne, Some(Less | Greater)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// An FPCore expression.
+///
+/// Numeric and boolean expressions share one type, as in the FPCore
+/// standard; evaluation reports an error when a boolean is used where a
+/// number is required and vice versa.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A numeric literal.
+    Number(f64),
+    /// A named constant.
+    Const(Constant),
+    /// A variable reference.
+    Var(String),
+    /// An application of a floating-point operation.
+    Op(RealOp, Vec<Expr>),
+    /// A chained comparison, e.g. `(< a b c)`.
+    Cmp(CmpOp, Vec<Expr>),
+    /// Logical conjunction.
+    And(Vec<Expr>),
+    /// Logical disjunction.
+    Or(Vec<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// A conditional expression.
+    If {
+        /// The boolean test.
+        cond: Box<Expr>,
+        /// Value when the test holds.
+        then: Box<Expr>,
+        /// Value when the test fails.
+        otherwise: Box<Expr>,
+    },
+    /// Parallel (`let`) or sequential (`let*`) bindings.
+    Let {
+        /// True for `let*` (sequential) binding semantics.
+        sequential: bool,
+        /// The bound names and their defining expressions.
+        bindings: Vec<(String, Expr)>,
+        /// The body evaluated with the bindings in scope.
+        body: Box<Expr>,
+    },
+    /// A `while` loop: iteration variables with initial and update
+    /// expressions, a condition, and a result body.
+    While {
+        /// True for `while*` (sequential update) semantics.
+        sequential: bool,
+        /// The loop condition.
+        cond: Box<Expr>,
+        /// `(name, init, update)` triples.
+        vars: Vec<(String, Expr, Expr)>,
+        /// The value of the loop once the condition fails.
+        body: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a variable.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Convenience constructor for a numeric literal.
+    pub fn num(value: f64) -> Expr {
+        Expr::Number(value)
+    }
+
+    /// Convenience constructor for an operation.
+    pub fn op(op: RealOp, args: Vec<Expr>) -> Expr {
+        Expr::Op(op, args)
+    }
+
+    /// All free variables of the expression, in first-use order.
+    pub fn free_variables(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        let mut bound = Vec::new();
+        self.collect_free(&mut bound, &mut seen);
+        seen
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            Expr::Number(_) | Expr::Const(_) => {}
+            Expr::Var(name) => {
+                if !bound.contains(name) && !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Op(_, args) | Expr::Cmp(_, args) | Expr::And(args) | Expr::Or(args) => {
+                for a in args {
+                    a.collect_free(bound, out);
+                }
+            }
+            Expr::Not(inner) => inner.collect_free(bound, out),
+            Expr::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                cond.collect_free(bound, out);
+                then.collect_free(bound, out);
+                otherwise.collect_free(bound, out);
+            }
+            Expr::Let {
+                sequential,
+                bindings,
+                body,
+            } => {
+                let depth = bound.len();
+                for (name, expr) in bindings {
+                    expr.collect_free(bound, out);
+                    if *sequential {
+                        bound.push(name.clone());
+                    }
+                }
+                if !*sequential {
+                    for (name, _) in bindings {
+                        bound.push(name.clone());
+                    }
+                }
+                body.collect_free(bound, out);
+                bound.truncate(depth);
+            }
+            Expr::While {
+                cond,
+                vars,
+                body,
+                sequential: _,
+            } => {
+                let depth = bound.len();
+                for (_, init, _) in vars {
+                    init.collect_free(bound, out);
+                }
+                for (name, _, _) in vars {
+                    bound.push(name.clone());
+                }
+                cond.collect_free(bound, out);
+                for (_, _, update) in vars {
+                    update.collect_free(bound, out);
+                }
+                body.collect_free(bound, out);
+                bound.truncate(depth);
+            }
+        }
+    }
+
+    /// The number of operation nodes in the expression (used to report
+    /// expression sizes in the library-wrapping experiment, §8.2).
+    pub fn operation_count(&self) -> usize {
+        match self {
+            Expr::Number(_) | Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Op(_, args) => 1 + args.iter().map(Expr::operation_count).sum::<usize>(),
+            Expr::Cmp(_, args) | Expr::And(args) | Expr::Or(args) => {
+                args.iter().map(Expr::operation_count).sum()
+            }
+            Expr::Not(inner) => inner.operation_count(),
+            Expr::If {
+                cond,
+                then,
+                otherwise,
+            } => cond.operation_count() + then.operation_count() + otherwise.operation_count(),
+            Expr::Let { bindings, body, .. } => {
+                bindings.iter().map(|(_, e)| e.operation_count()).sum::<usize>()
+                    + body.operation_count()
+            }
+            Expr::While {
+                cond, vars, body, ..
+            } => {
+                cond.operation_count()
+                    + vars
+                        .iter()
+                        .map(|(_, i, u)| i.operation_count() + u.operation_count())
+                        .sum::<usize>()
+                    + body.operation_count()
+            }
+        }
+    }
+
+    /// The depth of the expression tree counting only operation nodes.
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Number(_) | Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Op(_, args) => 1 + args.iter().map(Expr::depth).max().unwrap_or(0),
+            Expr::Cmp(_, args) | Expr::And(args) | Expr::Or(args) => {
+                args.iter().map(Expr::depth).max().unwrap_or(0)
+            }
+            Expr::Not(inner) => inner.depth(),
+            Expr::If {
+                cond,
+                then,
+                otherwise,
+            } => cond.depth().max(then.depth()).max(otherwise.depth()),
+            Expr::Let { bindings, body, .. } => bindings
+                .iter()
+                .map(|(_, e)| e.depth())
+                .max()
+                .unwrap_or(0)
+                .max(body.depth()),
+            Expr::While {
+                cond, vars, body, ..
+            } => cond
+                .depth()
+                .max(body.depth())
+                .max(
+                    vars.iter()
+                        .map(|(_, i, u)| i.depth().max(u.depth()))
+                        .max()
+                        .unwrap_or(0),
+                ),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::printer::expr_to_string(self))
+    }
+}
+
+/// A top-level FPCore benchmark: argument list, properties and a body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FPCore {
+    /// The formal argument names.
+    pub arguments: Vec<String>,
+    /// The `:name` property, if present.
+    pub name: Option<String>,
+    /// The `:pre` precondition, if present.
+    pub pre: Option<Expr>,
+    /// Any other string-valued properties (`:cite`, `:description`, ...).
+    pub properties: BTreeMap<String, String>,
+    /// The benchmark body.
+    pub body: Expr,
+}
+
+impl FPCore {
+    /// Creates a core with no properties.
+    pub fn new(arguments: Vec<String>, body: Expr) -> FPCore {
+        FPCore {
+            arguments,
+            name: None,
+            pre: None,
+            properties: BTreeMap::new(),
+            body,
+        }
+    }
+
+    /// The display name: the `:name` property or `"anonymous"`.
+    pub fn display_name(&self) -> &str {
+        self.name.as_deref().unwrap_or("anonymous")
+    }
+}
+
+impl fmt::Display for FPCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::printer::core_to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_round_trip_by_name() {
+        for c in [
+            Constant::Pi,
+            Constant::E,
+            Constant::Infinity,
+            Constant::Nan,
+            Constant::True,
+        ] {
+            assert_eq!(Constant::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Constant::from_name("NOPE"), None);
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Lt.holds(Some(Less)));
+        assert!(!CmpOp::Lt.holds(Some(Equal)));
+        assert!(CmpOp::Le.holds(Some(Equal)));
+        assert!(CmpOp::Ne.holds(None));
+        assert!(!CmpOp::Eq.holds(None));
+        assert!(CmpOp::Ge.holds(Some(Greater)));
+    }
+
+    #[test]
+    fn free_variables_respect_let_binding() {
+        // (let ((y (+ x 1))) (* y z)) has free variables x and z.
+        let expr = Expr::Let {
+            sequential: false,
+            bindings: vec![(
+                "y".to_string(),
+                Expr::op(RealOp::Add, vec![Expr::var("x"), Expr::num(1.0)]),
+            )],
+            body: Box::new(Expr::op(RealOp::Mul, vec![Expr::var("y"), Expr::var("z")])),
+        };
+        assert_eq!(expr.free_variables(), vec!["x".to_string(), "z".to_string()]);
+    }
+
+    #[test]
+    fn free_variables_respect_while_binding() {
+        let expr = Expr::While {
+            sequential: false,
+            cond: Box::new(Expr::Cmp(CmpOp::Lt, vec![Expr::var("i"), Expr::var("n")])),
+            vars: vec![(
+                "i".to_string(),
+                Expr::num(0.0),
+                Expr::op(RealOp::Add, vec![Expr::var("i"), Expr::num(1.0)]),
+            )],
+            body: Box::new(Expr::var("i")),
+        };
+        assert_eq!(expr.free_variables(), vec!["n".to_string()]);
+    }
+
+    #[test]
+    fn operation_count_and_depth() {
+        // sqrt(x*x + y*y) - x  =>  4 ops deep chain of 4.
+        let expr = Expr::op(
+            RealOp::Sub,
+            vec![
+                Expr::op(
+                    RealOp::Sqrt,
+                    vec![Expr::op(
+                        RealOp::Add,
+                        vec![
+                            Expr::op(RealOp::Mul, vec![Expr::var("x"), Expr::var("x")]),
+                            Expr::op(RealOp::Mul, vec![Expr::var("y"), Expr::var("y")]),
+                        ],
+                    )],
+                ),
+                Expr::var("x"),
+            ],
+        );
+        assert_eq!(expr.operation_count(), 5);
+        assert_eq!(expr.depth(), 4);
+    }
+}

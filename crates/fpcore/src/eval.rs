@@ -1,0 +1,409 @@
+//! Reference evaluation of FPCore expressions over any [`Real`] type.
+//!
+//! This evaluator is the "oracle" of the improvability experiment (§8.1): it
+//! evaluates a benchmark both in double precision and with a high-precision
+//! shadow ([`shadowreal::BigFloat`]) directly on the source expression,
+//! bypassing the abstract machine entirely. Comparing the two gives the
+//! ground-truth error of a benchmark independent of Herbgrind.
+
+use crate::ast::{Constant, Expr, FPCore};
+use shadowreal::Real;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The result of evaluating an expression: a number or a boolean.
+#[derive(Clone, Debug)]
+pub enum Value<R> {
+    /// A numeric result.
+    Num(R),
+    /// A boolean result (from comparisons and logical operators).
+    Bool(bool),
+}
+
+impl<R: Real> Value<R> {
+    /// Extracts the numeric payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::TypeMismatch`] if the value is a boolean.
+    pub fn into_num(self) -> Result<R, EvalError> {
+        match self {
+            Value::Num(r) => Ok(r),
+            Value::Bool(_) => Err(EvalError::TypeMismatch("expected a number, got a boolean")),
+        }
+    }
+
+    /// Extracts the boolean payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::TypeMismatch`] if the value is a number.
+    pub fn into_bool(self) -> Result<bool, EvalError> {
+        match self {
+            Value::Bool(b) => Ok(b),
+            Value::Num(_) => Err(EvalError::TypeMismatch("expected a boolean, got a number")),
+        }
+    }
+}
+
+/// Errors produced during evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable was referenced that is not bound.
+    UnboundVariable(String),
+    /// A boolean was used as a number or vice versa.
+    TypeMismatch(&'static str),
+    /// A `while` loop exceeded the iteration budget.
+    LoopBudgetExceeded {
+        /// The configured maximum number of iterations.
+        limit: usize,
+    },
+    /// The number of supplied arguments does not match the core's parameters.
+    ArityMismatch {
+        /// Number of formal parameters.
+        expected: usize,
+        /// Number of supplied arguments.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(name) => write!(f, "unbound variable {name}"),
+            EvalError::TypeMismatch(msg) => write!(f, "type mismatch: {msg}"),
+            EvalError::LoopBudgetExceeded { limit } => {
+                write!(f, "while loop exceeded the {limit}-iteration budget")
+            }
+            EvalError::ArityMismatch { expected, actual } => {
+                write!(f, "expected {expected} arguments, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Default bound on `while` loop iterations, to keep evaluation total.
+pub const DEFAULT_LOOP_LIMIT: usize = 1_000_000;
+
+/// An environment mapping variable names to values.
+pub type Env<R> = HashMap<String, R>;
+
+/// Evaluates an expression in the given environment.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`] for unbound variables, type mismatches, and loop
+/// budget exhaustion.
+pub fn eval_expr<R: Real>(expr: &Expr, env: &Env<R>) -> Result<Value<R>, EvalError> {
+    eval_with_limit(expr, env, DEFAULT_LOOP_LIMIT)
+}
+
+/// Evaluates an expression with an explicit `while`-loop iteration budget.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`] for unbound variables, type mismatches, and loop
+/// budget exhaustion.
+pub fn eval_with_limit<R: Real>(
+    expr: &Expr,
+    env: &Env<R>,
+    loop_limit: usize,
+) -> Result<Value<R>, EvalError> {
+    match expr {
+        Expr::Number(n) => Ok(Value::Num(R::from_f64(*n))),
+        Expr::Const(Constant::True) => Ok(Value::Bool(true)),
+        Expr::Const(Constant::False) => Ok(Value::Bool(false)),
+        Expr::Const(c) => Ok(Value::Num(R::from_f64(c.value()))),
+        Expr::Var(name) => env
+            .get(name)
+            .cloned()
+            .map(Value::Num)
+            .ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+        Expr::Op(op, args) => {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(eval_with_limit(a, env, loop_limit)?.into_num()?);
+            }
+            Ok(Value::Num(R::apply(*op, &values)))
+        }
+        Expr::Cmp(op, args) => {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(eval_with_limit(a, env, loop_limit)?.into_num()?);
+            }
+            // Chained comparison: every adjacent pair must satisfy the operator.
+            let ok = values
+                .windows(2)
+                .all(|pair| op.holds(pair[0].compare(&pair[1])));
+            Ok(Value::Bool(ok))
+        }
+        Expr::And(args) => {
+            for a in args {
+                if !eval_with_limit(a, env, loop_limit)?.into_bool()? {
+                    return Ok(Value::Bool(false));
+                }
+            }
+            Ok(Value::Bool(true))
+        }
+        Expr::Or(args) => {
+            for a in args {
+                if eval_with_limit(a, env, loop_limit)?.into_bool()? {
+                    return Ok(Value::Bool(true));
+                }
+            }
+            Ok(Value::Bool(false))
+        }
+        Expr::Not(inner) => Ok(Value::Bool(!eval_with_limit(inner, env, loop_limit)?.into_bool()?)),
+        Expr::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            if eval_with_limit(cond, env, loop_limit)?.into_bool()? {
+                eval_with_limit(then, env, loop_limit)
+            } else {
+                eval_with_limit(otherwise, env, loop_limit)
+            }
+        }
+        Expr::Let {
+            sequential,
+            bindings,
+            body,
+        } => {
+            let mut scope = env.clone();
+            if *sequential {
+                for (name, e) in bindings {
+                    let v = eval_with_limit(e, &scope, loop_limit)?.into_num()?;
+                    scope.insert(name.clone(), v);
+                }
+            } else {
+                let mut values = Vec::with_capacity(bindings.len());
+                for (_, e) in bindings {
+                    values.push(eval_with_limit(e, env, loop_limit)?.into_num()?);
+                }
+                for ((name, _), v) in bindings.iter().zip(values) {
+                    scope.insert(name.clone(), v);
+                }
+            }
+            eval_with_limit(body, &scope, loop_limit)
+        }
+        Expr::While {
+            sequential,
+            cond,
+            vars,
+            body,
+        } => {
+            let mut scope = env.clone();
+            for (name, init, _) in vars {
+                let v = eval_with_limit(init, env, loop_limit)?.into_num()?;
+                scope.insert(name.clone(), v);
+            }
+            let mut iterations = 0usize;
+            while eval_with_limit(cond, &scope, loop_limit)?.into_bool()? {
+                iterations += 1;
+                if iterations > loop_limit {
+                    return Err(EvalError::LoopBudgetExceeded { limit: loop_limit });
+                }
+                if *sequential {
+                    for (name, _, update) in vars {
+                        let v = eval_with_limit(update, &scope, loop_limit)?.into_num()?;
+                        scope.insert(name.clone(), v);
+                    }
+                } else {
+                    let mut next = Vec::with_capacity(vars.len());
+                    for (_, _, update) in vars {
+                        next.push(eval_with_limit(update, &scope, loop_limit)?.into_num()?);
+                    }
+                    for ((name, _, _), v) in vars.iter().zip(next) {
+                        scope.insert(name.clone(), v);
+                    }
+                }
+            }
+            eval_with_limit(body, &scope, loop_limit)
+        }
+    }
+}
+
+/// Evaluates a core on positional arguments.
+///
+/// # Errors
+///
+/// Returns [`EvalError::ArityMismatch`] when the argument count is wrong, and
+/// propagates evaluation errors from the body.
+pub fn eval_core<R: Real>(core: &FPCore, args: &[R]) -> Result<R, EvalError> {
+    if args.len() != core.arguments.len() {
+        return Err(EvalError::ArityMismatch {
+            expected: core.arguments.len(),
+            actual: args.len(),
+        });
+    }
+    let mut env = Env::new();
+    for (name, value) in core.arguments.iter().zip(args) {
+        env.insert(name.clone(), value.clone());
+    }
+    eval_expr(&core.body, &env)?.into_num()
+}
+
+/// Evaluates a core in plain double precision (the client semantics).
+///
+/// # Errors
+///
+/// See [`eval_core`].
+pub fn eval_f64(core: &FPCore, args: &[f64]) -> Result<f64, EvalError> {
+    eval_core::<f64>(core, args)
+}
+
+/// Checks a core's `:pre` condition on the given double arguments. Cores
+/// without a precondition accept every input.
+///
+/// # Errors
+///
+/// Propagates evaluation errors from the precondition expression.
+pub fn precondition_holds(core: &FPCore, args: &[f64]) -> Result<bool, EvalError> {
+    let Some(pre) = &core.pre else {
+        return Ok(true);
+    };
+    let mut env = Env::new();
+    for (name, value) in core.arguments.iter().zip(args) {
+        env.insert(name.clone(), *value);
+    }
+    eval_expr(pre, &env)?.into_bool()
+}
+
+/// Evaluates a core in double precision and with the given shadow type, and
+/// returns the client result, the shadow result (rounded to double), and the
+/// bits of error between them.
+///
+/// # Errors
+///
+/// See [`eval_core`].
+pub fn reference_error<R: Real>(core: &FPCore, args: &[f64]) -> Result<(f64, f64, f64), EvalError> {
+    let client = eval_f64(core, args)?;
+    let shadow_args: Vec<R> = args.iter().map(|&a| R::from_f64(a)).collect();
+    let shadow = eval_core(core, &shadow_args)?.to_f64();
+    Ok((client, shadow, shadowreal::bits_error(client, shadow)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_core, parse_expr};
+    use shadowreal::BigFloat;
+
+    fn env_of(pairs: &[(&str, f64)]) -> Env<f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn arithmetic_and_constants() {
+        let e = parse_expr("(+ (* 2 PI) 1)").unwrap();
+        let v = eval_expr(&e, &Env::<f64>::new()).unwrap().into_num().unwrap();
+        assert!((v - (2.0 * std::f64::consts::PI + 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conditionals_and_comparisons() {
+        let e = parse_expr("(if (< x 0) (- x) x)").unwrap();
+        assert_eq!(
+            eval_expr(&e, &env_of(&[("x", -3.0)])).unwrap().into_num().unwrap(),
+            3.0
+        );
+        assert_eq!(
+            eval_expr(&e, &env_of(&[("x", 4.0)])).unwrap().into_num().unwrap(),
+            4.0
+        );
+    }
+
+    #[test]
+    fn chained_comparison() {
+        let e = parse_expr("(< 0 x 1)").unwrap();
+        assert!(eval_expr(&e, &env_of(&[("x", 0.5)])).unwrap().into_bool().unwrap());
+        assert!(!eval_expr(&e, &env_of(&[("x", 2.0)])).unwrap().into_bool().unwrap());
+    }
+
+    #[test]
+    fn let_bindings_are_parallel_by_default() {
+        // In parallel let, the second binding sees the outer x, not the first
+        // binding.
+        let e = parse_expr("(let ((x 1) (y x)) y)").unwrap();
+        let v = eval_expr(&e, &env_of(&[("x", 42.0)])).unwrap().into_num().unwrap();
+        assert_eq!(v, 42.0);
+        // let* is sequential.
+        let e = parse_expr("(let* ((x 1) (y x)) y)").unwrap();
+        let v = eval_expr(&e, &env_of(&[("x", 42.0)])).unwrap().into_num().unwrap();
+        assert_eq!(v, 1.0);
+    }
+
+    #[test]
+    fn while_loop_computes_harmonic_sum() {
+        let core = parse_core(
+            "(FPCore (n) (while (<= i n) ((i 1 (+ i 1)) (s 0 (+ s (/ 1 i)))) s))",
+        )
+        .unwrap();
+        let v = eval_f64(&core, &[4.0]).unwrap();
+        assert!((v - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn while_loop_budget_is_enforced() {
+        let core = parse_core("(FPCore () (while (< 0 1) ((x 0 x)) x))").unwrap();
+        let mut env = Env::<f64>::new();
+        env.clear();
+        let result = eval_with_limit(&core.body, &env, 10);
+        assert_eq!(result.unwrap_err(), EvalError::LoopBudgetExceeded { limit: 10 });
+    }
+
+    #[test]
+    fn unbound_variable_is_reported() {
+        let e = parse_expr("(+ x ghost)").unwrap();
+        let err = eval_expr(&e, &env_of(&[("x", 1.0)])).unwrap_err();
+        assert_eq!(err, EvalError::UnboundVariable("ghost".to_string()));
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let core = parse_core("(FPCore (x y) (+ x y))").unwrap();
+        let err = eval_f64(&core, &[1.0]).unwrap_err();
+        assert_eq!(err, EvalError::ArityMismatch { expected: 2, actual: 1 });
+    }
+
+    #[test]
+    fn precondition_filtering() {
+        let core = parse_core("(FPCore (x) :pre (< 1 x 2) (sqrt (- x 1)))").unwrap();
+        assert!(precondition_holds(&core, &[1.5]).unwrap());
+        assert!(!precondition_holds(&core, &[5.0]).unwrap());
+    }
+
+    #[test]
+    fn reference_error_detects_catastrophic_cancellation() {
+        // sqrt(x+1) - sqrt(x) at x = 1e15 is wildly inaccurate in doubles.
+        let core = parse_core("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+        let (_, _, bits) = reference_error::<BigFloat>(&core, &[1e15]).unwrap();
+        assert!(bits > 5.0, "expected significant error, got {bits} bits");
+        // And it is accurate for small x.
+        let (_, _, bits) = reference_error::<BigFloat>(&core, &[0.5]).unwrap();
+        assert!(bits < 2.0, "expected small error, got {bits} bits");
+    }
+
+    #[test]
+    fn booleans_are_not_numbers() {
+        let e = parse_expr("(+ (< 1 2) 1)").unwrap();
+        assert!(matches!(
+            eval_expr(&e, &Env::<f64>::new()),
+            Err(EvalError::TypeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn shadow_evaluation_is_more_accurate() {
+        let core = parse_core("(FPCore (x) (- (+ x 1) x))").unwrap();
+        let client = eval_f64(&core, &[1e16]).unwrap();
+        let shadow = eval_core::<BigFloat>(&core, &[BigFloat::from_f64(1e16)])
+            .unwrap()
+            .to_f64();
+        assert_ne!(client, 1.0);
+        assert_eq!(shadow, 1.0);
+    }
+}

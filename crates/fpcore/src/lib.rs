@@ -1,0 +1,36 @@
+//! The FPCore benchmark language.
+//!
+//! FPBench's FPCore format is the input language of the paper's evaluation
+//! (§8): every benchmark is an `(FPCore (args ...) :pre ... body)` form, and
+//! Herbgrind's reports are themselves printed as FPCore fragments so that
+//! they can be handed to Herbie.
+//!
+//! This crate provides:
+//!
+//! * an [`ast`] of FPCore expressions and top-level cores,
+//! * an s-expression [`parser`](parse_core) and [`printer`],
+//! * an [`eval`] module that evaluates an expression over any
+//!   [`shadowreal::Real`] implementation (used both for reference
+//!   evaluation and for the "oracle" of the improvability experiment).
+//!
+//! # Example
+//!
+//! ```
+//! use fpcore::{parse_core, eval::eval_f64};
+//!
+//! let core = parse_core("(FPCore (x) :name \"double\" (* x 2))").unwrap();
+//! assert_eq!(core.arguments, vec!["x".to_string()]);
+//! assert_eq!(eval_f64(&core, &[21.0]).unwrap(), 42.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{CmpOp, Constant, Expr, FPCore};
+pub use parser::{parse_core, parse_cores, parse_expr, ParseError};
+pub use printer::{core_to_string, expr_to_string};

@@ -1,0 +1,625 @@
+//! An s-expression parser for FPCore.
+//!
+//! The parser accepts the subset of the FPCore 1.x standard that FPBench's
+//! general-purpose suite uses: numeric and rational literals, constants,
+//! operator applications, `let`/`let*`, `while`/`while*`, `if`, boolean
+//! operators, property annotations (`:name`, `:pre`, ...), and the `!`
+//! precision annotation (which is recorded and otherwise ignored, since the
+//! abstract machine is double-precision only).
+
+use crate::ast::{CmpOp, Constant, Expr, FPCore};
+use shadowreal::RealOp;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An error produced while parsing FPCore text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset in the input where the problem was noticed.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>, offset: usize) -> Result<T, ParseError> {
+    Err(ParseError {
+        message: message.into(),
+        offset,
+    })
+}
+
+// ----- tokenization -----
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Open,
+    Close,
+    Atom(String),
+    Str(String),
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '(' | '[' => {
+                tokens.push((Token::Open, i));
+                i += 1;
+            }
+            ')' | ']' => {
+                tokens.push((Token::Close, i));
+                i += 1;
+            }
+            ';' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                while i < bytes.len() && bytes[i] != '"' {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return err("unterminated string literal", start);
+                }
+                i += 1;
+                tokens.push((Token::Str(s), start));
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                let start = i;
+                let mut s = String::new();
+                while i < bytes.len()
+                    && !bytes[i].is_whitespace()
+                    && !matches!(bytes[i], '(' | ')' | '[' | ']' | ';' | '"')
+                {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                tokens.push((Token::Atom(s), start));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+// ----- s-expressions -----
+
+#[derive(Clone, Debug, PartialEq)]
+enum SExpr {
+    Atom(String, usize),
+    Str(String, usize),
+    List(Vec<SExpr>, usize),
+}
+
+impl SExpr {
+    fn offset(&self) -> usize {
+        match self {
+            SExpr::Atom(_, o) | SExpr::Str(_, o) | SExpr::List(_, o) => *o,
+        }
+    }
+}
+
+fn parse_sexprs(tokens: &[(Token, usize)]) -> Result<Vec<SExpr>, ParseError> {
+    let mut stack: Vec<(Vec<SExpr>, usize)> = Vec::new();
+    let mut top: Vec<SExpr> = Vec::new();
+    for (tok, off) in tokens {
+        match tok {
+            Token::Open => {
+                stack.push((std::mem::take(&mut top), *off));
+            }
+            Token::Close => match stack.pop() {
+                Some((mut parent, open_off)) => {
+                    let list = SExpr::List(std::mem::take(&mut top), open_off);
+                    parent.push(list);
+                    top = parent;
+                }
+                None => return err("unbalanced ')'", *off),
+            },
+            Token::Atom(s) => top.push(SExpr::Atom(s.clone(), *off)),
+            Token::Str(s) => top.push(SExpr::Str(s.clone(), *off)),
+        }
+    }
+    if let Some((_, off)) = stack.last() {
+        return err("unbalanced '('", *off);
+    }
+    Ok(top)
+}
+
+// ----- lowering to FPCore -----
+
+fn op_from_name(name: &str) -> Option<RealOp> {
+    Some(match name {
+        "+" => RealOp::Add,
+        "-" => RealOp::Sub,
+        "*" => RealOp::Mul,
+        "/" => RealOp::Div,
+        "neg" => RealOp::Neg,
+        "fabs" | "abs" => RealOp::Fabs,
+        "sqrt" => RealOp::Sqrt,
+        "cbrt" => RealOp::Cbrt,
+        "fma" => RealOp::Fma,
+        "exp" => RealOp::Exp,
+        "exp2" => RealOp::Exp2,
+        "expm1" => RealOp::Expm1,
+        "log" | "ln" => RealOp::Log,
+        "log2" => RealOp::Log2,
+        "log10" => RealOp::Log10,
+        "log1p" => RealOp::Log1p,
+        "pow" => RealOp::Pow,
+        "sin" => RealOp::Sin,
+        "cos" => RealOp::Cos,
+        "tan" => RealOp::Tan,
+        "asin" => RealOp::Asin,
+        "acos" => RealOp::Acos,
+        "atan" => RealOp::Atan,
+        "atan2" => RealOp::Atan2,
+        "sinh" => RealOp::Sinh,
+        "cosh" => RealOp::Cosh,
+        "tanh" => RealOp::Tanh,
+        "asinh" => RealOp::Asinh,
+        "acosh" => RealOp::Acosh,
+        "atanh" => RealOp::Atanh,
+        "hypot" => RealOp::Hypot,
+        "fmin" => RealOp::Fmin,
+        "fmax" => RealOp::Fmax,
+        "fdim" => RealOp::Fdim,
+        "fmod" => RealOp::Fmod,
+        "floor" => RealOp::Floor,
+        "ceil" => RealOp::Ceil,
+        "trunc" => RealOp::Trunc,
+        "round" => RealOp::Round,
+        "copysign" => RealOp::Copysign,
+        _ => return None,
+    })
+}
+
+fn cmp_from_name(name: &str) -> Option<CmpOp> {
+    Some(match name {
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        "==" => CmpOp::Eq,
+        "!=" => CmpOp::Ne,
+        _ => return None,
+    })
+}
+
+fn parse_number(atom: &str) -> Option<f64> {
+    if let Ok(v) = atom.parse::<f64>() {
+        return Some(v);
+    }
+    // Rational literal such as 1/100 or -355/113.
+    if let Some((num, den)) = atom.split_once('/') {
+        if let (Ok(n), Ok(d)) = (num.parse::<f64>(), den.parse::<f64>()) {
+            if d != 0.0 && !num.contains('.') && !den.contains('.') {
+                return Some(n / d);
+            }
+        }
+    }
+    None
+}
+
+fn lower_expr(sexpr: &SExpr) -> Result<Expr, ParseError> {
+    match sexpr {
+        SExpr::Str(_, off) => err("string literal is not a valid expression", *off),
+        SExpr::Atom(atom, off) => {
+            if let Some(n) = parse_number(atom) {
+                return Ok(Expr::Number(n));
+            }
+            if let Some(c) = Constant::from_name(atom) {
+                return Ok(Expr::Const(c));
+            }
+            if atom.is_empty() {
+                return err("empty atom", *off);
+            }
+            Ok(Expr::Var(atom.clone()))
+        }
+        SExpr::List(items, off) => {
+            let head = match items.first() {
+                Some(SExpr::Atom(h, _)) => h.as_str(),
+                _ => return err("expected operator at head of list", *off),
+            };
+            let args = &items[1..];
+            match head {
+                "if" => {
+                    if args.len() != 3 {
+                        return err("if requires 3 arguments", *off);
+                    }
+                    Ok(Expr::If {
+                        cond: Box::new(lower_expr(&args[0])?),
+                        then: Box::new(lower_expr(&args[1])?),
+                        otherwise: Box::new(lower_expr(&args[2])?),
+                    })
+                }
+                "let" | "let*" => {
+                    if args.len() != 2 {
+                        return err("let requires a binding list and a body", *off);
+                    }
+                    let bindings = lower_bindings(&args[0])?;
+                    Ok(Expr::Let {
+                        sequential: head == "let*",
+                        bindings,
+                        body: Box::new(lower_expr(&args[1])?),
+                    })
+                }
+                "while" | "while*" => {
+                    if args.len() != 3 {
+                        return err("while requires a condition, bindings, and a body", *off);
+                    }
+                    let cond = lower_expr(&args[0])?;
+                    let vars = lower_loop_bindings(&args[1])?;
+                    Ok(Expr::While {
+                        sequential: head == "while*",
+                        cond: Box::new(cond),
+                        vars,
+                        body: Box::new(lower_expr(&args[2])?),
+                    })
+                }
+                "and" => Ok(Expr::And(lower_all(args)?)),
+                "or" => Ok(Expr::Or(lower_all(args)?)),
+                "not" => {
+                    if args.len() != 1 {
+                        return err("not requires 1 argument", *off);
+                    }
+                    Ok(Expr::Not(Box::new(lower_expr(&args[0])?)))
+                }
+                "!" => {
+                    // Precision annotation: (! :precision binary64 expr).
+                    // Properties are skipped; the final item is the expression.
+                    match args.last() {
+                        Some(last) => lower_expr(last),
+                        None => err("empty annotation", *off),
+                    }
+                }
+                "digits" => {
+                    // (digits mantissa exponent base) — exact literal notation.
+                    if args.len() != 3 {
+                        return err("digits requires 3 arguments", *off);
+                    }
+                    let nums: Vec<f64> = args
+                        .iter()
+                        .map(|a| match a {
+                            SExpr::Atom(s, o) => parse_number(s)
+                                .ok_or_else(|| ParseError {
+                                    message: format!("invalid digits component {s}"),
+                                    offset: *o,
+                                }),
+                            other => err("digits components must be numbers", other.offset()),
+                        })
+                        .collect::<Result<_, _>>()?;
+                    Ok(Expr::Number(nums[0] * nums[2].powf(nums[1])))
+                }
+                _ => {
+                    if let Some(cmp) = cmp_from_name(head) {
+                        return Ok(Expr::Cmp(cmp, lower_all(args)?));
+                    }
+                    if let Some(op) = op_from_name(head) {
+                        let lowered = lower_all(args)?;
+                        // Unary minus is negation, not subtraction.
+                        if op == RealOp::Sub && lowered.len() == 1 {
+                            return Ok(Expr::Op(RealOp::Neg, lowered));
+                        }
+                        // n-ary + and * fold left.
+                        if matches!(op, RealOp::Add | RealOp::Mul) && lowered.len() > 2 {
+                            let mut iter = lowered.into_iter();
+                            let mut acc = iter.next().expect("non-empty");
+                            for next in iter {
+                                acc = Expr::Op(op, vec![acc, next]);
+                            }
+                            return Ok(acc);
+                        }
+                        if lowered.len() != op.arity() {
+                            return err(
+                                format!(
+                                    "operator {head} expects {} arguments, got {}",
+                                    op.arity(),
+                                    lowered.len()
+                                ),
+                                *off,
+                            );
+                        }
+                        return Ok(Expr::Op(op, lowered));
+                    }
+                    err(format!("unknown operator {head}"), *off)
+                }
+            }
+        }
+    }
+}
+
+fn lower_all(args: &[SExpr]) -> Result<Vec<Expr>, ParseError> {
+    args.iter().map(lower_expr).collect()
+}
+
+fn lower_bindings(sexpr: &SExpr) -> Result<Vec<(String, Expr)>, ParseError> {
+    match sexpr {
+        SExpr::List(items, _) => items
+            .iter()
+            .map(|item| match item {
+                SExpr::List(pair, off) if pair.len() == 2 => {
+                    let name = match &pair[0] {
+                        SExpr::Atom(n, _) => n.clone(),
+                        other => return err("binding name must be a symbol", other.offset()),
+                    };
+                    Ok((name, lower_expr(&pair[1])?))
+                }
+                other => err("binding must be a (name expr) pair", other.offset()),
+            })
+            .collect(),
+        other => err("expected a binding list", other.offset()),
+    }
+}
+
+fn lower_loop_bindings(sexpr: &SExpr) -> Result<Vec<(String, Expr, Expr)>, ParseError> {
+    match sexpr {
+        SExpr::List(items, _) => items
+            .iter()
+            .map(|item| match item {
+                SExpr::List(triple, off) if triple.len() == 3 => {
+                    let name = match &triple[0] {
+                        SExpr::Atom(n, _) => n.clone(),
+                        other => return err("loop variable name must be a symbol", other.offset()),
+                    };
+                    Ok((name, lower_expr(&triple[1])?, lower_expr(&triple[2])?))
+                }
+                other => err("loop binding must be a (name init update) triple", other.offset()),
+            })
+            .collect(),
+        other => err("expected a loop binding list", other.offset()),
+    }
+}
+
+fn lower_core(sexpr: &SExpr) -> Result<FPCore, ParseError> {
+    let (items, off) = match sexpr {
+        SExpr::List(items, off) => (items, *off),
+        other => return err("expected an (FPCore ...) form", other.offset()),
+    };
+    match items.first() {
+        Some(SExpr::Atom(head, _)) if head == "FPCore" => {}
+        _ => return err("expected an (FPCore ...) form", off),
+    }
+    if items.len() < 3 {
+        return err("FPCore requires an argument list and a body", off);
+    }
+    // Optional symbolic name may precede the argument list (FPCore 2.0).
+    let mut index = 1;
+    if let SExpr::Atom(_, _) = &items[index] {
+        index += 1;
+    }
+    let arguments = match &items[index] {
+        SExpr::List(args, _) => args
+            .iter()
+            .map(|a| match a {
+                SExpr::Atom(name, _) => Ok(name.clone()),
+                // Dimension/precision-annotated argument: (! :precision binary32 x)
+                SExpr::List(parts, o) => match parts.last() {
+                    Some(SExpr::Atom(name, _)) => Ok(name.clone()),
+                    _ => err("invalid argument form", *o),
+                },
+                other => err("invalid argument form", other.offset()),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        other => return err("expected an argument list", other.offset()),
+    };
+    index += 1;
+
+    let mut name = None;
+    let mut pre = None;
+    let mut properties = BTreeMap::new();
+    while index + 1 < items.len() {
+        let key = match &items[index] {
+            SExpr::Atom(a, _) if a.starts_with(':') => a[1..].to_string(),
+            _ => break,
+        };
+        let value = &items[index + 1];
+        match key.as_str() {
+            "name" => {
+                name = Some(match value {
+                    SExpr::Str(s, _) | SExpr::Atom(s, _) => s.clone(),
+                    SExpr::List(_, o) => return err(":name must be a string", *o),
+                });
+            }
+            "pre" => {
+                pre = Some(lower_expr(value)?);
+            }
+            _ => {
+                properties.insert(key, sexpr_to_text(value));
+            }
+        }
+        index += 2;
+    }
+    if index != items.len() - 1 {
+        return err("trailing items after FPCore body", off);
+    }
+    let body = lower_expr(&items[index])?;
+    Ok(FPCore {
+        arguments,
+        name,
+        pre,
+        properties,
+        body,
+    })
+}
+
+fn sexpr_to_text(sexpr: &SExpr) -> String {
+    match sexpr {
+        SExpr::Atom(a, _) => a.clone(),
+        SExpr::Str(s, _) => s.clone(),
+        SExpr::List(items, _) => {
+            let inner: Vec<String> = items.iter().map(sexpr_to_text).collect();
+            format!("({})", inner.join(" "))
+        }
+    }
+}
+
+/// Parses a single `(FPCore ...)` form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when the input is not a single well-formed core.
+pub fn parse_core(input: &str) -> Result<FPCore, ParseError> {
+    let cores = parse_cores(input)?;
+    match cores.len() {
+        1 => Ok(cores.into_iter().next().expect("len checked")),
+        n => err(format!("expected exactly one FPCore form, found {n}"), 0),
+    }
+}
+
+/// Parses a file containing any number of `(FPCore ...)` forms.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_cores(input: &str) -> Result<Vec<FPCore>, ParseError> {
+    let tokens = tokenize(input)?;
+    let sexprs = parse_sexprs(&tokens)?;
+    sexprs.iter().map(lower_core).collect()
+}
+
+/// Parses a bare FPCore expression (no `(FPCore ...)` wrapper), as used in
+/// tests and in report round-tripping.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(input)?;
+    let sexprs = parse_sexprs(&tokens)?;
+    match sexprs.len() {
+        1 => lower_expr(&sexprs[0]),
+        n => err(format!("expected exactly one expression, found {n}"), 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_core() {
+        let core = parse_core("(FPCore (x y) :name \"hypotenuse\" (sqrt (+ (* x x) (* y y))))")
+            .expect("parse");
+        assert_eq!(core.arguments, vec!["x", "y"]);
+        assert_eq!(core.name.as_deref(), Some("hypotenuse"));
+        assert_eq!(core.body.operation_count(), 4);
+    }
+
+    #[test]
+    fn parses_precondition_and_properties() {
+        let core = parse_core(
+            "(FPCore (x) :name \"test\" :cite (hamming-1987) :pre (and (<= 0 x) (<= x 1)) (sqrt x))",
+        )
+        .expect("parse");
+        assert!(core.pre.is_some());
+        assert!(core.properties.contains_key("cite"));
+    }
+
+    #[test]
+    fn parses_let_and_while() {
+        let core = parse_core(
+            "(FPCore (n) (while (< i n) ((i 0 (+ i 1)) (s 0 (+ s i))) s))",
+        );
+        assert!(core.is_ok(), "{core:?}");
+        let core = parse_core("(FPCore (x) (let ((y (* x x))) (+ y 1)))").expect("parse");
+        assert_eq!(core.body.operation_count(), 2);
+    }
+
+    #[test]
+    fn unary_minus_is_negation() {
+        let e = parse_expr("(- x)").expect("parse");
+        assert_eq!(e, Expr::Op(RealOp::Neg, vec![Expr::var("x")]));
+        let e = parse_expr("(- x y)").expect("parse");
+        assert_eq!(
+            e,
+            Expr::Op(RealOp::Sub, vec![Expr::var("x"), Expr::var("y")])
+        );
+    }
+
+    #[test]
+    fn nary_addition_folds_left() {
+        let e = parse_expr("(+ a b c)").expect("parse");
+        assert_eq!(e.operation_count(), 2);
+    }
+
+    #[test]
+    fn rational_literals() {
+        let e = parse_expr("1/4").expect("parse");
+        assert_eq!(e, Expr::Number(0.25));
+        let e = parse_expr("-355/113").expect("parse");
+        assert_eq!(e, Expr::Number(-355.0 / 113.0));
+    }
+
+    #[test]
+    fn digits_form() {
+        let e = parse_expr("(digits 5 -2 10)").expect("parse");
+        assert_eq!(e, Expr::Number(0.05));
+    }
+
+    #[test]
+    fn annotation_is_transparent() {
+        let e = parse_expr("(! :precision binary64 (+ x 1))").expect("parse");
+        assert_eq!(e.operation_count(), 1);
+    }
+
+    #[test]
+    fn error_on_unknown_operator() {
+        assert!(parse_expr("(frobnicate x)").is_err());
+    }
+
+    #[test]
+    fn error_on_unbalanced_parens() {
+        assert!(parse_core("(FPCore (x) (+ x 1)").is_err());
+        assert!(parse_core("(FPCore (x) (+ x 1)))").is_err());
+    }
+
+    #[test]
+    fn error_on_wrong_arity() {
+        assert!(parse_expr("(sqrt x y)").is_err());
+        assert!(parse_expr("(atan2 x)").is_err());
+    }
+
+    #[test]
+    fn parses_multiple_cores() {
+        let text = "
+            ;; two benchmarks
+            (FPCore (x) :name \"a\" (+ x 1))
+            (FPCore (y) :name \"b\" (* y y))
+        ";
+        let cores = parse_cores(text).expect("parse");
+        assert_eq!(cores.len(), 2);
+        assert_eq!(cores[0].name.as_deref(), Some("a"));
+        assert_eq!(cores[1].name.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn comments_are_ignored()  {
+        let core = parse_core("; leading comment\n(FPCore (x) ; inline\n (+ x 1))").expect("parse");
+        assert_eq!(core.arguments, vec!["x"]);
+    }
+
+    #[test]
+    fn named_core_form_is_accepted() {
+        // FPCore 2.0 allows (FPCore ident (args) body).
+        let core = parse_core("(FPCore myfn (x) (+ x 1))").expect("parse");
+        assert_eq!(core.arguments, vec!["x"]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Pretty-printing of FPCore expressions and cores.
+//!
+//! Herbgrind's reports print symbolic expressions in FPCore syntax so that
+//! they can be piped straight into Herbie (§3 of the paper shows such a
+//! report); this module produces that syntax. Printing followed by parsing
+//! is the identity on the supported subset, which the round-trip tests in
+//! this module and the property tests in `tests/` rely on.
+
+use crate::ast::{Expr, FPCore};
+
+/// Formats a numeric literal the way FPCore expects (plain decimal, with
+/// enough digits to round-trip).
+pub fn number_to_string(value: f64) -> String {
+    if value.is_nan() {
+        return "NAN".to_string();
+    }
+    if value.is_infinite() {
+        return if value > 0.0 { "INFINITY" } else { "-INFINITY" }.to_string();
+    }
+    if value == value.trunc() && value.abs() < 1e15 {
+        // Integral values print without an exponent or fraction.
+        return format!("{}", value as i64);
+    }
+    let s = format!("{value:e}");
+    // `{:e}` produces e.g. 2.5e-1 which FPCore accepts.
+    s
+}
+
+/// Renders an expression as FPCore concrete syntax.
+pub fn expr_to_string(expr: &Expr) -> String {
+    match expr {
+        Expr::Number(n) => number_to_string(*n),
+        Expr::Const(c) => c.name().to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Op(op, args) => {
+            let parts: Vec<String> = args.iter().map(expr_to_string).collect();
+            format!("({} {})", op.name(), parts.join(" "))
+        }
+        Expr::Cmp(op, args) => {
+            let parts: Vec<String> = args.iter().map(expr_to_string).collect();
+            format!("({} {})", op.name(), parts.join(" "))
+        }
+        Expr::And(args) => {
+            let parts: Vec<String> = args.iter().map(expr_to_string).collect();
+            format!("(and {})", parts.join(" "))
+        }
+        Expr::Or(args) => {
+            let parts: Vec<String> = args.iter().map(expr_to_string).collect();
+            format!("(or {})", parts.join(" "))
+        }
+        Expr::Not(inner) => format!("(not {})", expr_to_string(inner)),
+        Expr::If {
+            cond,
+            then,
+            otherwise,
+        } => format!(
+            "(if {} {} {})",
+            expr_to_string(cond),
+            expr_to_string(then),
+            expr_to_string(otherwise)
+        ),
+        Expr::Let {
+            sequential,
+            bindings,
+            body,
+        } => {
+            let head = if *sequential { "let*" } else { "let" };
+            let binds: Vec<String> = bindings
+                .iter()
+                .map(|(name, e)| format!("({} {})", name, expr_to_string(e)))
+                .collect();
+            format!("({} ({}) {})", head, binds.join(" "), expr_to_string(body))
+        }
+        Expr::While {
+            sequential,
+            cond,
+            vars,
+            body,
+        } => {
+            let head = if *sequential { "while*" } else { "while" };
+            let binds: Vec<String> = vars
+                .iter()
+                .map(|(name, init, update)| {
+                    format!(
+                        "({} {} {})",
+                        name,
+                        expr_to_string(init),
+                        expr_to_string(update)
+                    )
+                })
+                .collect();
+            format!(
+                "({} {} ({}) {})",
+                head,
+                expr_to_string(cond),
+                binds.join(" "),
+                expr_to_string(body)
+            )
+        }
+    }
+}
+
+/// Renders a full `(FPCore ...)` form.
+pub fn core_to_string(core: &FPCore) -> String {
+    let mut parts = vec!["FPCore".to_string(), format!("({})", core.arguments.join(" "))];
+    if let Some(name) = &core.name {
+        parts.push(format!(":name \"{name}\""));
+    }
+    if let Some(pre) = &core.pre {
+        parts.push(format!(":pre {}", expr_to_string(pre)));
+    }
+    for (key, value) in &core.properties {
+        parts.push(format!(":{key} {value}"));
+    }
+    parts.push(expr_to_string(&core.body));
+    format!("({})", parts.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_core, parse_expr};
+
+    #[test]
+    fn numbers_print_readably() {
+        assert_eq!(number_to_string(1.0), "1");
+        assert_eq!(number_to_string(-3.0), "-3");
+        assert_eq!(number_to_string(f64::INFINITY), "INFINITY");
+        assert_eq!(number_to_string(f64::NAN), "NAN");
+    }
+
+    #[test]
+    fn expression_round_trips_through_parser() {
+        let sources = [
+            "(- (sqrt (+ (* x x) (* y y))) x)",
+            "(if (< x 0) (- x) x)",
+            "(let ((z (/ 1 (- x 113)))) (- (+ z PI) z))",
+            "(while (< i n) ((i 0 (+ i 1)) (s 0 (+ s (/ 1 i)))) s)",
+            "(fma x y z)",
+            "(and (<= 0 x) (not (== x 1)))",
+        ];
+        for src in sources {
+            let parsed = parse_expr(src).expect("parse");
+            let printed = expr_to_string(&parsed);
+            let reparsed = parse_expr(&printed).expect("reparse");
+            assert_eq!(parsed, reparsed, "round trip of {src} via {printed}");
+        }
+    }
+
+    #[test]
+    fn core_round_trips_through_parser() {
+        let src = "(FPCore (x y) :name \"example\" :pre (< 0 x y) (- (sqrt (+ x y)) (sqrt x)))";
+        let parsed = parse_core(src).expect("parse");
+        let printed = core_to_string(&parsed);
+        let reparsed = parse_core(&printed).expect("reparse");
+        assert_eq!(parsed.arguments, reparsed.arguments);
+        assert_eq!(parsed.name, reparsed.name);
+        assert_eq!(parsed.body, reparsed.body);
+        assert_eq!(parsed.pre, reparsed.pre);
+    }
+
+    #[test]
+    fn scientific_notation_round_trips() {
+        let e = Expr::Number(2.497500e-1);
+        let printed = expr_to_string(&e);
+        let reparsed = parse_expr(&printed).expect("reparse");
+        assert_eq!(e, reparsed);
+    }
+}

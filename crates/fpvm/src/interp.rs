@@ -1,0 +1,389 @@
+//! The machine interpreter and the tracer hook through which analyses
+//! observe execution.
+//!
+//! The interpreter executes the client semantics — plain double precision —
+//! exactly as a compiled binary would. Analyses (Herbgrind proper and the
+//! baseline tools) are [`Tracer`] implementations: they are invoked after
+//! every executed statement with the concrete values involved, which mirrors
+//! the way Valgrind instrumentation observes the client without altering it.
+
+use crate::program::{Addr, Pred, Program, Statement, Value};
+use fpcore::CmpOp;
+use shadowreal::RealOp;
+use std::fmt;
+
+/// Errors produced while running a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// The supplied argument count does not match the program.
+    ArityMismatch {
+        /// Number of argument addresses in the program.
+        expected: usize,
+        /// Number of arguments supplied.
+        actual: usize,
+    },
+    /// Execution exceeded the step budget (runaway loop).
+    StepBudgetExceeded {
+        /// The configured budget.
+        limit: u64,
+    },
+    /// The program counter left the program without reaching `Halt`.
+    PcOutOfRange {
+        /// The offending program counter.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::ArityMismatch { expected, actual } => {
+                write!(f, "program takes {expected} arguments, got {actual}")
+            }
+            MachineError::StepBudgetExceeded { limit } => {
+                write!(f, "execution exceeded the {limit}-step budget")
+            }
+            MachineError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// The observable result of a run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunResult {
+    /// Values printed by `Output` statements, in order.
+    pub outputs: Vec<f64>,
+    /// Number of statements executed.
+    pub steps: u64,
+}
+
+/// An execution observer.
+///
+/// Every method has a default empty implementation so tracers only override
+/// what they need. The interpreter calls the hook *after* the statement's
+/// effect on machine memory, passing the concrete double values read and
+/// written, which is exactly the information a Valgrind tool sees.
+#[allow(unused_variables)]
+pub trait Tracer {
+    /// A floating-point operation was executed.
+    fn on_compute(&mut self, pc: usize, op: RealOp, dest: Addr, args: &[Addr], arg_values: &[f64], result: f64) {}
+    /// A float constant was loaded.
+    fn on_const_f(&mut self, pc: usize, dest: Addr, value: f64) {}
+    /// An integer constant was loaded.
+    fn on_const_i(&mut self, pc: usize, dest: Addr, value: i64) {}
+    /// A value was copied between addresses.
+    fn on_copy(&mut self, pc: usize, dest: Addr, src: Addr, value: Value) {}
+    /// A float was converted to an integer (a spot).
+    fn on_cast_to_int(&mut self, pc: usize, dest: Addr, src: Addr, value: f64, result: i64) {}
+    /// A conditional branch over floats was evaluated (a spot).
+    fn on_branch(&mut self, pc: usize, cmp: CmpOp, lhs: Addr, rhs: Addr, lhs_value: Value, rhs_value: Value, taken: bool) {}
+    /// A value was output (a spot).
+    fn on_output(&mut self, pc: usize, src: Addr, value: f64) {}
+    /// The program produced its arguments (called once, before execution).
+    fn on_start(&mut self, program: &Program, args: &[f64]) {}
+    /// Execution finished.
+    fn on_finish(&mut self, result: &RunResult) {}
+}
+
+/// A tracer that observes nothing — the uninstrumented baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {}
+
+/// The machine interpreter.
+#[derive(Clone, Debug)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    step_limit: u64,
+}
+
+/// Default step budget per run (generous; FPBench loop benchmarks stay far
+/// below this).
+pub const DEFAULT_STEP_LIMIT: u64 = 50_000_000;
+
+impl<'p> Machine<'p> {
+    /// Creates an interpreter for a program.
+    pub fn new(program: &'p Program) -> Machine<'p> {
+        Machine {
+            program,
+            step_limit: DEFAULT_STEP_LIMIT,
+        }
+    }
+
+    /// Overrides the step budget.
+    pub fn with_step_limit(mut self, limit: u64) -> Machine<'p> {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Runs the program without instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] for argument arity mismatches, runaway
+    /// loops, and malformed control flow.
+    pub fn run(&self, args: &[f64]) -> Result<RunResult, MachineError> {
+        self.run_traced(args, &mut NullTracer)
+    }
+
+    /// Runs the program, reporting every executed statement to `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] for argument arity mismatches, runaway
+    /// loops, and malformed control flow.
+    pub fn run_traced<T: Tracer + ?Sized>(
+        &self,
+        args: &[f64],
+        tracer: &mut T,
+    ) -> Result<RunResult, MachineError> {
+        let program = self.program;
+        if args.len() != program.arg_addrs.len() {
+            return Err(MachineError::ArityMismatch {
+                expected: program.arg_addrs.len(),
+                actual: args.len(),
+            });
+        }
+        let mut memory: Vec<Value> = vec![Value::F(0.0); program.num_addrs];
+        for (&addr, &value) in program.arg_addrs.iter().zip(args) {
+            memory[addr] = Value::F(value);
+        }
+        tracer.on_start(program, args);
+
+        let mut result = RunResult::default();
+        let mut pc = 0usize;
+        loop {
+            if result.steps >= self.step_limit {
+                return Err(MachineError::StepBudgetExceeded {
+                    limit: self.step_limit,
+                });
+            }
+            result.steps += 1;
+            let Some(stmt) = program.statements.get(pc) else {
+                return Err(MachineError::PcOutOfRange { pc });
+            };
+            match stmt {
+                Statement::Halt => break,
+                Statement::ConstF { dest, value } => {
+                    memory[*dest] = Value::F(*value);
+                    tracer.on_const_f(pc, *dest, *value);
+                    pc += 1;
+                }
+                Statement::ConstI { dest, value } => {
+                    memory[*dest] = Value::I(*value);
+                    tracer.on_const_i(pc, *dest, *value);
+                    pc += 1;
+                }
+                Statement::Copy { dest, src } => {
+                    let v = memory[*src];
+                    memory[*dest] = v;
+                    tracer.on_copy(pc, *dest, *src, v);
+                    pc += 1;
+                }
+                Statement::Compute { dest, op, args } => {
+                    let arg_values: Vec<f64> = args.iter().map(|&a| memory[a].as_f64()).collect();
+                    let value = <f64 as shadowreal::Real>::apply(*op, &arg_values);
+                    memory[*dest] = Value::F(value);
+                    tracer.on_compute(pc, *op, *dest, args, &arg_values, value);
+                    pc += 1;
+                }
+                Statement::CastToInt { dest, src } => {
+                    let v = memory[*src].as_f64();
+                    let as_int = v.trunc() as i64;
+                    memory[*dest] = Value::I(as_int);
+                    tracer.on_cast_to_int(pc, *dest, *src, v, as_int);
+                    pc += 1;
+                }
+                Statement::Branch { pred, target } => match pred {
+                    Pred::Always => {
+                        pc = *target;
+                    }
+                    Pred::Cmp(op, a, b) => {
+                        let va = memory[*a];
+                        let vb = memory[*b];
+                        let taken = op.holds(va.as_f64().partial_cmp(&vb.as_f64()));
+                        tracer.on_branch(pc, *op, *a, *b, va, vb, taken);
+                        pc = if taken { *target } else { pc + 1 };
+                    }
+                },
+                Statement::Output { src } => {
+                    let v = memory[*src].as_f64();
+                    result.outputs.push(v);
+                    tracer.on_output(pc, *src, v);
+                    pc += 1;
+                }
+            }
+        }
+        tracer.on_finish(&result);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::SourceLoc;
+
+    fn straight_line_program() -> Program {
+        // out (a + b) * a
+        Program {
+            name: "straight".into(),
+            statements: vec![
+                Statement::Compute {
+                    dest: 2,
+                    op: RealOp::Add,
+                    args: vec![0, 1],
+                },
+                Statement::Compute {
+                    dest: 3,
+                    op: RealOp::Mul,
+                    args: vec![2, 0],
+                },
+                Statement::Output { src: 3 },
+                Statement::Halt,
+            ],
+            locations: vec![SourceLoc::default(); 4],
+            num_addrs: 4,
+            arg_addrs: vec![0, 1],
+        }
+    }
+
+    #[test]
+    fn executes_straight_line_code() {
+        let p = straight_line_program();
+        let r = Machine::new(&p).run(&[2.0, 3.0]).unwrap();
+        assert_eq!(r.outputs, vec![10.0]);
+        assert_eq!(r.steps, 4);
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let p = straight_line_program();
+        assert_eq!(
+            Machine::new(&p).run(&[1.0]).unwrap_err(),
+            MachineError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            }
+        );
+    }
+
+    #[test]
+    fn branch_and_loop_execution() {
+        // Count down from the argument to zero, outputting the final counter.
+        let p = Program {
+            name: "loop".into(),
+            statements: vec![
+                // 0: const 0.0 -> addr1
+                Statement::ConstF { dest: 1, value: 0.0 },
+                // 1: const 1.0 -> addr2
+                Statement::ConstF { dest: 2, value: 1.0 },
+                // 2: if arg <= 0 goto 5
+                Statement::Branch {
+                    pred: Pred::Cmp(CmpOp::Le, 0, 1),
+                    target: 5,
+                },
+                // 3: arg = arg - 1
+                Statement::Compute {
+                    dest: 0,
+                    op: RealOp::Sub,
+                    args: vec![0, 2],
+                },
+                // 4: goto 2
+                Statement::Branch {
+                    pred: Pred::Always,
+                    target: 2,
+                },
+                // 5: out arg
+                Statement::Output { src: 0 },
+                Statement::Halt,
+            ],
+            locations: vec![SourceLoc::default(); 7],
+            num_addrs: 3,
+            arg_addrs: vec![0],
+        };
+        p.validate().unwrap();
+        let r = Machine::new(&p).run(&[5.0]).unwrap();
+        assert_eq!(r.outputs, vec![0.0]);
+    }
+
+    #[test]
+    fn step_budget_stops_runaway_loops() {
+        let p = Program {
+            name: "spin".into(),
+            statements: vec![Statement::Branch {
+                pred: Pred::Always,
+                target: 0,
+            }],
+            locations: vec![SourceLoc::default()],
+            num_addrs: 1,
+            arg_addrs: vec![],
+        };
+        let err = Machine::new(&p).with_step_limit(100).run(&[]).unwrap_err();
+        assert_eq!(err, MachineError::StepBudgetExceeded { limit: 100 });
+    }
+
+    #[test]
+    fn cast_to_int_truncates() {
+        let p = Program {
+            name: "cast".into(),
+            statements: vec![
+                Statement::CastToInt { dest: 1, src: 0 },
+                Statement::Output { src: 1 },
+                Statement::Halt,
+            ],
+            locations: vec![SourceLoc::default(); 3],
+            num_addrs: 2,
+            arg_addrs: vec![0],
+        };
+        let r = Machine::new(&p).run(&[3.9]).unwrap();
+        assert_eq!(r.outputs, vec![3.0]);
+        let r = Machine::new(&p).run(&[-3.9]).unwrap();
+        assert_eq!(r.outputs, vec![-3.0]);
+    }
+
+    #[test]
+    fn tracer_sees_every_compute_and_spot() {
+        #[derive(Default)]
+        struct Counter {
+            computes: usize,
+            outputs: usize,
+            branches: usize,
+        }
+        impl Tracer for Counter {
+            fn on_compute(&mut self, _: usize, _: RealOp, _: Addr, _: &[Addr], _: &[f64], _: f64) {
+                self.computes += 1;
+            }
+            fn on_output(&mut self, _: usize, _: Addr, _: f64) {
+                self.outputs += 1;
+            }
+            fn on_branch(&mut self, _: usize, _: CmpOp, _: Addr, _: Addr, _: Value, _: Value, _: bool) {
+                self.branches += 1;
+            }
+        }
+        let p = straight_line_program();
+        let mut tracer = Counter::default();
+        Machine::new(&p).run_traced(&[1.0, 2.0], &mut tracer).unwrap();
+        assert_eq!(tracer.computes, 2);
+        assert_eq!(tracer.outputs, 1);
+        assert_eq!(tracer.branches, 0);
+    }
+
+    #[test]
+    fn pc_out_of_range_is_an_error() {
+        let p = Program {
+            name: "fallthrough".into(),
+            statements: vec![Statement::ConstF { dest: 0, value: 1.0 }],
+            locations: vec![SourceLoc::default()],
+            num_addrs: 1,
+            arg_addrs: vec![],
+        };
+        assert_eq!(
+            Machine::new(&p).run(&[]).unwrap_err(),
+            MachineError::PcOutOfRange { pc: 1 }
+        );
+    }
+}

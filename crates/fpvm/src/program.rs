@@ -1,0 +1,321 @@
+//! The machine program representation (Figure 2 of the paper).
+
+use fpcore::CmpOp;
+use shadowreal::RealOp;
+use std::fmt;
+
+/// A memory address (index into the machine's flat memory).
+pub type Addr = usize;
+
+/// A value stored in machine memory: a double or an integer.
+///
+/// The paper's abstract machine stores `F | Z`; integer values arise from
+/// float→integer conversions and loop counters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// A double-precision float.
+    F(f64),
+    /// A 64-bit integer.
+    I(i64),
+}
+
+impl Value {
+    /// The value viewed as a double (integers are converted).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::F(x) => x,
+            Value::I(i) => i as f64,
+        }
+    }
+
+    /// True if this cell currently holds a float.
+    pub fn is_float(self) -> bool {
+        matches!(self, Value::F(_))
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::F(0.0)
+    }
+}
+
+/// The predicate of a conditional branch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Pred {
+    /// Always taken (an unconditional jump).
+    Always,
+    /// A comparison between two memory locations.
+    Cmp(CmpOp, Addr, Addr),
+}
+
+/// A single machine statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// Load a floating-point constant.
+    ConstF {
+        /// Destination address.
+        dest: Addr,
+        /// The constant.
+        value: f64,
+    },
+    /// Load an integer constant.
+    ConstI {
+        /// Destination address.
+        dest: Addr,
+        /// The constant.
+        value: i64,
+    },
+    /// Copy a value between addresses (models moves through registers, the
+    /// stack, and heap data structures — the operations concrete expressions
+    /// must see *through*).
+    Copy {
+        /// Destination address.
+        dest: Addr,
+        /// Source address.
+        src: Addr,
+    },
+    /// Apply a floating-point operation.
+    Compute {
+        /// Destination address.
+        dest: Addr,
+        /// The operation.
+        op: RealOp,
+        /// Argument addresses.
+        args: Vec<Addr>,
+    },
+    /// Convert a float to an integer (truncation). This is one of the three
+    /// kinds of *spots* in the analysis.
+    CastToInt {
+        /// Destination address.
+        dest: Addr,
+        /// Source address (a float).
+        src: Addr,
+    },
+    /// Conditional jump: if the predicate holds, set the program counter to
+    /// `target`. Branches whose predicate reads floats are spots.
+    Branch {
+        /// The predicate.
+        pred: Pred,
+        /// The statement index jumped to when the predicate holds.
+        target: usize,
+    },
+    /// Emit a program output. Outputs are spots.
+    Output {
+        /// The address whose value is printed.
+        src: Addr,
+    },
+    /// Stop execution.
+    Halt,
+}
+
+impl Statement {
+    /// True for statements the analysis treats as spots (outputs, branches
+    /// over floats, float→int conversions) — §4.2 of the paper.
+    pub fn is_spot(&self) -> bool {
+        matches!(
+            self,
+            Statement::Output { .. } | Statement::Branch { pred: Pred::Cmp(..), .. } | Statement::CastToInt { .. }
+        )
+    }
+}
+
+/// A source location attached to a statement, mimicking the
+/// file/line/function locations Herbgrind reports from DWARF debug info.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SourceLoc {
+    /// Source file name.
+    pub file: String,
+    /// Line number.
+    pub line: u32,
+    /// Enclosing function name.
+    pub function: String,
+}
+
+impl SourceLoc {
+    /// Creates a source location.
+    pub fn new(file: impl Into<String>, line: u32, function: impl Into<String>) -> SourceLoc {
+        SourceLoc {
+            file: file.into(),
+            line,
+            function: function.into(),
+        }
+    }
+}
+
+impl fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{} in {}", self.file, self.line, self.function)
+    }
+}
+
+/// A compiled machine program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// A human-readable name (usually the benchmark's `:name`).
+    pub name: String,
+    /// The statements, executed from index 0.
+    pub statements: Vec<Statement>,
+    /// One source location per statement.
+    pub locations: Vec<SourceLoc>,
+    /// The number of memory addresses the program uses.
+    pub num_addrs: usize,
+    /// The addresses that hold the program arguments at startup.
+    pub arg_addrs: Vec<Addr>,
+}
+
+impl Program {
+    /// The number of statements.
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// True if the program has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    /// The source location of a statement (a default location if none was
+    /// recorded).
+    pub fn location(&self, pc: usize) -> SourceLoc {
+        self.locations.get(pc).cloned().unwrap_or_default()
+    }
+
+    /// The number of statements that are floating-point computations.
+    pub fn compute_count(&self) -> usize {
+        self.statements
+            .iter()
+            .filter(|s| matches!(s, Statement::Compute { .. }))
+            .count()
+    }
+
+    /// Checks structural invariants: branch targets in range, addresses below
+    /// `num_addrs`, and one location per statement. Returns a description of
+    /// the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.locations.len() != self.statements.len() {
+            return Err(format!(
+                "{} locations for {} statements",
+                self.locations.len(),
+                self.statements.len()
+            ));
+        }
+        let check_addr = |a: Addr, what: &str, pc: usize| -> Result<(), String> {
+            if a >= self.num_addrs {
+                Err(format!("statement {pc}: {what} address {a} out of range"))
+            } else {
+                Ok(())
+            }
+        };
+        for (pc, stmt) in self.statements.iter().enumerate() {
+            match stmt {
+                Statement::ConstF { dest, .. } | Statement::ConstI { dest, .. } => {
+                    check_addr(*dest, "dest", pc)?;
+                }
+                Statement::Copy { dest, src } | Statement::CastToInt { dest, src } => {
+                    check_addr(*dest, "dest", pc)?;
+                    check_addr(*src, "src", pc)?;
+                }
+                Statement::Compute { dest, op, args } => {
+                    check_addr(*dest, "dest", pc)?;
+                    if args.len() != op.arity() {
+                        return Err(format!(
+                            "statement {pc}: {op} expects {} args, has {}",
+                            op.arity(),
+                            args.len()
+                        ));
+                    }
+                    for &a in args {
+                        check_addr(a, "arg", pc)?;
+                    }
+                }
+                Statement::Branch { pred, target } => {
+                    if *target > self.statements.len() {
+                        return Err(format!("statement {pc}: branch target {target} out of range"));
+                    }
+                    if let Pred::Cmp(_, a, b) = pred {
+                        check_addr(*a, "cmp lhs", pc)?;
+                        check_addr(*b, "cmp rhs", pc)?;
+                    }
+                }
+                Statement::Output { src } => check_addr(*src, "output", pc)?,
+                Statement::Halt => {}
+            }
+        }
+        for &a in &self.arg_addrs {
+            check_addr(a, "argument", usize::MAX)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::F(2.5).as_f64(), 2.5);
+        assert_eq!(Value::I(3).as_f64(), 3.0);
+        assert!(Value::F(1.0).is_float());
+        assert!(!Value::I(1).is_float());
+    }
+
+    #[test]
+    fn spot_classification() {
+        assert!(Statement::Output { src: 0 }.is_spot());
+        assert!(Statement::CastToInt { dest: 0, src: 1 }.is_spot());
+        assert!(Statement::Branch {
+            pred: Pred::Cmp(CmpOp::Lt, 0, 1),
+            target: 0
+        }
+        .is_spot());
+        assert!(!Statement::Branch {
+            pred: Pred::Always,
+            target: 0
+        }
+        .is_spot());
+        assert!(!Statement::Compute {
+            dest: 0,
+            op: RealOp::Add,
+            args: vec![0, 1]
+        }
+        .is_spot());
+    }
+
+    #[test]
+    fn validation_catches_bad_addresses() {
+        let mut p = Program {
+            name: "bad".into(),
+            statements: vec![Statement::Output { src: 5 }],
+            locations: vec![SourceLoc::default()],
+            num_addrs: 2,
+            arg_addrs: vec![],
+        };
+        assert!(p.validate().is_err());
+        p.statements = vec![Statement::Output { src: 1 }];
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_arity_mismatch() {
+        let p = Program {
+            name: "bad".into(),
+            statements: vec![Statement::Compute {
+                dest: 0,
+                op: RealOp::Add,
+                args: vec![0],
+            }],
+            locations: vec![SourceLoc::default()],
+            num_addrs: 2,
+            arg_addrs: vec![],
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn source_locations_display() {
+        let loc = SourceLoc::new("main.cpp", 24, "run(int, int)");
+        assert_eq!(loc.to_string(), "main.cpp:24 in run(int, int)");
+    }
+}

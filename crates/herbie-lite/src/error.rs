@@ -1,0 +1,79 @@
+//! Sampled error estimation against a high-precision ground truth.
+//!
+//! Herbie evaluates candidate expressions on sampled points against an
+//! MPFR-based ground truth and reports the average bits of error; this
+//! module does the same with [`shadowreal::BigFloat`] as the ground truth.
+
+use fpcore::ast::FPCore;
+use fpcore::eval::{eval_core, eval_f64};
+use shadowreal::{bits_error, BigFloat};
+
+/// The bits of error of the double-precision evaluation of `core` on a
+/// single input, against the high-precision ground truth.
+///
+/// Inputs on which evaluation fails (unbound variables, runaway loops) are
+/// reported as `None` so callers can skip them.
+pub fn pointwise_error_bits(core: &FPCore, input: &[f64]) -> Option<f64> {
+    let client = eval_f64(core, input).ok()?;
+    let shadow_args: Vec<BigFloat> = input.iter().map(|&x| BigFloat::from_f64(x)).collect();
+    let exact = eval_core::<BigFloat>(core, &shadow_args).ok()?;
+    Some(bits_error(client, exact.to_f64()))
+}
+
+/// The average bits of error of `core` over a set of sampled inputs.
+///
+/// Points whose evaluation fails are skipped; if every point fails, the
+/// error is reported as the maximum (64 bits), which keeps such degenerate
+/// candidates from winning the search.
+pub fn average_error_bits(core: &FPCore, inputs: &[Vec<f64>]) -> f64 {
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for input in inputs {
+        if let Some(err) = pointwise_error_bits(core, input) {
+            total += err;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        shadowreal::MAX_ERROR_BITS
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_core;
+
+    #[test]
+    fn accurate_expressions_have_low_average_error() {
+        let core = parse_core("(FPCore (x y) (sqrt (+ (* x x) (* y y))))").unwrap();
+        let inputs: Vec<Vec<f64>> = (1..50).map(|i| vec![i as f64, (i * 2) as f64]).collect();
+        assert!(average_error_bits(&core, &inputs) < 2.0);
+    }
+
+    #[test]
+    fn cancellation_has_high_average_error() {
+        let core = parse_core("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+        let inputs: Vec<Vec<f64>> = (1..40).map(|i| vec![10f64.powi(i % 16)]).collect();
+        assert!(average_error_bits(&core, &inputs) > 5.0);
+    }
+
+    #[test]
+    fn pointwise_error_identifies_the_bad_region() {
+        let core = parse_core("(FPCore (x) (- (+ x 1) x))").unwrap();
+        assert!(pointwise_error_bits(&core, &[1.0]).unwrap() < 1.0);
+        assert!(pointwise_error_bits(&core, &[1e16]).unwrap() > 40.0);
+    }
+
+    #[test]
+    fn unevaluable_points_are_skipped() {
+        let core = parse_core("(FPCore (n) (while (< i n) ((i 0 (+ i 1))) i))").unwrap();
+        // A loop bound of infinity exhausts the budget; the point is skipped
+        // and the remaining point determines the average.
+        let inputs = vec![vec![f64::INFINITY], vec![3.0]];
+        let err = average_error_bits(&core, &inputs);
+        assert!(err < 1.0, "got {err}");
+    }
+}

@@ -1,0 +1,40 @@
+//! A small accuracy-improvement oracle in the spirit of Herbie.
+//!
+//! The paper's improvability experiment (§8.1) uses Herbie as a mechanical
+//! proxy for a numerical expert: a candidate root cause is a *true* root
+//! cause if Herbie can detect significant error in it and produce a more
+//! accurate rewriting. This crate reproduces that role with the same overall
+//! architecture as Herbie — sampled input points, an MPFR-style ground truth
+//! (here [`shadowreal::BigFloat`]), a database of algebraic rewrites known to
+//! improve accuracy, and a greedy search — at a much smaller scale.
+//!
+//! It is deliberately *not* a full Herbie: it supports the rewrites needed
+//! for the classic catastrophic-cancellation patterns in the FPBench
+//! general-purpose suite (conjugates, `expm1`/`log1p`, `fma`, `hypot`,
+//! half-angle identities, quadratic-formula flips), which is what the
+//! improvability definition requires.
+//!
+//! # Example
+//!
+//! ```
+//! use fpcore::parse_core;
+//! use herbie_lite::{improve, sample_inputs, ImprovementOptions};
+//!
+//! let core = parse_core("(FPCore (x) :pre (<= 1 x 1e15) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+//! let inputs = sample_inputs(&core, 200, 42).unwrap();
+//! let result = improve(&core, &inputs, &ImprovementOptions::default()).unwrap();
+//! assert!(result.original_error_bits > 5.0);
+//! assert!(result.improved, "conjugate rewrite should fix the cancellation");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod rewrite;
+pub mod sampling;
+pub mod search;
+
+pub use error::{average_error_bits, pointwise_error_bits};
+pub use sampling::{sample_inputs, SampleError};
+pub use search::{improve, ImprovementOptions, ImprovementResult};

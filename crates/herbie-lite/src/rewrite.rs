@@ -1,0 +1,377 @@
+//! The rewrite database: algebraic identities known to improve accuracy.
+//!
+//! Each rule matches a syntactic pattern and produces a mathematically
+//! equivalent expression that avoids a specific floating-point failure mode
+//! (catastrophic cancellation, inaccurate composition of `exp`/`log` with
+//! nearby constants, etc.). The rules are a compact subset of Herbie's rule
+//! database, chosen to cover the patterns that dominate the FPBench
+//! general-purpose suite.
+
+use fpcore::ast::Expr;
+use shadowreal::RealOp;
+
+/// A rewrite produced by the rule database: the rule's name and the rewritten
+/// whole expression.
+#[derive(Clone, Debug)]
+pub struct Rewrite {
+    /// The name of the rule that fired.
+    pub rule: &'static str,
+    /// The rewritten expression.
+    pub expr: Expr,
+}
+
+/// Structural equality of expressions (used by cancellation rules).
+pub fn structurally_equal(a: &Expr, b: &Expr) -> bool {
+    match (a, b) {
+        (Expr::Number(x), Expr::Number(y)) => x.to_bits() == y.to_bits(),
+        (Expr::Const(x), Expr::Const(y)) => x == y,
+        (Expr::Var(x), Expr::Var(y)) => x == y,
+        (Expr::Op(op_a, args_a), Expr::Op(op_b, args_b)) => {
+            op_a == op_b
+                && args_a.len() == args_b.len()
+                && args_a.iter().zip(args_b).all(|(x, y)| structurally_equal(x, y))
+        }
+        _ => false,
+    }
+}
+
+fn op(o: RealOp, args: Vec<Expr>) -> Expr {
+    Expr::Op(o, args)
+}
+
+fn num(v: f64) -> Expr {
+    Expr::Number(v)
+}
+
+fn is_number(e: &Expr, v: f64) -> bool {
+    matches!(e, Expr::Number(n) if *n == v)
+}
+
+/// The square of an expression, simplified when the expression is itself a
+/// square root.
+fn square_of(e: &Expr) -> Expr {
+    if let Expr::Op(RealOp::Sqrt, args) = e {
+        args[0].clone()
+    } else {
+        op(RealOp::Mul, vec![e.clone(), e.clone()])
+    }
+}
+
+/// All rewrites available at the *root* of the expression.
+pub fn rewrites_at_root(expr: &Expr) -> Vec<Rewrite> {
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, e: Expr| out.push(Rewrite { rule, expr: e });
+
+    if let Expr::Op(o, args) = expr {
+        match (o, args.as_slice()) {
+            // --- cancellation removal ---
+            (RealOp::Sub, [a, b]) => {
+                // (x + c) - x  =>  c     and     (c + x) - x  =>  c
+                if let Expr::Op(RealOp::Add, inner) = a {
+                    if structurally_equal(&inner[0], b) {
+                        push("cancel-left-add", inner[1].clone());
+                    }
+                    if structurally_equal(&inner[1], b) {
+                        push("cancel-right-add", inner[0].clone());
+                    }
+                }
+                // (x - c) - x => -c
+                if let Expr::Op(RealOp::Sub, inner) = a {
+                    if structurally_equal(&inner[0], b) {
+                        push("cancel-sub", op(RealOp::Neg, vec![inner[1].clone()]));
+                    }
+                }
+                // exp(x) - 1  =>  expm1(x)
+                if let Expr::Op(RealOp::Exp, inner) = a {
+                    if is_number(b, 1.0) {
+                        push("expm1", op(RealOp::Expm1, vec![inner[0].clone()]));
+                    }
+                }
+                // 1 - cos(x)  =>  2 sin(x/2)^2
+                if is_number(a, 1.0) {
+                    if let Expr::Op(RealOp::Cos, inner) = b {
+                        let half = op(RealOp::Div, vec![inner[0].clone(), num(2.0)]);
+                        let s = op(RealOp::Sin, vec![half]);
+                        push(
+                            "one-minus-cos",
+                            op(RealOp::Mul, vec![num(2.0), op(RealOp::Mul, vec![s.clone(), s])]),
+                        );
+                    }
+                }
+                // log(a) - log(b)  =>  log(a / b)
+                if let (Expr::Op(RealOp::Log, la), Expr::Op(RealOp::Log, lb)) = (a, b) {
+                    push(
+                        "log-quotient",
+                        op(RealOp::Log, vec![op(RealOp::Div, vec![la[0].clone(), lb[0].clone()])]),
+                    );
+                }
+                // a² - b²  =>  (a + b)(a - b)
+                if let (Expr::Op(RealOp::Mul, ma), Expr::Op(RealOp::Mul, mb)) = (a, b) {
+                    if structurally_equal(&ma[0], &ma[1]) && structurally_equal(&mb[0], &mb[1]) {
+                        push(
+                            "difference-of-squares",
+                            op(
+                                RealOp::Mul,
+                                vec![
+                                    op(RealOp::Add, vec![ma[0].clone(), mb[0].clone()]),
+                                    op(RealOp::Sub, vec![ma[0].clone(), mb[0].clone()]),
+                                ],
+                            ),
+                        );
+                    }
+                }
+                // Conjugate trick: when either side is a square root,
+                //   a - b  =>  (a² - b²) / (a + b)
+                let involves_sqrt = matches!(a, Expr::Op(RealOp::Sqrt, _))
+                    || matches!(b, Expr::Op(RealOp::Sqrt, _));
+                if involves_sqrt {
+                    let numerator = op(RealOp::Sub, vec![square_of(a), square_of(b)]);
+                    let denominator = op(RealOp::Add, vec![a.clone(), b.clone()]);
+                    push("conjugate", op(RealOp::Div, vec![numerator, denominator]));
+                }
+                // a*b - c  =>  fma(a, b, -c)
+                if let Expr::Op(RealOp::Mul, m) = a {
+                    push(
+                        "fma-sub",
+                        op(
+                            RealOp::Fma,
+                            vec![m[0].clone(), m[1].clone(), op(RealOp::Neg, vec![b.clone()])],
+                        ),
+                    );
+                }
+                // (a + b) - b pattern handled above; also (a + b) - a.
+            }
+            (RealOp::Add, [a, b]) => {
+                // (a - b) + b  =>  a
+                if let Expr::Op(RealOp::Sub, inner) = a {
+                    if structurally_equal(&inner[1], b) {
+                        push("cancel-add-sub", inner[0].clone());
+                    }
+                }
+                // a*b + c  =>  fma(a, b, c)
+                if let Expr::Op(RealOp::Mul, m) = a {
+                    push("fma-add", op(RealOp::Fma, vec![m[0].clone(), m[1].clone(), b.clone()]));
+                }
+                if let Expr::Op(RealOp::Mul, m) = b {
+                    push("fma-add-rev", op(RealOp::Fma, vec![m[0].clone(), m[1].clone(), a.clone()]));
+                }
+            }
+            (RealOp::Log, [a]) => {
+                // log(1 + x)  =>  log1p(x)
+                if let Expr::Op(RealOp::Add, inner) = a {
+                    if is_number(&inner[0], 1.0) {
+                        push("log1p", op(RealOp::Log1p, vec![inner[1].clone()]));
+                    }
+                    if is_number(&inner[1], 1.0) {
+                        push("log1p-rev", op(RealOp::Log1p, vec![inner[0].clone()]));
+                    }
+                }
+            }
+            (RealOp::Sqrt, [a]) => {
+                // sqrt(x² + y²)  =>  hypot(x, y)
+                if let Expr::Op(RealOp::Add, inner) = a {
+                    if let (Expr::Op(RealOp::Mul, x), Expr::Op(RealOp::Mul, y)) =
+                        (&inner[0], &inner[1])
+                    {
+                        if structurally_equal(&x[0], &x[1]) && structurally_equal(&y[0], &y[1]) {
+                            push("hypot", op(RealOp::Hypot, vec![x[0].clone(), y[0].clone()]));
+                        }
+                    }
+                }
+            }
+            (RealOp::Div, [a, b]) => {
+                // (x² - y²)-style numerators over a sum denominator are
+                // already in good shape; the useful direction here is the
+                // quadratic-formula flip:  (-b + sqrt(d)) / (2a)  =>
+                // the same value computed as  (2c)/( -b - sqrt(d) ) requires
+                // knowing c, so instead offer the algebraically safe
+                // reciprocal-of-reciprocal cleanup: (1 / (1 / x)) => x.
+                if is_number(a, 1.0) {
+                    if let Expr::Op(RealOp::Div, inner) = b {
+                        if is_number(&inner[0], 1.0) {
+                            push("reciprocal-reciprocal", inner[1].clone());
+                        }
+                    }
+                }
+                // (a*c) / c  =>  a
+                if let Expr::Op(RealOp::Mul, m) = a {
+                    if structurally_equal(&m[1], b) {
+                        push("cancel-div", m[0].clone());
+                    }
+                    if structurally_equal(&m[0], b) {
+                        push("cancel-div-rev", m[1].clone());
+                    }
+                }
+            }
+            (RealOp::Mul, [a, b]) => {
+                // (a / b) * b  =>  a
+                if let Expr::Op(RealOp::Div, d) = a {
+                    if structurally_equal(&d[1], b) {
+                        push("cancel-mul-div", d[0].clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// All rewrites obtained by applying a rule at any position of the
+/// expression. Each result is a complete rewritten expression.
+pub fn all_rewrites(expr: &Expr) -> Vec<Rewrite> {
+    let mut out = rewrites_at_root(expr);
+    match expr {
+        Expr::Op(o, args) => {
+            for (i, arg) in args.iter().enumerate() {
+                for rw in all_rewrites(arg) {
+                    let mut new_args = args.clone();
+                    new_args[i] = rw.expr;
+                    out.push(Rewrite {
+                        rule: rw.rule,
+                        expr: Expr::Op(*o, new_args),
+                    });
+                }
+            }
+        }
+        Expr::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            for rw in all_rewrites(then) {
+                out.push(Rewrite {
+                    rule: rw.rule,
+                    expr: Expr::If {
+                        cond: cond.clone(),
+                        then: Box::new(rw.expr),
+                        otherwise: otherwise.clone(),
+                    },
+                });
+            }
+            for rw in all_rewrites(otherwise) {
+                out.push(Rewrite {
+                    rule: rw.rule,
+                    expr: Expr::If {
+                        cond: cond.clone(),
+                        then: then.clone(),
+                        otherwise: Box::new(rw.expr),
+                    },
+                });
+            }
+        }
+        Expr::Let {
+            sequential,
+            bindings,
+            body,
+        } => {
+            for (i, (name, bound)) in bindings.iter().enumerate() {
+                for rw in all_rewrites(bound) {
+                    let mut new_bindings = bindings.clone();
+                    new_bindings[i] = (name.clone(), rw.expr);
+                    out.push(Rewrite {
+                        rule: rw.rule,
+                        expr: Expr::Let {
+                            sequential: *sequential,
+                            bindings: new_bindings,
+                            body: body.clone(),
+                        },
+                    });
+                }
+            }
+            for rw in all_rewrites(body) {
+                out.push(Rewrite {
+                    rule: rw.rule,
+                    expr: Expr::Let {
+                        sequential: *sequential,
+                        bindings: bindings.clone(),
+                        body: Box::new(rw.expr),
+                    },
+                });
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::{expr_to_string, parse_expr};
+
+    fn rewrites_of(src: &str) -> Vec<String> {
+        let expr = parse_expr(src).unwrap();
+        all_rewrites(&expr)
+            .into_iter()
+            .map(|rw| expr_to_string(&rw.expr))
+            .collect()
+    }
+
+    #[test]
+    fn conjugate_fires_on_sqrt_difference() {
+        let results = rewrites_of("(- (sqrt (+ x 1)) (sqrt x))");
+        assert!(
+            results.iter().any(|r| r == "(/ (- (+ x 1) x) (+ (sqrt (+ x 1)) (sqrt x)))"),
+            "{results:?}"
+        );
+    }
+
+    #[test]
+    fn cancellation_rules_fire() {
+        let results = rewrites_of("(- (+ x 1) x)");
+        assert!(results.iter().any(|r| r == "1"), "{results:?}");
+        let results = rewrites_of("(+ (- a b) b)");
+        assert!(results.iter().any(|r| r == "a"), "{results:?}");
+    }
+
+    #[test]
+    fn special_function_rules_fire() {
+        assert!(rewrites_of("(- (exp x) 1)").iter().any(|r| r == "(expm1 x)"));
+        assert!(rewrites_of("(log (+ 1 x))").iter().any(|r| r == "(log1p x)"));
+        assert!(rewrites_of("(sqrt (+ (* x x) (* y y)))")
+            .iter()
+            .any(|r| r == "(hypot x y)"));
+        assert!(rewrites_of("(- 1 (cos x))")
+            .iter()
+            .any(|r| r.contains("(sin (/ x 2))")));
+    }
+
+    #[test]
+    fn fma_rules_fire() {
+        assert!(rewrites_of("(+ (* a b) c)").iter().any(|r| r == "(fma a b c)"));
+        assert!(rewrites_of("(- (* a b) c)")
+            .iter()
+            .any(|r| r == "(fma a b (neg c))"));
+    }
+
+    #[test]
+    fn rewrites_apply_below_the_root() {
+        // The expm1 opportunity is nested inside a division.
+        let results = rewrites_of("(/ (- (exp x) 1) x)");
+        assert!(results.iter().any(|r| r == "(/ (expm1 x) x)"), "{results:?}");
+    }
+
+    #[test]
+    fn rewrites_apply_inside_let_and_if() {
+        let results = rewrites_of("(let ((t (- (exp x) 1))) (* t 2))");
+        assert!(results.iter().any(|r| r.contains("(expm1 x)")), "{results:?}");
+        let results = rewrites_of("(if (< x 0) (- (exp x) 1) x)");
+        assert!(results.iter().any(|r| r.contains("(expm1 x)")), "{results:?}");
+    }
+
+    #[test]
+    fn no_rules_fire_on_plain_expressions() {
+        assert!(rewrites_of("(* x 3)").is_empty());
+        assert!(rewrites_of("x").is_empty());
+    }
+
+    #[test]
+    fn structural_equality_distinguishes_variables() {
+        let a = parse_expr("(+ x y)").unwrap();
+        let b = parse_expr("(+ x y)").unwrap();
+        let c = parse_expr("(+ x z)").unwrap();
+        assert!(structurally_equal(&a, &b));
+        assert!(!structurally_equal(&a, &c));
+    }
+}

@@ -1,0 +1,235 @@
+//! Input sampling for benchmarks, driven by their `:pre` conditions.
+//!
+//! This plays the role of the "driver code which exercises the benchmarks on
+//! many inputs" from §8.1: inputs are drawn from the ranges named in the
+//! precondition when one exists, and from a wide log-uniform distribution
+//! over the doubles otherwise, then filtered through the precondition.
+
+use fpcore::ast::{CmpOp, Expr, FPCore};
+use fpcore::eval::precondition_holds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced during sampling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SampleError {
+    /// Too few samples satisfied the precondition.
+    PreconditionTooRestrictive {
+        /// Samples requested.
+        requested: usize,
+        /// Samples found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::PreconditionTooRestrictive { requested, found } => write!(
+                f,
+                "only {found} of {requested} requested samples satisfied the precondition"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+/// A per-variable sampling range extracted from a precondition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VarRange {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl Default for VarRange {
+    fn default() -> Self {
+        VarRange { lo: -1e15, hi: 1e15 }
+    }
+}
+
+/// Extracts simple per-variable ranges from a precondition expression.
+///
+/// Understands conjunctions of chained comparisons whose endpoints are
+/// literals, e.g. `(and (<= 0 x 1) (< -10 y 10))`; anything else falls back
+/// to the default wide range for the variables it mentions.
+pub fn ranges_from_precondition(core: &FPCore) -> HashMap<String, VarRange> {
+    let mut ranges: HashMap<String, VarRange> = HashMap::new();
+    for arg in &core.arguments {
+        ranges.insert(arg.clone(), VarRange::default());
+    }
+    if let Some(pre) = &core.pre {
+        collect_ranges(pre, &mut ranges);
+    }
+    ranges
+}
+
+fn collect_ranges(expr: &Expr, ranges: &mut HashMap<String, VarRange>) {
+    match expr {
+        Expr::And(args) => {
+            for a in args {
+                collect_ranges(a, ranges);
+            }
+        }
+        Expr::Cmp(op, args) if matches!(op, CmpOp::Le | CmpOp::Lt | CmpOp::Ge | CmpOp::Gt) => {
+            // Patterns like (<= lo x hi), (<= lo x), (<= x hi) and their
+            // mirror images with > / >=.
+            let as_number = |e: &Expr| match e {
+                Expr::Number(n) => Some(*n),
+                Expr::Const(c) => Some(c.value()),
+                Expr::Op(shadowreal::RealOp::Neg, inner) => match inner.as_slice() {
+                    [Expr::Number(n)] => Some(-n),
+                    _ => None,
+                },
+                _ => None,
+            };
+            let ascending = matches!(op, CmpOp::Le | CmpOp::Lt);
+            for window in args.windows(2) {
+                let (left, right) = (&window[0], &window[1]);
+                match (left, right) {
+                    (lit, Expr::Var(name)) if as_number(lit).is_some() => {
+                        let bound = as_number(lit).expect("checked");
+                        let entry = ranges.entry(name.clone()).or_default();
+                        if ascending {
+                            entry.lo = entry.lo.max(bound);
+                        } else {
+                            entry.hi = entry.hi.min(bound);
+                        }
+                    }
+                    (Expr::Var(name), lit) if as_number(lit).is_some() => {
+                        let bound = as_number(lit).expect("checked");
+                        let entry = ranges.entry(name.clone()).or_default();
+                        if ascending {
+                            entry.hi = entry.hi.min(bound);
+                        } else {
+                            entry.lo = entry.lo.max(bound);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn sample_in_range(rng: &mut StdRng, range: VarRange) -> f64 {
+    let VarRange { lo, hi } = range;
+    if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+        return lo;
+    }
+    // Mix uniform and log-uniform sampling so that both wide dynamic ranges
+    // and narrow intervals are exercised (Herbie samples over the whole
+    // float range; we bias toward the precondition's interval).
+    if rng.gen_bool(0.5) || lo < 0.0 && hi > 0.0 {
+        rng.gen_range(lo..=hi)
+    } else {
+        // Log-uniform over the positive part of the range (or the negative
+        // part mirrored).
+        let (a, b, sign) = if lo >= 0.0 {
+            (lo.max(1e-30), hi.max(1e-30), 1.0)
+        } else {
+            (hi.abs().max(1e-30), lo.abs().max(1e-30), -1.0)
+        };
+        let (a, b) = (a.min(b), a.max(b));
+        let exp = rng.gen_range(a.ln()..=b.ln());
+        sign * exp.exp()
+    }
+}
+
+/// Samples `count` input vectors for a benchmark, honouring its
+/// precondition. The `seed` makes sampling reproducible.
+///
+/// # Errors
+///
+/// Returns [`SampleError::PreconditionTooRestrictive`] when fewer than a
+/// quarter of the requested samples can be found within the rejection
+/// budget.
+pub fn sample_inputs(core: &FPCore, count: usize, seed: u64) -> Result<Vec<Vec<f64>>, SampleError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ranges = ranges_from_precondition(core);
+    let mut out = Vec::with_capacity(count);
+    let budget = count.saturating_mul(200).max(1000);
+    let mut attempts = 0usize;
+    while out.len() < count && attempts < budget {
+        attempts += 1;
+        let candidate: Vec<f64> = core
+            .arguments
+            .iter()
+            .map(|name| sample_in_range(&mut rng, ranges.get(name).copied().unwrap_or_default()))
+            .collect();
+        if precondition_holds(core, &candidate).unwrap_or(false) {
+            out.push(candidate);
+        }
+    }
+    if out.len() < count / 4 {
+        return Err(SampleError::PreconditionTooRestrictive {
+            requested: count,
+            found: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_core;
+
+    #[test]
+    fn ranges_are_extracted_from_preconditions() {
+        let core = parse_core("(FPCore (x y) :pre (and (<= 0 x 1) (< -10 y 10)) (+ x y))").unwrap();
+        let ranges = ranges_from_precondition(&core);
+        assert_eq!(ranges["x"].lo, 0.0);
+        assert_eq!(ranges["x"].hi, 1.0);
+        assert_eq!(ranges["y"].lo, -10.0);
+        assert_eq!(ranges["y"].hi, 10.0);
+    }
+
+    #[test]
+    fn reversed_comparisons_are_understood() {
+        let core = parse_core("(FPCore (x) :pre (>= 5 x 1) (* x 2))").unwrap();
+        let ranges = ranges_from_precondition(&core);
+        assert_eq!(ranges["x"].lo, 1.0);
+        assert_eq!(ranges["x"].hi, 5.0);
+    }
+
+    #[test]
+    fn samples_respect_preconditions() {
+        let core = parse_core("(FPCore (x) :pre (< 1 x 2) (sqrt (- x 1)))").unwrap();
+        let samples = sample_inputs(&core, 100, 7).unwrap();
+        assert_eq!(samples.len(), 100);
+        assert!(samples.iter().all(|s| s[0] > 1.0 && s[0] < 2.0));
+    }
+
+    #[test]
+    fn sampling_is_reproducible_by_seed() {
+        let core = parse_core("(FPCore (x y) (+ x y))").unwrap();
+        let a = sample_inputs(&core, 20, 99).unwrap();
+        let b = sample_inputs(&core, 20, 99).unwrap();
+        let c = sample_inputs(&core, 20, 100).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn impossible_preconditions_are_reported() {
+        let core = parse_core("(FPCore (x) :pre (and (< x 0) (< 1 x)) x)").unwrap();
+        assert!(matches!(
+            sample_inputs(&core, 50, 1),
+            Err(SampleError::PreconditionTooRestrictive { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_argument_cores_sample_empty_vectors() {
+        let core = parse_core("(FPCore () (+ 1 2))").unwrap();
+        let samples = sample_inputs(&core, 5, 3).unwrap();
+        assert_eq!(samples.len(), 5);
+        assert!(samples.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,219 @@
+//! The greedy improvement search.
+//!
+//! Starting from the original expression, each round generates every rewrite
+//! at every position, scores the candidates by sampled average error against
+//! the high-precision ground truth, and keeps the best candidate if it is a
+//! genuine improvement. A handful of rounds suffices for the compound
+//! rewrites the benchmarks need (e.g. conjugate followed by cancellation).
+
+use crate::error::average_error_bits;
+use crate::rewrite::all_rewrites;
+use fpcore::ast::{Expr, FPCore};
+
+/// Options for the improvement search.
+#[derive(Clone, Debug)]
+pub struct ImprovementOptions {
+    /// Maximum number of greedy rounds.
+    pub rounds: usize,
+    /// Minimum reduction in average error (bits) for a rewrite to count as an
+    /// improvement.
+    pub min_improvement_bits: f64,
+    /// Threshold (bits of average error) above which an expression is
+    /// considered significantly erroneous — the "> 5 bits" of §8.1.
+    pub significant_error_bits: f64,
+}
+
+impl Default for ImprovementOptions {
+    fn default() -> Self {
+        ImprovementOptions {
+            rounds: 4,
+            min_improvement_bits: 1.0,
+            significant_error_bits: 5.0,
+        }
+    }
+}
+
+/// The outcome of an improvement attempt.
+#[derive(Clone, Debug)]
+pub struct ImprovementResult {
+    /// Average error of the original expression, in bits.
+    pub original_error_bits: f64,
+    /// Average error of the best expression found, in bits.
+    pub improved_error_bits: f64,
+    /// The best expression found (the original if nothing better was found).
+    pub improved_body: Expr,
+    /// Names of the rules applied, in order.
+    pub rules_applied: Vec<&'static str>,
+    /// True when the search found a rewriting at least
+    /// [`ImprovementOptions::min_improvement_bits`] more accurate.
+    pub improved: bool,
+}
+
+impl ImprovementResult {
+    /// True when the original expression had significant error (the paper's
+    /// "> 5 bits" criterion).
+    pub fn had_significant_error(&self, options: &ImprovementOptions) -> bool {
+        self.original_error_bits > options.significant_error_bits
+    }
+}
+
+/// Errors produced by the improvement search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImproveError {
+    /// No sample inputs were provided.
+    NoInputs,
+}
+
+impl std::fmt::Display for ImproveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImproveError::NoInputs => write!(f, "no sample inputs provided"),
+        }
+    }
+}
+
+impl std::error::Error for ImproveError {}
+
+fn with_body(core: &FPCore, body: Expr) -> FPCore {
+    FPCore {
+        arguments: core.arguments.clone(),
+        name: core.name.clone(),
+        pre: core.pre.clone(),
+        properties: core.properties.clone(),
+        body,
+    }
+}
+
+/// Attempts to improve the accuracy of a benchmark on the given sample
+/// inputs.
+///
+/// # Errors
+///
+/// Returns [`ImproveError::NoInputs`] when `inputs` is empty.
+pub fn improve(
+    core: &FPCore,
+    inputs: &[Vec<f64>],
+    options: &ImprovementOptions,
+) -> Result<ImprovementResult, ImproveError> {
+    if inputs.is_empty() {
+        return Err(ImproveError::NoInputs);
+    }
+    let original_error = average_error_bits(core, inputs);
+
+    // A small beam search: some improvements (e.g. the conjugate trick) only
+    // pay off after a follow-up cancellation, so purely greedy hill climbing
+    // would stall on the intermediate plateau.
+    type Candidate = (f64, Expr, Vec<&'static str>);
+    let beam_width = 4;
+    let mut beam: Vec<Candidate> = vec![(original_error, core.body.clone(), Vec::new())];
+    let mut best: Candidate = beam[0].clone();
+
+    for _ in 0..options.rounds {
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for (_, body, rules) in &beam {
+            for rw in all_rewrites(body) {
+                let printed = fpcore::expr_to_string(&rw.expr);
+                if !seen.insert(printed) {
+                    continue;
+                }
+                let err = average_error_bits(&with_body(core, rw.expr.clone()), inputs);
+                let mut applied = rules.clone();
+                applied.push(rw.rule);
+                candidates.push((err, rw.expr, applied));
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.truncate(beam_width);
+        if candidates[0].0 < best.0 {
+            best = candidates[0].clone();
+        }
+        beam = candidates;
+    }
+
+    let (best_error, best_body, rules_applied) = best;
+    let improved = best_error + options.min_improvement_bits <= original_error;
+    Ok(ImprovementResult {
+        original_error_bits: original_error,
+        improved_error_bits: if improved { best_error } else { original_error },
+        improved_body: if improved { best_body } else { core.body.clone() },
+        rules_applied: if improved { rules_applied } else { Vec::new() },
+        improved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::sample_inputs;
+    use fpcore::{expr_to_string, parse_core};
+
+    fn improve_src(src: &str, seed: u64) -> ImprovementResult {
+        let core = parse_core(src).unwrap();
+        let inputs = sample_inputs(&core, 150, seed).unwrap();
+        improve(&core, &inputs, &ImprovementOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn sqrt_difference_is_improved_by_conjugate() {
+        let result = improve_src(
+            "(FPCore (x) :pre (<= 1 x 1e15) (- (sqrt (+ x 1)) (sqrt x)))",
+            11,
+        );
+        assert!(result.original_error_bits > 5.0);
+        assert!(result.improved, "rules applied: {:?}", result.rules_applied);
+        assert!(result.improved_error_bits < result.original_error_bits - 5.0);
+    }
+
+    #[test]
+    fn plotter_expression_is_improved() {
+        // The §3 complex-plotter root cause: sqrt(x² + y²) − x with tiny y.
+        let result = improve_src(
+            "(FPCore (x y) :pre (and (<= 1e-9 x 0.25) (<= 1e-12 y 1e-9)) (- (sqrt (+ (* x x) (* y y))) x))",
+            7,
+        );
+        assert!(result.original_error_bits > 5.0);
+        assert!(result.improved, "rules applied: {:?}", result.rules_applied);
+    }
+
+    #[test]
+    fn expm1_pattern_is_improved() {
+        let result = improve_src(
+            "(FPCore (x) :pre (<= 1e-18 x 1e-9) (/ (- (exp x) 1) x))",
+            3,
+        );
+        assert!(result.original_error_bits > 5.0);
+        assert!(result.improved);
+        assert!(expr_to_string(&result.improved_body).contains("expm1"));
+    }
+
+    #[test]
+    fn accurate_expressions_are_left_alone() {
+        let result = improve_src("(FPCore (x y) :pre (and (<= 1 x 100) (<= 1 y 100)) (* x y))", 5);
+        assert!(result.original_error_bits < 1.0);
+        assert!(!result.improved);
+        assert_eq!(expr_to_string(&result.improved_body), "(* x y)");
+    }
+
+    #[test]
+    fn empty_inputs_are_an_error() {
+        let core = parse_core("(FPCore (x) (+ x 1))").unwrap();
+        assert_eq!(
+            improve(&core, &[], &ImprovementOptions::default()).unwrap_err(),
+            ImproveError::NoInputs
+        );
+    }
+
+    #[test]
+    fn one_minus_cos_is_improved() {
+        let result = improve_src(
+            "(FPCore (x) :pre (<= 1e-9 x 1e-4) (/ (- 1 (cos x)) (* x x)))",
+            13,
+        );
+        assert!(result.original_error_bits > 5.0, "{}", result.original_error_bits);
+        assert!(result.improved, "rules: {:?}", result.rules_applied);
+    }
+}

@@ -1,0 +1,1086 @@
+//! Elementary functions on [`BigFloat`].
+//!
+//! Herbgrind wraps calls to the math library (`sin`, `exp`, ...) and
+//! evaluates them directly on the shadow reals (§5.3 of the paper). This
+//! module provides those evaluations: argument reduction plus Taylor /
+//! atanh-style series, computed with 64 guard bits and faithfully rounded to
+//! the working precision. Constants (π, ln 2) are computed on demand and
+//! cached per precision.
+
+use super::{BigFloat, Finite, Repr, MAX_PRECISION};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+fn pi_cache() -> &'static Mutex<HashMap<u32, BigFloat>> {
+    static CACHE: OnceLock<Mutex<HashMap<u32, BigFloat>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn ln2_cache() -> &'static Mutex<HashMap<u32, BigFloat>> {
+    static CACHE: OnceLock<Mutex<HashMap<u32, BigFloat>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// arctan(1/x) for a small positive integer x, by the Gregory series.
+fn atan_recip_int(x: i64, prec: u32) -> BigFloat {
+    let work = prec + 32;
+    let xb = BigFloat::from_i64(x).with_precision(work);
+    let xsq = xb.mul(&xb);
+    let mut term = BigFloat::one().with_precision(work).div(&xb);
+    let mut sum = term.clone();
+    let mut k: i64 = 1;
+    loop {
+        term = term.div(&xsq);
+        let contrib = term.div(&BigFloat::from_i64(2 * k + 1));
+        let next = if k % 2 == 1 {
+            sum.sub(&contrib)
+        } else {
+            sum.add(&contrib)
+        };
+        if converged(&next, &contrib, work) {
+            return next.with_precision(prec);
+        }
+        sum = next;
+        k += 1;
+    }
+}
+
+/// True when `delta` is negligible relative to `total` at `work` bits.
+fn converged(total: &BigFloat, delta: &BigFloat, work: u32) -> bool {
+    if delta.is_zero() {
+        return true;
+    }
+    match (total.exponent(), delta.exponent()) {
+        (Some(te), Some(de)) => de < te - work as i64 - 4,
+        _ => false,
+    }
+}
+
+impl BigFloat {
+    /// π at the given precision (cached).
+    pub fn pi(prec: u32) -> BigFloat {
+        let prec = prec.min(MAX_PRECISION);
+        if let Some(v) = pi_cache().lock().expect("pi cache").get(&prec) {
+            return v.clone();
+        }
+        // Machin's formula: π = 16·atan(1/5) − 4·atan(1/239).
+        let work = prec + 32;
+        let a = atan_recip_int(5, work).mul(&BigFloat::from_i64(16));
+        let b = atan_recip_int(239, work).mul(&BigFloat::from_i64(4));
+        let pi = a.sub(&b).with_precision(prec);
+        pi_cache().lock().expect("pi cache").insert(prec, pi.clone());
+        pi
+    }
+
+    /// ln 2 at the given precision (cached).
+    pub fn ln2(prec: u32) -> BigFloat {
+        let prec = prec.min(MAX_PRECISION);
+        if let Some(v) = ln2_cache().lock().expect("ln2 cache").get(&prec) {
+            return v.clone();
+        }
+        // ln 2 = 2·atanh(1/3) = 2·(1/3 + (1/3)³/3 + (1/3)⁵/5 + ...)
+        let work = prec + 32;
+        let third = BigFloat::one().with_precision(work).div(&BigFloat::from_i64(3));
+        let t2 = third.mul(&third);
+        let mut power = third.clone();
+        let mut sum = third.clone();
+        let mut k: i64 = 1;
+        loop {
+            power = power.mul(&t2);
+            let contrib = power.div(&BigFloat::from_i64(2 * k + 1));
+            let next = sum.add(&contrib);
+            if converged(&next, &contrib, work) {
+                let result = next.mul(&BigFloat::from_i64(2)).with_precision(prec);
+                ln2_cache()
+                    .lock()
+                    .expect("ln2 cache")
+                    .insert(prec, result.clone());
+                return result;
+            }
+            sum = next;
+            k += 1;
+        }
+    }
+
+    /// Euler's number e at the given precision.
+    pub fn e(prec: u32) -> BigFloat {
+        BigFloat::one().with_precision(prec).exp()
+    }
+
+    fn work_prec(&self) -> u32 {
+        (self.precision() + 64).min(MAX_PRECISION)
+    }
+
+    /// Adds `delta` to the binary exponent (multiplies by 2^delta).
+    fn scale_exp(&self, delta: i64) -> BigFloat {
+        match &self.repr {
+            Repr::Finite(f) => BigFloat {
+                repr: Repr::Finite(Finite {
+                    exp: f.exp.saturating_add(delta),
+                    ..f.clone()
+                }),
+            },
+            _ => self.clone(),
+        }
+    }
+
+    /// The exponential function e^x.
+    pub fn exp(&self) -> BigFloat {
+        let prec = self.precision();
+        match &self.repr {
+            Repr::Nan => BigFloat::nan(),
+            Repr::Zero { .. } => BigFloat::one().with_precision(prec),
+            Repr::Inf { neg: false } => BigFloat::infinity(false),
+            Repr::Inf { neg: true } => BigFloat::zero(),
+            Repr::Finite(f) => {
+                // Guard against astronomically large arguments whose result
+                // exponent would not fit in an i64.
+                if f.exp > 62 {
+                    return if f.neg {
+                        BigFloat::zero()
+                    } else {
+                        BigFloat::infinity(false)
+                    };
+                }
+                let work = self.work_prec();
+                let ln2 = BigFloat::ln2(work);
+                let x = self.with_precision(work);
+                let n = x.div(&ln2).round_nearest().to_f64() as i64;
+                let nb = BigFloat::from_i64(n).with_precision(work);
+                let r = x.sub(&nb.mul(&ln2));
+                // Taylor series for exp(r), |r| ≲ ln2/2.
+                let mut term = BigFloat::one().with_precision(work);
+                let mut sum = term.clone();
+                let mut k: i64 = 1;
+                loop {
+                    term = term.mul(&r).div(&BigFloat::from_i64(k));
+                    let next = sum.add(&term);
+                    if converged(&next, &term, work) {
+                        return next.scale_exp(n).with_precision(prec);
+                    }
+                    sum = next;
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    /// The natural logarithm ln(x); NaN for negative input, −∞ at zero.
+    pub fn ln(&self) -> BigFloat {
+        let prec = self.precision();
+        match &self.repr {
+            Repr::Nan => BigFloat::nan(),
+            Repr::Zero { .. } => BigFloat::infinity(true),
+            Repr::Inf { neg: false } => BigFloat::infinity(false),
+            Repr::Inf { neg: true } => BigFloat::nan(),
+            Repr::Finite(f) if f.neg => BigFloat::nan(),
+            Repr::Finite(f) => {
+                let work = self.work_prec();
+                // Reduce to m·2^k with m in [√½, √2).
+                let mut k = f.exp;
+                let mut m = self.with_precision(work).scale_exp(-f.exp);
+                let sqrt_half = BigFloat::from_f64_prec(0.5, work).sqrt();
+                if m.partial_cmp(&sqrt_half) == Some(std::cmp::Ordering::Less) {
+                    m = m.scale_exp(1);
+                    k -= 1;
+                }
+                // ln m = 2·atanh(t), t = (m−1)/(m+1), |t| ≤ 0.172.
+                let one = BigFloat::one().with_precision(work);
+                let t = m.sub(&one).div(&m.add(&one));
+                let t2 = t.mul(&t);
+                let mut power = t.clone();
+                let mut sum = t.clone();
+                let mut i: i64 = 1;
+                let ln_m = loop {
+                    power = power.mul(&t2);
+                    let contrib = power.div(&BigFloat::from_i64(2 * i + 1));
+                    let next = sum.add(&contrib);
+                    if converged(&next, &contrib, work) || contrib.is_zero() {
+                        break next.mul(&BigFloat::from_i64(2));
+                    }
+                    sum = next;
+                    i += 1;
+                };
+                let kb = BigFloat::from_i64(k).with_precision(work);
+                kb.mul(&BigFloat::ln2(work)).add(&ln_m).with_precision(prec)
+            }
+        }
+    }
+
+    /// Base-2 logarithm.
+    pub fn log2(&self) -> BigFloat {
+        let prec = self.precision();
+        let work = self.work_prec();
+        self.with_precision(work)
+            .ln()
+            .div(&BigFloat::ln2(work))
+            .with_precision(prec)
+    }
+
+    /// Base-10 logarithm.
+    pub fn log10(&self) -> BigFloat {
+        let prec = self.precision();
+        let work = self.work_prec();
+        let ln10 = BigFloat::from_i64(10).with_precision(work).ln();
+        self.with_precision(work).ln().div(&ln10).with_precision(prec)
+    }
+
+    /// 2^x.
+    pub fn exp2(&self) -> BigFloat {
+        let prec = self.precision();
+        let work = self.work_prec();
+        self.with_precision(work)
+            .mul(&BigFloat::ln2(work))
+            .exp()
+            .with_precision(prec)
+    }
+
+    /// e^x − 1, accurate for small x.
+    pub fn expm1(&self) -> BigFloat {
+        let prec = self.precision();
+        match &self.repr {
+            Repr::Nan => BigFloat::nan(),
+            Repr::Zero { neg } => BigFloat {
+                repr: Repr::Zero { neg: *neg },
+            },
+            Repr::Inf { neg: false } => BigFloat::infinity(false),
+            Repr::Inf { neg: true } => BigFloat::from_i64(-1).with_precision(prec),
+            Repr::Finite(f) => {
+                if f.exp < -4 {
+                    // Direct Taylor series avoids cancellation: x + x²/2! + ...
+                    let work = self.work_prec();
+                    let x = self.with_precision(work);
+                    let mut term = x.clone();
+                    let mut sum = x.clone();
+                    let mut k: i64 = 2;
+                    loop {
+                        term = term.mul(&x).div(&BigFloat::from_i64(k));
+                        let next = sum.add(&term);
+                        if converged(&next, &term, work) {
+                            return next.with_precision(prec);
+                        }
+                        sum = next;
+                        k += 1;
+                    }
+                }
+                self.exp().sub(&BigFloat::one()).with_precision(prec)
+            }
+        }
+    }
+
+    /// ln(1 + x), accurate for small x.
+    pub fn log1p(&self) -> BigFloat {
+        let prec = self.precision();
+        let one = BigFloat::one().with_precision(prec);
+        match &self.repr {
+            Repr::Nan => BigFloat::nan(),
+            Repr::Zero { neg } => BigFloat {
+                repr: Repr::Zero { neg: *neg },
+            },
+            Repr::Finite(f) if f.exp < -4 => {
+                // ln(1+x) = 2·atanh(x / (2+x)).
+                let work = self.work_prec();
+                let x = self.with_precision(work);
+                let t = x.div(&x.add(&BigFloat::from_i64(2)));
+                t.atanh_series(work).mul(&BigFloat::from_i64(2)).with_precision(prec)
+            }
+            _ => self.add(&one).ln().with_precision(prec),
+        }
+    }
+
+    /// atanh by direct series; requires |self| well below 1.
+    fn atanh_series(&self, work: u32) -> BigFloat {
+        let t = self.with_precision(work);
+        let t2 = t.mul(&t);
+        let mut power = t.clone();
+        let mut sum = t.clone();
+        let mut i: i64 = 1;
+        loop {
+            power = power.mul(&t2);
+            let contrib = power.div(&BigFloat::from_i64(2 * i + 1));
+            let next = sum.add(&contrib);
+            if converged(&next, &contrib, work) || contrib.is_zero() {
+                return next;
+            }
+            sum = next;
+            i += 1;
+        }
+    }
+
+    /// Reduces the argument modulo π/2, returning the remainder (|r| ≤ π/4)
+    /// and the quadrant (0..=3).
+    fn trig_reduce(&self, work: u32) -> (BigFloat, u8) {
+        let exp_extra = self.exponent().unwrap_or(0).max(0) as u32;
+        let red_work = (work + exp_extra + 16).min(MAX_PRECISION);
+        let pi = BigFloat::pi(red_work);
+        let half_pi = pi.scale_exp(-1);
+        let x = self.with_precision(red_work);
+        let n = x.div(&half_pi).round_nearest();
+        let r = x.sub(&n.mul(&half_pi)).with_precision(work);
+        let q = n.fmod(&BigFloat::from_i64(4)).to_f64() as i64;
+        let q = ((q % 4) + 4) % 4;
+        (r, q as u8)
+    }
+
+    /// Taylor series for sine, valid for small arguments.
+    fn sin_series(&self, work: u32) -> BigFloat {
+        let x = self.with_precision(work);
+        let x2 = x.mul(&x);
+        let mut term = x.clone();
+        let mut sum = x.clone();
+        let mut k: i64 = 1;
+        loop {
+            // term_{k+1} = -term_k * x² / ((2k)(2k+1))
+            term = term
+                .mul(&x2)
+                .div(&BigFloat::from_i64(2 * k * (2 * k + 1)))
+                .neg();
+            let next = sum.add(&term);
+            if converged(&next, &term, work) || term.is_zero() {
+                return next;
+            }
+            sum = next;
+            k += 1;
+        }
+    }
+
+    /// Taylor series for cosine, valid for small arguments.
+    fn cos_series(&self, work: u32) -> BigFloat {
+        let x = self.with_precision(work);
+        let x2 = x.mul(&x);
+        let mut term = BigFloat::one().with_precision(work);
+        let mut sum = term.clone();
+        let mut k: i64 = 1;
+        loop {
+            // term_{k+1} = -term_k * x² / ((2k-1)(2k))
+            term = term
+                .mul(&x2)
+                .div(&BigFloat::from_i64((2 * k - 1) * (2 * k)))
+                .neg();
+            let next = sum.add(&term);
+            if converged(&next, &term, work) || term.is_zero() {
+                return next;
+            }
+            sum = next;
+            k += 1;
+        }
+    }
+
+    /// Sine.
+    pub fn sin(&self) -> BigFloat {
+        let prec = self.precision();
+        match &self.repr {
+            Repr::Nan | Repr::Inf { .. } => BigFloat::nan(),
+            Repr::Zero { neg } => BigFloat {
+                repr: Repr::Zero { neg: *neg },
+            },
+            Repr::Finite(_) => {
+                let work = self.work_prec();
+                let (r, q) = self.trig_reduce(work);
+                let v = match q {
+                    0 => r.sin_series(work),
+                    1 => r.cos_series(work),
+                    2 => r.sin_series(work).neg(),
+                    _ => r.cos_series(work).neg(),
+                };
+                v.with_precision(prec)
+            }
+        }
+    }
+
+    /// Cosine.
+    pub fn cos(&self) -> BigFloat {
+        let prec = self.precision();
+        match &self.repr {
+            Repr::Nan | Repr::Inf { .. } => BigFloat::nan(),
+            Repr::Zero { .. } => BigFloat::one().with_precision(prec),
+            Repr::Finite(_) => {
+                let work = self.work_prec();
+                let (r, q) = self.trig_reduce(work);
+                let v = match q {
+                    0 => r.cos_series(work),
+                    1 => r.sin_series(work).neg(),
+                    2 => r.cos_series(work).neg(),
+                    _ => r.sin_series(work),
+                };
+                v.with_precision(prec)
+            }
+        }
+    }
+
+    /// Tangent.
+    pub fn tan(&self) -> BigFloat {
+        let prec = self.precision();
+        match &self.repr {
+            Repr::Nan | Repr::Inf { .. } => BigFloat::nan(),
+            Repr::Zero { neg } => BigFloat {
+                repr: Repr::Zero { neg: *neg },
+            },
+            Repr::Finite(_) => {
+                let work = self.work_prec();
+                let (r, q) = self.trig_reduce(work);
+                let s = r.sin_series(work);
+                let c = r.cos_series(work);
+                let v = match q {
+                    0 | 2 => s.div(&c),
+                    _ => c.div(&s).neg(),
+                };
+                v.with_precision(prec)
+            }
+        }
+    }
+
+    /// Arctangent.
+    pub fn atan(&self) -> BigFloat {
+        let prec = self.precision();
+        match &self.repr {
+            Repr::Nan => BigFloat::nan(),
+            Repr::Zero { neg } => BigFloat {
+                repr: Repr::Zero { neg: *neg },
+            },
+            Repr::Inf { neg } => {
+                let v = BigFloat::pi(prec).scale_exp(-1);
+                if *neg {
+                    v.neg()
+                } else {
+                    v
+                }
+            }
+            Repr::Finite(f) => {
+                let work = self.work_prec();
+                let neg = f.neg;
+                let t = self.abs().with_precision(work);
+                let one = BigFloat::one().with_precision(work);
+                let (t, invert) = if t.partial_cmp(&one) == Some(std::cmp::Ordering::Greater) {
+                    (one.div(&t), true)
+                } else {
+                    (t, false)
+                };
+                // Halve the argument four times: atan(t) = 2·atan(t/(1+√(1+t²))).
+                let mut t = t;
+                let halvings = 4;
+                for _ in 0..halvings {
+                    let denom = one.add(&one.add(&t.mul(&t)).sqrt());
+                    t = t.div(&denom);
+                }
+                // Gregory series.
+                let t2 = t.mul(&t);
+                let mut power = t.clone();
+                let mut sum = t.clone();
+                let mut k: i64 = 1;
+                let series = loop {
+                    power = power.mul(&t2);
+                    let contrib = power.div(&BigFloat::from_i64(2 * k + 1));
+                    let next = if k % 2 == 1 {
+                        sum.sub(&contrib)
+                    } else {
+                        sum.add(&contrib)
+                    };
+                    if converged(&next, &contrib, work) || contrib.is_zero() {
+                        break next;
+                    }
+                    sum = next;
+                    k += 1;
+                };
+                let mut result = series.scale_exp(halvings as i64);
+                if invert {
+                    result = BigFloat::pi(work).scale_exp(-1).sub(&result);
+                }
+                if neg {
+                    result = result.neg();
+                }
+                result.with_precision(prec)
+            }
+        }
+    }
+
+    /// Two-argument arctangent atan2(self, x) where `self` is y.
+    pub fn atan2(&self, x: &BigFloat) -> BigFloat {
+        let prec = self.precision().max(x.precision());
+        let y = self;
+        if y.is_nan() || x.is_nan() {
+            return BigFloat::nan();
+        }
+        let pi = BigFloat::pi(prec + 32);
+        let result = if x.is_zero() && y.is_zero() {
+            // atan2(±0, +0) = ±0; atan2(±0, −0) = ±π.
+            if x.is_negative() {
+                pi.clone()
+            } else {
+                BigFloat::zero()
+            }
+        } else if x.is_zero() {
+            pi.scale_exp(-1)
+        } else if y.is_zero() {
+            if x.is_negative() {
+                pi.clone()
+            } else {
+                BigFloat::zero()
+            }
+        } else if x.is_infinite() || y.is_infinite() {
+            match (x.is_infinite(), y.is_infinite(), x.is_negative()) {
+                (true, true, false) => pi.scale_exp(-2),
+                (true, true, true) => pi.mul(&BigFloat::from_i64(3)).scale_exp(-2),
+                (true, false, false) => BigFloat::zero(),
+                (true, false, true) => pi.clone(),
+                _ => pi.scale_exp(-1),
+            }
+        } else {
+            let base = y.abs().div(&x.abs()).with_precision(prec + 32).atan();
+            if x.is_negative() {
+                pi.sub(&base)
+            } else {
+                base
+            }
+        };
+        let result = result.with_precision(prec);
+        if y.is_negative() && !result.is_zero() {
+            result.neg()
+        } else if y.is_negative() {
+            BigFloat::from_f64_prec(-0.0, prec)
+        } else {
+            result
+        }
+    }
+
+    /// Arcsine; NaN outside [−1, 1].
+    pub fn asin(&self) -> BigFloat {
+        let prec = self.precision();
+        if self.is_nan() {
+            return BigFloat::nan();
+        }
+        let one = BigFloat::one();
+        let a = self.abs();
+        match a.partial_cmp(&one) {
+            Some(std::cmp::Ordering::Greater) | None => BigFloat::nan(),
+            Some(std::cmp::Ordering::Equal) => {
+                let v = BigFloat::pi(prec).scale_exp(-1);
+                if self.is_negative() {
+                    v.neg()
+                } else {
+                    v
+                }
+            }
+            Some(std::cmp::Ordering::Less) => {
+                let work = self.work_prec();
+                let x = self.with_precision(work);
+                let denom = BigFloat::one().with_precision(work).sub(&x.mul(&x)).sqrt();
+                x.div(&denom).atan().with_precision(prec)
+            }
+        }
+    }
+
+    /// Arccosine; NaN outside [−1, 1].
+    pub fn acos(&self) -> BigFloat {
+        let prec = self.precision();
+        if self.is_nan() {
+            return BigFloat::nan();
+        }
+        let work = self.work_prec();
+        let asin = self.with_precision(work).asin();
+        if asin.is_nan() {
+            return BigFloat::nan();
+        }
+        BigFloat::pi(work).scale_exp(-1).sub(&asin).with_precision(prec)
+    }
+
+    /// Hyperbolic sine.
+    pub fn sinh(&self) -> BigFloat {
+        let prec = self.precision();
+        match &self.repr {
+            Repr::Nan => BigFloat::nan(),
+            Repr::Zero { neg } => BigFloat {
+                repr: Repr::Zero { neg: *neg },
+            },
+            Repr::Inf { neg } => BigFloat::infinity(*neg),
+            Repr::Finite(f) => {
+                if f.exp < -8 {
+                    // Avoid cancellation for small x: x + x³/3! + x⁵/5! + ...
+                    let work = self.work_prec();
+                    let x = self.with_precision(work);
+                    let x2 = x.mul(&x);
+                    let mut term = x.clone();
+                    let mut sum = x.clone();
+                    let mut k: i64 = 1;
+                    loop {
+                        term = term.mul(&x2).div(&BigFloat::from_i64(2 * k * (2 * k + 1)));
+                        let next = sum.add(&term);
+                        if converged(&next, &term, work) {
+                            return next.with_precision(prec);
+                        }
+                        sum = next;
+                        k += 1;
+                    }
+                }
+                let work = self.work_prec();
+                let e = self.with_precision(work).exp();
+                let ei = BigFloat::one().with_precision(work).div(&e);
+                e.sub(&ei).scale_exp(-1).with_precision(prec)
+            }
+        }
+    }
+
+    /// Hyperbolic cosine.
+    pub fn cosh(&self) -> BigFloat {
+        let prec = self.precision();
+        match &self.repr {
+            Repr::Nan => BigFloat::nan(),
+            Repr::Zero { .. } => BigFloat::one().with_precision(prec),
+            Repr::Inf { .. } => BigFloat::infinity(false),
+            Repr::Finite(_) => {
+                let work = self.work_prec();
+                let e = self.with_precision(work).exp();
+                let ei = BigFloat::one().with_precision(work).div(&e);
+                e.add(&ei).scale_exp(-1).with_precision(prec)
+            }
+        }
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> BigFloat {
+        let prec = self.precision();
+        match &self.repr {
+            Repr::Nan => BigFloat::nan(),
+            Repr::Zero { neg } => BigFloat {
+                repr: Repr::Zero { neg: *neg },
+            },
+            Repr::Inf { neg } => {
+                let one = BigFloat::one().with_precision(prec);
+                if *neg {
+                    one.neg()
+                } else {
+                    one
+                }
+            }
+            Repr::Finite(_) => {
+                let work = self.work_prec();
+                let s = self.with_precision(work).sinh();
+                let c = self.with_precision(work).cosh();
+                s.div(&c).with_precision(prec)
+            }
+        }
+    }
+
+    /// Inverse hyperbolic sine.
+    pub fn asinh(&self) -> BigFloat {
+        let prec = self.precision();
+        if self.is_nan() || self.is_zero() || self.is_infinite() {
+            return self.clone();
+        }
+        let work = self.work_prec();
+        let a = self.abs().with_precision(work);
+        let r = a
+            .add(&a.mul(&a).add(&BigFloat::one()).sqrt())
+            .ln()
+            .with_precision(prec);
+        if self.is_negative() {
+            r.neg()
+        } else {
+            r
+        }
+    }
+
+    /// Inverse hyperbolic cosine; NaN below 1.
+    pub fn acosh(&self) -> BigFloat {
+        let prec = self.precision();
+        let one = BigFloat::one();
+        match self.partial_cmp(&one) {
+            None => BigFloat::nan(),
+            Some(std::cmp::Ordering::Less) => BigFloat::nan(),
+            Some(std::cmp::Ordering::Equal) => BigFloat::zero(),
+            Some(std::cmp::Ordering::Greater) => {
+                if self.is_infinite() {
+                    return BigFloat::infinity(false);
+                }
+                let work = self.work_prec();
+                let x = self.with_precision(work);
+                x.add(&x.mul(&x).sub(&BigFloat::one()).sqrt())
+                    .ln()
+                    .with_precision(prec)
+            }
+        }
+    }
+
+    /// Inverse hyperbolic tangent; NaN outside (−1, 1), ±∞ at ±1.
+    pub fn atanh(&self) -> BigFloat {
+        let prec = self.precision();
+        if self.is_nan() {
+            return BigFloat::nan();
+        }
+        let one = BigFloat::one();
+        let a = self.abs();
+        match a.partial_cmp(&one) {
+            Some(std::cmp::Ordering::Greater) | None => BigFloat::nan(),
+            Some(std::cmp::Ordering::Equal) => BigFloat::infinity(self.is_negative()),
+            Some(std::cmp::Ordering::Less) => {
+                let work = self.work_prec();
+                let x = self.with_precision(work);
+                let num = BigFloat::one().add(&x);
+                let den = BigFloat::one().sub(&x);
+                num.div(&den).ln().scale_exp(-1).with_precision(prec)
+            }
+        }
+    }
+
+    /// x raised to the power y.
+    pub fn pow(&self, y: &BigFloat) -> BigFloat {
+        let prec = self.precision().max(y.precision());
+        if y.is_zero() {
+            return BigFloat::one().with_precision(prec);
+        }
+        if self.is_nan() || y.is_nan() {
+            return BigFloat::nan();
+        }
+        if self.eq_value(&BigFloat::one()) {
+            return BigFloat::one().with_precision(prec);
+        }
+        if self.is_zero() {
+            return if y.is_negative() {
+                BigFloat::infinity(false)
+            } else {
+                BigFloat::zero()
+            };
+        }
+        if self.is_infinite() {
+            return if y.is_negative() {
+                BigFloat::zero()
+            } else if self.is_negative() && y.is_integer() && y.fmod(&BigFloat::from_i64(2)).abs().eq_value(&BigFloat::one()) {
+                BigFloat::infinity(true)
+            } else {
+                BigFloat::infinity(false)
+            };
+        }
+        if self.is_negative() {
+            if !y.is_integer() {
+                return BigFloat::nan();
+            }
+            let odd = y
+                .fmod(&BigFloat::from_i64(2))
+                .abs()
+                .eq_value(&BigFloat::one());
+            let mag = self.abs().pow(y);
+            return if odd { mag.neg() } else { mag };
+        }
+        let work = (prec + 64).min(MAX_PRECISION);
+        let r = y
+            .with_precision(work)
+            .mul(&self.with_precision(work).ln())
+            .exp();
+        r.with_precision(prec)
+    }
+
+    /// Cube root, defined for negative inputs.
+    pub fn cbrt(&self) -> BigFloat {
+        let prec = self.precision();
+        if self.is_nan() || self.is_zero() || self.is_infinite() {
+            return self.clone();
+        }
+        let work = self.work_prec();
+        let mag = self
+            .abs()
+            .with_precision(work)
+            .ln()
+            .div(&BigFloat::from_i64(3))
+            .exp()
+            .with_precision(prec);
+        if self.is_negative() {
+            mag.neg()
+        } else {
+            mag
+        }
+    }
+
+    /// √(x² + y²) without intermediate overflow concerns.
+    pub fn hypot(&self, other: &BigFloat) -> BigFloat {
+        let prec = self.precision().max(other.precision());
+        if self.is_infinite() || other.is_infinite() {
+            return BigFloat::infinity(false);
+        }
+        if self.is_nan() || other.is_nan() {
+            return BigFloat::nan();
+        }
+        let work = (prec + 64).min(MAX_PRECISION);
+        let a = self.with_precision(work);
+        let b = other.with_precision(work);
+        a.mul(&a).add(&b.mul(&b)).sqrt().with_precision(prec)
+    }
+
+    /// Fused multiply-add: self·b + c with a single rounding (to working
+    /// precision).
+    pub fn fma(&self, b: &BigFloat, c: &BigFloat) -> BigFloat {
+        let prec = self.precision().max(b.precision()).max(c.precision());
+        let work = (2 * prec + 64).min(MAX_PRECISION);
+        self.with_precision(work)
+            .mul(&b.with_precision(work))
+            .add(&c.with_precision(work))
+            .with_precision(prec)
+    }
+
+    /// Positive difference: max(self − other, 0).
+    pub fn fdim(&self, other: &BigFloat) -> BigFloat {
+        if self.is_nan() || other.is_nan() {
+            return BigFloat::nan();
+        }
+        let d = self.sub(other);
+        if d.is_negative() {
+            BigFloat::zero()
+        } else {
+            d
+        }
+    }
+
+    /// Minimum, ignoring NaN when the other operand is a number.
+    pub fn fmin(&self, other: &BigFloat) -> BigFloat {
+        if self.is_nan() {
+            return other.clone();
+        }
+        if other.is_nan() {
+            return self.clone();
+        }
+        if self.partial_cmp(other) == Some(std::cmp::Ordering::Greater) {
+            other.clone()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Maximum, ignoring NaN when the other operand is a number.
+    pub fn fmax(&self, other: &BigFloat) -> BigFloat {
+        if self.is_nan() {
+            return other.clone();
+        }
+        if other.is_nan() {
+            return self.clone();
+        }
+        if self.partial_cmp(other) == Some(std::cmp::Ordering::Less) {
+            other.clone()
+        } else {
+            self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Largest acceptable relative error against the f64 libm reference for a
+    /// well-conditioned point: a few ulps of double precision.
+    const RTOL: f64 = 1e-13;
+
+    fn close(a: f64, b: f64) -> bool {
+        if a.is_nan() {
+            return b.is_nan();
+        }
+        if a.is_infinite() || b.is_infinite() {
+            return a == b;
+        }
+        let scale = a.abs().max(b.abs()).max(1e-300);
+        (a - b).abs() / scale < RTOL
+    }
+
+    #[test]
+    fn pi_matches_known_digits() {
+        let pi = BigFloat::pi(256);
+        assert!(close(pi.to_f64(), std::f64::consts::PI));
+        // And the error versus the f64 constant should be at the f64 level,
+        // not the BigFloat level (i.e. our pi is more precise).
+        let diff = pi.sub(&BigFloat::from_f64(std::f64::consts::PI)).abs();
+        assert!(diff.to_f64() < 1e-15);
+        assert!(diff.to_f64() > 0.0);
+    }
+
+    #[test]
+    fn ln2_matches_f64_constant() {
+        assert!(close(BigFloat::ln2(256).to_f64(), std::f64::consts::LN_2));
+    }
+
+    #[test]
+    fn exp_matches_libm_on_grid() {
+        for &x in &[-50.0, -3.2, -1.0, -1e-8, 0.0, 1e-8, 0.5, 1.0, 2.0, 10.0, 100.0, 700.0] {
+            let got = BigFloat::from_f64(x).exp().to_f64();
+            assert!(close(got, x.exp()), "exp({x}) = {got} vs {}", x.exp());
+        }
+    }
+
+    #[test]
+    fn exp_overflow_and_underflow() {
+        assert!(BigFloat::from_f64(1e300).exp().is_infinite() || BigFloat::from_f64(1e300).exp().to_f64().is_infinite());
+        let tiny = BigFloat::from_f64(-1e300).exp();
+        assert!(tiny.is_zero() || tiny.to_f64() == 0.0);
+    }
+
+    #[test]
+    fn ln_matches_libm_on_grid() {
+        for &x in &[1e-300, 1e-8, 0.5, 1.0, 1.5, 2.0, 10.0, 1e8, 1e300] {
+            let got = BigFloat::from_f64(x).ln().to_f64();
+            assert!(close(got, x.ln()), "ln({x}) = {got} vs {}", x.ln());
+        }
+        assert!(BigFloat::from_f64(-1.0).ln().is_nan());
+        assert!(BigFloat::zero().ln().is_infinite());
+    }
+
+    #[test]
+    fn exp_ln_roundtrip_is_tight() {
+        let x = BigFloat::from_f64(7.25);
+        let roundtrip = x.exp().ln();
+        let err = roundtrip.sub(&x).abs().to_f64();
+        assert!(err < 1e-60, "roundtrip error {err}");
+    }
+
+    #[test]
+    fn trig_matches_libm_on_grid() {
+        for &x in &[-10.0, -1.5, -0.7, -1e-9, 0.0, 1e-9, 0.5, 1.0, 1.5707, 3.0, 6.28, 100.0] {
+            let b = BigFloat::from_f64(x);
+            assert!(close(b.sin().to_f64(), x.sin()), "sin({x})");
+            assert!(close(b.cos().to_f64(), x.cos()), "cos({x})");
+            assert!(close(b.tan().to_f64(), x.tan()), "tan({x})");
+        }
+    }
+
+    #[test]
+    fn trig_handles_large_arguments() {
+        // Argument reduction must stay accurate for large inputs.
+        for &x in &[1e10, 1e15, 1e20] {
+            let got = BigFloat::from_f64(x).sin().to_f64();
+            let expect = x.sin();
+            assert!(close(got, expect), "sin({x}) = {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn inverse_trig_matches_libm() {
+        for &x in &[-0.99, -0.5, -1e-8, 0.0, 1e-8, 0.3, 0.7, 0.99, 1.0] {
+            let b = BigFloat::from_f64(x);
+            assert!(close(b.asin().to_f64(), x.asin()), "asin({x})");
+            assert!(close(b.acos().to_f64(), x.acos()), "acos({x})");
+        }
+        for &x in &[-1e6, -3.0, -1.0, 0.0, 0.5, 1.0, 3.0, 1e6] {
+            assert!(close(BigFloat::from_f64(x).atan().to_f64(), x.atan()), "atan({x})");
+        }
+        assert!(BigFloat::from_f64(1.5).asin().is_nan());
+    }
+
+    #[test]
+    fn atan2_quadrants() {
+        let cases = [
+            (1.0, 1.0),
+            (1.0, -1.0),
+            (-1.0, 1.0),
+            (-1.0, -1.0),
+            (0.0, 1.0),
+            (0.0, -1.0),
+            (1.0, 0.0),
+            (-1.0, 0.0),
+            (2.5, -3.5),
+        ];
+        for (y, x) in cases {
+            let got = BigFloat::from_f64(y).atan2(&BigFloat::from_f64(x)).to_f64();
+            let expect = y.atan2(x);
+            assert!(close(got, expect), "atan2({y},{x}) = {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn hyperbolic_matches_libm() {
+        for &x in &[-5.0, -1.0, -1e-9, 0.0, 1e-9, 0.5, 1.0, 5.0, 20.0] {
+            let b = BigFloat::from_f64(x);
+            assert!(close(b.sinh().to_f64(), x.sinh()), "sinh({x})");
+            assert!(close(b.cosh().to_f64(), x.cosh()), "cosh({x})");
+            assert!(close(b.tanh().to_f64(), x.tanh()), "tanh({x})");
+        }
+        for &x in &[-3.0, -0.5, 0.0, 0.5, 3.0] {
+            assert!(close(BigFloat::from_f64(x).asinh().to_f64(), x.asinh()), "asinh({x})");
+        }
+        for &x in &[1.0, 1.5, 10.0] {
+            assert!(close(BigFloat::from_f64(x).acosh().to_f64(), x.acosh()), "acosh({x})");
+        }
+        for &x in &[-0.9, -0.5, 0.0, 0.5, 0.9] {
+            assert!(close(BigFloat::from_f64(x).atanh().to_f64(), x.atanh()), "atanh({x})");
+        }
+    }
+
+    #[test]
+    fn pow_matches_libm() {
+        let cases = [
+            (2.0, 10.0),
+            (2.0, -3.0),
+            (10.0, 0.5),
+            (0.5, 100.0),
+            (3.7, 2.2),
+            (-2.0, 3.0),
+            (-2.0, 2.0),
+            (7.0, 0.0),
+        ];
+        for (x, y) in cases {
+            let got = BigFloat::from_f64(x).pow(&BigFloat::from_f64(y)).to_f64();
+            let expect = x.powf(y);
+            assert!(close(got, expect), "pow({x},{y}) = {got} vs {expect}");
+        }
+        assert!(BigFloat::from_f64(-2.0).pow(&BigFloat::from_f64(0.5)).is_nan());
+    }
+
+    #[test]
+    fn expm1_and_log1p_accurate_for_tiny_arguments() {
+        let x = 1e-20;
+        let em = BigFloat::from_f64(x).expm1();
+        assert!(close(em.to_f64(), x), "expm1 tiny");
+        let lp = BigFloat::from_f64(x).log1p();
+        assert!(close(lp.to_f64(), x), "log1p tiny");
+        // And reasonable at moderate arguments too.
+        assert!(close(BigFloat::from_f64(1.5).expm1().to_f64(), 1.5f64.exp_m1()));
+        assert!(close(BigFloat::from_f64(1.5).log1p().to_f64(), 1.5f64.ln_1p()));
+    }
+
+    #[test]
+    fn cbrt_hypot_fdim() {
+        assert!(close(BigFloat::from_f64(27.0).cbrt().to_f64(), 3.0));
+        assert!(close(BigFloat::from_f64(-27.0).cbrt().to_f64(), -3.0));
+        assert!(close(
+            BigFloat::from_f64(3.0).hypot(&BigFloat::from_f64(4.0)).to_f64(),
+            5.0
+        ));
+        assert!(close(
+            BigFloat::from_f64(1e300).hypot(&BigFloat::from_f64(1e300)).to_f64(),
+            (2.0f64).sqrt() * 1e300
+        ));
+        assert_eq!(
+            BigFloat::from_f64(3.0).fdim(&BigFloat::from_f64(5.0)).to_f64(),
+            0.0
+        );
+        assert_eq!(
+            BigFloat::from_f64(5.0).fdim(&BigFloat::from_f64(3.0)).to_f64(),
+            2.0
+        );
+    }
+
+    #[test]
+    fn fma_is_single_rounded() {
+        // fma(1 + 2^-52, 1 + 2^-52, -1) exercises the extra intermediate bits.
+        let a = 1.0 + f64::EPSILON;
+        let got = BigFloat::from_f64(a)
+            .fma(&BigFloat::from_f64(a), &BigFloat::from_f64(-1.0))
+            .to_f64();
+        let expect = f64::mul_add(a, a, -1.0);
+        assert!(close(got, expect), "fma: {got} vs {expect}");
+    }
+
+    #[test]
+    fn fmin_fmax_ignore_nan() {
+        let nan = BigFloat::nan();
+        let one = BigFloat::one();
+        assert_eq!(nan.fmin(&one).to_f64(), 1.0);
+        assert_eq!(one.fmax(&nan).to_f64(), 1.0);
+        assert_eq!(
+            BigFloat::from_f64(2.0).fmin(&BigFloat::from_f64(-3.0)).to_f64(),
+            -3.0
+        );
+    }
+
+    #[test]
+    fn exp2_log2_log10() {
+        assert!(close(BigFloat::from_f64(10.0).exp2().to_f64(), 1024.0));
+        assert!(close(BigFloat::from_f64(1024.0).log2().to_f64(), 10.0));
+        assert!(close(BigFloat::from_f64(1000.0).log10().to_f64(), 3.0));
+    }
+}

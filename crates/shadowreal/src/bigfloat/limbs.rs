@@ -1,0 +1,250 @@
+//! Low-level helpers on little-endian limb vectors.
+//!
+//! A limb vector represents an unsigned integer as base-2^64 digits stored
+//! least-significant first. The [`super::BigFloat`] mantissa is such a vector
+//! normalized so that the most-significant bit of the last limb is set.
+
+/// Compares two equal-length limb vectors as unsigned integers.
+pub(crate) fn cmp(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Adds `b` into `a` in place; both must have the same length. Returns the
+/// carry out of the top limb.
+pub(crate) fn add_in_place(a: &mut [u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut carry = false;
+    for i in 0..a.len() {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        a[i] = s2;
+        carry = c1 || c2;
+    }
+    carry
+}
+
+/// Subtracts `b` from `a` in place (`a >= b` as integers); both must have the
+/// same length.
+pub(crate) fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_ne!(cmp(a, b), std::cmp::Ordering::Less);
+    let mut borrow = false;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow as u64);
+        a[i] = d2;
+        borrow = b1 || b2;
+    }
+    debug_assert!(!borrow);
+}
+
+/// Adds `1 << bit` to the vector in place; returns the carry out of the top.
+pub(crate) fn add_bit_in_place(a: &mut [u64], bit: u32) -> bool {
+    let limb = (bit / 64) as usize;
+    let offset = bit % 64;
+    if limb >= a.len() {
+        return false;
+    }
+    let (s, mut carry) = a[limb].overflowing_add(1u64 << offset);
+    a[limb] = s;
+    let mut i = limb + 1;
+    while carry && i < a.len() {
+        let (s, c) = a[i].overflowing_add(1);
+        a[i] = s;
+        carry = c;
+        i += 1;
+    }
+    carry
+}
+
+/// Shifts the vector right by `bits` in place (towards less significant),
+/// returning `true` if any nonzero bit was shifted out.
+pub(crate) fn shr_in_place(a: &mut [u64], bits: u64) -> bool {
+    let len = a.len();
+    if bits == 0 {
+        return false;
+    }
+    if bits >= (len as u64) * 64 {
+        let sticky = a.iter().any(|&l| l != 0);
+        a.iter_mut().for_each(|l| *l = 0);
+        return sticky;
+    }
+    let limb_shift = (bits / 64) as usize;
+    let bit_shift = (bits % 64) as u32;
+    let mut sticky = a[..limb_shift].iter().any(|&l| l != 0);
+    if bit_shift > 0 {
+        sticky |= limb_shift < len && (a[limb_shift] << (64 - bit_shift)) != 0;
+    }
+    for i in 0..len {
+        let src = i + limb_shift;
+        let low = if src < len { a[src] } else { 0 };
+        let high = if src + 1 < len { a[src + 1] } else { 0 };
+        a[i] = if bit_shift == 0 {
+            low
+        } else {
+            (low >> bit_shift) | (high << (64 - bit_shift))
+        };
+    }
+    sticky
+}
+
+/// Shifts the vector left by `bits` in place (towards more significant). The
+/// caller must guarantee that no set bit is shifted out the top.
+pub(crate) fn shl_in_place(a: &mut [u64], bits: u64) {
+    let len = a.len();
+    if bits == 0 || len == 0 {
+        return;
+    }
+    debug_assert!(bits < (len as u64) * 64 || a.iter().all(|&l| l == 0));
+    let limb_shift = (bits / 64) as usize;
+    let bit_shift = (bits % 64) as u32;
+    for i in (0..len).rev() {
+        let src = i as isize - limb_shift as isize;
+        let low = if src >= 0 { a[src as usize] } else { 0 };
+        let lower = if src - 1 >= 0 { a[(src - 1) as usize] } else { 0 };
+        a[i] = if bit_shift == 0 {
+            low
+        } else {
+            (low << bit_shift) | (lower >> (64 - bit_shift))
+        };
+    }
+}
+
+/// Number of leading zero bits, counting from the most-significant bit of the
+/// last limb. Returns `len * 64` for an all-zero vector.
+pub(crate) fn leading_zeros(a: &[u64]) -> u64 {
+    let mut zeros = 0u64;
+    for &limb in a.iter().rev() {
+        if limb == 0 {
+            zeros += 64;
+        } else {
+            zeros += limb.leading_zeros() as u64;
+            break;
+        }
+    }
+    zeros
+}
+
+/// True if every limb is zero.
+pub(crate) fn is_zero(a: &[u64]) -> bool {
+    a.iter().all(|&l| l == 0)
+}
+
+/// Full schoolbook product of two limb vectors; the result has
+/// `a.len() + b.len()` limbs.
+pub(crate) fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + (ai as u128) * (bj as u128) + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry > 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_roundtrip() {
+        let a = vec![u64::MAX, 1, 7];
+        let b = vec![3, u64::MAX, 0];
+        let mut s = a.clone();
+        let carry = add_in_place(&mut s, &b);
+        assert!(!carry);
+        sub_in_place(&mut s, &b);
+        assert_eq!(s, a);
+    }
+
+    #[test]
+    fn add_produces_carry_out() {
+        let mut a = vec![u64::MAX, u64::MAX];
+        let carry = add_in_place(&mut a, &[1, 0]);
+        assert!(carry);
+        assert_eq!(a, vec![0, 0]);
+    }
+
+    #[test]
+    fn shift_right_collects_sticky() {
+        let mut a = vec![0b1011u64, 0];
+        let sticky = shr_in_place(&mut a, 2);
+        assert!(sticky);
+        assert_eq!(a[0], 0b10);
+        let mut b = vec![0b1000u64, 0];
+        let sticky = shr_in_place(&mut b, 2);
+        assert!(!sticky);
+        assert_eq!(b[0], 0b10);
+    }
+
+    #[test]
+    fn shift_right_by_more_than_width_zeroes_vector() {
+        let mut a = vec![5u64, 9];
+        let sticky = shr_in_place(&mut a, 1000);
+        assert!(sticky);
+        assert!(is_zero(&a));
+    }
+
+    #[test]
+    fn shift_left_then_right_roundtrips() {
+        let original = vec![0xDEAD_BEEFu64, 0x1234, 0];
+        let mut a = original.clone();
+        shl_in_place(&mut a, 70);
+        let sticky = shr_in_place(&mut a, 70);
+        assert!(!sticky);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn leading_zeros_counts_from_top() {
+        assert_eq!(leading_zeros(&[0, 0]), 128);
+        assert_eq!(leading_zeros(&[1, 0]), 127);
+        assert_eq!(leading_zeros(&[0, 1u64 << 63]), 0);
+        assert_eq!(leading_zeros(&[0, 1]), 63);
+    }
+
+    #[test]
+    fn schoolbook_multiplication_matches_u128() {
+        let a = 0xFFFF_FFFF_FFFF_FFFFu64;
+        let b = 0x1234_5678_9ABC_DEF0u64;
+        let prod = mul(&[a], &[b]);
+        let expect = (a as u128) * (b as u128);
+        assert_eq!(prod[0], expect as u64);
+        assert_eq!(prod[1], (expect >> 64) as u64);
+    }
+
+    #[test]
+    fn add_bit_carries_through() {
+        let mut a = vec![u64::MAX, 0];
+        let carry = add_bit_in_place(&mut a, 0);
+        assert!(!carry);
+        assert_eq!(a, vec![0, 1]);
+    }
+
+    #[test]
+    fn compare_orders_by_most_significant_limb() {
+        assert_eq!(cmp(&[5, 1], &[9, 0]), std::cmp::Ordering::Greater);
+        assert_eq!(cmp(&[5, 1], &[5, 1]), std::cmp::Ordering::Equal);
+        assert_eq!(cmp(&[0, 1], &[1, 1]), std::cmp::Ordering::Less);
+    }
+}

@@ -1,0 +1,1061 @@
+//! Arbitrary-precision binary floating point, the shadow-real substrate.
+//!
+//! [`BigFloat`] plays the role of MPFR in the original Herbgrind: every
+//! double in the client program is shadowed by a `BigFloat` with a much wider
+//! mantissa (256 bits by default, configurable via
+//! [`set_default_precision`]), so that rounding error in the client is
+//! visible as a difference between the client value and the rounded shadow.
+//!
+//! The implementation is self-contained (no external bignum dependency). A
+//! finite value is `(-1)^sign * f * 2^exp` with the fraction `f` in
+//! `[0.5, 1)` stored as a little-endian limb vector whose top bit is set.
+//! Arithmetic is *faithfully* rounded: results are within one unit in the
+//! last place of the working precision, which is orders of magnitude more
+//! accurate than required to measure error in double-precision clients.
+
+mod functions;
+mod limbs;
+
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
+
+/// The default mantissa precision, in bits, for newly created values.
+static DEFAULT_PRECISION: AtomicU32 = AtomicU32::new(256);
+
+/// Smallest supported mantissa precision in bits.
+pub const MIN_PRECISION: u32 = 64;
+/// Largest supported mantissa precision in bits.
+pub const MAX_PRECISION: u32 = 16384;
+
+/// Sets the default mantissa precision (in bits) used by [`BigFloat::from_f64`]
+/// and friends. Clamped to `[MIN_PRECISION, MAX_PRECISION]`.
+///
+/// This mirrors Herbgrind's `--precision` flag (default 1000 bits in the
+/// paper; 256 here, which is ample for measuring error in 53-bit clients).
+pub fn set_default_precision(bits: u32) {
+    let clamped = bits.clamp(MIN_PRECISION, MAX_PRECISION);
+    DEFAULT_PRECISION.store(clamped, AtomicOrdering::Relaxed);
+}
+
+/// Returns the current default mantissa precision in bits.
+pub fn default_precision() -> u32 {
+    DEFAULT_PRECISION.load(AtomicOrdering::Relaxed)
+}
+
+/// An arbitrary-precision binary floating-point number.
+///
+/// See the [module documentation](self) for the representation. All
+/// operations are non-destructive and return new values; the result precision
+/// of a binary operation is the larger of the operand precisions.
+#[derive(Clone, Debug)]
+pub struct BigFloat {
+    repr: Repr,
+}
+
+#[derive(Clone, Debug)]
+enum Repr {
+    Zero { neg: bool },
+    Finite(Finite),
+    Inf { neg: bool },
+    Nan,
+}
+
+#[derive(Clone, Debug)]
+struct Finite {
+    neg: bool,
+    /// Binary exponent: the value is `fraction * 2^exp` with fraction in [0.5, 1).
+    exp: i64,
+    /// Little-endian limbs of the fraction; the top bit of the last limb is set.
+    limbs: Vec<u64>,
+    /// Mantissa precision in bits.
+    prec: u32,
+}
+
+fn limbs_for(prec: u32) -> usize {
+    ((prec as usize) + 63) / 64
+}
+
+impl Finite {
+    /// Rounds a (normalized, top-bit-set) limb vector to `prec` bits using
+    /// round-to-nearest-even with a sticky flag for already-dropped bits.
+    fn round(neg: bool, mut limbs: Vec<u64>, mut exp: i64, prec: u32, mut sticky: bool) -> Repr {
+        debug_assert!(!limbs.is_empty());
+        debug_assert!(limbs.last().map(|l| l >> 63 == 1).unwrap_or(false));
+        let nl = limbs_for(prec);
+        let extra_low_bits = (nl as u32) * 64 - prec;
+        if limbs.len() < nl {
+            let mut padded = vec![0u64; nl - limbs.len()];
+            padded.extend_from_slice(&limbs);
+            limbs = padded;
+        }
+        let drop_limbs = limbs.len() - nl;
+        // Total number of low bits that must be cleared/dropped.
+        let p = (drop_limbs as u64) * 64 + extra_low_bits as u64;
+        let mut round_bit = false;
+        if p > 0 {
+            let rb_index = p - 1;
+            let rb_limb = (rb_index / 64) as usize;
+            let rb_off = (rb_index % 64) as u32;
+            round_bit = (limbs[rb_limb] >> rb_off) & 1 == 1;
+            // Sticky: any set bit strictly below the round bit.
+            'outer: for (i, &l) in limbs.iter().enumerate().take(rb_limb + 1) {
+                let masked = if i == rb_limb {
+                    if rb_off == 0 {
+                        0
+                    } else {
+                        l & ((1u64 << rb_off) - 1)
+                    }
+                } else {
+                    l
+                };
+                if masked != 0 {
+                    sticky = true;
+                    break 'outer;
+                }
+            }
+        }
+        let mut kept: Vec<u64> = limbs[drop_limbs..].to_vec();
+        if extra_low_bits > 0 {
+            kept[0] &= !((1u64 << extra_low_bits) - 1);
+        }
+        // Round to nearest, ties to even.
+        let lsb_set = (kept[0] >> extra_low_bits) & 1 == 1;
+        if round_bit && (sticky || lsb_set) {
+            let carry = limbs::add_bit_in_place(&mut kept, extra_low_bits);
+            if carry {
+                // Mantissa overflowed to 1.0: renormalize to 0.5 * 2^(exp+1).
+                for l in kept.iter_mut() {
+                    *l = 0;
+                }
+                *kept.last_mut().expect("non-empty") = 1u64 << 63;
+                exp += 1;
+            }
+        }
+        if limbs::is_zero(&kept) {
+            return Repr::Zero { neg };
+        }
+        Repr::Finite(Finite {
+            neg,
+            exp,
+            limbs: kept,
+            prec,
+        })
+    }
+
+    /// Normalizes a possibly denormalized limb vector (top bit not set) by
+    /// shifting left and adjusting the exponent, then rounds.
+    fn normalize_and_round(neg: bool, mut limbs: Vec<u64>, mut exp: i64, prec: u32, sticky: bool) -> Repr {
+        if limbs::is_zero(&limbs) {
+            return Repr::Zero { neg };
+        }
+        let lz = limbs::leading_zeros(&limbs);
+        if lz > 0 {
+            limbs::shl_in_place(&mut limbs, lz);
+            exp -= lz as i64;
+        }
+        Finite::round(neg, limbs, exp, prec, sticky)
+    }
+}
+
+impl BigFloat {
+    // ----- constructors -----
+
+    /// Creates a value from a double, exactly, at the default precision.
+    pub fn from_f64(x: f64) -> Self {
+        Self::from_f64_prec(x, default_precision())
+    }
+
+    /// Creates a value from a double, exactly, at the given precision.
+    pub fn from_f64_prec(x: f64, prec: u32) -> Self {
+        let prec = prec.clamp(MIN_PRECISION, MAX_PRECISION);
+        if x.is_nan() {
+            return BigFloat { repr: Repr::Nan };
+        }
+        if x.is_infinite() {
+            return BigFloat {
+                repr: Repr::Inf { neg: x < 0.0 },
+            };
+        }
+        if x == 0.0 {
+            return BigFloat {
+                repr: Repr::Zero {
+                    neg: x.is_sign_negative(),
+                },
+            };
+        }
+        let bits = x.to_bits();
+        let neg = bits >> 63 == 1;
+        let biased = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & 0x000f_ffff_ffff_ffff;
+        let (sig, pow): (u64, i64) = if biased == 0 {
+            // Subnormal: value = frac * 2^-1074
+            (frac, -1074)
+        } else {
+            ((1u64 << 52) | frac, biased - 1075)
+        };
+        // value = sig * 2^pow; normalize so fraction is in [0.5, 1).
+        let sig_bits = 64 - sig.leading_zeros() as i64;
+        let exp = pow + sig_bits;
+        let mut limbs = vec![0u64; limbs_for(prec)];
+        let top = limbs.len() - 1;
+        limbs[top] = sig << (64 - sig_bits);
+        BigFloat {
+            repr: Repr::Finite(Finite {
+                neg,
+                exp,
+                limbs,
+                prec,
+            }),
+        }
+    }
+
+    /// Creates a value from a signed 64-bit integer, exactly (precision is at
+    /// least the default, widened if needed to hold the integer).
+    pub fn from_i64(x: i64) -> Self {
+        let prec = default_precision().max(64);
+        if x == i64::MIN {
+            // Avoid overflow on abs(): -2^63 is exactly representable in f64.
+            return Self::from_f64_prec(x as f64, prec);
+        }
+        let neg = x < 0;
+        let mag = x.unsigned_abs();
+        if mag == 0 {
+            return BigFloat {
+                repr: Repr::Zero { neg: false },
+            };
+        }
+        let bits = 64 - mag.leading_zeros() as i64;
+        let mut limbs = vec![0u64; limbs_for(prec)];
+        let top = limbs.len() - 1;
+        limbs[top] = mag << (64 - bits);
+        BigFloat {
+            repr: Repr::Finite(Finite {
+                neg,
+                exp: bits,
+                limbs,
+                prec,
+            }),
+        }
+    }
+
+    /// Positive zero at the default precision.
+    pub fn zero() -> Self {
+        BigFloat {
+            repr: Repr::Zero { neg: false },
+        }
+    }
+
+    /// The value one at the default precision.
+    pub fn one() -> Self {
+        Self::from_i64(1)
+    }
+
+    /// Not-a-number.
+    pub fn nan() -> Self {
+        BigFloat { repr: Repr::Nan }
+    }
+
+    /// Positive or negative infinity.
+    pub fn infinity(negative: bool) -> Self {
+        BigFloat {
+            repr: Repr::Inf { neg: negative },
+        }
+    }
+
+    // ----- accessors and classification -----
+
+    /// The mantissa precision of this value in bits (the default precision
+    /// for zeros, infinities and NaN).
+    pub fn precision(&self) -> u32 {
+        match &self.repr {
+            Repr::Finite(f) => f.prec,
+            _ => default_precision(),
+        }
+    }
+
+    /// Re-rounds this value to the given precision.
+    pub fn with_precision(&self, prec: u32) -> Self {
+        let prec = prec.clamp(MIN_PRECISION, MAX_PRECISION);
+        match &self.repr {
+            Repr::Finite(f) => BigFloat {
+                repr: Finite::round(f.neg, f.limbs.clone(), f.exp, prec, false),
+            },
+            other => BigFloat {
+                repr: other.clone(),
+            },
+        }
+    }
+
+    /// True if this value is NaN.
+    pub fn is_nan(&self) -> bool {
+        matches!(self.repr, Repr::Nan)
+    }
+
+    /// True if this value is +∞ or -∞.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self.repr, Repr::Inf { .. })
+    }
+
+    /// True if this value is finite (zero or a finite nonzero number).
+    pub fn is_finite(&self) -> bool {
+        matches!(self.repr, Repr::Zero { .. } | Repr::Finite(_))
+    }
+
+    /// True if this value is exactly zero (of either sign).
+    pub fn is_zero(&self) -> bool {
+        matches!(self.repr, Repr::Zero { .. })
+    }
+
+    /// True if the value is negative (including -0 and -∞); false for NaN.
+    pub fn is_negative(&self) -> bool {
+        match &self.repr {
+            Repr::Zero { neg } | Repr::Inf { neg } => *neg,
+            Repr::Finite(f) => f.neg,
+            Repr::Nan => false,
+        }
+    }
+
+    /// The binary exponent of a finite nonzero value (value = f * 2^exp with
+    /// f in [0.5, 1)); `None` otherwise.
+    pub fn exponent(&self) -> Option<i64> {
+        match &self.repr {
+            Repr::Finite(f) => Some(f.exp),
+            _ => None,
+        }
+    }
+
+    // ----- conversion to f64 -----
+
+    /// Rounds to the nearest double (round-to-nearest, ties-to-even).
+    pub fn to_f64(&self) -> f64 {
+        match &self.repr {
+            Repr::Nan => f64::NAN,
+            Repr::Inf { neg } => {
+                if *neg {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Repr::Zero { neg } => {
+                if *neg {
+                    -0.0
+                } else {
+                    0.0
+                }
+            }
+            Repr::Finite(f) => {
+                let sign = if f.neg { -1.0 } else { 1.0 };
+                if f.exp > 1024 {
+                    return sign * f64::INFINITY;
+                }
+                if f.exp < -1100 {
+                    return sign * 0.0;
+                }
+                // Extract the top 53 bits of the mantissa plus round/sticky.
+                let total_bits = (f.limbs.len() as u64) * 64;
+                let keep: u64 = 53;
+                let top_limb = f.limbs[f.limbs.len() - 1];
+                let mut m53: u64;
+                let mut round = false;
+                let mut sticky = false;
+                if total_bits <= keep {
+                    m53 = top_limb >> (64 - total_bits);
+                    m53 <<= keep - total_bits;
+                } else {
+                    // Gather the top 53 bits across (at most) the top two limbs.
+                    m53 = top_limb >> (64 - keep);
+                    let drop = total_bits - keep;
+                    // Round bit is the next bit below the kept ones.
+                    let rb_index = drop - 1;
+                    let rb_limb = (rb_index / 64) as usize;
+                    let rb_off = (rb_index % 64) as u32;
+                    round = (f.limbs[rb_limb] >> rb_off) & 1 == 1;
+                    for (i, &l) in f.limbs.iter().enumerate().take(rb_limb + 1) {
+                        let masked = if i == rb_limb {
+                            if rb_off == 0 {
+                                0
+                            } else {
+                                l & ((1u64 << rb_off) - 1)
+                            }
+                        } else {
+                            l
+                        };
+                        if masked != 0 {
+                            sticky = true;
+                            break;
+                        }
+                    }
+                }
+                let mut exp = f.exp;
+                // Subnormal target: fewer than 53 bits available below the
+                // exponent floor. Shift m53 right accordingly.
+                if exp < -1021 {
+                    let shift = (-1021 - exp) as u64;
+                    if shift >= 54 {
+                        return sign * 0.0;
+                    }
+                    let lost_mask = (1u64 << shift) - 1;
+                    let lost = m53 & lost_mask;
+                    if lost != 0 {
+                        // Fold previously computed round bit into sticky.
+                        sticky = sticky || round || (lost & !(1 << (shift - 1))) != 0;
+                        round = (lost >> (shift - 1)) & 1 == 1;
+                    } else {
+                        sticky = sticky || round;
+                        round = false;
+                    }
+                    m53 >>= shift;
+                    exp += shift as i64;
+                }
+                if round && (sticky || m53 & 1 == 1) {
+                    m53 += 1;
+                    if m53 == 1u64 << 53 {
+                        m53 >>= 1;
+                        exp += 1;
+                        if exp > 1024 {
+                            return sign * f64::INFINITY;
+                        }
+                    }
+                }
+                // value = m53 * 2^(exp - 53); both factors exact in f64.
+                let scale = exp - 53;
+                let result = if (-1022..=1023).contains(&scale) {
+                    (m53 as f64) * f64::from_bits(((scale + 1023) as u64) << 52)
+                } else {
+                    // Extreme scale: split the scaling in two exact halves.
+                    let half = scale / 2;
+                    let rest = scale - half;
+                    (m53 as f64) * pow2(half) * pow2(rest)
+                };
+                sign * result
+            }
+        }
+    }
+
+    // ----- sign operations -----
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        let repr = match &self.repr {
+            Repr::Nan => Repr::Nan,
+            Repr::Inf { neg } => Repr::Inf { neg: !neg },
+            Repr::Zero { neg } => Repr::Zero { neg: !neg },
+            Repr::Finite(f) => Repr::Finite(Finite {
+                neg: !f.neg,
+                ..f.clone()
+            }),
+        };
+        BigFloat { repr }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        if self.is_negative() {
+            self.neg()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Returns a value with the magnitude of `self` and the sign of `sign`.
+    pub fn copysign(&self, sign: &Self) -> Self {
+        if self.is_negative() == sign.is_negative() {
+            self.clone()
+        } else {
+            self.neg()
+        }
+    }
+
+    // ----- comparison -----
+
+    /// Compares magnitudes of two finite nonzero values.
+    fn cmp_abs_finite(a: &Finite, b: &Finite) -> Ordering {
+        match a.exp.cmp(&b.exp) {
+            Ordering::Equal => {
+                // Align limb counts for comparison.
+                let nl = a.limbs.len().max(b.limbs.len());
+                let pad = |f: &Finite| {
+                    let mut v = vec![0u64; nl - f.limbs.len()];
+                    v.extend_from_slice(&f.limbs);
+                    v
+                };
+                limbs::cmp(&pad(a), &pad(b))
+            }
+            ord => ord,
+        }
+    }
+
+    /// IEEE-style partial comparison; `None` if either operand is NaN.
+    pub fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        use Repr::*;
+        match (&self.repr, &other.repr) {
+            (Nan, _) | (_, Nan) => None,
+            (Zero { .. }, Zero { .. }) => Some(Ordering::Equal),
+            (Inf { neg: a }, Inf { neg: b }) => Some(if a == b {
+                Ordering::Equal
+            } else if *a {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }),
+            (Inf { neg }, _) => Some(if *neg { Ordering::Less } else { Ordering::Greater }),
+            (_, Inf { neg }) => Some(if *neg { Ordering::Greater } else { Ordering::Less }),
+            (Zero { .. }, Finite(f)) => Some(if f.neg { Ordering::Greater } else { Ordering::Less }),
+            (Finite(f), Zero { .. }) => Some(if f.neg { Ordering::Less } else { Ordering::Greater }),
+            (Finite(a), Finite(b)) => {
+                if a.neg != b.neg {
+                    return Some(if a.neg { Ordering::Less } else { Ordering::Greater });
+                }
+                let mag = Self::cmp_abs_finite(a, b);
+                Some(if a.neg { mag.reverse() } else { mag })
+            }
+        }
+    }
+
+    /// Numeric equality (`-0 == +0`, NaN never equal).
+    pub fn eq_value(&self, other: &Self) -> bool {
+        self.partial_cmp(other) == Some(Ordering::Equal)
+    }
+
+    // ----- arithmetic -----
+
+    /// Addition.
+    pub fn add(&self, other: &Self) -> Self {
+        use Repr::*;
+        let prec = self.precision().max(other.precision());
+        match (&self.repr, &other.repr) {
+            (Nan, _) | (_, Nan) => BigFloat::nan(),
+            (Inf { neg: a }, Inf { neg: b }) => {
+                if a == b {
+                    self.clone()
+                } else {
+                    BigFloat::nan()
+                }
+            }
+            (Inf { .. }, _) => self.clone(),
+            (_, Inf { .. }) => other.clone(),
+            (Zero { neg: a }, Zero { neg: b }) => BigFloat {
+                repr: Zero { neg: *a && *b },
+            },
+            (Zero { .. }, _) => other.with_precision(prec),
+            (_, Zero { .. }) => self.with_precision(prec),
+            (Finite(a), Finite(b)) => BigFloat {
+                repr: Self::add_finite(a, b, prec),
+            },
+        }
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    fn add_finite(a: &Finite, b: &Finite, prec: u32) -> Repr {
+        // Working window: target precision plus one guard limb.
+        let wl = limbs_for(prec) + 1;
+        // Ensure a is the operand with the larger exponent.
+        let (hi, lo) = if a.exp >= b.exp { (a, b) } else { (b, a) };
+        let diff = (hi.exp - lo.exp) as u64;
+
+        let widen = |f: &Finite| -> Vec<u64> {
+            let mut v = vec![0u64; wl];
+            let src = &f.limbs;
+            // Top-align: copy the source limbs into the top of the window.
+            let offset = wl - src.len().min(wl);
+            let start = src.len().saturating_sub(wl);
+            v[offset..].copy_from_slice(&src[start..]);
+            v
+        };
+
+        let mut acc = widen(hi);
+        let mut small = widen(lo);
+        let sticky = limbs::shr_in_place(&mut small, diff);
+
+        if hi.neg == lo.neg {
+            // Magnitude addition.
+            let carry = limbs::add_in_place(&mut acc, &small);
+            let mut exp = hi.exp;
+            let mut sticky = sticky;
+            if carry {
+                sticky |= limbs::shr_in_place(&mut acc, 1);
+                let top = acc.len() - 1;
+                acc[top] |= 1u64 << 63;
+                exp += 1;
+            }
+            Finite::normalize_and_round(hi.neg, acc, exp, prec, sticky)
+        } else {
+            // Magnitude subtraction: result sign follows the larger magnitude.
+            match limbs::cmp(&acc, &small) {
+                Ordering::Equal => {
+                    if sticky {
+                        // acc - (small + epsilon) is a tiny negative-of-lo-sign value,
+                        // far below working precision; approximate with signed zero.
+                        Repr::Zero { neg: lo.neg }
+                    } else {
+                        Repr::Zero { neg: false }
+                    }
+                }
+                Ordering::Greater => {
+                    limbs::sub_in_place(&mut acc, &small);
+                    Finite::normalize_and_round(hi.neg, acc, hi.exp, prec, sticky)
+                }
+                Ordering::Less => {
+                    limbs::sub_in_place(&mut small, &acc);
+                    Finite::normalize_and_round(lo.neg, small, hi.exp, prec, sticky)
+                }
+            }
+        }
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        use Repr::*;
+        let prec = self.precision().max(other.precision());
+        let sign = self.is_negative() != other.is_negative();
+        match (&self.repr, &other.repr) {
+            (Nan, _) | (_, Nan) => BigFloat::nan(),
+            (Inf { .. }, Zero { .. }) | (Zero { .. }, Inf { .. }) => BigFloat::nan(),
+            (Inf { .. }, _) | (_, Inf { .. }) => BigFloat::infinity(sign),
+            (Zero { .. }, _) | (_, Zero { .. }) => BigFloat {
+                repr: Zero { neg: sign },
+            },
+            (Finite(a), Finite(b)) => {
+                let product = limbs::mul(&a.limbs, &b.limbs);
+                let exp = a.exp + b.exp;
+                BigFloat {
+                    repr: crate::bigfloat::Finite::normalize_and_round(sign, product, exp, prec, false),
+                }
+            }
+        }
+    }
+
+    /// Division.
+    pub fn div(&self, other: &Self) -> Self {
+        use Repr::*;
+        let prec = self.precision().max(other.precision());
+        let sign = self.is_negative() != other.is_negative();
+        match (&self.repr, &other.repr) {
+            (Nan, _) | (_, Nan) => BigFloat::nan(),
+            (Inf { .. }, Inf { .. }) => BigFloat::nan(),
+            (Zero { .. }, Zero { .. }) => BigFloat::nan(),
+            (Inf { .. }, _) => BigFloat::infinity(sign),
+            (_, Inf { .. }) => BigFloat {
+                repr: Zero { neg: sign },
+            },
+            (Zero { .. }, _) => BigFloat {
+                repr: Zero { neg: sign },
+            },
+            (_, Zero { .. }) => BigFloat::infinity(sign),
+            (Finite(_), Finite(_)) => {
+                let work = prec + 64;
+                let recip = other.abs().recip_newton(work);
+                let q = self.abs().with_precision(work).mul(&recip).with_precision(prec);
+                if sign {
+                    q.neg()
+                } else {
+                    q
+                }
+            }
+        }
+    }
+
+    /// Newton–Raphson reciprocal of a positive finite value at `work` bits.
+    fn recip_newton(&self, work: u32) -> Self {
+        let f = match &self.repr {
+            Repr::Finite(f) => f,
+            _ => return BigFloat::nan(),
+        };
+        // Initial estimate from the top limb: self ≈ t * 2^exp, t in [0.5, 1).
+        let t = (f.limbs[f.limbs.len() - 1] as f64) / 18446744073709551616.0;
+        let r0 = 1.0 / t; // in (1, 2]
+        let mut x = BigFloat::from_f64_prec(r0, work);
+        if let Repr::Finite(ref mut xf) = x.repr {
+            xf.exp -= f.exp;
+        }
+        let a = self.with_precision(work);
+        let one = BigFloat::from_f64_prec(1.0, work);
+        // ~50 correct bits initially; each iteration doubles that.
+        let mut correct = 40u32;
+        while correct < work + 2 {
+            let e = one.sub(&a.mul(&x));
+            x = x.add(&x.mul(&e));
+            correct = correct.saturating_mul(2);
+        }
+        x
+    }
+
+    /// Square root (NaN for negative inputs, following IEEE 754).
+    pub fn sqrt(&self) -> Self {
+        use Repr::*;
+        let prec = self.precision();
+        match &self.repr {
+            Nan => BigFloat::nan(),
+            Zero { neg } => BigFloat {
+                repr: Zero { neg: *neg },
+            },
+            Inf { neg: false } => self.clone(),
+            Inf { neg: true } => BigFloat::nan(),
+            Finite(f) if f.neg => BigFloat::nan(),
+            Finite(f) => {
+                let work = prec + 64;
+                // Initial estimate for 1/sqrt(self) from the top limb.
+                let t = (f.limbs[f.limbs.len() - 1] as f64) / 18446744073709551616.0;
+                let (t, even_exp) = if f.exp % 2 == 0 {
+                    (t, f.exp)
+                } else {
+                    (t / 2.0, f.exp + 1)
+                };
+                let r0 = 1.0 / t.sqrt();
+                let mut y = BigFloat::from_f64_prec(r0, work);
+                if let Repr::Finite(ref mut yf) = y.repr {
+                    yf.exp -= even_exp / 2;
+                }
+                let a = self.with_precision(work);
+                let three = BigFloat::from_f64_prec(3.0, work);
+                let half = BigFloat::from_f64_prec(0.5, work);
+                let mut correct = 40u32;
+                while correct < work + 2 {
+                    // y = y * (3 - a*y*y) / 2
+                    let ayy = a.mul(&y).mul(&y);
+                    y = y.mul(&three.sub(&ayy)).mul(&half);
+                    correct = correct.saturating_mul(2);
+                }
+                let s = a.mul(&y);
+                // One final Newton step directly on sqrt for good measure:
+                // s = (s + a/s) / 2 would need division; instead correct via
+                // s = s + y*(a - s*s)/2 which uses the reciprocal sqrt.
+                let corr = y.mul(&a.sub(&s.mul(&s))).mul(&half);
+                s.add(&corr).with_precision(prec)
+            }
+        }
+    }
+
+    // ----- integer-related helpers -----
+
+    /// Truncates toward zero to an integer-valued `BigFloat`.
+    pub fn trunc(&self) -> Self {
+        match &self.repr {
+            Repr::Finite(f) => {
+                if f.exp <= 0 {
+                    return BigFloat {
+                        repr: Repr::Zero { neg: f.neg },
+                    };
+                }
+                let total_bits = (f.limbs.len() as i64) * 64;
+                if f.exp >= total_bits {
+                    return self.clone();
+                }
+                // Clear all bits below the binary point (weight < 1).
+                let frac_bits = (total_bits - f.exp) as u64;
+                let mut limbs = f.limbs.clone();
+                let whole_limbs = (frac_bits / 64) as usize;
+                let rem = (frac_bits % 64) as u32;
+                for l in limbs.iter_mut().take(whole_limbs) {
+                    *l = 0;
+                }
+                if rem > 0 && whole_limbs < limbs.len() {
+                    limbs[whole_limbs] &= !((1u64 << rem) - 1);
+                }
+                BigFloat {
+                    repr: Finite::normalize_and_round(f.neg, limbs, f.exp, f.prec, false),
+                }
+            }
+            _ => self.clone(),
+        }
+    }
+
+    /// Largest integer less than or equal to the value.
+    pub fn floor(&self) -> Self {
+        let t = self.trunc();
+        if !self.is_negative() || t.eq_value(self) || !self.is_finite() {
+            t
+        } else {
+            t.sub(&BigFloat::one())
+        }
+    }
+
+    /// Smallest integer greater than or equal to the value.
+    pub fn ceil(&self) -> Self {
+        let t = self.trunc();
+        if self.is_negative() || t.eq_value(self) || !self.is_finite() {
+            t
+        } else {
+            t.add(&BigFloat::one())
+        }
+    }
+
+    /// Rounds to the nearest integer, ties away from zero (like `f64::round`).
+    pub fn round_nearest(&self) -> Self {
+        if !self.is_finite() {
+            return self.clone();
+        }
+        let half = BigFloat::from_f64_prec(0.5, self.precision());
+        if self.is_negative() {
+            self.sub(&half).ceil()
+        } else {
+            self.add(&half).floor()
+        }
+    }
+
+    /// True if the value is a (mathematical) integer.
+    pub fn is_integer(&self) -> bool {
+        match &self.repr {
+            Repr::Zero { .. } => true,
+            Repr::Finite(_) => self.trunc().eq_value(self),
+            _ => false,
+        }
+    }
+
+    /// Floating-point remainder with the sign of the dividend (like `fmod`).
+    pub fn fmod(&self, other: &Self) -> Self {
+        if self.is_nan() || other.is_nan() || other.is_zero() || self.is_infinite() {
+            return BigFloat::nan();
+        }
+        if other.is_infinite() || self.is_zero() {
+            return self.clone();
+        }
+        // Work at enough precision to represent the (possibly huge) quotient.
+        let extra = match (self.exponent(), other.exponent()) {
+            (Some(ea), Some(eb)) if ea > eb => (ea - eb) as u32 + 64,
+            _ => 64,
+        };
+        let work = (self.precision() + extra).min(MAX_PRECISION);
+        let a = self.with_precision(work);
+        let b = other.with_precision(work);
+        let q = a.div(&b).trunc();
+        a.sub(&q.mul(&b)).with_precision(self.precision())
+    }
+}
+
+/// An exact power of two as a double (for scaling during conversion); the
+/// exponent is clamped to the representable double range.
+fn pow2(e: i64) -> f64 {
+    if e >= 1024 {
+        f64::INFINITY
+    } else if e >= -1022 {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else if e >= -1074 {
+        f64::from_bits(1u64 << (e + 1074))
+    } else {
+        0.0
+    }
+}
+
+impl PartialEq for BigFloat {
+    fn eq(&self, other: &Self) -> bool {
+        self.eq_value(other)
+    }
+}
+
+impl Default for BigFloat {
+    fn default() -> Self {
+        BigFloat::zero()
+    }
+}
+
+impl std::fmt::Display for BigFloat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:e}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(x: f64) {
+        let b = BigFloat::from_f64(x);
+        let back = b.to_f64();
+        if x.is_nan() {
+            assert!(back.is_nan());
+        } else {
+            assert_eq!(back.to_bits(), x.to_bits(), "roundtrip of {x:e}");
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip_exact() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            std::f64::consts::PI,
+            1e-300,
+            1e300,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::MIN,
+            5e-324,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            1.0 + f64::EPSILON,
+        ] {
+            roundtrip(x);
+        }
+    }
+
+    #[test]
+    fn addition_matches_f64_when_exact() {
+        let cases = [(1.0, 2.0), (0.5, 0.25), (3.0, -8.0), (1e10, 1e-3)];
+        for (a, b) in cases {
+            let s = BigFloat::from_f64(a).add(&BigFloat::from_f64(b));
+            let expected = a + b;
+            // Exactly representable sums must round back exactly.
+            if (a + b) - a == b {
+                assert_eq!(s.to_f64(), expected);
+            } else {
+                assert!((s.to_f64() - expected).abs() <= expected.abs() * 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_is_exact_at_high_precision() {
+        let x = BigFloat::from_f64(1.0e16);
+        let one = BigFloat::one();
+        let r = x.add(&one).sub(&x);
+        assert_eq!(r.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn multiplication_matches_integers() {
+        let a = BigFloat::from_i64(123456789);
+        let b = BigFloat::from_i64(987654321);
+        assert_eq!(a.mul(&b).to_f64(), 123456789.0 * 987654321.0);
+    }
+
+    #[test]
+    fn division_accuracy() {
+        let one = BigFloat::one();
+        let three = BigFloat::from_i64(3);
+        let third = one.div(&three);
+        // 1/3 rounded back to double must equal the double division.
+        assert_eq!(third.to_f64(), 1.0 / 3.0);
+        // And multiplying back must be far closer to 1 than doubles can say.
+        let back = third.mul(&three);
+        assert!(back.sub(&one).abs().to_f64().abs() < 1e-60);
+    }
+
+    #[test]
+    fn division_special_cases() {
+        assert!(BigFloat::one().div(&BigFloat::zero()).is_infinite());
+        assert!(BigFloat::zero().div(&BigFloat::zero()).is_nan());
+        assert!(BigFloat::from_f64(-1.0).div(&BigFloat::zero()).is_negative());
+        assert!(BigFloat::zero().div(&BigFloat::one()).is_zero());
+    }
+
+    #[test]
+    fn sqrt_accuracy() {
+        let two = BigFloat::from_i64(2);
+        let r = two.sqrt();
+        assert_eq!(r.to_f64(), 2.0_f64.sqrt());
+        let back = r.mul(&r).sub(&two).abs();
+        assert!(back.to_f64() < 1e-70);
+        assert!(BigFloat::from_f64(-4.0).sqrt().is_nan());
+        assert_eq!(BigFloat::from_f64(4.0).sqrt().to_f64(), 2.0);
+        assert_eq!(BigFloat::from_f64(1e300).sqrt().to_f64(), 1e150);
+    }
+
+    #[test]
+    fn comparison_ordering() {
+        let vals = [-1e300, -2.0, -1e-300, 0.0, 1e-300, 1.0, 1e300];
+        for (i, &a) in vals.iter().enumerate() {
+            for (j, &b) in vals.iter().enumerate() {
+                let ba = BigFloat::from_f64(a);
+                let bb = BigFloat::from_f64(b);
+                assert_eq!(
+                    ba.partial_cmp(&bb),
+                    a.partial_cmp(&b),
+                    "compare {a} vs {b} ({i},{j})"
+                );
+            }
+        }
+        assert_eq!(BigFloat::nan().partial_cmp(&BigFloat::one()), None);
+    }
+
+    #[test]
+    fn trunc_floor_ceil_round() {
+        let check = |x: f64| {
+            let b = BigFloat::from_f64(x);
+            assert_eq!(b.trunc().to_f64(), x.trunc(), "trunc {x}");
+            assert_eq!(b.floor().to_f64(), x.floor(), "floor {x}");
+            assert_eq!(b.ceil().to_f64(), x.ceil(), "ceil {x}");
+            assert_eq!(b.round_nearest().to_f64(), x.round(), "round {x}");
+        };
+        for x in [0.0, 0.3, 0.5, 0.7, 1.0, 1.5, 2.5, -0.3, -0.5, -1.5, -2.5, 123456.789, -99999.999] {
+            check(x);
+        }
+    }
+
+    #[test]
+    fn fmod_matches_f64() {
+        let cases = [(7.5, 2.0), (-7.5, 2.0), (10.0, 3.0), (1e10, 7.0), (0.7, 0.2)];
+        for (a, b) in cases {
+            let r = BigFloat::from_f64(a).fmod(&BigFloat::from_f64(b));
+            let expect = a % b;
+            assert!(
+                (r.to_f64() - expect).abs() < 1e-9,
+                "fmod({a},{b}) = {} expected {expect}",
+                r.to_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn subnormal_conversion() {
+        let tiny = 5e-324;
+        assert_eq!(BigFloat::from_f64(tiny).to_f64(), tiny);
+        let sub = 1.2e-310;
+        assert_eq!(BigFloat::from_f64(sub).to_f64(), sub);
+    }
+
+    #[test]
+    fn is_integer_detection() {
+        assert!(BigFloat::from_f64(5.0).is_integer());
+        assert!(BigFloat::from_f64(-3.0).is_integer());
+        assert!(BigFloat::zero().is_integer());
+        assert!(!BigFloat::from_f64(0.5).is_integer());
+        assert!(!BigFloat::nan().is_integer());
+        assert!(!BigFloat::infinity(false).is_integer());
+    }
+
+    #[test]
+    fn precision_widening_and_narrowing() {
+        let x = BigFloat::from_f64_prec(1.0 / 3.0, 128);
+        assert_eq!(x.precision(), 128);
+        let wide = x.with_precision(512);
+        assert_eq!(wide.precision(), 512);
+        assert_eq!(wide.to_f64(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn default_precision_is_configurable() {
+        let before = default_precision();
+        set_default_precision(512);
+        assert_eq!(default_precision(), 512);
+        assert_eq!(BigFloat::from_f64(2.0).precision(), 512);
+        set_default_precision(before);
+    }
+
+    #[test]
+    fn signed_zero_behaviour() {
+        let nz = BigFloat::from_f64(-0.0);
+        assert!(nz.is_zero());
+        assert!(nz.is_negative());
+        assert!(nz.eq_value(&BigFloat::zero()));
+        assert_eq!(nz.to_f64().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn infinity_arithmetic() {
+        let inf = BigFloat::infinity(false);
+        assert!(inf.add(&BigFloat::one()).is_infinite());
+        assert!(inf.sub(&inf).is_nan());
+        assert!(inf.mul(&BigFloat::zero()).is_nan());
+        assert!(BigFloat::one().div(&inf).is_zero());
+    }
+}

@@ -1,0 +1,149 @@
+//! The "bits of error" metric used by Herbgrind and Herbie.
+//!
+//! The error between an approximate double `approx` and a reference value
+//! `exact` is measured as `log2(1 + ulps_between(approx, exact))`: the base-2
+//! logarithm of how many double-precision floating-point values lie between
+//! them. This is the metric written `E(r_R, r_F)` in Figure 4 of the paper.
+
+/// The maximum representable error in bits for double precision.
+///
+/// There are 2^64 bit patterns, so no two doubles can be more than 64 bits of
+/// error apart. NaN results (when the reference is finite) are reported with
+/// this maximal error, matching the paper's Gram-Schmidt case study where a
+/// NaN output is reported as "64 bits of error".
+pub const MAX_ERROR_BITS: f64 = 64.0;
+
+/// Maps a double onto a signed ordinal such that the ordering of ordinals
+/// matches the ordering of the doubles and adjacent doubles have adjacent
+/// ordinals.
+///
+/// NaNs are mapped to `i64::MAX` so that any comparison against a non-NaN
+/// value yields maximal distance.
+///
+/// ```
+/// use shadowreal::ordinal;
+/// assert!(ordinal(1.0) < ordinal(1.0 + f64::EPSILON));
+/// assert_eq!(ordinal(-0.0), ordinal(0.0));
+/// ```
+pub fn ordinal(x: f64) -> i64 {
+    if x.is_nan() {
+        return i64::MAX;
+    }
+    let bits = x.to_bits();
+    if bits >> 63 == 0 {
+        bits as i64
+    } else {
+        // Negative: flip to mirror below zero. -0.0 maps to 0.
+        -((bits & 0x7fff_ffff_ffff_ffff) as i64)
+    }
+}
+
+/// Number of representable doubles strictly between `a` and `b` plus one when
+/// they differ (i.e. the ULP distance), saturating at `u64::MAX`.
+///
+/// Returns 0 when the two values are identical (including `-0.0` vs `0.0`).
+/// If exactly one argument is NaN the distance saturates; if both are NaN the
+/// distance is 0 (a NaN shadow matching a NaN float is "no error").
+pub fn ulps_between(a: f64, b: f64) -> u64 {
+    if a.is_nan() && b.is_nan() {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    ordinal(a).abs_diff(ordinal(b))
+}
+
+/// Bits of error between a computed double `approx` and the reference value
+/// `exact` (already rounded to double).
+///
+/// Zero when the values are identical; at most [`MAX_ERROR_BITS`].
+///
+/// ```
+/// use shadowreal::bits_error;
+/// assert_eq!(bits_error(1.0, 1.0), 0.0);
+/// assert!(bits_error(0.0, 1.0) > 50.0);
+/// assert!(bits_error(1.0, 1.0 + f64::EPSILON) <= 1.0);
+/// ```
+pub fn bits_error(approx: f64, exact: f64) -> f64 {
+    let ulps = ulps_between(approx, exact);
+    if ulps == u64::MAX {
+        return MAX_ERROR_BITS;
+    }
+    let bits = ((ulps as f64) + 1.0).log2();
+    bits.min(MAX_ERROR_BITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_have_zero_error() {
+        assert_eq!(bits_error(3.25, 3.25), 0.0);
+        assert_eq!(bits_error(0.0, -0.0), 0.0);
+        assert_eq!(bits_error(f64::INFINITY, f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn nan_vs_finite_is_maximal() {
+        assert_eq!(bits_error(f64::NAN, 1.0), MAX_ERROR_BITS);
+        assert_eq!(bits_error(1.0, f64::NAN), MAX_ERROR_BITS);
+    }
+
+    #[test]
+    fn nan_vs_nan_is_zero() {
+        assert_eq!(bits_error(f64::NAN, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn adjacent_doubles_are_one_ulp() {
+        let x = 1.0_f64;
+        let next = f64::from_bits(x.to_bits() + 1);
+        assert_eq!(ulps_between(x, next), 1);
+        assert!(bits_error(x, next) <= 1.0);
+    }
+
+    #[test]
+    fn sign_crossing_counts_ulps_through_zero() {
+        let tiny_pos = f64::from_bits(1);
+        let tiny_neg = -tiny_pos;
+        assert_eq!(ulps_between(tiny_pos, tiny_neg), 2);
+    }
+
+    #[test]
+    fn catastrophic_cancellation_registers_large_error() {
+        // (1e16 + 1) - 1e16 computed in doubles gives 2, true answer 1.
+        let x = 1.0e16_f64;
+        let approx = (x + 1.0) - x;
+        assert!(bits_error(approx, 1.0) > 40.0);
+    }
+
+    #[test]
+    fn error_is_symmetric() {
+        let pairs = [(1.0, 2.0), (0.1, 0.1000001), (-5.0, 5.0), (1e300, 1e-300)];
+        for (a, b) in pairs {
+            assert_eq!(bits_error(a, b), bits_error(b, a));
+        }
+    }
+
+    #[test]
+    fn error_is_monotone_in_distance() {
+        assert!(bits_error(1.0, 1.1) < bits_error(1.0, 2.0));
+        assert!(bits_error(1.0, 2.0) < bits_error(1.0, 1e10));
+    }
+
+    #[test]
+    fn ordinal_is_monotone() {
+        let values = [-1e300, -1.0, -1e-300, -0.0, 0.0, 1e-300, 1.0, 1e300];
+        for w in values.windows(2) {
+            assert!(ordinal(w[0]) <= ordinal(w[1]), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn max_error_bounded_by_64() {
+        assert!(bits_error(f64::MIN, f64::MAX) <= MAX_ERROR_BITS);
+        assert!(bits_error(f64::NEG_INFINITY, f64::INFINITY) <= MAX_ERROR_BITS);
+    }
+}

@@ -1,0 +1,268 @@
+//! Double-double ("compensated pair") arithmetic.
+//!
+//! A [`DoubleDouble`] represents a real number as an unevaluated sum of two
+//! doubles `hi + lo` with `|lo| <= ulp(hi)/2`, giving roughly 106 bits of
+//! significand. It is a fast alternative shadow representation: precise
+//! enough to measure up to ~50 bits of error in a double-precision client
+//! computation, far cheaper than [`crate::BigFloat`].
+//!
+//! The error-free transformations (`two_sum`, `two_prod`) follow Knuth and
+//! Dekker; the composite operations follow Bailey's QD library.
+
+/// A number represented as the unevaluated sum of two doubles.
+///
+/// The invariant `hi = hi + lo` rounded to double (i.e. `lo` is a correction
+/// smaller than half an ulp of `hi`) is maintained by every constructor and
+/// operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DoubleDouble {
+    hi: f64,
+    lo: f64,
+}
+
+/// Error-free sum: returns `(s, e)` with `s = fl(a + b)` and `a + b = s + e`
+/// exactly.
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Error-free sum assuming `|a| >= |b|`.
+#[inline]
+fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+/// Error-free product using fused multiply-add: `a * b = p + e` exactly.
+#[inline]
+fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let e = f64::mul_add(a, b, -p);
+    (p, e)
+}
+
+impl DoubleDouble {
+    /// The value zero.
+    pub const ZERO: DoubleDouble = DoubleDouble { hi: 0.0, lo: 0.0 };
+    /// The value one.
+    pub const ONE: DoubleDouble = DoubleDouble { hi: 1.0, lo: 0.0 };
+
+    /// Creates a double-double from a single double (exact).
+    pub fn from_f64(x: f64) -> Self {
+        DoubleDouble { hi: x, lo: 0.0 }
+    }
+
+    /// Creates a double-double from an unnormalized pair of doubles.
+    pub fn from_parts(hi: f64, lo: f64) -> Self {
+        let (s, e) = two_sum(hi, lo);
+        DoubleDouble { hi: s, lo: e }
+    }
+
+    /// The high (leading) component.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// The low (correction) component.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Rounds to the nearest double.
+    pub fn to_f64(&self) -> f64 {
+        self.hi
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(&self) -> bool {
+        self.hi.is_nan()
+    }
+
+    /// True if the value is finite.
+    pub fn is_finite(&self) -> bool {
+        self.hi.is_finite()
+    }
+
+    /// True if the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.hi == 0.0 && self.lo == 0.0
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Self) -> Self {
+        let (s, e) = two_sum(self.hi, other.hi);
+        let e = e + self.lo + other.lo;
+        let (hi, lo) = quick_two_sum(s, e);
+        DoubleDouble { hi, lo }
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        DoubleDouble {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        if self.hi < 0.0 || (self.hi == 0.0 && self.lo < 0.0) {
+            self.neg()
+        } else {
+            *self
+        }
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        let (p, e) = two_prod(self.hi, other.hi);
+        let e = e + self.hi * other.lo + self.lo * other.hi;
+        let (hi, lo) = quick_two_sum(p, e);
+        DoubleDouble { hi, lo }
+    }
+
+    /// Division.
+    pub fn div(&self, other: &Self) -> Self {
+        let q1 = self.hi / other.hi;
+        if !q1.is_finite() {
+            return DoubleDouble::from_f64(q1);
+        }
+        // r = self - q1 * other
+        let r = self.sub(&other.mul(&DoubleDouble::from_f64(q1)));
+        let q2 = r.hi / other.hi;
+        let r2 = r.sub(&other.mul(&DoubleDouble::from_f64(q2)));
+        let q3 = r2.hi / other.hi;
+        let (hi, lo) = quick_two_sum(q1, q2);
+        DoubleDouble::from_parts(hi, lo + q3)
+    }
+
+    /// Square root.
+    pub fn sqrt(&self) -> Self {
+        if self.is_zero() {
+            return DoubleDouble::ZERO;
+        }
+        if self.hi < 0.0 {
+            return DoubleDouble::from_f64(f64::NAN);
+        }
+        let approx = self.hi.sqrt();
+        if !approx.is_finite() {
+            return DoubleDouble::from_f64(approx);
+        }
+        // One Newton step: sqrt(a) ~= x + (a - x^2) / (2x)
+        let x = DoubleDouble::from_f64(approx);
+        let diff = self.sub(&x.mul(&x));
+        let correction = diff.div(&DoubleDouble::from_f64(2.0 * approx));
+        x.add(&correction)
+    }
+
+    /// Comparison compatible with the IEEE total order on the leading
+    /// component (NaN compares as incomparable, like `f64`).
+    pub fn compare(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        match self.hi.partial_cmp(&other.hi) {
+            Some(std::cmp::Ordering::Equal) => self.lo.partial_cmp(&other.lo),
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for DoubleDouble {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.compare(other)
+    }
+}
+
+impl Default for DoubleDouble {
+    fn default() -> Self {
+        DoubleDouble::ZERO
+    }
+}
+
+impl std::fmt::Display for DoubleDouble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:e}", self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integer_arithmetic() {
+        let a = DoubleDouble::from_f64(3.0);
+        let b = DoubleDouble::from_f64(4.0);
+        assert_eq!(a.add(&b).to_f64(), 7.0);
+        assert_eq!(a.mul(&b).to_f64(), 12.0);
+        assert_eq!(b.sub(&a).to_f64(), 1.0);
+        assert_eq!(b.div(&a).mul(&a).to_f64(), 4.0);
+    }
+
+    #[test]
+    fn captures_cancellation_that_doubles_lose() {
+        // (1e16 + 1) - 1e16 == 1 in double-double, not in doubles.
+        let x = DoubleDouble::from_f64(1.0e16);
+        let one = DoubleDouble::ONE;
+        let result = x.add(&one).sub(&x);
+        assert_eq!(result.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn sqrt_of_two_squares_back() {
+        let two = DoubleDouble::from_f64(2.0);
+        let r = two.sqrt();
+        let back = r.mul(&r);
+        assert!((back.to_f64() - 2.0).abs() < 1e-30 || back.to_f64() == 2.0);
+        // The double-double square should be much closer to 2 than the
+        // double-precision sqrt squared.
+        let err = back.sub(&two).abs();
+        assert!(err.hi.abs() < 1e-30);
+    }
+
+    #[test]
+    fn division_has_small_residual() {
+        let a = DoubleDouble::from_f64(1.0);
+        let b = DoubleDouble::from_f64(3.0);
+        let q = a.div(&b);
+        let residual = q.mul(&b).sub(&a).abs();
+        assert!(residual.hi.abs() < 1e-31);
+    }
+
+    #[test]
+    fn negative_sqrt_is_nan() {
+        assert!(DoubleDouble::from_f64(-1.0).sqrt().is_nan());
+    }
+
+    #[test]
+    fn division_by_zero_is_infinite() {
+        let q = DoubleDouble::ONE.div(&DoubleDouble::ZERO);
+        assert!(q.hi().is_infinite());
+    }
+
+    #[test]
+    fn ordering_uses_low_component_to_break_ties() {
+        let a = DoubleDouble::from_parts(1.0, 1e-20);
+        let b = DoubleDouble::from_parts(1.0, -1e-20);
+        assert!(a > b);
+    }
+
+    #[test]
+    fn abs_and_neg_roundtrip() {
+        let a = DoubleDouble::from_f64(-2.5);
+        assert_eq!(a.abs().to_f64(), 2.5);
+        assert_eq!(a.neg().to_f64(), 2.5);
+        assert_eq!(a.neg().neg().to_f64(), -2.5);
+    }
+}

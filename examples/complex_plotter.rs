@@ -1,0 +1,137 @@
+//! The complex-function plotter case study from §3 / Figure 1 of the paper.
+//!
+//! The paper's plotter colors each pixel by `arg(f(x + iy))`, where
+//! evaluating `f` requires a hand-written complex square root. The textbook
+//! formula computes the imaginary component as `sqrt((sqrt(x² + y²) − x)/2)`,
+//! and for points near the positive real axis the inner subtraction cancels
+//! catastrophically — Herbgrind's report for the original program pins the
+//! root cause to exactly that fragment, with inputs `x ∈ [−2.1e−9, 0.25]`,
+//! `y ∈ [−2.6e−9, 2.6e−9]`.
+//!
+//! This example reproduces the experiment on that same input slice: it
+//! renders `arg(csqrt(z))` over `[0, 1/4] × [−3e−9, 3e−9]` (the region the
+//! kernel actually sees, per the report's input characterization) with the
+//! naive formula, counts the pixels that disagree with a 256-bit reference
+//! (the paper reports "231878 incorrect values of 477000" for the full
+//! plot), runs Herbgrind on the kernel to recover the root cause, applies
+//! the paper's fix (use the conjugate form on the well-conditioned side),
+//! and counts again.
+//!
+//! Run with `cargo run --release --example complex_plotter`.
+
+use fpcore::parse_core;
+use fpvm::compile_core;
+use herbgrind::{analyze, AnalysisConfig};
+use shadowreal::{bits_error, BigFloat};
+
+/// A complex number as a pair of doubles.
+#[derive(Clone, Copy, Debug)]
+struct Complex {
+    re: f64,
+    im: f64,
+}
+
+impl Complex {
+    fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+    fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+}
+
+/// The naive complex square root: both components via the textbook formula.
+fn csqrt_naive(z: Complex) -> Complex {
+    let r = (z.re * z.re + z.im * z.im).sqrt();
+    let re = ((r + z.re) / 2.0).sqrt();
+    let im = ((r - z.re) / 2.0).sqrt() * z.im.signum();
+    Complex::new(re, im)
+}
+
+/// The repaired complex square root from §3: compute the well-conditioned
+/// component directly and derive the other one from it, choosing by the sign
+/// of the real part.
+fn csqrt_fixed(z: Complex) -> Complex {
+    let r = (z.re * z.re + z.im * z.im).sqrt();
+    let (re, im_mag) = if z.re > 0.0 {
+        let re = ((r + z.re) / 2.0).sqrt();
+        (re, z.im.abs() / (2.0 * re))
+    } else {
+        let im = ((r - z.re) / 2.0).sqrt();
+        (z.im.abs() / (2.0 * im), im)
+    };
+    Complex::new(re, im_mag * z.im.signum())
+}
+
+/// A reference complex square root computed with 256-bit shadow reals.
+fn csqrt_reference(z: Complex) -> Complex {
+    let x = BigFloat::from_f64(z.re);
+    let y = BigFloat::from_f64(z.im);
+    let r = x.mul(&x).add(&y.mul(&y)).sqrt();
+    let two = BigFloat::from_f64(2.0);
+    let re = r.add(&x).div(&two).sqrt();
+    let im = r.sub(&x).div(&two).sqrt();
+    let im = if z.im < 0.0 { im.neg() } else { im };
+    Complex::new(re.to_f64(), im.to_f64())
+}
+
+fn render(csqrt: fn(Complex) -> Complex, width: usize, height: usize) -> Vec<f64> {
+    let mut pixels = Vec::with_capacity(width * height);
+    for j in 0..height {
+        for i in 0..width {
+            let x = 0.25 * (i as f64 + 0.5) / width as f64;
+            let y = -3e-9 + 6e-9 * (j as f64 + 0.5) / height as f64;
+            pixels.push(csqrt(Complex::new(x, y)).arg());
+        }
+    }
+    pixels
+}
+
+fn count_incorrect(pixels: &[f64], reference: &[f64]) -> usize {
+    pixels
+        .iter()
+        .zip(reference)
+        .filter(|(a, b)| bits_error(**a, **b) > 5.0)
+        .count()
+}
+
+fn main() {
+    let (width, height) = (200, 200);
+    let total = width * height;
+
+    let reference = render(csqrt_reference, width, height);
+    let naive = render(csqrt_naive, width, height);
+    let fixed = render(csqrt_fixed, width, height);
+
+    println!("plot slice [0, 1/4] x [-3e-9, 3e-9] at {width}x{height} ({total} pixels)");
+    println!(
+        "naive complex sqrt:    {} incorrect values of {}",
+        count_incorrect(&naive, &reference),
+        total
+    );
+    println!(
+        "repaired complex sqrt: {} incorrect values of {}",
+        count_incorrect(&fixed, &reference),
+        total
+    );
+
+    // Now ask Herbgrind *why* the naive plot is wrong: analyze the kernel the
+    // plotter uses for the imaginary component of the square root.
+    let kernel = parse_core(
+        "(FPCore (x y) :name \"complex sqrt imaginary part\"
+           :pre (and (<= 1e-9 x 0.25) (<= 1e-12 y 3e-9))
+           (sqrt (/ (- (sqrt (+ (* x x) (* y y))) x) 2)))",
+    )
+    .expect("valid kernel");
+    let program = compile_core(&kernel, Default::default()).expect("compiles");
+    let inputs: Vec<Vec<f64>> = (0..400)
+        .map(|i| {
+            let x = 0.25 * (i as f64 + 0.5) / 400.0;
+            let y = 3e-9 * (i as f64 + 1.0) / 400.0;
+            vec![x, y]
+        })
+        .collect();
+    let report = analyze(&program, &inputs, &AnalysisConfig::default()).expect("analysis");
+    println!();
+    println!("{}", report.to_text());
+}

@@ -1,0 +1,82 @@
+//! The Gromacs dihedral-angle case study from §7 of the paper.
+//!
+//! Gromacs computes the dihedral angle between the planes spanned by three
+//! consecutive bond vectors. For near-flat configurations (four almost
+//! colinear atoms) the normal vectors nearly vanish and the angle
+//! computation suffers cancellation; the paper traced the error, across C
+//! and Fortran and through vector data structures, to the determinant-style
+//! expression inside the angle computation.
+//!
+//! This example writes the dihedral-angle kernel as FPCore (the three bond
+//! vectors are the nine scalar arguments), drives it with a molecular-
+//! dynamics-style workload that includes near-colinear configurations, and
+//! lets Herbgrind attribute the output error.
+//!
+//! Run with `cargo run --release --example dihedral`.
+
+use fpcore::parse_core;
+use fpvm::compile_core;
+use herbgrind::{analyze, AnalysisConfig};
+use herbie_lite::{improve, sample_inputs, ImprovementOptions};
+
+/// The dihedral angle via the normalized-normals formula: the angle between
+/// n1 = b1 × b2 and n2 = b2 × b3, measured with acos of their dot product —
+/// exactly the ill-conditioned variant for flat angles.
+const DIHEDRAL_SOURCE: &str = "(FPCore (b1x b1y b1z b2x b2y b2z b3x b3y b3z)
+  :name \"dihedral angle (acos form)\"
+  :pre (and (<= -2 b1x 2) (<= -2 b1y 2) (<= -1e-4 b1z 1e-4)
+            (<= -2 b2x 2) (<= -2 b2y 2) (<= -1e-4 b2z 1e-4)
+            (<= -2 b3x 2) (<= -2 b3y 2) (<= -1e-4 b3z 1e-4))
+  (let* ((n1x (- (* b1y b2z) (* b1z b2y)))
+         (n1y (- (* b1z b2x) (* b1x b2z)))
+         (n1z (- (* b1x b2y) (* b1y b2x)))
+         (n2x (- (* b2y b3z) (* b2z b3y)))
+         (n2y (- (* b2z b3x) (* b2x b3z)))
+         (n2z (- (* b2x b3y) (* b2y b3x)))
+         (dot (+ (+ (* n1x n2x) (* n1y n2y)) (* n1z n2z)))
+         (len1 (sqrt (+ (+ (* n1x n1x) (* n1y n1y)) (* n1z n1z))))
+         (len2 (sqrt (+ (+ (* n2x n2x) (* n2y n2y)) (* n2z n2z)))))
+    (acos (/ dot (* len1 len2)))))";
+
+fn main() {
+    let core = parse_core(DIHEDRAL_SOURCE).expect("valid FPCore");
+    let program = compile_core(&core, Default::default()).expect("compiles");
+
+    // A workload of bond-vector triples: mostly generic geometry, plus a
+    // batch of near-flat configurations like the triple-bonded organic
+    // compounds the paper mentions (the three bonds almost colinear, tiny
+    // out-of-plane components).
+    let mut inputs: Vec<Vec<f64>> = Vec::new();
+    for i in 1..60 {
+        let t = i as f64 / 60.0;
+        // Generic configuration: clearly non-colinear bonds.
+        inputs.push(vec![1.0, t, 1e-5, -t, 1.0, -1e-5, 0.5, -1.0, 1e-5]);
+        // Near-flat configuration: all three bonds almost along +x, with
+        // progressively tinier transverse components.
+        let eps = 1e-6 / i as f64;
+        inputs.push(vec![
+            1.0, eps, eps / 3.0, 1.0, -eps, eps / 2.0, 1.0, eps, -eps / 4.0,
+        ]);
+    }
+
+    let report = analyze(&program, &inputs, &AnalysisConfig::default()).expect("analysis");
+    println!("{}", report.to_text());
+
+    // As in the paper, hand the extracted expressions to the improvement
+    // oracle to check the root cause is actionable.
+    for cause in report.root_cause_cores().into_iter().take(2) {
+        if let Ok(cause_inputs) = sample_inputs(&cause, 150, 11) {
+            if let Ok(result) = improve(&cause, &cause_inputs, &ImprovementOptions::default()) {
+                println!(
+                    "root cause with {:.1} bits of error; improvement oracle reaches {:.1} bits ({:?})",
+                    result.original_error_bits, result.improved_error_bits, result.rules_applied
+                );
+            }
+        }
+    }
+    println!(
+        "The fix deployed upstream (and in the numerical-analysis literature) replaces the acos \
+         form with an atan2 of the in-plane and out-of-plane components, which is well-conditioned \
+         at flat angles."
+    );
+}

@@ -1,0 +1,70 @@
+//! The Gram-Schmidt orthonormalization case study from §7 of the paper.
+//!
+//! The Polybench `gramschmidt` kernel normalizes each column by its norm.
+//! On the benchmark's original inputs one intermediate column turned out to
+//! be (numerically) zero, so the normalization divides by zero and the NaN
+//! propagates to the output. Herbgrind reported the output with maximal (64
+//! bits) error and, crucially, its example problematic input was the zero
+//! vector — pointing at the *invocation* rather than the procedure itself.
+//!
+//! This example reproduces that situation with a two-vector Gram-Schmidt
+//! step written as FPCore: the second vector is orthogonalized against the
+//! first and then normalized. When the two input vectors are parallel the
+//! orthogonalized vector is zero and the normalization produces NaN.
+//!
+//! Run with `cargo run --example gram_schmidt`.
+
+use fpcore::parse_core;
+use fpvm::{compile_core, Machine};
+use herbgrind::{analyze, AnalysisConfig};
+
+/// One Gram-Schmidt step in 2-D: orthogonalize (bx, by) against (ax, ay) and
+/// return the x component of the normalized result.
+const GRAM_SCHMIDT_SOURCE: &str = "(FPCore (ax ay bx by)
+  :name \"gram-schmidt step\"
+  :pre (and (<= -10 ax 10) (<= -10 ay 10) (<= -10 bx 10) (<= -10 by 10))
+  (let* ((norm_a (sqrt (+ (* ax ax) (* ay ay))))
+         (qx (/ ax norm_a))
+         (qy (/ ay norm_a))
+         (proj (+ (* qx bx) (* qy by)))
+         (ux (- bx (* proj qx)))
+         (uy (- by (* proj qy)))
+         (norm_u (sqrt (+ (* ux ux) (* uy uy)))))
+    (/ ux norm_u)))";
+
+fn main() {
+    let core = parse_core(GRAM_SCHMIDT_SOURCE).expect("valid FPCore");
+    let program = compile_core(&core, Default::default()).expect("compiles");
+
+    // A workload in the spirit of Polybench's generator: mostly well-formed
+    // vector pairs, plus a few degenerate ones where the second vector is
+    // parallel to the first (the analogue of the zero column).
+    let mut inputs: Vec<Vec<f64>> = Vec::new();
+    for i in 1..40 {
+        let a = i as f64 / 4.0;
+        inputs.push(vec![a, 1.0, 0.5, a]); // generic, well-conditioned
+    }
+    for i in 1..5 {
+        let a = i as f64;
+        inputs.push(vec![a, 2.0 * a, 3.0 * a, 6.0 * a]); // parallel -> u = 0
+    }
+
+    println!("running the Gram-Schmidt step on {} vector pairs...", inputs.len());
+    let mut nan_outputs = 0;
+    for input in &inputs {
+        let out = Machine::new(&program).run(input).expect("runs").outputs[0];
+        if out.is_nan() {
+            nan_outputs += 1;
+        }
+    }
+    println!("{nan_outputs} of {} outputs are NaN", inputs.len());
+
+    let report = analyze(&program, &inputs, &AnalysisConfig::default()).expect("analysis");
+    println!();
+    println!("{}", report.to_text());
+    println!(
+        "As in the paper, the problem is not the procedure but its invocation: the example \
+         problematic inputs correspond to a degenerate (zero after orthogonalization) vector, \
+         i.e. the caller violated Gram-Schmidt's precondition."
+    );
+}

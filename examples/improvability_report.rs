@@ -1,0 +1,56 @@
+//! The §8.1 improvability experiment, printed as a per-benchmark table.
+//!
+//! Run with `cargo run --release --example improvability_report`.
+//! Pass a number to limit the suite size, e.g.
+//! `cargo run --release --example improvability_report 20`.
+
+use fpbench::{improvability, subset, suite};
+use herbgrind::AnalysisConfig;
+
+fn main() {
+    let limit: Option<usize> = std::env::args().nth(1).and_then(|a| a.parse().ok());
+    let benchmarks = match limit {
+        Some(n) => subset(n),
+        None => suite(),
+    };
+    println!("running the improvability experiment on {} benchmarks...", benchmarks.len());
+    let summary = improvability(&benchmarks, 120, 2024, &AnalysisConfig::default());
+
+    println!();
+    println!(
+        "{:<34} {:>10} {:>9} {:>10} {:>11}",
+        "benchmark", "oracle err", "detected", "candidate", "improvable"
+    );
+    for row in &summary.rows {
+        println!(
+            "{:<34} {:>10.1} {:>9} {:>10} {:>11}",
+            truncate(&row.name, 34),
+            row.oracle_error_bits,
+            yesno(row.herbgrind_detected),
+            yesno(row.herbgrind_has_candidate),
+            yesno(row.root_cause_improvable),
+        );
+    }
+    println!();
+    println!("{}", summary.to_text());
+    println!(
+        "(paper, on FPBench v1: 86 benchmarks, 30 with >5 bits of error, 29 detected, 25 with \
+         improvable root causes)"
+    );
+}
+
+fn yesno(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "-"
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}

@@ -1,0 +1,76 @@
+//! The PID-controller case study from §7 of the paper.
+//!
+//! A proportional-integral-derivative controller runs in a loop for a fixed
+//! number of simulated seconds. The loop counter `t` is a double incremented
+//! by 0.2 each iteration and compared against the bound `N`; because 0.2 is
+//! not representable, for some bounds the loop runs once too often (the
+//! Patriot-missile bug class). Herbgrind finds the bug because every
+//! control-flow comparison over floats is a spot: the branch diverges from
+//! the shadow-real execution, and the divergence is linked back to the
+//! inaccurate increment.
+//!
+//! Run with `cargo run --example pid_controller`.
+
+use fpcore::parse_core;
+use fpvm::{compile_core, Machine};
+use herbgrind::{analyze, AnalysisConfig};
+
+/// The controller: a simplified PID update run in a time loop, returning the
+/// number of iterations taken together with the final control value.
+const PID_SOURCE: &str = "(FPCore (setpoint measured N)
+  :name \"pid controller\"
+  :pre (and (<= 0 setpoint 10) (<= 0 measured 10) (<= 1 N 20))
+  (while (< t N)
+    ((t 0 (+ t 0.2))
+     (integral 0 (+ integral (* (- setpoint measured) 0.2)))
+     (iterations 0 (+ iterations 1)))
+    iterations))";
+
+fn main() {
+    let core = parse_core(PID_SOURCE).expect("valid FPCore");
+    let program = compile_core(&core, Default::default()).expect("compiles");
+
+    // First, just run the controller for a range of loop bounds and compare
+    // the iteration count with the mathematically expected one.
+    println!("loop bound N -> iterations taken (expected N / 0.2):");
+    let mut buggy_bounds = Vec::new();
+    for n in 1..=20 {
+        let bound = n as f64;
+        let result = Machine::new(&program)
+            .run(&[5.0, 4.0, bound])
+            .expect("controller runs");
+        let iterations = result.outputs[0];
+        let expected = (bound / 0.2).round();
+        let marker = if iterations != expected {
+            buggy_bounds.push(bound);
+            "  <-- one iteration too many"
+        } else {
+            ""
+        };
+        println!("  N = {bound:5.1}: {iterations:4.0} iterations, expected {expected:4.0}{marker}");
+    }
+
+    // Now run Herbgrind on the bounds we just exercised and show that the
+    // loop-condition branch is reported as a spot influenced by the
+    // inaccurate increment.
+    let inputs: Vec<Vec<f64>> = (1..=20).map(|n| vec![5.0, 4.0, n as f64]).collect();
+    let config = AnalysisConfig::default().with_local_error_threshold(1.0);
+    let report = analyze(&program, &inputs, &config).expect("analysis");
+
+    println!();
+    println!(
+        "Herbgrind observed {} control-flow divergences between the float and shadow executions.",
+        report.branch_divergences
+    );
+    println!("{}", report.to_text());
+
+    if buggy_bounds.is_empty() {
+        println!("No off-by-one bounds found (unexpected on IEEE-754 doubles).");
+    } else {
+        println!(
+            "Bounds with an extra iteration: {:?} — fix: count iterations in an integer and \
+             compute t = count * 0.2, as the upstream authors did.",
+            buggy_bounds
+        );
+    }
+}

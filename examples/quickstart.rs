@@ -1,0 +1,37 @@
+//! Quickstart: find the root cause of error in a small numerical kernel.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use fpcore::parse_core;
+use fpvm::compile_core;
+use herbgrind::{analyze, AnalysisConfig};
+use herbie_lite::{improve, sample_inputs, ImprovementOptions};
+
+fn main() {
+    // A kernel with a hidden numerical problem: for large x the subtraction
+    // cancels catastrophically.
+    let source = "(FPCore (x) :name \"quickstart\" :pre (<= 1 x 1e15)
+                    (- (sqrt (+ x 1)) (sqrt x)))";
+    let core = parse_core(source).expect("valid FPCore");
+
+    // Compile it to the abstract float machine and sample inputs from the
+    // precondition, exactly as the evaluation driver does.
+    let program = compile_core(&core, Default::default()).expect("compiles");
+    let inputs = sample_inputs(&core, 200, 42).expect("samples");
+
+    // Run it under Herbgrind.
+    let report = analyze(&program, &inputs, &AnalysisConfig::default()).expect("analysis");
+    println!("{}", report.to_text());
+
+    // Feed the reported root cause to the improvement oracle, as the paper
+    // does with Herbie.
+    for cause in report.root_cause_cores() {
+        let cause_inputs = sample_inputs(&cause, 200, 43).expect("samples");
+        let result = improve(&cause, &cause_inputs, &ImprovementOptions::default()).expect("improve");
+        println!(
+            "root cause error {:.1} bits -> improved to {:.1} bits via {:?}",
+            result.original_error_bits, result.improved_error_bits, result.rules_applied
+        );
+        println!("improved expression: {}", fpcore::expr_to_string(&result.improved_body));
+    }
+}

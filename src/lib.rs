@@ -1,0 +1,16 @@
+//! Umbrella crate for the Herbgrind reproduction.
+//!
+//! The actual functionality lives in the workspace crates; this crate exists
+//! to host the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`), and re-exports the pieces they use so the
+//! examples read like downstream user code.
+
+#![forbid(unsafe_code)]
+
+pub use baselines;
+pub use fpbench;
+pub use fpcore;
+pub use fpvm;
+pub use herbgrind;
+pub use herbie_lite;
+pub use shadowreal;

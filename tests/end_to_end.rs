@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: the full pipeline from FPCore text through
+//! the abstract machine, the Herbgrind analysis, and the improvement oracle.
+
+use fpcore::parse_core;
+use fpvm::{compile_core, Machine};
+use herbgrind::{analyze, AnalysisConfig, RangeKind};
+use herbie_lite::{improve, sample_inputs, ImprovementOptions};
+
+/// The paper's headline workflow: detect, extract a root cause, improve it.
+#[test]
+fn detect_extract_improve_pipeline() {
+    let core = parse_core(
+        "(FPCore (x) :name \"2sqrt\" :pre (<= 1 x 1e15) (- (sqrt (+ x 1)) (sqrt x)))",
+    )
+    .unwrap();
+    let program = compile_core(&core, Default::default()).unwrap();
+    let inputs = sample_inputs(&core, 150, 7).unwrap();
+    let report = analyze(&program, &inputs, &AnalysisConfig::default()).unwrap();
+    assert!(report.has_significant_error());
+
+    let causes = report.root_cause_cores();
+    assert!(!causes.is_empty());
+    let cause = &causes[0];
+    let cause_inputs = sample_inputs(cause, 150, 8).unwrap();
+    let improved = improve(cause, &cause_inputs, &ImprovementOptions::default()).unwrap();
+    assert!(improved.original_error_bits > 5.0);
+    assert!(improved.improved, "rules: {:?}", improved.rules_applied);
+}
+
+/// The machine agrees with the reference FPCore evaluator on the whole
+/// embedded suite (one sampled input per benchmark).
+#[test]
+fn machine_matches_reference_evaluator_on_suite() {
+    for core in fpbench::suite() {
+        let program = compile_core(&core, Default::default()).unwrap();
+        let inputs = sample_inputs(&core, 3, 99).unwrap();
+        for input in &inputs {
+            let expected = fpcore::eval::eval_f64(&core, input).unwrap();
+            let got = Machine::new(&program).run(input).unwrap().outputs[0];
+            if expected.is_nan() {
+                assert!(got.is_nan(), "{}: {got} vs NaN", core.display_name());
+            } else {
+                assert_eq!(got, expected, "{} on {input:?}", core.display_name());
+            }
+        }
+    }
+}
+
+/// The PID-controller case study: control-flow divergence is detected and
+/// linked to the inaccurate increment.
+#[test]
+fn pid_controller_branch_divergence_is_detected() {
+    let core = parse_core(
+        "(FPCore (n) :pre (<= 1 n 20) (while (< t n) ((t 0 (+ t 0.2)) (c 0 (+ c 1))) c))",
+    )
+    .unwrap();
+    let program = compile_core(&core, Default::default()).unwrap();
+    let inputs: Vec<Vec<f64>> = (1..=20).map(|n| vec![n as f64]).collect();
+    let config = AnalysisConfig::default().with_local_error_threshold(0.5);
+    let report = analyze(&program, &inputs, &config).unwrap();
+    assert!(report.branch_divergences > 0);
+    let compare_spot = report.spots.iter().find(|s| s.kind_label == "Compare").unwrap();
+    assert!(compare_spot.erroneous > 0);
+    // When the accumulated 0.2 increment exhibits local error above the
+    // threshold it is reported as the root cause of the divergence; the
+    // divergence itself is always detected.
+    if !compare_spot.root_causes.is_empty() {
+        assert!(
+            compare_spot
+                .root_causes
+                .iter()
+                .any(|c| c.fpcore.contains("0.2") || c.fpcore.contains("2e-1")),
+            "{}",
+            report.to_text()
+        );
+    }
+}
+
+/// The Gram-Schmidt case study: a NaN produced by a degenerate input is
+/// reported with maximal error.
+#[test]
+fn gram_schmidt_nan_is_maximal_error() {
+    let core = parse_core(
+        "(FPCore (ax ay bx by)
+          (let* ((proj (/ (+ (* ax bx) (* ay by)) (+ (* ax ax) (* ay ay))))
+                 (ux (- bx (* proj ax))) (uy (- by (* proj ay)))
+                 (norm (sqrt (+ (* ux ux) (* uy uy)))))
+            (/ ux norm)))",
+    )
+    .unwrap();
+    let program = compile_core(&core, Default::default()).unwrap();
+    // The second vector is parallel to the first: u is (numerically) zero and
+    // the final normalization divides zero by zero.
+    let inputs = vec![vec![1.0, 2.0, 2.0, 4.0], vec![1.0, 1.0, 2.0, 3.0]];
+    let report = analyze(&program, &inputs, &AnalysisConfig::default()).unwrap();
+    assert!(report.has_significant_error());
+    assert!(report.spots[0].max_error_bits >= 60.0, "{}", report.to_text());
+}
+
+/// Input characteristics narrow the reported ranges to the erroneous band.
+#[test]
+fn input_characteristics_identify_erroneous_region() {
+    // baz from §2.1: only inputs near 113 are problematic.
+    let core = parse_core(
+        "(FPCore (x) :pre (<= 0 x 300) (let ((z (/ 1 (- x 113)))) (- (+ z PI) z)))",
+    )
+    .unwrap();
+    let program = compile_core(&core, Default::default()).unwrap();
+    let mut inputs: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64]).collect();
+    // Include points extremely close to 113 where z blows up.
+    for k in 1..20 {
+        inputs.push(vec![113.0 + 10f64.powi(-k)]);
+    }
+    let config = AnalysisConfig::default().with_range_kind(RangeKind::Single);
+    let report = analyze(&program, &inputs, &config).unwrap();
+    assert!(report.has_significant_error(), "{}", report.to_text());
+    let cause = &report.spots[0].root_causes[0];
+    // The reported precondition reflects observed intermediate values, and an
+    // example problematic input is present.
+    assert!(cause.precondition.is_some());
+    assert!(!cause.example_input.is_empty());
+}
+
+/// The three baseline detectors and Herbgrind agree on whether a benchmark
+/// is problematic, but only Herbgrind produces an improvable fragment.
+#[test]
+fn baselines_detect_but_do_not_localize() {
+    let core = parse_core("(FPCore (x) :pre (<= 1 x 1e25) (* (- (+ x 1) x) 3))").unwrap();
+    let program = compile_core(&core, Default::default()).unwrap();
+    let inputs: Vec<Vec<f64>> = (0..25).map(|i| vec![10f64.powi(i)]).collect();
+
+    let fpdebug = baselines::FpDebugDetector::analyze(&program, &inputs).unwrap();
+    assert!(!fpdebug.erroneous_operations(5.0).is_empty());
+
+    let verrou = baselines::verrou_compare(&program, &inputs, 5, 3).unwrap();
+    assert!(verrou.possibly_unstable(5.0));
+
+    let herbgrind = analyze(&program, &inputs, &AnalysisConfig::default()).unwrap();
+    assert!(herbgrind.has_significant_error());
+    let cause = &herbgrind.spots[0].root_causes[0];
+    // Only Herbgrind reports an abstracted code fragment with variables.
+    assert!(cause.symbolic.variable_count() >= 1);
+    assert!(cause.fpcore.contains("FPCore"));
+}
+
+/// Analysis with the fast double-double shadow and the BigFloat shadow agree
+/// on detection for a clear-cut case.
+#[test]
+fn shadow_representations_agree_on_detection() {
+    let core = parse_core("(FPCore (x) :pre (<= 1 x 1e15) (- (+ x 1) x))").unwrap();
+    let program = compile_core(&core, Default::default()).unwrap();
+    let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![10f64.powi(i)]).collect();
+    let config = AnalysisConfig::default();
+    let big = analyze(&program, &inputs, &config).unwrap();
+    let dd = herbgrind::analyze_with_shadow::<shadowreal::DoubleDouble>(&program, &inputs, &config)
+        .unwrap();
+    assert_eq!(big.has_significant_error(), dd.has_significant_error());
+}
+
+/// The library-wrapping ablation produces larger expressions when disabled,
+/// end to end through the fpbench driver.
+#[test]
+fn wrapping_ablation_end_to_end() {
+    let benches = vec![fpbench::by_name("NMSE section 3.5").unwrap()];
+    let cmp = fpbench::wrapping_comparison(&benches, 40, 5, &AnalysisConfig::default()).unwrap();
+    assert!(cmp.unwrapped_max_ops > cmp.wrapped_max_ops);
+    assert!(cmp.unwrapped_flagged >= cmp.wrapped_flagged);
+}

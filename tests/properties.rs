@@ -1,0 +1,163 @@
+//! Property-based tests over the core data structures and invariants.
+
+use fpcore::{expr_to_string, parse_expr, Expr};
+use fpvm::{compile_core, Machine};
+use proptest::prelude::*;
+use shadowreal::{bits_error, ordinal, ulps_between, BigFloat, DoubleDouble, Real, RealOp};
+
+/// Finite, not-too-extreme doubles for arithmetic properties.
+fn reasonable_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e12f64..1e12,
+        -1e3f64..1e3,
+        -1.0f64..1.0,
+        Just(0.0),
+        Just(1.0),
+        Just(-1.0),
+    ]
+}
+
+proptest! {
+    /// BigFloat round-trips every double exactly.
+    #[test]
+    fn bigfloat_roundtrips_doubles(x in any::<f64>()) {
+        let b = BigFloat::from_f64(x);
+        if x.is_nan() {
+            prop_assert!(b.to_f64().is_nan());
+        } else {
+            prop_assert_eq!(b.to_f64().to_bits(), x.to_bits());
+        }
+    }
+
+    /// BigFloat addition/multiplication agree with f64 to within an ulp of
+    /// the f64 result (the f64 result is correctly rounded, the BigFloat
+    /// result is far more precise, so rounding it back must land within one
+    /// ulp).
+    #[test]
+    fn bigfloat_arithmetic_is_consistent_with_f64(a in reasonable_f64(), b in reasonable_f64()) {
+        for op in [RealOp::Add, RealOp::Sub, RealOp::Mul] {
+            let exact = BigFloat::apply(op, &[BigFloat::from_f64(a), BigFloat::from_f64(b)]);
+            let float = f64::apply(op, &[a, b]);
+            prop_assert!(ulps_between(exact.to_f64(), float) <= 1,
+                "{op} {a} {b}: {} vs {float}", exact.to_f64());
+        }
+    }
+
+    /// Division and square root are faithful too (where defined).
+    #[test]
+    fn bigfloat_div_sqrt_consistent(a in reasonable_f64(), b in reasonable_f64()) {
+        if b != 0.0 {
+            let exact = BigFloat::from_f64(a).div(&BigFloat::from_f64(b));
+            prop_assert!(ulps_between(exact.to_f64(), a / b) <= 1);
+        }
+        if a >= 0.0 {
+            let exact = BigFloat::from_f64(a).sqrt();
+            prop_assert!(ulps_between(exact.to_f64(), a.sqrt()) <= 1);
+        }
+    }
+
+    /// The double-double shadow agrees with f64 on basic arithmetic.
+    #[test]
+    fn doubledouble_consistent_with_f64(a in reasonable_f64(), b in reasonable_f64()) {
+        for op in [RealOp::Add, RealOp::Sub, RealOp::Mul] {
+            let dd = DoubleDouble::apply(op, &[DoubleDouble::from_f64(a), DoubleDouble::from_f64(b)]);
+            let float = f64::apply(op, &[a, b]);
+            prop_assert!(ulps_between(dd.to_f64(), float) <= 1);
+        }
+    }
+
+    /// Bits-of-error is symmetric, non-negative, bounded, and zero iff the
+    /// values are numerically identical.
+    #[test]
+    fn bits_error_metric_properties(a in any::<f64>(), b in any::<f64>()) {
+        let e = bits_error(a, b);
+        prop_assert!(e >= 0.0 && e <= shadowreal::MAX_ERROR_BITS);
+        prop_assert_eq!(e.to_bits(), bits_error(b, a).to_bits());
+        if !a.is_nan() && !b.is_nan() {
+            prop_assert_eq!(e == 0.0, a == b || (a == 0.0 && b == 0.0));
+        }
+    }
+
+    /// The ordinal mapping is monotone over non-NaN doubles.
+    #[test]
+    fn ordinal_is_monotone(a in any::<f64>(), b in any::<f64>()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        if a < b {
+            prop_assert!(ordinal(a) <= ordinal(b));
+        }
+    }
+
+    /// Printing and re-parsing an arbitrary generated expression is the
+    /// identity (up to structural equality).
+    #[test]
+    fn printer_parser_roundtrip(expr in arb_expr(3)) {
+        let printed = expr_to_string(&expr);
+        let reparsed = parse_expr(&printed).expect("printed expressions parse");
+        prop_assert_eq!(expr, reparsed, "printed: {}", printed);
+    }
+
+    /// The abstract machine computes the same result as the reference FPCore
+    /// evaluator on arbitrary straight-line expressions.
+    #[test]
+    fn machine_matches_reference_on_random_expressions(
+        expr in arb_expr(3),
+        a in reasonable_f64(),
+        b in reasonable_f64(),
+    ) {
+        let core = fpcore::FPCore {
+            arguments: vec!["a".to_string(), "b".to_string()],
+            name: None,
+            pre: None,
+            properties: Default::default(),
+            body: expr,
+        };
+        let program = compile_core(&core, Default::default()).expect("compiles");
+        let reference = fpcore::eval::eval_f64(&core, &[a, b]).expect("evaluates");
+        let machine = Machine::new(&program).run(&[a, b]).expect("runs").outputs[0];
+        if reference.is_nan() {
+            prop_assert!(machine.is_nan());
+        } else {
+            prop_assert_eq!(machine, reference);
+        }
+    }
+
+    /// The analysis never reports *more* erroneous spot evaluations than
+    /// total evaluations, and flagged operations never exceed total
+    /// operations.
+    #[test]
+    fn analysis_counts_are_consistent(exponent in 0i32..15, count in 1usize..8) {
+        let core = fpcore::parse_core(
+            "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))",
+        ).expect("parses");
+        let program = compile_core(&core, Default::default()).expect("compiles");
+        let inputs: Vec<Vec<f64>> = (0..count).map(|i| vec![10f64.powi(exponent) + i as f64]).collect();
+        let report = herbgrind::analyze(&program, &inputs, &herbgrind::AnalysisConfig::default())
+            .expect("analysis");
+        prop_assert!(report.flagged_operations <= report.total_operations);
+        for spot in &report.spots {
+            prop_assert!(spot.erroneous <= spot.total);
+            prop_assert!(spot.average_error_bits <= spot.max_error_bits + 1e-9);
+        }
+    }
+}
+
+/// A strategy producing well-formed numeric expressions over variables `a`
+/// and `b`.
+fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100.0f64..100.0).prop_map(|v| Expr::Number((v * 8.0).round() / 8.0)),
+        Just(Expr::var("a")),
+        Just(Expr::var("b")),
+    ];
+    leaf.prop_recursive(depth, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::op(RealOp::Add, vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::op(RealOp::Sub, vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::op(RealOp::Mul, vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::op(RealOp::Div, vec![x, y])),
+            inner.clone().prop_map(|x| Expr::op(RealOp::Sqrt, vec![x])),
+            inner.clone().prop_map(|x| Expr::op(RealOp::Fabs, vec![x])),
+            (inner.clone(), inner.clone(), inner).prop_map(|(x, y, z)| Expr::op(RealOp::Fma, vec![x, y, z])),
+        ]
+    })
+}
