@@ -7,8 +7,8 @@
 //! could change the outcome. It uses no shadow values, so its overhead is
 //! tiny — and its false-positive rate is high (the paper quotes 80–90%).
 
-use fpvm::{Addr, Machine, MachineError, Program, Tracer, Value};
 use fpcore::CmpOp;
+use fpvm::{Addr, Machine, MachineError, Program, Tracer, Value};
 use std::collections::BTreeMap;
 
 /// The report of the discrete-factor heuristic.
@@ -111,7 +111,9 @@ impl Tracer for BzDetector {
     fn on_cast_to_int(&mut self, pc: usize, _dest: Addr, _src: Addr, value: f64, result: i64) {
         // Flag conversions whose input sits within a rounding error of the
         // next integer boundary.
-        let distance = (value - result as f64).abs().min((value - (result + value.signum() as i64) as f64).abs());
+        let distance = (value - result as f64)
+            .abs()
+            .min((value - (result + value.signum() as i64) as f64).abs());
         let close = distance <= value.abs().max(1.0) * self.relative_tolerance;
         let entry = self.report.per_conversion.entry(pc).or_insert((0, 0));
         entry.0 += 1;

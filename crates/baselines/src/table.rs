@@ -22,16 +22,46 @@ pub const TOOLS: [&str; 4] = ["FpDebug", "BZ", "Verrou", "Herbgrind"];
 /// in the paper, is represented by the two abstraction features below).
 pub fn feature_matrix() -> Vec<FeatureRow> {
     vec![
-        FeatureRow { feature: "Dynamic", support: [true, true, true, true] },
-        FeatureRow { feature: "Detects Error", support: [true, true, true, true] },
-        FeatureRow { feature: "Shadow Reals", support: [true, false, false, true] },
-        FeatureRow { feature: "Local Error", support: [false, false, false, true] },
-        FeatureRow { feature: "Library Abstraction", support: [false, false, false, true] },
-        FeatureRow { feature: "Output-Sensitive Error Report", support: [false, false, false, true] },
-        FeatureRow { feature: "Detect Control Divergence", support: [false, true, false, true] },
-        FeatureRow { feature: "Abstracted Code Fragment Localization", support: [false, false, false, true] },
-        FeatureRow { feature: "Characterize Inputs", support: [false, false, false, true] },
-        FeatureRow { feature: "Automatically Re-run in High Precision", support: [false, true, false, false] },
+        FeatureRow {
+            feature: "Dynamic",
+            support: [true, true, true, true],
+        },
+        FeatureRow {
+            feature: "Detects Error",
+            support: [true, true, true, true],
+        },
+        FeatureRow {
+            feature: "Shadow Reals",
+            support: [true, false, false, true],
+        },
+        FeatureRow {
+            feature: "Local Error",
+            support: [false, false, false, true],
+        },
+        FeatureRow {
+            feature: "Library Abstraction",
+            support: [false, false, false, true],
+        },
+        FeatureRow {
+            feature: "Output-Sensitive Error Report",
+            support: [false, false, false, true],
+        },
+        FeatureRow {
+            feature: "Detect Control Divergence",
+            support: [false, true, false, true],
+        },
+        FeatureRow {
+            feature: "Abstracted Code Fragment Localization",
+            support: [false, false, false, true],
+        },
+        FeatureRow {
+            feature: "Characterize Inputs",
+            support: [false, false, false, true],
+        },
+        FeatureRow {
+            feature: "Automatically Re-run in High Precision",
+            support: [false, true, false, false],
+        },
     ]
 }
 
@@ -39,15 +69,31 @@ pub fn feature_matrix() -> Vec<FeatureRow> {
 pub fn render_feature_matrix() -> String {
     let rows = feature_matrix();
     let width = rows.iter().map(|r| r.feature.len()).max().unwrap_or(0);
-    let mut out = format!("{:width$}  {}\n", "Feature", TOOLS.join("  "), width = width);
+    let mut out = format!(
+        "{:width$}  {}\n",
+        "Feature",
+        TOOLS.join("  "),
+        width = width
+    );
     for row in rows {
         let marks: Vec<String> = row
             .support
             .iter()
             .zip(TOOLS)
-            .map(|(s, tool)| format!("{:^width$}", if *s { "yes" } else { "no" }, width = tool.len()))
+            .map(|(s, tool)| {
+                format!(
+                    "{:^width$}",
+                    if *s { "yes" } else { "no" },
+                    width = tool.len()
+                )
+            })
             .collect();
-        out.push_str(&format!("{:width$}  {}\n", row.feature, marks.join("  "), width = width));
+        out.push_str(&format!(
+            "{:width$}  {}\n",
+            row.feature,
+            marks.join("  "),
+            width = width
+        ));
     }
     out
 }

@@ -120,7 +120,16 @@ fn perturb(value: f64, op: RealOp, rng: &mut StdRng) -> f64 {
     }
     // Exact-by-construction operations are not perturbed (Verrou leaves
     // copies and sign manipulations alone).
-    if matches!(op, RealOp::Neg | RealOp::Fabs | RealOp::Copysign | RealOp::Floor | RealOp::Ceil | RealOp::Trunc | RealOp::Round) {
+    if matches!(
+        op,
+        RealOp::Neg
+            | RealOp::Fabs
+            | RealOp::Copysign
+            | RealOp::Floor
+            | RealOp::Ceil
+            | RealOp::Trunc
+            | RealOp::Round
+    ) {
         return value;
     }
     match rng.gen_range(0..3u8) {
@@ -147,8 +156,12 @@ pub fn verrou_compare(
     for input in inputs {
         let nominal = machine.run(input)?;
         for r in 0..runs {
-            let (outputs, _) =
-                run_perturbed(program, input, seed.wrapping_add(r), fpvm::interp::DEFAULT_STEP_LIMIT)?;
+            let (outputs, _) = run_perturbed(
+                program,
+                input,
+                seed.wrapping_add(r),
+                fpvm::interp::DEFAULT_STEP_LIMIT,
+            )?;
             report.runs += 1;
             if outputs.len() != nominal.outputs.len() {
                 report.control_divergences += 1;

@@ -12,7 +12,7 @@ use std::hint::black_box;
 fn improvability(c: &mut Criterion) {
     // Print the regenerated §8.1 counts once, over a substantial slice of the
     // suite (the paper's corpus has 86 benchmarks; ours is the same order of
-    // magnitude — see EXPERIMENTS.md).
+    // magnitude — see the experiment index in DESIGN.md).
     let suite = fpbench::suite();
     let summary = fpbench::improvability(&suite, 60, 2024, &AnalysisConfig::default());
     println!("[section 8.1] {}", summary.to_text());

@@ -1,0 +1,48 @@
+//! Parallel analysis scaling: the improvability sweep with 1 analysis thread
+//! vs all available cores.
+//!
+//! The analysis shards the input sweep across threads and merges the
+//! per-shard records deterministically (see `crates/core/src/analysis.rs`),
+//! so the two configurations below produce bit-identical reports; only the
+//! wall clock differs. The printed speedup is the acceptance number for the
+//! parallel engine (>1.5x on 4+ cores).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use herbgrind::AnalysisConfig;
+use herbgrind_bench::quality_benchmarks;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn parallel_scaling(c: &mut Criterion) {
+    let suite = quality_benchmarks(12);
+    let serial = AnalysisConfig::default().with_threads(1);
+    let parallel = AnalysisConfig::default().with_threads(0);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // One timed pass of each configuration for the headline speedup number.
+    let start = Instant::now();
+    black_box(fpbench::improvability(&suite, 60, 2024, &serial));
+    let serial_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    black_box(fpbench::improvability(&suite, 60, 2024, &parallel));
+    let parallel_secs = start.elapsed().as_secs_f64();
+    println!(
+        "[parallel scaling] improvability sweep: {serial_secs:.2}s serial, \
+         {parallel_secs:.2}s on {cores} threads ({:.2}x speedup)",
+        serial_secs / parallel_secs
+    );
+
+    let small = quality_benchmarks(8);
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    group.bench_function("threads_1", |b| {
+        b.iter(|| black_box(fpbench::improvability(&small, 40, 2024, &serial)))
+    });
+    group.bench_function(format!("threads_{cores}"), |b| {
+        b.iter(|| black_box(fpbench::improvability(&small, 40, 2024, &parallel)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, parallel_scaling);
+criterion_main!(benches);

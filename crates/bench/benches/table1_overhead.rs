@@ -14,7 +14,12 @@ use std::hint::black_box;
 
 fn table1_overhead(c: &mut Criterion) {
     let prepared = prepared_timing_benchmarks(40);
-    let config = AnalysisConfig::default();
+    // Pin Herbgrind to one analysis thread: this bench compares per-work
+    // overhead against single-threaded baselines, and letting the sweep
+    // shard across cores would shrink the Herbgrind row by the core count.
+    // (The report is bit-identical either way; `parallel_scaling` is the
+    // bench that measures the multi-threaded wall clock.)
+    let config = AnalysisConfig::default().with_threads(1);
 
     let mut group = c.benchmark_group("table1_overhead");
     group.sample_size(10);

@@ -1,0 +1,175 @@
+//! Offline shim for the subset of the `criterion` 0.5 API used by the
+//! benches in `crates/bench`.
+//!
+//! The build environment has no access to crates.io, so the workspace pins
+//! this path crate instead of the real Criterion. It supports the
+//! `criterion_group!`/`criterion_main!` macros, benchmark groups with
+//! `sample_size`, and `Bencher::iter`, and reports min/median/mean wall-clock
+//! times per benchmark. It intentionally skips Criterion's statistical
+//! machinery (outlier rejection, regression detection, HTML reports): the
+//! benches here are read by humans comparing relative magnitudes, which
+//! min/median/mean cover.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark harness handle passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: if self.default_sample_size == 0 {
+                20
+            } else {
+                self.default_sample_size
+            },
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.clone()).bench_function(id, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up pass, then the timed samples.
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples.push(bencher.elapsed);
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "bench {}/{}: min {:?}  median {:?}  mean {:?}  ({} samples)",
+            self.name,
+            id,
+            min,
+            median,
+            mean,
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; all reporting is eager).
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs and times one iteration of the benchmarked routine.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let value = f();
+        self.elapsed += start.elapsed();
+        drop(value);
+    }
+}
+
+/// Prevents the compiler from optimizing a value away (re-export shim; the
+/// benches mostly use `std::hint::black_box` directly).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a group of benchmark functions, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_time_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        {
+            let mut group = c.benchmark_group("smoke");
+            group.sample_size(3);
+            group.bench_function("count", |b| {
+                b.iter(|| {
+                    runs += 1;
+                })
+            });
+            group.finish();
+        }
+        // One warm-up pass plus three samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_function_outside_groups_works() {
+        let mut c = Criterion::default();
+        let mut hit = false;
+        c.bench_function("direct", |b| b.iter(|| hit = true));
+        assert!(hit);
+    }
+}

@@ -1,0 +1,96 @@
+//! The per-test random number generator.
+
+/// A deterministic RNG (xoshiro256++) whose seed is derived from the test
+/// name, so every property is reproducible run to run without recording
+/// seeds anywhere.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Creates an RNG seeded from an explicit value.
+    pub fn from_seed(seed: u64) -> TestRng {
+        let mut sm = seed;
+        TestRng {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Creates an RNG seeded from a test name (FNV-1a over the bytes).
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::from_seed(hash)
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// A uniform double in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index bound must be positive");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::deterministic("some_test");
+        let mut b = TestRng::deterministic("some_test");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_names_different_streams() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::deterministic("alpha");
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::deterministic("beta");
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+}

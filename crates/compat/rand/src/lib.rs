@@ -1,0 +1,203 @@
+//! Offline shim for the subset of the `rand` 0.8 API used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace pins
+//! this path crate instead of the real `rand`. It provides [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] sampling methods the
+//! `herbie-lite` sampler and the `baselines` Verrou detector call
+//! (`gen_range` over float and integer ranges, `gen_bool`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction real `rand` uses for seeding — so streams are deterministic,
+//! well distributed, and stable across platforms. (They are not the same
+//! streams as upstream `rand`, which is fine: everything in this repository
+//! that depends on sampled values pins a seed and snapshots outputs against
+//! this generator.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable random number generator (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core sampling interface (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the given range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that knows how to sample itself (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 random bits mapped to [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        self.start + (self.end - self.start) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 range");
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is < 2^-32
+                // for the tiny spans used here.
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + draw as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi - lo) as u64 + 1;
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo + draw as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+/// Concrete generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard RNG: xoshiro256++ seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                state: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u64), b.gen_range(0..1000u64));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let a_draws: Vec<u64> = (0..10).map(|_| a.gen_range(0..1_000_000u64)).collect();
+        let c_draws: Vec<u64> = (0..10).map(|_| c.gen_range(0..1_000_000u64)).collect();
+        assert_ne!(a_draws, c_draws);
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-2.5f64..=10.0);
+            assert!((-2.5..=10.0).contains(&v));
+            let w = rng.gen_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[rng.gen_range(0..3u8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+}

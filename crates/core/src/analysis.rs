@@ -10,7 +10,7 @@ use fpcore::CmpOp;
 use fpvm::{Addr, Machine, MachineError, Program, SourceLoc, Tracer, Value};
 use shadowreal::{BigFloat, Real, RealOp, MAX_ERROR_BITS};
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The shadow of one memory location: its exact value, the concrete
 /// expression that produced it, and the candidate root causes that influenced
@@ -18,7 +18,7 @@ use std::rc::Rc;
 #[derive(Clone, Debug)]
 struct Shadow<R> {
     real: R,
-    expr: Rc<ConcreteExpr>,
+    expr: Arc<ConcreteExpr>,
     influences: InfluenceSet,
 }
 
@@ -146,6 +146,45 @@ impl<R: Real> Herbgrind<R> {
         None
     }
 
+    /// Merges the state of a later input shard into this one.
+    ///
+    /// Run sharding is clean because shadow memory is per-run state (reset by
+    /// [`Tracer::on_start`]) while the per-statement records accumulate with
+    /// counts, exact sums, maxima, set unions, and anti-unification — all of
+    /// which combine associatively. Merging shards in input order therefore
+    /// reproduces, bit for bit, the records a single analysis accumulates
+    /// over the whole sweep; this is the foundation of [`analyze_parallel`]
+    /// and is checked end-to-end by the determinism test suite.
+    pub fn merge(&mut self, other: Herbgrind<R>) {
+        if self.locations.is_empty() {
+            self.locations = other.locations;
+            self.program_name = other.program_name;
+        }
+        self.runs += other.runs;
+        self.compensations_detected += other.compensations_detected;
+        self.branch_divergences += other.branch_divergences;
+        for (pc, record) in other.ops {
+            match self.ops.entry(pc) {
+                std::collections::btree_map::Entry::Occupied(mut existing) => {
+                    existing.get_mut().merge(&record, &self.config);
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(record);
+                }
+            }
+        }
+        for (pc, record) in other.spots {
+            match self.spots.entry(pc) {
+                std::collections::btree_map::Entry::Occupied(mut existing) => {
+                    existing.get_mut().merge(&record);
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(record);
+                }
+            }
+        }
+    }
+
     /// Produces the final report.
     pub fn report(&self) -> Report {
         Report::build(
@@ -226,7 +265,7 @@ impl<R: Real> Tracer for Herbgrind<R> {
         for (&addr, &value) in args.iter().zip(arg_values) {
             let shadow = self.shadow_of(addr, value);
             exact_args.push(shadow.real.clone());
-            arg_exprs.push(Rc::clone(&shadow.expr));
+            arg_exprs.push(Arc::clone(&shadow.expr));
             influences.extend(shadow.influences.iter().copied());
         }
 
@@ -237,7 +276,8 @@ impl<R: Real> Tracer for Herbgrind<R> {
         // Compensation detection (§5.3): the compensating term's influences
         // are not propagated, and the compensated operation is not itself
         // reported as a candidate root cause.
-        let compensation = self.detect_compensation(op, &exact_args, arg_values, &exact_result, result);
+        let compensation =
+            self.detect_compensation(op, &exact_args, arg_values, &exact_result, result);
         if let Some(passthrough_index) = compensation {
             self.compensations_detected += 1;
             influences.clear();
@@ -375,6 +415,79 @@ pub fn analyze_with_shadow<R: Real>(
     Ok(analysis.report())
 }
 
+/// Runs a program under the analysis with the input sweep sharded across
+/// threads ([`AnalysisConfig::threads`]), using the default [`BigFloat`]
+/// shadow reals.
+///
+/// Inputs are split into contiguous chunks, each chunk is analyzed on its own
+/// thread, and the per-shard records are merged in input order
+/// ([`Herbgrind::merge`]). The resulting [`Report`] is bit-identical to the
+/// serial [`analyze`] for every thread count.
+///
+/// # Errors
+///
+/// Propagates [`MachineError`] from the underlying interpreter. When several
+/// shards fail, the error of the earliest failing input is returned — the
+/// same error serial analysis stops with.
+pub fn analyze_parallel(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<Report, MachineError> {
+    shadowreal::bigfloat::set_default_precision(config.shadow_precision);
+    analyze_parallel_with_shadow::<BigFloat>(program, inputs, config)
+}
+
+/// Runs the sharded analysis with an explicit shadow-real type; see
+/// [`analyze_parallel`].
+///
+/// # Errors
+///
+/// Propagates [`MachineError`] from the underlying interpreter.
+pub fn analyze_parallel_with_shadow<R: Real + Send>(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<Report, MachineError> {
+    let threads = config.effective_threads(inputs.len());
+    if threads <= 1 || inputs.len() <= 1 {
+        return analyze_with_shadow::<R>(program, inputs, config);
+    }
+    let chunk_size = inputs.len().div_ceil(threads);
+    let shards: Vec<Result<Herbgrind<R>, MachineError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut analysis = Herbgrind::<R>::new(config.clone());
+                    let machine = Machine::new(program).with_step_limit(config.step_limit);
+                    for input in chunk {
+                        machine.run_traced(input, &mut analysis)?;
+                    }
+                    Ok(analysis)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("analysis shard panicked"))
+            .collect()
+    });
+    // Merge in shard (= input) order; the earliest shard error is the error
+    // the serial sweep would have stopped with, since chunks are contiguous
+    // and each shard processes its inputs in order.
+    let mut merged: Option<Herbgrind<R>> = None;
+    for shard in shards {
+        let shard = shard?;
+        match &mut merged {
+            Some(accumulated) => accumulated.merge(shard),
+            None => merged = Some(shard),
+        }
+    }
+    let merged = merged.unwrap_or_else(|| Herbgrind::<R>::new(config.clone()));
+    Ok(merged.report())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,10 +543,8 @@ mod tests {
         // The PID-controller pattern: a loop counter incremented by 0.2
         // iterates once too many for some bounds. The branch is a spot and it
         // is influenced by the erroneous increment.
-        let core = parse_core(
-            "(FPCore (n) (while (< t n) ((t 0 (+ t 0.2)) (c 0 (+ c 1))) c))",
-        )
-        .unwrap();
+        let core =
+            parse_core("(FPCore (n) (while (< t n) ((t 0 (+ t 0.2)) (c 0 (+ c 1))) c))").unwrap();
         let program = compile_core(&core, Default::default()).unwrap();
         let config = AnalysisConfig::default().with_local_error_threshold(1.0);
         let report = analyze(&program, &[vec![10.0]], &config).unwrap();
@@ -487,14 +598,21 @@ mod tests {
         assert!(with_detection.has_significant_error());
         // With detection the compensation machinery does not appear among
         // the root causes; without it, it shows up as extra false positives.
-        let clean_causes: usize = with_detection.spots.iter().map(|s| s.root_causes.len()).sum();
+        let clean_causes: usize = with_detection
+            .spots
+            .iter()
+            .map(|s| s.root_causes.len())
+            .sum();
         let noisy_causes: usize = without_detection
             .spots
             .iter()
             .map(|s| s.root_causes.len())
             .sum();
         assert!(clean_causes > 0);
-        assert!(clean_causes < noisy_causes, "{clean_causes} vs {noisy_causes}");
+        assert!(
+            clean_causes < noisy_causes,
+            "{clean_causes} vs {noisy_causes}"
+        );
     }
 
     #[test]
@@ -516,7 +634,9 @@ mod tests {
         let mut analysis = Herbgrind::<BigFloat>::new(AnalysisConfig::default());
         let machine = Machine::new(&program);
         for i in 0..10 {
-            machine.run_traced(&[10f64.powi(i * 2)], &mut analysis).unwrap();
+            machine
+                .run_traced(&[10f64.powi(i * 2)], &mut analysis)
+                .unwrap();
         }
         assert_eq!(analysis.runs(), 10);
         let report = analysis.report();
@@ -525,13 +645,86 @@ mod tests {
     }
 
     #[test]
+    fn parallel_analysis_is_bit_identical_to_serial() {
+        let core = parse_core("(FPCore (x y) (- (sqrt (+ (* x x) (* y y))) x))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let inputs: Vec<Vec<f64>> = (1..40)
+            .map(|i| vec![0.25 / i as f64, 1e-9 / i as f64])
+            .collect();
+        let serial = analyze(&program, &inputs, &AnalysisConfig::default()).unwrap();
+        assert!(serial.has_significant_error());
+        for threads in [1usize, 2, 3, 8] {
+            let config = AnalysisConfig::default().with_threads(threads);
+            let parallel = analyze_parallel(&program, &inputs, &config).unwrap();
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{parallel:?}"),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn merging_shard_analyses_matches_one_sweep() {
+        let core = parse_core("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..30).map(|i| vec![10f64.powi(i)]).collect();
+        let config = AnalysisConfig::default();
+        let machine = Machine::new(&program);
+
+        let mut whole = Herbgrind::<BigFloat>::new(config.clone());
+        for input in &inputs {
+            machine.run_traced(input, &mut whole).unwrap();
+        }
+
+        let mut merged: Option<Herbgrind<BigFloat>> = None;
+        for chunk in inputs.chunks(7) {
+            let mut shard = Herbgrind::<BigFloat>::new(config.clone());
+            for input in chunk {
+                machine.run_traced(input, &mut shard).unwrap();
+            }
+            match &mut merged {
+                Some(acc) => acc.merge(shard),
+                None => merged = Some(shard),
+            }
+        }
+        let merged = merged.unwrap();
+        assert_eq!(merged.runs(), whole.runs());
+        assert_eq!(
+            format!("{:?}", merged.report()),
+            format!("{:?}", whole.report())
+        );
+    }
+
+    #[test]
+    fn parallel_analysis_propagates_the_earliest_machine_error() {
+        // A step budget small enough that every input fails: serial stops at
+        // the first input, and the parallel path must surface the same error.
+        let core =
+            parse_core("(FPCore (n) (while (< t n) ((t 0 (+ t 0.125)) (c 0 (+ c 1))) c))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let inputs: Vec<Vec<f64>> = (1..=8).map(|n| vec![n as f64 * 100.0]).collect();
+        let config = AnalysisConfig {
+            step_limit: 10,
+            ..AnalysisConfig::default()
+        };
+        let serial_err = analyze(&program, &inputs, &config).unwrap_err();
+        let parallel_err =
+            analyze_parallel(&program, &inputs, &config.clone().with_threads(4)).unwrap_err();
+        assert_eq!(format!("{serial_err:?}"), format!("{parallel_err:?}"));
+    }
+
+    #[test]
     fn doubledouble_shadow_detects_the_same_cancellation() {
         let core = parse_core("(FPCore (x) (- (+ x 1) x))").unwrap();
         let program = compile_core(&core, Default::default()).unwrap();
         let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![10f64.powi(i)]).collect();
-        let report =
-            analyze_with_shadow::<shadowreal::DoubleDouble>(&program, &inputs, &AnalysisConfig::default())
-                .unwrap();
+        let report = analyze_with_shadow::<shadowreal::DoubleDouble>(
+            &program,
+            &inputs,
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
         assert!(report.has_significant_error());
     }
 }

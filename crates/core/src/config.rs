@@ -41,6 +41,13 @@ pub struct AnalysisConfig {
     pub shadow_precision: u32,
     /// Step budget per machine run.
     pub step_limit: u64,
+    /// Number of analysis threads used by
+    /// [`analyze_parallel`](crate::analysis::analyze_parallel): the input
+    /// sweep is split into this many contiguous shards, analyzed
+    /// independently, and merged deterministically. `0` means one thread per
+    /// available core; `1` forces the serial path. The report is bit-identical
+    /// for every setting.
+    pub threads: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -54,6 +61,7 @@ impl Default for AnalysisConfig {
             detect_compensation: true,
             shadow_precision: 256,
             step_limit: 50_000_000,
+            threads: 0,
         }
     }
 }
@@ -91,6 +99,26 @@ impl AnalysisConfig {
     pub fn with_compensation_detection(mut self, enabled: bool) -> Self {
         self.detect_compensation = enabled;
         self
+    }
+
+    /// Sets the analysis thread count (builder style); `0` selects one
+    /// thread per available core.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The thread count [`analyze_parallel`](crate::analysis::analyze_parallel)
+    /// actually uses for a sweep of `input_count` inputs: the configured
+    /// count (or the available parallelism when 0), never more than one
+    /// thread per input.
+    pub fn effective_threads(&self, input_count: usize) -> usize {
+        let configured = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        configured.clamp(1, input_count.max(1))
     }
 }
 

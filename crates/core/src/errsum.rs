@@ -1,0 +1,128 @@
+//! Exact accumulation of error-bits values.
+//!
+//! The analysis sums per-execution error magnitudes (for the "average error"
+//! lines of the report). Plain `f64` addition is not associative, so a sum
+//! accumulated across input shards and then merged would differ in the last
+//! bits from the same sum accumulated serially — breaking the guarantee that
+//! [`analyze_parallel`](crate::analysis::analyze_parallel) is bit-identical
+//! to [`analyze`](crate::analysis::analyze).
+//!
+//! Every summed value is a bits-of-error measurement, `log2(1 + ulps)` for
+//! an integer ulp distance, clamped to [`shadowreal::MAX_ERROR_BITS`]: either
+//! exactly zero or in `[1, 64]`. Doubles in `[1, 64]` have no significand
+//! bits below 2⁻⁵², so scaling by 2⁵² maps every possible measurement to an
+//! integer below 2⁵⁸, and the sum is accumulated exactly in a `u128` (room
+//! for ~2⁷⁰ measurements). Integer addition is associative and commutative,
+//! so shard-merged sums equal serial sums exactly; the only rounding happens
+//! once, when the total is read back as an `f64`.
+
+/// 2⁵²: the scale factor mapping error-bits doubles onto integers.
+const SCALE: f64 = (1u64 << 52) as f64;
+
+/// An exact, order-independent sum of error-bits measurements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ErrorBitsSum {
+    scaled: u128,
+}
+
+impl ErrorBitsSum {
+    /// The empty sum.
+    pub fn new() -> ErrorBitsSum {
+        ErrorBitsSum::default()
+    }
+
+    /// Adds one error measurement, in bits.
+    ///
+    /// Values outside the representable grid (possible only if the error
+    /// metric changes) are truncated towards zero at 2⁻⁵² resolution —
+    /// still deterministically and associatively, so the parallel/serial
+    /// guarantee is preserved regardless.
+    pub fn add(&mut self, bits: f64) {
+        debug_assert!(
+            (0.0..=shadowreal::MAX_ERROR_BITS).contains(&bits),
+            "error bits out of range: {bits}"
+        );
+        self.scaled += (bits.max(0.0) * SCALE) as u128;
+    }
+
+    /// Adds another sum (exact, so merge order does not matter).
+    pub fn merge(&mut self, other: &ErrorBitsSum) {
+        self.scaled += other.scaled;
+    }
+
+    /// The total, in bits, rounded once to `f64`.
+    pub fn total_bits(&self) -> f64 {
+        self.scaled as f64 / SCALE
+    }
+
+    /// True if nothing (or only zeros) has been added.
+    pub fn is_zero(&self) -> bool {
+        self.scaled == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadowreal::bits_error;
+
+    #[test]
+    fn single_measurements_round_trip_exactly() {
+        // Every value of the form log2(1 + ulps) is preserved exactly.
+        for ulps in [0u64, 1, 2, 3, 100, 1 << 20, u64::MAX - 1] {
+            let bits = ((ulps as f64) + 1.0).log2().min(shadowreal::MAX_ERROR_BITS);
+            let mut sum = ErrorBitsSum::new();
+            sum.add(bits);
+            assert_eq!(sum.total_bits().to_bits(), bits.to_bits(), "ulps {ulps}");
+        }
+    }
+
+    #[test]
+    fn accumulation_is_order_independent() {
+        let values: Vec<f64> = (0..1000u64)
+            .map(|i| bits_error(1.0, 1.0 + i as f64))
+            .collect();
+        let mut forward = ErrorBitsSum::new();
+        for &v in &values {
+            forward.add(v);
+        }
+        let mut backward = ErrorBitsSum::new();
+        for &v in values.iter().rev() {
+            backward.add(v);
+        }
+        assert_eq!(forward, backward);
+        // And sharded accumulation merges to the same sum.
+        for shards in [2, 3, 7] {
+            let mut merged = ErrorBitsSum::new();
+            for chunk in values.chunks(values.len().div_ceil(shards)) {
+                let mut partial = ErrorBitsSum::new();
+                for &v in chunk {
+                    partial.add(v);
+                }
+                merged.merge(&partial);
+            }
+            assert_eq!(merged, forward, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn plain_f64_summation_would_not_be_order_independent() {
+        // The motivation: the same values summed in different groupings as
+        // plain doubles disagree in the low bits.
+        let values: Vec<f64> = (1..100u64)
+            .map(|i| bits_error(1.0, 1.0 + 1.0 / i as f64))
+            .collect();
+        let serial: f64 = values.iter().sum();
+        let halves: f64 = values[..50].iter().sum::<f64>() + values[50..].iter().sum::<f64>();
+        assert_ne!(serial.to_bits(), halves.to_bits());
+    }
+
+    #[test]
+    fn maximal_errors_accumulate_without_loss() {
+        let mut sum = ErrorBitsSum::new();
+        for _ in 0..1_000_000 {
+            sum.add(shadowreal::MAX_ERROR_BITS);
+        }
+        assert_eq!(sum.total_bits(), 64.0 * 1_000_000.0);
+    }
+}

@@ -7,7 +7,7 @@
 //! [`RangeKind`] configurations of a single incremental [`VariableSummary`].
 
 use crate::config::RangeKind;
-use crate::symbolic::{VarAssignment, VarOrigin};
+use crate::symbolic::{MergeAssignment, MergeOrigin, VarAssignment, VarOrigin};
 use std::collections::BTreeMap;
 
 /// An incrementally maintained summary of the values one variable has taken.
@@ -150,47 +150,118 @@ impl InputCharacteristics {
     /// Rewires the summaries after an anti-unification pass: each variable of
     /// the new symbolic expression inherits the summary of its origin, then
     /// records the newly observed value.
+    ///
+    /// `erroneous` is whether the current execution exceeded the local-error
+    /// threshold; `had_prior_erroneous` is whether *any earlier* execution of
+    /// the operation did. The latter governs whether a constant position that
+    /// just generalized contributes its constant to the problematic summary:
+    /// the constant was the value at every earlier execution, so it belongs
+    /// there exactly when one of those executions was erroneous. (Defining it
+    /// this way — rather than by the erroneousness of the generalizing
+    /// execution — is what makes the problematic ranges exactly mergeable
+    /// across input shards; see [`InputCharacteristics::merged`].)
     pub fn apply_assignments(
         &mut self,
         assignments: &[VarAssignment],
         kind: RangeKind,
         erroneous: bool,
+        had_prior_erroneous: bool,
     ) {
         if assignments.is_empty() {
             return;
         }
-        let rewire = |old: &BTreeMap<usize, VariableSummary>| -> BTreeMap<usize, VariableSummary> {
-            let mut fresh = BTreeMap::new();
-            for a in assignments {
-                let mut summary = match &a.origin {
-                    VarOrigin::FromVar(prev) => old.get(prev).cloned().unwrap_or_default(),
-                    VarOrigin::FromConst(c) => {
-                        let mut s = VariableSummary::default();
-                        s.record(*c, kind);
-                        s
-                    }
-                };
-                summary.record(a.value, kind);
-                fresh.insert(a.var, summary);
+        let mut total = BTreeMap::new();
+        let mut problematic = BTreeMap::new();
+        for a in assignments {
+            let mut summary = match &a.origin {
+                VarOrigin::FromVar(prev) => self.total.get(prev).cloned().unwrap_or_default(),
+                VarOrigin::FromConst(c) => {
+                    let mut s = VariableSummary::default();
+                    s.record(*c, kind);
+                    s
+                }
+            };
+            summary.record(a.value, kind);
+            total.insert(a.var, summary);
+
+            let mut prob = match &a.origin {
+                VarOrigin::FromVar(prev) => self.problematic.get(prev).cloned(),
+                VarOrigin::FromConst(c) if had_prior_erroneous => {
+                    let mut s = VariableSummary::default();
+                    s.record(*c, kind);
+                    Some(s)
+                }
+                VarOrigin::FromConst(_) => None,
+            };
+            if erroneous {
+                prob.get_or_insert_with(VariableSummary::default)
+                    .record(a.value, kind);
             }
-            fresh
-        };
-        self.total = rewire(&self.total);
-        if erroneous {
-            self.problematic = rewire(&self.problematic);
-        } else {
-            // Problematic summaries keep their old variable numbering only
-            // where origins map; conservatively rewire without recording.
-            let mut fresh = BTreeMap::new();
-            for a in assignments {
-                if let VarOrigin::FromVar(prev) = &a.origin {
-                    if let Some(s) = self.problematic.get(prev) {
-                        fresh.insert(a.var, s.clone());
+            if let Some(prob) = prob {
+                problematic.insert(a.var, prob);
+            }
+        }
+        self.total = total;
+        self.problematic = problematic;
+    }
+
+    /// Combines the characteristics of two input shards whose generalizers
+    /// were just merged; `assignments` comes from
+    /// [`crate::symbolic::Generalizer::merge`] and maps every variable of the
+    /// merged symbolic expression to its origin on each side.
+    ///
+    /// `left_had_erroneous` / `right_had_erroneous` say whether the
+    /// respective shard observed any erroneous execution of the operation:
+    /// a position that stayed constant within a shard belongs in the merged
+    /// problematic summary exactly when that shard had erroneous executions
+    /// (its constant was the value at every one of them). The reported
+    /// quantities — range endpoints and the example value — come out
+    /// identical to what a single sequential pass over the concatenated
+    /// inputs produces.
+    pub fn merged(
+        left: &InputCharacteristics,
+        right: &InputCharacteristics,
+        assignments: &[MergeAssignment],
+        kind: RangeKind,
+        left_had_erroneous: bool,
+        right_had_erroneous: bool,
+    ) -> InputCharacteristics {
+        let mut out = InputCharacteristics::default();
+        for a in assignments {
+            let combine = |maps: [(&BTreeMap<usize, VariableSummary>, MergeOrigin, bool); 2]| {
+                let mut summary: Option<VariableSummary> = None;
+                for (map, origin, include_const) in maps {
+                    let contribution = match origin {
+                        MergeOrigin::Var(v) => map.get(&v).cloned(),
+                        MergeOrigin::Const(c) if include_const => {
+                            let mut s = VariableSummary::default();
+                            s.record(c, kind);
+                            Some(s)
+                        }
+                        MergeOrigin::Const(_) | MergeOrigin::Opaque | MergeOrigin::Absent => None,
+                    };
+                    if let Some(contribution) = contribution {
+                        match &mut summary {
+                            Some(s) => s.merge(&contribution),
+                            None => summary = Some(contribution),
+                        }
                     }
                 }
+                summary
+            };
+            if let Some(total) =
+                combine([(&left.total, a.left, true), (&right.total, a.right, true)])
+            {
+                out.total.insert(a.var, total);
             }
-            self.problematic = fresh;
+            if let Some(problematic) = combine([
+                (&left.problematic, a.left, left_had_erroneous),
+                (&right.problematic, a.right, right_had_erroneous),
+            ]) {
+                out.problematic.insert(a.var, problematic);
+            }
         }
+        out
     }
 
     /// Records an execution of an expression with no variables (all
@@ -271,7 +342,9 @@ mod tests {
         use crate::symbolic::{VarAssignment, VarOrigin};
         let mut chars = InputCharacteristics::default();
         // First generalization: a constant 3.0 position becomes variable 0
-        // with new value 5.0.
+        // with new value 5.0. The earlier executions (which all held 3.0)
+        // included an erroneous one, so 3.0 belongs in the problematic
+        // summary alongside the new erroneous value.
         chars.apply_assignments(
             &[VarAssignment {
                 var: 0,
@@ -279,6 +352,7 @@ mod tests {
                 value: 5.0,
             }],
             RangeKind::Single,
+            true,
             true,
         );
         assert_eq!(chars.total[&0].min, Some(3.0));
@@ -293,9 +367,81 @@ mod tests {
             }],
             RangeKind::Single,
             false,
+            true,
         );
         assert_eq!(chars.total[&0].max, Some(7.0));
         // The problematic summary did not absorb the non-erroneous value.
         assert_eq!(chars.problematic[&0].max, Some(5.0));
+    }
+
+    #[test]
+    fn clean_history_constants_stay_out_of_problematic_summaries() {
+        use crate::symbolic::{VarAssignment, VarOrigin};
+        let mut chars = InputCharacteristics::default();
+        // The constant 3.0 generalizes on an erroneous execution, but none of
+        // the earlier executions (which held 3.0) were erroneous: only the
+        // new value belongs in the problematic summary.
+        chars.apply_assignments(
+            &[VarAssignment {
+                var: 0,
+                origin: VarOrigin::FromConst(3.0),
+                value: 5.0,
+            }],
+            RangeKind::Single,
+            true,
+            false,
+        );
+        assert_eq!(chars.total[&0].count, 2);
+        assert_eq!(chars.problematic[&0].count, 1);
+        assert_eq!(chars.problematic[&0].example, Some(5.0));
+    }
+
+    #[test]
+    fn merged_characteristics_union_ranges_with_left_precedence() {
+        use crate::symbolic::{MergeAssignment, MergeOrigin};
+        // Left shard: variable 0 saw [1, 4] overall, [4, 4] on erroneous
+        // executions. Right shard kept the position constant at 9.0 and had
+        // erroneous executions.
+        let mut left = InputCharacteristics::default();
+        let mut l = VariableSummary::default();
+        l.record(1.0, RangeKind::Single);
+        l.record(4.0, RangeKind::Single);
+        left.total.insert(0, l);
+        let mut lp = VariableSummary::default();
+        lp.record(4.0, RangeKind::Single);
+        left.problematic.insert(0, lp);
+        let right = InputCharacteristics::default();
+        let merged = InputCharacteristics::merged(
+            &left,
+            &right,
+            &[MergeAssignment {
+                var: 0,
+                left: MergeOrigin::Var(0),
+                right: MergeOrigin::Const(9.0),
+            }],
+            RangeKind::Single,
+            true,
+            true,
+        );
+        assert_eq!(merged.total[&0].min, Some(1.0));
+        assert_eq!(merged.total[&0].max, Some(9.0));
+        assert_eq!(merged.total[&0].example, Some(1.0));
+        assert_eq!(merged.problematic[&0].min, Some(4.0));
+        assert_eq!(merged.problematic[&0].max, Some(9.0));
+        // A right shard with no erroneous executions keeps its constant out
+        // of the problematic summary.
+        let clean = InputCharacteristics::merged(
+            &left,
+            &right,
+            &[MergeAssignment {
+                var: 0,
+                left: MergeOrigin::Var(0),
+                right: MergeOrigin::Const(9.0),
+            }],
+            RangeKind::Single,
+            true,
+            false,
+        );
+        assert_eq!(clean.problematic[&0].max, Some(4.0));
     }
 }

@@ -50,6 +50,7 @@
 
 pub mod analysis;
 pub mod config;
+pub mod errsum;
 pub mod inputs;
 pub mod localerr;
 pub mod records;
@@ -57,7 +58,10 @@ pub mod report;
 pub mod symbolic;
 pub mod trace;
 
-pub use analysis::{analyze, analyze_with_shadow, Herbgrind};
+pub use analysis::{
+    analyze, analyze_parallel, analyze_parallel_with_shadow, analyze_with_shadow, Herbgrind,
+};
 pub use config::{AnalysisConfig, RangeKind};
+pub use errsum::ErrorBitsSum;
 pub use report::{Report, RootCauseReport, SpotReport};
 pub use symbolic::SymbolicExpr;

@@ -2,13 +2,14 @@
 //! (Figure 3 of the paper: `ops[pc]` and `spots[pc]`).
 
 use crate::config::AnalysisConfig;
+use crate::errsum::ErrorBitsSum;
 use crate::inputs::InputCharacteristics;
 use crate::symbolic::Generalizer;
 use crate::trace::ConcreteExpr;
 use fpvm::SourceLoc;
 use shadowreal::RealOp;
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The set of candidate-root-cause statements (program counters) that
 /// influence a value — the "taint" of the influences analysis (§4.2).
@@ -53,8 +54,9 @@ pub struct SpotRecord {
     /// Maximum error observed (bits, for outputs; divergences count as the
     /// maximum error for branches/conversions).
     pub max_error: f64,
-    /// Sum of observed errors (for the average).
-    pub total_error: f64,
+    /// Sum of observed errors (for the average), accumulated exactly so that
+    /// shard-merged records equal serially accumulated ones bit for bit.
+    pub total_error: ErrorBitsSum,
     /// Candidate root causes whose influence reached this spot on an
     /// erroneous execution.
     pub influences: InfluenceSet,
@@ -69,7 +71,7 @@ impl SpotRecord {
             total: 0,
             erroneous: 0,
             max_error: 0.0,
-            total_error: 0.0,
+            total_error: ErrorBitsSum::new(),
             influences: InfluenceSet::new(),
         }
     }
@@ -77,7 +79,7 @@ impl SpotRecord {
     /// Records one execution of the spot.
     pub fn record(&mut self, error_bits: f64, erroneous: bool, influences: &InfluenceSet) {
         self.total += 1;
-        self.total_error += error_bits;
+        self.total_error.add(error_bits);
         if error_bits > self.max_error {
             self.max_error = error_bits;
         }
@@ -87,12 +89,27 @@ impl SpotRecord {
         }
     }
 
+    /// Merges the record of a later input shard into this one. The combined
+    /// record is identical to what serial accumulation over the concatenated
+    /// inputs produces: every field is a count, an exact sum, a maximum, or a
+    /// set union.
+    pub fn merge(&mut self, other: &SpotRecord) {
+        debug_assert_eq!(self.kind, other.kind, "merging records of different spots");
+        self.total += other.total;
+        self.erroneous += other.erroneous;
+        self.total_error.merge(&other.total_error);
+        if other.max_error > self.max_error {
+            self.max_error = other.max_error;
+        }
+        self.influences.extend(other.influences.iter().copied());
+    }
+
     /// The average error over all executions, in bits.
     pub fn average_error(&self) -> f64 {
         if self.total == 0 {
             0.0
         } else {
-            self.total_error / self.total as f64
+            self.total_error.total_bits() / self.total as f64
         }
     }
 }
@@ -110,8 +127,9 @@ pub struct OpRecord {
     pub erroneous: u64,
     /// Maximum local error observed, in bits.
     pub max_local_error: f64,
-    /// Sum of local errors (for the average).
-    pub total_local_error: f64,
+    /// Sum of local errors (for the average), accumulated exactly so that
+    /// shard-merged records equal serially accumulated ones bit for bit.
+    pub total_local_error: ErrorBitsSum,
     /// The incremental anti-unification state producing the symbolic
     /// expression for this operation.
     pub generalizer: Generalizer,
@@ -119,7 +137,7 @@ pub struct OpRecord {
     pub characteristics: InputCharacteristics,
     /// An example concrete expression observed with high local error, kept
     /// for its leaf values ("Example problematic input" in reports).
-    pub example_problematic: Option<Rc<ConcreteExpr>>,
+    pub example_problematic: Option<Arc<ConcreteExpr>>,
 }
 
 impl OpRecord {
@@ -131,7 +149,7 @@ impl OpRecord {
             total: 0,
             erroneous: 0,
             max_local_error: 0.0,
-            total_local_error: 0.0,
+            total_local_error: ErrorBitsSum::new(),
             generalizer: Generalizer::new(config.antiunify_equivalence_depth),
             characteristics: InputCharacteristics::default(),
             example_problematic: None,
@@ -141,25 +159,60 @@ impl OpRecord {
     /// Records one execution of the operation.
     pub fn record(
         &mut self,
-        concrete: &Rc<ConcreteExpr>,
+        concrete: &Arc<ConcreteExpr>,
         local_error: f64,
         erroneous: bool,
         config: &AnalysisConfig,
     ) {
+        let had_prior_erroneous = self.erroneous > 0;
         self.total += 1;
-        self.total_local_error += local_error;
+        self.total_local_error.add(local_error);
         if local_error > self.max_local_error {
             self.max_local_error = local_error;
         }
         if erroneous {
             self.erroneous += 1;
             if self.example_problematic.is_none() {
-                self.example_problematic = Some(Rc::clone(concrete));
+                self.example_problematic = Some(Arc::clone(concrete));
             }
         }
         let assignments = self.generalizer.observe(concrete);
-        self.characteristics
-            .apply_assignments(&assignments, config.range_kind, erroneous);
+        self.characteristics.apply_assignments(
+            &assignments,
+            config.range_kind,
+            erroneous,
+            had_prior_erroneous,
+        );
+    }
+
+    /// Merges the record of a later input shard into this one: counts, exact
+    /// sums, maxima, and the example are combined directly; the two symbolic
+    /// expressions are anti-unified ([`Generalizer::merge`]) and the input
+    /// characteristics rewired along the merged variables
+    /// ([`InputCharacteristics::merged`]). The result matches what serial
+    /// accumulation over the concatenated input sweep produces.
+    pub fn merge(&mut self, other: &OpRecord, config: &AnalysisConfig) {
+        debug_assert_eq!(self.op, other.op, "merging records of different operations");
+        let left_had_erroneous = self.erroneous > 0;
+        let right_had_erroneous = other.erroneous > 0;
+        self.total += other.total;
+        self.erroneous += other.erroneous;
+        self.total_local_error.merge(&other.total_local_error);
+        if other.max_local_error > self.max_local_error {
+            self.max_local_error = other.max_local_error;
+        }
+        if self.example_problematic.is_none() {
+            self.example_problematic = other.example_problematic.clone();
+        }
+        let assignments = self.generalizer.merge(&other.generalizer);
+        self.characteristics = InputCharacteristics::merged(
+            &self.characteristics,
+            &other.characteristics,
+            &assignments,
+            config.range_kind,
+            left_had_erroneous,
+            right_had_erroneous,
+        );
     }
 
     /// The average local error over all executions, in bits.
@@ -167,7 +220,7 @@ impl OpRecord {
         if self.total == 0 {
             0.0
         } else {
-            self.total_local_error / self.total as f64
+            self.total_local_error.total_bits() / self.total as f64
         }
     }
 }
@@ -207,7 +260,13 @@ mod tests {
         for x in [1.0_f64, 2.0, 3.0] {
             let leaf = ConcreteExpr::leaf(x);
             let one = ConcreteExpr::leaf(1.0);
-            let node = ConcreteExpr::node(RealOp::Sub, x - 1.0, vec![leaf, one], 0, SourceLoc::default());
+            let node = ConcreteExpr::node(
+                RealOp::Sub,
+                x - 1.0,
+                vec![leaf, one],
+                0,
+                SourceLoc::default(),
+            );
             rec.record(&node, if x == 3.0 { 20.0 } else { 0.0 }, x == 3.0, &config);
         }
         assert_eq!(rec.total, 3);

@@ -179,7 +179,10 @@ impl Report {
         let _ = writeln!(
             out,
             "{} runs, {} of {} operations flagged, {} compensations suppressed",
-            self.total_runs, self.flagged_operations, self.total_operations, self.compensations_detected
+            self.total_runs,
+            self.flagged_operations,
+            self.total_operations,
+            self.compensations_detected
         );
         if self.spots.is_empty() {
             let _ = writeln!(out, "No significant error reached any spot.");
@@ -207,8 +210,11 @@ impl Report {
                     cause.location, cause.erroneous_count, cause.total_count, cause.max_local_error
                 );
                 if !cause.example_input.is_empty() {
-                    let rendered: Vec<String> =
-                        cause.example_input.iter().map(|v| format!("{v:e}")).collect();
+                    let rendered: Vec<String> = cause
+                        .example_input
+                        .iter()
+                        .map(|v| format!("{v:e}"))
+                        .collect();
                     let _ = writeln!(
                         out,
                         "    Example problematic input: ({})",
@@ -221,7 +227,11 @@ impl Report {
     }
 }
 
-fn root_cause_from_record(pc: usize, record: &OpRecord, config: &AnalysisConfig) -> RootCauseReport {
+fn root_cause_from_record(
+    pc: usize,
+    record: &OpRecord,
+    config: &AnalysisConfig,
+) -> RootCauseReport {
     let symbolic = record
         .generalizer
         .current()
@@ -320,7 +330,10 @@ mod tests {
         let report = cancellation_report();
         let text = report.to_text();
         assert!(text.contains("incorrect values of"), "{text}");
-        assert!(text.contains("Influenced by erroneous expressions:"), "{text}");
+        assert!(
+            text.contains("Influenced by erroneous expressions:"),
+            "{text}"
+        );
         assert!(text.contains("Example problematic input:"), "{text}");
         assert!(text.contains("FPCore"), "{text}");
     }
@@ -340,7 +353,12 @@ mod tests {
     fn clean_program_reports_no_spots() {
         let core = parse_core("(FPCore (x) (* x 2))").unwrap();
         let program = compile_core(&core, Default::default()).unwrap();
-        let report = analyze(&program, &[vec![1.0], vec![2.5]], &AnalysisConfig::default()).unwrap();
+        let report = analyze(
+            &program,
+            &[vec![1.0], vec![2.5]],
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
         assert!(!report.has_significant_error());
         assert!(report.to_text().contains("No significant error"));
         assert_eq!(report.flagged_operations, 0);

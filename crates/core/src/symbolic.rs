@@ -10,7 +10,7 @@
 
 use crate::trace::ConcreteExpr;
 use shadowreal::RealOp;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A symbolic expression: the generalization Herbgrind reports to the user.
 #[derive(Clone, Debug, PartialEq)]
@@ -183,6 +183,39 @@ impl SymbolicExpr {
     }
 }
 
+/// Where one side of a merged variable came from, used to rewire input
+/// characteristics when two shards' generalizations are combined
+/// ([`Generalizer::merge`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MergeOrigin {
+    /// The position was a variable with this index in the shard's symbolic
+    /// expression; the merged variable inherits its summaries.
+    Var(usize),
+    /// The position held this constant in every one of the shard's
+    /// executions.
+    Const(f64),
+    /// The position was a structural subtree with no single value (the two
+    /// shards disagreed on operation structure); it contributes no input
+    /// characteristics, mirroring how little the sequential analysis records
+    /// when whole subtrees generalize away.
+    Opaque,
+    /// The shard never observed the operation (merging with an empty
+    /// record); it contributes nothing.
+    Absent,
+}
+
+/// One variable of a merged symbolic expression: its index in the merged
+/// expression and its origin on each side.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MergeAssignment {
+    /// Variable index in the merged symbolic expression.
+    pub var: usize,
+    /// Origin in the left (earlier-inputs) shard.
+    pub left: MergeOrigin,
+    /// Origin in the right (later-inputs) shard.
+    pub right: MergeOrigin,
+}
+
 /// The incremental anti-unification state for one operation (one static
 /// statement).
 #[derive(Clone, Debug, Default)]
@@ -193,19 +226,19 @@ pub struct Generalizer {
 
 struct PairTable {
     depth: usize,
-    entries: Vec<(SymbolicExpr, Rc<ConcreteExpr>, usize)>,
+    entries: Vec<(SymbolicExpr, Arc<ConcreteExpr>, usize)>,
     assignments: Vec<VarAssignment>,
 }
 
 impl PairTable {
-    fn variable_for(&mut self, sym: &SymbolicExpr, conc: &Rc<ConcreteExpr>) -> usize {
+    fn variable_for(&mut self, sym: &SymbolicExpr, conc: &Arc<ConcreteExpr>) -> usize {
         for (s, c, var) in &self.entries {
             if s.equivalent_to_depth(sym, self.depth) && c.equivalent_to_depth(conc, self.depth) {
                 return *var;
             }
         }
         let var = self.entries.len();
-        self.entries.push((sym.clone(), Rc::clone(conc), var));
+        self.entries.push((sym.clone(), Arc::clone(conc), var));
         let origin = match sym {
             SymbolicExpr::Var(v) => VarOrigin::FromVar(*v),
             SymbolicExpr::Const(c) => VarOrigin::FromConst(*c),
@@ -235,10 +268,61 @@ impl Generalizer {
         self.current.as_ref()
     }
 
+    /// Merges another generalizer's state into this one, anti-unifying the
+    /// two symbolic expressions, and returns the origin of every variable of
+    /// the merged expression on both sides (used to rewire input
+    /// characteristics during shard merging).
+    ///
+    /// `self` is the earlier-inputs side: variable numbering and variable
+    /// sharing follow the same pre-order pair-discovery rule as
+    /// [`Generalizer::observe`], so merging shard generalizations reproduces
+    /// what a single sequential generalizer would have computed over the
+    /// concatenated input sweep.
+    pub fn merge(&mut self, other: &Generalizer) -> Vec<MergeAssignment> {
+        match (self.current.take(), other.current.as_ref()) {
+            (None, None) => Vec::new(),
+            (None, Some(right)) => {
+                self.current = Some(right.clone());
+                right
+                    .variables()
+                    .into_iter()
+                    .map(|var| MergeAssignment {
+                        var,
+                        left: MergeOrigin::Absent,
+                        right: MergeOrigin::Var(var),
+                    })
+                    .collect()
+            }
+            (Some(left), None) => {
+                let assignments = left
+                    .variables()
+                    .into_iter()
+                    .map(|var| MergeAssignment {
+                        var,
+                        left: MergeOrigin::Var(var),
+                        right: MergeOrigin::Absent,
+                    })
+                    .collect();
+                self.current = Some(left);
+                assignments
+            }
+            (Some(left), Some(right)) => {
+                let mut table = SymPairTable {
+                    depth: self.equivalence_depth,
+                    entries: Vec::new(),
+                    assignments: Vec::new(),
+                };
+                let merged = antiunify_sym(&left, right, &mut table);
+                self.current = Some(merged);
+                table.assignments
+            }
+        }
+    }
+
     /// Folds a newly observed concrete expression into the generalization,
     /// returning the variable assignments for this observation (used to
     /// update input characteristics).
-    pub fn observe(&mut self, concrete: &Rc<ConcreteExpr>) -> Vec<VarAssignment> {
+    pub fn observe(&mut self, concrete: &Arc<ConcreteExpr>) -> Vec<VarAssignment> {
         match self.current.take() {
             None => {
                 self.current = Some(SymbolicExpr::from_concrete(concrete));
@@ -258,9 +342,73 @@ impl Generalizer {
     }
 }
 
-fn antiunify(sym: &SymbolicExpr, conc: &Rc<ConcreteExpr>, table: &mut PairTable) -> SymbolicExpr {
+/// The pair table for symbolic-vs-symbolic anti-unification (shard merging):
+/// positions whose (left, right) subtree pairs are equivalent to the bounded
+/// depth share a merged variable, mirroring [`PairTable`].
+struct SymPairTable {
+    depth: usize,
+    entries: Vec<(SymbolicExpr, SymbolicExpr, usize)>,
+    assignments: Vec<MergeAssignment>,
+}
+
+impl SymPairTable {
+    fn variable_for(&mut self, left: &SymbolicExpr, right: &SymbolicExpr) -> usize {
+        for (l, r, var) in &self.entries {
+            if l.equivalent_to_depth(left, self.depth) && r.equivalent_to_depth(right, self.depth) {
+                return *var;
+            }
+        }
+        let var = self.entries.len();
+        self.entries.push((left.clone(), right.clone(), var));
+        let origin_of = |side: &SymbolicExpr| match side {
+            SymbolicExpr::Var(v) => MergeOrigin::Var(*v),
+            SymbolicExpr::Const(c) => MergeOrigin::Const(*c),
+            SymbolicExpr::Node { .. } => MergeOrigin::Opaque,
+        };
+        self.assignments.push(MergeAssignment {
+            var,
+            left: origin_of(left),
+            right: origin_of(right),
+        });
+        var
+    }
+}
+
+fn antiunify_sym(
+    left: &SymbolicExpr,
+    right: &SymbolicExpr,
+    table: &mut SymPairTable,
+) -> SymbolicExpr {
+    match (left, right) {
+        (SymbolicExpr::Const(a), SymbolicExpr::Const(b)) if a.to_bits() == b.to_bits() => {
+            SymbolicExpr::Const(*a)
+        }
+        (
+            SymbolicExpr::Node {
+                op: op_l,
+                children: ch_l,
+            },
+            SymbolicExpr::Node {
+                op: op_r,
+                children: ch_r,
+            },
+        ) if op_l == op_r && ch_l.len() == ch_r.len() => SymbolicExpr::Node {
+            op: *op_l,
+            children: ch_l
+                .iter()
+                .zip(ch_r)
+                .map(|(l, r)| antiunify_sym(l, r, table))
+                .collect(),
+        },
+        _ => SymbolicExpr::Var(table.variable_for(left, right)),
+    }
+}
+
+fn antiunify(sym: &SymbolicExpr, conc: &Arc<ConcreteExpr>, table: &mut PairTable) -> SymbolicExpr {
     match (sym, conc.as_ref()) {
-        (SymbolicExpr::Const(c), ConcreteExpr::Leaf { value }) if c.to_bits() == value.to_bits() => {
+        (SymbolicExpr::Const(c), ConcreteExpr::Leaf { value })
+            if c.to_bits() == value.to_bits() =>
+        {
             SymbolicExpr::Const(*c)
         }
         (
@@ -287,14 +435,38 @@ mod tests {
     use super::*;
     use fpvm::SourceLoc;
 
-    fn dist_trace(x: f64, y: f64) -> Rc<ConcreteExpr> {
+    fn dist_trace(x: f64, y: f64) -> Arc<ConcreteExpr> {
         // sqrt(x*x + y*y) - x
         let lx = ConcreteExpr::leaf(x);
         let ly = ConcreteExpr::leaf(y);
-        let xx = ConcreteExpr::node(RealOp::Mul, x * x, vec![lx.clone(), lx.clone()], 0, SourceLoc::default());
-        let yy = ConcreteExpr::node(RealOp::Mul, y * y, vec![ly.clone(), ly], 1, SourceLoc::default());
-        let sum = ConcreteExpr::node(RealOp::Add, x * x + y * y, vec![xx, yy], 2, SourceLoc::default());
-        let root = ConcreteExpr::node(RealOp::Sqrt, (x * x + y * y).sqrt(), vec![sum], 3, SourceLoc::default());
+        let xx = ConcreteExpr::node(
+            RealOp::Mul,
+            x * x,
+            vec![lx.clone(), lx.clone()],
+            0,
+            SourceLoc::default(),
+        );
+        let yy = ConcreteExpr::node(
+            RealOp::Mul,
+            y * y,
+            vec![ly.clone(), ly],
+            1,
+            SourceLoc::default(),
+        );
+        let sum = ConcreteExpr::node(
+            RealOp::Add,
+            x * x + y * y,
+            vec![xx, yy],
+            2,
+            SourceLoc::default(),
+        );
+        let root = ConcreteExpr::node(
+            RealOp::Sqrt,
+            (x * x + y * y).sqrt(),
+            vec![sum],
+            3,
+            SourceLoc::default(),
+        );
         ConcreteExpr::node(
             RealOp::Sub,
             (x * x + y * y).sqrt() - x,
@@ -354,7 +526,13 @@ mod tests {
             let lx = ConcreteExpr::leaf(x);
             let one = ConcreteExpr::leaf(1.0);
             let e = ConcreteExpr::node(RealOp::Exp, x.exp(), vec![lx], 0, SourceLoc::default());
-            ConcreteExpr::node(RealOp::Sub, x.exp() - 1.0, vec![e, one], 1, SourceLoc::default())
+            ConcreteExpr::node(
+                RealOp::Sub,
+                x.exp() - 1.0,
+                vec![e, one],
+                1,
+                SourceLoc::default(),
+            )
         };
         let mut g = Generalizer::new(5);
         g.observe(&make(0.5));
@@ -384,8 +562,20 @@ mod tests {
             0,
             SourceLoc::default(),
         );
-        let top_a = ConcreteExpr::node(RealOp::Add, 3.0, vec![a, ConcreteExpr::leaf(1.0)], 1, SourceLoc::default());
-        let top_b = ConcreteExpr::node(RealOp::Add, 2.0, vec![b, ConcreteExpr::leaf(1.0)], 1, SourceLoc::default());
+        let top_a = ConcreteExpr::node(
+            RealOp::Add,
+            3.0,
+            vec![a, ConcreteExpr::leaf(1.0)],
+            1,
+            SourceLoc::default(),
+        );
+        let top_b = ConcreteExpr::node(
+            RealOp::Add,
+            2.0,
+            vec![b, ConcreteExpr::leaf(1.0)],
+            1,
+            SourceLoc::default(),
+        );
         let mut g = Generalizer::new(5);
         g.observe(&top_a);
         g.observe(&top_b);
@@ -427,6 +617,72 @@ mod tests {
         };
         assert_eq!(with_depth(1), 1);
         assert_eq!(with_depth(5), 2);
+    }
+
+    #[test]
+    fn merging_generalizers_matches_sequential_observation() {
+        // Observing [t1, t2] sequentially must equal observing t1 and t2 in
+        // separate generalizers and merging them.
+        let mut sequential = Generalizer::new(5);
+        sequential.observe(&dist_trace(3.0, 4.0));
+        sequential.observe(&dist_trace(5.0, 12.0));
+
+        let mut left = Generalizer::new(5);
+        left.observe(&dist_trace(3.0, 4.0));
+        let mut right = Generalizer::new(5);
+        right.observe(&dist_trace(5.0, 12.0));
+        let assignments = left.merge(&right);
+
+        assert_eq!(left.current(), sequential.current());
+        // Both shards held constants at the generalized positions, and the
+        // origins carry those constants for characteristics rewiring.
+        assert_eq!(assignments.len(), 2);
+        assert!(assignments
+            .iter()
+            .all(|a| matches!(a.left, MergeOrigin::Const(_))
+                && matches!(a.right, MergeOrigin::Const(_))));
+    }
+
+    #[test]
+    fn merging_with_an_empty_generalizer_is_identity() {
+        let mut populated = Generalizer::new(5);
+        populated.observe(&dist_trace(3.0, 4.0));
+        populated.observe(&dist_trace(5.0, 12.0));
+        let before = populated.current().cloned();
+
+        let mut left = populated.clone();
+        let assignments = left.merge(&Generalizer::new(5));
+        assert_eq!(left.current().cloned(), before);
+        assert!(assignments
+            .iter()
+            .all(|a| matches!(a.right, MergeOrigin::Absent)));
+
+        let mut empty = Generalizer::new(5);
+        let assignments = empty.merge(&populated);
+        assert_eq!(empty.current().cloned(), before);
+        assert!(assignments
+            .iter()
+            .all(|a| matches!(a.left, MergeOrigin::Absent)));
+    }
+
+    #[test]
+    fn merging_preserves_shared_variables_across_shards() {
+        // Four observations split two ways: variables that repeat within the
+        // expression (x appears three times) stay shared after the merge.
+        let mut left = Generalizer::new(5);
+        left.observe(&dist_trace(3.0, 4.0));
+        left.observe(&dist_trace(5.0, 12.0));
+        let mut right = Generalizer::new(5);
+        right.observe(&dist_trace(8.0, 15.0));
+        right.observe(&dist_trace(7.0, 24.0));
+        let assignments = left.merge(&right);
+        let merged = left.current().unwrap();
+        assert_eq!(merged.variable_count(), 2);
+        assert_eq!(merged.operation_count(), 5);
+        assert!(assignments.iter().all(|a| matches!(
+            (a.left, a.right),
+            (MergeOrigin::Var(_), MergeOrigin::Var(_))
+        )));
     }
 
     #[test]

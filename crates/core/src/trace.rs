@@ -8,7 +8,7 @@
 
 use fpvm::SourceLoc;
 use shadowreal::RealOp;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A node in a concrete expression trace.
 #[derive(Clone, Debug)]
@@ -26,7 +26,7 @@ pub enum ConcreteExpr {
         /// The double value the client computed here.
         value: f64,
         /// The operand traces.
-        children: Vec<Rc<ConcreteExpr>>,
+        children: Vec<Arc<ConcreteExpr>>,
         /// The statement (program counter) that executed the operation.
         pc: usize,
         /// The source location of that statement.
@@ -36,19 +36,19 @@ pub enum ConcreteExpr {
 
 impl ConcreteExpr {
     /// Creates a leaf node.
-    pub fn leaf(value: f64) -> Rc<ConcreteExpr> {
-        Rc::new(ConcreteExpr::Leaf { value })
+    pub fn leaf(value: f64) -> Arc<ConcreteExpr> {
+        Arc::new(ConcreteExpr::Leaf { value })
     }
 
     /// Creates an operation node.
     pub fn node(
         op: RealOp,
         value: f64,
-        children: Vec<Rc<ConcreteExpr>>,
+        children: Vec<Arc<ConcreteExpr>>,
         pc: usize,
         loc: SourceLoc,
-    ) -> Rc<ConcreteExpr> {
-        Rc::new(ConcreteExpr::Node {
+    ) -> Arc<ConcreteExpr> {
+        Arc::new(ConcreteExpr::Node {
             op,
             value,
             children,
@@ -94,12 +94,12 @@ impl ConcreteExpr {
     ///
     /// This implements the maximum-expression-depth knob of Figures 5c/5d: a
     /// depth of 1 keeps only the top operation.
-    pub fn truncate_to_depth(self: &Rc<ConcreteExpr>, max_depth: usize) -> Rc<ConcreteExpr> {
+    pub fn truncate_to_depth(self: &Arc<ConcreteExpr>, max_depth: usize) -> Arc<ConcreteExpr> {
         if max_depth == 0 {
             return ConcreteExpr::leaf(self.value());
         }
         match self.as_ref() {
-            ConcreteExpr::Leaf { .. } => Rc::clone(self),
+            ConcreteExpr::Leaf { .. } => Arc::clone(self),
             ConcreteExpr::Node {
                 op,
                 value,
@@ -108,7 +108,7 @@ impl ConcreteExpr {
                 loc,
             } => {
                 if self.depth() <= max_depth {
-                    return Rc::clone(self);
+                    return Arc::clone(self);
                 }
                 let truncated = children
                     .iter()
@@ -176,12 +176,24 @@ impl ConcreteExpr {
 mod tests {
     use super::*;
 
-    fn sample_trace() -> Rc<ConcreteExpr> {
+    fn sample_trace() -> Arc<ConcreteExpr> {
         // (sqrt(x*x + y*y)) - x  with x=3, y=4
         let x = ConcreteExpr::leaf(3.0);
         let y = ConcreteExpr::leaf(4.0);
-        let xx = ConcreteExpr::node(RealOp::Mul, 9.0, vec![x.clone(), x.clone()], 0, SourceLoc::default());
-        let yy = ConcreteExpr::node(RealOp::Mul, 16.0, vec![y.clone(), y], 1, SourceLoc::default());
+        let xx = ConcreteExpr::node(
+            RealOp::Mul,
+            9.0,
+            vec![x.clone(), x.clone()],
+            0,
+            SourceLoc::default(),
+        );
+        let yy = ConcreteExpr::node(
+            RealOp::Mul,
+            16.0,
+            vec![y.clone(), y],
+            1,
+            SourceLoc::default(),
+        );
         let sum = ConcreteExpr::node(RealOp::Add, 25.0, vec![xx, yy], 2, SourceLoc::default());
         let root = ConcreteExpr::node(RealOp::Sqrt, 5.0, vec![sum], 3, SourceLoc::default());
         ConcreteExpr::node(RealOp::Sub, 2.0, vec![root, x], 4, SourceLoc::default())
@@ -211,7 +223,7 @@ mod tests {
         }
         // Truncating deeper than the trace is the identity (same allocation).
         let same = t.truncate_to_depth(10);
-        assert!(Rc::ptr_eq(&t, &same));
+        assert!(Arc::ptr_eq(&t, &same));
     }
 
     #[test]
@@ -243,9 +255,15 @@ mod tests {
     #[test]
     fn sharing_is_by_reference() {
         let x = ConcreteExpr::leaf(1.5);
-        let node = ConcreteExpr::node(RealOp::Add, 3.0, vec![x.clone(), x.clone()], 0, SourceLoc::default());
+        let node = ConcreteExpr::node(
+            RealOp::Add,
+            3.0,
+            vec![x.clone(), x.clone()],
+            0,
+            SourceLoc::default(),
+        );
         if let ConcreteExpr::Node { children, .. } = node.as_ref() {
-            assert!(Rc::ptr_eq(&children[0], &children[1]));
+            assert!(Arc::ptr_eq(&children[0], &children[1]));
         }
     }
 

@@ -3,7 +3,7 @@
 
 use fpcore::FPCore;
 use fpvm::{compile_core, CompileOptions, Machine, Program};
-use herbgrind::{analyze, AnalysisConfig, Report};
+use herbgrind::{analyze_parallel, AnalysisConfig, Report};
 use herbie_lite::SampleError;
 use std::fmt;
 
@@ -91,11 +91,16 @@ impl PreparedBenchmark {
 
     /// Runs the benchmark under Herbgrind on all its inputs.
     ///
+    /// The input sweep is sharded across [`AnalysisConfig::threads`] analysis
+    /// threads; the report is bit-identical to a serial sweep regardless of
+    /// the thread count.
+    ///
     /// # Errors
     ///
     /// Returns a [`DriverError::Machine`] error if any run fails.
     pub fn run_herbgrind(&self, config: &AnalysisConfig) -> Result<Report, DriverError> {
-        analyze(&self.program, &self.inputs, config).map_err(|e| DriverError::Machine(e.to_string()))
+        analyze_parallel(&self.program, &self.inputs, config)
+            .map_err(|e| DriverError::Machine(e.to_string()))
     }
 
     /// Runs the benchmark under Herbgrind with library calls lowered into
@@ -105,7 +110,7 @@ impl PreparedBenchmark {
     ///
     /// Returns a [`DriverError::Machine`] error if any run fails.
     pub fn run_herbgrind_unwrapped(&self, config: &AnalysisConfig) -> Result<Report, DriverError> {
-        analyze(&self.program_lowered, &self.inputs, config)
+        analyze_parallel(&self.program_lowered, &self.inputs, config)
             .map_err(|e| DriverError::Machine(e.to_string()))
     }
 }

@@ -304,7 +304,9 @@ pub fn wrapping_comparison(
     if any {
         Ok(out)
     } else {
-        Err(DriverError::Compile("no benchmark could be prepared".to_string()))
+        Err(DriverError::Compile(
+            "no benchmark could be prepared".to_string(),
+        ))
     }
 }
 
@@ -352,7 +354,10 @@ mod tests {
 
     #[test]
     fn depth_sweep_reports_fewer_improvements_at_depth_one() {
-        let benches = vec![by_name("NMSE example 3.1").unwrap(), by_name("plotter complex sqrt").unwrap()];
+        let benches = vec![
+            by_name("NMSE example 3.1").unwrap(),
+            by_name("plotter complex sqrt").unwrap(),
+        ];
         let points = depth_sweep(&benches, 40, 3, &[1, 10]);
         assert_eq!(points.len(), 2);
         // Depth 1 (FpDebug-like) produces single-operation expressions which
@@ -364,7 +369,10 @@ mod tests {
 
     #[test]
     fn wrapping_comparison_shows_larger_expressions_unwrapped() {
-        let benches = vec![by_name("NMSE section 3.5").unwrap(), by_name("NMSE problem 3.3.6").unwrap()];
+        let benches = vec![
+            by_name("NMSE section 3.5").unwrap(),
+            by_name("NMSE problem 3.3.6").unwrap(),
+        ];
         let cmp = wrapping_comparison(&benches, 25, 3, &AnalysisConfig::default()).unwrap();
         assert!(
             cmp.unwrapped_max_ops > cmp.wrapped_max_ops,

@@ -22,8 +22,7 @@ pub mod suite;
 
 pub use driver::{prepare, DriverError, PreparedBenchmark};
 pub use experiments::{
-    depth_sweep, improvability, range_kind_sweep, threshold_sweep, wrapping_comparison,
-    DepthPoint, ImprovabilityRow, ImprovabilitySummary, RangeKindPoint, ThresholdPoint,
-    WrappingComparison,
+    depth_sweep, improvability, range_kind_sweep, threshold_sweep, wrapping_comparison, DepthPoint,
+    ImprovabilityRow, ImprovabilitySummary, RangeKindPoint, ThresholdPoint, WrappingComparison,
 };
 pub use suite::{by_name, subset, suite};

@@ -7,7 +7,8 @@
 //! problems), the Rosa/Daisy verification benchmarks, Herbie's example
 //! suite, and a few loop kernels. The corpus is re-typed here rather than
 //! vendored (no network access), so benchmark counts differ slightly from
-//! the paper; EXPERIMENTS.md reports results against this corpus.
+//! the paper; the experiment index in `DESIGN.md` maps the benches that
+//! report results against this corpus.
 
 use fpcore::{parse_cores, FPCore};
 

@@ -269,7 +269,10 @@ impl Expr {
                 otherwise,
             } => cond.operation_count() + then.operation_count() + otherwise.operation_count(),
             Expr::Let { bindings, body, .. } => {
-                bindings.iter().map(|(_, e)| e.operation_count()).sum::<usize>()
+                bindings
+                    .iter()
+                    .map(|(_, e)| e.operation_count())
+                    .sum::<usize>()
                     + body.operation_count()
             }
             Expr::While {
@@ -307,15 +310,12 @@ impl Expr {
                 .max(body.depth()),
             Expr::While {
                 cond, vars, body, ..
-            } => cond
-                .depth()
-                .max(body.depth())
-                .max(
-                    vars.iter()
-                        .map(|(_, i, u)| i.depth().max(u.depth()))
-                        .max()
-                        .unwrap_or(0),
-                ),
+            } => cond.depth().max(body.depth()).max(
+                vars.iter()
+                    .map(|(_, i, u)| i.depth().max(u.depth()))
+                    .max()
+                    .unwrap_or(0),
+            ),
         }
     }
 }
@@ -405,7 +405,10 @@ mod tests {
             )],
             body: Box::new(Expr::op(RealOp::Mul, vec![Expr::var("y"), Expr::var("z")])),
         };
-        assert_eq!(expr.free_variables(), vec!["x".to_string(), "z".to_string()]);
+        assert_eq!(
+            expr.free_variables(),
+            vec!["x".to_string(), "z".to_string()]
+        );
     }
 
     #[test]

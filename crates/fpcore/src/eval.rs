@@ -155,7 +155,9 @@ pub fn eval_with_limit<R: Real>(
             }
             Ok(Value::Bool(false))
         }
-        Expr::Not(inner) => Ok(Value::Bool(!eval_with_limit(inner, env, loop_limit)?.into_bool()?)),
+        Expr::Not(inner) => Ok(Value::Bool(
+            !eval_with_limit(inner, env, loop_limit)?.into_bool()?,
+        )),
         Expr::If {
             cond,
             then,
@@ -299,7 +301,10 @@ mod tests {
     #[test]
     fn arithmetic_and_constants() {
         let e = parse_expr("(+ (* 2 PI) 1)").unwrap();
-        let v = eval_expr(&e, &Env::<f64>::new()).unwrap().into_num().unwrap();
+        let v = eval_expr(&e, &Env::<f64>::new())
+            .unwrap()
+            .into_num()
+            .unwrap();
         assert!((v - (2.0 * std::f64::consts::PI + 1.0)).abs() < 1e-15);
     }
 
@@ -307,11 +312,17 @@ mod tests {
     fn conditionals_and_comparisons() {
         let e = parse_expr("(if (< x 0) (- x) x)").unwrap();
         assert_eq!(
-            eval_expr(&e, &env_of(&[("x", -3.0)])).unwrap().into_num().unwrap(),
+            eval_expr(&e, &env_of(&[("x", -3.0)]))
+                .unwrap()
+                .into_num()
+                .unwrap(),
             3.0
         );
         assert_eq!(
-            eval_expr(&e, &env_of(&[("x", 4.0)])).unwrap().into_num().unwrap(),
+            eval_expr(&e, &env_of(&[("x", 4.0)]))
+                .unwrap()
+                .into_num()
+                .unwrap(),
             4.0
         );
     }
@@ -319,8 +330,14 @@ mod tests {
     #[test]
     fn chained_comparison() {
         let e = parse_expr("(< 0 x 1)").unwrap();
-        assert!(eval_expr(&e, &env_of(&[("x", 0.5)])).unwrap().into_bool().unwrap());
-        assert!(!eval_expr(&e, &env_of(&[("x", 2.0)])).unwrap().into_bool().unwrap());
+        assert!(eval_expr(&e, &env_of(&[("x", 0.5)]))
+            .unwrap()
+            .into_bool()
+            .unwrap());
+        assert!(!eval_expr(&e, &env_of(&[("x", 2.0)]))
+            .unwrap()
+            .into_bool()
+            .unwrap());
     }
 
     #[test]
@@ -328,20 +345,25 @@ mod tests {
         // In parallel let, the second binding sees the outer x, not the first
         // binding.
         let e = parse_expr("(let ((x 1) (y x)) y)").unwrap();
-        let v = eval_expr(&e, &env_of(&[("x", 42.0)])).unwrap().into_num().unwrap();
+        let v = eval_expr(&e, &env_of(&[("x", 42.0)]))
+            .unwrap()
+            .into_num()
+            .unwrap();
         assert_eq!(v, 42.0);
         // let* is sequential.
         let e = parse_expr("(let* ((x 1) (y x)) y)").unwrap();
-        let v = eval_expr(&e, &env_of(&[("x", 42.0)])).unwrap().into_num().unwrap();
+        let v = eval_expr(&e, &env_of(&[("x", 42.0)]))
+            .unwrap()
+            .into_num()
+            .unwrap();
         assert_eq!(v, 1.0);
     }
 
     #[test]
     fn while_loop_computes_harmonic_sum() {
-        let core = parse_core(
-            "(FPCore (n) (while (<= i n) ((i 1 (+ i 1)) (s 0 (+ s (/ 1 i)))) s))",
-        )
-        .unwrap();
+        let core =
+            parse_core("(FPCore (n) (while (<= i n) ((i 1 (+ i 1)) (s 0 (+ s (/ 1 i)))) s))")
+                .unwrap();
         let v = eval_f64(&core, &[4.0]).unwrap();
         assert!((v - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
     }
@@ -352,7 +374,10 @@ mod tests {
         let mut env = Env::<f64>::new();
         env.clear();
         let result = eval_with_limit(&core.body, &env, 10);
-        assert_eq!(result.unwrap_err(), EvalError::LoopBudgetExceeded { limit: 10 });
+        assert_eq!(
+            result.unwrap_err(),
+            EvalError::LoopBudgetExceeded { limit: 10 }
+        );
     }
 
     #[test]
@@ -366,7 +391,13 @@ mod tests {
     fn arity_mismatch_is_reported() {
         let core = parse_core("(FPCore (x y) (+ x y))").unwrap();
         let err = eval_f64(&core, &[1.0]).unwrap_err();
-        assert_eq!(err, EvalError::ArityMismatch { expected: 2, actual: 1 });
+        assert_eq!(
+            err,
+            EvalError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            }
+        );
     }
 
     #[test]

@@ -298,11 +298,10 @@ fn lower_expr(sexpr: &SExpr) -> Result<Expr, ParseError> {
                     let nums: Vec<f64> = args
                         .iter()
                         .map(|a| match a {
-                            SExpr::Atom(s, o) => parse_number(s)
-                                .ok_or_else(|| ParseError {
-                                    message: format!("invalid digits component {s}"),
-                                    offset: *o,
-                                }),
+                            SExpr::Atom(s, o) => parse_number(s).ok_or_else(|| ParseError {
+                                message: format!("invalid digits component {s}"),
+                                offset: *o,
+                            }),
                             other => err("digits components must be numbers", other.offset()),
                         })
                         .collect::<Result<_, _>>()?;
@@ -381,7 +380,10 @@ fn lower_loop_bindings(sexpr: &SExpr) -> Result<Vec<(String, Expr, Expr)>, Parse
                     };
                     Ok((name, lower_expr(&triple[1])?, lower_expr(&triple[2])?))
                 }
-                other => err("loop binding must be a (name init update) triple", other.offset()),
+                other => err(
+                    "loop binding must be a (name init update) triple",
+                    other.offset(),
+                ),
             })
             .collect(),
         other => err("expected a loop binding list", other.offset()),
@@ -535,9 +537,7 @@ mod tests {
 
     #[test]
     fn parses_let_and_while() {
-        let core = parse_core(
-            "(FPCore (n) (while (< i n) ((i 0 (+ i 1)) (s 0 (+ s i))) s))",
-        );
+        let core = parse_core("(FPCore (n) (while (< i n) ((i 0 (+ i 1)) (s 0 (+ s i))) s))");
         assert!(core.is_ok(), "{core:?}");
         let core = parse_core("(FPCore (x) (let ((y (* x x))) (+ y 1)))").expect("parse");
         assert_eq!(core.body.operation_count(), 2);
@@ -611,7 +611,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_are_ignored()  {
+    fn comments_are_ignored() {
         let core = parse_core("; leading comment\n(FPCore (x) ; inline\n (+ x 1))").expect("parse");
         assert_eq!(core.arguments, vec!["x"]);
     }

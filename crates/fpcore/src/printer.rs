@@ -102,7 +102,10 @@ pub fn expr_to_string(expr: &Expr) -> String {
 
 /// Renders a full `(FPCore ...)` form.
 pub fn core_to_string(core: &FPCore) -> String {
-    let mut parts = vec!["FPCore".to_string(), format!("({})", core.arguments.join(" "))];
+    let mut parts = vec![
+        "FPCore".to_string(),
+        format!("({})", core.arguments.join(" ")),
+    ];
     if let Some(name) = &core.name {
         parts.push(format!(":name \"{name}\""));
     }

@@ -42,7 +42,7 @@ impl fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 /// Options controlling compilation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct CompileOptions {
     /// When true, calls to math-library operations (`sin`, `exp`, `pow`, ...)
     /// are expanded into sequences of primitive instructions, modelling what
@@ -51,15 +51,6 @@ pub struct CompileOptions {
     pub lower_library_calls: bool,
     /// The file name used in generated source locations.
     pub source_file: Option<String>,
-}
-
-impl Default for CompileOptions {
-    fn default() -> Self {
-        CompileOptions {
-            lower_library_calls: false,
-            source_file: None,
-        }
-    }
 }
 
 /// A branch label, resolved during finalization.
@@ -127,7 +118,10 @@ impl Compiler {
     }
 
     fn branch_to(&mut self, pred: Pred, label: Label) {
-        let index = self.push(Statement::Branch { pred, target: usize::MAX });
+        let index = self.push(Statement::Branch {
+            pred,
+            target: usize::MAX,
+        });
         self.pending.push((index, label));
     }
 
@@ -180,10 +174,16 @@ impl Compiler {
                 let end = self.new_label();
                 self.compile_cond(expr, true_label, false_label)?;
                 self.bind(true_label);
-                self.push(Statement::ConstF { dest: result, value: 1.0 });
+                self.push(Statement::ConstF {
+                    dest: result,
+                    value: 1.0,
+                });
                 self.branch_to(Pred::Always, end);
                 self.bind(false_label);
-                self.push(Statement::ConstF { dest: result, value: 0.0 });
+                self.push(Statement::ConstF {
+                    dest: result,
+                    value: 0.0,
+                });
                 self.bind(end);
                 Ok(result)
             }
@@ -199,11 +199,17 @@ impl Compiler {
                 self.compile_cond(cond, true_label, false_label)?;
                 self.bind(true_label);
                 let then_addr = self.compile_expr(then)?;
-                self.push(Statement::Copy { dest: result, src: then_addr });
+                self.push(Statement::Copy {
+                    dest: result,
+                    src: then_addr,
+                });
                 self.branch_to(Pred::Always, end);
                 self.bind(false_label);
                 let else_addr = self.compile_expr(otherwise)?;
-                self.push(Statement::Copy { dest: result, src: else_addr });
+                self.push(Statement::Copy {
+                    dest: result,
+                    src: else_addr,
+                });
                 self.bind(end);
                 Ok(result)
             }
@@ -261,7 +267,10 @@ impl Compiler {
                 if *sequential {
                     for ((_, _, update), &addr) in vars.iter().zip(&var_addrs) {
                         let next = self.compile_expr(update)?;
-                        self.push(Statement::Copy { dest: addr, src: next });
+                        self.push(Statement::Copy {
+                            dest: addr,
+                            src: next,
+                        });
                     }
                 } else {
                     let mut next_addrs = Vec::with_capacity(vars.len());
@@ -269,7 +278,10 @@ impl Compiler {
                         next_addrs.push(self.compile_expr(update)?);
                     }
                     for (&addr, next) in var_addrs.iter().zip(next_addrs) {
-                        self.push(Statement::Copy { dest: addr, src: next });
+                        self.push(Statement::Copy {
+                            dest: addr,
+                            src: next,
+                        });
                     }
                 }
                 self.branch_to(Pred::Always, head);
@@ -358,9 +370,12 @@ impl Compiler {
                 self.bind(else_label);
                 self.compile_cond(otherwise, true_label, false_label)
             }
-            Expr::Number(_) | Expr::Const(_) | Expr::Var(_) | Expr::Op(..) | Expr::Let { .. } | Expr::While { .. } => {
-                Err(CompileError::NumericInBooleanPosition)
-            }
+            Expr::Number(_)
+            | Expr::Const(_)
+            | Expr::Var(_)
+            | Expr::Op(..)
+            | Expr::Let { .. }
+            | Expr::While { .. } => Err(CompileError::NumericInBooleanPosition),
         }
     }
 
@@ -451,7 +466,10 @@ mod tests {
         program.validate().expect("valid program");
         for input in inputs {
             let expected = eval_f64(&core, input).expect("reference eval");
-            let got = Machine::new(&program).run(input).expect("machine run").outputs[0];
+            let got = Machine::new(&program)
+                .run(input)
+                .expect("machine run")
+                .outputs[0];
             if expected.is_nan() {
                 assert!(got.is_nan(), "{src} on {input:?}: {got} vs NaN");
             } else {

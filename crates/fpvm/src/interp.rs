@@ -68,7 +68,16 @@ pub struct RunResult {
 #[allow(unused_variables)]
 pub trait Tracer {
     /// A floating-point operation was executed.
-    fn on_compute(&mut self, pc: usize, op: RealOp, dest: Addr, args: &[Addr], arg_values: &[f64], result: f64) {}
+    fn on_compute(
+        &mut self,
+        pc: usize,
+        op: RealOp,
+        dest: Addr,
+        args: &[Addr],
+        arg_values: &[f64],
+        result: f64,
+    ) {
+    }
     /// A float constant was loaded.
     fn on_const_f(&mut self, pc: usize, dest: Addr, value: f64) {}
     /// An integer constant was loaded.
@@ -78,7 +87,18 @@ pub trait Tracer {
     /// A float was converted to an integer (a spot).
     fn on_cast_to_int(&mut self, pc: usize, dest: Addr, src: Addr, value: f64, result: i64) {}
     /// A conditional branch over floats was evaluated (a spot).
-    fn on_branch(&mut self, pc: usize, cmp: CmpOp, lhs: Addr, rhs: Addr, lhs_value: Value, rhs_value: Value, taken: bool) {}
+    #[allow(clippy::too_many_arguments)]
+    fn on_branch(
+        &mut self,
+        pc: usize,
+        cmp: CmpOp,
+        lhs: Addr,
+        rhs: Addr,
+        lhs_value: Value,
+        rhs_value: Value,
+        taken: bool,
+    ) {
+    }
     /// A value was output (a spot).
     fn on_output(&mut self, pc: usize, src: Addr, value: f64) {}
     /// The program produced its arguments (called once, before execution).
@@ -278,9 +298,15 @@ mod tests {
             name: "loop".into(),
             statements: vec![
                 // 0: const 0.0 -> addr1
-                Statement::ConstF { dest: 1, value: 0.0 },
+                Statement::ConstF {
+                    dest: 1,
+                    value: 0.0,
+                },
                 // 1: const 1.0 -> addr2
-                Statement::ConstF { dest: 2, value: 1.0 },
+                Statement::ConstF {
+                    dest: 2,
+                    value: 1.0,
+                },
                 // 2: if arg <= 0 goto 5
                 Statement::Branch {
                     pred: Pred::Cmp(CmpOp::Le, 0, 1),
@@ -360,13 +386,24 @@ mod tests {
             fn on_output(&mut self, _: usize, _: Addr, _: f64) {
                 self.outputs += 1;
             }
-            fn on_branch(&mut self, _: usize, _: CmpOp, _: Addr, _: Addr, _: Value, _: Value, _: bool) {
+            fn on_branch(
+                &mut self,
+                _: usize,
+                _: CmpOp,
+                _: Addr,
+                _: Addr,
+                _: Value,
+                _: Value,
+                _: bool,
+            ) {
                 self.branches += 1;
             }
         }
         let p = straight_line_program();
         let mut tracer = Counter::default();
-        Machine::new(&p).run_traced(&[1.0, 2.0], &mut tracer).unwrap();
+        Machine::new(&p)
+            .run_traced(&[1.0, 2.0], &mut tracer)
+            .unwrap();
         assert_eq!(tracer.computes, 2);
         assert_eq!(tracer.outputs, 1);
         assert_eq!(tracer.branches, 0);
@@ -376,7 +413,10 @@ mod tests {
     fn pc_out_of_range_is_an_error() {
         let p = Program {
             name: "fallthrough".into(),
-            statements: vec![Statement::ConstF { dest: 0, value: 1.0 }],
+            statements: vec![Statement::ConstF {
+                dest: 0,
+                value: 1.0,
+            }],
             locations: vec![SourceLoc::default()],
             num_addrs: 1,
             arg_addrs: vec![],

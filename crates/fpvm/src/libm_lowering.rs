@@ -27,6 +27,7 @@ pub const LN2_HI: f64 = 6.931_471_803_691_238e-1;
 /// Low part of ln 2 used in two-part argument reduction.
 pub const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
 /// High part of π used in two-part argument reduction.
+#[allow(clippy::approx_constant)]
 pub const PI_HI: f64 = 3.141_592_653_589_793;
 /// Low part of π used in two-part argument reduction.
 pub const PI_LO: f64 = 1.224_646_799_147_353_2e-16;
@@ -363,7 +364,12 @@ mod tests {
 
     #[test]
     fn lowered_exp_is_accurate_in_range() {
-        check_lowering("exp", &[-10.0, -1.0, -0.1, 0.0, 0.3, 1.0, 5.0, 20.0], f64::exp, 1e-9);
+        check_lowering(
+            "exp",
+            &[-10.0, -1.0, -0.1, 0.0, 0.3, 1.0, 5.0, 20.0],
+            f64::exp,
+            1e-9,
+        );
     }
 
     #[test]
@@ -373,7 +379,12 @@ mod tests {
 
     #[test]
     fn lowered_sin_is_accurate_in_range() {
-        check_lowering("sin", &[-3.0, -1.0, -0.1, 0.0, 0.5, 1.5, 3.0, 10.0], f64::sin, 1e-6);
+        check_lowering(
+            "sin",
+            &[-3.0, -1.0, -0.1, 0.0, 0.5, 1.5, 3.0, 10.0],
+            f64::sin,
+            1e-6,
+        );
     }
 
     #[test]
@@ -384,7 +395,12 @@ mod tests {
 
     #[test]
     fn lowered_atan_asin_acos() {
-        check_lowering("atan", &[-5.0, -1.0, -0.2, 0.0, 0.4, 1.0, 5.0], f64::atan, 1e-6);
+        check_lowering(
+            "atan",
+            &[-5.0, -1.0, -0.2, 0.0, 0.4, 1.0, 5.0],
+            f64::atan,
+            1e-6,
+        );
         check_lowering("asin", &[-0.9, -0.3, 0.0, 0.5, 0.9], f64::asin, 1e-6);
         check_lowering("acos", &[-0.9, -0.3, 0.0, 0.5, 0.9], f64::acos, 1e-6);
     }

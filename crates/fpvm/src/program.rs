@@ -115,7 +115,12 @@ impl Statement {
     pub fn is_spot(&self) -> bool {
         matches!(
             self,
-            Statement::Output { .. } | Statement::Branch { pred: Pred::Cmp(..), .. } | Statement::CastToInt { .. }
+            Statement::Output { .. }
+                | Statement::Branch {
+                    pred: Pred::Cmp(..),
+                    ..
+                }
+                | Statement::CastToInt { .. }
         )
     }
 }
@@ -231,7 +236,9 @@ impl Program {
                 }
                 Statement::Branch { pred, target } => {
                     if *target > self.statements.len() {
-                        return Err(format!("statement {pc}: branch target {target} out of range"));
+                        return Err(format!(
+                            "statement {pc}: branch target {target} out of range"
+                        ));
                     }
                     if let Pred::Cmp(_, a, b) = pred {
                         check_addr(*a, "cmp lhs", pc)?;

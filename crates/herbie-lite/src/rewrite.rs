@@ -29,7 +29,10 @@ pub fn structurally_equal(a: &Expr, b: &Expr) -> bool {
         (Expr::Op(op_a, args_a), Expr::Op(op_b, args_b)) => {
             op_a == op_b
                 && args_a.len() == args_b.len()
-                && args_a.iter().zip(args_b).all(|(x, y)| structurally_equal(x, y))
+                && args_a
+                    .iter()
+                    .zip(args_b)
+                    .all(|(x, y)| structurally_equal(x, y))
         }
         _ => false,
     }
@@ -94,7 +97,10 @@ pub fn rewrites_at_root(expr: &Expr) -> Vec<Rewrite> {
                         let s = op(RealOp::Sin, vec![half]);
                         push(
                             "one-minus-cos",
-                            op(RealOp::Mul, vec![num(2.0), op(RealOp::Mul, vec![s.clone(), s])]),
+                            op(
+                                RealOp::Mul,
+                                vec![num(2.0), op(RealOp::Mul, vec![s.clone(), s])],
+                            ),
                         );
                     }
                 }
@@ -102,7 +108,10 @@ pub fn rewrites_at_root(expr: &Expr) -> Vec<Rewrite> {
                 if let (Expr::Op(RealOp::Log, la), Expr::Op(RealOp::Log, lb)) = (a, b) {
                     push(
                         "log-quotient",
-                        op(RealOp::Log, vec![op(RealOp::Div, vec![la[0].clone(), lb[0].clone()])]),
+                        op(
+                            RealOp::Log,
+                            vec![op(RealOp::Div, vec![la[0].clone(), lb[0].clone()])],
+                        ),
                     );
                 }
                 // a² - b²  =>  (a + b)(a - b)
@@ -150,32 +159,33 @@ pub fn rewrites_at_root(expr: &Expr) -> Vec<Rewrite> {
                 }
                 // a*b + c  =>  fma(a, b, c)
                 if let Expr::Op(RealOp::Mul, m) = a {
-                    push("fma-add", op(RealOp::Fma, vec![m[0].clone(), m[1].clone(), b.clone()]));
+                    push(
+                        "fma-add",
+                        op(RealOp::Fma, vec![m[0].clone(), m[1].clone(), b.clone()]),
+                    );
                 }
                 if let Expr::Op(RealOp::Mul, m) = b {
-                    push("fma-add-rev", op(RealOp::Fma, vec![m[0].clone(), m[1].clone(), a.clone()]));
+                    push(
+                        "fma-add-rev",
+                        op(RealOp::Fma, vec![m[0].clone(), m[1].clone(), a.clone()]),
+                    );
                 }
             }
-            (RealOp::Log, [a]) => {
+            (RealOp::Log, [Expr::Op(RealOp::Add, inner)]) => {
                 // log(1 + x)  =>  log1p(x)
-                if let Expr::Op(RealOp::Add, inner) = a {
-                    if is_number(&inner[0], 1.0) {
-                        push("log1p", op(RealOp::Log1p, vec![inner[1].clone()]));
-                    }
-                    if is_number(&inner[1], 1.0) {
-                        push("log1p-rev", op(RealOp::Log1p, vec![inner[0].clone()]));
-                    }
+                if is_number(&inner[0], 1.0) {
+                    push("log1p", op(RealOp::Log1p, vec![inner[1].clone()]));
+                }
+                if is_number(&inner[1], 1.0) {
+                    push("log1p-rev", op(RealOp::Log1p, vec![inner[0].clone()]));
                 }
             }
-            (RealOp::Sqrt, [a]) => {
+            (RealOp::Sqrt, [Expr::Op(RealOp::Add, inner)]) => {
                 // sqrt(x² + y²)  =>  hypot(x, y)
-                if let Expr::Op(RealOp::Add, inner) = a {
-                    if let (Expr::Op(RealOp::Mul, x), Expr::Op(RealOp::Mul, y)) =
-                        (&inner[0], &inner[1])
-                    {
-                        if structurally_equal(&x[0], &x[1]) && structurally_equal(&y[0], &y[1]) {
-                            push("hypot", op(RealOp::Hypot, vec![x[0].clone(), y[0].clone()]));
-                        }
+                if let (Expr::Op(RealOp::Mul, x), Expr::Op(RealOp::Mul, y)) = (&inner[0], &inner[1])
+                {
+                    if structurally_equal(&x[0], &x[1]) && structurally_equal(&y[0], &y[1]) {
+                        push("hypot", op(RealOp::Hypot, vec![x[0].clone(), y[0].clone()]));
                     }
                 }
             }
@@ -203,13 +213,9 @@ pub fn rewrites_at_root(expr: &Expr) -> Vec<Rewrite> {
                     }
                 }
             }
-            (RealOp::Mul, [a, b]) => {
-                // (a / b) * b  =>  a
-                if let Expr::Op(RealOp::Div, d) = a {
-                    if structurally_equal(&d[1], b) {
-                        push("cancel-mul-div", d[0].clone());
-                    }
-                }
+            // (a / b) * b  =>  a
+            (RealOp::Mul, [Expr::Op(RealOp::Div, d), b]) if structurally_equal(&d[1], b) => {
+                push("cancel-mul-div", d[0].clone());
             }
             _ => {}
         }
@@ -312,7 +318,9 @@ mod tests {
     fn conjugate_fires_on_sqrt_difference() {
         let results = rewrites_of("(- (sqrt (+ x 1)) (sqrt x))");
         assert!(
-            results.iter().any(|r| r == "(/ (- (+ x 1) x) (+ (sqrt (+ x 1)) (sqrt x)))"),
+            results
+                .iter()
+                .any(|r| r == "(/ (- (+ x 1) x) (+ (sqrt (+ x 1)) (sqrt x)))"),
             "{results:?}"
         );
     }
@@ -327,8 +335,12 @@ mod tests {
 
     #[test]
     fn special_function_rules_fire() {
-        assert!(rewrites_of("(- (exp x) 1)").iter().any(|r| r == "(expm1 x)"));
-        assert!(rewrites_of("(log (+ 1 x))").iter().any(|r| r == "(log1p x)"));
+        assert!(rewrites_of("(- (exp x) 1)")
+            .iter()
+            .any(|r| r == "(expm1 x)"));
+        assert!(rewrites_of("(log (+ 1 x))")
+            .iter()
+            .any(|r| r == "(log1p x)"));
         assert!(rewrites_of("(sqrt (+ (* x x) (* y y)))")
             .iter()
             .any(|r| r == "(hypot x y)"));
@@ -339,7 +351,9 @@ mod tests {
 
     #[test]
     fn fma_rules_fire() {
-        assert!(rewrites_of("(+ (* a b) c)").iter().any(|r| r == "(fma a b c)"));
+        assert!(rewrites_of("(+ (* a b) c)")
+            .iter()
+            .any(|r| r == "(fma a b c)"));
         assert!(rewrites_of("(- (* a b) c)")
             .iter()
             .any(|r| r == "(fma a b (neg c))"));
@@ -349,15 +363,24 @@ mod tests {
     fn rewrites_apply_below_the_root() {
         // The expm1 opportunity is nested inside a division.
         let results = rewrites_of("(/ (- (exp x) 1) x)");
-        assert!(results.iter().any(|r| r == "(/ (expm1 x) x)"), "{results:?}");
+        assert!(
+            results.iter().any(|r| r == "(/ (expm1 x) x)"),
+            "{results:?}"
+        );
     }
 
     #[test]
     fn rewrites_apply_inside_let_and_if() {
         let results = rewrites_of("(let ((t (- (exp x) 1))) (* t 2))");
-        assert!(results.iter().any(|r| r.contains("(expm1 x)")), "{results:?}");
+        assert!(
+            results.iter().any(|r| r.contains("(expm1 x)")),
+            "{results:?}"
+        );
         let results = rewrites_of("(if (< x 0) (- (exp x) 1) x)");
-        assert!(results.iter().any(|r| r.contains("(expm1 x)")), "{results:?}");
+        assert!(
+            results.iter().any(|r| r.contains("(expm1 x)")),
+            "{results:?}"
+        );
     }
 
     #[test]

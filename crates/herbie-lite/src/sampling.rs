@@ -48,7 +48,10 @@ pub struct VarRange {
 
 impl Default for VarRange {
     fn default() -> Self {
-        VarRange { lo: -1e15, hi: 1e15 }
+        VarRange {
+            lo: -1e15,
+            hi: 1e15,
+        }
     }
 }
 

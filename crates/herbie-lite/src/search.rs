@@ -139,7 +139,11 @@ pub fn improve(
     Ok(ImprovementResult {
         original_error_bits: original_error,
         improved_error_bits: if improved { best_error } else { original_error },
-        improved_body: if improved { best_body } else { core.body.clone() },
+        improved_body: if improved {
+            best_body
+        } else {
+            core.body.clone()
+        },
         rules_applied: if improved { rules_applied } else { Vec::new() },
         improved,
     })
@@ -181,10 +185,7 @@ mod tests {
 
     #[test]
     fn expm1_pattern_is_improved() {
-        let result = improve_src(
-            "(FPCore (x) :pre (<= 1e-18 x 1e-9) (/ (- (exp x) 1) x))",
-            3,
-        );
+        let result = improve_src("(FPCore (x) :pre (<= 1e-18 x 1e-9) (/ (- (exp x) 1) x))", 3);
         assert!(result.original_error_bits > 5.0);
         assert!(result.improved);
         assert!(expr_to_string(&result.improved_body).contains("expm1"));
@@ -192,7 +193,10 @@ mod tests {
 
     #[test]
     fn accurate_expressions_are_left_alone() {
-        let result = improve_src("(FPCore (x y) :pre (and (<= 1 x 100) (<= 1 y 100)) (* x y))", 5);
+        let result = improve_src(
+            "(FPCore (x y) :pre (and (<= 1 x 100) (<= 1 y 100)) (* x y))",
+            5,
+        );
         assert!(result.original_error_bits < 1.0);
         assert!(!result.improved);
         assert_eq!(expr_to_string(&result.improved_body), "(* x y)");
@@ -213,7 +217,11 @@ mod tests {
             "(FPCore (x) :pre (<= 1e-9 x 1e-4) (/ (- 1 (cos x)) (* x x)))",
             13,
         );
-        assert!(result.original_error_bits > 5.0, "{}", result.original_error_bits);
+        assert!(
+            result.original_error_bits > 5.0,
+            "{}",
+            result.original_error_bits
+        );
         assert!(result.improved, "rules: {:?}", result.rules_applied);
     }
 }

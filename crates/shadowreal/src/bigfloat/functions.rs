@@ -68,7 +68,10 @@ impl BigFloat {
         let a = atan_recip_int(5, work).mul(&BigFloat::from_i64(16));
         let b = atan_recip_int(239, work).mul(&BigFloat::from_i64(4));
         let pi = a.sub(&b).with_precision(prec);
-        pi_cache().lock().expect("pi cache").insert(prec, pi.clone());
+        pi_cache()
+            .lock()
+            .expect("pi cache")
+            .insert(prec, pi.clone());
         pi
     }
 
@@ -80,7 +83,9 @@ impl BigFloat {
         }
         // ln 2 = 2·atanh(1/3) = 2·(1/3 + (1/3)³/3 + (1/3)⁵/5 + ...)
         let work = prec + 32;
-        let third = BigFloat::one().with_precision(work).div(&BigFloat::from_i64(3));
+        let third = BigFloat::one()
+            .with_precision(work)
+            .div(&BigFloat::from_i64(3));
         let t2 = third.mul(&third);
         let mut power = third.clone();
         let mut sum = third.clone();
@@ -222,7 +227,10 @@ impl BigFloat {
         let prec = self.precision();
         let work = self.work_prec();
         let ln10 = BigFloat::from_i64(10).with_precision(work).ln();
-        self.with_precision(work).ln().div(&ln10).with_precision(prec)
+        self.with_precision(work)
+            .ln()
+            .div(&ln10)
+            .with_precision(prec)
     }
 
     /// 2^x.
@@ -282,7 +290,9 @@ impl BigFloat {
                 let work = self.work_prec();
                 let x = self.with_precision(work);
                 let t = x.div(&x.add(&BigFloat::from_i64(2)));
-                t.atanh_series(work).mul(&BigFloat::from_i64(2)).with_precision(prec)
+                t.atanh_series(work)
+                    .mul(&BigFloat::from_i64(2))
+                    .with_precision(prec)
             }
             _ => self.add(&one).ln().with_precision(prec),
         }
@@ -581,7 +591,10 @@ impl BigFloat {
         if asin.is_nan() {
             return BigFloat::nan();
         }
-        BigFloat::pi(work).scale_exp(-1).sub(&asin).with_precision(prec)
+        BigFloat::pi(work)
+            .scale_exp(-1)
+            .sub(&asin)
+            .with_precision(prec)
     }
 
     /// Hyperbolic sine.
@@ -744,7 +757,12 @@ impl BigFloat {
         if self.is_infinite() {
             return if y.is_negative() {
                 BigFloat::zero()
-            } else if self.is_negative() && y.is_integer() && y.fmod(&BigFloat::from_i64(2)).abs().eq_value(&BigFloat::one()) {
+            } else if self.is_negative()
+                && y.is_integer()
+                && y.fmod(&BigFloat::from_i64(2))
+                    .abs()
+                    .eq_value(&BigFloat::one())
+            {
                 BigFloat::infinity(true)
             } else {
                 BigFloat::infinity(false)
@@ -897,7 +915,9 @@ mod tests {
 
     #[test]
     fn exp_matches_libm_on_grid() {
-        for &x in &[-50.0, -3.2, -1.0, -1e-8, 0.0, 1e-8, 0.5, 1.0, 2.0, 10.0, 100.0, 700.0] {
+        for &x in &[
+            -50.0, -3.2, -1.0, -1e-8, 0.0, 1e-8, 0.5, 1.0, 2.0, 10.0, 100.0, 700.0,
+        ] {
             let got = BigFloat::from_f64(x).exp().to_f64();
             assert!(close(got, x.exp()), "exp({x}) = {got} vs {}", x.exp());
         }
@@ -905,7 +925,10 @@ mod tests {
 
     #[test]
     fn exp_overflow_and_underflow() {
-        assert!(BigFloat::from_f64(1e300).exp().is_infinite() || BigFloat::from_f64(1e300).exp().to_f64().is_infinite());
+        assert!(
+            BigFloat::from_f64(1e300).exp().is_infinite()
+                || BigFloat::from_f64(1e300).exp().to_f64().is_infinite()
+        );
         let tiny = BigFloat::from_f64(-1e300).exp();
         assert!(tiny.is_zero() || tiny.to_f64() == 0.0);
     }
@@ -929,8 +952,11 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // near-π grid points, deliberately inexact
     fn trig_matches_libm_on_grid() {
-        for &x in &[-10.0, -1.5, -0.7, -1e-9, 0.0, 1e-9, 0.5, 1.0, 1.5707, 3.0, 6.28, 100.0] {
+        for &x in &[
+            -10.0, -1.5, -0.7, -1e-9, 0.0, 1e-9, 0.5, 1.0, 1.5707, 3.0, 6.28, 100.0,
+        ] {
             let b = BigFloat::from_f64(x);
             assert!(close(b.sin().to_f64(), x.sin()), "sin({x})");
             assert!(close(b.cos().to_f64(), x.cos()), "cos({x})");
@@ -956,7 +982,10 @@ mod tests {
             assert!(close(b.acos().to_f64(), x.acos()), "acos({x})");
         }
         for &x in &[-1e6, -3.0, -1.0, 0.0, 0.5, 1.0, 3.0, 1e6] {
-            assert!(close(BigFloat::from_f64(x).atan().to_f64(), x.atan()), "atan({x})");
+            assert!(
+                close(BigFloat::from_f64(x).atan().to_f64(), x.atan()),
+                "atan({x})"
+            );
         }
         assert!(BigFloat::from_f64(1.5).asin().is_nan());
     }
@@ -990,13 +1019,22 @@ mod tests {
             assert!(close(b.tanh().to_f64(), x.tanh()), "tanh({x})");
         }
         for &x in &[-3.0, -0.5, 0.0, 0.5, 3.0] {
-            assert!(close(BigFloat::from_f64(x).asinh().to_f64(), x.asinh()), "asinh({x})");
+            assert!(
+                close(BigFloat::from_f64(x).asinh().to_f64(), x.asinh()),
+                "asinh({x})"
+            );
         }
         for &x in &[1.0, 1.5, 10.0] {
-            assert!(close(BigFloat::from_f64(x).acosh().to_f64(), x.acosh()), "acosh({x})");
+            assert!(
+                close(BigFloat::from_f64(x).acosh().to_f64(), x.acosh()),
+                "acosh({x})"
+            );
         }
         for &x in &[-0.9, -0.5, 0.0, 0.5, 0.9] {
-            assert!(close(BigFloat::from_f64(x).atanh().to_f64(), x.atanh()), "atanh({x})");
+            assert!(
+                close(BigFloat::from_f64(x).atanh().to_f64(), x.atanh()),
+                "atanh({x})"
+            );
         }
     }
 
@@ -1017,7 +1055,9 @@ mod tests {
             let expect = x.powf(y);
             assert!(close(got, expect), "pow({x},{y}) = {got} vs {expect}");
         }
-        assert!(BigFloat::from_f64(-2.0).pow(&BigFloat::from_f64(0.5)).is_nan());
+        assert!(BigFloat::from_f64(-2.0)
+            .pow(&BigFloat::from_f64(0.5))
+            .is_nan());
     }
 
     #[test]
@@ -1028,8 +1068,14 @@ mod tests {
         let lp = BigFloat::from_f64(x).log1p();
         assert!(close(lp.to_f64(), x), "log1p tiny");
         // And reasonable at moderate arguments too.
-        assert!(close(BigFloat::from_f64(1.5).expm1().to_f64(), 1.5f64.exp_m1()));
-        assert!(close(BigFloat::from_f64(1.5).log1p().to_f64(), 1.5f64.ln_1p()));
+        assert!(close(
+            BigFloat::from_f64(1.5).expm1().to_f64(),
+            1.5f64.exp_m1()
+        ));
+        assert!(close(
+            BigFloat::from_f64(1.5).log1p().to_f64(),
+            1.5f64.ln_1p()
+        ));
     }
 
     #[test]
@@ -1037,19 +1083,27 @@ mod tests {
         assert!(close(BigFloat::from_f64(27.0).cbrt().to_f64(), 3.0));
         assert!(close(BigFloat::from_f64(-27.0).cbrt().to_f64(), -3.0));
         assert!(close(
-            BigFloat::from_f64(3.0).hypot(&BigFloat::from_f64(4.0)).to_f64(),
+            BigFloat::from_f64(3.0)
+                .hypot(&BigFloat::from_f64(4.0))
+                .to_f64(),
             5.0
         ));
         assert!(close(
-            BigFloat::from_f64(1e300).hypot(&BigFloat::from_f64(1e300)).to_f64(),
+            BigFloat::from_f64(1e300)
+                .hypot(&BigFloat::from_f64(1e300))
+                .to_f64(),
             (2.0f64).sqrt() * 1e300
         ));
         assert_eq!(
-            BigFloat::from_f64(3.0).fdim(&BigFloat::from_f64(5.0)).to_f64(),
+            BigFloat::from_f64(3.0)
+                .fdim(&BigFloat::from_f64(5.0))
+                .to_f64(),
             0.0
         );
         assert_eq!(
-            BigFloat::from_f64(5.0).fdim(&BigFloat::from_f64(3.0)).to_f64(),
+            BigFloat::from_f64(5.0)
+                .fdim(&BigFloat::from_f64(3.0))
+                .to_f64(),
             2.0
         );
     }
@@ -1072,7 +1126,9 @@ mod tests {
         assert_eq!(nan.fmin(&one).to_f64(), 1.0);
         assert_eq!(one.fmax(&nan).to_f64(), 1.0);
         assert_eq!(
-            BigFloat::from_f64(2.0).fmin(&BigFloat::from_f64(-3.0)).to_f64(),
+            BigFloat::from_f64(2.0)
+                .fmin(&BigFloat::from_f64(-3.0))
+                .to_f64(),
             -3.0
         );
     }

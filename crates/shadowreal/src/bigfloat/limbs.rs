@@ -108,7 +108,7 @@ pub(crate) fn shl_in_place(a: &mut [u64], bits: u64) {
     for i in (0..len).rev() {
         let src = i as isize - limb_shift as isize;
         let low = if src >= 0 { a[src as usize] } else { 0 };
-        let lower = if src - 1 >= 0 { a[(src - 1) as usize] } else { 0 };
+        let lower = if src >= 1 { a[(src - 1) as usize] } else { 0 };
         a[i] = if bit_shift == 0 {
             low
         } else {

@@ -72,7 +72,7 @@ struct Finite {
 }
 
 fn limbs_for(prec: u32) -> usize {
-    ((prec as usize) + 63) / 64
+    (prec as usize).div_ceil(64)
 }
 
 impl Finite {
@@ -144,7 +144,13 @@ impl Finite {
 
     /// Normalizes a possibly denormalized limb vector (top bit not set) by
     /// shifting left and adjusting the exponent, then rounds.
-    fn normalize_and_round(neg: bool, mut limbs: Vec<u64>, mut exp: i64, prec: u32, sticky: bool) -> Repr {
+    fn normalize_and_round(
+        neg: bool,
+        mut limbs: Vec<u64>,
+        mut exp: i64,
+        prec: u32,
+        sticky: bool,
+    ) -> Repr {
         if limbs::is_zero(&limbs) {
             return Repr::Zero { neg };
         }
@@ -499,13 +505,33 @@ impl BigFloat {
             } else {
                 Ordering::Greater
             }),
-            (Inf { neg }, _) => Some(if *neg { Ordering::Less } else { Ordering::Greater }),
-            (_, Inf { neg }) => Some(if *neg { Ordering::Greater } else { Ordering::Less }),
-            (Zero { .. }, Finite(f)) => Some(if f.neg { Ordering::Greater } else { Ordering::Less }),
-            (Finite(f), Zero { .. }) => Some(if f.neg { Ordering::Less } else { Ordering::Greater }),
+            (Inf { neg }, _) => Some(if *neg {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }),
+            (_, Inf { neg }) => Some(if *neg {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            }),
+            (Zero { .. }, Finite(f)) => Some(if f.neg {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            }),
+            (Finite(f), Zero { .. }) => Some(if f.neg {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }),
             (Finite(a), Finite(b)) => {
                 if a.neg != b.neg {
-                    return Some(if a.neg { Ordering::Less } else { Ordering::Greater });
+                    return Some(if a.neg {
+                        Ordering::Less
+                    } else {
+                        Ordering::Greater
+                    });
                 }
                 let mag = Self::cmp_abs_finite(a, b);
                 Some(if a.neg { mag.reverse() } else { mag })
@@ -624,7 +650,9 @@ impl BigFloat {
                 let product = limbs::mul(&a.limbs, &b.limbs);
                 let exp = a.exp + b.exp;
                 BigFloat {
-                    repr: crate::bigfloat::Finite::normalize_and_round(sign, product, exp, prec, false),
+                    repr: crate::bigfloat::Finite::normalize_and_round(
+                        sign, product, exp, prec, false,
+                    ),
                 }
             }
         }
@@ -650,7 +678,11 @@ impl BigFloat {
             (Finite(_), Finite(_)) => {
                 let work = prec + 64;
                 let recip = other.abs().recip_newton(work);
-                let q = self.abs().with_precision(work).mul(&recip).with_precision(prec);
+                let q = self
+                    .abs()
+                    .with_precision(work)
+                    .mul(&recip)
+                    .with_precision(prec);
                 if sign {
                     q.neg()
                 } else {
@@ -944,7 +976,9 @@ mod tests {
     fn division_special_cases() {
         assert!(BigFloat::one().div(&BigFloat::zero()).is_infinite());
         assert!(BigFloat::zero().div(&BigFloat::zero()).is_nan());
-        assert!(BigFloat::from_f64(-1.0).div(&BigFloat::zero()).is_negative());
+        assert!(BigFloat::from_f64(-1.0)
+            .div(&BigFloat::zero())
+            .is_negative());
         assert!(BigFloat::zero().div(&BigFloat::one()).is_zero());
     }
 
@@ -986,14 +1020,22 @@ mod tests {
             assert_eq!(b.ceil().to_f64(), x.ceil(), "ceil {x}");
             assert_eq!(b.round_nearest().to_f64(), x.round(), "round {x}");
         };
-        for x in [0.0, 0.3, 0.5, 0.7, 1.0, 1.5, 2.5, -0.3, -0.5, -1.5, -2.5, 123456.789, -99999.999] {
+        for x in [
+            0.0, 0.3, 0.5, 0.7, 1.0, 1.5, 2.5, -0.3, -0.5, -1.5, -2.5, 123456.789, -99999.999,
+        ] {
             check(x);
         }
     }
 
     #[test]
     fn fmod_matches_f64() {
-        let cases = [(7.5, 2.0), (-7.5, 2.0), (10.0, 3.0), (1e10, 7.0), (0.7, 0.2)];
+        let cases = [
+            (7.5, 2.0),
+            (-7.5, 2.0),
+            (10.0, 3.0),
+            (1e10, 7.0),
+            (0.7, 0.2),
+        ];
         for (a, b) in cases {
             let r = BigFloat::from_f64(a).fmod(&BigFloat::from_f64(b));
             let expect = a % b;

@@ -419,10 +419,7 @@ mod tests {
     fn doubledouble_shadow_handles_basic_ops() {
         let a = DoubleDouble::from_f64(1.0e16);
         let b = DoubleDouble::from_f64(1.0);
-        let r = DoubleDouble::apply(
-            RealOp::Sub,
-            &[DoubleDouble::apply(RealOp::Add, &[a, b]), a],
-        );
+        let r = DoubleDouble::apply(RealOp::Sub, &[DoubleDouble::apply(RealOp::Add, &[a, b]), a]);
         assert_eq!(r.to_f64(), 1.0);
     }
 
@@ -440,7 +437,10 @@ mod tests {
             let f = f64::apply(op, &args_f);
             let b = BigFloat::apply(
                 op,
-                &args_f.iter().map(|&a| BigFloat::from_f64(a)).collect::<Vec<_>>(),
+                &args_f
+                    .iter()
+                    .map(|&a| BigFloat::from_f64(a))
+                    .collect::<Vec<_>>(),
             );
             let d = DoubleDouble::apply(
                 op,
@@ -454,8 +454,16 @@ mod tests {
             if f.is_nan() {
                 assert!(b.is_nan() && d.is_nan(), "{op}");
             } else {
-                assert!((b.to_f64() - f).abs() <= f.abs() * 1e-12 + 1e-300, "{op}: {} vs {f}", b.to_f64());
-                assert!((d.to_f64() - f).abs() <= f.abs() * 1e-12 + 1e-300, "{op}: {} vs {f}", d.to_f64());
+                assert!(
+                    (b.to_f64() - f).abs() <= f.abs() * 1e-12 + 1e-300,
+                    "{op}: {} vs {f}",
+                    b.to_f64()
+                );
+                assert!(
+                    (d.to_f64() - f).abs() <= f.abs() * 1e-12 + 1e-300,
+                    "{op}: {} vs {f}",
+                    d.to_f64()
+                );
             }
         }
     }

@@ -55,7 +55,15 @@ fn main() {
         // progressively tinier transverse components.
         let eps = 1e-6 / i as f64;
         inputs.push(vec![
-            1.0, eps, eps / 3.0, 1.0, -eps, eps / 2.0, 1.0, eps, -eps / 4.0,
+            1.0,
+            eps,
+            eps / 3.0,
+            1.0,
+            -eps,
+            eps / 2.0,
+            1.0,
+            eps,
+            -eps / 4.0,
         ]);
     }
 

@@ -49,7 +49,10 @@ fn main() {
         inputs.push(vec![a, 2.0 * a, 3.0 * a, 6.0 * a]); // parallel -> u = 0
     }
 
-    println!("running the Gram-Schmidt step on {} vector pairs...", inputs.len());
+    println!(
+        "running the Gram-Schmidt step on {} vector pairs...",
+        inputs.len()
+    );
     let mut nan_outputs = 0;
     for input in &inputs {
         let out = Machine::new(&program).run(input).expect("runs").outputs[0];

@@ -13,7 +13,10 @@ fn main() {
         Some(n) => subset(n),
         None => suite(),
     };
-    println!("running the improvability experiment on {} benchmarks...", benchmarks.len());
+    println!(
+        "running the improvability experiment on {} benchmarks...",
+        benchmarks.len()
+    );
     let summary = improvability(&benchmarks, 120, 2024, &AnalysisConfig::default());
 
     println!();

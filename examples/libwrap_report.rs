@@ -27,7 +27,8 @@ fn main() {
         "comparing library wrapping on {} libm-using benchmarks...",
         benchmarks.len()
     );
-    let cmp = wrapping_comparison(&benchmarks, 60, 7, &AnalysisConfig::default()).expect("comparison");
+    let cmp =
+        wrapping_comparison(&benchmarks, 60, 7, &AnalysisConfig::default()).expect("comparison");
 
     println!();
     println!("{:<44} {:>10} {:>12}", "", "wrapped", "unwrapped");

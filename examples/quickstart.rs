@@ -27,11 +27,15 @@ fn main() {
     // does with Herbie.
     for cause in report.root_cause_cores() {
         let cause_inputs = sample_inputs(&cause, 200, 43).expect("samples");
-        let result = improve(&cause, &cause_inputs, &ImprovementOptions::default()).expect("improve");
+        let result =
+            improve(&cause, &cause_inputs, &ImprovementOptions::default()).expect("improve");
         println!(
             "root cause error {:.1} bits -> improved to {:.1} bits via {:?}",
             result.original_error_bits, result.improved_error_bits, result.rules_applied
         );
-        println!("improved expression: {}", fpcore::expr_to_string(&result.improved_body));
+        println!(
+            "improved expression: {}",
+            fpcore::expr_to_string(&result.improved_body)
+        );
     }
 }

@@ -39,8 +39,12 @@ fn main() {
     let bz = time("BZ-style discrete factors", &mut || {
         BzDetector::analyze(&prepared.program, &prepared.inputs).expect("bz");
     });
+    // One analysis thread: the overhead row compares per-work cost against
+    // the single-threaded baselines above.
     let herbgrind = time("Herbgrind full analysis", &mut || {
-        prepared.run_herbgrind(&AnalysisConfig::default()).expect("herbgrind");
+        prepared
+            .run_herbgrind(&AnalysisConfig::default().with_threads(1))
+            .expect("herbgrind");
     });
 
     println!();

@@ -70,7 +70,11 @@ fn main() {
         "compensating operations detected and suppressed: {}",
         with_detection.compensations_detected
     );
-    let causes_with: usize = with_detection.spots.iter().map(|s| s.root_causes.len()).sum();
+    let causes_with: usize = with_detection
+        .spots
+        .iter()
+        .map(|s| s.root_causes.len())
+        .sum();
     let causes_without: usize = without_detection
         .spots
         .iter()

@@ -9,10 +9,9 @@ use herbie_lite::{improve, sample_inputs, ImprovementOptions};
 /// The paper's headline workflow: detect, extract a root cause, improve it.
 #[test]
 fn detect_extract_improve_pipeline() {
-    let core = parse_core(
-        "(FPCore (x) :name \"2sqrt\" :pre (<= 1 x 1e15) (- (sqrt (+ x 1)) (sqrt x)))",
-    )
-    .unwrap();
+    let core =
+        parse_core("(FPCore (x) :name \"2sqrt\" :pre (<= 1 x 1e15) (- (sqrt (+ x 1)) (sqrt x)))")
+            .unwrap();
     let program = compile_core(&core, Default::default()).unwrap();
     let inputs = sample_inputs(&core, 150, 7).unwrap();
     let report = analyze(&program, &inputs, &AnalysisConfig::default()).unwrap();
@@ -59,7 +58,11 @@ fn pid_controller_branch_divergence_is_detected() {
     let config = AnalysisConfig::default().with_local_error_threshold(0.5);
     let report = analyze(&program, &inputs, &config).unwrap();
     assert!(report.branch_divergences > 0);
-    let compare_spot = report.spots.iter().find(|s| s.kind_label == "Compare").unwrap();
+    let compare_spot = report
+        .spots
+        .iter()
+        .find(|s| s.kind_label == "Compare")
+        .unwrap();
     assert!(compare_spot.erroneous > 0);
     // When the accumulated 0.2 increment exhibits local error above the
     // threshold it is reported as the root cause of the divergence; the
@@ -94,17 +97,20 @@ fn gram_schmidt_nan_is_maximal_error() {
     let inputs = vec![vec![1.0, 2.0, 2.0, 4.0], vec![1.0, 1.0, 2.0, 3.0]];
     let report = analyze(&program, &inputs, &AnalysisConfig::default()).unwrap();
     assert!(report.has_significant_error());
-    assert!(report.spots[0].max_error_bits >= 60.0, "{}", report.to_text());
+    assert!(
+        report.spots[0].max_error_bits >= 60.0,
+        "{}",
+        report.to_text()
+    );
 }
 
 /// Input characteristics narrow the reported ranges to the erroneous band.
 #[test]
 fn input_characteristics_identify_erroneous_region() {
     // baz from §2.1: only inputs near 113 are problematic.
-    let core = parse_core(
-        "(FPCore (x) :pre (<= 0 x 300) (let ((z (/ 1 (- x 113)))) (- (+ z PI) z)))",
-    )
-    .unwrap();
+    let core =
+        parse_core("(FPCore (x) :pre (<= 0 x 300) (let ((z (/ 1 (- x 113)))) (- (+ z PI) z)))")
+            .unwrap();
     let program = compile_core(&core, Default::default()).unwrap();
     let mut inputs: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64]).collect();
     // Include points extremely close to 113 where z blows up.

@@ -1,0 +1,97 @@
+//! Golden-file regression tests: the rendered `Report` text for four suite
+//! benchmarks under a fixed sampling seed, snapshotted in `tests/golden/`.
+//!
+//! These pin the *entire* user-visible analysis output — spot ordering,
+//! error-bit figures, symbolic expressions, preconditions, example inputs —
+//! so a refactor that silently changes analysis behaviour fails here even if
+//! every structural assertion elsewhere still passes.
+//!
+//! To regenerate after an *intentional* output change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p herbgrind-repro --test golden_reports
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use herbgrind::AnalysisConfig;
+use std::path::PathBuf;
+
+const SAMPLES: usize = 40;
+const SEED: u64 = 2024;
+
+/// Benchmarks chosen to cover the report surface: two cancellation kernels
+/// with root causes and preconditions, a mixed polynomial, and a clean
+/// benchmark whose report is the "no significant error" form.
+const GOLDEN_BENCHMARKS: [(&str, &str); 4] = [
+    ("NMSE example 3.1", "nmse_example_3_1.txt"),
+    ("NMSE section 3.5", "nmse_section_3_5.txt"),
+    ("NMSE problem 3.3.6", "nmse_problem_3_3_6.txt"),
+    ("verhulst", "verhulst.txt"),
+];
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(file)
+}
+
+fn rendered_report(benchmark: &str) -> String {
+    let core = fpbench::by_name(benchmark)
+        .unwrap_or_else(|| panic!("benchmark {benchmark} not in the suite"));
+    let prepared = fpbench::prepare(&core, SAMPLES, SEED)
+        .unwrap_or_else(|e| panic!("{benchmark}: prepare failed: {e}"));
+    let report = prepared
+        .run_herbgrind(&AnalysisConfig::default())
+        .unwrap_or_else(|e| panic!("{benchmark}: analysis failed: {e}"));
+    report.to_text()
+}
+
+#[test]
+fn reports_match_golden_files() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut mismatches = Vec::new();
+    for (benchmark, file) in GOLDEN_BENCHMARKS {
+        let rendered = rendered_report(benchmark);
+        let path = golden_path(file);
+        if update {
+            std::fs::write(&path, &rendered)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                path.display()
+            )
+        });
+        if rendered != expected {
+            mismatches.push(format!(
+                "--- {benchmark} ({file}) ---\nexpected:\n{expected}\ngot:\n{rendered}"
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden report mismatch; if the change is intentional, regenerate with \
+         UPDATE_GOLDEN=1 and review the diff\n\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_reports_are_independent_of_thread_count() {
+    // The same four benchmarks through an explicitly multi-threaded run:
+    // parallelism must not be able to invalidate the golden files.
+    for (benchmark, _) in GOLDEN_BENCHMARKS {
+        let core = fpbench::by_name(benchmark).unwrap();
+        let prepared = fpbench::prepare(&core, SAMPLES, SEED).unwrap();
+        let serial = prepared
+            .run_herbgrind(&AnalysisConfig::default().with_threads(1))
+            .unwrap();
+        let parallel = prepared
+            .run_herbgrind(&AnalysisConfig::default().with_threads(6))
+            .unwrap();
+        assert_eq!(serial.to_text(), parallel.to_text(), "{benchmark}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Determinism of the sharded analysis: `analyze_parallel` must produce a
+//! `Report` bit-identical to serial `analyze` for every shard count, on every
+//! benchmark — same spots, root causes, error bits, influence sets, rendered
+//! text.
+//!
+//! This is the contract that makes the parallel engine safe to use
+//! everywhere (the fpbench driver and all experiment sweeps route through
+//! it): parallelism may only change wall-clock time, never analysis output.
+
+use herbgrind::{analyze, analyze_parallel, analyze_parallel_with_shadow, AnalysisConfig, Report};
+use herbie_lite::sample_inputs;
+
+/// Compares two reports bit for bit.
+///
+/// The `Debug` rendering covers every field of every spot and root cause
+/// (counts, error bits, influence-derived orderings, symbolic expressions,
+/// preconditions, example inputs) and prints floats exactly — including NaN,
+/// which `==` on the raw floats would reject even when bit-identical.
+fn assert_reports_identical(serial: &Report, parallel: &Report, context: &str) {
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{parallel:?}"),
+        "structural mismatch: {context}"
+    );
+    assert_eq!(
+        serial.to_text(),
+        parallel.to_text(),
+        "rendered mismatch: {context}"
+    );
+}
+
+#[test]
+fn sharded_analysis_matches_serial_on_the_suite() {
+    let shard_counts = [1usize, 2, 8];
+    let mut benchmarks_with_error = 0;
+    for core in fpbench::subset(12) {
+        let name = core.display_name().to_string();
+        let Ok(prepared) = fpbench::prepare(&core, 48, 2024) else {
+            panic!("benchmark {name} failed to prepare");
+        };
+        let serial = analyze(
+            &prepared.program,
+            &prepared.inputs,
+            &AnalysisConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{name}: serial analysis failed: {e:?}"));
+        if serial.has_significant_error() {
+            benchmarks_with_error += 1;
+        }
+        for shards in shard_counts {
+            let config = AnalysisConfig::default().with_threads(shards);
+            let parallel = analyze_parallel(&prepared.program, &prepared.inputs, &config)
+                .unwrap_or_else(|e| panic!("{name}: parallel analysis failed: {e:?}"));
+            assert_reports_identical(&serial, &parallel, &format!("{name} with {shards} shards"));
+        }
+    }
+    // The subset must actually exercise the analysis, not just clean kernels.
+    assert!(
+        benchmarks_with_error >= 4,
+        "only {benchmarks_with_error} of 12 benchmarks had significant error"
+    );
+}
+
+#[test]
+fn sharded_analysis_matches_serial_with_nondefault_configuration() {
+    // Thresholds, depth bounds, range kinds, and compensation detection all
+    // feed the merged state; determinism must hold for every knob setting.
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 40, 7).expect("prepare");
+    let configs = [
+        AnalysisConfig::fpdebug_like(),
+        AnalysisConfig::default().with_local_error_threshold(1.0),
+        AnalysisConfig::default().with_max_expression_depth(3),
+        AnalysisConfig::default().with_range_kind(herbgrind::RangeKind::Single),
+        AnalysisConfig::default().with_range_kind(herbgrind::RangeKind::None),
+        AnalysisConfig::default().with_compensation_detection(false),
+    ];
+    for (i, config) in configs.into_iter().enumerate() {
+        let serial = analyze(&prepared.program, &prepared.inputs, &config).expect("serial");
+        for shards in [2usize, 5] {
+            let sharded = config.clone().with_threads(shards);
+            let parallel =
+                analyze_parallel(&prepared.program, &prepared.inputs, &sharded).expect("parallel");
+            assert_reports_identical(&serial, &parallel, &format!("config {i}, {shards} shards"));
+        }
+    }
+}
+
+#[test]
+fn sharded_analysis_matches_serial_for_alternate_shadows() {
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 30, 11).expect("prepare");
+    let config = AnalysisConfig::default();
+    let serial = herbgrind::analyze_with_shadow::<shadowreal::DoubleDouble>(
+        &prepared.program,
+        &prepared.inputs,
+        &config,
+    )
+    .expect("serial");
+    let parallel = analyze_parallel_with_shadow::<shadowreal::DoubleDouble>(
+        &prepared.program,
+        &prepared.inputs,
+        &config.clone().with_threads(4),
+    )
+    .expect("parallel");
+    assert_reports_identical(&serial, &parallel, "DoubleDouble shadow, 4 shards");
+}
+
+#[test]
+fn sharded_analysis_handles_loops_and_branch_divergence() {
+    // Control-flow benchmarks stress the merge differently: traces differ in
+    // shape between runs, and branch spots accumulate divergences.
+    let core = fpcore::parse_core(
+        "(FPCore (n) :pre (<= 1 n 40) (while (< t n) ((t 0 (+ t 0.2)) (c 0 (+ c 1))) c))",
+    )
+    .unwrap();
+    let program = fpvm::compile_core(&core, Default::default()).unwrap();
+    let inputs: Vec<Vec<f64>> = (1..=40).map(|n| vec![n as f64]).collect();
+    let config = AnalysisConfig::default().with_local_error_threshold(0.5);
+    let serial = analyze(&program, &inputs, &config).expect("serial");
+    assert!(serial.branch_divergences > 0);
+    for shards in [2usize, 8] {
+        let parallel = analyze_parallel(&program, &inputs, &config.clone().with_threads(shards))
+            .expect("parallel");
+        assert_reports_identical(
+            &serial,
+            &parallel,
+            &format!("loop benchmark, {shards} shards"),
+        );
+    }
+}
+
+#[test]
+fn shard_counts_beyond_input_count_are_harmless() {
+    let core = fpcore::parse_core("(FPCore (x) :pre (<= 1 x 1e15) (- (+ x 1) x))").unwrap();
+    let program = fpvm::compile_core(&core, Default::default()).unwrap();
+    let inputs = sample_inputs(&core, 3, 5).unwrap();
+    let serial = analyze(&program, &inputs, &AnalysisConfig::default()).expect("serial");
+    let parallel = analyze_parallel(
+        &program,
+        &inputs,
+        &AnalysisConfig::default().with_threads(64),
+    )
+    .expect("parallel");
+    assert_reports_identical(&serial, &parallel, "3 inputs, 64 requested shards");
+    // Empty sweeps produce the same (empty) report too.
+    let serial_empty = analyze(&program, &[], &AnalysisConfig::default()).expect("serial empty");
+    let parallel_empty =
+        analyze_parallel(&program, &[], &AnalysisConfig::default().with_threads(8))
+            .expect("parallel empty");
+    assert_reports_identical(&serial_empty, &parallel_empty, "empty input sweep");
+}

@@ -1,9 +1,14 @@
 //! Property-based tests over the core data structures and invariants.
 
 use fpcore::{expr_to_string, parse_expr, Expr};
-use fpvm::{compile_core, Machine};
+use fpvm::{compile_core, Machine, SourceLoc};
+use herbgrind::errsum::ErrorBitsSum;
+use herbgrind::records::OpRecord;
+use herbgrind::trace::ConcreteExpr;
+use herbgrind::AnalysisConfig;
 use proptest::prelude::*;
 use shadowreal::{bits_error, ordinal, ulps_between, BigFloat, DoubleDouble, Real, RealOp};
+use std::sync::Arc;
 
 /// Finite, not-too-extreme doubles for arithmetic properties.
 fn reasonable_f64() -> impl Strategy<Value = f64> {
@@ -71,7 +76,7 @@ proptest! {
     #[test]
     fn bits_error_metric_properties(a in any::<f64>(), b in any::<f64>()) {
         let e = bits_error(a, b);
-        prop_assert!(e >= 0.0 && e <= shadowreal::MAX_ERROR_BITS);
+        prop_assert!((0.0..=shadowreal::MAX_ERROR_BITS).contains(&e));
         prop_assert_eq!(e.to_bits(), bits_error(b, a).to_bits());
         if !a.is_nan() && !b.is_nan() {
             prop_assert_eq!(e == 0.0, a == b || (a == 0.0 && b == 0.0));
@@ -121,6 +126,116 @@ proptest! {
         }
     }
 
+    /// Exact error-bit sums are invariant under sharding: any way of
+    /// splitting the measurements into contiguous chunks and merging the
+    /// partial sums gives the same total, bit for bit. (This is the property
+    /// the parallel analysis leans on for its average-error fields.)
+    #[test]
+    fn error_sums_are_shard_invariant(ulps in proptest::collection::vec(any::<u64>(), 1..64), chunk in 1usize..16) {
+        let values: Vec<f64> = ulps
+            .iter()
+            .map(|&u| bits_error(1.0, f64::from_bits(1.0f64.to_bits().wrapping_add(u % (1 << 20)))))
+            .collect();
+        let mut serial = ErrorBitsSum::new();
+        for &v in &values {
+            serial.add(v);
+        }
+        let mut merged = ErrorBitsSum::new();
+        for part in values.chunks(chunk) {
+            let mut partial = ErrorBitsSum::new();
+            for &v in part {
+                partial.add(v);
+            }
+            merged.merge(&partial);
+        }
+        prop_assert_eq!(serial, merged);
+        prop_assert_eq!(serial.total_bits().to_bits(), merged.total_bits().to_bits());
+    }
+
+    /// `OpRecord::merge` is associative: merging three shard records in
+    /// either grouping yields the same report-visible state.
+    #[test]
+    fn op_record_merge_is_associative(obs in observations(), cut in (0usize..100, 0usize..100)) {
+        let (i, j) = split_points(obs.len(), cut);
+        let config = AnalysisConfig::default();
+        let (a, b, c) = (
+            build_record(&obs[..i], &config),
+            build_record(&obs[i..j], &config),
+            build_record(&obs[j..], &config),
+        );
+
+        let mut left_first = a.clone();
+        left_first.merge(&b, &config);
+        left_first.merge(&c, &config);
+
+        let mut right_first_tail = b.clone();
+        right_first_tail.merge(&c, &config);
+        let mut right_first = a;
+        right_first.merge(&right_first_tail, &config);
+
+        prop_assert_eq!(projection(&left_first), projection(&right_first));
+    }
+
+    /// `OpRecord::merge` is commutative up to report ordering: every
+    /// order-independent report quantity (counts, maxima, exact sums, the
+    /// symbolic expression, range endpoints) matches; only the example
+    /// values, which deliberately prefer the earlier shard, may differ.
+    #[test]
+    fn op_record_merge_is_commutative_up_to_examples(obs in observations(), cut in 0usize..100) {
+        let (i, _) = split_points(obs.len(), (cut, cut));
+        let config = AnalysisConfig::default();
+        let (a, b) = (build_record(&obs[..i], &config), build_record(&obs[i..], &config));
+
+        let mut ab = a.clone();
+        ab.merge(&b, &config);
+        let mut ba = b;
+        ba.merge(&a, &config);
+
+        prop_assert_eq!(symmetric_projection(&ab), symmetric_projection(&ba));
+    }
+
+    /// Merging with a freshly created (empty) record is the identity, in
+    /// both directions.
+    #[test]
+    fn op_record_merge_with_empty_is_identity(obs in observations()) {
+        let config = AnalysisConfig::default();
+        let record = build_record(&obs, &config);
+        let empty = || OpRecord::new(RealOp::Add, SourceLoc::default(), &config);
+
+        let mut extended = record.clone();
+        extended.merge(&empty(), &config);
+        prop_assert_eq!(projection(&extended), projection(&record));
+
+        let mut adopted = empty();
+        adopted.merge(&record, &config);
+        prop_assert_eq!(projection(&adopted), projection(&record));
+    }
+
+    /// For observations with a fixed trace shape (the common case: one
+    /// static statement produces structurally identical traces), shard-and-
+    /// merge reproduces serial accumulation exactly — the record-level
+    /// statement of the determinism guarantee the integration suite checks
+    /// at the report level.
+    #[test]
+    fn op_record_merge_matches_serial_accumulation(
+        values in proptest::collection::vec((grid_value(), grid_value(), local_error_value()), 1..14),
+        shape in 0u8..3,
+        cut in 0usize..100,
+    ) {
+        let obs: Vec<Observation> = values
+            .into_iter()
+            .map(|(a, b, err)| Observation { a, b, err, shape })
+            .collect();
+        let (i, _) = split_points(obs.len(), (cut, cut));
+        let config = AnalysisConfig::default();
+
+        let serial = build_record(&obs, &config);
+        let mut merged = build_record(&obs[..i], &config);
+        merged.merge(&build_record(&obs[i..], &config), &config);
+
+        prop_assert_eq!(projection(&merged), projection(&serial));
+    }
+
     /// The analysis never reports *more* erroneous spot evaluations than
     /// total evaluations, and flagged operations never exceed total
     /// operations.
@@ -141,6 +256,166 @@ proptest! {
     }
 }
 
+/// One synthetic execution of a traced operation: leaf values, a local
+/// error, and which of three trace shapes the execution produced.
+#[derive(Clone, Debug)]
+struct Observation {
+    a: f64,
+    b: f64,
+    err: f64,
+    shape: u8,
+}
+
+/// Leaf values drawn from a coarse grid so repeated values (constant
+/// positions) occur often, exercising the const-generalization paths of the
+/// merge.
+fn grid_value() -> impl Strategy<Value = f64> {
+    (-16i32..17).prop_map(|n| n as f64 / 4.0)
+}
+
+/// Local errors on the representable bits grid, straddling the default
+/// 5-bit threshold.
+fn local_error_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(bits_error(1.0, 1.5)),
+        Just(bits_error(1.0, 1e6))
+    ]
+}
+
+fn observations() -> impl Strategy<Value = Vec<Observation>> {
+    proptest::collection::vec(
+        (grid_value(), grid_value(), local_error_value(), 0u8..3)
+            .prop_map(|(a, b, err, shape)| Observation { a, b, err, shape }),
+        1..14,
+    )
+}
+
+/// Turns fractions of the list length into two ordered split points.
+fn split_points(len: usize, cut: (usize, usize)) -> (usize, usize) {
+    let i = cut.0 * (len + 1) / 100;
+    let j = cut.1 * (len + 1) / 100;
+    (i.min(j).min(len), i.max(j).min(len))
+}
+
+fn trace_for(obs: &Observation) -> Arc<ConcreteExpr> {
+    let loc = SourceLoc::default();
+    let leaf_a = ConcreteExpr::leaf(obs.a);
+    let leaf_b = ConcreteExpr::leaf(obs.b);
+    match obs.shape {
+        0 => ConcreteExpr::node(RealOp::Add, obs.a + obs.b, vec![leaf_a, leaf_b], 0, loc),
+        1 => {
+            let sqrt = ConcreteExpr::node(
+                RealOp::Sqrt,
+                obs.b.abs().sqrt(),
+                vec![ConcreteExpr::leaf(obs.b.abs())],
+                1,
+                loc.clone(),
+            );
+            ConcreteExpr::node(
+                RealOp::Add,
+                obs.a + obs.b.abs().sqrt(),
+                vec![leaf_a, sqrt],
+                0,
+                loc,
+            )
+        }
+        _ => {
+            let square = ConcreteExpr::node(
+                RealOp::Mul,
+                obs.a * obs.a,
+                vec![leaf_a.clone(), leaf_a],
+                1,
+                loc.clone(),
+            );
+            ConcreteExpr::node(
+                RealOp::Add,
+                obs.a * obs.a + obs.b,
+                vec![square, leaf_b],
+                0,
+                loc,
+            )
+        }
+    }
+}
+
+/// Accumulates a shard's observations into one record, the way the analysis
+/// does at a single program counter.
+fn build_record(observations: &[Observation], config: &AnalysisConfig) -> OpRecord {
+    let mut record = OpRecord::new(RealOp::Add, SourceLoc::default(), config);
+    for obs in observations {
+        let erroneous = obs.err > config.local_error_threshold;
+        record.record(&trace_for(obs), obs.err, erroneous, config);
+    }
+    record
+}
+
+/// The report-visible state of a record: everything the `Report` derives
+/// from it. Variable-summary `count` fields are deliberately excluded — they
+/// are not reported, and const-position multiplicities are not preserved by
+/// merging (nor do they need to be).
+fn projection(record: &OpRecord) -> String {
+    format!(
+        "{:?}|{}|{}|{}|{:?}|{:?}|example {:?}|{:?}|{:?}",
+        record.op,
+        record.total,
+        record.erroneous,
+        record.max_local_error,
+        record.total_local_error,
+        record.generalizer.current(),
+        record.example_problematic.as_ref().map(|e| e.value()),
+        summary_projection(record, true, true),
+        summary_projection(record, false, true),
+    )
+}
+
+/// Like [`projection`] but without the fields that intentionally prefer the
+/// earlier shard (example values, the example problematic trace), which are
+/// the only asymmetry of the merge.
+fn symmetric_projection(record: &OpRecord) -> String {
+    format!(
+        "{:?}|{}|{}|{}|{:?}|{:?}|{:?}|{:?}",
+        record.op,
+        record.total,
+        record.erroneous,
+        record.max_local_error,
+        record.total_local_error,
+        record.generalizer.current(),
+        summary_projection(record, true, false),
+        summary_projection(record, false, false),
+    )
+}
+
+#[allow(clippy::type_complexity)]
+fn summary_projection(
+    record: &OpRecord,
+    total: bool,
+    with_example: bool,
+) -> Vec<(usize, [Option<u64>; 7])> {
+    let map = if total {
+        &record.characteristics.total
+    } else {
+        &record.characteristics.problematic
+    };
+    map.iter()
+        .map(|(&var, s)| {
+            let bits = |v: Option<f64>| v.map(f64::to_bits);
+            (
+                var,
+                [
+                    bits(s.min),
+                    bits(s.max),
+                    bits(s.neg_min),
+                    bits(s.neg_max),
+                    bits(s.pos_min),
+                    bits(s.pos_max),
+                    bits(if with_example { s.example } else { None }),
+                ],
+            )
+        })
+        .collect()
+}
+
 /// A strategy producing well-formed numeric expressions over variables `a`
 /// and `b`.
 fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
@@ -157,7 +432,8 @@ fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::op(RealOp::Div, vec![x, y])),
             inner.clone().prop_map(|x| Expr::op(RealOp::Sqrt, vec![x])),
             inner.clone().prop_map(|x| Expr::op(RealOp::Fabs, vec![x])),
-            (inner.clone(), inner.clone(), inner).prop_map(|(x, y, z)| Expr::op(RealOp::Fma, vec![x, y, z])),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(x, y, z)| Expr::op(RealOp::Fma, vec![x, y, z])),
         ]
     })
 }
