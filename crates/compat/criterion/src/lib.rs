@@ -9,6 +9,10 @@
 //! machinery (outlier rejection, regression detection, HTML reports): the
 //! benches here are read by humans comparing relative magnitudes, which
 //! min/median/mean cover.
+//!
+//! Setting `BENCH_SMOKE=1` in the environment clamps every benchmark to a
+//! single timed sample with no warm-up pass — CI uses it to exercise each
+//! bench end to end without paying for stable timings.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,13 +71,18 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
-        // One untimed warm-up pass, then the timed samples.
-        let mut bencher = Bencher {
-            elapsed: Duration::ZERO,
-        };
-        f(&mut bencher);
-        for _ in 0..self.sample_size {
+        let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+        let sample_size = if smoke { 1 } else { self.sample_size };
+        let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+        // One untimed warm-up pass, then the timed samples (smoke mode skips
+        // the warm-up: one short iteration is the whole point).
+        if !smoke {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+        }
+        for _ in 0..sample_size {
             let mut bencher = Bencher {
                 elapsed: Duration::ZERO,
             };
@@ -161,8 +170,13 @@ mod tests {
             });
             group.finish();
         }
-        // One warm-up pass plus three samples.
-        assert_eq!(runs, 4);
+        if std::env::var_os("BENCH_SMOKE").is_some() {
+            // Smoke mode: exactly one timed sample, no warm-up.
+            assert_eq!(runs, 1);
+        } else {
+            // One warm-up pass plus three samples.
+            assert_eq!(runs, 4);
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::config::AnalysisConfig;
 use crate::localerr::{local_error, total_error};
 use crate::records::{InfluenceSet, OpRecord, SpotKind, SpotRecord};
 use crate::report::Report;
-use crate::trace::ConcreteExpr;
+use crate::trace::{ConcreteExpr, ExprInterner};
 use fpcore::CmpOp;
 use fpvm::{Addr, Machine, MachineError, Program, SourceLoc, Tracer, Value};
 use shadowreal::{BigFloat, Real, RealOp, MAX_ERROR_BITS};
@@ -32,6 +32,10 @@ struct Shadow<R> {
 pub struct Herbgrind<R: Real> {
     config: AnalysisConfig,
     shadows: HashMap<Addr, Shadow<R>>,
+    /// Per-shard hash-consing table for trace nodes: repeated subtraces
+    /// share one allocation, and anti-unification hits pointer-identity
+    /// fast paths. Per-run state like `shadows` (cleared by `on_start`).
+    interner: ExprInterner,
     ops: BTreeMap<usize, OpRecord>,
     spots: BTreeMap<usize, SpotRecord>,
     locations: Vec<SourceLoc>,
@@ -47,6 +51,7 @@ impl<R: Real> Herbgrind<R> {
         Herbgrind {
             config,
             shadows: HashMap::new(),
+            interner: ExprInterner::new(),
             ops: BTreeMap::new(),
             spots: BTreeMap::new(),
             locations: Vec::new(),
@@ -55,6 +60,16 @@ impl<R: Real> Herbgrind<R> {
             compensations_detected: 0,
             branch_divergences: 0,
         }
+    }
+
+    /// Creates a shadow leaf for a client value at the configured shadow
+    /// precision. Precision is carried by the analysis, not by process-global
+    /// state: binary operations propagate the larger operand precision, so
+    /// seeding every leaf is enough, and two concurrent analyses with
+    /// different [`AnalysisConfig::shadow_precision`] values cannot corrupt
+    /// each other.
+    fn shadow_leaf(&self, value: f64) -> R {
+        R::from_f64_prec(value, self.config.shadow_precision)
     }
 
     /// The configuration in use.
@@ -102,8 +117,8 @@ impl<R: Real> Herbgrind<R> {
             return existing.clone();
         }
         let fresh = Shadow {
-            real: R::from_f64(client_value),
-            expr: ConcreteExpr::leaf(client_value),
+            real: self.shadow_leaf(client_value),
+            expr: self.interner.leaf(client_value),
             influences: InfluenceSet::new(),
         };
         self.shadows.insert(addr, fresh.clone());
@@ -163,6 +178,13 @@ impl<R: Real> Herbgrind<R> {
         self.runs += other.runs;
         self.compensations_detected += other.compensations_detected;
         self.branch_divergences += other.branch_divergences;
+        // Interners are per-run state consulted only mid-run, and every run
+        // starts by clearing them — at merge time both tables are dead
+        // weight, so release them instead of unioning shard trace nodes
+        // into memory nothing will read. (Interning never affects analysis
+        // output, so this cannot perturb the bit-identical merge contract.)
+        self.interner.clear();
+        drop(other.interner);
         for (pc, record) in other.ops {
             match self.ops.entry(pc) {
                 std::collections::btree_map::Entry::Occupied(mut existing) => {
@@ -201,9 +223,10 @@ impl<R: Real> Herbgrind<R> {
 
 impl<R: Real> Tracer for Herbgrind<R> {
     fn on_start(&mut self, program: &Program, _args: &[f64]) {
-        // Shadow memory is per-run (machine memory is reinitialized); the
-        // per-statement records persist across runs.
+        // Shadow memory and the trace interner are per-run (machine memory
+        // is reinitialized); the per-statement records persist across runs.
         self.shadows.clear();
+        self.interner.clear();
         if self.locations.is_empty() {
             self.locations = program.locations.clone();
             self.program_name = program.name.clone();
@@ -212,14 +235,12 @@ impl<R: Real> Tracer for Herbgrind<R> {
     }
 
     fn on_const_f(&mut self, _pc: usize, dest: Addr, value: f64) {
-        self.shadows.insert(
-            dest,
-            Shadow {
-                real: R::from_f64(value),
-                expr: ConcreteExpr::leaf(value),
-                influences: InfluenceSet::new(),
-            },
-        );
+        let shadow = Shadow {
+            real: self.shadow_leaf(value),
+            expr: self.interner.leaf(value),
+            influences: InfluenceSet::new(),
+        };
+        self.shadows.insert(dest, shadow);
     }
 
     fn on_const_i(&mut self, _pc: usize, dest: Addr, _value: i64) {
@@ -236,8 +257,8 @@ impl<R: Real> Tracer for Herbgrind<R> {
             None => {
                 if let Value::F(v) = value {
                     let fresh = Shadow {
-                        real: R::from_f64(v),
-                        expr: ConcreteExpr::leaf(v),
+                        real: self.shadow_leaf(v),
+                        expr: self.interner.leaf(v),
                         influences: InfluenceSet::new(),
                     };
                     self.shadows.insert(src, fresh.clone());
@@ -287,9 +308,20 @@ impl<R: Real> Tracer for Herbgrind<R> {
             influences.insert(pc);
         }
 
-        // Build the (depth-bounded) concrete expression for the result.
-        let node = ConcreteExpr::node(op, result, arg_exprs, pc, self.location(pc))
-            .truncate_to_depth(self.config.max_expression_depth);
+        // Build the (depth-bounded) concrete expression for the result,
+        // hash-consed so repeated subtraces share one allocation. Traces
+        // that exceed the tracking depth are about to be truncated into
+        // fresh nodes anyway — interning the full node would only pin
+        // memory for the rest of the run, so they bypass the table (deep
+        // loop-carried chains are exactly the unbounded-growth case).
+        let location = self.location(pc);
+        let depth = 1 + arg_exprs.iter().map(|c| c.depth()).max().unwrap_or(0);
+        let node = if depth <= self.config.max_expression_depth {
+            self.interner.node(op, result, arg_exprs, pc, location)
+        } else {
+            ConcreteExpr::node(op, result, arg_exprs, pc, location)
+                .truncate_to_depth(self.config.max_expression_depth)
+        };
 
         // Update the operation record (unless the operation is a detected
         // compensation, which the user should not see).
@@ -383,6 +415,11 @@ impl<R: Real> Tracer for Herbgrind<R> {
 /// Runs a program under the analysis for every input vector, using the
 /// default [`BigFloat`] shadow reals, and returns the report.
 ///
+/// The configured [`AnalysisConfig::shadow_precision`] is threaded through
+/// the shadow-value constructors — it is carried by the analysis, not by
+/// process-global state — so concurrent analyses with different precisions
+/// do not interfere.
+///
 /// # Errors
 ///
 /// Propagates [`MachineError`] from the underlying interpreter (arity
@@ -392,7 +429,6 @@ pub fn analyze(
     inputs: &[Vec<f64>],
     config: &AnalysisConfig,
 ) -> Result<Report, MachineError> {
-    shadowreal::bigfloat::set_default_precision(config.shadow_precision);
     analyze_with_shadow::<BigFloat>(program, inputs, config)
 }
 
@@ -434,7 +470,6 @@ pub fn analyze_parallel(
     inputs: &[Vec<f64>],
     config: &AnalysisConfig,
 ) -> Result<Report, MachineError> {
-    shadowreal::bigfloat::set_default_precision(config.shadow_precision);
     analyze_parallel_with_shadow::<BigFloat>(program, inputs, config)
 }
 
@@ -642,6 +677,46 @@ mod tests {
         let report = analysis.report();
         assert_eq!(report.total_runs, 10);
         assert!(report.spots.iter().any(|s| s.total == 10));
+    }
+
+    #[test]
+    fn concurrent_analyses_with_different_precisions_do_not_interfere() {
+        // Regression test for the shadow-precision race: precision used to be
+        // set through a process-global atomic, so two concurrent analyses
+        // with different `shadow_precision` values corrupted each other.
+        // Precision is now threaded through the shadow-value constructors.
+        let core = parse_core("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..12).map(|i| vec![10f64.powi(i)]).collect();
+        let lo = AnalysisConfig {
+            shadow_precision: 64,
+            ..AnalysisConfig::default()
+        };
+        let hi = AnalysisConfig {
+            shadow_precision: 1024,
+            ..AnalysisConfig::default()
+        };
+        let serial_lo = format!("{:?}", analyze(&program, &inputs, &lo).unwrap());
+        let serial_hi = format!("{:?}", analyze(&program, &inputs, &hi).unwrap());
+        let (runs_lo, runs_hi) = std::thread::scope(|scope| {
+            let low = scope.spawn(|| {
+                (0..4)
+                    .map(|_| format!("{:?}", analyze(&program, &inputs, &lo).unwrap()))
+                    .collect::<Vec<_>>()
+            });
+            let high = scope.spawn(|| {
+                (0..4)
+                    .map(|_| format!("{:?}", analyze(&program, &inputs, &hi).unwrap()))
+                    .collect::<Vec<_>>()
+            });
+            (low.join().unwrap(), high.join().unwrap())
+        });
+        for run in runs_lo {
+            assert_eq!(run, serial_lo, "low-precision analysis was corrupted");
+        }
+        for run in runs_hi {
+            assert_eq!(run, serial_hi, "high-precision analysis was corrupted");
+        }
     }
 
     #[test]

@@ -65,3 +65,4 @@ pub use config::{AnalysisConfig, RangeKind};
 pub use errsum::ErrorBitsSum;
 pub use report::{Report, RootCauseReport, SpotReport};
 pub use symbolic::SymbolicExpr;
+pub use trace::{ConcreteExpr, ExprInterner};

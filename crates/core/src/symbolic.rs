@@ -233,6 +233,9 @@ struct PairTable {
 impl PairTable {
     fn variable_for(&mut self, sym: &SymbolicExpr, conc: &Arc<ConcreteExpr>) -> usize {
         for (s, c, var) in &self.entries {
+            // Hash-consed traces make repeated subtraces pointer-identical;
+            // `equivalent_to_depth` short-circuits on identity before
+            // walking the subtree.
             if s.equivalent_to_depth(sym, self.depth) && c.equivalent_to_depth(conc, self.depth) {
                 return *var;
             }

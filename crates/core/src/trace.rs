@@ -5,10 +5,20 @@
 //! and data structures elided. Nodes are reference-counted and shared
 //! between shadow values, exactly as the paper's implementation shares trace
 //! nodes between copies (§6 "Sharing").
+//!
+//! Two layers of sharing keep the tracing hot path cheap:
+//!
+//! * the most common constant leaves (`0.0`, `1.0`, `-1.0`, `2.0`) are
+//!   process-wide statics, so constant-heavy programs never allocate for
+//!   them;
+//! * an [`ExprInterner`] hash-conses nodes per analysis shard, so repeated
+//!   subtraces share one allocation and structural comparison can use
+//!   pointer-identity fast paths before walking subtrees.
 
 use fpvm::SourceLoc;
 use shadowreal::RealOp;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// A node in a concrete expression trace.
 #[derive(Clone, Debug)]
@@ -31,12 +41,33 @@ pub enum ConcreteExpr {
         pc: usize,
         /// The source location of that statement.
         loc: SourceLoc,
+        /// Cached depth in operation nodes (`1 + max(children)`), stored at
+        /// construction so depth-bounded truncation is O(1) per node instead
+        /// of a repeated walk — which is exponential on traces with heavy
+        /// sharing.
+        depth: usize,
     },
 }
 
+/// The four constant leaves worth caching process-wide: loop counters,
+/// comparisons and polynomial evaluation make `0.0`, `1.0`, `-1.0` and `2.0`
+/// by far the most common constants in traced programs.
+fn cached_constant(bits: u64) -> Option<&'static Arc<ConcreteExpr>> {
+    static CACHE: OnceLock<[(u64, Arc<ConcreteExpr>); 4]> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| {
+        [0.0f64, 1.0, -1.0, 2.0]
+            .map(|value| (value.to_bits(), Arc::new(ConcreteExpr::Leaf { value })))
+    });
+    cache.iter().find(|(b, _)| *b == bits).map(|(_, leaf)| leaf)
+}
+
 impl ConcreteExpr {
-    /// Creates a leaf node.
+    /// Creates a leaf node. The common constants (`0.0`, `1.0`, `-1.0`,
+    /// `2.0`) are served from a process-wide cache and never allocate.
     pub fn leaf(value: f64) -> Arc<ConcreteExpr> {
+        if let Some(cached) = cached_constant(value.to_bits()) {
+            return Arc::clone(cached);
+        }
         Arc::new(ConcreteExpr::Leaf { value })
     }
 
@@ -48,12 +79,14 @@ impl ConcreteExpr {
         pc: usize,
         loc: SourceLoc,
     ) -> Arc<ConcreteExpr> {
+        let depth = 1 + children.iter().map(|c| c.depth()).max().unwrap_or(0);
         Arc::new(ConcreteExpr::Node {
             op,
             value,
             children,
             pc,
             loc,
+            depth,
         })
     }
 
@@ -73,9 +106,7 @@ impl ConcreteExpr {
     pub fn depth(&self) -> usize {
         match self {
             ConcreteExpr::Leaf { .. } => 0,
-            ConcreteExpr::Node { children, .. } => {
-                1 + children.iter().map(|c| c.depth()).max().unwrap_or(0)
-            }
+            ConcreteExpr::Node { depth, .. } => *depth,
         }
     }
 
@@ -106,8 +137,9 @@ impl ConcreteExpr {
                 children,
                 pc,
                 loc,
+                depth,
             } => {
-                if self.depth() <= max_depth {
+                if *depth <= max_depth {
                     return Arc::clone(self);
                 }
                 let truncated = children
@@ -122,7 +154,13 @@ impl ConcreteExpr {
     /// Structural equality bounded to `depth` levels (used by the
     /// approximate anti-unification of §6.1). Values are compared by bit
     /// pattern so that NaNs compare equal to themselves.
+    ///
+    /// Pointer-identical nodes — the common case once traces are
+    /// hash-consed — short-circuit to `true` without walking the subtree.
     pub fn equivalent_to_depth(&self, other: &ConcreteExpr, depth: usize) -> bool {
+        if std::ptr::eq(self, other) {
+            return true;
+        }
         if depth == 0 {
             return true;
         }
@@ -169,6 +207,141 @@ impl ConcreteExpr {
                 c.collect_locations(out);
             }
         }
+    }
+}
+
+/// Identity of an interned node: the operation, the observed value, the
+/// statement, and the identities of the children. Children are keyed by
+/// pointer — sound because the interner keeps every interned node (and
+/// therefore every child an entry references) alive, so a keyed address can
+/// never be reused while the table exists. Arity is at most 3 ([`RealOp`]
+/// has no wider operation), so the key is a fixed-size, allocation-free
+/// value.
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct NodeKey {
+    op: RealOp,
+    value_bits: u64,
+    pc: usize,
+    arity: u8,
+    children: [usize; 3],
+}
+
+impl NodeKey {
+    fn new(op: RealOp, value: f64, pc: usize, children: &[Arc<ConcreteExpr>]) -> NodeKey {
+        debug_assert!(children.len() <= 3, "RealOp arity exceeds key capacity");
+        let mut ptrs = [0usize; 3];
+        for (slot, child) in ptrs.iter_mut().zip(children) {
+            *slot = Arc::as_ptr(child) as usize;
+        }
+        NodeKey {
+            op,
+            value_bits: value.to_bits(),
+            pc,
+            arity: children.len() as u8,
+            children: ptrs,
+        }
+    }
+}
+
+/// A hash-consing table for [`ConcreteExpr`] nodes.
+///
+/// Tracing allocates one node per executed operation, and loops or repeated
+/// subcomputations produce many structurally identical subtraces. The
+/// interner returns the existing `Arc` when a node it already built is
+/// requested again, so repeated subtraces share one allocation and the
+/// anti-unification in [`crate::symbolic`] hits its pointer-identity fast
+/// path instead of walking subtrees.
+///
+/// Each analysis shard owns one interner (it is per-shard state like shadow
+/// memory, cleared at the start of every run) and interners are merged with
+/// the other per-shard records when shards combine; interning affects only
+/// allocation sharing, never analysis output, so the merged report stays
+/// bit-identical to the serial one.
+///
+/// The table keeps every interned node alive until the run ends, so growth
+/// is bounded two ways: callers skip interning for nodes that cannot be
+/// shared (the analysis bypasses traces deeper than its tracking bound),
+/// and the table itself stops inserting past [`MAX_INTERNED`] entries —
+/// lookups still succeed, later misses just allocate unshared nodes.
+#[derive(Debug, Default)]
+pub struct ExprInterner {
+    leaves: HashMap<u64, Arc<ConcreteExpr>>,
+    nodes: HashMap<NodeKey, Arc<ConcreteExpr>>,
+}
+
+/// Per-table entry cap (leaves and nodes counted separately): a backstop so
+/// a single pathological run — millions of distinct shallow subtraces —
+/// cannot pin unbounded memory in exchange for a near-zero hit rate.
+const MAX_INTERNED: usize = 1 << 20;
+
+impl ExprInterner {
+    /// Creates an empty interner.
+    pub fn new() -> ExprInterner {
+        ExprInterner::default()
+    }
+
+    /// An interned leaf node for `value`.
+    pub fn leaf(&mut self, value: f64) -> Arc<ConcreteExpr> {
+        let bits = value.to_bits();
+        if let Some(cached) = cached_constant(bits) {
+            return Arc::clone(cached);
+        }
+        if let Some(existing) = self.leaves.get(&bits) {
+            return Arc::clone(existing);
+        }
+        let leaf = Arc::new(ConcreteExpr::Leaf { value });
+        if self.leaves.len() < MAX_INTERNED {
+            self.leaves.insert(bits, Arc::clone(&leaf));
+        }
+        leaf
+    }
+
+    /// An interned operation node; returns the existing node when the same
+    /// `(op, value, pc, children)` combination was interned before.
+    pub fn node(
+        &mut self,
+        op: RealOp,
+        value: f64,
+        children: Vec<Arc<ConcreteExpr>>,
+        pc: usize,
+        loc: SourceLoc,
+    ) -> Arc<ConcreteExpr> {
+        let key = NodeKey::new(op, value, pc, &children);
+        if let Some(existing) = self.nodes.get(&key) {
+            return Arc::clone(existing);
+        }
+        let node = ConcreteExpr::node(op, value, children, pc, loc);
+        if self.nodes.len() < MAX_INTERNED {
+            self.nodes.insert(key, Arc::clone(&node));
+        }
+        node
+    }
+
+    /// Drops all interned nodes (per-run state, like shadow memory).
+    pub fn clear(&mut self) {
+        self.leaves.clear();
+        self.nodes.clear();
+    }
+
+    /// Absorbs the entries of a later shard's interner, keeping the existing
+    /// entry when both shards interned the same identity.
+    pub fn merge(&mut self, other: ExprInterner) {
+        for (bits, leaf) in other.leaves {
+            self.leaves.entry(bits).or_insert(leaf);
+        }
+        for (key, node) in other.nodes {
+            self.nodes.entry(key).or_insert(node);
+        }
+    }
+
+    /// The number of distinct interned nodes (leaves plus operations).
+    pub fn len(&self) -> usize {
+        self.leaves.len() + self.nodes.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty() && self.nodes.is_empty()
     }
 }
 
@@ -272,5 +445,110 @@ mod tests {
         let t = sample_trace();
         let locs = t.locations();
         assert_eq!(locs.len(), 5);
+    }
+
+    #[test]
+    fn common_constant_leaves_are_shared_process_wide() {
+        for value in [0.0f64, 1.0, -1.0, 2.0] {
+            let a = ConcreteExpr::leaf(value);
+            let b = ConcreteExpr::leaf(value);
+            assert!(Arc::ptr_eq(&a, &b), "constant {value} not cached");
+            assert_eq!(a.value().to_bits(), value.to_bits());
+        }
+        // Negative zero has different bits and is not the cached 0.0.
+        let nz = ConcreteExpr::leaf(-0.0);
+        assert_eq!(nz.value().to_bits(), (-0.0f64).to_bits());
+        // Uncached constants still get fresh allocations.
+        let a = ConcreteExpr::leaf(3.25);
+        let b = ConcreteExpr::leaf(3.25);
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn interner_shares_repeated_subtraces() {
+        let mut interner = ExprInterner::new();
+        let x = interner.leaf(7.0);
+        let a = interner.node(
+            RealOp::Mul,
+            49.0,
+            vec![x.clone(), x.clone()],
+            0,
+            SourceLoc::default(),
+        );
+        let b = interner.node(
+            RealOp::Mul,
+            49.0,
+            vec![x.clone(), x.clone()],
+            0,
+            SourceLoc::default(),
+        );
+        assert!(Arc::ptr_eq(&a, &b), "same identity must intern to one node");
+        assert_eq!(interner.len(), 2); // one leaf, one node
+                                       // A different value, pc, or child set is a different node.
+        let c = interner.node(
+            RealOp::Mul,
+            50.0,
+            vec![x.clone(), x.clone()],
+            0,
+            SourceLoc::default(),
+        );
+        assert!(!Arc::ptr_eq(&a, &c));
+        let d = interner.node(
+            RealOp::Mul,
+            49.0,
+            vec![x.clone(), x],
+            1,
+            SourceLoc::default(),
+        );
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(interner.len(), 4);
+    }
+
+    #[test]
+    fn interner_leaves_are_shared_within_a_shard() {
+        let mut interner = ExprInterner::new();
+        let a = interner.leaf(0.1);
+        let b = interner.leaf(0.1);
+        assert!(Arc::ptr_eq(&a, &b));
+        // The process-wide constants bypass the per-shard table.
+        let one = interner.leaf(1.0);
+        assert!(Arc::ptr_eq(&one, &ConcreteExpr::leaf(1.0)));
+        assert_eq!(interner.len(), 1);
+        interner.clear();
+        assert!(interner.is_empty());
+    }
+
+    #[test]
+    fn interner_merge_keeps_existing_entries() {
+        let mut left = ExprInterner::new();
+        let a = left.leaf(0.5);
+        let mut right = ExprInterner::new();
+        let _ = right.leaf(0.5);
+        let fresh = right.leaf(0.75);
+        left.merge(right);
+        // The left entry survives; the right-only entry is absorbed.
+        assert!(Arc::ptr_eq(&a, &left.leaf(0.5)));
+        assert!(Arc::ptr_eq(&fresh, &left.leaf(0.75)));
+        assert_eq!(left.len(), 2);
+    }
+
+    #[test]
+    fn interned_nodes_hit_the_pointer_equality_fast_path() {
+        let mut interner = ExprInterner::new();
+        let x = interner.leaf(3.0);
+        let deep = |interner: &mut ExprInterner| {
+            let mut node = interner.leaf(3.0);
+            for pc in 0..64 {
+                node = interner.node(RealOp::Sqrt, 3.0, vec![node], pc, SourceLoc::default());
+            }
+            node
+        };
+        let a = deep(&mut interner);
+        let b = deep(&mut interner);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Equivalence on shared traces is O(1), not a 64-level walk; this
+        // would still pass without the fast path, but exercises it.
+        assert!(a.equivalent_to_depth(&b, usize::MAX >> 1));
+        drop(x);
     }
 }

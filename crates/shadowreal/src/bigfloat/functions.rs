@@ -4,8 +4,16 @@
 //! evaluates them directly on the shadow reals (§5.3 of the paper). This
 //! module provides those evaluations: argument reduction plus Taylor /
 //! atanh-style series, computed with 64 guard bits and faithfully rounded to
-//! the working precision. Constants (π, ln 2) are computed on demand and
+//! the working precision. Constants (π, ln 2, √½) are computed on demand and
 //! cached per precision.
+//!
+//! Allocation audit (this module is part of the shadow hot path): with the
+//! inline-limb mantissa representation, every temporary at or below 256 bits
+//! — including the per-iteration `from_i64` series coefficients — lives on
+//! the stack. The series accumulators (`term`, `power`, `sum`) are moved,
+//! not cloned, across iterations, so the only heap traffic in a series
+//! evaluation is the mantissas wider than four limbs created at the
+//! `work = prec + 64` guard precision.
 
 use super::{BigFloat, Finite, Repr, MAX_PRECISION};
 use std::collections::HashMap;
@@ -19,6 +27,22 @@ fn pi_cache() -> &'static Mutex<HashMap<u32, BigFloat>> {
 fn ln2_cache() -> &'static Mutex<HashMap<u32, BigFloat>> {
     static CACHE: OnceLock<Mutex<HashMap<u32, BigFloat>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// √½ at the given precision, cached: `ln` needs it for range reduction on
+/// every call, and recomputing it runs a full Newton square root each time.
+fn sqrt_half(prec: u32) -> BigFloat {
+    static CACHE: OnceLock<Mutex<HashMap<u32, BigFloat>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(v) = cache.lock().expect("sqrt_half cache").get(&prec) {
+        return v.clone();
+    }
+    let v = BigFloat::from_f64_prec(0.5, prec).sqrt();
+    cache
+        .lock()
+        .expect("sqrt_half cache")
+        .insert(prec, v.clone());
+    v
 }
 
 /// arctan(1/x) for a small positive integer x, by the Gregory series.
@@ -133,18 +157,18 @@ impl BigFloat {
     pub fn exp(&self) -> BigFloat {
         let prec = self.precision();
         match &self.repr {
-            Repr::Nan => BigFloat::nan(),
+            Repr::Nan { .. } => BigFloat::nan_at(prec),
             Repr::Zero { .. } => BigFloat::one().with_precision(prec),
-            Repr::Inf { neg: false } => BigFloat::infinity(false),
-            Repr::Inf { neg: true } => BigFloat::zero(),
+            Repr::Inf { neg: false, .. } => BigFloat::inf_at(false, prec),
+            Repr::Inf { neg: true, .. } => BigFloat::zero_at(false, prec),
             Repr::Finite(f) => {
                 // Guard against astronomically large arguments whose result
                 // exponent would not fit in an i64.
                 if f.exp > 62 {
                     return if f.neg {
-                        BigFloat::zero()
+                        BigFloat::zero_at(false, prec)
                     } else {
-                        BigFloat::infinity(false)
+                        BigFloat::inf_at(false, prec)
                     };
                 }
                 let work = self.work_prec();
@@ -174,17 +198,17 @@ impl BigFloat {
     pub fn ln(&self) -> BigFloat {
         let prec = self.precision();
         match &self.repr {
-            Repr::Nan => BigFloat::nan(),
-            Repr::Zero { .. } => BigFloat::infinity(true),
-            Repr::Inf { neg: false } => BigFloat::infinity(false),
-            Repr::Inf { neg: true } => BigFloat::nan(),
-            Repr::Finite(f) if f.neg => BigFloat::nan(),
+            Repr::Nan { .. } => BigFloat::nan_at(prec),
+            Repr::Zero { .. } => BigFloat::inf_at(true, prec),
+            Repr::Inf { neg: false, .. } => BigFloat::inf_at(false, prec),
+            Repr::Inf { neg: true, .. } => BigFloat::nan_at(prec),
+            Repr::Finite(f) if f.neg => BigFloat::nan_at(prec),
             Repr::Finite(f) => {
                 let work = self.work_prec();
                 // Reduce to m·2^k with m in [√½, √2).
                 let mut k = f.exp;
                 let mut m = self.with_precision(work).scale_exp(-f.exp);
-                let sqrt_half = BigFloat::from_f64_prec(0.5, work).sqrt();
+                let sqrt_half = sqrt_half(work);
                 if m.partial_cmp(&sqrt_half) == Some(std::cmp::Ordering::Less) {
                     m = m.scale_exp(1);
                     k -= 1;
@@ -247,12 +271,10 @@ impl BigFloat {
     pub fn expm1(&self) -> BigFloat {
         let prec = self.precision();
         match &self.repr {
-            Repr::Nan => BigFloat::nan(),
-            Repr::Zero { neg } => BigFloat {
-                repr: Repr::Zero { neg: *neg },
-            },
-            Repr::Inf { neg: false } => BigFloat::infinity(false),
-            Repr::Inf { neg: true } => BigFloat::from_i64(-1).with_precision(prec),
+            Repr::Nan { .. } => BigFloat::nan_at(prec),
+            Repr::Zero { neg, .. } => BigFloat::zero_at(*neg, prec),
+            Repr::Inf { neg: false, .. } => BigFloat::inf_at(false, prec),
+            Repr::Inf { neg: true, .. } => BigFloat::from_i64(-1).with_precision(prec),
             Repr::Finite(f) => {
                 if f.exp < -4 {
                     // Direct Taylor series avoids cancellation: x + x²/2! + ...
@@ -281,10 +303,8 @@ impl BigFloat {
         let prec = self.precision();
         let one = BigFloat::one().with_precision(prec);
         match &self.repr {
-            Repr::Nan => BigFloat::nan(),
-            Repr::Zero { neg } => BigFloat {
-                repr: Repr::Zero { neg: *neg },
-            },
+            Repr::Nan { .. } => BigFloat::nan_at(prec),
+            Repr::Zero { neg, .. } => BigFloat::zero_at(*neg, prec),
             Repr::Finite(f) if f.exp < -4 => {
                 // ln(1+x) = 2·atanh(x / (2+x)).
                 let work = self.work_prec();
@@ -380,10 +400,8 @@ impl BigFloat {
     pub fn sin(&self) -> BigFloat {
         let prec = self.precision();
         match &self.repr {
-            Repr::Nan | Repr::Inf { .. } => BigFloat::nan(),
-            Repr::Zero { neg } => BigFloat {
-                repr: Repr::Zero { neg: *neg },
-            },
+            Repr::Nan { .. } | Repr::Inf { .. } => BigFloat::nan_at(prec),
+            Repr::Zero { neg, .. } => BigFloat::zero_at(*neg, prec),
             Repr::Finite(_) => {
                 let work = self.work_prec();
                 let (r, q) = self.trig_reduce(work);
@@ -402,7 +420,7 @@ impl BigFloat {
     pub fn cos(&self) -> BigFloat {
         let prec = self.precision();
         match &self.repr {
-            Repr::Nan | Repr::Inf { .. } => BigFloat::nan(),
+            Repr::Nan { .. } | Repr::Inf { .. } => BigFloat::nan_at(prec),
             Repr::Zero { .. } => BigFloat::one().with_precision(prec),
             Repr::Finite(_) => {
                 let work = self.work_prec();
@@ -422,10 +440,8 @@ impl BigFloat {
     pub fn tan(&self) -> BigFloat {
         let prec = self.precision();
         match &self.repr {
-            Repr::Nan | Repr::Inf { .. } => BigFloat::nan(),
-            Repr::Zero { neg } => BigFloat {
-                repr: Repr::Zero { neg: *neg },
-            },
+            Repr::Nan { .. } | Repr::Inf { .. } => BigFloat::nan_at(prec),
+            Repr::Zero { neg, .. } => BigFloat::zero_at(*neg, prec),
             Repr::Finite(_) => {
                 let work = self.work_prec();
                 let (r, q) = self.trig_reduce(work);
@@ -444,11 +460,9 @@ impl BigFloat {
     pub fn atan(&self) -> BigFloat {
         let prec = self.precision();
         match &self.repr {
-            Repr::Nan => BigFloat::nan(),
-            Repr::Zero { neg } => BigFloat {
-                repr: Repr::Zero { neg: *neg },
-            },
-            Repr::Inf { neg } => {
+            Repr::Nan { .. } => BigFloat::nan_at(prec),
+            Repr::Zero { neg, .. } => BigFloat::zero_at(*neg, prec),
+            Repr::Inf { neg, .. } => {
                 let v = BigFloat::pi(prec).scale_exp(-1);
                 if *neg {
                     v.neg()
@@ -509,7 +523,7 @@ impl BigFloat {
         let prec = self.precision().max(x.precision());
         let y = self;
         if y.is_nan() || x.is_nan() {
-            return BigFloat::nan();
+            return BigFloat::nan_at(prec);
         }
         let pi = BigFloat::pi(prec + 32);
         let result = if x.is_zero() && y.is_zero() {
@@ -557,12 +571,12 @@ impl BigFloat {
     pub fn asin(&self) -> BigFloat {
         let prec = self.precision();
         if self.is_nan() {
-            return BigFloat::nan();
+            return BigFloat::nan_at(prec);
         }
         let one = BigFloat::one();
         let a = self.abs();
         match a.partial_cmp(&one) {
-            Some(std::cmp::Ordering::Greater) | None => BigFloat::nan(),
+            Some(std::cmp::Ordering::Greater) | None => BigFloat::nan_at(prec),
             Some(std::cmp::Ordering::Equal) => {
                 let v = BigFloat::pi(prec).scale_exp(-1);
                 if self.is_negative() {
@@ -584,12 +598,12 @@ impl BigFloat {
     pub fn acos(&self) -> BigFloat {
         let prec = self.precision();
         if self.is_nan() {
-            return BigFloat::nan();
+            return BigFloat::nan_at(prec);
         }
         let work = self.work_prec();
         let asin = self.with_precision(work).asin();
         if asin.is_nan() {
-            return BigFloat::nan();
+            return BigFloat::nan_at(prec);
         }
         BigFloat::pi(work)
             .scale_exp(-1)
@@ -601,11 +615,9 @@ impl BigFloat {
     pub fn sinh(&self) -> BigFloat {
         let prec = self.precision();
         match &self.repr {
-            Repr::Nan => BigFloat::nan(),
-            Repr::Zero { neg } => BigFloat {
-                repr: Repr::Zero { neg: *neg },
-            },
-            Repr::Inf { neg } => BigFloat::infinity(*neg),
+            Repr::Nan { .. } => BigFloat::nan_at(prec),
+            Repr::Zero { neg, .. } => BigFloat::zero_at(*neg, prec),
+            Repr::Inf { neg, .. } => BigFloat::inf_at(*neg, prec),
             Repr::Finite(f) => {
                 if f.exp < -8 {
                     // Avoid cancellation for small x: x + x³/3! + x⁵/5! + ...
@@ -637,9 +649,9 @@ impl BigFloat {
     pub fn cosh(&self) -> BigFloat {
         let prec = self.precision();
         match &self.repr {
-            Repr::Nan => BigFloat::nan(),
+            Repr::Nan { .. } => BigFloat::nan_at(prec),
             Repr::Zero { .. } => BigFloat::one().with_precision(prec),
-            Repr::Inf { .. } => BigFloat::infinity(false),
+            Repr::Inf { .. } => BigFloat::inf_at(false, prec),
             Repr::Finite(_) => {
                 let work = self.work_prec();
                 let e = self.with_precision(work).exp();
@@ -653,11 +665,9 @@ impl BigFloat {
     pub fn tanh(&self) -> BigFloat {
         let prec = self.precision();
         match &self.repr {
-            Repr::Nan => BigFloat::nan(),
-            Repr::Zero { neg } => BigFloat {
-                repr: Repr::Zero { neg: *neg },
-            },
-            Repr::Inf { neg } => {
+            Repr::Nan { .. } => BigFloat::nan_at(prec),
+            Repr::Zero { neg, .. } => BigFloat::zero_at(*neg, prec),
+            Repr::Inf { neg, .. } => {
                 let one = BigFloat::one().with_precision(prec);
                 if *neg {
                     one.neg()
@@ -698,12 +708,12 @@ impl BigFloat {
         let prec = self.precision();
         let one = BigFloat::one();
         match self.partial_cmp(&one) {
-            None => BigFloat::nan(),
-            Some(std::cmp::Ordering::Less) => BigFloat::nan(),
-            Some(std::cmp::Ordering::Equal) => BigFloat::zero(),
+            None => BigFloat::nan_at(prec),
+            Some(std::cmp::Ordering::Less) => BigFloat::nan_at(prec),
+            Some(std::cmp::Ordering::Equal) => BigFloat::zero_at(false, prec),
             Some(std::cmp::Ordering::Greater) => {
                 if self.is_infinite() {
-                    return BigFloat::infinity(false);
+                    return BigFloat::inf_at(false, prec);
                 }
                 let work = self.work_prec();
                 let x = self.with_precision(work);
@@ -718,13 +728,13 @@ impl BigFloat {
     pub fn atanh(&self) -> BigFloat {
         let prec = self.precision();
         if self.is_nan() {
-            return BigFloat::nan();
+            return BigFloat::nan_at(prec);
         }
         let one = BigFloat::one();
         let a = self.abs();
         match a.partial_cmp(&one) {
-            Some(std::cmp::Ordering::Greater) | None => BigFloat::nan(),
-            Some(std::cmp::Ordering::Equal) => BigFloat::infinity(self.is_negative()),
+            Some(std::cmp::Ordering::Greater) | None => BigFloat::nan_at(prec),
+            Some(std::cmp::Ordering::Equal) => BigFloat::inf_at(self.is_negative(), prec),
             Some(std::cmp::Ordering::Less) => {
                 let work = self.work_prec();
                 let x = self.with_precision(work);
@@ -742,35 +752,35 @@ impl BigFloat {
             return BigFloat::one().with_precision(prec);
         }
         if self.is_nan() || y.is_nan() {
-            return BigFloat::nan();
+            return BigFloat::nan_at(prec);
         }
         if self.eq_value(&BigFloat::one()) {
             return BigFloat::one().with_precision(prec);
         }
         if self.is_zero() {
             return if y.is_negative() {
-                BigFloat::infinity(false)
+                BigFloat::inf_at(false, prec)
             } else {
-                BigFloat::zero()
+                BigFloat::zero_at(false, prec)
             };
         }
         if self.is_infinite() {
             return if y.is_negative() {
-                BigFloat::zero()
+                BigFloat::zero_at(false, prec)
             } else if self.is_negative()
                 && y.is_integer()
                 && y.fmod(&BigFloat::from_i64(2))
                     .abs()
                     .eq_value(&BigFloat::one())
             {
-                BigFloat::infinity(true)
+                BigFloat::inf_at(true, prec)
             } else {
-                BigFloat::infinity(false)
+                BigFloat::inf_at(false, prec)
             };
         }
         if self.is_negative() {
             if !y.is_integer() {
-                return BigFloat::nan();
+                return BigFloat::nan_at(prec);
             }
             let odd = y
                 .fmod(&BigFloat::from_i64(2))
@@ -812,10 +822,10 @@ impl BigFloat {
     pub fn hypot(&self, other: &BigFloat) -> BigFloat {
         let prec = self.precision().max(other.precision());
         if self.is_infinite() || other.is_infinite() {
-            return BigFloat::infinity(false);
+            return BigFloat::inf_at(false, prec);
         }
         if self.is_nan() || other.is_nan() {
-            return BigFloat::nan();
+            return BigFloat::nan_at(prec);
         }
         let work = (prec + 64).min(MAX_PRECISION);
         let a = self.with_precision(work);
@@ -836,12 +846,13 @@ impl BigFloat {
 
     /// Positive difference: max(self − other, 0).
     pub fn fdim(&self, other: &BigFloat) -> BigFloat {
+        let prec = self.precision().max(other.precision());
         if self.is_nan() || other.is_nan() {
-            return BigFloat::nan();
+            return BigFloat::nan_at(prec);
         }
         let d = self.sub(other);
         if d.is_negative() {
-            BigFloat::zero()
+            BigFloat::zero_at(false, prec)
         } else {
             d
         }

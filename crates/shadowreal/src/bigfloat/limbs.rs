@@ -1,10 +1,139 @@
-//! Low-level helpers on little-endian limb vectors.
+//! Low-level helpers on little-endian limb buffers, and the small-buffer
+//! storage they live in.
 //!
-//! A limb vector represents an unsigned integer as base-2^64 digits stored
-//! least-significant first. The [`super::BigFloat`] mantissa is such a vector
+//! A limb buffer represents an unsigned integer as base-2^64 digits stored
+//! least-significant first. The [`super::BigFloat`] mantissa is such a buffer
 //! normalized so that the most-significant bit of the last limb is set.
+//!
+//! Storage is the [`SmallBuf`] type: up to `N` limbs live inline on the
+//! stack, longer buffers fall back to the heap. Two instantiations are used:
+//!
+//! * [`Limbs`] (`N = 4`) holds stored mantissas — precisions up to 256 bits
+//!   (the default) never touch the allocator;
+//! * [`Scratch`] (`N = 12`) holds the working windows of the arithmetic
+//!   kernels — the widened addition window (`limbs + 1`) and the full
+//!   product (`a.len() + b.len()`) stay on the stack for operands up to
+//!   384 bits.
+//!
+//! All kernels operate in place on `&mut [u64]` slices so the same code
+//! serves both representations; none of them allocate.
 
-/// Compares two equal-length limb vectors as unsigned integers.
+use std::ops::{Deref, DerefMut};
+
+/// Number of limbs stored inline in a mantissa: 4 limbs = 256 bits, the
+/// default shadow precision.
+pub(crate) const INLINE_LIMBS: usize = 4;
+
+/// Number of limbs stored inline in a scratch window (covers the addition
+/// window and the double-width product at default precision with room to
+/// spare for mixed-precision operands).
+pub(crate) const SCRATCH_LIMBS: usize = 12;
+
+/// A limb buffer with inline storage for up to `N` limbs and heap fallback
+/// above.
+#[derive(Clone)]
+pub(crate) enum SmallBuf<const N: usize> {
+    /// `len` limbs stored inline; only `buf[..len]` is meaningful.
+    Inline { len: u8, buf: [u64; N] },
+    /// Heap fallback for buffers longer than `N` limbs.
+    Heap(Vec<u64>),
+}
+
+/// Stored mantissa limbs: inline for precisions up to 256 bits.
+pub(crate) type Limbs = SmallBuf<INLINE_LIMBS>;
+
+/// Scratch working window for the arithmetic kernels.
+pub(crate) type Scratch = SmallBuf<SCRATCH_LIMBS>;
+
+/// Test-support switch (debug builds only): force every new buffer onto the
+/// heap so the inline and heap code paths can be compared bit for bit at the
+/// same precision. See [`super::set_force_heap_limbs`].
+#[cfg(debug_assertions)]
+pub(crate) static FORCE_HEAP: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+#[inline]
+fn use_heap(len: usize, inline_capacity: usize) -> bool {
+    #[cfg(debug_assertions)]
+    if FORCE_HEAP.load(std::sync::atomic::Ordering::Relaxed) {
+        return true;
+    }
+    len > inline_capacity
+}
+
+impl<const N: usize> SmallBuf<N> {
+    /// A zero-filled buffer of `len` limbs.
+    #[inline]
+    pub(crate) fn zeroed(len: usize) -> Self {
+        if use_heap(len, N) {
+            SmallBuf::Heap(vec![0u64; len])
+        } else {
+            SmallBuf::Inline {
+                len: len as u8,
+                buf: [0u64; N],
+            }
+        }
+    }
+
+    /// A buffer holding a copy of `src`.
+    #[inline]
+    pub(crate) fn from_slice(src: &[u64]) -> Self {
+        let mut out = Self::zeroed(src.len());
+        out.as_mut_slice().copy_from_slice(src);
+        out
+    }
+
+    /// The limbs as a slice, least-significant first.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[u64] {
+        match self {
+            SmallBuf::Inline { len, buf } => &buf[..*len as usize],
+            SmallBuf::Heap(v) => v,
+        }
+    }
+
+    /// The limbs as a mutable slice.
+    #[inline]
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [u64] {
+        match self {
+            SmallBuf::Inline { len, buf } => &mut buf[..*len as usize],
+            SmallBuf::Heap(v) => v,
+        }
+    }
+
+    /// True if this buffer lives on the heap (used by the representation
+    /// tests; sharing the name with `Vec` would be misleading).
+    #[cfg(test)]
+    pub(crate) fn is_heap(&self) -> bool {
+        matches!(self, SmallBuf::Heap(_))
+    }
+}
+
+impl<const N: usize> Deref for SmallBuf<N> {
+    type Target = [u64];
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl<const N: usize> DerefMut for SmallBuf<N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u64] {
+        self.as_mut_slice()
+    }
+}
+
+impl<const N: usize> std::fmt::Debug for SmallBuf<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Render as the bare limb list so `Finite`'s debug output is
+        // representation-independent (inline and heap print identically).
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+/// Compares two equal-length limb slices as unsigned integers.
+#[inline]
 pub(crate) fn cmp(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
     debug_assert_eq!(a.len(), b.len());
     for i in (0..a.len()).rev() {
@@ -16,8 +145,28 @@ pub(crate) fn cmp(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
     std::cmp::Ordering::Equal
 }
 
+/// Compares two top-aligned fraction buffers of possibly different lengths:
+/// both are normalized mantissas (value = 0.limbs), so the comparison walks
+/// from the most-significant limb down, treating missing low limbs as zero.
+#[inline]
+pub(crate) fn cmp_top_aligned(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        let ai = if i < a.len() { a[a.len() - 1 - i] } else { 0 };
+        let bi = if i < b.len() { b[b.len() - 1 - i] } else { 0 };
+        match ai.cmp(&bi) {
+            std::cmp::Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
 /// Adds `b` into `a` in place; both must have the same length. Returns the
-/// carry out of the top limb.
+/// carry out of the top limb. (The addition kernel now uses the fused
+/// [`add_shifted_into`]; this remains as the reference implementation the
+/// unit tests check the fused pass against.)
+#[cfg(test)]
 pub(crate) fn add_in_place(a: &mut [u64], b: &[u64]) -> bool {
     debug_assert_eq!(a.len(), b.len());
     let mut carry = false;
@@ -32,6 +181,7 @@ pub(crate) fn add_in_place(a: &mut [u64], b: &[u64]) -> bool {
 
 /// Subtracts `b` from `a` in place (`a >= b` as integers); both must have the
 /// same length.
+#[inline]
 pub(crate) fn sub_in_place(a: &mut [u64], b: &[u64]) {
     debug_assert_eq!(a.len(), b.len());
     debug_assert_ne!(cmp(a, b), std::cmp::Ordering::Less);
@@ -45,7 +195,8 @@ pub(crate) fn sub_in_place(a: &mut [u64], b: &[u64]) {
     debug_assert!(!borrow);
 }
 
-/// Adds `1 << bit` to the vector in place; returns the carry out of the top.
+/// Adds `1 << bit` to the buffer in place; returns the carry out of the top.
+#[inline]
 pub(crate) fn add_bit_in_place(a: &mut [u64], bit: u32) -> bool {
     let limb = (bit / 64) as usize;
     let offset = bit % 64;
@@ -64,8 +215,9 @@ pub(crate) fn add_bit_in_place(a: &mut [u64], bit: u32) -> bool {
     carry
 }
 
-/// Shifts the vector right by `bits` in place (towards less significant),
+/// Shifts the buffer right by `bits` in place (towards less significant),
 /// returning `true` if any nonzero bit was shifted out.
+#[inline]
 pub(crate) fn shr_in_place(a: &mut [u64], bits: u64) -> bool {
     let len = a.len();
     if bits == 0 {
@@ -95,8 +247,9 @@ pub(crate) fn shr_in_place(a: &mut [u64], bits: u64) -> bool {
     sticky
 }
 
-/// Shifts the vector left by `bits` in place (towards more significant). The
+/// Shifts the buffer left by `bits` in place (towards more significant). The
 /// caller must guarantee that no set bit is shifted out the top.
+#[inline]
 pub(crate) fn shl_in_place(a: &mut [u64], bits: u64) {
     let len = a.len();
     if bits == 0 || len == 0 {
@@ -118,7 +271,8 @@ pub(crate) fn shl_in_place(a: &mut [u64], bits: u64) {
 }
 
 /// Number of leading zero bits, counting from the most-significant bit of the
-/// last limb. Returns `len * 64` for an all-zero vector.
+/// last limb. Returns `len * 64` for an all-zero buffer.
+#[inline]
 pub(crate) fn leading_zeros(a: &[u64]) -> u64 {
     let mut zeros = 0u64;
     for &limb in a.iter().rev() {
@@ -133,38 +287,122 @@ pub(crate) fn leading_zeros(a: &[u64]) -> u64 {
 }
 
 /// True if every limb is zero.
+#[inline]
 pub(crate) fn is_zero(a: &[u64]) -> bool {
     a.iter().all(|&l| l == 0)
 }
 
-/// Full schoolbook product of two limb vectors; the result has
-/// `a.len() + b.len()` limbs.
-pub(crate) fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
-    let mut out = vec![0u64; a.len() + b.len()];
-    for (i, &ai) in a.iter().enumerate() {
-        if ai == 0 {
-            continue;
+/// Adds `src` — top-aligned to the `dst` window and shifted right by `bits` —
+/// into `dst` in place, fusing the widen/shift/add passes of the addition
+/// kernel into one loop. Returns `(sticky, carry)`: `sticky` is true if any
+/// nonzero bit was shifted out the bottom of the window, `carry` is the carry
+/// out of the top limb.
+#[inline]
+pub(crate) fn add_shifted_into(dst: &mut [u64], src: &[u64], bits: u64) -> (bool, bool) {
+    let wl = dst.len();
+    debug_assert!(src.len() <= wl);
+    let off = wl - src.len();
+    // Window-limb accessor for the top-aligned source (low limbs are zero).
+    let sw = |j: usize| -> u64 {
+        if j >= off && j < wl {
+            src[j - off]
+        } else {
+            0
         }
-        let mut carry = 0u128;
-        for (j, &bj) in b.iter().enumerate() {
-            let cur = out[i + j] as u128 + (ai as u128) * (bj as u128) + carry;
-            out[i + j] = cur as u64;
-            carry = cur >> 64;
-        }
-        let mut k = i + b.len();
-        while carry > 0 {
-            let cur = out[k] as u128 + carry;
-            out[k] = cur as u64;
-            carry = cur >> 64;
-            k += 1;
-        }
+    };
+    if bits >= (wl as u64) * 64 {
+        return (!is_zero(src), false);
     }
-    out
+    let limb_shift = (bits / 64) as usize;
+    let bit_shift = (bits % 64) as u32;
+    let mut sticky = (0..limb_shift).any(|j| sw(j) != 0);
+    if bit_shift > 0 {
+        sticky |= sw(limb_shift) << (64 - bit_shift) != 0;
+    }
+    let mut carry = false;
+    for (i, d) in dst.iter_mut().enumerate() {
+        let shifted = if bit_shift == 0 {
+            sw(i + limb_shift)
+        } else {
+            (sw(i + limb_shift) >> bit_shift) | (sw(i + limb_shift + 1) << (64 - bit_shift))
+        };
+        let (s1, c1) = d.overflowing_add(shifted);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        *d = s2;
+        carry = c1 || c2;
+    }
+    (sticky, carry)
+}
+
+/// Full product of two limb buffers, written into `out`, which must be
+/// exactly `a.len() + b.len()` limbs long. Column-wise (comba) accumulation:
+/// each output limb is written exactly once, and carries propagate through a
+/// 192-bit running accumulator instead of per-row read-modify-write sweeps.
+///
+/// The 4×4 case — 256-bit mantissas, the default shadow precision — is
+/// dispatched to a const-size instantiation the compiler fully unrolls.
+pub(crate) fn mul_into(out: &mut [u64], a: &[u64], b: &[u64]) {
+    if a.len() == INLINE_LIMBS && b.len() == INLINE_LIMBS {
+        mul_comba::<INLINE_LIMBS>(out, a, b);
+    } else {
+        mul_comba_dyn(out, a, b);
+    }
+}
+
+/// Comba multiplication with a compile-time operand size (both operands `N`
+/// limbs); bit-identical to [`mul_comba_dyn`].
+#[inline]
+pub(crate) fn mul_comba<const N: usize>(out: &mut [u64], a: &[u64], b: &[u64]) {
+    debug_assert_eq!(out.len(), 2 * N);
+    let a: &[u64; N] = a.try_into().expect("operand size");
+    let b: &[u64; N] = b.try_into().expect("operand size");
+    let mut acc_lo: u128 = 0;
+    let mut acc_hi: u64 = 0;
+    for col in 0..2 * N {
+        let i_min = col.saturating_sub(N - 1);
+        let i_max = (col + 1).min(N);
+        for i in i_min..i_max {
+            let p = (a[i] as u128) * (b[col - i] as u128);
+            let (sum, overflowed) = acc_lo.overflowing_add(p);
+            acc_lo = sum;
+            acc_hi += overflowed as u64;
+        }
+        out[col] = acc_lo as u64;
+        acc_lo = (acc_lo >> 64) | ((acc_hi as u128) << 64);
+        acc_hi = 0;
+    }
+    debug_assert_eq!(acc_lo, 0);
+}
+
+fn mul_comba_dyn(out: &mut [u64], a: &[u64], b: &[u64]) {
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    let mut acc_lo: u128 = 0; // low 128 bits of the running column sum
+    let mut acc_hi: u64 = 0; // overflow above 128 bits
+    for (col, o) in out.iter_mut().enumerate() {
+        let i_min = col.saturating_sub(b.len() - 1);
+        let i_max = (col + 1).min(a.len());
+        for i in i_min..i_max {
+            let p = (a[i] as u128) * (b[col - i] as u128);
+            let (sum, overflowed) = acc_lo.overflowing_add(p);
+            acc_lo = sum;
+            acc_hi += overflowed as u64;
+        }
+        *o = acc_lo as u64;
+        acc_lo = (acc_lo >> 64) | ((acc_hi as u128) << 64);
+        acc_hi = 0;
+    }
+    debug_assert_eq!(acc_lo, 0);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; a.len() + b.len()];
+        mul_into(&mut out, a, b);
+        out
+    }
 
     #[test]
     fn add_and_sub_roundtrip() {
@@ -246,5 +484,43 @@ mod tests {
         assert_eq!(cmp(&[5, 1], &[9, 0]), std::cmp::Ordering::Greater);
         assert_eq!(cmp(&[5, 1], &[5, 1]), std::cmp::Ordering::Equal);
         assert_eq!(cmp(&[0, 1], &[1, 1]), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn top_aligned_compare_pads_the_low_side() {
+        // [hi] vs [lo, hi]: equal tops, the longer buffer has a nonzero low
+        // limb, so it is greater.
+        assert_eq!(
+            cmp_top_aligned(&[1u64 << 63], &[7, 1u64 << 63]),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(
+            cmp_top_aligned(&[0, 1u64 << 63], &[1u64 << 63]),
+            std::cmp::Ordering::Equal
+        );
+        assert_eq!(
+            cmp_top_aligned(&[3, 2], &[4, 1]),
+            std::cmp::Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn small_buf_switches_to_heap_above_capacity() {
+        let inline = Limbs::zeroed(INLINE_LIMBS);
+        assert!(!inline.is_heap());
+        assert_eq!(inline.len(), INLINE_LIMBS);
+        let heap = Limbs::zeroed(INLINE_LIMBS + 1);
+        assert!(heap.is_heap());
+        assert_eq!(heap.len(), INLINE_LIMBS + 1);
+        let copied = Limbs::from_slice(&[1, 2, 3]);
+        assert_eq!(copied.as_slice(), &[1, 2, 3]);
+        assert!(!copied.is_heap());
+    }
+
+    #[test]
+    fn small_buf_debug_is_representation_independent() {
+        let inline = Limbs::from_slice(&[1, 2]);
+        let heap = Limbs::Heap(vec![1, 2]);
+        assert_eq!(format!("{inline:?}"), format!("{heap:?}"));
     }
 }

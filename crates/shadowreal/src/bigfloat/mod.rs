@@ -8,7 +8,12 @@
 //!
 //! The implementation is self-contained (no external bignum dependency). A
 //! finite value is `(-1)^sign * f * 2^exp` with the fraction `f` in
-//! `[0.5, 1)` stored as a little-endian limb vector whose top bit is set.
+//! `[0.5, 1)` stored as a little-endian limb buffer whose top bit is set.
+//! Mantissas up to four limbs (256 bits, the default precision) are stored
+//! inline — no heap allocation — with a heap fallback for wider precisions;
+//! the arithmetic kernels work in place on fixed-size stack scratch windows,
+//! so steady-state add/sub/mul/round at default precision never allocates
+//! (see `limbs::SmallBuf` and the allocation-counting integration test).
 //! Arithmetic is *faithfully* rounded: results are within one unit in the
 //! last place of the working precision, which is orders of magnitude more
 //! accurate than required to measure error in double-precision clients.
@@ -16,6 +21,7 @@
 mod functions;
 mod limbs;
 
+use limbs::{Limbs, Scratch};
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
 
@@ -42,6 +48,41 @@ pub fn default_precision() -> u32 {
     DEFAULT_PRECISION.load(AtomicOrdering::Relaxed)
 }
 
+/// Test support (debug builds only): forces every newly created limb buffer
+/// onto the heap, so the inline (≤ 256-bit) and heap-fallback code paths can
+/// be compared bit for bit at the same precision. Not compiled into release
+/// builds; has no effect on values created before the switch.
+#[cfg(debug_assertions)]
+#[doc(hidden)]
+pub fn set_force_heap_limbs(on: bool) {
+    limbs::FORCE_HEAP.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Test support (debug builds only): routes every operation through the
+/// general kernels, bypassing the unrolled 256-bit fast paths, so the two
+/// can be compared bit for bit. Not compiled into release builds.
+#[cfg(debug_assertions)]
+#[doc(hidden)]
+pub fn set_disable_fast_paths(on: bool) {
+    DISABLE_FAST_PATHS.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+#[cfg(debug_assertions)]
+static DISABLE_FAST_PATHS: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+#[inline]
+fn fast_paths_enabled() -> bool {
+    #[cfg(debug_assertions)]
+    {
+        !DISABLE_FAST_PATHS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        true
+    }
+}
+
 /// An arbitrary-precision binary floating-point number.
 ///
 /// See the [module documentation](self) for the representation. All
@@ -52,12 +93,17 @@ pub struct BigFloat {
     repr: Repr,
 }
 
+/// Internal representation. Zeros, infinities and NaN carry no mantissa, but
+/// they do carry the precision they were created at: an analysis that threads
+/// a non-default `shadow_precision` through its leaves must see that
+/// precision propagate through special-value chains (`exp(0)`, `atan(∞)`, …)
+/// exactly like finite ones, without consulting the process-global default.
 #[derive(Clone, Debug)]
 enum Repr {
-    Zero { neg: bool },
+    Zero { neg: bool, prec: u32 },
     Finite(Finite),
-    Inf { neg: bool },
-    Nan,
+    Inf { neg: bool, prec: u32 },
+    Nan { prec: u32 },
 }
 
 #[derive(Clone, Debug)]
@@ -65,8 +111,9 @@ struct Finite {
     neg: bool,
     /// Binary exponent: the value is `fraction * 2^exp` with fraction in [0.5, 1).
     exp: i64,
-    /// Little-endian limbs of the fraction; the top bit of the last limb is set.
-    limbs: Vec<u64>,
+    /// Little-endian limbs of the fraction; the top bit of the last limb is
+    /// set. Inline storage for precisions up to 256 bits ([`limbs::Limbs`]).
+    limbs: Limbs,
     /// Mantissa precision in bits.
     prec: u32,
 }
@@ -76,29 +123,40 @@ fn limbs_for(prec: u32) -> usize {
 }
 
 impl Finite {
-    /// Rounds a (normalized, top-bit-set) limb vector to `prec` bits using
+    /// Rounds a (normalized, top-bit-set) limb buffer to `prec` bits using
     /// round-to-nearest-even with a sticky flag for already-dropped bits.
-    fn round(neg: bool, mut limbs: Vec<u64>, mut exp: i64, prec: u32, mut sticky: bool) -> Repr {
-        debug_assert!(!limbs.is_empty());
-        debug_assert!(limbs.last().map(|l| l >> 63 == 1).unwrap_or(false));
+    ///
+    /// The source slice is read in place (it is a scratch window or another
+    /// mantissa); the only storage created is the kept mantissa itself, which
+    /// is inline for precisions up to 256 bits.
+    #[inline]
+    fn round(neg: bool, src: &[u64], mut exp: i64, prec: u32, mut sticky: bool) -> Repr {
+        debug_assert!(!src.is_empty());
+        debug_assert!(src.last().map(|l| l >> 63 == 1).unwrap_or(false));
         let nl = limbs_for(prec);
         let extra_low_bits = (nl as u32) * 64 - prec;
-        if limbs.len() < nl {
-            let mut padded = vec![0u64; nl - limbs.len()];
-            padded.extend_from_slice(&limbs);
-            limbs = padded;
+        // Copy the top `nl` limbs of `src` into the kept mantissa; a shorter
+        // source is top-aligned with zero-filled low limbs.
+        let mut kept = Limbs::zeroed(nl);
+        if src.len() >= nl {
+            kept.as_mut_slice().copy_from_slice(&src[src.len() - nl..]);
+        } else {
+            kept.as_mut_slice()[nl - src.len()..].copy_from_slice(src);
         }
-        let drop_limbs = limbs.len() - nl;
-        // Total number of low bits that must be cleared/dropped.
+        let drop_limbs = src.len().saturating_sub(nl);
+        // Total number of low bits that must be cleared/dropped. The dropped
+        // bits live in `src` when it is longer than the target, otherwise in
+        // the (not yet masked) low bits of the kept copy.
         let p = (drop_limbs as u64) * 64 + extra_low_bits as u64;
         let mut round_bit = false;
         if p > 0 {
+            let view: &[u64] = if src.len() >= nl { src } else { &kept };
             let rb_index = p - 1;
             let rb_limb = (rb_index / 64) as usize;
             let rb_off = (rb_index % 64) as u32;
-            round_bit = (limbs[rb_limb] >> rb_off) & 1 == 1;
+            round_bit = (view[rb_limb] >> rb_off) & 1 == 1;
             // Sticky: any set bit strictly below the round bit.
-            'outer: for (i, &l) in limbs.iter().enumerate().take(rb_limb + 1) {
+            'outer: for (i, &l) in view.iter().enumerate().take(rb_limb + 1) {
                 let masked = if i == rb_limb {
                     if rb_off == 0 {
                         0
@@ -114,25 +172,25 @@ impl Finite {
                 }
             }
         }
-        let mut kept: Vec<u64> = limbs[drop_limbs..].to_vec();
+        let k = kept.as_mut_slice();
         if extra_low_bits > 0 {
-            kept[0] &= !((1u64 << extra_low_bits) - 1);
+            k[0] &= !((1u64 << extra_low_bits) - 1);
         }
         // Round to nearest, ties to even.
-        let lsb_set = (kept[0] >> extra_low_bits) & 1 == 1;
+        let lsb_set = (k[0] >> extra_low_bits) & 1 == 1;
         if round_bit && (sticky || lsb_set) {
-            let carry = limbs::add_bit_in_place(&mut kept, extra_low_bits);
+            let carry = limbs::add_bit_in_place(k, extra_low_bits);
             if carry {
                 // Mantissa overflowed to 1.0: renormalize to 0.5 * 2^(exp+1).
-                for l in kept.iter_mut() {
+                for l in k.iter_mut() {
                     *l = 0;
                 }
-                *kept.last_mut().expect("non-empty") = 1u64 << 63;
+                k[nl - 1] = 1u64 << 63;
                 exp += 1;
             }
         }
         if limbs::is_zero(&kept) {
-            return Repr::Zero { neg };
+            return Repr::Zero { neg, prec };
         }
         Repr::Finite(Finite {
             neg,
@@ -142,24 +200,25 @@ impl Finite {
         })
     }
 
-    /// Normalizes a possibly denormalized limb vector (top bit not set) by
-    /// shifting left and adjusting the exponent, then rounds.
+    /// Normalizes a possibly denormalized limb buffer (top bit not set) by
+    /// shifting left in place and adjusting the exponent, then rounds.
+    #[inline]
     fn normalize_and_round(
         neg: bool,
-        mut limbs: Vec<u64>,
+        buf: &mut [u64],
         mut exp: i64,
         prec: u32,
         sticky: bool,
     ) -> Repr {
-        if limbs::is_zero(&limbs) {
-            return Repr::Zero { neg };
+        if limbs::is_zero(buf) {
+            return Repr::Zero { neg, prec };
         }
-        let lz = limbs::leading_zeros(&limbs);
+        let lz = limbs::leading_zeros(buf);
         if lz > 0 {
-            limbs::shl_in_place(&mut limbs, lz);
+            limbs::shl_in_place(buf, lz);
             exp -= lz as i64;
         }
-        Finite::round(neg, limbs, exp, prec, sticky)
+        Finite::round(neg, buf, exp, prec, sticky)
     }
 }
 
@@ -175,17 +234,20 @@ impl BigFloat {
     pub fn from_f64_prec(x: f64, prec: u32) -> Self {
         let prec = prec.clamp(MIN_PRECISION, MAX_PRECISION);
         if x.is_nan() {
-            return BigFloat { repr: Repr::Nan };
+            return BigFloat {
+                repr: Repr::Nan { prec },
+            };
         }
         if x.is_infinite() {
             return BigFloat {
-                repr: Repr::Inf { neg: x < 0.0 },
+                repr: Repr::Inf { neg: x < 0.0, prec },
             };
         }
         if x == 0.0 {
             return BigFloat {
                 repr: Repr::Zero {
                     neg: x.is_sign_negative(),
+                    prec,
                 },
             };
         }
@@ -202,7 +264,7 @@ impl BigFloat {
         // value = sig * 2^pow; normalize so fraction is in [0.5, 1).
         let sig_bits = 64 - sig.leading_zeros() as i64;
         let exp = pow + sig_bits;
-        let mut limbs = vec![0u64; limbs_for(prec)];
+        let mut limbs = Limbs::zeroed(limbs_for(prec));
         let top = limbs.len() - 1;
         limbs[top] = sig << (64 - sig_bits);
         BigFloat {
@@ -227,11 +289,11 @@ impl BigFloat {
         let mag = x.unsigned_abs();
         if mag == 0 {
             return BigFloat {
-                repr: Repr::Zero { neg: false },
+                repr: Repr::Zero { neg: false, prec },
             };
         }
         let bits = 64 - mag.leading_zeros() as i64;
-        let mut limbs = vec![0u64; limbs_for(prec)];
+        let mut limbs = Limbs::zeroed(limbs_for(prec));
         let top = limbs.len() - 1;
         limbs[top] = mag << (64 - bits);
         BigFloat {
@@ -246,9 +308,7 @@ impl BigFloat {
 
     /// Positive zero at the default precision.
     pub fn zero() -> Self {
-        BigFloat {
-            repr: Repr::Zero { neg: false },
-        }
+        BigFloat::zero_at(false, default_precision())
     }
 
     /// The value one at the default precision.
@@ -258,13 +318,34 @@ impl BigFloat {
 
     /// Not-a-number.
     pub fn nan() -> Self {
-        BigFloat { repr: Repr::Nan }
+        BigFloat::nan_at(default_precision())
     }
 
     /// Positive or negative infinity.
     pub fn infinity(negative: bool) -> Self {
+        BigFloat::inf_at(negative, default_precision())
+    }
+
+    /// NaN carrying an explicit precision: operations stamp their result
+    /// precision on special values exactly as they do on finite ones, so a
+    /// threaded (non-default) shadow precision survives special-value chains.
+    fn nan_at(prec: u32) -> Self {
         BigFloat {
-            repr: Repr::Inf { neg: negative },
+            repr: Repr::Nan { prec },
+        }
+    }
+
+    /// Zero of the given sign carrying an explicit precision.
+    fn zero_at(neg: bool, prec: u32) -> Self {
+        BigFloat {
+            repr: Repr::Zero { neg, prec },
+        }
+    }
+
+    /// Infinity of the given sign carrying an explicit precision.
+    fn inf_at(neg: bool, prec: u32) -> Self {
+        BigFloat {
+            repr: Repr::Inf { neg, prec },
         }
     }
 
@@ -275,7 +356,7 @@ impl BigFloat {
     pub fn precision(&self) -> u32 {
         match &self.repr {
             Repr::Finite(f) => f.prec,
-            _ => default_precision(),
+            Repr::Zero { prec, .. } | Repr::Inf { prec, .. } | Repr::Nan { prec } => *prec,
         }
     }
 
@@ -284,17 +365,17 @@ impl BigFloat {
         let prec = prec.clamp(MIN_PRECISION, MAX_PRECISION);
         match &self.repr {
             Repr::Finite(f) => BigFloat {
-                repr: Finite::round(f.neg, f.limbs.clone(), f.exp, prec, false),
+                repr: Finite::round(f.neg, &f.limbs, f.exp, prec, false),
             },
-            other => BigFloat {
-                repr: other.clone(),
-            },
+            Repr::Zero { neg, .. } => BigFloat::zero_at(*neg, prec),
+            Repr::Inf { neg, .. } => BigFloat::inf_at(*neg, prec),
+            Repr::Nan { .. } => BigFloat::nan_at(prec),
         }
     }
 
     /// True if this value is NaN.
     pub fn is_nan(&self) -> bool {
-        matches!(self.repr, Repr::Nan)
+        matches!(self.repr, Repr::Nan { .. })
     }
 
     /// True if this value is +∞ or -∞.
@@ -315,9 +396,9 @@ impl BigFloat {
     /// True if the value is negative (including -0 and -∞); false for NaN.
     pub fn is_negative(&self) -> bool {
         match &self.repr {
-            Repr::Zero { neg } | Repr::Inf { neg } => *neg,
+            Repr::Zero { neg, .. } | Repr::Inf { neg, .. } => *neg,
             Repr::Finite(f) => f.neg,
-            Repr::Nan => false,
+            Repr::Nan { .. } => false,
         }
     }
 
@@ -335,15 +416,15 @@ impl BigFloat {
     /// Rounds to the nearest double (round-to-nearest, ties-to-even).
     pub fn to_f64(&self) -> f64 {
         match &self.repr {
-            Repr::Nan => f64::NAN,
-            Repr::Inf { neg } => {
+            Repr::Nan { .. } => f64::NAN,
+            Repr::Inf { neg, .. } => {
                 if *neg {
                     f64::NEG_INFINITY
                 } else {
                     f64::INFINITY
                 }
             }
-            Repr::Zero { neg } => {
+            Repr::Zero { neg, .. } => {
                 if *neg {
                     -0.0
                 } else {
@@ -444,9 +525,15 @@ impl BigFloat {
     /// Negation.
     pub fn neg(&self) -> Self {
         let repr = match &self.repr {
-            Repr::Nan => Repr::Nan,
-            Repr::Inf { neg } => Repr::Inf { neg: !neg },
-            Repr::Zero { neg } => Repr::Zero { neg: !neg },
+            Repr::Nan { prec } => Repr::Nan { prec: *prec },
+            Repr::Inf { neg, prec } => Repr::Inf {
+                neg: !neg,
+                prec: *prec,
+            },
+            Repr::Zero { neg, prec } => Repr::Zero {
+                neg: !neg,
+                prec: *prec,
+            },
             Repr::Finite(f) => Repr::Finite(Finite {
                 neg: !f.neg,
                 ..f.clone()
@@ -479,14 +566,10 @@ impl BigFloat {
     fn cmp_abs_finite(a: &Finite, b: &Finite) -> Ordering {
         match a.exp.cmp(&b.exp) {
             Ordering::Equal => {
-                // Align limb counts for comparison.
-                let nl = a.limbs.len().max(b.limbs.len());
-                let pad = |f: &Finite| {
-                    let mut v = vec![0u64; nl - f.limbs.len()];
-                    v.extend_from_slice(&f.limbs);
-                    v
-                };
-                limbs::cmp(&pad(a), &pad(b))
+                // Both mantissas are top-aligned fractions in [0.5, 1);
+                // compare from the most-significant limb down, padding the
+                // shorter one with zero low limbs.
+                limbs::cmp_top_aligned(&a.limbs, &b.limbs)
             }
             ord => ord,
         }
@@ -496,21 +579,21 @@ impl BigFloat {
     pub fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         use Repr::*;
         match (&self.repr, &other.repr) {
-            (Nan, _) | (_, Nan) => None,
+            (Nan { .. }, _) | (_, Nan { .. }) => None,
             (Zero { .. }, Zero { .. }) => Some(Ordering::Equal),
-            (Inf { neg: a }, Inf { neg: b }) => Some(if a == b {
+            (Inf { neg: a, .. }, Inf { neg: b, .. }) => Some(if a == b {
                 Ordering::Equal
             } else if *a {
                 Ordering::Less
             } else {
                 Ordering::Greater
             }),
-            (Inf { neg }, _) => Some(if *neg {
+            (Inf { neg, .. }, _) => Some(if *neg {
                 Ordering::Less
             } else {
                 Ordering::Greater
             }),
-            (_, Inf { neg }) => Some(if *neg {
+            (_, Inf { neg, .. }) => Some(if *neg {
                 Ordering::Greater
             } else {
                 Ordering::Less
@@ -551,19 +634,16 @@ impl BigFloat {
         use Repr::*;
         let prec = self.precision().max(other.precision());
         match (&self.repr, &other.repr) {
-            (Nan, _) | (_, Nan) => BigFloat::nan(),
-            (Inf { neg: a }, Inf { neg: b }) => {
+            (Nan { .. }, _) | (_, Nan { .. }) => BigFloat::nan_at(prec),
+            (Inf { neg: a, .. }, Inf { neg: b, .. }) => {
                 if a == b {
-                    self.clone()
+                    BigFloat::inf_at(*a, prec)
                 } else {
-                    BigFloat::nan()
+                    BigFloat::nan_at(prec)
                 }
             }
-            (Inf { .. }, _) => self.clone(),
-            (_, Inf { .. }) => other.clone(),
-            (Zero { neg: a }, Zero { neg: b }) => BigFloat {
-                repr: Zero { neg: *a && *b },
-            },
+            (Inf { neg, .. }, _) | (_, Inf { neg, .. }) => BigFloat::inf_at(*neg, prec),
+            (Zero { neg: a, .. }, Zero { neg: b, .. }) => BigFloat::zero_at(*a && *b, prec),
             (Zero { .. }, _) => other.with_precision(prec),
             (_, Zero { .. }) => self.with_precision(prec),
             (Finite(a), Finite(b)) => BigFloat {
@@ -578,57 +658,69 @@ impl BigFloat {
     }
 
     fn add_finite(a: &Finite, b: &Finite, prec: u32) -> Repr {
-        // Working window: target precision plus one guard limb.
+        if a.limbs.len() == 4 && b.limbs.len() == 4 && prec == 256 && fast_paths_enabled() {
+            return Self::add_finite_256(a, b);
+        }
+        // Working window: target precision plus one guard limb. The windows
+        // are stack scratch buffers; nothing in this kernel allocates at
+        // default precision.
         let wl = limbs_for(prec) + 1;
         // Ensure a is the operand with the larger exponent.
         let (hi, lo) = if a.exp >= b.exp { (a, b) } else { (b, a) };
         let diff = (hi.exp - lo.exp) as u64;
 
-        let widen = |f: &Finite| -> Vec<u64> {
-            let mut v = vec![0u64; wl];
-            let src = &f.limbs;
-            // Top-align: copy the source limbs into the top of the window.
-            let offset = wl - src.len().min(wl);
-            let start = src.len().saturating_sub(wl);
-            v[offset..].copy_from_slice(&src[start..]);
-            v
+        // Top-align: copy the source limbs into the top of the window.
+        let widen_into = |dst: &mut [u64], src: &[u64]| {
+            let offset = dst.len() - src.len().min(dst.len());
+            let start = src.len().saturating_sub(dst.len());
+            dst[offset..].copy_from_slice(&src[start..]);
         };
 
-        let mut acc = widen(hi);
-        let mut small = widen(lo);
-        let sticky = limbs::shr_in_place(&mut small, diff);
+        let mut acc = Scratch::zeroed(wl);
+        widen_into(&mut acc, &hi.limbs);
 
         if hi.neg == lo.neg {
-            // Magnitude addition.
-            let carry = limbs::add_in_place(&mut acc, &small);
+            // Magnitude addition: fold the aligned low operand into the
+            // window in a single fused pass.
+            let (mut sticky, carry) = limbs::add_shifted_into(&mut acc, &lo.limbs, diff);
             let mut exp = hi.exp;
-            let mut sticky = sticky;
             if carry {
                 sticky |= limbs::shr_in_place(&mut acc, 1);
                 let top = acc.len() - 1;
                 acc[top] |= 1u64 << 63;
                 exp += 1;
             }
-            Finite::normalize_and_round(hi.neg, acc, exp, prec, sticky)
+            Finite::normalize_and_round(hi.neg, &mut acc, exp, prec, sticky)
         } else {
-            // Magnitude subtraction: result sign follows the larger magnitude.
-            match limbs::cmp(&acc, &small) {
+            let mut small = Scratch::zeroed(wl);
+            widen_into(&mut small, &lo.limbs);
+            let sticky = limbs::shr_in_place(&mut small, diff);
+            // Magnitude subtraction: result sign follows the larger
+            // magnitude. An exponent gap of one or more means the shifted low
+            // operand is strictly below 0.5 while the high one is at least
+            // 0.5, so the compare is only needed for equal exponents.
+            let ord = if diff == 0 {
+                limbs::cmp(&acc, &small)
+            } else {
+                Ordering::Greater
+            };
+            match ord {
                 Ordering::Equal => {
                     if sticky {
                         // acc - (small + epsilon) is a tiny negative-of-lo-sign value,
                         // far below working precision; approximate with signed zero.
-                        Repr::Zero { neg: lo.neg }
+                        Repr::Zero { neg: lo.neg, prec }
                     } else {
-                        Repr::Zero { neg: false }
+                        Repr::Zero { neg: false, prec }
                     }
                 }
                 Ordering::Greater => {
                     limbs::sub_in_place(&mut acc, &small);
-                    Finite::normalize_and_round(hi.neg, acc, hi.exp, prec, sticky)
+                    Finite::normalize_and_round(hi.neg, &mut acc, hi.exp, prec, sticky)
                 }
                 Ordering::Less => {
                     limbs::sub_in_place(&mut small, &acc);
-                    Finite::normalize_and_round(lo.neg, small, hi.exp, prec, sticky)
+                    Finite::normalize_and_round(lo.neg, &mut small, hi.exp, prec, sticky)
                 }
             }
         }
@@ -640,18 +732,27 @@ impl BigFloat {
         let prec = self.precision().max(other.precision());
         let sign = self.is_negative() != other.is_negative();
         match (&self.repr, &other.repr) {
-            (Nan, _) | (_, Nan) => BigFloat::nan(),
-            (Inf { .. }, Zero { .. }) | (Zero { .. }, Inf { .. }) => BigFloat::nan(),
-            (Inf { .. }, _) | (_, Inf { .. }) => BigFloat::infinity(sign),
-            (Zero { .. }, _) | (_, Zero { .. }) => BigFloat {
-                repr: Zero { neg: sign },
-            },
+            (Nan { .. }, _) | (_, Nan { .. }) => BigFloat::nan_at(prec),
+            (Inf { .. }, Zero { .. }) | (Zero { .. }, Inf { .. }) => BigFloat::nan_at(prec),
+            (Inf { .. }, _) | (_, Inf { .. }) => BigFloat::inf_at(sign, prec),
+            (Zero { .. }, _) | (_, Zero { .. }) => BigFloat::zero_at(sign, prec),
             (Finite(a), Finite(b)) => {
-                let product = limbs::mul(&a.limbs, &b.limbs);
+                if a.limbs.len() == 4 && b.limbs.len() == 4 && prec == 256 && fast_paths_enabled() {
+                    return BigFloat {
+                        repr: Self::mul_finite_256(a, b, sign),
+                    };
+                }
+                // The double-width product lives in a stack scratch window.
+                let mut product = Scratch::zeroed(a.limbs.len() + b.limbs.len());
+                limbs::mul_into(&mut product, &a.limbs, &b.limbs);
                 let exp = a.exp + b.exp;
                 BigFloat {
                     repr: crate::bigfloat::Finite::normalize_and_round(
-                        sign, product, exp, prec, false,
+                        sign,
+                        &mut product,
+                        exp,
+                        prec,
+                        false,
                     ),
                 }
             }
@@ -664,17 +765,13 @@ impl BigFloat {
         let prec = self.precision().max(other.precision());
         let sign = self.is_negative() != other.is_negative();
         match (&self.repr, &other.repr) {
-            (Nan, _) | (_, Nan) => BigFloat::nan(),
-            (Inf { .. }, Inf { .. }) => BigFloat::nan(),
-            (Zero { .. }, Zero { .. }) => BigFloat::nan(),
-            (Inf { .. }, _) => BigFloat::infinity(sign),
-            (_, Inf { .. }) => BigFloat {
-                repr: Zero { neg: sign },
-            },
-            (Zero { .. }, _) => BigFloat {
-                repr: Zero { neg: sign },
-            },
-            (_, Zero { .. }) => BigFloat::infinity(sign),
+            (Nan { .. }, _) | (_, Nan { .. }) => BigFloat::nan_at(prec),
+            (Inf { .. }, Inf { .. }) => BigFloat::nan_at(prec),
+            (Zero { .. }, Zero { .. }) => BigFloat::nan_at(prec),
+            (Inf { .. }, _) => BigFloat::inf_at(sign, prec),
+            (_, Inf { .. }) => BigFloat::zero_at(sign, prec),
+            (Zero { .. }, _) => BigFloat::zero_at(sign, prec),
+            (_, Zero { .. }) => BigFloat::inf_at(sign, prec),
             (Finite(_), Finite(_)) => {
                 let work = prec + 64;
                 let recip = other.abs().recip_newton(work);
@@ -692,11 +789,137 @@ impl BigFloat {
         }
     }
 
+    /// Addition fast path for the default configuration: both operands carry
+    /// exactly four limbs and the result precision is 256 bits, so the
+    /// working window is a five-limb stack array whose length the compiler
+    /// sees, letting it unroll the shift/add/round loops. The logic is the
+    /// general `add_finite` body verbatim; bit-identical results are pinned
+    /// by the fast-path proptests (`set_disable_fast_paths`).
+    fn add_finite_256(a: &Finite, b: &Finite) -> Repr {
+        debug_assert!(a.limbs.len() == 4 && b.limbs.len() == 4);
+        let (hi, lo) = if a.exp >= b.exp { (a, b) } else { (b, a) };
+        let diff = (hi.exp - lo.exp) as u64;
+        let mut acc = [0u64; 5];
+        acc[1..5].copy_from_slice(&hi.limbs);
+
+        if hi.neg == lo.neg {
+            // Magnitude addition: the top bit of the window stays set (the
+            // high operand is normalized and magnitudes only grow), so the
+            // normalize/round tail collapses to dropping the one guard limb.
+            let (mut sticky, carry) = limbs::add_shifted_into(&mut acc, &lo.limbs, diff);
+            let mut exp = hi.exp;
+            if carry {
+                sticky |= acc[0] & 1 == 1;
+                for i in 0..4 {
+                    acc[i] = (acc[i] >> 1) | (acc[i + 1] << 63);
+                }
+                acc[4] = (acc[4] >> 1) | (1u64 << 63);
+                exp += 1;
+            }
+            let round_bit = acc[0] >> 63 == 1;
+            let sticky = sticky || (acc[0] << 1) != 0;
+            let mut kept = Limbs::zeroed(4);
+            let k = kept.as_mut_slice();
+            k.copy_from_slice(&acc[1..5]);
+            if round_bit && (sticky || k[0] & 1 == 1) {
+                let carry = limbs::add_bit_in_place(k, 0);
+                if carry {
+                    // Mantissa overflowed to 1.0: renormalize.
+                    k[3] = 1u64 << 63;
+                    exp += 1;
+                }
+            }
+            Repr::Finite(Finite {
+                neg: hi.neg,
+                exp,
+                limbs: kept,
+                prec: 256,
+            })
+        } else {
+            let mut small = [0u64; 5];
+            small[1..5].copy_from_slice(&lo.limbs);
+            let sticky = limbs::shr_in_place(&mut small, diff);
+            let ord = if diff == 0 {
+                limbs::cmp(&acc, &small)
+            } else {
+                Ordering::Greater
+            };
+            match ord {
+                Ordering::Equal => {
+                    if sticky {
+                        Repr::Zero {
+                            neg: lo.neg,
+                            prec: 256,
+                        }
+                    } else {
+                        Repr::Zero {
+                            neg: false,
+                            prec: 256,
+                        }
+                    }
+                }
+                Ordering::Greater => {
+                    limbs::sub_in_place(&mut acc, &small);
+                    Finite::normalize_and_round(hi.neg, &mut acc, hi.exp, 256, sticky)
+                }
+                Ordering::Less => {
+                    limbs::sub_in_place(&mut small, &acc);
+                    Finite::normalize_and_round(lo.neg, &mut small, hi.exp, 256, sticky)
+                }
+            }
+        }
+    }
+
+    /// Multiplication fast path for the default configuration: both operands
+    /// carry exactly four limbs and the result precision is 256 bits, so the
+    /// product is 8 limbs, the leading-zero count is 0 or 1, and no partial
+    /// low limb exists. Bit-identical to the general
+    /// `mul_into`/`normalize_and_round` pipeline (checked by the
+    /// `mul_fast_path_matches_general_pipeline` test); fully unrolled, no
+    /// scratch window.
+    fn mul_finite_256(a: &Finite, b: &Finite, sign: bool) -> Repr {
+        debug_assert!(a.limbs.len() == 4 && b.limbs.len() == 4);
+        let mut out = [0u64; 8];
+        limbs::mul_comba::<4>(&mut out, &a.limbs, &b.limbs);
+        let mut exp = a.exp + b.exp;
+        // Both fractions are in [0.5, 1), so the product is in [0.25, 1):
+        // at most one normalization shift.
+        if out[7] >> 63 == 0 {
+            for i in (1..8).rev() {
+                out[i] = (out[i] << 1) | (out[i - 1] >> 63);
+            }
+            out[0] <<= 1;
+            exp -= 1;
+        }
+        // Round to nearest, ties to even, dropping the low four limbs.
+        let round_bit = out[3] >> 63 == 1;
+        let sticky = (out[3] << 1) != 0 || out[0] != 0 || out[1] != 0 || out[2] != 0;
+        let mut kept = Limbs::zeroed(4);
+        let k = kept.as_mut_slice();
+        k.copy_from_slice(&out[4..8]);
+        if round_bit && (sticky || k[0] & 1 == 1) {
+            let carry = limbs::add_bit_in_place(k, 0);
+            if carry {
+                // Mantissa overflowed to 1.0: renormalize to 0.5 * 2^(exp+1).
+                k[3] = 1u64 << 63;
+                exp += 1;
+            }
+        }
+        // The product of nonzero mantissas keeps its top bit after rounding,
+        // so the zero case of the general path cannot occur here.
+        Repr::Finite(Finite {
+            neg: sign,
+            exp,
+            limbs: kept,
+            prec: 256,
+        })
+    }
+
     /// Newton–Raphson reciprocal of a positive finite value at `work` bits.
     fn recip_newton(&self, work: u32) -> Self {
         let f = match &self.repr {
             Repr::Finite(f) => f,
-            _ => return BigFloat::nan(),
+            _ => return BigFloat::nan_at(work),
         };
         // Initial estimate from the top limb: self ≈ t * 2^exp, t in [0.5, 1).
         let t = (f.limbs[f.limbs.len() - 1] as f64) / 18446744073709551616.0;
@@ -722,13 +945,11 @@ impl BigFloat {
         use Repr::*;
         let prec = self.precision();
         match &self.repr {
-            Nan => BigFloat::nan(),
-            Zero { neg } => BigFloat {
-                repr: Zero { neg: *neg },
-            },
-            Inf { neg: false } => self.clone(),
-            Inf { neg: true } => BigFloat::nan(),
-            Finite(f) if f.neg => BigFloat::nan(),
+            Nan { .. } => BigFloat::nan_at(prec),
+            Zero { neg, .. } => BigFloat::zero_at(*neg, prec),
+            Inf { neg: false, .. } => self.clone(),
+            Inf { neg: true, .. } => BigFloat::nan_at(prec),
+            Finite(f) if f.neg => BigFloat::nan_at(prec),
             Finite(f) => {
                 let work = prec + 64;
                 // Initial estimate for 1/sqrt(self) from the top limb.
@@ -770,17 +991,16 @@ impl BigFloat {
         match &self.repr {
             Repr::Finite(f) => {
                 if f.exp <= 0 {
-                    return BigFloat {
-                        repr: Repr::Zero { neg: f.neg },
-                    };
+                    return BigFloat::zero_at(f.neg, f.prec);
                 }
                 let total_bits = (f.limbs.len() as i64) * 64;
                 if f.exp >= total_bits {
                     return self.clone();
                 }
-                // Clear all bits below the binary point (weight < 1).
+                // Clear all bits below the binary point (weight < 1), working
+                // on a stack scratch copy of the mantissa.
                 let frac_bits = (total_bits - f.exp) as u64;
-                let mut limbs = f.limbs.clone();
+                let mut limbs = Scratch::from_slice(&f.limbs);
                 let whole_limbs = (frac_bits / 64) as usize;
                 let rem = (frac_bits % 64) as u32;
                 for l in limbs.iter_mut().take(whole_limbs) {
@@ -790,7 +1010,7 @@ impl BigFloat {
                     limbs[whole_limbs] &= !((1u64 << rem) - 1);
                 }
                 BigFloat {
-                    repr: Finite::normalize_and_round(f.neg, limbs, f.exp, f.prec, false),
+                    repr: Finite::normalize_and_round(f.neg, &mut limbs, f.exp, f.prec, false),
                 }
             }
             _ => self.clone(),
@@ -841,8 +1061,9 @@ impl BigFloat {
 
     /// Floating-point remainder with the sign of the dividend (like `fmod`).
     pub fn fmod(&self, other: &Self) -> Self {
+        let prec = self.precision().max(other.precision());
         if self.is_nan() || other.is_nan() || other.is_zero() || self.is_infinite() {
-            return BigFloat::nan();
+            return BigFloat::nan_at(prec);
         }
         if other.is_infinite() || self.is_zero() {
             return self.clone();
@@ -995,6 +1216,43 @@ mod tests {
     }
 
     #[test]
+    fn mul_fast_path_matches_general_pipeline() {
+        // Dense 256-bit mantissas (division and square-root results) exercise
+        // the round-bit/sticky logic; the reference result is computed
+        // through the general pipeline: the 512-bit product is exact, so
+        // rounding it to 256 bits once is exactly what `mul` must produce.
+        let mut vals = vec![
+            BigFloat::one().div(&BigFloat::from_i64(3)),
+            BigFloat::from_i64(2).sqrt(),
+            BigFloat::from_i64(10).div(&BigFloat::from_i64(7)).neg(),
+            BigFloat::from_f64(1.0 + f64::EPSILON),
+            BigFloat::from_f64(1e300),
+            BigFloat::from_f64(5e-324),
+            BigFloat::from_f64(-0.7),
+        ];
+        let seed = BigFloat::from_i64(97).sqrt();
+        for k in 1..8 {
+            vals.push(seed.div(&BigFloat::from_i64(k)));
+        }
+        for a in &vals {
+            for b in &vals {
+                let fast = a.mul(b);
+                let exact = a.with_precision(512).mul(&b.with_precision(512));
+                let general = exact.with_precision(256);
+                assert_eq!(fast.precision(), 256);
+                assert!(
+                    fast.eq_value(&general),
+                    "mantissa mismatch: {} * {}",
+                    a.to_f64(),
+                    b.to_f64()
+                );
+                assert_eq!(fast.exponent(), general.exponent());
+                assert_eq!(fast.to_f64().to_bits(), general.to_f64().to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn comparison_ordering() {
         let vals = [-1e300, -2.0, -1e-300, 0.0, 1e-300, 1.0, 1e300];
         for (i, &a) in vals.iter().enumerate() {
@@ -1081,6 +1339,33 @@ mod tests {
         assert_eq!(default_precision(), 512);
         assert_eq!(BigFloat::from_f64(2.0).precision(), 512);
         set_default_precision(before);
+    }
+
+    #[test]
+    fn special_values_carry_their_precision() {
+        // Zeros, infinities and NaN remember the precision they were created
+        // at, and operations stamp their result precision on special results
+        // — so a threaded (non-default) shadow precision survives
+        // special-value chains instead of falling back to the global default.
+        let zero = BigFloat::from_f64_prec(0.0, 1024);
+        assert_eq!(zero.precision(), 1024);
+        assert_eq!(zero.exp().precision(), 1024); // exp(0) = 1 @ 1024 bits
+        assert_eq!(zero.exp().sin().precision(), 1024);
+        let inf = BigFloat::from_f64_prec(f64::INFINITY, 512);
+        assert_eq!(inf.precision(), 512);
+        assert_eq!(inf.atan().precision(), 512); // atan(∞) = π/2 @ 512 bits
+        assert_eq!(BigFloat::from_f64_prec(f64::NAN, 512).precision(), 512);
+        // Binary operations propagate the larger operand precision through
+        // special results exactly like finite ones.
+        let wide_finite = BigFloat::from_f64_prec(1.5, 320);
+        assert_eq!(wide_finite.mul(&zero).precision(), 1024);
+        assert_eq!(wide_finite.div(&zero).precision(), 1024);
+        // Re-rounding stamps specials too.
+        assert_eq!(zero.with_precision(128).precision(), 128);
+        assert_eq!(inf.neg().precision(), 512);
+        // Functions that *produce* specials stamp the operand precision.
+        assert_eq!(BigFloat::from_f64_prec(1.0, 512).atanh().precision(), 512);
+        assert_eq!(BigFloat::from_f64_prec(0.0, 512).ln().precision(), 512);
     }
 
     #[test]

@@ -158,6 +158,18 @@ impl std::fmt::Display for RealOp {
 pub trait Real: Clone + Debug + Sized {
     /// Converts a double exactly into a shadow value.
     fn from_f64(x: f64) -> Self;
+    /// Converts a double exactly into a shadow value carrying the given
+    /// mantissa precision in bits.
+    ///
+    /// This is how an analysis threads its configured shadow precision
+    /// through to every value it creates, instead of mutating process-global
+    /// state: binary operations propagate the larger operand precision, so
+    /// seeding the leaves is enough. Representations with a fixed precision
+    /// (`f64`, [`DoubleDouble`]) ignore the argument.
+    fn from_f64_prec(x: f64, prec: u32) -> Self {
+        let _ = prec;
+        Self::from_f64(x)
+    }
     /// Rounds the shadow value to the nearest double.
     fn to_f64(&self) -> f64;
     /// True if the value is NaN.
@@ -248,6 +260,9 @@ pub(crate) fn apply_f64(op: RealOp, args: &[f64]) -> f64 {
 impl Real for BigFloat {
     fn from_f64(x: f64) -> Self {
         BigFloat::from_f64(x)
+    }
+    fn from_f64_prec(x: f64, prec: u32) -> Self {
+        BigFloat::from_f64_prec(x, prec)
     }
     fn to_f64(&self) -> f64 {
         BigFloat::to_f64(self)
@@ -405,6 +420,20 @@ mod tests {
         let shadow_err = (shadow.to_f64() - reference).abs();
         assert!(shadow_err <= naive_err);
         assert!(shadow_err / reference < 1e-15);
+    }
+
+    #[test]
+    fn precision_threads_through_the_trait() {
+        let wide = <BigFloat as Real>::from_f64_prec(0.1, 512);
+        assert_eq!(wide.precision(), 512);
+        assert_eq!(wide.to_f64(), 0.1);
+        // Binary operations propagate the larger operand precision, so
+        // seeding the leaves determines the working precision everywhere.
+        let sum = BigFloat::apply(RealOp::Add, &[wide, BigFloat::from_f64_prec(1.0, 512)]);
+        assert_eq!(sum.precision(), 512);
+        // Fixed-precision shadows accept and ignore the parameter.
+        assert_eq!(<f64 as Real>::from_f64_prec(0.25, 512), 0.25);
+        assert_eq!(DoubleDouble::from_f64_prec(0.25, 512).to_f64(), 0.25);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Property tests for the small-limb BigFloat representation: the inline
+//! (≤ 256-bit) and heap-fallback storage paths must agree bit for bit, and
+//! behaviour must be continuous across the precision boundary
+//! (64 / 256 / 320 / 1024 bits).
+//!
+//! In debug builds the `set_force_heap_limbs` test hook reruns the exact
+//! same computation with every buffer forced onto the heap, which pins the
+//! two storage paths to each other directly; the cross-precision properties
+//! run in every build.
+
+use proptest::prelude::*;
+use shadowreal::{BigFloat, Real, RealOp};
+
+/// The precisions the representation must agree across: both inline sizes,
+/// the first heap size, and a deep heap size.
+const PRECISIONS: [u32; 4] = [64, 256, 320, 1024];
+
+/// Finite, not-too-extreme doubles for arithmetic properties.
+fn reasonable_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e12f64..1e12,
+        -1e3f64..1e3,
+        -1.0f64..1.0,
+        Just(0.0),
+        Just(1.0),
+        Just(-1.0),
+        Just(1.0 + f64::EPSILON),
+    ]
+}
+
+/// Asserts that two same-precision BigFloats are bit-identical: equal as
+/// values, with equal exponents, precisions, and f64 roundings (for
+/// normalized finite values of one precision, value equality is mantissa
+/// equality).
+fn assert_bit_identical(a: &BigFloat, b: &BigFloat, context: &str) {
+    assert_eq!(a.precision(), b.precision(), "precision: {context}");
+    if a.is_nan() || b.is_nan() {
+        assert_eq!(a.is_nan(), b.is_nan(), "NaN-ness: {context}");
+        return;
+    }
+    assert!(a.eq_value(b), "value: {context}");
+    assert_eq!(a.exponent(), b.exponent(), "exponent: {context}");
+    assert_eq!(a.is_negative(), b.is_negative(), "sign: {context}");
+    assert_eq!(
+        a.to_f64().to_bits(),
+        b.to_f64().to_bits(),
+        "f64 rounding: {context}"
+    );
+}
+
+/// One mixed workload at a given precision: leaves, arithmetic, rounding.
+/// Returns every intermediate so representation comparisons see more than
+/// the final value.
+fn workload(x: f64, y: f64, prec: u32) -> Vec<BigFloat> {
+    let a = BigFloat::from_f64_prec(x, prec);
+    let b = BigFloat::from_f64_prec(y, prec);
+    let sum = a.add(&b);
+    let diff = a.sub(&b);
+    let prod = a.mul(&b);
+    let quot = if b.is_zero() { b.clone() } else { a.div(&b) };
+    let root = a.abs().sqrt();
+    let rounded = prod.round_nearest();
+    let rere = sum.with_precision(prec);
+    vec![a, b, sum, diff, prod, quot, root, rounded, rere]
+}
+
+proptest! {
+    /// Exact roundtrip at every precision: 64-bit mantissas already hold any
+    /// double exactly, so the boundary cannot change constructed values.
+    #[test]
+    fn doubles_roundtrip_at_every_precision(x in any::<f64>()) {
+        for prec in PRECISIONS {
+            let b = BigFloat::from_f64_prec(x, prec);
+            if x.is_nan() {
+                prop_assert!(b.to_f64().is_nan());
+            } else {
+                prop_assert_eq!(b.to_f64().to_bits(), x.to_bits(), "prec {}", prec);
+            }
+        }
+    }
+
+    /// Operations on exactly representable operands are exact at every
+    /// precision, so all four precisions must produce the same double — the
+    /// inline and heap paths cannot disagree on them.
+    #[test]
+    fn exact_arithmetic_agrees_across_the_boundary(
+        a in -1_000_000i64..1_000_000,
+        b in -1_000_000i64..1_000_000,
+    ) {
+        let expect_sum = (a + b) as f64;
+        let expect_prod = (a as f64) * (b as f64);
+        for prec in PRECISIONS {
+            let ba = BigFloat::from_f64_prec(a as f64, prec);
+            let bb = BigFloat::from_f64_prec(b as f64, prec);
+            prop_assert_eq!(ba.add(&bb).to_f64(), expect_sum, "add at {}", prec);
+            prop_assert_eq!(ba.mul(&bb).to_f64(), expect_prod, "mul at {}", prec);
+        }
+    }
+
+    /// Widening is exact and narrowing a widened value is the identity, in
+    /// both directions across the inline/heap boundary.
+    #[test]
+    fn widening_roundtrips_across_the_boundary(x in reasonable_f64()) {
+        for (lo, hi) in [(64u32, 320u32), (256, 320), (256, 1024), (64, 1024)] {
+            let narrow = BigFloat::from_f64_prec(x, lo);
+            let widened = narrow.with_precision(hi);
+            prop_assert!(narrow.eq_value(&widened), "widening {} -> {} changed the value", lo, hi);
+            let back = widened.with_precision(lo);
+            assert_bit_identical(&narrow, &back, &format!("roundtrip {lo} -> {hi} -> {lo} of {x}"));
+        }
+    }
+
+    /// The inline and forced-heap storage paths produce bit-identical
+    /// results for the same workload at the same precision (debug builds;
+    /// the hook is compiled out of release builds).
+    #[test]
+    fn inline_and_heap_paths_agree_bit_for_bit(
+        x in reasonable_f64(),
+        y in reasonable_f64(),
+    ) {
+        #[cfg(debug_assertions)]
+        {
+            for prec in PRECISIONS {
+                let inline = workload(x, y, prec);
+                shadowreal::bigfloat::set_force_heap_limbs(true);
+                let heap = workload(x, y, prec);
+                shadowreal::bigfloat::set_force_heap_limbs(false);
+                for (i, (a, b)) in inline.iter().zip(&heap).enumerate() {
+                    assert_bit_identical(
+                        a,
+                        b,
+                        &format!("workload step {i} at {prec} bits on ({x}, {y})"),
+                    );
+                }
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (x, y);
+        }
+    }
+
+    /// The unrolled 256-bit add/mul fast paths are bit-identical to the
+    /// general kernels on the same inputs (debug builds; the kill switch is
+    /// compiled out of release builds). Dense mantissas and a wide exponent
+    /// spread exercise alignment, sticky collection, rounding carries, and
+    /// the cancellation paths.
+    #[test]
+    fn fast_paths_match_general_kernels(
+        x in reasonable_f64(),
+        y in reasonable_f64(),
+        scale in -80i32..80,
+    ) {
+        #[cfg(debug_assertions)]
+        {
+            prop_assume!(x != 0.0 && y != 0.0);
+            let a = BigFloat::from_f64(x).div(&BigFloat::from_f64(7.0));
+            let b = BigFloat::from_f64(y * 2f64.powi(scale)).div(&BigFloat::from_f64(3.0));
+            let fast = [a.add(&b), a.sub(&b), a.mul(&b), b.sub(&a)];
+            shadowreal::bigfloat::set_disable_fast_paths(true);
+            let general = [a.add(&b), a.sub(&b), a.mul(&b), b.sub(&a)];
+            shadowreal::bigfloat::set_disable_fast_paths(false);
+            for (i, (f, g)) in fast.iter().zip(&general).enumerate() {
+                if f.is_zero() && g.is_zero() {
+                    assert_eq!(f.is_negative(), g.is_negative(), "zero sign at step {i}");
+                    continue;
+                }
+                assert_bit_identical(f, g, &format!("fast-path step {i} on ({x}, {y}, {scale})"));
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (x, y, scale);
+        }
+    }
+
+    /// Elementary functions agree with libm at every precision — the
+    /// boundary introduces no accuracy cliff.
+    #[test]
+    fn functions_stay_faithful_across_the_boundary(x in 0.01f64..100.0) {
+        for prec in PRECISIONS {
+            let b = BigFloat::from_f64_prec(x, prec);
+            for (name, got, expect) in [
+                ("exp", b.exp().to_f64(), x.exp()),
+                ("ln", b.ln().to_f64(), x.ln()),
+                ("sin", b.sin().to_f64(), x.sin()),
+                ("sqrt", b.sqrt().to_f64(), x.sqrt()),
+            ] {
+                if expect.is_infinite() {
+                    prop_assert!(got.is_infinite(), "{} at {}", name, prec);
+                } else {
+                    let scale = expect.abs().max(1e-300);
+                    prop_assert!(
+                        ((got - expect) / scale).abs() < 1e-12,
+                        "{}({}) at {} bits: {} vs {}",
+                        name, x, prec, got, expect
+                    );
+                }
+            }
+        }
+    }
+
+    /// The shadow-precision parameter threads through the `Real` trait: each
+    /// precision stands alone, and mixed-precision operations resolve to the
+    /// wider operand exactly as documented.
+    #[test]
+    fn trait_level_precision_is_per_value(x in reasonable_f64()) {
+        // Zeros (and infinities/NaN) carry no mantissa, so they report the
+        // process default precision; the property is about finite values.
+        prop_assume!(x != 0.0);
+        let narrow = <BigFloat as Real>::from_f64_prec(x, 64);
+        let wide = <BigFloat as Real>::from_f64_prec(x, 1024);
+        prop_assert_eq!(narrow.precision(), 64);
+        prop_assert_eq!(wide.precision(), 1024);
+        let mixed = BigFloat::apply(RealOp::Add, &[narrow, wide]);
+        prop_assert_eq!(mixed.precision(), 1024);
+    }
+}
