@@ -1,0 +1,275 @@
+//! `analysis_sweep`: end-to-end throughput of the full analysis over an
+//! input sweep — the Table 1 overhead analogue for the per-operation
+//! bookkeeping around the shadow arithmetic.
+//!
+//! Three configurations run over the same benchmark slice and inputs:
+//!
+//! * `native` — the uninstrumented interpreter (`NullTracer`), the
+//!   overhead-factor baseline;
+//! * `flat` — the production analysis (`herbgrind::analyze_with_shadow`):
+//!   flat generation-stamped shadow slots, pc-indexed record slots,
+//!   clone-free operand handling, pre-decoded execution tape;
+//! * `reference` — the retained map-based path
+//!   (`herbgrind::reference::analyze_with_shadow_reference`): `HashMap`
+//!   shadow memory, `BTreeMap` records, per-operand `Shadow::clone`,
+//!   per-event `SourceLoc` clone, per-op `AnalysisConfig` clone.
+//!
+//! The analysis paths run at 64- and 256-bit shadow precision, so the
+//! speedup of the flat layout is visible both when shadow arithmetic is
+//! cheap and when it dominates.
+//!
+//! The kernel slice mirrors where analysis time goes in real programs:
+//! hardware-arithmetic kernels and a loop kernel dominate the executed-op
+//! count (as they do in the paper's Table 1 programs), plus one libm kernel
+//! for coverage — the per-call cost of shadow transcendentals is the same
+//! on both paths and is measured separately by `shadow_ops`.
+//!
+//! Output is human-readable rows plus a machine-readable JSON document
+//! between `ANALYSIS_SWEEP_JSON_BEGIN`/`END` markers; set
+//! `ANALYSIS_SWEEP_JSON=path` to also write the JSON to a file (the
+//! committed `BENCH_analysis_sweep.json` baseline is produced that way).
+//! `BENCH_SMOKE=1` switches to one short iteration per measurement for CI
+//! smoke coverage.
+
+use fpvm::{Addr, Machine, Program, Tracer};
+use herbgrind::reference::analyze_with_shadow_reference;
+use herbgrind::{analyze_with_shadow, AnalysisConfig};
+use shadowreal::{BigFloat, RealOp};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Counts executed floating-point operations (the denominator of every
+/// ops/sec figure below; identical across configurations because the
+/// analysis follows the client's control flow).
+#[derive(Default)]
+struct OpCounter {
+    computes: u64,
+}
+
+impl Tracer for OpCounter {
+    fn on_compute(&mut self, _: usize, _: RealOp, _: Addr, _: &[Addr], _: &[f64], _: f64) {
+        self.computes += 1;
+    }
+}
+
+/// One measured configuration.
+struct Row {
+    path: &'static str,
+    bits: u32,
+    ns_per_op: f64,
+    overhead_x: f64,
+}
+
+impl Row {
+    fn ops_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_op
+    }
+}
+
+/// Best-of-`reps` ns per analyzed op for one full sweep over `prepared`.
+fn measure<F: FnMut()>(total_ops: u64, reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let ns = start.elapsed().as_nanos() as f64 / total_ops as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+/// One kernel of the sweep: a compiled program plus its input set.
+struct SweepKernel {
+    name: &'static str,
+    program: Program,
+    inputs: Vec<Vec<f64>>,
+}
+
+fn kernel(name: &'static str, src: &str, inputs: Vec<Vec<f64>>) -> SweepKernel {
+    let core = fpcore::parse_core(src).expect("kernel parses");
+    let program = fpvm::compile_core(&core, Default::default()).expect("kernel compiles");
+    SweepKernel {
+        name,
+        program,
+        inputs,
+    }
+}
+
+fn sweep_kernels(smoke: bool) -> Vec<SweepKernel> {
+    let n = if smoke { 4 } else { 200 };
+    let loop_n = if smoke { 2 } else { 20 };
+    vec![
+        // The §3 complex-plotter kernel: straight-line hardware arithmetic
+        // with a genuine cancellation (erroneous records and influences).
+        kernel(
+            "plotter",
+            "(FPCore (x y) (- (sqrt (+ (* x x) (* y y))) x))",
+            (1..=n).map(|i| vec![0.25 / i as f64, 1e-9 / i as f64]).collect(),
+        ),
+        // Horner-form polynomial: the add/mul-dominated steady state.
+        kernel(
+            "poly",
+            "(FPCore (x) (+ (* x (+ (* x (+ (* x (+ (* x (+ (* x (+ (* x 1.0) 2.0)) 3.0)) 4.0)) 5.0)) 6.0)) 7.0))",
+            (1..=n).map(|i| vec![i as f64 * 0.017]).collect(),
+        ),
+        // Loop-carried accumulation: deep traces, the truncation-heavy case.
+        kernel(
+            "harmonic_loop",
+            "(FPCore (n) (while (< i n) ((s 0 (+ s (/ 1 i))) (i 1 (+ i 1))) s))",
+            (1..=loop_n).map(|i| vec![(i * 20) as f64]).collect(),
+        ),
+        // One libm kernel for coverage (identical shadow-evaluation cost on
+        // both paths; see `shadow_ops` for the per-call numbers).
+        kernel(
+            "sine",
+            "(FPCore (x) (sin x))",
+            (1..=loop_n).map(|i| vec![i as f64 * 0.17]).collect(),
+        ),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let reps = if smoke { 1 } else { 5 };
+    let prepared = sweep_kernels(smoke);
+
+    // The per-op denominator: every configuration executes the same client
+    // operations on the same inputs.
+    let mut total_ops = 0u64;
+    for p in &prepared {
+        let machine = Machine::new(&p.program);
+        for input in &p.inputs {
+            let mut counter = OpCounter::default();
+            machine
+                .run_traced(input, &mut counter)
+                .expect("benchmark runs");
+            total_ops += counter.computes;
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- Native baseline (uninstrumented interpretation) ------------------
+    // Reuses the machine-memory buffer across runs, exactly as the analysis
+    // paths do, so the overhead factor compares like against like.
+    let machines: Vec<Machine<'_>> = prepared.iter().map(|p| Machine::new(&p.program)).collect();
+    let mut memory = Vec::new();
+    let native_ns = measure(total_ops, reps, || {
+        for (p, machine) in prepared.iter().zip(&machines) {
+            for input in &p.inputs {
+                black_box(
+                    machine
+                        .run_traced_reusing(input, &mut fpvm::NullTracer, &mut memory)
+                        .expect("native"),
+                );
+            }
+        }
+    });
+    rows.push(Row {
+        path: "native",
+        bits: 0,
+        ns_per_op: native_ns,
+        overhead_x: 1.0,
+    });
+
+    // --- Flat and reference analysis paths at both precisions -------------
+    // One analysis thread: this bench measures per-op overhead, not sweep
+    // parallelism (`parallel_scaling` covers that).
+    for bits in [64u32, 256] {
+        let config = AnalysisConfig {
+            shadow_precision: bits,
+            ..AnalysisConfig::default().with_threads(1)
+        };
+        let flat_ns = measure(total_ops, reps, || {
+            for p in &prepared {
+                black_box(
+                    analyze_with_shadow::<BigFloat>(&p.program, &p.inputs, &config)
+                        .expect("flat analysis"),
+                );
+            }
+        });
+        rows.push(Row {
+            path: "flat",
+            bits,
+            ns_per_op: flat_ns,
+            overhead_x: flat_ns / native_ns,
+        });
+        let reference_ns = measure(total_ops, reps, || {
+            for p in &prepared {
+                black_box(
+                    analyze_with_shadow_reference::<BigFloat>(&p.program, &p.inputs, &config)
+                        .expect("reference analysis"),
+                );
+            }
+        });
+        rows.push(Row {
+            path: "reference",
+            bits,
+            ns_per_op: reference_ns,
+            overhead_x: reference_ns / native_ns,
+        });
+    }
+
+    // The two paths must agree bit for bit even while being timed.
+    for p in &prepared {
+        let config = AnalysisConfig::default().with_threads(1);
+        let flat = analyze_with_shadow::<BigFloat>(&p.program, &p.inputs, &config).unwrap();
+        let reference =
+            analyze_with_shadow_reference::<BigFloat>(&p.program, &p.inputs, &config).unwrap();
+        assert_eq!(
+            format!("{flat:?}"),
+            format!("{reference:?}"),
+            "flat and reference reports diverged on {}",
+            p.name
+        );
+    }
+
+    // --- Report -----------------------------------------------------------
+    let find = |path: &str, bits: u32| {
+        rows.iter()
+            .find(|r| r.path == path && r.bits == bits)
+            .expect("row present")
+            .ns_per_op
+    };
+    let speedup_64 = find("reference", 64) / find("flat", 64);
+    let speedup_256 = find("reference", 256) / find("flat", 256);
+
+    for row in &rows {
+        println!(
+            "bench analysis_sweep/{}/{}: {:.1} ns/op  ({:.2e} analyzed ops/s, {:.1}x native)",
+            row.path,
+            row.bits,
+            row.ns_per_op,
+            row.ops_per_sec(),
+            row.overhead_x
+        );
+    }
+    println!(
+        "bench analysis_sweep: flat vs reference: {speedup_64:.2}x at 64 bits, {speedup_256:.2}x at 256 bits ({total_ops} analyzed ops per sweep)"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"analysis_sweep\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"path\": \"{}\", \"bits\": {}, \"ns_per_op\": {:.2}, \"ops_per_sec\": {:.0}, \"overhead_x\": {:.2}}}{}\n",
+            row.path,
+            row.bits,
+            row.ns_per_op,
+            row.ops_per_sec(),
+            row.overhead_x,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"analyzed_ops_per_sweep\": {total_ops},\n  \"speedup_vs_reference\": {{\"p64\": {speedup_64:.2}, \"p256\": {speedup_256:.2}}}\n}}\n"
+    ));
+    println!("ANALYSIS_SWEEP_JSON_BEGIN");
+    print!("{json}");
+    println!("ANALYSIS_SWEEP_JSON_END");
+    if let Some(path) = std::env::var_os("ANALYSIS_SWEEP_JSON") {
+        std::fs::write(&path, json).expect("write ANALYSIS_SWEEP_JSON file");
+    }
+}

@@ -1,15 +1,39 @@
 //! The Herbgrind analysis proper: a [`Tracer`] that maintains the shadow
 //! state of Figure 3 and the per-statement records of Figure 4.
+//!
+//! # Hot-loop layout
+//!
+//! The per-operation path is deliberately free of hashing, cloning, and map
+//! lookups (the dominant bookkeeping costs around the shadow arithmetic):
+//!
+//! * **Shadow memory** is a flat, address-indexed slot table
+//!   (`Vec<ShadowSlot<R>>`) instead of a `HashMap<Addr, Shadow<R>>`. Each
+//!   slot carries the run generation it was written in, so the per-run
+//!   reset required by the paper's semantics (shadow memory is per-run
+//!   state) is a single counter bump.
+//! * **Operand shadows are borrowed, never cloned**: the exact values are
+//!   passed to the shadow kernels as `&[&R]`
+//!   ([`shadowreal::Real::apply_ref`]) and trace/influence data is read in
+//!   place via split field borrows. Only the destination shadow is written.
+//! * **Records** live in pc-indexed `Vec<Option<OpRecord>>` /
+//!   `Vec<Option<SpotRecord>>` slot tables sized once per program. They are
+//!   folded into ordered form only at [`Herbgrind::report`] /
+//!   [`Herbgrind::merge`] time; since slot index order *is* ascending pc
+//!   order (the order the old `BTreeMap`s iterated in), merged reports stay
+//!   bit-identical to the serial ones.
+//!
+//! The retained map-based implementation lives in [`crate::reference`] and
+//! is held bit-identical to this one by the equivalence test suite.
 
 use crate::config::AnalysisConfig;
-use crate::localerr::{local_error, total_error};
+use crate::localerr::{local_error_ref, total_error};
 use crate::records::{InfluenceSet, OpRecord, SpotKind, SpotRecord};
 use crate::report::Report;
 use crate::trace::{ConcreteExpr, ExprInterner};
 use fpcore::CmpOp;
-use fpvm::{Addr, Machine, MachineError, Program, SourceLoc, Tracer, Value};
+use fpvm::{Addr, Machine, MachineError, Program, SourceLoc, Tracer, Value, MAX_ARITY};
 use shadowreal::{BigFloat, Real, RealOp, MAX_ERROR_BITS};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The shadow of one memory location: its exact value, the concrete
@@ -22,22 +46,118 @@ struct Shadow<R> {
     influences: InfluenceSet,
 }
 
+/// One address's entry in the flat shadow table, stamped with the run
+/// generation that wrote it. A slot whose stamp does not match the current
+/// generation is stale state from an earlier input and reads as absent;
+/// a matching stamp with `shadow: None` records an explicit invalidation
+/// (integer constants, float→int destinations).
+#[derive(Debug)]
+struct ShadowSlot<R> {
+    gen: u64,
+    shadow: Option<Shadow<R>>,
+}
+
+impl<R> Default for ShadowSlot<R> {
+    fn default() -> Self {
+        ShadowSlot {
+            gen: 0,
+            shadow: None,
+        }
+    }
+}
+
+/// Reads the shadow for `addr` if the current run wrote one.
+fn shadow_at<R>(slots: &[ShadowSlot<R>], gen: u64, addr: Addr) -> Option<&Shadow<R>> {
+    slots
+        .get(addr)
+        .filter(|slot| slot.gen == gen)
+        .and_then(|slot| slot.shadow.as_ref())
+}
+
+/// Writes (or invalidates, with `None`) the shadow for `addr`, growing the
+/// table on the cold path so the analysis stays correct even for statements
+/// beyond the address space announced at `on_start`.
+fn put_shadow<R>(slots: &mut Vec<ShadowSlot<R>>, gen: u64, addr: Addr, shadow: Option<Shadow<R>>) {
+    if addr >= slots.len() {
+        slots.resize_with(addr + 1, ShadowSlot::default);
+    }
+    let slot = &mut slots[addr];
+    slot.gen = gen;
+    slot.shadow = shadow;
+}
+
+/// Grows a pc-indexed record slot table to cover `pc` and returns the slot
+/// (cold path; `on_start` pre-sizes the tables to the program length).
+fn record_slot<T>(slots: &mut Vec<Option<T>>, pc: usize) -> &mut Option<T> {
+    if pc >= slots.len() {
+        slots.resize_with(pc + 1, || None);
+    }
+    &mut slots[pc]
+}
+
+/// Looks up a statement's location by reference (falling back to the static
+/// default), so per-event location lookups never clone a `SourceLoc`.
+fn location_of(locations: &[SourceLoc], pc: usize) -> &SourceLoc {
+    locations.get(pc).unwrap_or(SourceLoc::static_default())
+}
+
+/// Detects a compensating addition or subtraction (§5.3): the operation
+/// returns one of its arguments exactly in the reals, and its output has
+/// less error than that passed-through argument. Returns the index of the
+/// passed-through argument.
+fn detect_compensation<R: Real>(
+    config: &AnalysisConfig,
+    op: RealOp,
+    exact_args: &[&R],
+    arg_values: &[f64],
+    exact_result: &R,
+    client_result: f64,
+) -> Option<usize> {
+    if !config.detect_compensation || !matches!(op, RealOp::Add | RealOp::Sub) {
+        return None;
+    }
+    for (i, exact_arg) in exact_args.iter().enumerate() {
+        let passes_through = if op == RealOp::Sub && i == 1 {
+            // a - b returns (the negation of) b only when a is zero;
+            // treat only the first argument as a pass-through candidate
+            // for subtraction.
+            false
+        } else {
+            exact_result.eq_value(exact_arg)
+        };
+        if !passes_through {
+            continue;
+        }
+        let output_error = total_error(client_result, exact_result);
+        let arg_error = total_error(arg_values[i], *exact_arg);
+        if output_error <= arg_error {
+            return Some(i);
+        }
+    }
+    None
+}
+
 /// The Herbgrind dynamic analysis, generic over the shadow-real
 /// representation.
 ///
 /// Attach it to a machine run with [`fpvm::Machine::run_traced`], or use the
 /// [`analyze`] driver. Records accumulate across runs, so one `Herbgrind`
-/// value can observe a whole input sweep; shadow memory is reset per run.
+/// value can observe a whole input sweep; shadow memory is reset per run
+/// (by generation stamp, in O(1)). The slot tables and the interner's hash
+/// tables are allocated once and reused across the sweep, so an N-input run
+/// does O(program) setup rather than O(N × program).
 #[derive(Debug)]
 pub struct Herbgrind<R: Real> {
     config: AnalysisConfig,
-    shadows: HashMap<Addr, Shadow<R>>,
+    shadow_slots: Vec<ShadowSlot<R>>,
+    shadow_gen: u64,
     /// Per-shard hash-consing table for trace nodes: repeated subtraces
     /// share one allocation, and anti-unification hits pointer-identity
-    /// fast paths. Per-run state like `shadows` (cleared by `on_start`).
+    /// fast paths. Per-run state like the shadow slots (cleared by
+    /// `on_start`).
     interner: ExprInterner,
-    ops: BTreeMap<usize, OpRecord>,
-    spots: BTreeMap<usize, SpotRecord>,
+    op_slots: Vec<Option<OpRecord>>,
+    spot_slots: Vec<Option<SpotRecord>>,
     locations: Vec<SourceLoc>,
     program_name: String,
     runs: u64,
@@ -50,10 +170,11 @@ impl<R: Real> Herbgrind<R> {
     pub fn new(config: AnalysisConfig) -> Herbgrind<R> {
         Herbgrind {
             config,
-            shadows: HashMap::new(),
+            shadow_slots: Vec::new(),
+            shadow_gen: 0,
             interner: ExprInterner::new(),
-            ops: BTreeMap::new(),
-            spots: BTreeMap::new(),
+            op_slots: Vec::new(),
+            spot_slots: Vec::new(),
             locations: Vec::new(),
             program_name: String::new(),
             runs: 0,
@@ -95,70 +216,47 @@ impl<R: Real> Herbgrind<R> {
     }
 
     /// Per-statement operation records (candidate root causes and their
-    /// symbolic expressions).
-    pub fn op_records(&self) -> &BTreeMap<usize, OpRecord> {
-        &self.ops
+    /// symbolic expressions), assembled on demand from the pc-indexed slot
+    /// table.
+    pub fn op_records(&self) -> BTreeMap<usize, &OpRecord> {
+        self.op_slots
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, slot)| slot.as_ref().map(|record| (pc, record)))
+            .collect()
     }
 
-    /// Per-statement spot records.
-    pub fn spot_records(&self) -> &BTreeMap<usize, SpotRecord> {
-        &self.spots
+    /// Per-statement spot records, assembled on demand from the pc-indexed
+    /// slot table.
+    pub fn spot_records(&self) -> BTreeMap<usize, &SpotRecord> {
+        self.spot_slots
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, slot)| slot.as_ref().map(|record| (pc, record)))
+            .collect()
     }
 
-    fn location(&self, pc: usize) -> SourceLoc {
-        self.locations.get(pc).cloned().unwrap_or_default()
-    }
-
-    /// Returns the shadow for an address, creating a leaf shadow from the
-    /// client value when the location has never been written by a tracked
-    /// float operation (the lazy shadowing of §6).
-    fn shadow_of(&mut self, addr: Addr, client_value: f64) -> Shadow<R> {
-        if let Some(existing) = self.shadows.get(&addr) {
-            return existing.clone();
+    /// Makes sure `addr` has a shadow for the current run, creating a leaf
+    /// shadow from the client value when the location has never been written
+    /// by a tracked float operation (the lazy shadowing of §6). Unlike the
+    /// reference implementation's `shadow_of`, nothing is cloned: callers
+    /// read the populated slot by reference afterwards.
+    fn ensure_shadow(&mut self, addr: Addr, client_value: f64) {
+        if addr >= self.shadow_slots.len() {
+            self.shadow_slots.resize_with(addr + 1, ShadowSlot::default);
+        }
+        let slot = &self.shadow_slots[addr];
+        if slot.gen == self.shadow_gen && slot.shadow.is_some() {
+            return;
         }
         let fresh = Shadow {
             real: self.shadow_leaf(client_value),
             expr: self.interner.leaf(client_value),
             influences: InfluenceSet::new(),
         };
-        self.shadows.insert(addr, fresh.clone());
-        fresh
-    }
-
-    /// Detects a compensating addition or subtraction (§5.3): the operation
-    /// returns one of its arguments exactly in the reals, and its output has
-    /// less error than that passed-through argument. Returns the index of
-    /// the passed-through argument.
-    fn detect_compensation(
-        &self,
-        op: RealOp,
-        exact_args: &[R],
-        arg_values: &[f64],
-        exact_result: &R,
-        client_result: f64,
-    ) -> Option<usize> {
-        if !self.config.detect_compensation || !matches!(op, RealOp::Add | RealOp::Sub) {
-            return None;
-        }
-        for (i, exact_arg) in exact_args.iter().enumerate() {
-            let passes_through = if op == RealOp::Sub && i == 1 {
-                // a - b returns (the negation of) b only when a is zero;
-                // treat only the first argument as a pass-through candidate
-                // for subtraction.
-                false
-            } else {
-                exact_result.eq_value(exact_arg)
-            };
-            if !passes_through {
-                continue;
-            }
-            let output_error = total_error(client_result, exact_result);
-            let arg_error = total_error(arg_values[i], exact_arg);
-            if output_error <= arg_error {
-                return Some(i);
-            }
-        }
-        None
+        let slot = &mut self.shadow_slots[addr];
+        slot.gen = self.shadow_gen;
+        slot.shadow = Some(fresh);
     }
 
     /// Merges the state of a later input shard into this one.
@@ -166,7 +264,8 @@ impl<R: Real> Herbgrind<R> {
     /// Run sharding is clean because shadow memory is per-run state (reset by
     /// [`Tracer::on_start`]) while the per-statement records accumulate with
     /// counts, exact sums, maxima, set unions, and anti-unification — all of
-    /// which combine associatively. Merging shards in input order therefore
+    /// which combine associatively. The slot tables are merged index-wise,
+    /// which is exactly ascending-pc order, so merging shards in input order
     /// reproduces, bit for bit, the records a single analysis accumulates
     /// over the whole sweep; this is the foundation of [`analyze_parallel`]
     /// and is checked end-to-end by the determinism test suite.
@@ -185,35 +284,43 @@ impl<R: Real> Herbgrind<R> {
         // output, so this cannot perturb the bit-identical merge contract.)
         self.interner.clear();
         drop(other.interner);
-        for (pc, record) in other.ops {
-            match self.ops.entry(pc) {
-                std::collections::btree_map::Entry::Occupied(mut existing) => {
-                    existing.get_mut().merge(&record, &self.config);
-                }
-                std::collections::btree_map::Entry::Vacant(slot) => {
-                    slot.insert(record);
-                }
+        if self.op_slots.len() < other.op_slots.len() {
+            self.op_slots.resize_with(other.op_slots.len(), || None);
+        }
+        for (pc, record) in other.op_slots.into_iter().enumerate() {
+            let Some(record) = record else { continue };
+            match &mut self.op_slots[pc] {
+                Some(existing) => existing.merge(&record, &self.config),
+                slot @ None => *slot = Some(record),
             }
         }
-        for (pc, record) in other.spots {
-            match self.spots.entry(pc) {
-                std::collections::btree_map::Entry::Occupied(mut existing) => {
-                    existing.get_mut().merge(&record);
-                }
-                std::collections::btree_map::Entry::Vacant(slot) => {
-                    slot.insert(record);
-                }
+        if self.spot_slots.len() < other.spot_slots.len() {
+            self.spot_slots.resize_with(other.spot_slots.len(), || None);
+        }
+        for (pc, record) in other.spot_slots.into_iter().enumerate() {
+            let Some(record) = record else { continue };
+            match &mut self.spot_slots[pc] {
+                Some(existing) => existing.merge(&record),
+                slot @ None => *slot = Some(record),
             }
         }
     }
 
-    /// Produces the final report.
+    /// Produces the final report. The slot tables are folded into ordered
+    /// form here — the only place order matters — rather than on every
+    /// operation.
     pub fn report(&self) -> Report {
         Report::build(
             &self.program_name,
             &self.config,
-            &self.ops,
-            &self.spots,
+            self.op_slots
+                .iter()
+                .enumerate()
+                .filter_map(|(pc, slot)| slot.as_ref().map(|record| (pc, record))),
+            self.spot_slots
+                .iter()
+                .enumerate()
+                .filter_map(|(pc, slot)| slot.as_ref().map(|record| (pc, record))),
             self.runs,
             self.compensations_detected,
             self.branch_divergences,
@@ -225,7 +332,20 @@ impl<R: Real> Tracer for Herbgrind<R> {
     fn on_start(&mut self, program: &Program, _args: &[f64]) {
         // Shadow memory and the trace interner are per-run (machine memory
         // is reinitialized); the per-statement records persist across runs.
-        self.shadows.clear();
+        // The shadow reset is a generation bump — O(1), no drops, no
+        // rehashing — and the slot tables keep their allocations across the
+        // whole sweep.
+        self.shadow_gen += 1;
+        if self.shadow_slots.len() < program.num_addrs {
+            self.shadow_slots
+                .resize_with(program.num_addrs, ShadowSlot::default);
+        }
+        if self.op_slots.len() < program.len() {
+            self.op_slots.resize_with(program.len(), || None);
+        }
+        if self.spot_slots.len() < program.len() {
+            self.spot_slots.resize_with(program.len(), || None);
+        }
         self.interner.clear();
         if self.locations.is_empty() {
             self.locations = program.locations.clone();
@@ -240,33 +360,29 @@ impl<R: Real> Tracer for Herbgrind<R> {
             expr: self.interner.leaf(value),
             influences: InfluenceSet::new(),
         };
-        self.shadows.insert(dest, shadow);
+        put_shadow(&mut self.shadow_slots, self.shadow_gen, dest, Some(shadow));
     }
 
     fn on_const_i(&mut self, _pc: usize, dest: Addr, _value: i64) {
-        self.shadows.remove(&dest);
+        put_shadow(&mut self.shadow_slots, self.shadow_gen, dest, None);
     }
 
     fn on_copy(&mut self, _pc: usize, dest: Addr, src: Addr, value: Value) {
         // Copies share the shadow value (§6 "Sharing"); copying a location we
-        // never shadowed lazily creates a leaf shadow for float values.
-        match self.shadows.get(&src).cloned() {
-            Some(shadow) => {
-                self.shadows.insert(dest, shadow);
-            }
-            None => {
-                if let Value::F(v) = value {
-                    let fresh = Shadow {
-                        real: self.shadow_leaf(v),
-                        expr: self.interner.leaf(v),
-                        influences: InfluenceSet::new(),
-                    };
-                    self.shadows.insert(src, fresh.clone());
-                    self.shadows.insert(dest, fresh);
-                } else {
-                    self.shadows.remove(&dest);
-                }
-            }
+        // never shadowed lazily creates a leaf shadow for float values. One
+        // construction and at most one clone per copy — the reference path
+        // built the leaf, cloned it into the map, and cloned it again.
+        if let Some(shadow) = shadow_at(&self.shadow_slots, self.shadow_gen, src) {
+            let shared = shadow.clone();
+            put_shadow(&mut self.shadow_slots, self.shadow_gen, dest, Some(shared));
+        } else if let Value::F(v) = value {
+            self.ensure_shadow(src, v);
+            let shared = shadow_at(&self.shadow_slots, self.shadow_gen, src)
+                .expect("populated above")
+                .clone();
+            put_shadow(&mut self.shadow_slots, self.shadow_gen, dest, Some(shared));
+        } else {
+            put_shadow(&mut self.shadow_slots, self.shadow_gen, dest, None);
         }
     }
 
@@ -279,85 +395,131 @@ impl<R: Real> Tracer for Herbgrind<R> {
         arg_values: &[f64],
         result: f64,
     ) {
-        // Gather the shadows of the operands (creating leaf shadows lazily).
-        let mut exact_args = Vec::with_capacity(args.len());
-        let mut arg_exprs = Vec::with_capacity(args.len());
-        let mut influences = InfluenceSet::new();
+        // Make sure every operand has a shadow (creating leaf shadows
+        // lazily); afterwards the hot path reads them by reference only.
         for (&addr, &value) in args.iter().zip(arg_values) {
-            let shadow = self.shadow_of(addr, value);
-            exact_args.push(shadow.real.clone());
-            arg_exprs.push(Arc::clone(&shadow.expr));
+            self.ensure_shadow(addr, value);
+        }
+
+        // Split field borrows: operand shadows stay borrowed from the slot
+        // table while the interner and record tables are updated.
+        let Herbgrind {
+            config,
+            shadow_slots,
+            shadow_gen,
+            interner,
+            op_slots,
+            locations,
+            compensations_detected,
+            ..
+        } = self;
+        let config: &AnalysisConfig = config;
+        let gen = *shadow_gen;
+        let n = args.len();
+
+        let first = shadow_at(shadow_slots, gen, args[0]).expect("operand shadow populated");
+        let mut exact_refs: [&R; MAX_ARITY] = [&first.real; MAX_ARITY];
+        let mut expr_refs: [&Arc<ConcreteExpr>; MAX_ARITY] = [&first.expr; MAX_ARITY];
+        let mut influences = InfluenceSet::new();
+        for (i, &addr) in args.iter().enumerate() {
+            let shadow = shadow_at(shadow_slots, gen, addr).expect("operand shadow populated");
+            exact_refs[i] = &shadow.real;
+            expr_refs[i] = &shadow.expr;
             influences.extend(shadow.influences.iter().copied());
         }
 
         // Local error of this operation on exact inputs (Figure 4).
-        let (local_err, exact_result) = local_error(op, &exact_args);
-        let erroneous = local_err > self.config.local_error_threshold;
+        let (local_err, exact_result) = local_error_ref(op, &exact_refs[..n]);
+        let erroneous = local_err > config.local_error_threshold;
 
         // Compensation detection (§5.3): the compensating term's influences
         // are not propagated, and the compensated operation is not itself
         // reported as a candidate root cause.
-        let compensation =
-            self.detect_compensation(op, &exact_args, arg_values, &exact_result, result);
+        let compensation = detect_compensation(
+            config,
+            op,
+            &exact_refs[..n],
+            arg_values,
+            &exact_result,
+            result,
+        );
         if let Some(passthrough_index) = compensation {
-            self.compensations_detected += 1;
+            *compensations_detected += 1;
             influences.clear();
-            let shadow = self.shadow_of(args[passthrough_index], arg_values[passthrough_index]);
+            let shadow = shadow_at(shadow_slots, gen, args[passthrough_index])
+                .expect("operand shadow populated");
             influences.extend(shadow.influences.iter().copied());
         } else if erroneous {
             influences.insert(pc);
         }
 
-        // Build the (depth-bounded) concrete expression for the result,
-        // hash-consed so repeated subtraces share one allocation. Traces
-        // that exceed the tracking depth are about to be truncated into
-        // fresh nodes anyway — interning the full node would only pin
-        // memory for the rest of the run, so they bypass the table (deep
-        // loop-carried chains are exactly the unbounded-growth case).
-        let location = self.location(pc);
-        let depth = 1 + arg_exprs.iter().map(|c| c.depth()).max().unwrap_or(0);
-        let node = if depth <= self.config.max_expression_depth {
-            self.interner.node(op, result, arg_exprs, pc, location)
+        // Build the concrete expression for the result, hash-consed so
+        // repeated subtraces share one allocation.
+        //
+        // Stored traces are depth-bounded with hysteresis: the reported
+        // bound is `max_expression_depth` (D), but shadow memory keeps
+        // traces up to 4D deep and truncates back to D only when that
+        // storage bound overflows. Truncating a deep trace is O(tree) —
+        // done per operation (as the reference path does) it dominates
+        // loop-carried chains; done on overflow every ≥3D operations it
+        // amortizes to O(tree/D) per operation, while memory stays bounded
+        // by the 4D storage depth. Records observe the trace through a
+        // depth budget ([`OpRecord::record_bounded`]), which reads nodes
+        // beyond D as value leaves — bit-identical to truncating first,
+        // because truncation preserves every value, operation, and location
+        // above the cut.
+        let location = location_of(locations, pc);
+        let max_depth = config.max_expression_depth;
+        let store_bound = max_depth.saturating_mul(4);
+        let depth = 1 + expr_refs[..n].iter().map(|c| c.depth()).max().unwrap_or(0);
+        let node = if depth <= store_bound {
+            interner.node_ref(op, result, &expr_refs[..n], pc, location)
         } else {
-            ConcreteExpr::node(op, result, arg_exprs, pc, location)
-                .truncate_to_depth(self.config.max_expression_depth)
+            let children: Vec<Arc<ConcreteExpr>> =
+                expr_refs[..n].iter().map(|c| Arc::clone(c)).collect();
+            ConcreteExpr::node(op, result, children, pc, location.clone())
+                .truncate_to_depth(max_depth)
         };
 
         // Update the operation record (unless the operation is a detected
         // compensation, which the user should not see).
         if compensation.is_none() {
-            let location = self.location(pc);
-            let config = self.config.clone();
-            let record = self
-                .ops
-                .entry(pc)
-                .or_insert_with(|| OpRecord::new(op, location, &config));
-            record.record(&node, local_err, erroneous, &config);
+            let record = record_slot(op_slots, pc)
+                .get_or_insert_with(|| OpRecord::new(op, location.clone(), config));
+            record.record_bounded(&node, max_depth, local_err, erroneous, config);
         }
 
-        // Update the destination shadow.
-        self.shadows.insert(
+        // Update the destination shadow (the only slot written).
+        put_shadow(
+            shadow_slots,
+            gen,
             dest,
-            Shadow {
+            Some(Shadow {
                 real: exact_result,
                 expr: node,
                 influences,
-            },
+            }),
         );
     }
 
     fn on_cast_to_int(&mut self, pc: usize, dest: Addr, src: Addr, value: f64, result: i64) {
-        let shadow = self.shadow_of(src, value);
+        self.ensure_shadow(src, value);
+        let Herbgrind {
+            shadow_slots,
+            shadow_gen,
+            spot_slots,
+            locations,
+            ..
+        } = self;
+        let shadow = shadow_at(shadow_slots, *shadow_gen, src).expect("shadow populated");
         let shadow_int = shadow.real.to_f64().trunc();
         let diverged = shadow_int as i64 != result;
         let error = if diverged { MAX_ERROR_BITS } else { 0.0 };
-        let location = self.location(pc);
-        let record = self
-            .spots
-            .entry(pc)
-            .or_insert_with(|| SpotRecord::new(SpotKind::FloatToInt, location));
+        let record = record_slot(spot_slots, pc).get_or_insert_with(|| {
+            SpotRecord::new(SpotKind::FloatToInt, location_of(locations, pc).clone())
+        });
         record.record(error, diverged, &shadow.influences);
-        self.shadows.remove(&dest);
+        put_shadow(shadow_slots, *shadow_gen, dest, None);
     }
 
     fn on_branch(
@@ -370,29 +532,47 @@ impl<R: Real> Tracer for Herbgrind<R> {
         rhs_value: Value,
         taken: bool,
     ) {
-        let lhs_shadow = self.shadow_of(lhs, lhs_value.as_f64());
-        let rhs_shadow = self.shadow_of(rhs, rhs_value.as_f64());
+        self.ensure_shadow(lhs, lhs_value.as_f64());
+        self.ensure_shadow(rhs, rhs_value.as_f64());
+        let Herbgrind {
+            shadow_slots,
+            shadow_gen,
+            spot_slots,
+            locations,
+            branch_divergences,
+            ..
+        } = self;
+        let gen = *shadow_gen;
+        let lhs_shadow = shadow_at(shadow_slots, gen, lhs).expect("shadow populated");
+        let rhs_shadow = shadow_at(shadow_slots, gen, rhs).expect("shadow populated");
         let shadow_taken = cmp.holds(lhs_shadow.real.compare(&rhs_shadow.real));
         let diverged = shadow_taken != taken;
         if diverged {
-            self.branch_divergences += 1;
+            *branch_divergences += 1;
         }
         let mut influences = InfluenceSet::new();
         influences.extend(lhs_shadow.influences.iter().copied());
         influences.extend(rhs_shadow.influences.iter().copied());
         let error = if diverged { MAX_ERROR_BITS } else { 0.0 };
-        let location = self.location(pc);
-        let record = self
-            .spots
-            .entry(pc)
-            .or_insert_with(|| SpotRecord::new(SpotKind::Branch, location));
+        let record = record_slot(spot_slots, pc).get_or_insert_with(|| {
+            SpotRecord::new(SpotKind::Branch, location_of(locations, pc).clone())
+        });
         record.record(error, diverged, &influences);
         // The analysis follows the client's control flow (the divergence is
         // recorded, not acted on), exactly as the paper describes.
     }
 
     fn on_output(&mut self, pc: usize, src: Addr, value: f64) {
-        let shadow = self.shadow_of(src, value);
+        self.ensure_shadow(src, value);
+        let Herbgrind {
+            config,
+            shadow_slots,
+            shadow_gen,
+            spot_slots,
+            locations,
+            ..
+        } = self;
+        let shadow = shadow_at(shadow_slots, *shadow_gen, src).expect("shadow populated");
         // A NaN reaching an output is always reported with maximal error,
         // matching the paper's Gram-Schmidt case study (a NaN produced by a
         // division by zero is reported as 64 bits of error even though the
@@ -402,12 +582,10 @@ impl<R: Real> Tracer for Herbgrind<R> {
         } else {
             total_error(value, &shadow.real)
         };
-        let erroneous = error > self.config.output_error_threshold;
-        let location = self.location(pc);
-        let record = self
-            .spots
-            .entry(pc)
-            .or_insert_with(|| SpotRecord::new(SpotKind::Output, location));
+        let erroneous = error > config.output_error_threshold;
+        let record = record_slot(spot_slots, pc).get_or_insert_with(|| {
+            SpotRecord::new(SpotKind::Output, location_of(locations, pc).clone())
+        });
         record.record(error, erroneous, &shadow.influences);
     }
 }
@@ -435,6 +613,11 @@ pub fn analyze(
 /// Runs a program under the analysis with an explicit shadow-real type
 /// (`BigFloat`, `DoubleDouble`, or `f64` for a no-op shadow).
 ///
+/// The machine (with its pre-decoded execution tape), the machine memory
+/// buffer, and the analysis slot tables are all set up once and reused
+/// across the whole sweep: per-input work is proportional to the
+/// instructions executed, not to sweep-setup.
+///
 /// # Errors
 ///
 /// Propagates [`MachineError`] from the underlying interpreter.
@@ -445,8 +628,9 @@ pub fn analyze_with_shadow<R: Real>(
 ) -> Result<Report, MachineError> {
     let mut analysis = Herbgrind::<R>::new(config.clone());
     let machine = Machine::new(program).with_step_limit(config.step_limit);
+    let mut memory = Vec::new();
     for input in inputs {
-        machine.run_traced(input, &mut analysis)?;
+        machine.run_traced_reusing(input, &mut analysis, &mut memory)?;
     }
     Ok(analysis.report())
 }
@@ -496,8 +680,9 @@ pub fn analyze_parallel_with_shadow<R: Real + Send>(
                 scope.spawn(move || {
                     let mut analysis = Herbgrind::<R>::new(config.clone());
                     let machine = Machine::new(program).with_step_limit(config.step_limit);
+                    let mut memory = Vec::new();
                     for input in chunk {
-                        machine.run_traced(input, &mut analysis)?;
+                        machine.run_traced_reusing(input, &mut analysis, &mut memory)?;
                     }
                     Ok(analysis)
                 })

@@ -54,6 +54,7 @@ pub mod errsum;
 pub mod inputs;
 pub mod localerr;
 pub mod records;
+pub mod reference;
 pub mod report;
 pub mod symbolic;
 pub mod trace;

@@ -9,7 +9,7 @@
 //! error that its operands already carried (the paper's "avoid blaming
 //! innocent operations for erroneous operands").
 
-use shadowreal::{bits_error, Real, RealOp};
+use shadowreal::{bits_error, Real, RealOp, MAX_ARITY};
 
 /// Computes the local error, in bits, of applying `op` to operands whose
 /// exact values are `exact_args`.
@@ -17,10 +17,26 @@ use shadowreal::{bits_error, Real, RealOp};
 /// Returns the local error together with the exact result (so the caller does
 /// not need to recompute it for the shadow update).
 pub fn local_error<R: Real>(op: RealOp, exact_args: &[R]) -> (f64, R) {
-    let exact_result = R::apply(op, exact_args);
+    assert!(!exact_args.is_empty(), "no operands for {op}");
+    let mut refs: [&R; MAX_ARITY] = [&exact_args[0]; MAX_ARITY];
+    for (slot, arg) in refs.iter_mut().zip(exact_args) {
+        *slot = arg;
+    }
+    local_error_ref(op, &refs[..exact_args.len()])
+}
+
+/// Computes the local error like [`local_error`], with the operands passed
+/// by reference — the form the analysis hot loop uses, so that shadow values
+/// never leave the slot table (no per-operand clone) and the rounded
+/// operands live on the stack (no per-op allocation).
+pub fn local_error_ref<R: Real>(op: RealOp, exact_args: &[&R]) -> (f64, R) {
+    let exact_result = R::apply_ref(op, exact_args);
     let exact_rounded = exact_result.to_f64();
-    let rounded_args: Vec<f64> = exact_args.iter().map(Real::to_f64).collect();
-    let float_result = <f64 as Real>::apply(op, &rounded_args);
+    let mut rounded = [0.0f64; MAX_ARITY];
+    for (slot, arg) in rounded.iter_mut().zip(exact_args) {
+        *slot = arg.to_f64();
+    }
+    let float_result = <f64 as Real>::apply(op, &rounded[..exact_args.len()]);
     (bits_error(float_result, exact_rounded), exact_result)
 }
 

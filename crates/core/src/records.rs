@@ -164,6 +164,25 @@ impl OpRecord {
         erroneous: bool,
         config: &AnalysisConfig,
     ) {
+        self.record_bounded(concrete, usize::MAX, local_error, erroneous, config);
+    }
+
+    /// Records one execution of the operation with the concrete trace viewed
+    /// through a depth budget: equivalent to
+    /// `record(&concrete.truncate_to_depth(max_depth), ...)` without
+    /// materializing the truncation on the hot path. The flat analysis keeps
+    /// deeper-than-reported traces in shadow memory (truncating only when
+    /// its storage bound overflows) and records through this entry point;
+    /// the truncated trace is only built when a problematic example is
+    /// actually kept.
+    pub fn record_bounded(
+        &mut self,
+        concrete: &Arc<ConcreteExpr>,
+        max_depth: usize,
+        local_error: f64,
+        erroneous: bool,
+        config: &AnalysisConfig,
+    ) {
         let had_prior_erroneous = self.erroneous > 0;
         self.total += 1;
         self.total_local_error.add(local_error);
@@ -173,10 +192,10 @@ impl OpRecord {
         if erroneous {
             self.erroneous += 1;
             if self.example_problematic.is_none() {
-                self.example_problematic = Some(Arc::clone(concrete));
+                self.example_problematic = Some(concrete.truncate_to_depth(max_depth));
             }
         }
-        let assignments = self.generalizer.observe(concrete);
+        let assignments = self.generalizer.observe_bounded(concrete, max_depth);
         self.characteristics.apply_assignments(
             &assignments,
             config.range_kind,

@@ -1,0 +1,438 @@
+//! The retained map-based analysis implementation.
+//!
+//! This is the pre-flat-slot-table Herbgrind analysis, kept verbatim as a
+//! *reference path*: associative containers (`HashMap` shadow memory,
+//! `BTreeMap` records), a `Shadow::clone` per operand, a `SourceLoc` clone
+//! per traced event, and an `AnalysisConfig` clone per operation. It exists
+//! for two reasons:
+//!
+//! 1. **Equivalence testing** — the flat [`crate::analysis::Herbgrind`] must
+//!    produce bit-identical reports; the property and golden test suites
+//!    compare the two end to end across random programs and the benchmark
+//!    suite.
+//! 2. **Benchmarking** — the `analysis_sweep` bench measures both paths in
+//!    the same run, so the speedup of the flat layout is reproducible on any
+//!    machine (the committed `BENCH_analysis_sweep.json` is produced that
+//!    way).
+//!
+//! It is not part of the supported API surface: use
+//! [`crate::analyze`](crate::analysis::analyze) and friends for real
+//! analyses.
+
+use crate::config::AnalysisConfig;
+use crate::localerr::{local_error, total_error};
+use crate::records::{InfluenceSet, OpRecord, SpotKind, SpotRecord};
+use crate::report::Report;
+use crate::trace::{ConcreteExpr, ExprInterner};
+use fpcore::CmpOp;
+use fpvm::{Addr, Machine, MachineError, Program, SourceLoc, Tracer, Value};
+use shadowreal::{BigFloat, Real, RealOp, MAX_ERROR_BITS};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// The shadow of one memory location (reference layout).
+#[derive(Clone, Debug)]
+struct Shadow<R> {
+    real: R,
+    expr: Arc<ConcreteExpr>,
+    influences: InfluenceSet,
+}
+
+/// The map-based Herbgrind analysis, retained as the reference
+/// implementation for the flat [`crate::analysis::Herbgrind`]. See the
+/// module docs for why it exists; its behaviour (and its per-op clones and
+/// map lookups) is deliberately frozen.
+#[derive(Debug)]
+pub struct ReferenceHerbgrind<R: Real> {
+    config: AnalysisConfig,
+    shadows: HashMap<Addr, Shadow<R>>,
+    interner: ExprInterner,
+    ops: BTreeMap<usize, OpRecord>,
+    spots: BTreeMap<usize, SpotRecord>,
+    locations: Vec<SourceLoc>,
+    program_name: String,
+    runs: u64,
+    compensations_detected: u64,
+    branch_divergences: u64,
+}
+
+impl<R: Real> ReferenceHerbgrind<R> {
+    /// Creates an analysis with the given configuration.
+    pub fn new(config: AnalysisConfig) -> ReferenceHerbgrind<R> {
+        ReferenceHerbgrind {
+            config,
+            shadows: HashMap::new(),
+            interner: ExprInterner::new(),
+            ops: BTreeMap::new(),
+            spots: BTreeMap::new(),
+            locations: Vec::new(),
+            program_name: String::new(),
+            runs: 0,
+            compensations_detected: 0,
+            branch_divergences: 0,
+        }
+    }
+
+    /// The number of runs observed so far.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Per-statement operation records.
+    pub fn op_records(&self) -> &BTreeMap<usize, OpRecord> {
+        &self.ops
+    }
+
+    fn shadow_leaf(&self, value: f64) -> R {
+        R::from_f64_prec(value, self.config.shadow_precision)
+    }
+
+    fn location(&self, pc: usize) -> SourceLoc {
+        self.locations.get(pc).cloned().unwrap_or_default()
+    }
+
+    /// Returns the shadow for an address by value — the per-operand
+    /// `Shadow::clone` the flat implementation eliminates.
+    fn shadow_of(&mut self, addr: Addr, client_value: f64) -> Shadow<R> {
+        if let Some(existing) = self.shadows.get(&addr) {
+            return existing.clone();
+        }
+        let fresh = Shadow {
+            real: self.shadow_leaf(client_value),
+            expr: self.interner.leaf(client_value),
+            influences: InfluenceSet::new(),
+        };
+        self.shadows.insert(addr, fresh.clone());
+        fresh
+    }
+
+    fn detect_compensation(
+        &self,
+        op: RealOp,
+        exact_args: &[R],
+        arg_values: &[f64],
+        exact_result: &R,
+        client_result: f64,
+    ) -> Option<usize> {
+        if !self.config.detect_compensation || !matches!(op, RealOp::Add | RealOp::Sub) {
+            return None;
+        }
+        for (i, exact_arg) in exact_args.iter().enumerate() {
+            let passes_through = if op == RealOp::Sub && i == 1 {
+                false
+            } else {
+                exact_result.eq_value(exact_arg)
+            };
+            if !passes_through {
+                continue;
+            }
+            let output_error = total_error(client_result, exact_result);
+            let arg_error = total_error(arg_values[i], exact_arg);
+            if output_error <= arg_error {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Merges the state of a later input shard into this one (same contract
+    /// as [`crate::analysis::Herbgrind::merge`]).
+    pub fn merge(&mut self, other: ReferenceHerbgrind<R>) {
+        if self.locations.is_empty() {
+            self.locations = other.locations;
+            self.program_name = other.program_name;
+        }
+        self.runs += other.runs;
+        self.compensations_detected += other.compensations_detected;
+        self.branch_divergences += other.branch_divergences;
+        self.interner.clear();
+        drop(other.interner);
+        for (pc, record) in other.ops {
+            match self.ops.entry(pc) {
+                std::collections::btree_map::Entry::Occupied(mut existing) => {
+                    existing.get_mut().merge(&record, &self.config);
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(record);
+                }
+            }
+        }
+        for (pc, record) in other.spots {
+            match self.spots.entry(pc) {
+                std::collections::btree_map::Entry::Occupied(mut existing) => {
+                    existing.get_mut().merge(&record);
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(record);
+                }
+            }
+        }
+    }
+
+    /// Produces the final report.
+    pub fn report(&self) -> Report {
+        Report::build(
+            &self.program_name,
+            &self.config,
+            self.ops.iter().map(|(&pc, record)| (pc, record)),
+            self.spots.iter().map(|(&pc, record)| (pc, record)),
+            self.runs,
+            self.compensations_detected,
+            self.branch_divergences,
+        )
+    }
+}
+
+impl<R: Real> Tracer for ReferenceHerbgrind<R> {
+    fn on_start(&mut self, program: &Program, _args: &[f64]) {
+        self.shadows.clear();
+        self.interner.clear();
+        if self.locations.is_empty() {
+            self.locations = program.locations.clone();
+            self.program_name = program.name.clone();
+        }
+        self.runs += 1;
+    }
+
+    fn on_const_f(&mut self, _pc: usize, dest: Addr, value: f64) {
+        let shadow = Shadow {
+            real: self.shadow_leaf(value),
+            expr: self.interner.leaf(value),
+            influences: InfluenceSet::new(),
+        };
+        self.shadows.insert(dest, shadow);
+    }
+
+    fn on_const_i(&mut self, _pc: usize, dest: Addr, _value: i64) {
+        self.shadows.remove(&dest);
+    }
+
+    fn on_copy(&mut self, _pc: usize, dest: Addr, src: Addr, value: Value) {
+        match self.shadows.get(&src).cloned() {
+            Some(shadow) => {
+                self.shadows.insert(dest, shadow);
+            }
+            None => {
+                if let Value::F(v) = value {
+                    let fresh = Shadow {
+                        real: self.shadow_leaf(v),
+                        expr: self.interner.leaf(v),
+                        influences: InfluenceSet::new(),
+                    };
+                    self.shadows.insert(src, fresh.clone());
+                    self.shadows.insert(dest, fresh);
+                } else {
+                    self.shadows.remove(&dest);
+                }
+            }
+        }
+    }
+
+    fn on_compute(
+        &mut self,
+        pc: usize,
+        op: RealOp,
+        dest: Addr,
+        args: &[Addr],
+        arg_values: &[f64],
+        result: f64,
+    ) {
+        // Per-operand map lookups and clones — the costs the flat layout
+        // strips out.
+        let mut exact_args = Vec::with_capacity(args.len());
+        let mut arg_exprs = Vec::with_capacity(args.len());
+        let mut influences = InfluenceSet::new();
+        for (&addr, &value) in args.iter().zip(arg_values) {
+            let shadow = self.shadow_of(addr, value);
+            exact_args.push(shadow.real.clone());
+            arg_exprs.push(Arc::clone(&shadow.expr));
+            influences.extend(shadow.influences.iter().copied());
+        }
+
+        let (local_err, exact_result) = local_error(op, &exact_args);
+        let erroneous = local_err > self.config.local_error_threshold;
+
+        let compensation =
+            self.detect_compensation(op, &exact_args, arg_values, &exact_result, result);
+        if let Some(passthrough_index) = compensation {
+            self.compensations_detected += 1;
+            influences.clear();
+            let shadow = self.shadow_of(args[passthrough_index], arg_values[passthrough_index]);
+            influences.extend(shadow.influences.iter().copied());
+        } else if erroneous {
+            influences.insert(pc);
+        }
+
+        let location = self.location(pc);
+        let depth = 1 + arg_exprs.iter().map(|c| c.depth()).max().unwrap_or(0);
+        let node = if depth <= self.config.max_expression_depth {
+            self.interner.node(op, result, arg_exprs, pc, location)
+        } else {
+            ConcreteExpr::node(op, result, arg_exprs, pc, location)
+                .truncate_to_depth(self.config.max_expression_depth)
+        };
+
+        if compensation.is_none() {
+            let location = self.location(pc);
+            let config = self.config.clone();
+            let record = self
+                .ops
+                .entry(pc)
+                .or_insert_with(|| OpRecord::new(op, location, &config));
+            record.record(&node, local_err, erroneous, &config);
+        }
+
+        self.shadows.insert(
+            dest,
+            Shadow {
+                real: exact_result,
+                expr: node,
+                influences,
+            },
+        );
+    }
+
+    fn on_cast_to_int(&mut self, pc: usize, dest: Addr, src: Addr, value: f64, result: i64) {
+        let shadow = self.shadow_of(src, value);
+        let shadow_int = shadow.real.to_f64().trunc();
+        let diverged = shadow_int as i64 != result;
+        let error = if diverged { MAX_ERROR_BITS } else { 0.0 };
+        let location = self.location(pc);
+        let record = self
+            .spots
+            .entry(pc)
+            .or_insert_with(|| SpotRecord::new(SpotKind::FloatToInt, location));
+        record.record(error, diverged, &shadow.influences);
+        self.shadows.remove(&dest);
+    }
+
+    fn on_branch(
+        &mut self,
+        pc: usize,
+        cmp: CmpOp,
+        lhs: Addr,
+        rhs: Addr,
+        lhs_value: Value,
+        rhs_value: Value,
+        taken: bool,
+    ) {
+        let lhs_shadow = self.shadow_of(lhs, lhs_value.as_f64());
+        let rhs_shadow = self.shadow_of(rhs, rhs_value.as_f64());
+        let shadow_taken = cmp.holds(lhs_shadow.real.compare(&rhs_shadow.real));
+        let diverged = shadow_taken != taken;
+        if diverged {
+            self.branch_divergences += 1;
+        }
+        let mut influences = InfluenceSet::new();
+        influences.extend(lhs_shadow.influences.iter().copied());
+        influences.extend(rhs_shadow.influences.iter().copied());
+        let error = if diverged { MAX_ERROR_BITS } else { 0.0 };
+        let location = self.location(pc);
+        let record = self
+            .spots
+            .entry(pc)
+            .or_insert_with(|| SpotRecord::new(SpotKind::Branch, location));
+        record.record(error, diverged, &influences);
+    }
+
+    fn on_output(&mut self, pc: usize, src: Addr, value: f64) {
+        let shadow = self.shadow_of(src, value);
+        let error = if value.is_nan() {
+            MAX_ERROR_BITS
+        } else {
+            total_error(value, &shadow.real)
+        };
+        let erroneous = error > self.config.output_error_threshold;
+        let location = self.location(pc);
+        let record = self
+            .spots
+            .entry(pc)
+            .or_insert_with(|| SpotRecord::new(SpotKind::Output, location));
+        record.record(error, erroneous, &shadow.influences);
+    }
+}
+
+/// Runs a program under the reference analysis for every input vector with
+/// the default [`BigFloat`] shadow; see the module docs for when to use it.
+///
+/// # Errors
+///
+/// Propagates [`MachineError`] from the underlying interpreter.
+pub fn analyze_reference(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<Report, MachineError> {
+    analyze_with_shadow_reference::<BigFloat>(program, inputs, config)
+}
+
+/// Runs a program under the reference analysis with an explicit shadow-real
+/// type.
+///
+/// # Errors
+///
+/// Propagates [`MachineError`] from the underlying interpreter.
+pub fn analyze_with_shadow_reference<R: Real>(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<Report, MachineError> {
+    let mut analysis = ReferenceHerbgrind::<R>::new(config.clone());
+    let machine = Machine::new(program).with_step_limit(config.step_limit);
+    for input in inputs {
+        machine.run_traced(input, &mut analysis)?;
+    }
+    Ok(analysis.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use fpcore::parse_core;
+    use fpvm::compile_core;
+
+    #[test]
+    fn reference_path_matches_flat_path_on_a_cancellation_kernel() {
+        let core = parse_core("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..24).map(|i| vec![10f64.powi(i)]).collect();
+        let config = AnalysisConfig::default();
+        let flat = analyze(&program, &inputs, &config).unwrap();
+        let reference = analyze_reference(&program, &inputs, &config).unwrap();
+        assert!(flat.has_significant_error());
+        assert_eq!(format!("{flat:?}"), format!("{reference:?}"));
+        assert_eq!(flat.to_text(), reference.to_text());
+    }
+
+    #[test]
+    fn reference_merge_matches_one_sweep() {
+        let core = parse_core("(FPCore (x) (- (+ x 1) x))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![10f64.powi(i)]).collect();
+        let config = AnalysisConfig::default();
+        let machine = Machine::new(&program);
+
+        let mut whole = ReferenceHerbgrind::<BigFloat>::new(config.clone());
+        for input in &inputs {
+            machine.run_traced(input, &mut whole).unwrap();
+        }
+        let mut merged: Option<ReferenceHerbgrind<BigFloat>> = None;
+        for chunk in inputs.chunks(6) {
+            let mut shard = ReferenceHerbgrind::<BigFloat>::new(config.clone());
+            for input in chunk {
+                machine.run_traced(input, &mut shard).unwrap();
+            }
+            match &mut merged {
+                Some(acc) => acc.merge(shard),
+                None => merged = Some(shard),
+            }
+        }
+        let merged = merged.unwrap();
+        assert_eq!(merged.runs(), whole.runs());
+        assert_eq!(
+            format!("{:?}", merged.report()),
+            format!("{:?}", whole.report())
+        );
+    }
+}

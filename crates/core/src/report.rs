@@ -85,25 +85,30 @@ pub struct Report {
 
 impl Report {
     /// Builds a report from the analysis state (internal).
-    pub(crate) fn build(
+    ///
+    /// `ops` and `spots` must be supplied in ascending-pc order (both the
+    /// flat slot tables and the reference `BTreeMap`s iterate that way):
+    /// spot ordering ties are broken by input order, so the pc order is part
+    /// of the bit-identical report contract.
+    pub(crate) fn build<'a>(
         program_name: &str,
         config: &AnalysisConfig,
-        ops: &BTreeMap<usize, OpRecord>,
-        spots: &BTreeMap<usize, SpotRecord>,
+        ops: impl Iterator<Item = (usize, &'a OpRecord)>,
+        spots: impl Iterator<Item = (usize, &'a SpotRecord)>,
         total_runs: u64,
         compensations_detected: u64,
         branch_divergences: u64,
     ) -> Report {
+        let ops: Vec<(usize, &OpRecord)> = ops.collect();
         let causes: BTreeMap<usize, RootCauseReport> = ops
             .iter()
             .filter(|(_, rec)| rec.erroneous > 0)
-            .map(|(&pc, rec)| (pc, root_cause_from_record(pc, rec, config)))
+            .map(|&(pc, rec)| (pc, root_cause_from_record(pc, rec, config)))
             .collect();
 
         let mut spot_reports: Vec<SpotReport> = spots
-            .iter()
             .filter(|(_, rec)| rec.erroneous > 0)
-            .map(|(&pc, rec)| {
+            .map(|(pc, rec)| {
                 let mut root_causes: Vec<RootCauseReport> = rec
                     .influences
                     .iter()
@@ -136,7 +141,7 @@ impl Report {
         Report {
             program_name: program_name.to_string(),
             spots: spot_reports,
-            flagged_operations: ops.values().filter(|r| r.erroneous > 0).count(),
+            flagged_operations: ops.iter().filter(|(_, r)| r.erroneous > 0).count(),
             total_operations: ops.len(),
             total_runs,
             compensations_detected,

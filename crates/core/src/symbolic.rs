@@ -58,11 +58,24 @@ impl SymbolicExpr {
     /// Builds the initial symbolic expression from a single concrete trace:
     /// operation structure is kept, leaves become constants.
     pub fn from_concrete(expr: &ConcreteExpr) -> SymbolicExpr {
+        Self::from_concrete_bounded(expr, usize::MAX)
+    }
+
+    /// Like [`SymbolicExpr::from_concrete`], with the trace viewed through a
+    /// depth budget: operation nodes deeper than `budget` levels become
+    /// constants holding their observed value, exactly as if the trace had
+    /// been truncated with [`ConcreteExpr::truncate_to_depth`] first — but
+    /// without materializing the truncated trace.
+    pub fn from_concrete_bounded(expr: &ConcreteExpr, budget: usize) -> SymbolicExpr {
         match expr {
             ConcreteExpr::Leaf { value } => SymbolicExpr::Const(*value),
+            ConcreteExpr::Node { .. } if budget == 0 => SymbolicExpr::Const(expr.value()),
             ConcreteExpr::Node { op, children, .. } => SymbolicExpr::Node {
                 op: *op,
-                children: children.iter().map(|c| Self::from_concrete(c)).collect(),
+                children: children
+                    .iter()
+                    .map(|c| Self::from_concrete_bounded(c, budget - 1))
+                    .collect(),
             },
         }
     }
@@ -226,22 +239,40 @@ pub struct Generalizer {
 
 struct PairTable {
     depth: usize,
-    entries: Vec<(SymbolicExpr, Arc<ConcreteExpr>, usize)>,
+    /// `(symbolic subtree, concrete subtree, concrete depth budget, var)`.
+    /// The concrete side is kept raw together with the depth budget it was
+    /// encountered under; comparisons view it through that budget lazily.
+    /// The table lives only for one observation walk, so nothing is ever
+    /// materialized from it — truncating the subtree here (per new pair,
+    /// per operation) used to dominate loop-carried traces.
+    entries: Vec<(SymbolicExpr, Arc<ConcreteExpr>, usize, usize)>,
     assignments: Vec<VarAssignment>,
 }
 
 impl PairTable {
-    fn variable_for(&mut self, sym: &SymbolicExpr, conc: &Arc<ConcreteExpr>) -> usize {
-        for (s, c, var) in &self.entries {
+    /// Finds (or allocates) the shared variable for a `(symbolic, concrete)`
+    /// pair, with the concrete side viewed through `budget`: every
+    /// comparison behaves exactly as if the concrete subtrees had been
+    /// truncated to their budgets first, without building the truncations.
+    fn variable_for(
+        &mut self,
+        sym: &SymbolicExpr,
+        conc: &Arc<ConcreteExpr>,
+        budget: usize,
+    ) -> usize {
+        for (s, c, c_budget, var) in &self.entries {
             // Hash-consed traces make repeated subtraces pointer-identical;
-            // `equivalent_to_depth` short-circuits on identity before
-            // walking the subtree.
-            if s.equivalent_to_depth(sym, self.depth) && c.equivalent_to_depth(conc, self.depth) {
+            // `equivalent_views` short-circuits on identity before walking
+            // the subtree.
+            if s.equivalent_to_depth(sym, self.depth)
+                && equivalent_views(c, *c_budget, conc, budget, self.depth)
+            {
                 return *var;
             }
         }
         let var = self.entries.len();
-        self.entries.push((sym.clone(), Arc::clone(conc), var));
+        self.entries
+            .push((sym.clone(), Arc::clone(conc), budget, var));
         let origin = match sym {
             SymbolicExpr::Var(v) => VarOrigin::FromVar(*v),
             SymbolicExpr::Const(c) => VarOrigin::FromConst(*c),
@@ -253,6 +284,58 @@ impl PairTable {
             value: conc.value(),
         });
         var
+    }
+}
+
+/// Bounded structural equivalence between the budget-limited views of two
+/// raw traces: equivalent to
+/// `a.truncate_to_depth(budget_a).equivalent_to_depth(&b.truncate_to_depth(budget_b), depth)`
+/// without building either truncation. Values compare by bit pattern, as in
+/// [`ConcreteExpr::equivalent_to_depth`].
+fn equivalent_views(
+    a: &ConcreteExpr,
+    budget_a: usize,
+    b: &ConcreteExpr,
+    budget_b: usize,
+    depth: usize,
+) -> bool {
+    if depth == 0 {
+        return true;
+    }
+    // Pointer identity proves view equivalence when the budgets agree or no
+    // cut can occur within the compared depth.
+    if std::ptr::eq(a, b) {
+        let min_budget = budget_a.min(budget_b);
+        if budget_a == budget_b || min_budget >= depth || a.depth() <= min_budget {
+            return true;
+        }
+    }
+    let a_is_leaf_view = budget_a == 0 || a.is_leaf();
+    let b_is_leaf_view = budget_b == 0 || b.is_leaf();
+    match (a_is_leaf_view, b_is_leaf_view) {
+        (true, true) => a.value().to_bits() == b.value().to_bits(),
+        (false, false) => match (a, b) {
+            (
+                ConcreteExpr::Node {
+                    op: op_a,
+                    children: ch_a,
+                    ..
+                },
+                ConcreteExpr::Node {
+                    op: op_b,
+                    children: ch_b,
+                    ..
+                },
+            ) => {
+                op_a == op_b
+                    && ch_a.len() == ch_b.len()
+                    && ch_a.iter().zip(ch_b).all(|(ca, cb)| {
+                        equivalent_views(ca, budget_a - 1, cb, budget_b - 1, depth - 1)
+                    })
+            }
+            _ => unreachable!("non-leaf views are nodes"),
+        },
+        _ => false,
     }
 }
 
@@ -326,9 +409,28 @@ impl Generalizer {
     /// returning the variable assignments for this observation (used to
     /// update input characteristics).
     pub fn observe(&mut self, concrete: &Arc<ConcreteExpr>) -> Vec<VarAssignment> {
-        match self.current.take() {
+        self.observe_bounded(concrete, usize::MAX)
+    }
+
+    /// Like [`Generalizer::observe`], with the concrete trace viewed through
+    /// a depth budget: nodes deeper than `max_depth` operation levels read
+    /// as constants holding their observed value, producing exactly the
+    /// state and assignments that `observe(&concrete.truncate_to_depth(max_depth))`
+    /// would — without materializing the truncated trace.
+    ///
+    /// This is what lets the analysis hot loop keep deeper-than-reported
+    /// traces in shadow memory (truncating only when the storage bound is
+    /// exceeded) while the per-operation record update stays an in-place,
+    /// allocation-free walk: generalization mutates the current symbolic
+    /// expression where it changes and touches nothing where it does not.
+    pub fn observe_bounded(
+        &mut self,
+        concrete: &Arc<ConcreteExpr>,
+        max_depth: usize,
+    ) -> Vec<VarAssignment> {
+        match self.current.as_mut() {
             None => {
-                self.current = Some(SymbolicExpr::from_concrete(concrete));
+                self.current = Some(SymbolicExpr::from_concrete_bounded(concrete, max_depth));
                 Vec::new()
             }
             Some(previous) => {
@@ -337,8 +439,7 @@ impl Generalizer {
                     entries: Vec::new(),
                     assignments: Vec::new(),
                 };
-                let generalized = antiunify(&previous, concrete, &mut table);
-                self.current = Some(generalized);
+                antiunify_mut(previous, concrete, max_depth, &mut table);
                 table.assignments
             }
         }
@@ -407,13 +508,29 @@ fn antiunify_sym(
     }
 }
 
-fn antiunify(sym: &SymbolicExpr, conc: &Arc<ConcreteExpr>, table: &mut PairTable) -> SymbolicExpr {
-    match (sym, conc.as_ref()) {
-        (SymbolicExpr::Const(c), ConcreteExpr::Leaf { value })
-            if c.to_bits() == value.to_bits() =>
-        {
-            SymbolicExpr::Const(*c)
-        }
+/// In-place anti-unification of the running generalization against a new
+/// concrete trace viewed through `budget` levels.
+///
+/// Positions where the generalization already covers the observation —
+/// matching constants, matching operation structure, and (the steady state)
+/// existing variables — are left untouched, so a saturated generalization
+/// observes a new trace with no allocation at all. Only positions that
+/// genuinely generalize are rewritten. The result is bit-identical to the
+/// rebuild-from-scratch formulation: every position is visited in the same
+/// pre-order, pair discovery order (and therefore variable numbering) is
+/// unchanged, and each table entry clones the symbolic subtree before it is
+/// overwritten, exactly as the immutable walk cloned it out of the previous
+/// expression.
+fn antiunify_mut(
+    sym: &mut SymbolicExpr,
+    conc: &Arc<ConcreteExpr>,
+    budget: usize,
+    table: &mut PairTable,
+) {
+    let conc_is_leaf_view = budget == 0 || conc.is_leaf();
+    match (&mut *sym, conc.as_ref()) {
+        (SymbolicExpr::Const(c), _)
+            if conc_is_leaf_view && c.to_bits() == conc.value().to_bits() => {}
         (
             SymbolicExpr::Node { op, children },
             ConcreteExpr::Node {
@@ -421,15 +538,15 @@ fn antiunify(sym: &SymbolicExpr, conc: &Arc<ConcreteExpr>, table: &mut PairTable
                 children: conc_children,
                 ..
             },
-        ) if op == conc_op && children.len() == conc_children.len() => SymbolicExpr::Node {
-            op: *op,
-            children: children
-                .iter()
-                .zip(conc_children)
-                .map(|(s, c)| antiunify(s, c, table))
-                .collect(),
-        },
-        _ => SymbolicExpr::Var(table.variable_for(sym, conc)),
+        ) if budget > 0 && *op == *conc_op && children.len() == conc_children.len() => {
+            for (s, c) in children.iter_mut().zip(conc_children) {
+                antiunify_mut(s, c, budget - 1, table);
+            }
+        }
+        _ => {
+            let var = table.variable_for(sym, conc, budget);
+            *sym = SymbolicExpr::Var(var);
+        }
     }
 }
 
@@ -437,6 +554,82 @@ fn antiunify(sym: &SymbolicExpr, conc: &Arc<ConcreteExpr>, table: &mut PairTable
 mod tests {
     use super::*;
     use fpvm::SourceLoc;
+
+    /// A deep chain trace: `x_k = x_{k-1} op_k leaf_k`, alternating ops.
+    fn chain_trace(levels: usize, seed: f64) -> Arc<ConcreteExpr> {
+        let mut trace = ConcreteExpr::leaf(seed);
+        for k in 0..levels {
+            let op = if k % 2 == 0 { RealOp::Add } else { RealOp::Mul };
+            let leaf = ConcreteExpr::leaf(seed + k as f64);
+            trace = ConcreteExpr::node(
+                op,
+                seed * (k + 1) as f64,
+                vec![trace, leaf],
+                k,
+                SourceLoc::default(),
+            );
+        }
+        trace
+    }
+
+    #[test]
+    fn from_concrete_bounded_matches_truncate_then_convert() {
+        for levels in [0usize, 1, 3, 9] {
+            let trace = chain_trace(levels, 0.5);
+            for budget in [0usize, 1, 2, 5, 100] {
+                let bounded = SymbolicExpr::from_concrete_bounded(&trace, budget);
+                let truncated = SymbolicExpr::from_concrete(&trace.truncate_to_depth(budget));
+                assert_eq!(bounded, truncated, "levels={levels} budget={budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn observe_bounded_matches_observe_of_truncated_trace() {
+        for budget in [1usize, 2, 4, 7] {
+            let mut bounded = Generalizer::new(5);
+            let mut truncating = Generalizer::new(5);
+            for (i, seed) in [0.5f64, 0.5, 1.25, -3.0, 0.5, 8.5].iter().enumerate() {
+                // Vary the chain length so the cut point moves around.
+                let trace = chain_trace(3 + (i % 4) * 3, *seed);
+                let a = bounded.observe_bounded(&trace, budget);
+                let b = truncating.observe(&trace.truncate_to_depth(budget));
+                assert_eq!(a, b, "assignments diverged at step {i}, budget {budget}");
+                assert_eq!(
+                    bounded.current(),
+                    truncating.current(),
+                    "generalizations diverged at step {i}, budget {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_view_equivalence_matches_materialized_truncation() {
+        let a = chain_trace(8, 0.5);
+        let b = chain_trace(11, 0.5);
+        for (ba, bb) in [(0usize, 0usize), (2, 2), (3, 8), (8, 3), (20, 20)] {
+            for depth in [1usize, 2, 5, 16] {
+                let expect = a
+                    .truncate_to_depth(ba)
+                    .equivalent_to_depth(&b.truncate_to_depth(bb), depth);
+                assert_eq!(
+                    equivalent_views(&a, ba, &b, bb, depth),
+                    expect,
+                    "budgets ({ba},{bb}) depth {depth}"
+                );
+            }
+        }
+        // Pointer-identical raw traces with different budgets still compare
+        // by view, not by identity.
+        assert!(equivalent_views(&a, 3, &a, 3, 16));
+        assert!(!equivalent_views(&a, 3, &a, 8, 16));
+        assert_eq!(
+            equivalent_views(&a, 3, &a, 8, 16),
+            a.truncate_to_depth(3)
+                .equivalent_to_depth(&a.truncate_to_depth(8), 16)
+        );
+    }
 
     fn dist_trace(x: f64, y: f64) -> Arc<ConcreteExpr> {
         // sqrt(x*x + y*y) - x

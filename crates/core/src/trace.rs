@@ -16,7 +16,7 @@
 //!   pointer-identity fast paths before walking subtrees.
 
 use fpvm::SourceLoc;
-use shadowreal::RealOp;
+use shadowreal::{RealOp, MAX_ARITY};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
@@ -214,22 +214,43 @@ impl ConcreteExpr {
 /// statement, and the identities of the children. Children are keyed by
 /// pointer — sound because the interner keeps every interned node (and
 /// therefore every child an entry references) alive, so a keyed address can
-/// never be reused while the table exists. Arity is at most 3 ([`RealOp`]
-/// has no wider operation), so the key is a fixed-size, allocation-free
-/// value.
+/// never be reused while the table exists. Arity is bounded by
+/// [`MAX_ARITY`] ([`RealOp`] has no wider operation), so the key is a
+/// fixed-size, allocation-free value.
 #[derive(Debug, PartialEq, Eq, Hash)]
 struct NodeKey {
     op: RealOp,
     value_bits: u64,
     pc: usize,
     arity: u8,
-    children: [usize; 3],
+    children: [usize; MAX_ARITY],
 }
 
 impl NodeKey {
     fn new(op: RealOp, value: f64, pc: usize, children: &[Arc<ConcreteExpr>]) -> NodeKey {
-        debug_assert!(children.len() <= 3, "RealOp arity exceeds key capacity");
-        let mut ptrs = [0usize; 3];
+        assert!(
+            children.len() <= MAX_ARITY,
+            "RealOp arity exceeds key capacity"
+        );
+        let mut ptrs = [0usize; MAX_ARITY];
+        for (slot, child) in ptrs.iter_mut().zip(children) {
+            *slot = Arc::as_ptr(child) as usize;
+        }
+        NodeKey {
+            op,
+            value_bits: value.to_bits(),
+            pc,
+            arity: children.len() as u8,
+            children: ptrs,
+        }
+    }
+
+    fn from_refs(op: RealOp, value: f64, pc: usize, children: &[&Arc<ConcreteExpr>]) -> NodeKey {
+        assert!(
+            children.len() <= MAX_ARITY,
+            "RealOp arity exceeds key capacity"
+        );
+        let mut ptrs = [0usize; MAX_ARITY];
         for (slot, child) in ptrs.iter_mut().zip(children) {
             *slot = Arc::as_ptr(child) as usize;
         }
@@ -311,6 +332,31 @@ impl ExprInterner {
             return Arc::clone(existing);
         }
         let node = ConcreteExpr::node(op, value, children, pc, loc);
+        if self.nodes.len() < MAX_INTERNED {
+            self.nodes.insert(key, Arc::clone(&node));
+        }
+        node
+    }
+
+    /// Like [`ExprInterner::node`], with the children and location passed by
+    /// reference: on a table hit (the common case inside loops) nothing is
+    /// cloned or allocated — the child `Arc`s are only cloned into a fresh
+    /// `Vec` when the node is genuinely new. This is the entry point the
+    /// analysis hot loop uses.
+    pub fn node_ref(
+        &mut self,
+        op: RealOp,
+        value: f64,
+        children: &[&Arc<ConcreteExpr>],
+        pc: usize,
+        loc: &SourceLoc,
+    ) -> Arc<ConcreteExpr> {
+        let key = NodeKey::from_refs(op, value, pc, children);
+        if let Some(existing) = self.nodes.get(&key) {
+            return Arc::clone(existing);
+        }
+        let owned: Vec<Arc<ConcreteExpr>> = children.iter().map(|c| Arc::clone(c)).collect();
+        let node = ConcreteExpr::node(op, value, owned, pc, loc.clone());
         if self.nodes.len() < MAX_INTERNED {
             self.nodes.insert(key, Arc::clone(&node));
         }
@@ -502,6 +548,25 @@ mod tests {
         );
         assert!(!Arc::ptr_eq(&a, &d));
         assert_eq!(interner.len(), 4);
+    }
+
+    #[test]
+    fn node_ref_interns_to_the_same_entry_as_node() {
+        let mut interner = ExprInterner::new();
+        let x = interner.leaf(7.0);
+        let owned = interner.node(
+            RealOp::Mul,
+            49.0,
+            vec![x.clone(), x.clone()],
+            0,
+            SourceLoc::default(),
+        );
+        let by_ref = interner.node_ref(RealOp::Mul, 49.0, &[&x, &x], 0, &SourceLoc::default());
+        assert!(Arc::ptr_eq(&owned, &by_ref));
+        // A genuinely new identity through node_ref is interned for reuse.
+        let fresh = interner.node_ref(RealOp::Add, 14.0, &[&x, &x], 1, &SourceLoc::default());
+        let again = interner.node_ref(RealOp::Add, 14.0, &[&x, &x], 1, &SourceLoc::default());
+        assert!(Arc::ptr_eq(&fresh, &again));
     }
 
     #[test]

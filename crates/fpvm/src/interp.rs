@@ -113,10 +113,117 @@ pub struct NullTracer;
 
 impl Tracer for NullTracer {}
 
+/// The widest [`RealOp`] arity (re-exported from `shadowreal`, where the
+/// operation set is defined); compute instructions carry their operand
+/// addresses inline in an array of this size instead of a heap `Vec`.
+pub use shadowreal::MAX_ARITY;
+
+/// A pre-decoded statement: the executable form of one [`Statement`], with
+/// operand addresses stored inline and branch predicates split by kind so
+/// the dispatch loop does no nested matching and no pointer chasing.
+#[derive(Clone, Debug)]
+enum Inst {
+    ConstF {
+        dest: Addr,
+        value: f64,
+    },
+    ConstI {
+        dest: Addr,
+        value: i64,
+    },
+    Copy {
+        dest: Addr,
+        src: Addr,
+    },
+    Compute {
+        dest: Addr,
+        op: RealOp,
+        arity: u8,
+        args: [Addr; MAX_ARITY],
+    },
+    CastToInt {
+        dest: Addr,
+        src: Addr,
+    },
+    Jump {
+        target: usize,
+    },
+    BranchCmp {
+        cmp: CmpOp,
+        lhs: Addr,
+        rhs: Addr,
+        target: usize,
+    },
+    Output {
+        src: Addr,
+    },
+    Halt,
+}
+
+/// Decodes a program into its execution tape. Done once per [`Machine`], so
+/// an input sweep pays O(program) setup instead of re-interpreting the
+/// `Statement` representation (with its heap-allocated operand lists) on
+/// every executed instruction.
+fn decode(program: &Program) -> Vec<Inst> {
+    program
+        .statements
+        .iter()
+        .map(|stmt| match stmt {
+            Statement::ConstF { dest, value } => Inst::ConstF {
+                dest: *dest,
+                value: *value,
+            },
+            Statement::ConstI { dest, value } => Inst::ConstI {
+                dest: *dest,
+                value: *value,
+            },
+            Statement::Copy { dest, src } => Inst::Copy {
+                dest: *dest,
+                src: *src,
+            },
+            Statement::Compute { dest, op, args } => {
+                assert!(
+                    args.len() <= MAX_ARITY,
+                    "compute statement has {} operands; RealOp arity is at most {MAX_ARITY}",
+                    args.len()
+                );
+                let mut inline = [0 as Addr; MAX_ARITY];
+                inline[..args.len()].copy_from_slice(args);
+                Inst::Compute {
+                    dest: *dest,
+                    op: *op,
+                    arity: args.len() as u8,
+                    args: inline,
+                }
+            }
+            Statement::CastToInt { dest, src } => Inst::CastToInt {
+                dest: *dest,
+                src: *src,
+            },
+            Statement::Branch { pred, target } => match pred {
+                Pred::Always => Inst::Jump { target: *target },
+                Pred::Cmp(cmp, lhs, rhs) => Inst::BranchCmp {
+                    cmp: *cmp,
+                    lhs: *lhs,
+                    rhs: *rhs,
+                    target: *target,
+                },
+            },
+            Statement::Output { src } => Inst::Output { src: *src },
+            Statement::Halt => Inst::Halt,
+        })
+        .collect()
+}
+
 /// The machine interpreter.
+///
+/// Construction pre-decodes the program into an execution tape (see
+/// [`decode`]); running is then a dispatch loop over fixed-size instructions
+/// that performs no per-instruction heap allocation.
 #[derive(Clone, Debug)]
 pub struct Machine<'p> {
     program: &'p Program,
+    tape: Vec<Inst>,
     step_limit: u64,
 }
 
@@ -125,10 +232,12 @@ pub struct Machine<'p> {
 pub const DEFAULT_STEP_LIMIT: u64 = 50_000_000;
 
 impl<'p> Machine<'p> {
-    /// Creates an interpreter for a program.
+    /// Creates an interpreter for a program, pre-decoding it into the
+    /// execution tape.
     pub fn new(program: &'p Program) -> Machine<'p> {
         Machine {
             program,
+            tape: decode(program),
             step_limit: DEFAULT_STEP_LIMIT,
         }
     }
@@ -160,6 +269,25 @@ impl<'p> Machine<'p> {
         args: &[f64],
         tracer: &mut T,
     ) -> Result<RunResult, MachineError> {
+        let mut memory = Vec::new();
+        self.run_traced_reusing(args, tracer, &mut memory)
+    }
+
+    /// Runs the program like [`Machine::run_traced`], reusing `memory` as the
+    /// machine's flat memory so an input sweep performs no per-run
+    /// allocation. The buffer is cleared and reinitialized on entry; its
+    /// contents afterwards are the final machine memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] for argument arity mismatches, runaway
+    /// loops, and malformed control flow.
+    pub fn run_traced_reusing<T: Tracer + ?Sized>(
+        &self,
+        args: &[f64],
+        tracer: &mut T,
+        memory: &mut Vec<Value>,
+    ) -> Result<RunResult, MachineError> {
         let program = self.program;
         if args.len() != program.arg_addrs.len() {
             return Err(MachineError::ArityMismatch {
@@ -167,7 +295,8 @@ impl<'p> Machine<'p> {
                 actual: args.len(),
             });
         }
-        let mut memory: Vec<Value> = vec![Value::F(0.0); program.num_addrs];
+        memory.clear();
+        memory.resize(program.num_addrs, Value::F(0.0));
         for (&addr, &value) in program.arg_addrs.iter().zip(args) {
             memory[addr] = Value::F(value);
         }
@@ -182,54 +311,67 @@ impl<'p> Machine<'p> {
                 });
             }
             result.steps += 1;
-            let Some(stmt) = program.statements.get(pc) else {
+            let Some(inst) = self.tape.get(pc) else {
                 return Err(MachineError::PcOutOfRange { pc });
             };
-            match stmt {
-                Statement::Halt => break,
-                Statement::ConstF { dest, value } => {
+            match inst {
+                Inst::Halt => break,
+                Inst::ConstF { dest, value } => {
                     memory[*dest] = Value::F(*value);
                     tracer.on_const_f(pc, *dest, *value);
                     pc += 1;
                 }
-                Statement::ConstI { dest, value } => {
+                Inst::ConstI { dest, value } => {
                     memory[*dest] = Value::I(*value);
                     tracer.on_const_i(pc, *dest, *value);
                     pc += 1;
                 }
-                Statement::Copy { dest, src } => {
+                Inst::Copy { dest, src } => {
                     let v = memory[*src];
                     memory[*dest] = v;
                     tracer.on_copy(pc, *dest, *src, v);
                     pc += 1;
                 }
-                Statement::Compute { dest, op, args } => {
-                    let arg_values: Vec<f64> = args.iter().map(|&a| memory[a].as_f64()).collect();
-                    let value = <f64 as shadowreal::Real>::apply(*op, &arg_values);
+                Inst::Compute {
+                    dest,
+                    op,
+                    arity,
+                    args,
+                } => {
+                    let addrs = &args[..*arity as usize];
+                    let mut values = [0.0f64; MAX_ARITY];
+                    for (value, &addr) in values.iter_mut().zip(addrs) {
+                        *value = memory[addr].as_f64();
+                    }
+                    let arg_values = &values[..addrs.len()];
+                    let value = <f64 as shadowreal::Real>::apply(*op, arg_values);
                     memory[*dest] = Value::F(value);
-                    tracer.on_compute(pc, *op, *dest, args, &arg_values, value);
+                    tracer.on_compute(pc, *op, *dest, addrs, arg_values, value);
                     pc += 1;
                 }
-                Statement::CastToInt { dest, src } => {
+                Inst::CastToInt { dest, src } => {
                     let v = memory[*src].as_f64();
                     let as_int = v.trunc() as i64;
                     memory[*dest] = Value::I(as_int);
                     tracer.on_cast_to_int(pc, *dest, *src, v, as_int);
                     pc += 1;
                 }
-                Statement::Branch { pred, target } => match pred {
-                    Pred::Always => {
-                        pc = *target;
-                    }
-                    Pred::Cmp(op, a, b) => {
-                        let va = memory[*a];
-                        let vb = memory[*b];
-                        let taken = op.holds(va.as_f64().partial_cmp(&vb.as_f64()));
-                        tracer.on_branch(pc, *op, *a, *b, va, vb, taken);
-                        pc = if taken { *target } else { pc + 1 };
-                    }
-                },
-                Statement::Output { src } => {
+                Inst::Jump { target } => {
+                    pc = *target;
+                }
+                Inst::BranchCmp {
+                    cmp,
+                    lhs,
+                    rhs,
+                    target,
+                } => {
+                    let va = memory[*lhs];
+                    let vb = memory[*rhs];
+                    let taken = cmp.holds(va.as_f64().partial_cmp(&vb.as_f64()));
+                    tracer.on_branch(pc, *cmp, *lhs, *rhs, va, vb, taken);
+                    pc = if taken { *target } else { pc + 1 };
+                }
+                Inst::Output { src } => {
                     let v = memory[*src].as_f64();
                     result.outputs.push(v);
                     tracer.on_output(pc, *src, v);
@@ -407,6 +549,40 @@ mod tests {
         assert_eq!(tracer.computes, 2);
         assert_eq!(tracer.outputs, 1);
         assert_eq!(tracer.branches, 0);
+    }
+
+    #[test]
+    fn reused_memory_buffer_matches_fresh_runs() {
+        // The same scratch buffer serves runs of different programs and
+        // sizes; every run must behave exactly like a fresh allocation.
+        let p1 = straight_line_program();
+        let p2 = Program {
+            name: "cast".into(),
+            statements: vec![
+                Statement::CastToInt { dest: 1, src: 0 },
+                Statement::Output { src: 1 },
+                Statement::Halt,
+            ],
+            locations: vec![SourceLoc::default(); 3],
+            num_addrs: 2,
+            arg_addrs: vec![0],
+        };
+        let mut memory = Vec::new();
+        let m1 = Machine::new(&p1);
+        let m2 = Machine::new(&p2);
+        for i in 0..4 {
+            let a = 1.0 + i as f64;
+            let fresh = m1.run(&[a, 2.0]).unwrap();
+            let reused = m1
+                .run_traced_reusing(&[a, 2.0], &mut NullTracer, &mut memory)
+                .unwrap();
+            assert_eq!(fresh, reused);
+            let fresh = m2.run(&[a + 0.9]).unwrap();
+            let reused = m2
+                .run_traced_reusing(&[a + 0.9], &mut NullTracer, &mut memory)
+                .unwrap();
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub mod libm_lowering;
 pub mod program;
 
 pub use compile::{compile_core, CompileError, CompileOptions};
-pub use interp::{Machine, MachineError, RunResult, Tracer};
+pub use interp::{Machine, MachineError, NullTracer, RunResult, Tracer, MAX_ARITY};
 pub use program::{Addr, Pred, Program, SourceLoc, Statement, Value};

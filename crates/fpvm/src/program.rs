@@ -146,6 +146,18 @@ impl SourceLoc {
             function: function.into(),
         }
     }
+
+    /// A statically allocated default location, for lookup paths that return
+    /// locations by reference (cloning a `SourceLoc` is two `String` clones,
+    /// which used to happen once per traced event).
+    pub fn static_default() -> &'static SourceLoc {
+        static DEFAULT: SourceLoc = SourceLoc {
+            file: String::new(),
+            line: 0,
+            function: String::new(),
+        };
+        &DEFAULT
+    }
 }
 
 impl fmt::Display for SourceLoc {
@@ -181,9 +193,13 @@ impl Program {
     }
 
     /// The source location of a statement (a default location if none was
-    /// recorded).
-    pub fn location(&self, pc: usize) -> SourceLoc {
-        self.locations.get(pc).cloned().unwrap_or_default()
+    /// recorded). Returned by reference: locations are consulted once per
+    /// traced event, and cloning two `String`s per event was a measurable
+    /// part of the per-op analysis overhead.
+    pub fn location(&self, pc: usize) -> &SourceLoc {
+        self.locations
+            .get(pc)
+            .unwrap_or(SourceLoc::static_default())
     }
 
     /// The number of statements that are floating-point computations.
@@ -318,6 +334,21 @@ mod tests {
             arg_addrs: vec![],
         };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn location_lookup_is_by_reference_with_default() {
+        let p = Program {
+            name: "loc".into(),
+            statements: vec![Statement::Halt],
+            locations: vec![SourceLoc::new("main.c", 7, "f")],
+            num_addrs: 0,
+            arg_addrs: vec![],
+        };
+        assert_eq!(p.location(0).line, 7);
+        assert_eq!(p.location(0).file, "main.c");
+        // Out-of-range lookups yield the (static) default location.
+        assert_eq!(p.location(42), &SourceLoc::default());
     }
 
     #[test]

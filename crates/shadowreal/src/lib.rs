@@ -48,4 +48,4 @@ pub mod bigfloat;
 pub use bigfloat::BigFloat;
 pub use bits::{bits_error, ordinal, ulps_between, MAX_ERROR_BITS};
 pub use dd::DoubleDouble;
-pub use real::{Real, RealOp};
+pub use real::{Real, RealOp, MAX_ARITY};

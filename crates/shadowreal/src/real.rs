@@ -11,6 +11,13 @@ use crate::{BigFloat, DoubleDouble};
 use std::cmp::Ordering;
 use std::fmt::Debug;
 
+/// The widest [`RealOp`] arity. Hot paths throughout the workspace size
+/// their stack operand buffers with this constant (the interpreter's inline
+/// argument arrays, the analysis's borrowed-operand arrays, trace-interner
+/// keys); a wider operation must bump it, which
+/// [`RealOp::all`]-based tests pin.
+pub const MAX_ARITY: usize = 3;
+
 /// Identifies a floating-point operation evaluated by the shadow execution.
 ///
 /// The set matches the FPCore operator vocabulary (which is also the set of
@@ -183,6 +190,21 @@ pub trait Real: Clone + Debug + Sized {
     /// Panics if `args.len() != op.arity()`.
     fn apply(op: RealOp, args: &[Self]) -> Self;
 
+    /// Evaluates `op` on borrowed arguments.
+    ///
+    /// The analysis hot loop holds its operands by reference (they live in
+    /// the shadow slot table); this entry point lets implementations evaluate
+    /// without cloning each operand first. The default clones and defers to
+    /// [`Real::apply`]; the provided shadow types override it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() != op.arity()`.
+    fn apply_ref(op: RealOp, args: &[&Self]) -> Self {
+        let owned: Vec<Self> = args.iter().map(|a| (*a).clone()).collect();
+        Self::apply(op, &owned)
+    }
+
     /// Numeric equality through [`Real::compare`].
     fn eq_value(&self, other: &Self) -> bool {
         self.compare(other) == Some(Ordering::Equal)
@@ -205,6 +227,14 @@ impl Real for f64 {
     fn apply(op: RealOp, args: &[Self]) -> Self {
         assert_eq!(args.len(), op.arity(), "arity mismatch for {op}");
         apply_f64(op, args)
+    }
+    fn apply_ref(op: RealOp, args: &[&Self]) -> Self {
+        assert_eq!(args.len(), op.arity(), "arity mismatch for {op}");
+        let mut buf = [0.0f64; MAX_ARITY];
+        for (slot, &&a) in buf.iter_mut().zip(args) {
+            *slot = a;
+        }
+        apply_f64(op, &buf[..args.len()])
     }
 }
 
@@ -274,18 +304,26 @@ impl Real for BigFloat {
         BigFloat::partial_cmp(self, other)
     }
     fn apply(op: RealOp, args: &[Self]) -> Self {
+        assert!(!args.is_empty(), "arity mismatch for {op}");
+        let mut refs: [&Self; MAX_ARITY] = [&args[0]; MAX_ARITY];
+        for (slot, a) in refs.iter_mut().zip(args) {
+            *slot = a;
+        }
+        Self::apply_ref(op, &refs[..args.len()])
+    }
+    fn apply_ref(op: RealOp, args: &[&Self]) -> Self {
         assert_eq!(args.len(), op.arity(), "arity mismatch for {op}");
         use RealOp::*;
         match op {
-            Add => args[0].add(&args[1]),
-            Sub => args[0].sub(&args[1]),
-            Mul => args[0].mul(&args[1]),
-            Div => args[0].div(&args[1]),
+            Add => args[0].add(args[1]),
+            Sub => args[0].sub(args[1]),
+            Mul => args[0].mul(args[1]),
+            Div => args[0].div(args[1]),
             Neg => args[0].neg(),
             Fabs => args[0].abs(),
             Sqrt => args[0].sqrt(),
             Cbrt => args[0].cbrt(),
-            Fma => args[0].fma(&args[1], &args[2]),
+            Fma => args[0].fma(args[1], args[2]),
             Exp => args[0].exp(),
             Exp2 => args[0].exp2(),
             Expm1 => args[0].expm1(),
@@ -293,30 +331,30 @@ impl Real for BigFloat {
             Log2 => args[0].log2(),
             Log10 => args[0].log10(),
             Log1p => args[0].log1p(),
-            Pow => args[0].pow(&args[1]),
+            Pow => args[0].pow(args[1]),
             Sin => args[0].sin(),
             Cos => args[0].cos(),
             Tan => args[0].tan(),
             Asin => args[0].asin(),
             Acos => args[0].acos(),
             Atan => args[0].atan(),
-            Atan2 => args[0].atan2(&args[1]),
+            Atan2 => args[0].atan2(args[1]),
             Sinh => args[0].sinh(),
             Cosh => args[0].cosh(),
             Tanh => args[0].tanh(),
             Asinh => args[0].asinh(),
             Acosh => args[0].acosh(),
             Atanh => args[0].atanh(),
-            Hypot => args[0].hypot(&args[1]),
-            Fmin => args[0].fmin(&args[1]),
-            Fmax => args[0].fmax(&args[1]),
-            Fdim => args[0].fdim(&args[1]),
-            Fmod => args[0].fmod(&args[1]),
+            Hypot => args[0].hypot(args[1]),
+            Fmin => args[0].fmin(args[1]),
+            Fmax => args[0].fmax(args[1]),
+            Fdim => args[0].fdim(args[1]),
+            Fmod => args[0].fmod(args[1]),
             Floor => args[0].floor(),
             Ceil => args[0].ceil(),
             Trunc => args[0].trunc(),
             Round => args[0].round_nearest(),
-            Copysign => args[0].copysign(&args[1]),
+            Copysign => args[0].copysign(args[1]),
         }
     }
 }
@@ -335,24 +373,35 @@ impl Real for DoubleDouble {
         DoubleDouble::compare(self, other)
     }
     fn apply(op: RealOp, args: &[Self]) -> Self {
+        assert!(!args.is_empty(), "arity mismatch for {op}");
+        let mut refs: [&Self; MAX_ARITY] = [&args[0]; MAX_ARITY];
+        for (slot, a) in refs.iter_mut().zip(args) {
+            *slot = a;
+        }
+        Self::apply_ref(op, &refs[..args.len()])
+    }
+    fn apply_ref(op: RealOp, args: &[&Self]) -> Self {
         assert_eq!(args.len(), op.arity(), "arity mismatch for {op}");
         use RealOp::*;
         match op {
-            Add => args[0].add(&args[1]),
-            Sub => args[0].sub(&args[1]),
-            Mul => args[0].mul(&args[1]),
-            Div => args[0].div(&args[1]),
+            Add => args[0].add(args[1]),
+            Sub => args[0].sub(args[1]),
+            Mul => args[0].mul(args[1]),
+            Div => args[0].div(args[1]),
             Neg => args[0].neg(),
             Fabs => args[0].abs(),
             Sqrt => args[0].sqrt(),
-            Fma => args[0].mul(&args[1]).add(&args[2]),
+            Fma => args[0].mul(args[1]).add(args[2]),
             // Transcendental operations fall back to double precision plus the
             // double-double pair structure of the result where cheap; this is a
             // documented accuracy limitation of the fast shadow (~53 bits for
             // library calls). The BigFloat shadow has no such limitation.
             _ => {
-                let f_args: Vec<f64> = args.iter().map(|a| a.to_f64()).collect();
-                DoubleDouble::from_f64(apply_f64(op, &f_args))
+                let mut buf = [0.0f64; MAX_ARITY];
+                for (slot, a) in buf.iter_mut().zip(args) {
+                    *slot = a.to_f64();
+                }
+                DoubleDouble::from_f64(apply_f64(op, &buf[..args.len()]))
             }
         }
     }
@@ -365,11 +414,19 @@ mod tests {
     #[test]
     fn arity_matches_argument_shape() {
         for &op in RealOp::all() {
-            assert!(op.arity() >= 1 && op.arity() <= 3, "{op}");
+            assert!(op.arity() >= 1 && op.arity() <= MAX_ARITY, "{op}");
         }
         assert_eq!(RealOp::Add.arity(), 2);
         assert_eq!(RealOp::Sqrt.arity(), 1);
         assert_eq!(RealOp::Fma.arity(), 3);
+        // MAX_ARITY sizes fixed operand buffers across the workspace
+        // (interpreter tape, analysis operand arrays, trace-interner keys);
+        // adding a wider operation must bump it, and this pin makes that
+        // failure loud.
+        assert_eq!(
+            RealOp::all().iter().map(|op| op.arity()).max(),
+            Some(MAX_ARITY)
+        );
     }
 
     #[test]
@@ -434,6 +491,25 @@ mod tests {
         // Fixed-precision shadows accept and ignore the parameter.
         assert_eq!(<f64 as Real>::from_f64_prec(0.25, 512), 0.25);
         assert_eq!(DoubleDouble::from_f64_prec(0.25, 512).to_f64(), 0.25);
+    }
+
+    #[test]
+    fn apply_ref_matches_apply_on_every_op() {
+        for &op in RealOp::all() {
+            let args_f: Vec<f64> = (0..op.arity()).map(|i| 0.5 + i as f64 * 0.25).collect();
+            let by_ref = f64::apply_ref(op, &args_f.iter().collect::<Vec<_>>());
+            assert_eq!(by_ref.to_bits(), f64::apply(op, &args_f).to_bits(), "{op}");
+
+            let big: Vec<BigFloat> = args_f.iter().map(|&a| BigFloat::from_f64(a)).collect();
+            let owned = BigFloat::apply(op, &big);
+            let by_ref = BigFloat::apply_ref(op, &big.iter().collect::<Vec<_>>());
+            assert_eq!(format!("{owned:?}"), format!("{by_ref:?}"), "{op}");
+
+            let dd: Vec<DoubleDouble> = args_f.iter().map(|&a| DoubleDouble::from_f64(a)).collect();
+            let owned = DoubleDouble::apply(op, &dd);
+            let by_ref = DoubleDouble::apply_ref(op, &dd.iter().collect::<Vec<_>>());
+            assert_eq!(format!("{owned:?}"), format!("{by_ref:?}"), "{op}");
+        }
     }
 
     #[test]

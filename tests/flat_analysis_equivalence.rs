@@ -1,0 +1,242 @@
+//! Equivalence of the flat slot-table analysis and the retained map-based
+//! reference implementation.
+//!
+//! The flat [`herbgrind::Herbgrind`] replaces hash-map shadow memory,
+//! ordered record maps, per-operand clones, and per-operation truncation
+//! with slot tables, generation stamps, borrowed operands, and
+//! depth-budgeted observation. None of that may change a single bit of any
+//! report: this suite pins the two implementations together across random
+//! programs, random input sweeps, the benchmark suite (loops included), and
+//! every configuration knob, and checks that sweep-level buffer reuse in
+//! the flat path cannot leak state between inputs.
+
+use fpcore::Expr;
+use fpvm::compile_core;
+use herbgrind::reference::analyze_with_shadow_reference;
+use herbgrind::{analyze_with_shadow, AnalysisConfig, RangeKind};
+use proptest::prelude::*;
+use shadowreal::{BigFloat, RealOp};
+
+fn assert_same_report(
+    program: &fpvm::Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+    context: &str,
+) {
+    let flat = analyze_with_shadow::<BigFloat>(program, inputs, config);
+    let reference = analyze_with_shadow_reference::<BigFloat>(program, inputs, config);
+    match (flat, reference) {
+        (Ok(flat), Ok(reference)) => {
+            assert_eq!(
+                format!("{flat:?}"),
+                format!("{reference:?}"),
+                "reports diverged: {context}"
+            );
+            assert_eq!(
+                flat.to_text(),
+                reference.to_text(),
+                "rendered reports diverged: {context}"
+            );
+        }
+        (flat, reference) => {
+            assert_eq!(
+                format!("{:?}", flat.err()),
+                format!("{:?}", reference.err()),
+                "errors diverged: {context}"
+            );
+        }
+    }
+}
+
+/// A strategy producing well-formed numeric expressions over variables `a`
+/// and `b`, biased toward the operations whose records differ structurally
+/// (compensation candidates, multi-arg ops, sqrt NaNs).
+fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100.0f64..100.0).prop_map(|v| Expr::Number((v * 8.0).round() / 8.0)),
+        Just(Expr::Number(0.0)),
+        Just(Expr::Number(1.0)),
+        Just(Expr::var("a")),
+        Just(Expr::var("b")),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::op(RealOp::Add, vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::op(RealOp::Sub, vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::op(RealOp::Mul, vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::op(RealOp::Div, vec![x, y])),
+            inner.clone().prop_map(|x| Expr::op(RealOp::Sqrt, vec![x])),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(x, y, z)| Expr::op(RealOp::Fma, vec![x, y, z])),
+        ]
+    })
+}
+
+fn input_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e12f64..1e12,
+        -1.0f64..1.0,
+        Just(0.0),
+        Just(1.0),
+        Just(1e16),
+        Just(-1e-300),
+    ]
+}
+
+proptest! {
+    /// Flat and reference analyses produce bit-identical reports on random
+    /// straight-line programs over random input sweeps.
+    #[test]
+    fn flat_matches_reference_on_random_programs(
+        expr in arb_expr(4),
+        inputs in proptest::collection::vec((input_value(), input_value()), 1..6),
+    ) {
+        let core = fpcore::FPCore {
+            arguments: vec!["a".to_string(), "b".to_string()],
+            name: None,
+            pre: None,
+            properties: Default::default(),
+            body: expr,
+        };
+        let program = compile_core(&core, Default::default()).expect("compiles");
+        let sweep: Vec<Vec<f64>> = inputs.iter().map(|&(a, b)| vec![a, b]).collect();
+        assert_same_report(&program, &sweep, &AnalysisConfig::default(), "default config");
+        // A shallow depth bound exercises the budgeted-observation cut and
+        // the hysteresis truncation path on every nontrivial trace.
+        let shallow = AnalysisConfig::default().with_max_expression_depth(2);
+        assert_same_report(&program, &sweep, &shallow, "depth 2");
+    }
+}
+
+#[test]
+fn flat_matches_reference_on_the_benchmark_suite() {
+    // The suite includes loop benchmarks, whose deep loop-carried traces
+    // exercise the hysteresis storage bound and the amortized truncation.
+    for core in fpbench::subset(12) {
+        let name = core.display_name().to_string();
+        let prepared = fpbench::prepare(&core, 24, 2024).expect("prepare");
+        assert_same_report(
+            &prepared.program,
+            &prepared.inputs,
+            &AnalysisConfig::default(),
+            &name,
+        );
+    }
+}
+
+#[test]
+fn flat_matches_reference_for_every_configuration_knob() {
+    let core = fpcore::parse_core("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+    let program = compile_core(&core, Default::default()).unwrap();
+    let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![10f64.powi(i)]).collect();
+    let configs = [
+        AnalysisConfig::fpdebug_like(),
+        AnalysisConfig::default().with_local_error_threshold(1.0),
+        AnalysisConfig::default().with_max_expression_depth(1),
+        AnalysisConfig::default().with_max_expression_depth(3),
+        AnalysisConfig::default().with_range_kind(RangeKind::Single),
+        AnalysisConfig::default().with_range_kind(RangeKind::None),
+        AnalysisConfig::default().with_compensation_detection(false),
+        AnalysisConfig {
+            shadow_precision: 64,
+            ..AnalysisConfig::default()
+        },
+    ];
+    for (i, config) in configs.into_iter().enumerate() {
+        assert_same_report(&program, &inputs, &config, &format!("config {i}"));
+    }
+}
+
+#[test]
+fn sweep_buffer_reuse_does_not_leak_state_between_inputs() {
+    // The flat analysis reuses its shadow slot table (via generation
+    // stamps), the machine memory buffer, and the interner allocation
+    // across a sweep. A leak would make a multi-input report differ from
+    // the same inputs analyzed with per-input fresh state — which is
+    // exactly what the reference path (fresh hash maps per run) computes.
+    // The loop program makes leakage observable: every run writes a
+    // different number of addresses and leaves stale deep traces behind.
+    let core =
+        fpcore::parse_core("(FPCore (n) (while (< i n) ((s 0 (+ s (/ 1 i))) (i 1 (+ i 1))) s))")
+            .unwrap();
+    let program = compile_core(&core, Default::default()).unwrap();
+    // Descending loop bounds: later (shorter) runs re-read addresses the
+    // earlier (longer) runs wrote deep shadows into; with a leak the stale
+    // generation's traces would bleed into the later runs' records.
+    let inputs: Vec<Vec<f64>> = vec![vec![200.0], vec![37.0], vec![3.0], vec![0.0], vec![120.0]];
+    assert_same_report(
+        &program,
+        &inputs,
+        &AnalysisConfig::default(),
+        "descending loop sweep",
+    );
+
+    // Order independence of the leak check: analyzing a permuted sweep with
+    // one shared analysis must match analyzing each input in isolation and
+    // summing the run counts (fresh-per-input reports cannot see leaks).
+    let whole = analyze_with_shadow::<BigFloat>(&program, &inputs, &AnalysisConfig::default())
+        .expect("sweep analyzes");
+    let fresh_runs: u64 = inputs
+        .iter()
+        .map(|input| {
+            analyze_with_shadow::<BigFloat>(
+                &program,
+                std::slice::from_ref(input),
+                &AnalysisConfig::default(),
+            )
+            .expect("single input analyzes")
+            .total_runs
+        })
+        .sum();
+    assert_eq!(whole.total_runs, fresh_runs);
+}
+
+#[test]
+fn record_bounded_matches_record_of_truncated_trace() {
+    use fpvm::SourceLoc;
+    use herbgrind::records::OpRecord;
+    use herbgrind::trace::ConcreteExpr;
+    use std::sync::Arc;
+
+    // A deep loop-carried chain: s_k = s_{k-1} + (1 / i_k).
+    let config = AnalysisConfig::default();
+    let loc = SourceLoc::default();
+    let mut bounded = OpRecord::new(RealOp::Add, loc.clone(), &config);
+    let mut truncating = OpRecord::new(RealOp::Add, loc.clone(), &config);
+    for max_depth in [1usize, 2, 5] {
+        let mut s: Arc<ConcreteExpr> = ConcreteExpr::leaf(0.0);
+        for k in 1..40u32 {
+            let i_val = k as f64;
+            let div = ConcreteExpr::node(
+                RealOp::Div,
+                1.0 / i_val,
+                vec![ConcreteExpr::leaf(1.0), ConcreteExpr::leaf(i_val)],
+                10,
+                loc.clone(),
+            );
+            let sum_val = (1..=k).map(|j| 1.0 / j as f64).sum::<f64>();
+            let sum =
+                ConcreteExpr::node(RealOp::Add, sum_val, vec![s.clone(), div], 11, loc.clone());
+            let erroneous = k % 7 == 0;
+            bounded.record_bounded(&sum, max_depth, 0.25 * k as f64, erroneous, &config);
+            truncating.record(
+                &sum.truncate_to_depth(max_depth),
+                0.25 * k as f64,
+                erroneous,
+                &config,
+            );
+            assert_eq!(
+                format!("{bounded:?}"),
+                format!("{truncating:?}"),
+                "diverged at k={k}, max_depth={max_depth}"
+            );
+            // Keep the stored trace deeper than the budget, like the flat
+            // analysis's hysteresis storage does.
+            s = if sum.depth() > 4 * max_depth {
+                sum.truncate_to_depth(max_depth)
+            } else {
+                sum
+            };
+        }
+    }
+}
