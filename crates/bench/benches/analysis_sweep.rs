@@ -32,6 +32,7 @@
 //! smoke coverage.
 
 use fpvm::{Addr, Machine, Program, Tracer};
+#[cfg(feature = "reference-analysis")]
 use herbgrind::reference::analyze_with_shadow_reference;
 use herbgrind::{analyze_with_shadow, AnalysisConfig};
 use shadowreal::{BigFloat, RealOp};
@@ -82,6 +83,8 @@ fn measure<F: FnMut()>(total_ops: u64, reps: usize, mut f: F) -> f64 {
 
 /// One kernel of the sweep: a compiled program plus its input set.
 struct SweepKernel {
+    /// Used by the differential agreement check, which is feature-gated.
+    #[cfg_attr(not(feature = "reference-analysis"), allow(dead_code))]
     name: &'static str,
     program: Program,
     inputs: Vec<Vec<f64>>,
@@ -196,23 +199,27 @@ fn main() {
             ns_per_op: flat_ns,
             overhead_x: flat_ns / native_ns,
         });
-        let reference_ns = measure(total_ops, reps, || {
-            for p in &prepared {
-                black_box(
-                    analyze_with_shadow_reference::<BigFloat>(&p.program, &p.inputs, &config)
-                        .expect("reference analysis"),
-                );
-            }
-        });
-        rows.push(Row {
-            path: "reference",
-            bits,
-            ns_per_op: reference_ns,
-            overhead_x: reference_ns / native_ns,
-        });
+        #[cfg(feature = "reference-analysis")]
+        {
+            let reference_ns = measure(total_ops, reps, || {
+                for p in &prepared {
+                    black_box(
+                        analyze_with_shadow_reference::<BigFloat>(&p.program, &p.inputs, &config)
+                            .expect("reference analysis"),
+                    );
+                }
+            });
+            rows.push(Row {
+                path: "reference",
+                bits,
+                ns_per_op: reference_ns,
+                overhead_x: reference_ns / native_ns,
+            });
+        }
     }
 
     // The two paths must agree bit for bit even while being timed.
+    #[cfg(feature = "reference-analysis")]
     for p in &prepared {
         let config = AnalysisConfig::default().with_threads(1);
         let flat = analyze_with_shadow::<BigFloat>(&p.program, &p.inputs, &config).unwrap();
@@ -227,15 +234,6 @@ fn main() {
     }
 
     // --- Report -----------------------------------------------------------
-    let find = |path: &str, bits: u32| {
-        rows.iter()
-            .find(|r| r.path == path && r.bits == bits)
-            .expect("row present")
-            .ns_per_op
-    };
-    let speedup_64 = find("reference", 64) / find("flat", 64);
-    let speedup_256 = find("reference", 256) / find("flat", 256);
-
     for row in &rows {
         println!(
             "bench analysis_sweep/{}/{}: {:.1} ns/op  ({:.2e} analyzed ops/s, {:.1}x native)",
@@ -246,9 +244,25 @@ fn main() {
             row.overhead_x
         );
     }
-    println!(
-        "bench analysis_sweep: flat vs reference: {speedup_64:.2}x at 64 bits, {speedup_256:.2}x at 256 bits ({total_ops} analyzed ops per sweep)"
-    );
+    let speedups = if cfg!(feature = "reference-analysis") {
+        let find = |path: &str, bits: u32| {
+            rows.iter()
+                .find(|r| r.path == path && r.bits == bits)
+                .expect("row present")
+                .ns_per_op
+        };
+        let speedup_64 = find("reference", 64) / find("flat", 64);
+        let speedup_256 = find("reference", 256) / find("flat", 256);
+        println!(
+            "bench analysis_sweep: flat vs reference: {speedup_64:.2}x at 64 bits, {speedup_256:.2}x at 256 bits ({total_ops} analyzed ops per sweep)"
+        );
+        Some((speedup_64, speedup_256))
+    } else {
+        println!(
+            "bench analysis_sweep: reference rows skipped (built without the `reference-analysis` feature; {total_ops} analyzed ops per sweep)"
+        );
+        None
+    };
 
     let mut json = String::from("{\n  \"bench\": \"analysis_sweep\",\n  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -263,9 +277,12 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"analyzed_ops_per_sweep\": {total_ops},\n  \"speedup_vs_reference\": {{\"p64\": {speedup_64:.2}, \"p256\": {speedup_256:.2}}}\n}}\n"
-    ));
+    match speedups {
+        Some((speedup_64, speedup_256)) => json.push_str(&format!(
+            "  \"analyzed_ops_per_sweep\": {total_ops},\n  \"speedup_vs_reference\": {{\"p64\": {speedup_64:.2}, \"p256\": {speedup_256:.2}}}\n}}\n"
+        )),
+        None => json.push_str(&format!("  \"analyzed_ops_per_sweep\": {total_ops}\n}}\n")),
+    }
     println!("ANALYSIS_SWEEP_JSON_BEGIN");
     print!("{json}");
     println!("ANALYSIS_SWEEP_JSON_END");

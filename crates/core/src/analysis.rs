@@ -241,7 +241,7 @@ impl<R: Real> Herbgrind<R> {
     /// by a tracked float operation (the lazy shadowing of §6). Unlike the
     /// reference implementation's `shadow_of`, nothing is cloned: callers
     /// read the populated slot by reference afterwards.
-    fn ensure_shadow(&mut self, addr: Addr, client_value: f64) {
+    pub(crate) fn ensure_shadow(&mut self, addr: Addr, client_value: f64) {
         if addr >= self.shadow_slots.len() {
             self.shadow_slots.resize_with(addr + 1, ShadowSlot::default);
         }
@@ -257,6 +257,135 @@ impl<R: Real> Herbgrind<R> {
         let slot = &mut self.shadow_slots[addr];
         slot.gen = self.shadow_gen;
         slot.shadow = Some(fresh);
+    }
+
+    /// The exact shadow value of `addr` for the current run, if one exists —
+    /// the batched analysis gathers operand lanes through this after
+    /// [`Herbgrind::ensure_shadow`].
+    pub(crate) fn shadow_real(&self, addr: Addr) -> Option<&R> {
+        shadow_at(&self.shadow_slots, self.shadow_gen, addr).map(|shadow| &shadow.real)
+    }
+
+    /// The record-keeping tail of a compute observation, with the exact
+    /// evaluation already done: compensation detection, influence
+    /// propagation, trace construction, record update, and the destination
+    /// shadow write. `Tracer::on_compute` calls this after evaluating the
+    /// operation serially; the batched analysis calls it per lane after one
+    /// lane-vectorized evaluation ([`shadowreal::BatchReal`]), whose
+    /// bit-identity contract makes the two entry points indistinguishable.
+    ///
+    /// Every operand must already have a shadow for the current run
+    /// ([`Herbgrind::ensure_shadow`]), and `local_err`/`exact_result` must be
+    /// exactly what [`crate::localerr::local_error_ref`] computes on those
+    /// operand shadows.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish_compute(
+        &mut self,
+        pc: usize,
+        op: RealOp,
+        dest: Addr,
+        args: &[Addr],
+        arg_values: &[f64],
+        result: f64,
+        local_err: f64,
+        exact_result: R,
+    ) {
+        // Split field borrows: operand shadows stay borrowed from the slot
+        // table while the interner and record tables are updated.
+        let Herbgrind {
+            config,
+            shadow_slots,
+            shadow_gen,
+            interner,
+            op_slots,
+            locations,
+            compensations_detected,
+            ..
+        } = self;
+        let config: &AnalysisConfig = config;
+        let gen = *shadow_gen;
+        let n = args.len();
+
+        let first = shadow_at(shadow_slots, gen, args[0]).expect("operand shadow populated");
+        let mut exact_refs: [&R; MAX_ARITY] = [&first.real; MAX_ARITY];
+        let mut expr_refs: [&Arc<ConcreteExpr>; MAX_ARITY] = [&first.expr; MAX_ARITY];
+        let mut influences = InfluenceSet::new();
+        for (i, &addr) in args.iter().enumerate() {
+            let shadow = shadow_at(shadow_slots, gen, addr).expect("operand shadow populated");
+            exact_refs[i] = &shadow.real;
+            expr_refs[i] = &shadow.expr;
+            influences.union_with(&shadow.influences);
+        }
+        let erroneous = local_err > config.local_error_threshold;
+
+        // Compensation detection (§5.3): the compensating term's influences
+        // are not propagated, and the compensated operation is not itself
+        // reported as a candidate root cause.
+        let compensation = detect_compensation(
+            config,
+            op,
+            &exact_refs[..n],
+            arg_values,
+            &exact_result,
+            result,
+        );
+        if let Some(passthrough_index) = compensation {
+            *compensations_detected += 1;
+            influences.clear();
+            let shadow = shadow_at(shadow_slots, gen, args[passthrough_index])
+                .expect("operand shadow populated");
+            influences.union_with(&shadow.influences);
+        } else if erroneous {
+            influences.insert(pc);
+        }
+
+        // Build the concrete expression for the result, hash-consed so
+        // repeated subtraces share one allocation.
+        //
+        // Stored traces are depth-bounded with hysteresis: the reported
+        // bound is `max_expression_depth` (D), but shadow memory keeps
+        // traces up to 4D deep and truncates back to D only when that
+        // storage bound overflows. Truncating a deep trace is O(tree) —
+        // done per operation (as the reference path does) it dominates
+        // loop-carried chains; done on overflow every ≥3D operations it
+        // amortizes to O(tree/D) per operation, while memory stays bounded
+        // by the 4D storage depth. Records observe the trace through a
+        // depth budget ([`OpRecord::record_bounded`]), which reads nodes
+        // beyond D as value leaves — bit-identical to truncating first,
+        // because truncation preserves every value, operation, and location
+        // above the cut.
+        let location = location_of(locations, pc);
+        let max_depth = config.max_expression_depth;
+        let store_bound = max_depth.saturating_mul(4);
+        let depth = 1 + expr_refs[..n].iter().map(|c| c.depth()).max().unwrap_or(0);
+        let node = if depth <= store_bound {
+            interner.node_ref(op, result, &expr_refs[..n], pc, location)
+        } else {
+            let children: Vec<Arc<ConcreteExpr>> =
+                expr_refs[..n].iter().map(|c| Arc::clone(c)).collect();
+            ConcreteExpr::node(op, result, children, pc, location.clone())
+                .truncate_to_depth(max_depth)
+        };
+
+        // Update the operation record (unless the operation is a detected
+        // compensation, which the user should not see).
+        if compensation.is_none() {
+            let record = record_slot(op_slots, pc)
+                .get_or_insert_with(|| OpRecord::new(op, location.clone(), config));
+            record.record_bounded(&node, max_depth, local_err, erroneous, config);
+        }
+
+        // Update the destination shadow (the only slot written).
+        put_shadow(
+            shadow_slots,
+            gen,
+            dest,
+            Some(Shadow {
+                real: exact_result,
+                expr: node,
+                influences,
+            }),
+        );
     }
 
     /// Merges the state of a later input shard into this one.
@@ -401,104 +530,27 @@ impl<R: Real> Tracer for Herbgrind<R> {
             self.ensure_shadow(addr, value);
         }
 
-        // Split field borrows: operand shadows stay borrowed from the slot
-        // table while the interner and record tables are updated.
-        let Herbgrind {
-            config,
-            shadow_slots,
-            shadow_gen,
-            interner,
-            op_slots,
-            locations,
-            compensations_detected,
-            ..
-        } = self;
-        let config: &AnalysisConfig = config;
-        let gen = *shadow_gen;
-        let n = args.len();
-
-        let first = shadow_at(shadow_slots, gen, args[0]).expect("operand shadow populated");
-        let mut exact_refs: [&R; MAX_ARITY] = [&first.real; MAX_ARITY];
-        let mut expr_refs: [&Arc<ConcreteExpr>; MAX_ARITY] = [&first.expr; MAX_ARITY];
-        let mut influences = InfluenceSet::new();
-        for (i, &addr) in args.iter().enumerate() {
-            let shadow = shadow_at(shadow_slots, gen, addr).expect("operand shadow populated");
-            exact_refs[i] = &shadow.real;
-            expr_refs[i] = &shadow.expr;
-            influences.extend(shadow.influences.iter().copied());
-        }
-
         // Local error of this operation on exact inputs (Figure 4).
-        let (local_err, exact_result) = local_error_ref(op, &exact_refs[..n]);
-        let erroneous = local_err > config.local_error_threshold;
-
-        // Compensation detection (§5.3): the compensating term's influences
-        // are not propagated, and the compensated operation is not itself
-        // reported as a candidate root cause.
-        let compensation = detect_compensation(
-            config,
-            op,
-            &exact_refs[..n],
-            arg_values,
-            &exact_result,
-            result,
-        );
-        if let Some(passthrough_index) = compensation {
-            *compensations_detected += 1;
-            influences.clear();
-            let shadow = shadow_at(shadow_slots, gen, args[passthrough_index])
+        let (local_err, exact_result) = {
+            let first = shadow_at(&self.shadow_slots, self.shadow_gen, args[0])
                 .expect("operand shadow populated");
-            influences.extend(shadow.influences.iter().copied());
-        } else if erroneous {
-            influences.insert(pc);
-        }
-
-        // Build the concrete expression for the result, hash-consed so
-        // repeated subtraces share one allocation.
-        //
-        // Stored traces are depth-bounded with hysteresis: the reported
-        // bound is `max_expression_depth` (D), but shadow memory keeps
-        // traces up to 4D deep and truncates back to D only when that
-        // storage bound overflows. Truncating a deep trace is O(tree) —
-        // done per operation (as the reference path does) it dominates
-        // loop-carried chains; done on overflow every ≥3D operations it
-        // amortizes to O(tree/D) per operation, while memory stays bounded
-        // by the 4D storage depth. Records observe the trace through a
-        // depth budget ([`OpRecord::record_bounded`]), which reads nodes
-        // beyond D as value leaves — bit-identical to truncating first,
-        // because truncation preserves every value, operation, and location
-        // above the cut.
-        let location = location_of(locations, pc);
-        let max_depth = config.max_expression_depth;
-        let store_bound = max_depth.saturating_mul(4);
-        let depth = 1 + expr_refs[..n].iter().map(|c| c.depth()).max().unwrap_or(0);
-        let node = if depth <= store_bound {
-            interner.node_ref(op, result, &expr_refs[..n], pc, location)
-        } else {
-            let children: Vec<Arc<ConcreteExpr>> =
-                expr_refs[..n].iter().map(|c| Arc::clone(c)).collect();
-            ConcreteExpr::node(op, result, children, pc, location.clone())
-                .truncate_to_depth(max_depth)
+            let mut exact_refs: [&R; MAX_ARITY] = [&first.real; MAX_ARITY];
+            for (slot, &addr) in exact_refs.iter_mut().zip(args) {
+                *slot = &shadow_at(&self.shadow_slots, self.shadow_gen, addr)
+                    .expect("operand shadow populated")
+                    .real;
+            }
+            local_error_ref(op, &exact_refs[..args.len()])
         };
-
-        // Update the operation record (unless the operation is a detected
-        // compensation, which the user should not see).
-        if compensation.is_none() {
-            let record = record_slot(op_slots, pc)
-                .get_or_insert_with(|| OpRecord::new(op, location.clone(), config));
-            record.record_bounded(&node, max_depth, local_err, erroneous, config);
-        }
-
-        // Update the destination shadow (the only slot written).
-        put_shadow(
-            shadow_slots,
-            gen,
+        self.finish_compute(
+            pc,
+            op,
             dest,
-            Some(Shadow {
-                real: exact_result,
-                expr: node,
-                influences,
-            }),
+            args,
+            arg_values,
+            result,
+            local_err,
+            exact_result,
         );
     }
 
@@ -551,8 +603,8 @@ impl<R: Real> Tracer for Herbgrind<R> {
             *branch_divergences += 1;
         }
         let mut influences = InfluenceSet::new();
-        influences.extend(lhs_shadow.influences.iter().copied());
-        influences.extend(rhs_shadow.influences.iter().copied());
+        influences.union_with(&lhs_shadow.influences);
+        influences.union_with(&rhs_shadow.influences);
         let error = if diverged { MAX_ERROR_BITS } else { 0.0 };
         let record = record_slot(spot_slots, pc).get_or_insert_with(|| {
             SpotRecord::new(SpotKind::Branch, location_of(locations, pc).clone())
@@ -673,13 +725,17 @@ pub fn analyze_parallel_with_shadow<R: Real + Send>(
         return analyze_with_shadow::<R>(program, inputs, config);
     }
     let chunk_size = inputs.len().div_ceil(threads);
+    // Decode the execution tape once; shard machines are clones that share
+    // it (`Machine` holds the tape behind an `Arc`), so an N-thread sweep
+    // pays O(program) decode instead of O(N × program).
+    let shared = Machine::new(program).with_step_limit(config.step_limit);
     let shards: Vec<Result<Herbgrind<R>, MachineError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = inputs
             .chunks(chunk_size)
             .map(|chunk| {
+                let machine = shared.clone();
                 scope.spawn(move || {
                     let mut analysis = Herbgrind::<R>::new(config.clone());
-                    let machine = Machine::new(program).with_step_limit(config.step_limit);
                     let mut memory = Vec::new();
                     for input in chunk {
                         machine.run_traced_reusing(input, &mut analysis, &mut memory)?;

@@ -1,0 +1,760 @@
+//! The batched analysis mode: Herbgrind over the lane-parallel execution
+//! engine ([`fpvm::batch`]).
+//!
+//! # Architecture
+//!
+//! [`analyze_batched`] splits the input sweep into `W` contiguous chunks and
+//! assigns chunk `l` to lane `l` — the same contiguous-chunk sharding
+//! [`analyze_parallel`](crate::analysis::analyze_parallel) uses across
+//! threads, but across SIMD lanes of one [`BatchMachine`] pass. Each lane
+//! owns a full per-lane [`Herbgrind`] shard (its own shadow slot table,
+//! record slots, and trace interner, indexed by lane), and the
+//! [`BatchHerbgrind`] tracer fans every per-group callback out to the lanes
+//! of the group, so **each lane shard observes exactly the serial callback
+//! sequence for its inputs**. Folding the lane shards in lane order is then
+//! the same contiguous in-input-order merge the parallel engine performs —
+//! which is why the batched report is **bit-identical** to serial
+//! [`analyze`](crate::analysis::analyze) for every batch width, divergent
+//! control flow included (the engine replays each lane's serial statement
+//! sequence regardless of grouping).
+//!
+//! What the batch amortizes or vectorizes per op group: tape dispatch, the
+//! tracer callback, the client `f64` arithmetic, the **exact shadow
+//! evaluation** (one [`BatchReal::apply_lanes`] call per group — the
+//! vectorized [`shadowreal::dd_batch`] kernels for the `DoubleDouble`
+//! shadow), and the float side of the local-error computation. The
+//! per-lane record observation (trace interning, anti-unification, input
+//! characteristics) is folded into the same group call but remains
+//! per-lane work; [`DdErrorProbe`] shows the engine's throughput with that
+//! bookkeeping stripped to FpDebug-style per-statement error counters.
+//!
+//! Threads compose with lanes: `config.threads` shards the sweep exactly as
+//! the parallel engine does, every shard runs the batched engine on a
+//! cloned machine sharing one decoded tape, and shard merges happen in
+//! input order.
+
+use crate::analysis::Herbgrind;
+use crate::config::AnalysisConfig;
+use crate::report::Report;
+use fpcore::CmpOp;
+use fpvm::batch::{full_mask, lane_active, lane_indices, BatchMemory, BatchTracer, LaneMask};
+use fpvm::{Addr, Machine, MachineError, Program, Tracer, Value, MAX_ARITY};
+use shadowreal::{apply_f64_lanes, bits_error, BatchReal, BigFloat, DdLanes, RealOp};
+
+/// The lane widths the batched engine is compiled for. Requested widths
+/// ([`AnalysisConfig::batch_width`]) outside this menu fall back to the
+/// nearest smaller entry; the report is bit-identical either way, so the
+/// width only affects throughput. The menu covers the power-of-two widths
+/// the vectorized kernels target plus a prime width (13) so non-uniform
+/// remainder chunking stays exercised.
+pub const SUPPORTED_BATCH_WIDTHS: &[usize] = &[1, 2, 4, 8, 13, 16];
+
+/// The width the engine will actually run for a requested
+/// [`AnalysisConfig::batch_width`]: the largest supported width that does
+/// not exceed the request (`0` and `1` both select single-lane batches).
+pub fn effective_batch_width(requested: usize) -> usize {
+    let requested = requested.max(1);
+    SUPPORTED_BATCH_WIDTHS
+        .iter()
+        .copied()
+        .filter(|&w| w <= requested)
+        .max()
+        .unwrap_or(1)
+}
+
+/// The Herbgrind analysis attached to a lane batch: one full per-lane
+/// analysis shard per lane, driven by per-group callbacks.
+///
+/// Most events simply fan out to the owning lane's serial [`Tracer`]
+/// methods; compute events evaluate the exact operation for the whole group
+/// in one [`BatchReal::apply_lanes`] call before finishing each lane's
+/// record keeping, so the expensive shadow arithmetic runs lane-vectorized.
+#[derive(Debug)]
+pub struct BatchHerbgrind<R: BatchReal, const W: usize> {
+    lanes: Vec<Herbgrind<R>>,
+}
+
+impl<R: BatchReal, const W: usize> BatchHerbgrind<R, W> {
+    /// One analysis shard per lane.
+    pub fn new(config: &AnalysisConfig) -> Self {
+        BatchHerbgrind {
+            lanes: (0..W).map(|_| Herbgrind::new(config.clone())).collect(),
+        }
+    }
+
+    /// Folds the lane shards in lane order — with contiguous-chunk lane
+    /// assignment this is the in-input-order merge whose result is
+    /// bit-identical to one serial sweep. The merged analysis can be merged
+    /// further (thread shards) before reporting.
+    pub fn into_merged(self) -> Herbgrind<R> {
+        let mut lanes = self.lanes.into_iter();
+        let mut merged = lanes.next().expect("at least one lane");
+        for lane in lanes {
+            merged.merge(lane);
+        }
+        merged
+    }
+
+    /// Folds the lane shards ([`BatchHerbgrind::into_merged`]) and builds
+    /// the report.
+    pub fn into_report(self) -> Report {
+        self.into_merged().report()
+    }
+}
+
+impl<R: BatchReal, const W: usize> BatchTracer<W> for BatchHerbgrind<R, W> {
+    fn on_start(&mut self, program: &Program, lane_inputs: &[Option<&[f64]>; W], mask: LaneMask) {
+        for l in lane_indices(mask) {
+            if let Some(args) = lane_inputs[l] {
+                self.lanes[l].on_start(program, args);
+            }
+        }
+    }
+
+    fn on_compute(
+        &mut self,
+        pc: usize,
+        op: RealOp,
+        dest: Addr,
+        args: &[Addr],
+        arg_values: &[[f64; W]],
+        results: &[f64; W],
+        mask: LaneMask,
+    ) {
+        let n = args.len();
+        // Lazy leaf shadows per lane, exactly as the serial hot path.
+        for l in lane_indices(mask) {
+            for (i, &addr) in args.iter().enumerate() {
+                self.lanes[l].ensure_shadow(addr, arg_values[i][l]);
+            }
+        }
+
+        // One lane-vectorized exact evaluation for the whole group. The
+        // operand shadows stay borrowed in the lane slot tables while the
+        // kernel runs; `BatchReal`'s bit-identity contract guarantees each
+        // lane gets exactly the serial `apply_ref` result.
+        let mut exact_results: [Option<R>; W] = std::array::from_fn(|_| None);
+        let mut local_errs = [0.0f64; W];
+        {
+            let mut gathered: [[Option<&R>; W]; MAX_ARITY] = [[None; W]; MAX_ARITY];
+            for (i, &addr) in args.iter().enumerate() {
+                for (l, lane) in self.lanes.iter().enumerate() {
+                    if lane_active(mask, l) {
+                        gathered[i][l] = Some(lane.shadow_real(addr).expect("operand shadow"));
+                    }
+                }
+            }
+            R::apply_lanes(op, &gathered[..n], mask, &mut exact_results);
+
+            // Local error (Figure 4), with the float re-evaluation of the
+            // rounded exact operands done lane-vectorized.
+            let mut rounded = [[0.0f64; W]; MAX_ARITY];
+            for (lanes, arg) in rounded.iter_mut().zip(&gathered[..n]) {
+                for l in lane_indices(mask) {
+                    lanes[l] = arg[l].expect("operand shadow").to_f64();
+                }
+            }
+            let float_results = apply_f64_lanes(op, &rounded[..n]);
+            for l in lane_indices(mask) {
+                let exact = exact_results[l].as_ref().expect("lane result");
+                local_errs[l] = bits_error(float_results[l], exact.to_f64());
+            }
+        }
+
+        // Per-lane record keeping, folded into this one group call.
+        let mut lane_args = [0.0f64; MAX_ARITY];
+        for l in lane_indices(mask) {
+            for (slot, lanes) in lane_args.iter_mut().zip(arg_values) {
+                *slot = lanes[l];
+            }
+            let exact = exact_results[l].take().expect("lane result");
+            self.lanes[l].finish_compute(
+                pc,
+                op,
+                dest,
+                args,
+                &lane_args[..n],
+                results[l],
+                local_errs[l],
+                exact,
+            );
+        }
+    }
+
+    fn on_const_f(&mut self, pc: usize, dest: Addr, value: f64, mask: LaneMask) {
+        for l in lane_indices(mask) {
+            self.lanes[l].on_const_f(pc, dest, value);
+        }
+    }
+
+    fn on_const_i(&mut self, pc: usize, dest: Addr, value: i64, mask: LaneMask) {
+        for l in lane_indices(mask) {
+            self.lanes[l].on_const_i(pc, dest, value);
+        }
+    }
+
+    fn on_copy(&mut self, pc: usize, dest: Addr, src: Addr, values: &[Value; W], mask: LaneMask) {
+        for l in lane_indices(mask) {
+            self.lanes[l].on_copy(pc, dest, src, values[l]);
+        }
+    }
+
+    fn on_cast_to_int(
+        &mut self,
+        pc: usize,
+        dest: Addr,
+        src: Addr,
+        values: &[f64; W],
+        results: &[i64; W],
+        mask: LaneMask,
+    ) {
+        for l in lane_indices(mask) {
+            self.lanes[l].on_cast_to_int(pc, dest, src, values[l], results[l]);
+        }
+    }
+
+    fn on_branch(
+        &mut self,
+        pc: usize,
+        cmp: CmpOp,
+        lhs: Addr,
+        rhs: Addr,
+        lhs_values: &[Value; W],
+        rhs_values: &[Value; W],
+        taken: LaneMask,
+        mask: LaneMask,
+    ) {
+        for l in lane_indices(mask) {
+            self.lanes[l].on_branch(
+                pc,
+                cmp,
+                lhs,
+                rhs,
+                lhs_values[l],
+                rhs_values[l],
+                lane_active(taken, l),
+            );
+        }
+    }
+
+    fn on_output(&mut self, pc: usize, src: Addr, values: &[f64; W], mask: LaneMask) {
+        for l in lane_indices(mask) {
+            self.lanes[l].on_output(pc, src, values[l]);
+        }
+    }
+}
+
+/// Runs one batched sweep at compile-time width `W`: contiguous lane
+/// chunks, one batch pass per chunk position, per-lane failure isolation
+/// with the earliest-input error surfaced — the lane-level mirror of the
+/// thread-sharded driver.
+fn batched_sweep<R: BatchReal, const W: usize>(
+    machine: &Machine<'_>,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<Herbgrind<R>, MachineError> {
+    let lane_count = W.min(inputs.len()).max(1);
+    let chunk_size = inputs.len().div_ceil(lane_count).max(1);
+    let chunks: Vec<&[Vec<f64>]> = inputs.chunks(chunk_size).collect();
+    let batch = machine.batched::<W>();
+    let mut tracer = BatchHerbgrind::<R, W>::new(config);
+    let mut memory = BatchMemory::new();
+    let mut failures: [Option<MachineError>; W] = std::array::from_fn(|_| None);
+    for position in 0..chunk_size {
+        let mut lane_inputs: [Option<&[f64]>; W] = [None; W];
+        let mut any = false;
+        for (l, chunk) in chunks.iter().enumerate() {
+            if failures[l].is_none() {
+                if let Some(input) = chunk.get(position) {
+                    lane_inputs[l] = Some(input.as_slice());
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        let outcome = batch.run_batch(&lane_inputs, &mut tracer, &mut memory);
+        for (failure, error) in failures.iter_mut().zip(&outcome.errors) {
+            if failure.is_none() {
+                if let Some(error) = error {
+                    // A failed lane stops consuming its chunk — the serial
+                    // sweep would have stopped at this input; later chunks
+                    // (like later parallel shards) still run.
+                    *failure = Some(error.clone());
+                }
+            }
+        }
+    }
+    if let Some(error) = failures.iter().flatten().next() {
+        return Err(error.clone());
+    }
+    Ok(tracer.into_merged())
+}
+
+/// Dispatches a sweep to the compiled batch width.
+fn dispatch_sweep<R: BatchReal>(
+    machine: &Machine<'_>,
+    width: usize,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<Herbgrind<R>, MachineError> {
+    match width {
+        2 => batched_sweep::<R, 2>(machine, inputs, config),
+        4 => batched_sweep::<R, 4>(machine, inputs, config),
+        8 => batched_sweep::<R, 8>(machine, inputs, config),
+        13 => batched_sweep::<R, 13>(machine, inputs, config),
+        16 => batched_sweep::<R, 16>(machine, inputs, config),
+        _ => batched_sweep::<R, 1>(machine, inputs, config),
+    }
+}
+
+/// Runs a program under the batched analysis for every input vector, using
+/// the default [`BigFloat`] shadow reals.
+///
+/// Interchangeable with [`analyze`](crate::analysis::analyze) and
+/// [`analyze_parallel`](crate::analysis::analyze_parallel): the report is
+/// bit-identical for every batch width and thread count, enforced by the
+/// batch-equivalence test suite.
+///
+/// # Errors
+///
+/// Propagates [`MachineError`] like the serial driver: the error of the
+/// earliest failing input is returned.
+pub fn analyze_batched(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<Report, MachineError> {
+    analyze_batched_with_shadow::<BigFloat>(program, inputs, config)
+}
+
+/// Runs the batched analysis with an explicit shadow-real type. The
+/// `DoubleDouble` shadow evaluates through the lane-vectorized
+/// [`shadowreal::dd_batch`] kernels; `f64` through vectorized lane loops;
+/// [`BigFloat`] falls back to scalar kernels per lane while still amortizing
+/// decode and dispatch.
+///
+/// # Errors
+///
+/// Propagates [`MachineError`] from the underlying interpreter; when several
+/// inputs fail, the earliest failing input's error is returned.
+pub fn analyze_batched_with_shadow<R: BatchReal + Send>(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<Report, MachineError> {
+    let width = effective_batch_width(config.batch_width);
+    let threads = config.effective_threads(inputs.len());
+    // One decode for the whole sweep: thread shards clone the machine and
+    // share its tape.
+    let shared = Machine::new(program).with_step_limit(config.step_limit);
+    if threads <= 1 || inputs.len() <= 1 {
+        return dispatch_sweep::<R>(&shared, width, inputs, config).map(|a| a.report());
+    }
+    let chunk_size = inputs.len().div_ceil(threads);
+    let shards: Vec<Result<Herbgrind<R>, MachineError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let machine = shared.clone();
+                scope.spawn(move || dispatch_sweep::<R>(&machine, width, chunk, config))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("batched analysis shard panicked"))
+            .collect()
+    });
+    // Merge thread shards in shard (= input) order, exactly as the parallel
+    // engine does; the earliest shard's error is the serial sweep's error.
+    let mut merged: Option<Herbgrind<R>> = None;
+    for shard in shards {
+        let shard = shard?;
+        match &mut merged {
+            Some(accumulated) => accumulated.merge(shard),
+            None => merged = Some(shard),
+        }
+    }
+    let merged = merged.unwrap_or_else(|| Herbgrind::<R>::new(config.clone()));
+    Ok(merged.report())
+}
+
+/// [`shadowreal::ordinal`] without the NaN branch: identical for every
+/// non-NaN input (the probe patches NaN lanes through the exact
+/// [`shadowreal::ulps_between`] afterwards), and a straight-line
+/// bit-manipulation the compiler can keep in vector registers.
+#[inline]
+fn branchless_ordinal(x: f64) -> i64 {
+    let bits = x.to_bits();
+    let magnitude = (bits & 0x7fff_ffff_ffff_ffff) as i64;
+    if bits >> 63 == 0 {
+        magnitude
+    } else {
+        -magnitude
+    }
+}
+
+/// Per-statement summary produced by [`DdErrorProbe`]: FpDebug-style
+/// local-error counters without traces, influences, or symbolic records.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LocalErrorSummary {
+    /// Program counters with at least one execution, ascending.
+    pub statements: Vec<LocalErrorRow>,
+    /// Total compute operations observed across all lanes and runs.
+    pub total_ops: u64,
+}
+
+/// One statement's local-error counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LocalErrorRow {
+    /// The statement (program counter).
+    pub pc: usize,
+    /// Executions across all lanes and runs.
+    pub executions: u64,
+    /// Executions whose local error exceeded the probe threshold.
+    pub erroneous: u64,
+    /// Maximum local error observed, in bits (`log2(1 + ulps)`).
+    pub max_error_bits: f64,
+}
+
+/// A fully lane-vectorized local-error probe over the `DoubleDouble` shadow.
+///
+/// This is the batched engine with the per-lane record machinery stripped
+/// away: shadow memory is a struct-of-arrays [`DdLanes`] plane per address
+/// (so operand reads need no gather at all), every compute evaluates the
+/// exact operation through the vectorized [`shadowreal::dd_batch`] kernels,
+/// and local error is tallied in integer ulps per statement — the
+/// `FpDebug`-style detection layer of the analysis at memory-bandwidth
+/// speed. It answers "where is local error introduced, how often, how big"
+/// without root-cause traces, which is exactly the per-op work the full
+/// analysis adds on top.
+#[derive(Debug)]
+pub struct DdErrorProbe<const W: usize> {
+    shadows: Vec<DdLanes<W>>,
+    executions: Vec<u64>,
+    erroneous: Vec<u64>,
+    max_ulps: Vec<u64>,
+    threshold_ulps: u64,
+    total_ops: u64,
+}
+
+impl<const W: usize> DdErrorProbe<W> {
+    /// A probe flagging statements whose local error exceeds
+    /// `threshold_bits` (the analysis's local-error threshold, converted to
+    /// an exact integer ulps bound: `bits > T ⟺ ulps > 2^T − 1`).
+    pub fn new(threshold_bits: f64) -> Self {
+        let threshold_ulps = if threshold_bits >= shadowreal::MAX_ERROR_BITS {
+            u64::MAX - 1
+        } else {
+            (threshold_bits.max(0.0).exp2() - 1.0) as u64
+        };
+        DdErrorProbe {
+            shadows: Vec::new(),
+            executions: Vec::new(),
+            erroneous: Vec::new(),
+            max_ulps: Vec::new(),
+            threshold_ulps,
+            total_ops: 0,
+        }
+    }
+
+    /// Folds the counters into an ordered summary.
+    pub fn summary(&self) -> LocalErrorSummary {
+        let statements = self
+            .executions
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(pc, &executions)| LocalErrorRow {
+                pc,
+                executions,
+                erroneous: self.erroneous[pc],
+                max_error_bits: if self.max_ulps[pc] == u64::MAX {
+                    shadowreal::MAX_ERROR_BITS
+                } else {
+                    (((self.max_ulps[pc] as f64) + 1.0).log2()).min(shadowreal::MAX_ERROR_BITS)
+                },
+            })
+            .collect();
+        LocalErrorSummary {
+            statements,
+            total_ops: self.total_ops,
+        }
+    }
+}
+
+impl<const W: usize> BatchTracer<W> for DdErrorProbe<W> {
+    fn on_start(&mut self, program: &Program, lane_inputs: &[Option<&[f64]>; W], mask: LaneMask) {
+        self.shadows.clear();
+        self.shadows.resize(program.num_addrs, DdLanes::zero());
+        if self.executions.len() < program.len() {
+            self.executions.resize(program.len(), 0);
+            self.erroneous.resize(program.len(), 0);
+            self.max_ulps.resize(program.len(), 0);
+        }
+        for l in lane_indices(mask) {
+            if let Some(args) = lane_inputs[l] {
+                for (&addr, &value) in program.arg_addrs.iter().zip(args) {
+                    self.shadows[addr].hi[l] = value;
+                    self.shadows[addr].lo[l] = 0.0;
+                }
+            }
+        }
+    }
+
+    fn on_compute(
+        &mut self,
+        pc: usize,
+        op: RealOp,
+        dest: Addr,
+        args: &[Addr],
+        _arg_values: &[[f64; W]],
+        _results: &[f64; W],
+        mask: LaneMask,
+    ) {
+        // Gather-free operand reads: the shadow planes are already lane
+        // arrays.
+        let mut operands = [DdLanes::zero(); MAX_ARITY];
+        for (lanes, &addr) in operands.iter_mut().zip(args) {
+            *lanes = self.shadows[addr];
+        }
+        let exact = shadowreal::dd_batch::apply(op, &operands[..args.len()]);
+        // Local error: the rounded exact operands are the hi planes, so the
+        // float re-evaluation is one vectorized lane call.
+        let mut rounded = [[0.0f64; W]; MAX_ARITY];
+        for (lanes, operand) in rounded.iter_mut().zip(&operands[..args.len()]) {
+            *lanes = operand.hi;
+        }
+        let float_results = apply_f64_lanes(op, &rounded[..args.len()]);
+        // Branch-free ulps distance per lane, with the (rare) NaN lanes
+        // patched afterwards so every lane agrees exactly with
+        // `shadowreal::ulps_between`. NaN detection is itself branch-free:
+        // `x * 0.0` is NaN iff `x` is non-finite, and a non-finite shadow or
+        // float result is exactly the case the slow path must arbitrate.
+        let mut ulps = [0u64; W];
+        let mut nonfinite_probe = 0.0f64;
+        for l in 0..W {
+            ulps[l] =
+                branchless_ordinal(float_results[l]).abs_diff(branchless_ordinal(exact.hi[l]));
+            nonfinite_probe += float_results[l] * 0.0 + exact.hi[l] * 0.0;
+        }
+        if nonfinite_probe.is_nan() {
+            for l in 0..W {
+                ulps[l] = shadowreal::ulps_between(float_results[l], exact.hi[l]);
+            }
+        }
+        let mut erroneous = 0u64;
+        let mut max_ulps = self.max_ulps[pc];
+        let full = full_mask(W);
+        if mask == full {
+            for &u in &ulps {
+                erroneous += u64::from(u > self.threshold_ulps);
+                max_ulps = max_ulps.max(u);
+            }
+        } else {
+            for (l, &lane_ulps) in ulps.iter().enumerate() {
+                let u = if lane_active(mask, l) { lane_ulps } else { 0 };
+                erroneous += u64::from(u > self.threshold_ulps);
+                max_ulps = max_ulps.max(u);
+            }
+        }
+        let active = mask.count_ones() as u64;
+        self.executions[pc] += active;
+        self.erroneous[pc] += erroneous;
+        self.max_ulps[pc] = max_ulps;
+        self.total_ops += active;
+        // Store of the destination plane, whole-group when convergent.
+        if mask == full {
+            self.shadows[dest] = exact;
+        } else {
+            let dest_plane = &mut self.shadows[dest];
+            for l in 0..W {
+                if lane_active(mask, l) {
+                    dest_plane.hi[l] = exact.hi[l];
+                    dest_plane.lo[l] = exact.lo[l];
+                }
+            }
+        }
+    }
+
+    fn on_const_f(&mut self, _pc: usize, dest: Addr, value: f64, mask: LaneMask) {
+        let plane = &mut self.shadows[dest];
+        for l in 0..W {
+            if lane_active(mask, l) {
+                plane.hi[l] = value;
+                plane.lo[l] = 0.0;
+            }
+        }
+    }
+
+    fn on_const_i(&mut self, _pc: usize, dest: Addr, value: i64, mask: LaneMask) {
+        let plane = &mut self.shadows[dest];
+        for l in 0..W {
+            if lane_active(mask, l) {
+                plane.hi[l] = value as f64;
+                plane.lo[l] = 0.0;
+            }
+        }
+    }
+
+    fn on_copy(&mut self, _pc: usize, dest: Addr, src: Addr, _values: &[Value; W], mask: LaneMask) {
+        let src_plane = self.shadows[src];
+        let dest_plane = &mut self.shadows[dest];
+        for l in 0..W {
+            if lane_active(mask, l) {
+                dest_plane.hi[l] = src_plane.hi[l];
+                dest_plane.lo[l] = src_plane.lo[l];
+            }
+        }
+    }
+
+    fn on_cast_to_int(
+        &mut self,
+        _pc: usize,
+        dest: Addr,
+        _src: Addr,
+        _values: &[f64; W],
+        results: &[i64; W],
+        mask: LaneMask,
+    ) {
+        let plane = &mut self.shadows[dest];
+        for (l, &result) in results.iter().enumerate() {
+            if lane_active(mask, l) {
+                plane.hi[l] = result as f64;
+                plane.lo[l] = 0.0;
+            }
+        }
+    }
+}
+
+/// Sweeps `inputs` through the [`DdErrorProbe`] at compile-time width `W`
+/// with the same contiguous lane chunking as [`analyze_batched`], and
+/// returns the per-statement local-error summary.
+///
+/// # Errors
+///
+/// Returns the first per-lane [`MachineError`] encountered (the probe does
+/// not replicate the full driver's earliest-input error ordering).
+pub fn probe_local_error<const W: usize>(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    threshold_bits: f64,
+) -> Result<LocalErrorSummary, MachineError> {
+    let machine = Machine::new(program);
+    let batch = machine.batched::<W>();
+    let lane_count = W.min(inputs.len()).max(1);
+    let chunk_size = inputs.len().div_ceil(lane_count).max(1);
+    let chunks: Vec<&[Vec<f64>]> = inputs.chunks(chunk_size).collect();
+    let mut probe = DdErrorProbe::<W>::new(threshold_bits);
+    let mut memory = BatchMemory::new();
+    for position in 0..chunk_size {
+        let mut lane_inputs: [Option<&[f64]>; W] = [None; W];
+        let mut any = false;
+        for (l, chunk) in chunks.iter().enumerate() {
+            if let Some(input) = chunk.get(position) {
+                lane_inputs[l] = Some(input.as_slice());
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        let outcome = batch.run_batch(&lane_inputs, &mut probe, &mut memory);
+        // A failure invalidates the summary, so stop the sweep right away
+        // instead of burning the remaining passes on a result that will be
+        // discarded.
+        if let Some((_, error)) = outcome.first_error() {
+            return Err(error.clone());
+        }
+    }
+    Ok(probe.summary())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use fpcore::parse_core;
+    use fpvm::compile_core;
+
+    fn program(src: &str) -> Program {
+        compile_core(&parse_core(src).unwrap(), Default::default()).unwrap()
+    }
+
+    #[test]
+    fn width_fallback_picks_nearest_smaller_supported() {
+        assert_eq!(effective_batch_width(0), 1);
+        assert_eq!(effective_batch_width(1), 1);
+        assert_eq!(effective_batch_width(3), 2);
+        assert_eq!(effective_batch_width(8), 8);
+        assert_eq!(effective_batch_width(12), 8);
+        assert_eq!(effective_batch_width(13), 13);
+        assert_eq!(effective_batch_width(100), 16);
+    }
+
+    #[test]
+    fn batched_default_width_matches_serial() {
+        let p = program("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))");
+        let inputs: Vec<Vec<f64>> = (0..30).map(|i| vec![10f64.powi(i)]).collect();
+        let config = AnalysisConfig::default().with_threads(1);
+        let serial = analyze(&p, &inputs, &config).unwrap();
+        let batched = analyze_batched(&p, &inputs, &config).unwrap();
+        assert_eq!(format!("{serial:?}"), format!("{batched:?}"));
+    }
+
+    #[test]
+    fn batched_threads_compose_with_lanes() {
+        let p = program("(FPCore (x y) (- (sqrt (+ (* x x) (* y y))) x))");
+        let inputs: Vec<Vec<f64>> = (1..40)
+            .map(|i| vec![0.25 / i as f64, 1e-9 / i as f64])
+            .collect();
+        let serial = analyze(&p, &inputs, &AnalysisConfig::default().with_threads(1)).unwrap();
+        let config = AnalysisConfig::default()
+            .with_threads(3)
+            .with_batch_width(4);
+        let batched = analyze_batched(&p, &inputs, &config).unwrap();
+        assert_eq!(format!("{serial:?}"), format!("{batched:?}"));
+    }
+
+    #[test]
+    fn batched_surfaces_the_earliest_input_error() {
+        let p = program("(FPCore (n) (while (< t n) ((t 0 (+ t 0.125)) (c 0 (+ c 1))) c))");
+        let inputs: Vec<Vec<f64>> = (1..=8).map(|n| vec![n as f64 * 100.0]).collect();
+        let config = AnalysisConfig {
+            step_limit: 10,
+            ..AnalysisConfig::default().with_threads(1)
+        };
+        let serial_err = analyze(&p, &inputs, &config).unwrap_err();
+        let batched_err = analyze_batched(&p, &inputs, &config).unwrap_err();
+        assert_eq!(format!("{serial_err:?}"), format!("{batched_err:?}"));
+    }
+
+    #[test]
+    fn probe_flags_the_cancellation_site() {
+        let p = program("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))");
+        let inputs: Vec<Vec<f64>> = (0..24).map(|i| vec![10f64.powi(i)]).collect();
+        let summary = probe_local_error::<8>(&p, &inputs, 5.0).unwrap();
+        assert_eq!(summary.total_ops, 24 * 4);
+        assert!(summary.statements.iter().any(|row| row.erroneous > 0));
+        let worst = summary
+            .statements
+            .iter()
+            .max_by(|a, b| a.max_error_bits.total_cmp(&b.max_error_bits))
+            .unwrap();
+        assert!(worst.max_error_bits > 20.0, "{worst:?}");
+        // The probe's counters are width-independent.
+        let serial_probe = probe_local_error::<1>(&p, &inputs, 5.0).unwrap();
+        assert_eq!(summary, serial_probe);
+    }
+
+    #[test]
+    fn probe_handles_loops_and_divergence() {
+        let p = program("(FPCore (n) (while (< i n) ((s 0 (+ s (/ 1 i))) (i 1 (+ i 1))) s))");
+        let inputs: Vec<Vec<f64>> = (1..14).map(|i| vec![(i * 5) as f64]).collect();
+        let wide = probe_local_error::<13>(&p, &inputs, 5.0).unwrap();
+        let narrow = probe_local_error::<2>(&p, &inputs, 5.0).unwrap();
+        assert_eq!(wide, narrow);
+        assert!(wide.total_ops > 0);
+    }
+}

@@ -48,6 +48,13 @@ pub struct AnalysisConfig {
     /// available core; `1` forces the serial path. The report is bit-identical
     /// for every setting.
     pub threads: usize,
+    /// Lane width used by
+    /// [`analyze_batched`](crate::batched::analyze_batched): how many inputs
+    /// one batched tape pass executes in lockstep. Widths outside the
+    /// engine's supported menu fall back to the nearest smaller supported
+    /// width ([`crate::batched::SUPPORTED_BATCH_WIDTHS`]); `0` and `1` run
+    /// single-lane batches. The report is bit-identical for every setting.
+    pub batch_width: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -62,6 +69,7 @@ impl Default for AnalysisConfig {
             shadow_precision: 256,
             step_limit: 50_000_000,
             threads: 0,
+            batch_width: 8,
         }
     }
 }
@@ -105,6 +113,13 @@ impl AnalysisConfig {
     /// thread per available core.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the batched-execution lane width (builder style); see
+    /// [`AnalysisConfig::batch_width`].
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        self.batch_width = width;
         self
     }
 

@@ -49,11 +49,13 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod batched;
 pub mod config;
 pub mod errsum;
 pub mod inputs;
 pub mod localerr;
 pub mod records;
+#[cfg(feature = "reference-analysis")]
 pub mod reference;
 pub mod report;
 pub mod symbolic;
@@ -61,6 +63,10 @@ pub mod trace;
 
 pub use analysis::{
     analyze, analyze_parallel, analyze_parallel_with_shadow, analyze_with_shadow, Herbgrind,
+};
+pub use batched::{
+    analyze_batched, analyze_batched_with_shadow, probe_local_error, BatchHerbgrind, DdErrorProbe,
+    LocalErrorSummary, SUPPORTED_BATCH_WIDTHS,
 };
 pub use config::{AnalysisConfig, RangeKind};
 pub use errsum::ErrorBitsSum;

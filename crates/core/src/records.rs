@@ -8,12 +8,242 @@ use crate::symbolic::Generalizer;
 use crate::trace::ConcreteExpr;
 use fpvm::SourceLoc;
 use shadowreal::RealOp;
-use std::collections::BTreeSet;
 use std::sync::Arc;
+
+/// How many influences an [`InfluenceSet`] holds inline before spilling to
+/// the heap. Most shadow values are influenced by zero or a handful of
+/// candidate root causes, so the per-op union/propagation traffic stays
+/// allocation-free and branch-cheap.
+const INLINE_INFLUENCES: usize = 8;
 
 /// The set of candidate-root-cause statements (program counters) that
 /// influence a value — the "taint" of the influences analysis (§4.2).
-pub type InfluenceSet = BTreeSet<usize>;
+///
+/// Stored as a sorted, deduplicated sequence with small-vector storage: up
+/// to [`INLINE_INFLUENCES`] entries live inline (no allocation — the common
+/// case on the per-op propagation path), larger sets spill to a heap
+/// vector. Iteration order is ascending, exactly the order the previous
+/// `BTreeSet` representation produced, so record merges and reports are
+/// bit-identical to it.
+#[derive(Clone)]
+pub struct InfluenceSet {
+    /// Number of inline entries; meaningful only while `spill` is empty.
+    len: usize,
+    inline: [usize; INLINE_INFLUENCES],
+    /// Heap storage; non-empty iff the set has spilled.
+    spill: Vec<usize>,
+}
+
+impl InfluenceSet {
+    /// Creates an empty set.
+    pub fn new() -> InfluenceSet {
+        InfluenceSet {
+            len: 0,
+            inline: [0; INLINE_INFLUENCES],
+            spill: Vec::new(),
+        }
+    }
+
+    /// The influences as a sorted, deduplicated slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Number of influences in the set.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// True if `value` is in the set.
+    pub fn contains(&self, value: &usize) -> bool {
+        self.as_slice().binary_search(value).is_ok()
+    }
+
+    /// Iterates the influences in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+        self.as_slice().iter()
+    }
+
+    /// Inserts `value`, keeping the storage sorted and deduplicated.
+    /// Returns true if the value was not present.
+    pub fn insert(&mut self, value: usize) -> bool {
+        if self.spill.is_empty() {
+            match self.inline[..self.len].binary_search(&value) {
+                Ok(_) => false,
+                Err(pos) => {
+                    if self.len < INLINE_INFLUENCES {
+                        self.inline.copy_within(pos..self.len, pos + 1);
+                        self.inline[pos] = value;
+                        self.len += 1;
+                    } else {
+                        // Spill: move the inline entries to the heap (the
+                        // heap buffer's capacity survives `clear`, so a
+                        // reused set spills without reallocating).
+                        self.spill.extend_from_slice(&self.inline);
+                        self.spill.insert(pos, value);
+                        self.len = 0;
+                    }
+                    true
+                }
+            }
+        } else {
+            match self.spill.binary_search(&value) {
+                Ok(_) => false,
+                Err(pos) => {
+                    self.spill.insert(pos, value);
+                    true
+                }
+            }
+        }
+    }
+
+    /// Empties the set, keeping any heap capacity for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Unions another set into this one with a single linear merge of the
+    /// two sorted sequences — the hot influence-propagation path unions
+    /// whole sets per operand, where per-element insertion would shift the
+    /// storage once per element.
+    pub fn union_with(&mut self, other: &InfluenceSet) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.clone_from(other);
+            return;
+        }
+        let b = other.as_slice();
+        // Fast path: `other` extends strictly beyond our maximum (common
+        // when influences accumulate from monotonically increasing pcs).
+        let a_last = *self.as_slice().last().expect("non-empty");
+        if b[0] > a_last {
+            if self.spill.is_empty() && self.len + b.len() <= INLINE_INFLUENCES {
+                self.inline[self.len..self.len + b.len()].copy_from_slice(b);
+                self.len += b.len();
+            } else {
+                if self.spill.is_empty() {
+                    self.spill.extend_from_slice(&self.inline[..self.len]);
+                    self.len = 0;
+                }
+                self.spill.extend_from_slice(b);
+            }
+            return;
+        }
+        let a_inline = self.inline;
+        let a_vec = std::mem::take(&mut self.spill);
+        let a = if a_vec.is_empty() {
+            &a_inline[..self.len]
+        } else {
+            &a_vec[..]
+        };
+        if a.len() + b.len() <= INLINE_INFLUENCES {
+            let mut out = [0usize; INLINE_INFLUENCES];
+            self.len = merge_sorted_dedup(a, b, |n, v| out[n] = v);
+            self.inline = out;
+        } else {
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            merge_sorted_dedup(a, b, |_, v| out.push(v));
+            self.len = 0;
+            self.spill = out;
+        }
+    }
+}
+
+/// Merges two sorted, deduplicated slices, emitting each element once in
+/// ascending order through `emit(index, value)`; returns the merged length.
+fn merge_sorted_dedup(a: &[usize], b: &[usize], mut emit: impl FnMut(usize, usize)) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        let value = match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                let v = a[i];
+                i += 1;
+                v
+            }
+            std::cmp::Ordering::Greater => {
+                let v = b[j];
+                j += 1;
+                v
+            }
+            std::cmp::Ordering::Equal => {
+                let v = a[i];
+                i += 1;
+                j += 1;
+                v
+            }
+        };
+        emit(n, value);
+        n += 1;
+    }
+    for &v in &a[i..] {
+        emit(n, v);
+        n += 1;
+    }
+    for &v in &b[j..] {
+        emit(n, v);
+        n += 1;
+    }
+    n
+}
+
+impl Default for InfluenceSet {
+    fn default() -> Self {
+        InfluenceSet::new()
+    }
+}
+
+impl PartialEq for InfluenceSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for InfluenceSet {}
+
+impl std::fmt::Debug for InfluenceSet {
+    /// Renders like the set it is (`{3, 7}`), matching the previous
+    /// `BTreeSet` representation's output.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl Extend<usize> for InfluenceSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for value in iter {
+            self.insert(value);
+        }
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for InfluenceSet {
+    fn from(values: [usize; N]) -> Self {
+        let mut set = InfluenceSet::new();
+        set.extend(values);
+        set
+    }
+}
+
+impl<'a> IntoIterator for &'a InfluenceSet {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
 
 /// The kind of a spot (§4.2): a place where floating-point error becomes
 /// observable program behaviour.
@@ -85,7 +315,7 @@ impl SpotRecord {
         }
         if erroneous {
             self.erroneous += 1;
-            self.influences.extend(influences.iter().copied());
+            self.influences.union_with(influences);
         }
     }
 
@@ -101,7 +331,7 @@ impl SpotRecord {
         if other.max_error > self.max_error {
             self.max_error = other.max_error;
         }
-        self.influences.extend(other.influences.iter().copied());
+        self.influences.union_with(&other.influences);
     }
 
     /// The average error over all executions, in bits.
@@ -248,6 +478,63 @@ impl OpRecord {
 mod tests {
     use super::*;
     use crate::config::AnalysisConfig;
+
+    #[test]
+    fn influence_set_stays_sorted_through_spill_and_clear() {
+        let mut set = InfluenceSet::new();
+        // Descending inserts up to the inline capacity stay sorted.
+        for pc in (0..INLINE_INFLUENCES).rev() {
+            assert!(set.insert(pc * 2));
+            assert!(!set.insert(pc * 2), "duplicate insert must be rejected");
+        }
+        assert_eq!(set.len(), INLINE_INFLUENCES);
+        assert!(set.as_slice().windows(2).all(|w| w[0] < w[1]));
+        // The spilling insert and further growth keep order and dedup.
+        assert!(set.insert(1));
+        assert!(set.insert(1000));
+        assert!(!set.insert(1000));
+        assert!(set.as_slice().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(set.len(), INLINE_INFLUENCES + 2);
+        assert!(set.contains(&1) && set.contains(&1000) && !set.contains(&3));
+        // Clearing returns to inline mode.
+        set.clear();
+        assert!(set.is_empty());
+        set.insert(5);
+        assert_eq!(set.as_slice(), &[5]);
+        // Equality and Debug go through the logical contents.
+        assert_eq!(set, InfluenceSet::from([5usize]));
+        assert_eq!(format!("{set:?}"), "{5}");
+    }
+
+    #[test]
+    fn union_with_matches_per_element_insertion() {
+        // Exercise every storage combination: inline/inline fitting inline,
+        // inline/inline spilling, spilled/inline, overlapping, disjoint,
+        // append-beyond-max fast path, and empty operands.
+        let cases: &[(&[usize], &[usize])] = &[
+            (&[], &[1, 5]),
+            (&[1, 5], &[]),
+            (&[1, 3, 5], &[2, 3, 8]),
+            (&[1, 2, 3], &[7, 8, 9]),
+            (&[1, 2, 3, 4, 5, 6], &[4, 5, 6, 7, 8, 9, 10]),
+            (&[10, 20, 30, 40, 50, 60, 70, 80], &[5, 35, 85, 90, 95]),
+            (&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], &[2, 4, 6, 8, 10, 12]),
+        ];
+        for &(a, b) in cases {
+            let mut merged = InfluenceSet::new();
+            merged.extend(a.iter().copied());
+            let mut by_insert = merged.clone();
+            let mut other = InfluenceSet::new();
+            other.extend(b.iter().copied());
+            merged.union_with(&other);
+            by_insert.extend(b.iter().copied());
+            assert_eq!(merged, by_insert, "{a:?} ∪ {b:?}");
+            assert!(merged.as_slice().windows(2).all(|w| w[0] < w[1]));
+            // The union must stay usable afterwards (invariants intact).
+            merged.insert(0);
+            assert_eq!(merged.as_slice()[0], 0);
+        }
+    }
 
     #[test]
     fn spot_record_accumulates_errors_and_influences() {

@@ -121,8 +121,10 @@ pub use shadowreal::MAX_ARITY;
 /// A pre-decoded statement: the executable form of one [`Statement`], with
 /// operand addresses stored inline and branch predicates split by kind so
 /// the dispatch loop does no nested matching and no pointer chasing.
+/// Shared with the batched engine ([`crate::batch`]), which walks the same
+/// tape with a lane mask instead of a single program counter.
 #[derive(Clone, Debug)]
-enum Inst {
+pub(crate) enum Inst {
     ConstF {
         dest: Addr,
         value: f64,
@@ -164,7 +166,7 @@ enum Inst {
 /// an input sweep pays O(program) setup instead of re-interpreting the
 /// `Statement` representation (with its heap-allocated operand lists) on
 /// every executed instruction.
-fn decode(program: &Program) -> Vec<Inst> {
+pub(crate) fn decode(program: &Program) -> Vec<Inst> {
     program
         .statements
         .iter()
@@ -219,12 +221,15 @@ fn decode(program: &Program) -> Vec<Inst> {
 ///
 /// Construction pre-decodes the program into an execution tape (see
 /// [`decode`]); running is then a dispatch loop over fixed-size instructions
-/// that performs no per-instruction heap allocation.
+/// that performs no per-instruction heap allocation. The tape is held behind
+/// an [`Arc`](std::sync::Arc), so cloning a machine — one per analysis shard,
+/// or to seed a [`crate::batch::BatchMachine`] — shares the decoded tape
+/// instead of re-decoding the program.
 #[derive(Clone, Debug)]
 pub struct Machine<'p> {
-    program: &'p Program,
-    tape: Vec<Inst>,
-    step_limit: u64,
+    pub(crate) program: &'p Program,
+    pub(crate) tape: std::sync::Arc<[Inst]>,
+    pub(crate) step_limit: u64,
 }
 
 /// Default step budget per run (generous; FPBench loop benchmarks stay far
@@ -237,7 +242,7 @@ impl<'p> Machine<'p> {
     pub fn new(program: &'p Program) -> Machine<'p> {
         Machine {
             program,
-            tape: decode(program),
+            tape: decode(program).into(),
             step_limit: DEFAULT_STEP_LIMIT,
         }
     }

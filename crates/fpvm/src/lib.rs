@@ -15,6 +15,11 @@
 //! * [`interp`] — the interpreter, with a [`Tracer`](interp::Tracer) hook
 //!   through which the `herbgrind` crate (and the baseline tools) observe
 //!   every executed statement,
+//! * [`batch`] — the lane-parallel batched interpreter: one tape pass drives
+//!   a SIMD-width batch of inputs with struct-of-arrays lane memory, an
+//!   active-lane mask for branch divergence, and a
+//!   [`BatchTracer`](batch::BatchTracer) hook that observes whole lane
+//!   groups,
 //! * [`libm_lowering`] — expansion of math-library calls into sequences of
 //!   primitive instructions, used to reproduce the library-wrapping ablation
 //!   (§8.2).
@@ -34,11 +39,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod compile;
 pub mod interp;
 pub mod libm_lowering;
 pub mod program;
 
+pub use batch::{
+    full_mask, lane_active, lane_indices, BatchMachine, BatchMemory, BatchOutcome, BatchTracer,
+    LaneMask, LaneTracer, NullBatchTracer, MAX_LANES,
+};
 pub use compile::{compile_core, CompileError, CompileOptions};
 pub use interp::{Machine, MachineError, NullTracer, RunResult, Tracer, MAX_ARITY};
 pub use program::{Addr, Pred, Program, SourceLoc, Statement, Value};

@@ -21,9 +21,10 @@ pub struct DoubleDouble {
 }
 
 /// Error-free sum: returns `(s, e)` with `s = fl(a + b)` and `a + b = s + e`
-/// exactly.
+/// exactly. Shared with the lane-vectorized kernels in [`crate::dd_batch`],
+/// which must execute exactly this operation sequence per lane.
 #[inline]
-fn two_sum(a: f64, b: f64) -> (f64, f64) {
+pub(crate) fn two_sum(a: f64, b: f64) -> (f64, f64) {
     let s = a + b;
     let bb = s - a;
     let e = (a - (s - bb)) + (b - bb);
@@ -32,7 +33,7 @@ fn two_sum(a: f64, b: f64) -> (f64, f64) {
 
 /// Error-free sum assuming `|a| >= |b|`.
 #[inline]
-fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+pub(crate) fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
     let s = a + b;
     let e = b - (s - a);
     (s, e)
@@ -40,7 +41,7 @@ fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
 
 /// Error-free product using fused multiply-add: `a * b = p + e` exactly.
 #[inline]
-fn two_prod(a: f64, b: f64) -> (f64, f64) {
+pub(crate) fn two_prod(a: f64, b: f64) -> (f64, f64) {
     let p = a * b;
     let e = f64::mul_add(a, b, -p);
     (p, e)
@@ -61,6 +62,14 @@ impl DoubleDouble {
     pub fn from_parts(hi: f64, lo: f64) -> Self {
         let (s, e) = two_sum(hi, lo);
         DoubleDouble { hi: s, lo: e }
+    }
+
+    /// Assembles a double-double from already-normalized components without
+    /// re-normalizing — the lane-vectorized kernels scatter their per-lane
+    /// results through this.
+    #[inline]
+    pub(crate) fn raw(hi: f64, lo: f64) -> Self {
+        DoubleDouble { hi, lo }
     }
 
     /// The high (leading) component.

@@ -44,8 +44,10 @@ mod dd;
 mod real;
 
 pub mod bigfloat;
+pub mod dd_batch;
 
 pub use bigfloat::BigFloat;
 pub use bits::{bits_error, ordinal, ulps_between, MAX_ERROR_BITS};
 pub use dd::DoubleDouble;
-pub use real::{Real, RealOp, MAX_ARITY};
+pub use dd_batch::DdLanes;
+pub use real::{apply_f64_lanes, BatchReal, Real, RealOp, MAX_ARITY};

@@ -4,7 +4,7 @@
 
 use fpcore::parse_core;
 use fpvm::compile_core;
-use herbgrind::{analyze, AnalysisConfig};
+use herbgrind::{analyze_batched, AnalysisConfig};
 use herbie_lite::{improve, sample_inputs, ImprovementOptions};
 
 fn main() {
@@ -19,8 +19,10 @@ fn main() {
     let program = compile_core(&core, Default::default()).expect("compiles");
     let inputs = sample_inputs(&core, 200, 42).expect("samples");
 
-    // Run it under Herbgrind.
-    let report = analyze(&program, &inputs, &AnalysisConfig::default()).expect("analysis");
+    // Run it under Herbgrind, on the batched lane-parallel engine (the
+    // default 8-wide batch; `analyze` and `analyze_parallel` produce the
+    // bit-identical report).
+    let report = analyze_batched(&program, &inputs, &AnalysisConfig::default()).expect("analysis");
     println!("{}", report.to_text());
 
     // Feed the reported root cause to the improvement oracle, as the paper
