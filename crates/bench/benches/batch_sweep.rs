@@ -135,7 +135,7 @@ fn probe_at_width(width: usize, program: &Program, inputs: &[Vec<f64>], threshol
 
 fn main() {
     let smoke = std::env::var_os("BENCH_SMOKE").is_some();
-    let reps = if smoke { 1 } else { 5 };
+    let reps = if smoke { 1 } else { 9 };
     let prepared = sweep_kernels(smoke);
     let widths = [1usize, 4, 8];
 

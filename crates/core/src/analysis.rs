@@ -29,12 +29,12 @@ use crate::config::AnalysisConfig;
 use crate::localerr::{local_error_ref, total_error};
 use crate::records::{InfluenceSet, OpRecord, SpotKind, SpotRecord};
 use crate::report::Report;
-use crate::trace::{ConcreteExpr, ExprInterner};
+use crate::trace::{ConcreteExpr, ExprInterner, TraceChildren};
 use fpcore::CmpOp;
 use fpvm::{Addr, Machine, MachineError, Program, SourceLoc, Tracer, Value, MAX_ARITY};
 use shadowreal::{BigFloat, Real, RealOp, MAX_ERROR_BITS};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The shadow of one memory location: its exact value, the concrete
 /// expression that produced it, and the candidate root causes that influenced
@@ -86,6 +86,107 @@ fn put_shadow<R>(slots: &mut Vec<ShadowSlot<R>>, gen: u64, addr: Addr, shadow: O
     slot.shadow = shadow;
 }
 
+/// Makes sure `addr` has a shadow for the current run (the lazy shadowing of
+/// §6), creating a leaf shadow through the supplied interner — the caller
+/// decides whether that is the shard's own table or a batched group's shared
+/// one.
+fn ensure_shadow_inner<R: Real>(
+    shadow_slots: &mut Vec<ShadowSlot<R>>,
+    gen: u64,
+    interner: &mut ExprInterner,
+    config: &AnalysisConfig,
+    addr: Addr,
+    client_value: f64,
+) {
+    if addr >= shadow_slots.len() {
+        shadow_slots.resize_with(addr + 1, ShadowSlot::default);
+    }
+    let slot = &shadow_slots[addr];
+    if slot.gen == gen && slot.shadow.is_some() {
+        return;
+    }
+    let fresh = Shadow {
+        real: R::from_f64_prec(client_value, config.shadow_precision),
+        expr: interner.leaf(client_value),
+        influences: InfluenceSet::new(),
+    };
+    let slot = &mut shadow_slots[addr];
+    slot.gen = gen;
+    slot.shadow = Some(fresh);
+}
+
+/// Builds the hash-consed concrete expression for one compute result, so
+/// repeated subtraces share one allocation.
+///
+/// Stored traces are depth-bounded with hysteresis: the reported bound is
+/// `max_expression_depth` (D), but shadow memory keeps traces up to 4D deep
+/// and truncates back to D only when that storage bound overflows.
+/// Truncating a deep trace is O(tree) — done per operation (as the reference
+/// path does) it dominates loop-carried chains; done on overflow every ≥3D
+/// operations it amortizes to O(tree/D) per operation, while memory stays
+/// bounded by the 4D storage depth. Records observe the trace through a
+/// depth budget ([`OpRecord::record_bounded`]), which reads nodes beyond D
+/// as value leaves — bit-identical to truncating first, because truncation
+/// preserves every value, operation, and location above the cut.
+#[allow(clippy::too_many_arguments)]
+fn build_compute_trace<R: Real>(
+    config: &AnalysisConfig,
+    shadow_slots: &[ShadowSlot<R>],
+    gen: u64,
+    interner: &mut ExprInterner,
+    locations: &[Arc<SourceLoc>],
+    pc: usize,
+    op: RealOp,
+    args: &[Addr],
+    result: f64,
+) -> Arc<ConcreteExpr> {
+    let n = args.len();
+    let first = shadow_at(shadow_slots, gen, args[0]).expect("operand shadow populated");
+    let mut expr_refs: [&Arc<ConcreteExpr>; MAX_ARITY] = [&first.expr; MAX_ARITY];
+    for (i, &addr) in args.iter().enumerate() {
+        expr_refs[i] = &shadow_at(shadow_slots, gen, addr)
+            .expect("operand shadow populated")
+            .expr;
+    }
+    let location = location_of(locations, pc);
+    let max_depth = config.max_expression_depth;
+    let store_bound = max_depth.saturating_mul(4);
+    let depth = 1 + expr_refs[..n].iter().map(|c| c.depth()).max().unwrap_or(0);
+    if depth <= intern_depth_bound(config) {
+        interner.node_ref(op, result, &expr_refs[..n], pc, location)
+    } else {
+        let node = ConcreteExpr::node(
+            op,
+            result,
+            TraceChildren::from_refs(&expr_refs[..n]),
+            pc,
+            Arc::clone(location),
+        );
+        if depth <= store_bound {
+            node
+        } else {
+            node.truncate_to_depth(max_depth)
+        }
+    }
+}
+
+/// The depth up to which result nodes are worth hash-consing. A node can
+/// only be a table hit when the same statement re-executes with the same
+/// value **and** the same operand allocations — repeating, loop-invariant
+/// subcomputations, which are structurally shallow. Loop-*carried* chains
+/// deepen every iteration with fresh values, so their nodes never hit; the
+/// anti-unification's bounded equivalence walks subtrees only to the
+/// configured depth anyway, so sharing beyond about twice that bound buys
+/// nothing — while hashing, probing, and inserting every chain node was
+/// measurable overhead on loop-heavy programs. The bound affects sharing
+/// only, never analysis output.
+pub(crate) fn intern_depth_bound(config: &AnalysisConfig) -> usize {
+    config
+        .antiunify_equivalence_depth
+        .saturating_mul(2)
+        .min(config.max_expression_depth.saturating_mul(4))
+}
+
 /// Grows a pc-indexed record slot table to cover `pc` and returns the slot
 /// (cold path; `on_start` pre-sizes the tables to the program length).
 fn record_slot<T>(slots: &mut Vec<Option<T>>, pc: usize) -> &mut Option<T> {
@@ -95,10 +196,39 @@ fn record_slot<T>(slots: &mut Vec<Option<T>>, pc: usize) -> &mut Option<T> {
     &mut slots[pc]
 }
 
-/// Looks up a statement's location by reference (falling back to the static
-/// default), so per-event location lookups never clone a `SourceLoc`.
-fn location_of(locations: &[SourceLoc], pc: usize) -> &SourceLoc {
-    locations.get(pc).unwrap_or(SourceLoc::static_default())
+/// Looks up a statement's interned location by reference (falling back to a
+/// shared static default), so per-event location lookups never clone a
+/// `SourceLoc` — trace nodes share the statement's `Arc`.
+fn location_of(locations: &[Arc<SourceLoc>], pc: usize) -> &Arc<SourceLoc> {
+    static DEFAULT: OnceLock<Arc<SourceLoc>> = OnceLock::new();
+    locations
+        .get(pc)
+        .unwrap_or_else(|| DEFAULT.get_or_init(|| Arc::new(SourceLoc::static_default().clone())))
+}
+
+/// Splits `items` into at most `parts` contiguous chunks whose lengths
+/// differ by at most one: the first `len % parts` chunks carry the extra
+/// element. Every chunk is non-empty (an empty input yields one empty
+/// chunk), so every worker (thread shard or SIMD
+/// lane) gets work whenever there are at least `parts` items. The previous
+/// `chunks(len.div_ceil(parts))` scheme produced *fewer* chunks than workers
+/// whenever the length was not a near-multiple of the count — 9 inputs for 8
+/// lanes made chunks of `[2, 2, 2, 2, 1]` and idled 3 workers. Chunks stay
+/// contiguous and in input order, so merging them in chunk order remains the
+/// bit-identical in-input-order merge the drivers rely on.
+pub(crate) fn balanced_chunks<T>(items: &[T], parts: usize) -> Vec<&[T]> {
+    let parts = parts.clamp(1, items.len().max(1));
+    let base = items.len() / parts;
+    let extra = items.len() % parts;
+    let mut chunks = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        chunks.push(&items[start..start + len]);
+        start += len;
+    }
+    debug_assert_eq!(start, items.len());
+    chunks
 }
 
 /// Detects a compensating addition or subtraction (§5.3): the operation
@@ -158,7 +288,9 @@ pub struct Herbgrind<R: Real> {
     interner: ExprInterner,
     op_slots: Vec<Option<OpRecord>>,
     spot_slots: Vec<Option<SpotRecord>>,
-    locations: Vec<SourceLoc>,
+    /// Interned per-statement locations: every trace node built for a
+    /// statement shares its `Arc` instead of cloning the location's strings.
+    locations: Vec<Arc<SourceLoc>>,
     program_name: String,
     runs: u64,
     compensations_detected: u64,
@@ -242,28 +374,91 @@ impl<R: Real> Herbgrind<R> {
     /// reference implementation's `shadow_of`, nothing is cloned: callers
     /// read the populated slot by reference afterwards.
     pub(crate) fn ensure_shadow(&mut self, addr: Addr, client_value: f64) {
-        if addr >= self.shadow_slots.len() {
-            self.shadow_slots.resize_with(addr + 1, ShadowSlot::default);
-        }
-        let slot = &self.shadow_slots[addr];
-        if slot.gen == self.shadow_gen && slot.shadow.is_some() {
-            return;
-        }
-        let fresh = Shadow {
-            real: self.shadow_leaf(client_value),
-            expr: self.interner.leaf(client_value),
-            influences: InfluenceSet::new(),
-        };
-        let slot = &mut self.shadow_slots[addr];
-        slot.gen = self.shadow_gen;
-        slot.shadow = Some(fresh);
+        let Herbgrind {
+            config,
+            shadow_slots,
+            shadow_gen,
+            interner,
+            ..
+        } = self;
+        ensure_shadow_inner(
+            shadow_slots,
+            *shadow_gen,
+            interner,
+            config,
+            addr,
+            client_value,
+        );
     }
 
-    /// The exact shadow value of `addr` for the current run, if one exists —
-    /// the batched analysis gathers operand lanes through this after
-    /// [`Herbgrind::ensure_shadow`].
-    pub(crate) fn shadow_real(&self, addr: Addr) -> Option<&R> {
-        shadow_at(&self.shadow_slots, self.shadow_gen, addr).map(|shadow| &shadow.real)
+    /// [`Herbgrind::ensure_shadow`] with the leaf interner supplied by the
+    /// caller: the batched analysis shares one group-level interner across
+    /// all lane shards, so leaves with identical values are pointer-shared
+    /// between lanes and the group trace layer's shared-children fast path
+    /// keeps firing. (Where a leaf's allocation comes from is invisible to
+    /// the analysis output.)
+    pub(crate) fn ensure_shadow_in(
+        &mut self,
+        interner: &mut ExprInterner,
+        addr: Addr,
+        client_value: f64,
+    ) {
+        let Herbgrind {
+            config,
+            shadow_slots,
+            shadow_gen,
+            ..
+        } = self;
+        ensure_shadow_inner(
+            shadow_slots,
+            *shadow_gen,
+            interner,
+            config,
+            addr,
+            client_value,
+        );
+    }
+
+    /// Writes a constant-leaf shadow (the serial `on_const_f` effect) with a
+    /// caller-supplied trace leaf — the batched analysis builds the leaf once
+    /// per group and shares it across the group's lanes.
+    pub(crate) fn set_const_shadow(&mut self, dest: Addr, value: f64, expr: Arc<ConcreteExpr>) {
+        let shadow = Shadow {
+            real: self.shadow_leaf(value),
+            expr,
+            influences: InfluenceSet::new(),
+        };
+        put_shadow(&mut self.shadow_slots, self.shadow_gen, dest, Some(shadow));
+    }
+
+    /// The statement's interned source location (for the batched analysis's
+    /// group trace construction; identical across lane shards).
+    pub(crate) fn location(&self, pc: usize) -> &Arc<SourceLoc> {
+        location_of(&self.locations, pc)
+    }
+
+    /// The operation record slot for `pc`, created on first use — the
+    /// batched record layer borrows per-lane records through this when
+    /// folding a lane group's observations.
+    pub(crate) fn op_record_entry(&mut self, pc: usize, op: RealOp) -> &mut OpRecord {
+        let Herbgrind {
+            config,
+            op_slots,
+            locations,
+            ..
+        } = self;
+        record_slot(op_slots, pc).get_or_insert_with(|| {
+            OpRecord::new(op, location_of(locations, pc).as_ref().clone(), config)
+        })
+    }
+
+    /// The exact value and the trace of `addr`'s shadow together — one slot
+    /// probe for both, for the batched gather that feeds the vectorized
+    /// evaluation and the group trace construction from the same pass
+    /// (after [`Herbgrind::ensure_shadow_in`] has populated the operands).
+    pub(crate) fn shadow_parts(&self, addr: Addr) -> Option<(&R, &Arc<ConcreteExpr>)> {
+        shadow_at(&self.shadow_slots, self.shadow_gen, addr)
+            .map(|shadow| (&shadow.real, &shadow.expr))
     }
 
     /// The record-keeping tail of a compute observation, with the exact
@@ -290,15 +485,92 @@ impl<R: Real> Herbgrind<R> {
         local_err: f64,
         exact_result: R,
     ) {
+        // Build the result trace through the shard's own interner, then run
+        // the shadow tail and the record update. The batched analysis uses
+        // the same two tail steps but builds traces through its group-level
+        // interner ([`ExprInterner::node_group`]) and folds the record
+        // updates of a whole lane group through
+        // [`OpRecord::record_bounded_group`]; both orders of sub-steps are
+        // confined to per-lane state, so the decomposition cannot be
+        // observed in the report.
+        let node = {
+            let Herbgrind {
+                config,
+                shadow_slots,
+                shadow_gen,
+                interner,
+                locations,
+                ..
+            } = &mut *self;
+            build_compute_trace(
+                config,
+                shadow_slots,
+                *shadow_gen,
+                interner,
+                locations,
+                pc,
+                op,
+                args,
+                result,
+            )
+        };
+        let recorded = self.compute_shadow_tail(
+            pc,
+            op,
+            dest,
+            args,
+            arg_values,
+            result,
+            local_err,
+            exact_result,
+            Arc::clone(&node),
+        );
+        if let Some(erroneous) = recorded {
+            let Herbgrind {
+                config,
+                op_slots,
+                locations,
+                ..
+            } = &mut *self;
+            let record = record_slot(op_slots, pc).get_or_insert_with(|| {
+                OpRecord::new(op, location_of(locations, pc).as_ref().clone(), config)
+            });
+            record.record_bounded(
+                &node,
+                config.max_expression_depth,
+                local_err,
+                erroneous,
+                config,
+            );
+        }
+    }
+
+    /// The shadow-memory half of one compute observation, with the result
+    /// trace already built: influence propagation, compensation detection
+    /// (§5.3), and the destination-shadow write. Returns `Some(erroneous)`
+    /// when the operation's record should also observe the execution (the
+    /// operation was not a detected compensation), `None` otherwise; callers
+    /// route the record update through [`OpRecord::record_bounded`] (serial)
+    /// or [`OpRecord::record_bounded_group`] (batched lane groups).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn compute_shadow_tail(
+        &mut self,
+        pc: usize,
+        op: RealOp,
+        dest: Addr,
+        args: &[Addr],
+        arg_values: &[f64],
+        result: f64,
+        local_err: f64,
+        exact_result: R,
+        node: Arc<ConcreteExpr>,
+    ) -> Option<bool> {
         // Split field borrows: operand shadows stay borrowed from the slot
-        // table while the interner and record tables are updated.
+        // table while influences accumulate; only the destination is written.
         let Herbgrind {
             config,
             shadow_slots,
             shadow_gen,
-            interner,
-            op_slots,
-            locations,
             compensations_detected,
             ..
         } = self;
@@ -308,12 +580,10 @@ impl<R: Real> Herbgrind<R> {
 
         let first = shadow_at(shadow_slots, gen, args[0]).expect("operand shadow populated");
         let mut exact_refs: [&R; MAX_ARITY] = [&first.real; MAX_ARITY];
-        let mut expr_refs: [&Arc<ConcreteExpr>; MAX_ARITY] = [&first.expr; MAX_ARITY];
         let mut influences = InfluenceSet::new();
         for (i, &addr) in args.iter().enumerate() {
             let shadow = shadow_at(shadow_slots, gen, addr).expect("operand shadow populated");
             exact_refs[i] = &shadow.real;
-            expr_refs[i] = &shadow.expr;
             influences.union_with(&shadow.influences);
         }
         let erroneous = local_err > config.local_error_threshold;
@@ -339,42 +609,6 @@ impl<R: Real> Herbgrind<R> {
             influences.insert(pc);
         }
 
-        // Build the concrete expression for the result, hash-consed so
-        // repeated subtraces share one allocation.
-        //
-        // Stored traces are depth-bounded with hysteresis: the reported
-        // bound is `max_expression_depth` (D), but shadow memory keeps
-        // traces up to 4D deep and truncates back to D only when that
-        // storage bound overflows. Truncating a deep trace is O(tree) —
-        // done per operation (as the reference path does) it dominates
-        // loop-carried chains; done on overflow every ≥3D operations it
-        // amortizes to O(tree/D) per operation, while memory stays bounded
-        // by the 4D storage depth. Records observe the trace through a
-        // depth budget ([`OpRecord::record_bounded`]), which reads nodes
-        // beyond D as value leaves — bit-identical to truncating first,
-        // because truncation preserves every value, operation, and location
-        // above the cut.
-        let location = location_of(locations, pc);
-        let max_depth = config.max_expression_depth;
-        let store_bound = max_depth.saturating_mul(4);
-        let depth = 1 + expr_refs[..n].iter().map(|c| c.depth()).max().unwrap_or(0);
-        let node = if depth <= store_bound {
-            interner.node_ref(op, result, &expr_refs[..n], pc, location)
-        } else {
-            let children: Vec<Arc<ConcreteExpr>> =
-                expr_refs[..n].iter().map(|c| Arc::clone(c)).collect();
-            ConcreteExpr::node(op, result, children, pc, location.clone())
-                .truncate_to_depth(max_depth)
-        };
-
-        // Update the operation record (unless the operation is a detected
-        // compensation, which the user should not see).
-        if compensation.is_none() {
-            let record = record_slot(op_slots, pc)
-                .get_or_insert_with(|| OpRecord::new(op, location.clone(), config));
-            record.record_bounded(&node, max_depth, local_err, erroneous, config);
-        }
-
         // Update the destination shadow (the only slot written).
         put_shadow(
             shadow_slots,
@@ -386,6 +620,11 @@ impl<R: Real> Herbgrind<R> {
                 influences,
             }),
         );
+        if compensation.is_none() {
+            Some(erroneous)
+        } else {
+            None
+        }
     }
 
     /// Merges the state of a later input shard into this one.
@@ -406,11 +645,11 @@ impl<R: Real> Herbgrind<R> {
         self.runs += other.runs;
         self.compensations_detected += other.compensations_detected;
         self.branch_divergences += other.branch_divergences;
-        // Interners are per-run state consulted only mid-run, and every run
-        // starts by clearing them — at merge time both tables are dead
-        // weight, so release them instead of unioning shard trace nodes
-        // into memory nothing will read. (Interning never affects analysis
-        // output, so this cannot perturb the bit-identical merge contract.)
+        // Interners are consulted only mid-run — at merge time both tables
+        // are dead weight, so release them instead of unioning shard trace
+        // nodes into memory nothing will read. (Interning never affects
+        // analysis output, so this cannot perturb the bit-identical merge
+        // contract.)
         self.interner.clear();
         drop(other.interner);
         if self.op_slots.len() < other.op_slots.len() {
@@ -463,7 +702,10 @@ impl<R: Real> Tracer for Herbgrind<R> {
         // is reinitialized); the per-statement records persist across runs.
         // The shadow reset is a generation bump — O(1), no drops, no
         // rehashing — and the slot tables keep their allocations across the
-        // whole sweep.
+        // whole sweep. (Retaining the interner across runs was tried and
+        // lost: truncation cycles break pointer-keyed sharing after the
+        // first storage-bound overflow, so cross-run hits are rare while
+        // every probe walks a colder, ever-growing table.)
         self.shadow_gen += 1;
         if self.shadow_slots.len() < program.num_addrs {
             self.shadow_slots
@@ -477,7 +719,11 @@ impl<R: Real> Tracer for Herbgrind<R> {
         }
         self.interner.clear();
         if self.locations.is_empty() {
-            self.locations = program.locations.clone();
+            self.locations = program
+                .locations
+                .iter()
+                .map(|loc| Arc::new(loc.clone()))
+                .collect();
             self.program_name = program.name.clone();
         }
         self.runs += 1;
@@ -568,7 +814,10 @@ impl<R: Real> Tracer for Herbgrind<R> {
         let diverged = shadow_int as i64 != result;
         let error = if diverged { MAX_ERROR_BITS } else { 0.0 };
         let record = record_slot(spot_slots, pc).get_or_insert_with(|| {
-            SpotRecord::new(SpotKind::FloatToInt, location_of(locations, pc).clone())
+            SpotRecord::new(
+                SpotKind::FloatToInt,
+                location_of(locations, pc).as_ref().clone(),
+            )
         });
         record.record(error, diverged, &shadow.influences);
         put_shadow(shadow_slots, *shadow_gen, dest, None);
@@ -607,7 +856,10 @@ impl<R: Real> Tracer for Herbgrind<R> {
         influences.union_with(&rhs_shadow.influences);
         let error = if diverged { MAX_ERROR_BITS } else { 0.0 };
         let record = record_slot(spot_slots, pc).get_or_insert_with(|| {
-            SpotRecord::new(SpotKind::Branch, location_of(locations, pc).clone())
+            SpotRecord::new(
+                SpotKind::Branch,
+                location_of(locations, pc).as_ref().clone(),
+            )
         });
         record.record(error, diverged, &influences);
         // The analysis follows the client's control flow (the divergence is
@@ -636,7 +888,10 @@ impl<R: Real> Tracer for Herbgrind<R> {
         };
         let erroneous = error > config.output_error_threshold;
         let record = record_slot(spot_slots, pc).get_or_insert_with(|| {
-            SpotRecord::new(SpotKind::Output, location_of(locations, pc).clone())
+            SpotRecord::new(
+                SpotKind::Output,
+                location_of(locations, pc).as_ref().clone(),
+            )
         });
         record.record(error, erroneous, &shadow.influences);
     }
@@ -724,14 +979,16 @@ pub fn analyze_parallel_with_shadow<R: Real + Send>(
     if threads <= 1 || inputs.len() <= 1 {
         return analyze_with_shadow::<R>(program, inputs, config);
     }
-    let chunk_size = inputs.len().div_ceil(threads);
     // Decode the execution tape once; shard machines are clones that share
     // it (`Machine` holds the tape behind an `Arc`), so an N-thread sweep
-    // pays O(program) decode instead of O(N × program).
+    // pays O(program) decode instead of O(N × program). The balanced
+    // partition hands every thread a shard (chunk lengths differ by at most
+    // one), where ceil-division chunking used to leave threads idle whenever
+    // the sweep length was not a near-multiple of the thread count.
     let shared = Machine::new(program).with_step_limit(config.step_limit);
     let shards: Vec<Result<Herbgrind<R>, MachineError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = inputs
-            .chunks(chunk_size)
+        let handles: Vec<_> = balanced_chunks(inputs, threads)
+            .into_iter()
             .map(|chunk| {
                 let machine = shared.clone();
                 scope.spawn(move || {
@@ -958,6 +1215,51 @@ mod tests {
         for run in runs_hi {
             assert_eq!(run, serial_hi, "high-precision analysis was corrupted");
         }
+    }
+
+    #[test]
+    fn balanced_chunks_fill_every_worker() {
+        // The chunking regression: ceil-division produced fewer chunks than
+        // workers for awkward lengths (9 items, 8 workers → 5 chunks).
+        for (len, parts) in [(9usize, 8usize), (5, 4), (17, 13), (8, 8), (3, 8), (40, 3)] {
+            let items: Vec<usize> = (0..len).collect();
+            let chunks = balanced_chunks(&items, parts);
+            assert_eq!(chunks.len(), parts.min(len), "{len} items, {parts} parts");
+            assert!(chunks.iter().all(|c| !c.is_empty()));
+            // Contiguous, in order, lengths within one of each other.
+            let flat: Vec<usize> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+            assert_eq!(flat, items);
+            let min = chunks.iter().map(|c| c.len()).min().unwrap();
+            let max = chunks.iter().map(|c| c.len()).max().unwrap();
+            assert!(max - min <= 1, "{len} items, {parts} parts: {min}..{max}");
+            // The longest chunks come first, so chunk 0's length bounds the
+            // batched engine's pass count.
+            assert_eq!(chunks[0].len(), max);
+        }
+        assert_eq!(balanced_chunks(&[] as &[u8], 4).len(), 1);
+        assert!(balanced_chunks(&[] as &[u8], 4)[0].is_empty());
+    }
+
+    #[test]
+    fn parallel_analysis_fills_all_threads_at_awkward_lengths() {
+        // 9 inputs across 8 threads: every thread gets a shard and the merged
+        // report is still bit-identical to serial.
+        let core = parse_core("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let inputs: Vec<Vec<f64>> = (0..9).map(|i| vec![10f64.powi(i * 3)]).collect();
+        let serial = analyze(
+            &program,
+            &inputs,
+            &AnalysisConfig::default().with_threads(1),
+        )
+        .unwrap();
+        let parallel = analyze_parallel(
+            &program,
+            &inputs,
+            &AnalysisConfig::default().with_threads(8),
+        )
+        .unwrap();
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
     }
 
     #[test]

@@ -22,10 +22,17 @@
 //! tracer callback, the client `f64` arithmetic, the **exact shadow
 //! evaluation** (one [`BatchReal::apply_lanes`] call per group — the
 //! vectorized [`shadowreal::dd_batch`] kernels for the `DoubleDouble`
-//! shadow), and the float side of the local-error computation. The
-//! per-lane record observation (trace interning, anti-unification, input
-//! characteristics) is folded into the same group call but remains
-//! per-lane work; [`DdErrorProbe`] shows the engine's throughput with that
+//! shadow), the float side of the local-error computation, and the
+//! **group-shared record layer**: operand gathering fused with lazy
+//! shadowing (one slot probe per operand per lane), trace nodes interned
+//! once per convergent group through a group-level
+//! [`ExprInterner::node_group`] (structural key hashed once, lanes split
+//! only on value mismatch, value-identical lanes sharing one node), and
+//! record updates folded through [`OpRecord::record_bounded_group`] /
+//! [`crate::inputs::InputCharacteristics::apply_assignments_group`] in
+//! lane order. The anti-unification and characteristics *state* stays
+//! per-lane (that is what makes the lane-order merge bit-identical);
+//! [`DdErrorProbe`] shows the engine's throughput with all record
 //! bookkeeping stripped to FpDebug-style per-statement error counters.
 //!
 //! Threads compose with lanes: `config.threads` shards the sweep exactly as
@@ -33,13 +40,16 @@
 //! cloned machine sharing one decoded tape, and shard merges happen in
 //! input order.
 
-use crate::analysis::Herbgrind;
+use crate::analysis::{balanced_chunks, Herbgrind};
 use crate::config::AnalysisConfig;
+use crate::records::{GroupObservation, OpRecord};
 use crate::report::Report;
+use crate::trace::{ConcreteExpr, ExprInterner, LaneNode, TraceChildren};
 use fpcore::CmpOp;
 use fpvm::batch::{full_mask, lane_active, lane_indices, BatchMemory, BatchTracer, LaneMask};
 use fpvm::{Addr, Machine, MachineError, Program, Tracer, Value, MAX_ARITY};
 use shadowreal::{apply_f64_lanes, bits_error, BatchReal, BigFloat, DdLanes, RealOp};
+use std::sync::Arc;
 
 /// The lane widths the batched engine is compiled for. Requested widths
 /// ([`AnalysisConfig::batch_width`]) outside this menu fall back to the
@@ -66,12 +76,32 @@ pub fn effective_batch_width(requested: usize) -> usize {
 /// analysis shard per lane, driven by per-group callbacks.
 ///
 /// Most events simply fan out to the owning lane's serial [`Tracer`]
-/// methods; compute events evaluate the exact operation for the whole group
-/// in one [`BatchReal::apply_lanes`] call before finishing each lane's
-/// record keeping, so the expensive shadow arithmetic runs lane-vectorized.
+/// methods. Compute events run the whole group through the **group-shared
+/// record layer**: one lane-vectorized exact evaluation
+/// ([`BatchReal::apply_lanes`]), one group-level trace-interning call
+/// ([`ExprInterner::node_group`] — the structural key is hashed once per
+/// group and split per lane only on value mismatch, so lanes with identical
+/// observations share one trace node), and one group-level record fold
+/// ([`OpRecord::record_bounded_group`] /
+/// [`crate::inputs::InputCharacteristics::apply_assignments_group`]) in
+/// lane order. Constant loads intern one leaf per group. All sharing is
+/// structural-identity-preserving, so every lane shard still holds exactly
+/// the serial per-input state and the lane-order merge stays bit-identical
+/// to serial [`analyze`](crate::analysis::analyze).
 #[derive(Debug)]
 pub struct BatchHerbgrind<R: BatchReal, const W: usize> {
     lanes: Vec<Herbgrind<R>>,
+    config: AnalysisConfig,
+    /// The group-level trace interner: one hash-consing table shared by all
+    /// lane shards, so a convergent group's nodes are interned with one
+    /// structural hash and value-identical lanes share allocations (which in
+    /// turn keeps operand pointer sets identical across lanes, feeding the
+    /// next group's shared-structure fast path and the anti-unification
+    /// pointer-identity short-circuits). Per-run state like shadow memory:
+    /// cleared at the start of every batch pass.
+    interner: ExprInterner,
+    /// Reusable per-group output buffer for [`ExprInterner::node_group`].
+    node_scratch: Vec<Option<Arc<ConcreteExpr>>>,
 }
 
 impl<R: BatchReal, const W: usize> BatchHerbgrind<R, W> {
@@ -79,6 +109,9 @@ impl<R: BatchReal, const W: usize> BatchHerbgrind<R, W> {
     pub fn new(config: &AnalysisConfig) -> Self {
         BatchHerbgrind {
             lanes: (0..W).map(|_| Herbgrind::new(config.clone())).collect(),
+            config: config.clone(),
+            interner: ExprInterner::new(),
+            node_scratch: Vec::new(),
         }
     }
 
@@ -104,6 +137,9 @@ impl<R: BatchReal, const W: usize> BatchHerbgrind<R, W> {
 
 impl<R: BatchReal, const W: usize> BatchTracer<W> for BatchHerbgrind<R, W> {
     fn on_start(&mut self, program: &Program, lane_inputs: &[Option<&[f64]>; W], mask: LaneMask) {
+        // The group interner is per-pass state, like the serial shard
+        // interners are per-run state: a pass is one run per lane.
+        self.interner.clear();
         for l in lane_indices(mask) {
             if let Some(args) = lane_inputs[l] {
                 self.lanes[l].on_start(program, args);
@@ -122,36 +158,60 @@ impl<R: BatchReal, const W: usize> BatchTracer<W> for BatchHerbgrind<R, W> {
         mask: LaneMask,
     ) {
         let n = args.len();
-        // Lazy leaf shadows per lane, exactly as the serial hot path.
-        for l in lane_indices(mask) {
-            for (i, &addr) in args.iter().enumerate() {
-                self.lanes[l].ensure_shadow(addr, arg_values[i][l]);
-            }
-        }
-
-        // One lane-vectorized exact evaluation for the whole group. The
-        // operand shadows stay borrowed in the lane slot tables while the
-        // kernel runs; `BatchReal`'s bit-identity contract guarantees each
-        // lane gets exactly the serial `apply_ref` result.
+        let BatchHerbgrind {
+            lanes,
+            config,
+            interner,
+            node_scratch,
+        } = self;
+        // One lane-vectorized exact evaluation for the whole group, with the
+        // lazy leaf-shadow creation (through the group interner, so lanes
+        // observing the same value share one leaf) fused into the operand
+        // gather that feeds both the exact kernel and the trace layer: each
+        // lane's slot is probed once per operand. The operand shadows stay
+        // borrowed in the lane slot tables while the kernel runs;
+        // `BatchReal`'s bit-identity contract guarantees each lane gets
+        // exactly the serial `apply_ref` result.
+        let max_depth = config.max_expression_depth;
+        let store_bound = max_depth.saturating_mul(4);
+        let intern_bound = crate::analysis::intern_depth_bound(config);
         let mut exact_results: [Option<R>; W] = std::array::from_fn(|_| None);
         let mut local_errs = [0.0f64; W];
+        // Placeholder for inactive child-ref slots: the cached process-wide
+        // zero leaf (no allocation), never read for lanes outside the mask.
+        let zero_leaf = ConcreteExpr::leaf(0.0);
         {
+            let mut child_refs = [[&zero_leaf; MAX_ARITY]; W];
             let mut gathered: [[Option<&R>; W]; MAX_ARITY] = [[None; W]; MAX_ARITY];
-            for (i, &addr) in args.iter().enumerate() {
-                for (l, lane) in self.lanes.iter().enumerate() {
-                    if lane_active(mask, l) {
-                        gathered[i][l] = Some(lane.shadow_real(addr).expect("operand shadow"));
-                    }
+            let mut location: Option<&Arc<fpvm::SourceLoc>> = None;
+            for (l, lane) in lanes.iter_mut().enumerate() {
+                if !lane_active(mask, l) {
+                    continue;
+                }
+                for (i, &addr) in args.iter().enumerate() {
+                    lane.ensure_shadow_in(interner, addr, arg_values[i][l]);
+                }
+                // Downgrade this lane's borrow and read the freshly ensured
+                // operands in the same pass.
+                let lane: &Herbgrind<R> = lane;
+                for (i, &addr) in args.iter().enumerate() {
+                    let (real, expr) = lane.shadow_parts(addr).expect("operand shadow");
+                    gathered[i][l] = Some(real);
+                    child_refs[l][i] = expr;
+                }
+                if location.is_none() {
+                    location = Some(lane.location(pc));
                 }
             }
+            let location = location.expect("non-empty group");
             R::apply_lanes(op, &gathered[..n], mask, &mut exact_results);
 
             // Local error (Figure 4), with the float re-evaluation of the
             // rounded exact operands done lane-vectorized.
             let mut rounded = [[0.0f64; W]; MAX_ARITY];
-            for (lanes, arg) in rounded.iter_mut().zip(&gathered[..n]) {
+            for (rounded_lanes, arg) in rounded.iter_mut().zip(&gathered[..n]) {
                 for l in lane_indices(mask) {
-                    lanes[l] = arg[l].expect("operand shadow").to_f64();
+                    rounded_lanes[l] = arg[l].expect("operand shadow").to_f64();
                 }
             }
             let float_results = apply_f64_lanes(op, &rounded[..n]);
@@ -159,16 +219,73 @@ impl<R: BatchReal, const W: usize> BatchTracer<W> for BatchHerbgrind<R, W> {
                 let exact = exact_results[l].as_ref().expect("lane result");
                 local_errs[l] = bits_error(float_results[l], exact.to_f64());
             }
+
+            // Group-shared trace construction: intern the whole group's
+            // result nodes in one call — one structural hash for lanes whose
+            // operands are pointer-shared, one node per distinct
+            // observation. Deep traces take the serial paths (allocated
+            // directly past the interning depth bound, truncated past the 4D
+            // storage bound), deduplicated within the group so lanes with
+            // identical observations still share one node.
+            let mut deep_mask: LaneMask = 0;
+            let mut depths = [0usize; W];
+            let mut reqs: [Option<LaneNode>; W] = std::array::from_fn(|_| None);
+            for l in lane_indices(mask) {
+                let depth = 1 + child_refs[l][..n]
+                    .iter()
+                    .map(|c| c.depth())
+                    .max()
+                    .unwrap_or(0);
+                depths[l] = depth;
+                if depth <= intern_bound {
+                    reqs[l] = Some(LaneNode {
+                        value: results[l],
+                        children: &child_refs[l][..n],
+                    });
+                } else {
+                    deep_mask |= 1 << l;
+                }
+            }
+            interner.node_group(op, pc, location, &reqs, node_scratch);
+            for l in lane_indices(deep_mask) {
+                let shared = lane_indices(deep_mask).take_while(|&p| p < l).find(|&p| {
+                    results[p].to_bits() == results[l].to_bits()
+                        && child_refs[p][..n]
+                            .iter()
+                            .zip(&child_refs[l][..n])
+                            .all(|(a, b)| Arc::ptr_eq(a, b))
+                });
+                node_scratch[l] = match shared {
+                    Some(p) => node_scratch[p].clone(),
+                    None => {
+                        let node = ConcreteExpr::node(
+                            op,
+                            results[l],
+                            TraceChildren::from_refs(&child_refs[l][..n]),
+                            pc,
+                            location.clone(),
+                        );
+                        Some(if depths[l] <= store_bound {
+                            node
+                        } else {
+                            node.truncate_to_depth(max_depth)
+                        })
+                    }
+                };
+            }
         }
 
-        // Per-lane record keeping, folded into this one group call.
+        // Per-lane shadow tails (influences, compensation, destination
+        // write), then one group-level record fold — both in lane order.
         let mut lane_args = [0.0f64; MAX_ARITY];
+        let mut recorded: [Option<bool>; W] = [None; W];
         for l in lane_indices(mask) {
-            for (slot, lanes) in lane_args.iter_mut().zip(arg_values) {
-                *slot = lanes[l];
+            for (slot, lane_values) in lane_args.iter_mut().zip(arg_values) {
+                *slot = lane_values[l];
             }
             let exact = exact_results[l].take().expect("lane result");
-            self.lanes[l].finish_compute(
+            let node = Arc::clone(node_scratch[l].as_ref().expect("lane node"));
+            recorded[l] = lanes[l].compute_shadow_tail(
                 pc,
                 op,
                 dest,
@@ -177,13 +294,36 @@ impl<R: BatchReal, const W: usize> BatchTracer<W> for BatchHerbgrind<R, W> {
                 results[l],
                 local_errs[l],
                 exact,
+                node,
             );
         }
+        OpRecord::record_bounded_group(
+            lanes.iter_mut().enumerate().filter_map(|(l, lane)| {
+                let erroneous = recorded[l]?;
+                let node = node_scratch[l].as_ref().expect("lane node");
+                Some((
+                    lane.op_record_entry(pc, op),
+                    GroupObservation {
+                        node,
+                        local_error: local_errs[l],
+                        erroneous,
+                    },
+                ))
+            }),
+            max_depth,
+            config,
+        );
     }
 
-    fn on_const_f(&mut self, pc: usize, dest: Addr, value: f64, mask: LaneMask) {
+    fn on_const_f(&mut self, _pc: usize, dest: Addr, value: f64, mask: LaneMask) {
+        // One interned leaf per group, shared by every lane's shadow — the
+        // serial `on_const_f` effect with the allocation amortized.
+        let BatchHerbgrind {
+            lanes, interner, ..
+        } = self;
+        let leaf = interner.leaf(value);
         for l in lane_indices(mask) {
-            self.lanes[l].on_const_f(pc, dest, value);
+            lanes[l].set_const_shadow(dest, value, Arc::clone(&leaf));
         }
     }
 
@@ -254,13 +394,18 @@ fn batched_sweep<R: BatchReal, const W: usize>(
     config: &AnalysisConfig,
 ) -> Result<Herbgrind<R>, MachineError> {
     let lane_count = W.min(inputs.len()).max(1);
-    let chunk_size = inputs.len().div_ceil(lane_count).max(1);
-    let chunks: Vec<&[Vec<f64>]> = inputs.chunks(chunk_size).collect();
+    // Balanced contiguous partition: chunk lengths differ by at most one, so
+    // a sweep of at least W inputs keeps every lane busy (ceil-division
+    // chunking used to produce fewer chunks than lanes — 9 inputs at W=8 ran
+    // only 5 lanes). Chunks are contiguous in input order, so the lane-order
+    // merge below is unchanged and reports stay bit-identical.
+    let chunks = balanced_chunks(inputs, lane_count);
+    let positions = chunks.first().map_or(0, |chunk| chunk.len());
     let batch = machine.batched::<W>();
     let mut tracer = BatchHerbgrind::<R, W>::new(config);
     let mut memory = BatchMemory::new();
     let mut failures: [Option<MachineError>; W] = std::array::from_fn(|_| None);
-    for position in 0..chunk_size {
+    for position in 0..positions {
         let mut lane_inputs: [Option<&[f64]>; W] = [None; W];
         let mut any = false;
         for (l, chunk) in chunks.iter().enumerate() {
@@ -352,10 +497,11 @@ pub fn analyze_batched_with_shadow<R: BatchReal + Send>(
     if threads <= 1 || inputs.len() <= 1 {
         return dispatch_sweep::<R>(&shared, width, inputs, config).map(|a| a.report());
     }
-    let chunk_size = inputs.len().div_ceil(threads);
+    // Balanced thread shards, like `analyze_parallel`: every thread gets a
+    // chunk whenever there are at least `threads` inputs.
     let shards: Vec<Result<Herbgrind<R>, MachineError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = inputs
-            .chunks(chunk_size)
+        let handles: Vec<_> = balanced_chunks(inputs, threads)
+            .into_iter()
             .map(|chunk| {
                 let machine = shared.clone();
                 scope.spawn(move || dispatch_sweep::<R>(&machine, width, chunk, config))
@@ -436,25 +582,77 @@ pub struct DdErrorProbe<const W: usize> {
     erroneous: Vec<u64>,
     max_ulps: Vec<u64>,
     threshold_ulps: u64,
+    /// True for negative thresholds, which every execution exceeds — `ulps >
+    /// threshold_ulps` cannot express "including zero ulps" in a `u64`.
+    flag_all: bool,
     total_ops: u64,
+}
+
+/// The bits-of-error the analysis computes for a ulps distance: exactly
+/// [`shadowreal::bits_error`]'s arithmetic, expressed over the integer
+/// distance the probe counts in.
+fn bits_of_ulps(ulps: u64) -> f64 {
+    if ulps == u64::MAX {
+        return shadowreal::MAX_ERROR_BITS;
+    }
+    (((ulps as f64) + 1.0).log2()).min(shadowreal::MAX_ERROR_BITS)
 }
 
 impl<const W: usize> DdErrorProbe<W> {
     /// A probe flagging statements whose local error exceeds
-    /// `threshold_bits` (the analysis's local-error threshold, converted to
-    /// an exact integer ulps bound: `bits > T ⟺ ulps > 2^T − 1`).
+    /// `threshold_bits` — by the *same decision* the full analysis makes
+    /// (`bits_error(float, exact) > T`), converted to an integer ulps bound.
+    ///
+    /// In exact arithmetic `bits > T ⟺ ulps > 2^T − 1`, but the analysis
+    /// computes bits as the **rounded** `log2(ulps + 1)`, so the naive
+    /// conversion misclassifies ulps counts near the boundary (for example
+    /// `ulps = 2^60` at `T = 60`: `log2` rounds to exactly `60.0`, which
+    /// does not exceed the threshold, while `2^60 > 2^60 − 1` does). The
+    /// bound is therefore taken directly from the analysis's own formula:
+    /// the largest ulps count whose rounded bits do not exceed the
+    /// threshold, located by binary search over the monotone `log2` (with a
+    /// local fix-up so faithful-but-not-correct rounding cannot shift the
+    /// boundary). Thresholds at or above [`shadowreal::MAX_ERROR_BITS`] (or
+    /// NaN) flag nothing, exactly like the analysis, whose bits are clamped
+    /// to that maximum; negative thresholds flag every execution.
     pub fn new(threshold_bits: f64) -> Self {
-        let threshold_ulps = if threshold_bits >= shadowreal::MAX_ERROR_BITS {
-            u64::MAX - 1
-        } else {
-            (threshold_bits.max(0.0).exp2() - 1.0) as u64
-        };
+        let exceeds = |ulps: u64| bits_of_ulps(ulps) > threshold_bits;
+        let threshold_ulps =
+            if threshold_bits.is_nan() || threshold_bits >= shadowreal::MAX_ERROR_BITS {
+                // T >= 64 bits, or NaN: bits are clamped to 64, so nothing can
+                // exceed the threshold — not even the saturated NaN distance.
+                u64::MAX
+            } else if threshold_bits < 0.0 {
+                // Every execution exceeds a negative threshold; `ulps >= 0 > -1`
+                // has no u64 encoding, so flag through the zero-included path.
+                0
+            } else {
+                // Largest `u` with bits(u) <= T; erroneous ⟺ ulps > u.
+                let (mut lo, mut hi) = (0u64, u64::MAX - 1);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2 + 1;
+                    if exceeds(mid) {
+                        hi = mid - 1;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                while lo < u64::MAX - 1 && !exceeds(lo + 1) {
+                    lo += 1;
+                }
+                while lo > 0 && exceeds(lo) {
+                    lo -= 1;
+                }
+                lo
+            };
+        let flag_all = threshold_bits < 0.0;
         DdErrorProbe {
             shadows: Vec::new(),
             executions: Vec::new(),
             erroneous: Vec::new(),
             max_ulps: Vec::new(),
             threshold_ulps,
+            flag_all,
             total_ops: 0,
         }
     }
@@ -470,16 +668,46 @@ impl<const W: usize> DdErrorProbe<W> {
                 pc,
                 executions,
                 erroneous: self.erroneous[pc],
-                max_error_bits: if self.max_ulps[pc] == u64::MAX {
-                    shadowreal::MAX_ERROR_BITS
-                } else {
-                    (((self.max_ulps[pc] as f64) + 1.0).log2()).min(shadowreal::MAX_ERROR_BITS)
-                },
+                max_error_bits: bits_of_ulps(self.max_ulps[pc]),
             })
             .collect();
         LocalErrorSummary {
             statements,
             total_ops: self.total_ops,
+        }
+    }
+
+    /// The shadow plane of `addr`, growing the table on the cold path —
+    /// mirroring the full analysis's `put_shadow`, which stays correct for
+    /// statements addressing beyond the space announced at `on_start`
+    /// instead of panicking.
+    #[inline]
+    fn plane(&mut self, addr: Addr) -> &mut DdLanes<W> {
+        if addr >= self.shadows.len() {
+            self.shadows.resize(addr + 1, DdLanes::zero());
+        }
+        &mut self.shadows[addr]
+    }
+
+    /// Read form of [`DdErrorProbe::plane`]: unwritten or out-of-range
+    /// addresses read as the zero plane, exactly what a freshly grown slot
+    /// holds.
+    #[inline]
+    fn plane_or_zero(&self, addr: Addr) -> DdLanes<W> {
+        self.shadows
+            .get(addr)
+            .copied()
+            .unwrap_or_else(DdLanes::zero)
+    }
+
+    /// Counter slots for `pc`, growing the tables on the cold path like the
+    /// analysis's pc-indexed record slots.
+    #[inline]
+    fn ensure_pc(&mut self, pc: usize) {
+        if pc >= self.executions.len() {
+            self.executions.resize(pc + 1, 0);
+            self.erroneous.resize(pc + 1, 0);
+            self.max_ulps.resize(pc + 1, 0);
         }
     }
 }
@@ -514,10 +742,11 @@ impl<const W: usize> BatchTracer<W> for DdErrorProbe<W> {
         mask: LaneMask,
     ) {
         // Gather-free operand reads: the shadow planes are already lane
-        // arrays.
+        // arrays. Reads beyond the announced address space see the zero
+        // plane (what a grown slot would hold), instead of panicking.
         let mut operands = [DdLanes::zero(); MAX_ARITY];
         for (lanes, &addr) in operands.iter_mut().zip(args) {
-            *lanes = self.shadows[addr];
+            *lanes = self.plane_or_zero(addr);
         }
         let exact = shadowreal::dd_batch::apply(op, &operands[..args.len()]);
         // Local error: the rounded exact operands are the hi planes, so the
@@ -545,17 +774,19 @@ impl<const W: usize> BatchTracer<W> for DdErrorProbe<W> {
             }
         }
         let mut erroneous = 0u64;
+        self.ensure_pc(pc);
         let mut max_ulps = self.max_ulps[pc];
         let full = full_mask(W);
         if mask == full {
             for &u in &ulps {
-                erroneous += u64::from(u > self.threshold_ulps);
+                erroneous += u64::from(self.flag_all || u > self.threshold_ulps);
                 max_ulps = max_ulps.max(u);
             }
         } else {
             for (l, &lane_ulps) in ulps.iter().enumerate() {
-                let u = if lane_active(mask, l) { lane_ulps } else { 0 };
-                erroneous += u64::from(u > self.threshold_ulps);
+                let active = lane_active(mask, l);
+                let u = if active { lane_ulps } else { 0 };
+                erroneous += u64::from(active && (self.flag_all || u > self.threshold_ulps));
                 max_ulps = max_ulps.max(u);
             }
         }
@@ -565,10 +796,10 @@ impl<const W: usize> BatchTracer<W> for DdErrorProbe<W> {
         self.max_ulps[pc] = max_ulps;
         self.total_ops += active;
         // Store of the destination plane, whole-group when convergent.
+        let dest_plane = self.plane(dest);
         if mask == full {
-            self.shadows[dest] = exact;
+            *dest_plane = exact;
         } else {
-            let dest_plane = &mut self.shadows[dest];
             for l in 0..W {
                 if lane_active(mask, l) {
                     dest_plane.hi[l] = exact.hi[l];
@@ -579,7 +810,7 @@ impl<const W: usize> BatchTracer<W> for DdErrorProbe<W> {
     }
 
     fn on_const_f(&mut self, _pc: usize, dest: Addr, value: f64, mask: LaneMask) {
-        let plane = &mut self.shadows[dest];
+        let plane = self.plane(dest);
         for l in 0..W {
             if lane_active(mask, l) {
                 plane.hi[l] = value;
@@ -589,7 +820,7 @@ impl<const W: usize> BatchTracer<W> for DdErrorProbe<W> {
     }
 
     fn on_const_i(&mut self, _pc: usize, dest: Addr, value: i64, mask: LaneMask) {
-        let plane = &mut self.shadows[dest];
+        let plane = self.plane(dest);
         for l in 0..W {
             if lane_active(mask, l) {
                 plane.hi[l] = value as f64;
@@ -599,8 +830,8 @@ impl<const W: usize> BatchTracer<W> for DdErrorProbe<W> {
     }
 
     fn on_copy(&mut self, _pc: usize, dest: Addr, src: Addr, _values: &[Value; W], mask: LaneMask) {
-        let src_plane = self.shadows[src];
-        let dest_plane = &mut self.shadows[dest];
+        let src_plane = self.plane_or_zero(src);
+        let dest_plane = self.plane(dest);
         for l in 0..W {
             if lane_active(mask, l) {
                 dest_plane.hi[l] = src_plane.hi[l];
@@ -618,7 +849,7 @@ impl<const W: usize> BatchTracer<W> for DdErrorProbe<W> {
         results: &[i64; W],
         mask: LaneMask,
     ) {
-        let plane = &mut self.shadows[dest];
+        let plane = self.plane(dest);
         for (l, &result) in results.iter().enumerate() {
             if lane_active(mask, l) {
                 plane.hi[l] = result as f64;
@@ -629,13 +860,18 @@ impl<const W: usize> BatchTracer<W> for DdErrorProbe<W> {
 }
 
 /// Sweeps `inputs` through the [`DdErrorProbe`] at compile-time width `W`
-/// with the same contiguous lane chunking as [`analyze_batched`], and
-/// returns the per-statement local-error summary.
+/// with the same balanced contiguous lane chunking as [`analyze_batched`],
+/// and returns the per-statement local-error summary.
 ///
 /// # Errors
 ///
-/// Returns the first per-lane [`MachineError`] encountered (the probe does
-/// not replicate the full driver's earliest-input error ordering).
+/// Propagates [`MachineError`] with the same semantics as the analysis
+/// drivers: when several inputs fail, the error of the **earliest input** is
+/// returned. Under contiguous lane assignment that is the first failure of
+/// the lowest failed lane, so a failure stops its own lane *and* every lane
+/// above it (their errors can never be the earliest, and any failure
+/// discards the summary); only lanes below keep running, since one of them
+/// failing would supersede the error.
 pub fn probe_local_error<const W: usize>(
     program: &Program,
     inputs: &[Vec<f64>],
@@ -644,29 +880,38 @@ pub fn probe_local_error<const W: usize>(
     let machine = Machine::new(program);
     let batch = machine.batched::<W>();
     let lane_count = W.min(inputs.len()).max(1);
-    let chunk_size = inputs.len().div_ceil(lane_count).max(1);
-    let chunks: Vec<&[Vec<f64>]> = inputs.chunks(chunk_size).collect();
+    let chunks = balanced_chunks(inputs, lane_count);
+    let positions = chunks.first().map_or(0, |chunk| chunk.len());
     let mut probe = DdErrorProbe::<W>::new(threshold_bits);
     let mut memory = BatchMemory::new();
-    for position in 0..chunk_size {
+    let mut failures: [Option<MachineError>; W] = std::array::from_fn(|_| None);
+    let mut lowest_failed = W;
+    for position in 0..positions {
         let mut lane_inputs: [Option<&[f64]>; W] = [None; W];
         let mut any = false;
-        for (l, chunk) in chunks.iter().enumerate() {
-            if let Some(input) = chunk.get(position) {
-                lane_inputs[l] = Some(input.as_slice());
-                any = true;
+        for (l, chunk) in chunks.iter().enumerate().take(lowest_failed) {
+            if failures[l].is_none() {
+                if let Some(input) = chunk.get(position) {
+                    lane_inputs[l] = Some(input.as_slice());
+                    any = true;
+                }
             }
         }
         if !any {
             break;
         }
         let outcome = batch.run_batch(&lane_inputs, &mut probe, &mut memory);
-        // A failure invalidates the summary, so stop the sweep right away
-        // instead of burning the remaining passes on a result that will be
-        // discarded.
-        if let Some((_, error)) = outcome.first_error() {
-            return Err(error.clone());
+        for (l, (failure, error)) in failures.iter_mut().zip(&outcome.errors).enumerate() {
+            if failure.is_none() {
+                if let Some(error) = error {
+                    *failure = Some(error.clone());
+                    lowest_failed = lowest_failed.min(l);
+                }
+            }
         }
+    }
+    if let Some(error) = failures.iter().flatten().next() {
+        return Err(error.clone());
     }
     Ok(probe.summary())
 }
@@ -728,6 +973,133 @@ mod tests {
         let serial_err = analyze(&p, &inputs, &config).unwrap_err();
         let batched_err = analyze_batched(&p, &inputs, &config).unwrap_err();
         assert_eq!(format!("{serial_err:?}"), format!("{batched_err:?}"));
+    }
+
+    #[test]
+    fn w_plus_one_inputs_exercise_every_lane() {
+        // The chunking regression: 9 inputs at W=8 used to make ceil-division
+        // chunks of [2, 2, 2, 2, 1], leaving 3 lanes idle for the whole
+        // sweep. The balanced partition hands every lane a chunk, so the
+        // first batch pass runs with a full mask.
+        const W: usize = 8;
+        let inputs: Vec<Vec<f64>> = (0..W as i32 + 1).map(|i| vec![f64::from(i)]).collect();
+        let chunks = balanced_chunks(&inputs, W);
+        assert_eq!(chunks.len(), W, "one chunk per lane");
+        assert!(chunks.iter().all(|chunk| !chunk.is_empty()));
+        let p = program("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))");
+        let machine = Machine::new(&p);
+        let mut tracer = BatchHerbgrind::<BigFloat, W>::new(&AnalysisConfig::default());
+        let mut memory = BatchMemory::new();
+        let lane_inputs: [Option<&[f64]>; W] =
+            std::array::from_fn(|l| chunks[l].first().map(|input| input.as_slice()));
+        let outcome = machine
+            .batched::<W>()
+            .run_batch(&lane_inputs, &mut tracer, &mut memory);
+        assert!(outcome.errors.iter().all(Option::is_none));
+        assert!(
+            tracer.lanes.iter().all(|lane| lane.runs() == 1),
+            "every lane shard must observe a run in the first pass"
+        );
+        // And the full sweep is still bit-identical to serial.
+        let config = AnalysisConfig::default()
+            .with_threads(1)
+            .with_batch_width(W);
+        let serial = analyze(&p, &inputs, &config).unwrap();
+        let batched = analyze_batched(&p, &inputs, &config).unwrap();
+        assert_eq!(format!("{serial:?}"), format!("{batched:?}"));
+    }
+
+    #[test]
+    fn probe_surfaces_the_earliest_input_error() {
+        // Lane 1 fails on an earlier *pass* than lane 0, but lane 0's failing
+        // input comes earlier in the sweep — the probe must surface the same
+        // error the serial drivers stop at (distinguishable here by the
+        // reported arity).
+        let p = program("(FPCore (x) (+ x 1))");
+        let inputs: Vec<Vec<f64>> = vec![
+            vec![1.0],
+            vec![2.0],
+            vec![3.0, 3.5, 3.75], // input 2: fails in lane 0 at position 2
+            vec![4.0],
+            vec![], // input 4: fails in lane 1 at position 1
+        ];
+        let serial_err =
+            analyze(&p, &inputs, &AnalysisConfig::default().with_threads(1)).unwrap_err();
+        let probe_err = probe_local_error::<2>(&p, &inputs, 5.0).unwrap_err();
+        assert_eq!(format!("{serial_err:?}"), format!("{probe_err:?}"));
+        assert!(
+            matches!(probe_err, MachineError::ArityMismatch { actual: 3, .. }),
+            "{probe_err:?}"
+        );
+    }
+
+    #[test]
+    fn probe_grows_its_shadow_table_like_the_analysis() {
+        // A statement addressing beyond the space announced at on_start must
+        // grow the probe's planes (mirroring the analysis's `put_shadow`),
+        // not panic.
+        let p = program("(FPCore (x) (+ x 1))");
+        let mut probe = DdErrorProbe::<2>::new(5.0);
+        let args = [1.0f64];
+        let lane_inputs: [Option<&[f64]>; 2] = [Some(&args), Some(&args)];
+        BatchTracer::on_start(&mut probe, &p, &lane_inputs, 0b11);
+        let beyond = p.num_addrs + 7;
+        probe.on_const_f(0, beyond, 2.0, 0b11);
+        probe.on_copy(1, beyond + 1, beyond, &[Value::F(2.0); 2], 0b11);
+        probe.on_compute(
+            p.len() + 3,
+            RealOp::Add,
+            beyond + 2,
+            &[beyond, beyond + 1],
+            &[[2.0; 2], [2.0; 2]],
+            &[4.0; 2],
+            0b11,
+        );
+        probe.on_cast_to_int(2, beyond + 3, beyond + 2, &[4.0; 2], &[4; 2], 0b11);
+        let summary = probe.summary();
+        assert_eq!(summary.total_ops, 2);
+        let row = summary
+            .statements
+            .iter()
+            .find(|row| row.pc == p.len() + 3)
+            .expect("out-of-range pc counted");
+        assert_eq!(row.executions, 2);
+        assert_eq!(row.erroneous, 0, "an exact add has no local error");
+    }
+
+    #[test]
+    fn probe_threshold_matches_the_analysis_decision_boundary() {
+        // The probe's integer ulps bound must sit exactly where the
+        // analysis's rounded `log2(ulps + 1) > T` decision flips — including
+        // thresholds where the naive `2^T - 1` conversion misclassifies
+        // (T = 60: log2(2^60 + 1) rounds to exactly 60.0).
+        for threshold in [0.0f64, 0.3, 0.5, 1.0, 4.5, 5.0, 20.0, 32.3, 60.0, 63.9] {
+            let probe = DdErrorProbe::<1>::new(threshold);
+            let t = probe.threshold_ulps;
+            assert!(!probe.flag_all);
+            assert!(
+                bits_of_ulps(t) <= threshold,
+                "T={threshold}: bits({t}) must not exceed the threshold"
+            );
+            assert!(
+                bits_of_ulps(t + 1) > threshold,
+                "T={threshold}: bits({}) must exceed the threshold",
+                t + 1
+            );
+        }
+        // T = 60 regression: 2^60 ulps is *not* erroneous (its rounded bits
+        // are exactly 60.0), though the naive conversion flags it.
+        assert!(DdErrorProbe::<1>::new(60.0).threshold_ulps >= 1u64 << 60);
+        // At or above the maximum (or NaN), nothing is flagged — not even
+        // the saturated NaN distance, whose bits are clamped to the maximum.
+        for threshold in [shadowreal::MAX_ERROR_BITS, 100.0, f64::NAN] {
+            let probe = DdErrorProbe::<1>::new(threshold);
+            assert_eq!(probe.threshold_ulps, u64::MAX, "T={threshold}");
+            assert!(!probe.flag_all);
+        }
+        // Negative thresholds flag everything, zero ulps included.
+        let probe = DdErrorProbe::<1>::new(-1.0);
+        assert!(probe.flag_all);
     }
 
     #[test]

@@ -170,6 +170,9 @@ impl InputCharacteristics {
         if assignments.is_empty() {
             return;
         }
+        if self.try_apply_in_place(assignments, kind, erroneous) {
+            return;
+        }
         let mut total = BTreeMap::new();
         let mut problematic = BTreeMap::new();
         for a in assignments {
@@ -203,6 +206,77 @@ impl InputCharacteristics {
         }
         self.total = total;
         self.problematic = problematic;
+    }
+
+    /// The steady-state fast path of
+    /// [`InputCharacteristics::apply_assignments`]: once a generalization has
+    /// saturated, every assignment keeps its variable (`FromVar(v)` with the
+    /// same index `v`) and the assignment set covers exactly the tracked
+    /// variables. Inheriting summaries is then the identity rewiring, so the
+    /// new values can be recorded in place — no map rebuild, no summary
+    /// clones, no allocation. Bit-identical to the rebuild: the inherited
+    /// summaries are the existing entries, recording mutates them exactly as
+    /// the rebuild records into their clones, and the key sets are unchanged
+    /// (`problematic ⊆ total` is an invariant, so no stale problematic entry
+    /// can survive that the rebuild would have dropped).
+    ///
+    /// Returns false (without touching anything) when any variable
+    /// generalized this round, leaving the rebuild to handle inheritance.
+    fn try_apply_in_place(
+        &mut self,
+        assignments: &[VarAssignment],
+        kind: RangeKind,
+        erroneous: bool,
+    ) -> bool {
+        if assignments.len() != self.total.len() {
+            return false;
+        }
+        for a in assignments {
+            match a.origin {
+                VarOrigin::FromVar(prev) if prev == a.var => {}
+                _ => return false,
+            }
+            if !self.total.contains_key(&a.var) {
+                return false;
+            }
+        }
+        for a in assignments {
+            self.total
+                .get_mut(&a.var)
+                .expect("checked above")
+                .record(a.value, kind);
+            if erroneous {
+                self.problematic
+                    .entry(a.var)
+                    .or_default()
+                    .record(a.value, kind);
+            }
+        }
+        true
+    }
+
+    /// Group variant of [`InputCharacteristics::apply_assignments`]: folds a
+    /// convergent lane group's per-lane observations into the lanes'
+    /// summaries **in lane order**. Each lane's update is exactly the one
+    /// `apply_assignments` performs (the per-lane characteristics are merged
+    /// across lanes only at shard-merge time, which is what keeps batched
+    /// reports bit-identical to serial ones); the group entry point exists so
+    /// the batched record layer drives the whole group through one call —
+    /// and through the in-place fast path lane after lane.
+    pub fn apply_assignments_group<'a>(
+        lanes: impl Iterator<
+            Item = (
+                &'a mut InputCharacteristics,
+                &'a [VarAssignment],
+                bool,
+                bool,
+            ),
+        >,
+        kind: RangeKind,
+    ) {
+        for (characteristics, assignments, erroneous, had_prior_erroneous) in lanes {
+            characteristics.apply_assignments(assignments, kind, erroneous, had_prior_erroneous);
+        }
     }
 
     /// Combines the characteristics of two input shards whose generalizers

@@ -235,9 +235,18 @@ pub struct MergeAssignment {
 pub struct Generalizer {
     current: Option<SymbolicExpr>,
     equivalence_depth: usize,
+    /// Reusable buffers for the observation walk (the pair table and the
+    /// assignment list). Logically transient: the entry buffer is drained at
+    /// the end of every observation (dropping its `Arc` clones), and the
+    /// assignment buffer is overwritten at the start of the next one.
+    /// Keeping the allocations saves two heap round-trips per observed
+    /// operation on the analysis hot path; the buffers never influence the
+    /// generalization state or its merges.
+    scratch_entries: Vec<(SymbolicExpr, Arc<ConcreteExpr>, usize, usize)>,
+    scratch_assignments: Vec<VarAssignment>,
 }
 
-struct PairTable {
+struct PairTable<'a> {
     depth: usize,
     /// `(symbolic subtree, concrete subtree, concrete depth budget, var)`.
     /// The concrete side is kept raw together with the depth budget it was
@@ -245,11 +254,11 @@ struct PairTable {
     /// The table lives only for one observation walk, so nothing is ever
     /// materialized from it — truncating the subtree here (per new pair,
     /// per operation) used to dominate loop-carried traces.
-    entries: Vec<(SymbolicExpr, Arc<ConcreteExpr>, usize, usize)>,
-    assignments: Vec<VarAssignment>,
+    entries: &'a mut Vec<(SymbolicExpr, Arc<ConcreteExpr>, usize, usize)>,
+    assignments: &'a mut Vec<VarAssignment>,
 }
 
-impl PairTable {
+impl PairTable<'_> {
     /// Finds (or allocates) the shared variable for a `(symbolic, concrete)`
     /// pair, with the concrete side viewed through `budget`: every
     /// comparison behaves exactly as if the concrete subtrees had been
@@ -260,7 +269,7 @@ impl PairTable {
         conc: &Arc<ConcreteExpr>,
         budget: usize,
     ) -> usize {
-        for (s, c, c_budget, var) in &self.entries {
+        for (s, c, c_budget, var) in self.entries.iter() {
             // Hash-consed traces make repeated subtraces pointer-identical;
             // `equivalent_views` short-circuits on identity before walking
             // the subtree.
@@ -345,6 +354,8 @@ impl Generalizer {
         Generalizer {
             current: None,
             equivalence_depth: equivalence_depth.max(1),
+            scratch_entries: Vec::new(),
+            scratch_assignments: Vec::new(),
         }
     }
 
@@ -428,21 +439,36 @@ impl Generalizer {
         concrete: &Arc<ConcreteExpr>,
         max_depth: usize,
     ) -> Vec<VarAssignment> {
+        self.observe_bounded_scratch(concrete, max_depth).to_vec()
+    }
+
+    /// [`Generalizer::observe_bounded`] without the allocation: the
+    /// assignments are written to an internal reusable buffer and returned
+    /// as a slice. This is the form the per-operation record path uses.
+    pub(crate) fn observe_bounded_scratch(
+        &mut self,
+        concrete: &Arc<ConcreteExpr>,
+        max_depth: usize,
+    ) -> &[VarAssignment] {
+        self.scratch_assignments.clear();
         match self.current.as_mut() {
             None => {
                 self.current = Some(SymbolicExpr::from_concrete_bounded(concrete, max_depth));
-                Vec::new()
             }
             Some(previous) => {
+                self.scratch_entries.clear();
                 let mut table = PairTable {
                     depth: self.equivalence_depth,
-                    entries: Vec::new(),
-                    assignments: Vec::new(),
+                    entries: &mut self.scratch_entries,
+                    assignments: &mut self.scratch_assignments,
                 };
                 antiunify_mut(previous, concrete, max_depth, &mut table);
-                table.assignments
+                // Drain the pair table right away so its `Arc` clones do not
+                // pin trace nodes between observations.
+                self.scratch_entries.clear();
             }
         }
+        &self.scratch_assignments
     }
 }
 

@@ -18,6 +18,7 @@
 use fpvm::SourceLoc;
 use shadowreal::{RealOp, MAX_ARITY};
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher};
 use std::sync::{Arc, OnceLock};
 
 /// A node in a concrete expression trace.
@@ -35,18 +36,103 @@ pub enum ConcreteExpr {
         op: RealOp,
         /// The double value the client computed here.
         value: f64,
-        /// The operand traces.
-        children: Vec<Arc<ConcreteExpr>>,
+        /// The operand traces, stored inline (arity is bounded by
+        /// [`MAX_ARITY`], so a heap vector per node — one node per executed
+        /// operation — would be pure allocator traffic).
+        children: TraceChildren,
         /// The statement (program counter) that executed the operation.
         pc: usize,
-        /// The source location of that statement.
-        loc: SourceLoc,
+        /// The source location of that statement, reference-counted: one
+        /// trace node is built per executed operation, and cloning the
+        /// location's strings into every node used to be the single largest
+        /// allocation source on the tracing hot path (two heap strings per
+        /// node, again on every truncation). The analysis interns each
+        /// statement's location once and nodes share it.
+        loc: Arc<SourceLoc>,
         /// Cached depth in operation nodes (`1 + max(children)`), stored at
         /// construction so depth-bounded truncation is O(1) per node instead
         /// of a repeated walk — which is exponential on traces with heavy
         /// sharing.
         depth: usize,
     },
+}
+
+/// A node's operand traces, stored inline. [`RealOp`] arity is bounded by
+/// [`MAX_ARITY`] (3), so the operands fit in the node itself; the previous
+/// `Vec` representation cost one heap allocation per traced operation.
+/// Dereferences to `[Arc<ConcreteExpr>]`, so all slice operations work
+/// directly.
+#[derive(Clone, Debug)]
+pub enum TraceChildren {
+    /// No operands (not produced by any current operation; kept for
+    /// totality).
+    Zero,
+    /// A unary operation's operand.
+    One([Arc<ConcreteExpr>; 1]),
+    /// A binary operation's operands.
+    Two([Arc<ConcreteExpr>; 2]),
+    /// A ternary operation's operands (`fma`).
+    Three([Arc<ConcreteExpr>; 3]),
+}
+
+impl TraceChildren {
+    /// Builds the inline operand storage from borrowed operand traces — the
+    /// hot-path constructor, cloning each `Arc` straight into place with no
+    /// intermediate vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_ARITY`] operands are supplied.
+    pub fn from_refs(children: &[&Arc<ConcreteExpr>]) -> TraceChildren {
+        match children {
+            [] => TraceChildren::Zero,
+            [a] => TraceChildren::One([Arc::clone(a)]),
+            [a, b] => TraceChildren::Two([Arc::clone(a), Arc::clone(b)]),
+            [a, b, c] => TraceChildren::Three([Arc::clone(a), Arc::clone(b), Arc::clone(c)]),
+            _ => panic!("operation arity exceeds MAX_ARITY"),
+        }
+    }
+}
+
+impl std::ops::Deref for TraceChildren {
+    type Target = [Arc<ConcreteExpr>];
+    fn deref(&self) -> &[Arc<ConcreteExpr>] {
+        match self {
+            TraceChildren::Zero => &[],
+            TraceChildren::One(children) => children,
+            TraceChildren::Two(children) => children,
+            TraceChildren::Three(children) => children,
+        }
+    }
+}
+
+impl FromIterator<Arc<ConcreteExpr>> for TraceChildren {
+    fn from_iter<I: IntoIterator<Item = Arc<ConcreteExpr>>>(iter: I) -> TraceChildren {
+        let mut iter = iter.into_iter();
+        match (iter.next(), iter.next(), iter.next()) {
+            (None, _, _) => TraceChildren::Zero,
+            (Some(a), None, _) => TraceChildren::One([a]),
+            (Some(a), Some(b), None) => TraceChildren::Two([a, b]),
+            (Some(a), Some(b), Some(c)) => {
+                assert!(iter.next().is_none(), "operation arity exceeds MAX_ARITY");
+                TraceChildren::Three([a, b, c])
+            }
+        }
+    }
+}
+
+impl From<Vec<Arc<ConcreteExpr>>> for TraceChildren {
+    fn from(children: Vec<Arc<ConcreteExpr>>) -> TraceChildren {
+        children.into_iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceChildren {
+    type Item = &'a Arc<ConcreteExpr>;
+    type IntoIter = std::slice::Iter<'a, Arc<ConcreteExpr>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
 }
 
 /// The four constant leaves worth caching process-wide: loop counters,
@@ -71,21 +157,24 @@ impl ConcreteExpr {
         Arc::new(ConcreteExpr::Leaf { value })
     }
 
-    /// Creates an operation node.
+    /// Creates an operation node. The location is accepted as either an
+    /// owned [`SourceLoc`] (wrapped once) or an already-shared
+    /// `Arc<SourceLoc>` (the allocation-free hot path).
     pub fn node(
         op: RealOp,
         value: f64,
-        children: Vec<Arc<ConcreteExpr>>,
+        children: impl Into<TraceChildren>,
         pc: usize,
-        loc: SourceLoc,
+        loc: impl Into<Arc<SourceLoc>>,
     ) -> Arc<ConcreteExpr> {
+        let children = children.into();
         let depth = 1 + children.iter().map(|c| c.depth()).max().unwrap_or(0);
         Arc::new(ConcreteExpr::Node {
             op,
             value,
             children,
             pc,
-            loc,
+            loc: loc.into(),
             depth,
         })
     }
@@ -142,11 +231,11 @@ impl ConcreteExpr {
                 if *depth <= max_depth {
                     return Arc::clone(self);
                 }
-                let truncated = children
+                let truncated: TraceChildren = children
                     .iter()
                     .map(|c| c.truncate_to_depth(max_depth - 1))
                     .collect();
-                ConcreteExpr::node(*op, *value, truncated, *pc, loc.clone())
+                ConcreteExpr::node(*op, *value, truncated, *pc, Arc::clone(loc))
             }
         }
     }
@@ -202,7 +291,7 @@ impl ConcreteExpr {
 
     fn collect_locations(&self, out: &mut Vec<SourceLoc>) {
         if let ConcreteExpr::Node { loc, children, .. } = self {
-            out.push(loc.clone());
+            out.push((**loc).clone());
             for c in children {
                 c.collect_locations(out);
             }
@@ -217,8 +306,16 @@ impl ConcreteExpr {
 /// never be reused while the table exists. Arity is bounded by
 /// [`MAX_ARITY`] ([`RealOp`] has no wider operation), so the key is a
 /// fixed-size, allocation-free value.
-#[derive(Debug, PartialEq, Eq, Hash)]
+///
+/// The key carries its own precomputed hash, split into a *structural* part
+/// (operation, statement, children) finished with the value bits. The
+/// group-level entry point ([`ExprInterner::node_group`]) hashes the
+/// structural part once per convergent lane group and finishes it per lane,
+/// so a `W`-lane group pays one structural hash instead of `W`; the `Hash`
+/// impl then only has to feed the cached word to the table's hasher.
+#[derive(Debug)]
 struct NodeKey {
+    hash: u64,
     op: RealOp,
     value_bits: u64,
     pc: usize,
@@ -226,42 +323,112 @@ struct NodeKey {
     children: [usize; MAX_ARITY],
 }
 
-impl NodeKey {
-    fn new(op: RealOp, value: f64, pc: usize, children: &[Arc<ConcreteExpr>]) -> NodeKey {
+/// One multiply-rotate mixing step (an FxHash-style combiner): cheap,
+/// deterministic, and good enough for a table whose keys are pointer sets.
+#[inline]
+fn mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+}
+
+/// The structural half of a node key's hash: everything except the observed
+/// value, which lane-variant probes mix in last via [`finish_hash`].
+#[inline]
+fn structural_hash(op: RealOp, pc: usize, children: &[usize; MAX_ARITY], arity: u8) -> u64 {
+    let mut hash = mix(0, op as u64);
+    hash = mix(hash, pc as u64);
+    hash = mix(hash, u64::from(arity));
+    for &child in children {
+        hash = mix(hash, child as u64);
+    }
+    hash
+}
+
+/// Finishes a structural hash with a lane's observed value.
+#[inline]
+fn finish_hash(structural: u64, value_bits: u64) -> u64 {
+    mix(structural, value_bits)
+}
+
+/// Copies child identities into the fixed-size key slot.
+#[inline]
+fn child_ptrs<'a>(
+    children: impl Iterator<Item = &'a Arc<ConcreteExpr>>,
+) -> ([usize; MAX_ARITY], u8) {
+    let mut ptrs = [0usize; MAX_ARITY];
+    let mut arity = 0u8;
+    for child in children {
         assert!(
-            children.len() <= MAX_ARITY,
+            (arity as usize) < MAX_ARITY,
             "RealOp arity exceeds key capacity"
         );
-        let mut ptrs = [0usize; MAX_ARITY];
-        for (slot, child) in ptrs.iter_mut().zip(children) {
-            *slot = Arc::as_ptr(child) as usize;
-        }
+        ptrs[arity as usize] = Arc::as_ptr(child) as usize;
+        arity += 1;
+    }
+    (ptrs, arity)
+}
+
+impl NodeKey {
+    fn with_structural(
+        op: RealOp,
+        value: f64,
+        pc: usize,
+        children: [usize; MAX_ARITY],
+        arity: u8,
+        structural: u64,
+    ) -> NodeKey {
         NodeKey {
+            hash: finish_hash(structural, value.to_bits()),
             op,
             value_bits: value.to_bits(),
             pc,
-            arity: children.len() as u8,
-            children: ptrs,
+            arity,
+            children,
         }
     }
 
-    fn from_refs(op: RealOp, value: f64, pc: usize, children: &[&Arc<ConcreteExpr>]) -> NodeKey {
-        assert!(
-            children.len() <= MAX_ARITY,
-            "RealOp arity exceeds key capacity"
-        );
-        let mut ptrs = [0usize; MAX_ARITY];
-        for (slot, child) in ptrs.iter_mut().zip(children) {
-            *slot = Arc::as_ptr(child) as usize;
-        }
-        NodeKey {
-            op,
-            value_bits: value.to_bits(),
-            pc,
-            arity: children.len() as u8,
-            children: ptrs,
-        }
+    fn new(op: RealOp, value: f64, pc: usize, children: &[Arc<ConcreteExpr>]) -> NodeKey {
+        let (ptrs, arity) = child_ptrs(children.iter());
+        let structural = structural_hash(op, pc, &ptrs, arity);
+        NodeKey::with_structural(op, value, pc, ptrs, arity, structural)
     }
+
+    fn from_refs(op: RealOp, value: f64, pc: usize, children: &[&Arc<ConcreteExpr>]) -> NodeKey {
+        let (ptrs, arity) = child_ptrs(children.iter().copied());
+        let structural = structural_hash(op, pc, &ptrs, arity);
+        NodeKey::with_structural(op, value, pc, ptrs, arity, structural)
+    }
+}
+
+impl PartialEq for NodeKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached hash is a function of the other fields, so it carries no
+        // extra information; comparing it first just rejects non-matches
+        // cheaply.
+        self.hash == other.hash
+            && self.op == other.op
+            && self.value_bits == other.value_bits
+            && self.pc == other.pc
+            && self.arity == other.arity
+            && self.children == other.children
+    }
+}
+
+impl Eq for NodeKey {}
+
+impl Hash for NodeKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// One lane's request in a group interning call
+/// ([`ExprInterner::node_group`]): the value the lane observed and its
+/// operand traces.
+pub struct LaneNode<'a> {
+    /// The double value the lane computed at the statement.
+    pub value: f64,
+    /// The lane's operand traces, in operand order.
+    pub children: &'a [&'a Arc<ConcreteExpr>],
 }
 
 /// A hash-consing table for [`ConcreteExpr`] nodes.
@@ -273,11 +440,14 @@ impl NodeKey {
 /// anti-unification in [`crate::symbolic`] hits its pointer-identity fast
 /// path instead of walking subtrees.
 ///
-/// Each analysis shard owns one interner (it is per-shard state like shadow
-/// memory, cleared at the start of every run) and interners are merged with
-/// the other per-shard records when shards combine; interning affects only
-/// allocation sharing, never analysis output, so the merged report stays
-/// bit-identical to the serial one.
+/// Each serial analysis shard owns one interner (per-run state like shadow
+/// memory, cleared at the start of every run); the batched analysis owns
+/// one **group-level** interner shared by all its lane shards and driven
+/// through [`ExprInterner::node_group`], so lanes with identical
+/// observations share nodes. Interning affects only allocation sharing,
+/// never analysis output, so shard-merged reports stay bit-identical to
+/// serial ones regardless of which table a node came from; interners are
+/// simply dropped when shards merge.
 ///
 /// The table keeps every interned node alive until the run ends, so growth
 /// is bounded two ways: callers skip interning for nodes that cannot be
@@ -286,8 +456,38 @@ impl NodeKey {
 /// lookups still succeed, later misses just allocate unshared nodes.
 #[derive(Debug, Default)]
 pub struct ExprInterner {
-    leaves: HashMap<u64, Arc<ConcreteExpr>>,
-    nodes: HashMap<NodeKey, Arc<ConcreteExpr>>,
+    leaves: HashMap<u64, Arc<ConcreteExpr>, Prehashed>,
+    nodes: HashMap<NodeKey, Arc<ConcreteExpr>, Prehashed>,
+}
+
+/// Hash builder for the interner tables: every key either is a single word
+/// (leaf value bits) or carries a precomputed FxHash-mixed word
+/// ([`NodeKey`]), so the default SipHash would only add latency to every
+/// probe and insert on the tracing hot path. One extra [`mix`] round is kept
+/// so raw leaf bits still spread across buckets.
+#[derive(Clone, Debug, Default)]
+struct Prehashed;
+
+#[derive(Clone, Default)]
+struct PrehashedHasher(u64);
+
+impl Hasher for PrehashedHasher {
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("interner keys hash through write_u64");
+    }
+    fn write_u64(&mut self, word: u64) {
+        self.0 = mix(self.0, word);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl BuildHasher for Prehashed {
+    type Hasher = PrehashedHasher;
+    fn build_hasher(&self) -> PrehashedHasher {
+        PrehashedHasher(0)
+    }
 }
 
 /// Per-table entry cap (leaves and nodes counted separately): a backstop so
@@ -325,7 +525,7 @@ impl ExprInterner {
         value: f64,
         children: Vec<Arc<ConcreteExpr>>,
         pc: usize,
-        loc: SourceLoc,
+        loc: impl Into<Arc<SourceLoc>>,
     ) -> Arc<ConcreteExpr> {
         let key = NodeKey::new(op, value, pc, &children);
         if let Some(existing) = self.nodes.get(&key) {
@@ -349,35 +549,115 @@ impl ExprInterner {
         value: f64,
         children: &[&Arc<ConcreteExpr>],
         pc: usize,
-        loc: &SourceLoc,
+        loc: &Arc<SourceLoc>,
     ) -> Arc<ConcreteExpr> {
         let key = NodeKey::from_refs(op, value, pc, children);
         if let Some(existing) = self.nodes.get(&key) {
             return Arc::clone(existing);
         }
-        let owned: Vec<Arc<ConcreteExpr>> = children.iter().map(|c| Arc::clone(c)).collect();
-        let node = ConcreteExpr::node(op, value, owned, pc, loc.clone());
+        let node = ConcreteExpr::node(
+            op,
+            value,
+            TraceChildren::from_refs(children),
+            pc,
+            Arc::clone(loc),
+        );
         if self.nodes.len() < MAX_INTERNED {
             self.nodes.insert(key, Arc::clone(&node));
         }
         node
     }
 
+    /// The group-level interning entry point used by the batched analysis:
+    /// interns the result nodes of one statement executed by a convergent
+    /// lane group, producing one `Arc` per *distinct* observation instead of
+    /// one table walk per lane.
+    ///
+    /// `lanes[l]` is `Some` for every lane that needs a node (inactive and
+    /// cold-path lanes pass `None`); `out` is filled parallel to `lanes`.
+    /// The table is probed with hashes that are computed once per distinct
+    /// structure: lanes whose operand traces are pointer-identical share one
+    /// structural hash (the common convergent case, since their operands
+    /// were themselves built as shared group nodes) and split per lane only
+    /// when their observed values differ. Lanes with bit-identical values
+    /// *and* identical operands receive the same `Arc` — the group-shared
+    /// trace node. Sharing is invisible to the analysis output (nodes are
+    /// compared structurally everywhere), so reports stay bit-identical to
+    /// the serial interner; it only multiplies the pointer-identity fast
+    /// paths downstream.
+    pub fn node_group(
+        &mut self,
+        op: RealOp,
+        pc: usize,
+        loc: &Arc<SourceLoc>,
+        lanes: &[Option<LaneNode<'_>>],
+        out: &mut Vec<Option<Arc<ConcreteExpr>>>,
+    ) {
+        out.clear();
+        out.resize(lanes.len(), None);
+        // Distinct operand-pointer sets seen so far, with their structural
+        // hashes: a stack buffer scanned linearly (lane groups rarely hold
+        // more than a few distinct structures; overflow just recomputes).
+        let mut structures = [([0usize; MAX_ARITY], 0u8, 0u64); 8];
+        let mut structure_count = 0usize;
+        for (l, req) in lanes.iter().enumerate() {
+            let Some(req) = req else { continue };
+            let (ptrs, arity) = child_ptrs(req.children.iter().copied());
+            let value_bits = req.value.to_bits();
+            // Share within the group: an earlier lane with the same operands
+            // and the same value already produced this exact node.
+            if let Some(shared) = lanes[..l].iter().zip(out.iter()).find_map(|(prev, node)| {
+                let prev = prev.as_ref()?;
+                let node = node.as_ref()?;
+                (prev.value.to_bits() == value_bits
+                    && prev.children.len() == req.children.len()
+                    && prev
+                        .children
+                        .iter()
+                        .zip(req.children)
+                        .all(|(a, b)| Arc::ptr_eq(a, b)))
+                .then(|| Arc::clone(node))
+            }) {
+                out[l] = Some(shared);
+                continue;
+            }
+            let structural = match structures[..structure_count]
+                .iter()
+                .find(|(p, a, _)| *a == arity && *p == ptrs)
+            {
+                Some((_, _, hash)) => *hash,
+                None => {
+                    let hash = structural_hash(op, pc, &ptrs, arity);
+                    if structure_count < structures.len() {
+                        structures[structure_count] = (ptrs, arity, hash);
+                        structure_count += 1;
+                    }
+                    hash
+                }
+            };
+            let key = NodeKey::with_structural(op, req.value, pc, ptrs, arity, structural);
+            if let Some(existing) = self.nodes.get(&key) {
+                out[l] = Some(Arc::clone(existing));
+                continue;
+            }
+            let node = ConcreteExpr::node(
+                op,
+                req.value,
+                TraceChildren::from_refs(req.children),
+                pc,
+                Arc::clone(loc),
+            );
+            if self.nodes.len() < MAX_INTERNED {
+                self.nodes.insert(key, Arc::clone(&node));
+            }
+            out[l] = Some(node);
+        }
+    }
+
     /// Drops all interned nodes (per-run state, like shadow memory).
     pub fn clear(&mut self) {
         self.leaves.clear();
         self.nodes.clear();
-    }
-
-    /// Absorbs the entries of a later shard's interner, keeping the existing
-    /// entry when both shards interned the same identity.
-    pub fn merge(&mut self, other: ExprInterner) {
-        for (bits, leaf) in other.leaves {
-            self.leaves.entry(bits).or_insert(leaf);
-        }
-        for (key, node) in other.nodes {
-            self.nodes.entry(key).or_insert(node);
-        }
     }
 
     /// The number of distinct interned nodes (leaves plus operations).
@@ -561,11 +841,29 @@ mod tests {
             0,
             SourceLoc::default(),
         );
-        let by_ref = interner.node_ref(RealOp::Mul, 49.0, &[&x, &x], 0, &SourceLoc::default());
+        let by_ref = interner.node_ref(
+            RealOp::Mul,
+            49.0,
+            &[&x, &x],
+            0,
+            &Arc::new(SourceLoc::default()),
+        );
         assert!(Arc::ptr_eq(&owned, &by_ref));
         // A genuinely new identity through node_ref is interned for reuse.
-        let fresh = interner.node_ref(RealOp::Add, 14.0, &[&x, &x], 1, &SourceLoc::default());
-        let again = interner.node_ref(RealOp::Add, 14.0, &[&x, &x], 1, &SourceLoc::default());
+        let fresh = interner.node_ref(
+            RealOp::Add,
+            14.0,
+            &[&x, &x],
+            1,
+            &Arc::new(SourceLoc::default()),
+        );
+        let again = interner.node_ref(
+            RealOp::Add,
+            14.0,
+            &[&x, &x],
+            1,
+            &Arc::new(SourceLoc::default()),
+        );
         assert!(Arc::ptr_eq(&fresh, &again));
     }
 
@@ -584,17 +882,91 @@ mod tests {
     }
 
     #[test]
-    fn interner_merge_keeps_existing_entries() {
-        let mut left = ExprInterner::new();
-        let a = left.leaf(0.5);
-        let mut right = ExprInterner::new();
-        let _ = right.leaf(0.5);
-        let fresh = right.leaf(0.75);
-        left.merge(right);
-        // The left entry survives; the right-only entry is absorbed.
-        assert!(Arc::ptr_eq(&a, &left.leaf(0.5)));
-        assert!(Arc::ptr_eq(&fresh, &left.leaf(0.75)));
-        assert_eq!(left.len(), 2);
+    fn node_group_shares_lanes_with_identical_observations() {
+        let mut interner = ExprInterner::new();
+        let x = interner.leaf(7.0);
+        let y = interner.leaf(9.0);
+        let mut out = Vec::new();
+        // Lanes 0 and 2 observe the same (value, children); lane 1 differs in
+        // value, lane 3 differs in children, lane 4 is inactive.
+        let lanes = [
+            Some(LaneNode {
+                value: 49.0,
+                children: &[&x, &x],
+            }),
+            Some(LaneNode {
+                value: 50.0,
+                children: &[&x, &x],
+            }),
+            Some(LaneNode {
+                value: 49.0,
+                children: &[&x, &x],
+            }),
+            Some(LaneNode {
+                value: 49.0,
+                children: &[&x, &y],
+            }),
+            None,
+        ];
+        interner.node_group(
+            RealOp::Mul,
+            3,
+            &Arc::new(SourceLoc::default()),
+            &lanes,
+            &mut out,
+        );
+        let node = |l: usize| out[l].as_ref().unwrap();
+        assert!(Arc::ptr_eq(node(0), node(2)), "identical lanes share");
+        assert!(!Arc::ptr_eq(node(0), node(1)), "values split lanes");
+        assert!(!Arc::ptr_eq(node(0), node(3)), "children split lanes");
+        assert!(out[4].is_none(), "inactive lanes get no node");
+        assert_eq!(node(1).value(), 50.0);
+        // The group nodes are interned under the same identity the serial
+        // entry points use.
+        let serial = interner.node_ref(
+            RealOp::Mul,
+            49.0,
+            &[&x, &x],
+            3,
+            &Arc::new(SourceLoc::default()),
+        );
+        assert!(Arc::ptr_eq(node(0), &serial));
+        let serial = interner.node_ref(
+            RealOp::Mul,
+            49.0,
+            &[&x, &y],
+            3,
+            &Arc::new(SourceLoc::default()),
+        );
+        assert!(Arc::ptr_eq(node(3), &serial));
+    }
+
+    #[test]
+    fn node_group_reuses_nodes_across_calls() {
+        let mut interner = ExprInterner::new();
+        let x = interner.leaf(2.5);
+        let mut out = Vec::new();
+        let lanes = [Some(LaneNode {
+            value: 5.0,
+            children: &[&x],
+        })];
+        interner.node_group(
+            RealOp::Sqrt,
+            1,
+            &Arc::new(SourceLoc::default()),
+            &lanes,
+            &mut out,
+        );
+        let first = Arc::clone(out[0].as_ref().unwrap());
+        interner.node_group(
+            RealOp::Sqrt,
+            1,
+            &Arc::new(SourceLoc::default()),
+            &lanes,
+            &mut out,
+        );
+        assert!(Arc::ptr_eq(&first, out[0].as_ref().unwrap()));
+        assert_eq!(interner.len(), 2); // one leaf, one node
     }
 
     #[test]

@@ -20,9 +20,10 @@ use proptest::prelude::*;
 use shadowreal::{dd_batch, DdLanes, DoubleDouble, Real, RealOp};
 
 /// The widths the acceptance contract calls out: every supported power of
-/// two up to the default, plus a prime width whose uneven chunking
-/// exercises remainder lanes.
-const WIDTHS: [usize; 5] = [1, 2, 4, 8, 13];
+/// two (16 included — the widest compiled engine, which stresses the
+/// group-shared trace layer's stack buffers and mask handling hardest),
+/// plus a prime width whose uneven chunking exercises remainder lanes.
+const WIDTHS: [usize; 6] = [1, 2, 4, 8, 13, 16];
 
 fn assert_batched_matches_serial(
     program: &fpvm::Program,
@@ -217,6 +218,45 @@ fn all_three_drivers_are_interchangeable() {
     .unwrap();
     assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
     assert_eq!(format!("{serial:?}"), format!("{batched_threaded:?}"));
+}
+
+#[test]
+fn width_plus_one_sweeps_stay_bit_identical_and_fill_lanes() {
+    // Chunking regression: a sweep of W+1 inputs used to ceil-chunk into
+    // fewer chunks than lanes (idling some entirely); the balanced partition
+    // must keep the report bit-identical while giving every lane work. The
+    // divergent-loop program makes per-lane state (and any cross-lane bleed)
+    // visible in the report.
+    let program = compile("(FPCore (n) (while (< i n) ((s 0 (+ s (/ 1 i))) (i 1 (+ i 1))) s))");
+    for width in WIDTHS {
+        let inputs: Vec<Vec<f64>> = (0..=width as i32)
+            .map(|i| vec![f64::from(i * 7 % 23)])
+            .collect();
+        assert_batched_matches_serial(
+            &program,
+            &inputs,
+            &AnalysisConfig::default(),
+            &format!("{} inputs at width {width}", width + 1),
+        );
+    }
+    // Threads hit the same partition: 9 inputs over 8 threads composed with
+    // 4-wide lanes.
+    let inputs: Vec<Vec<f64>> = (0..9).map(|i| vec![f64::from(i * 5 % 17)]).collect();
+    let serial = analyze(
+        &program,
+        &inputs,
+        &AnalysisConfig::default().with_threads(1),
+    )
+    .unwrap();
+    let sharded = analyze_batched(
+        &program,
+        &inputs,
+        &AnalysisConfig::default()
+            .with_threads(8)
+            .with_batch_width(4),
+    )
+    .unwrap();
+    assert_eq!(format!("{serial:?}"), format!("{sharded:?}"));
 }
 
 #[test]

@@ -1,0 +1,110 @@
+//! Probe/analysis agreement: the lane-vectorized [`DdErrorProbe`] counts
+//! local error in integer ulps, while the full analysis compares rounded
+//! bits (`bits_error(float, exact) > T`). The probe's threshold conversion
+//! (`bits > T ⟺ ulps > 2^T − 1`, taken from the analysis's own rounded
+//! formula rather than the exact identity) must make the two decisions agree
+//! on every execution — fractional thresholds, NaN lanes, and infinity
+//! lanes included — so that probe-first triage never disagrees with the
+//! analysis it gates.
+
+use fpvm::Machine;
+use herbgrind::{probe_local_error, AnalysisConfig, Herbgrind};
+use shadowreal::DoubleDouble;
+
+fn program(src: &str) -> fpvm::Program {
+    fpvm::compile_core(&fpcore::parse_core(src).unwrap(), Default::default()).unwrap()
+}
+
+/// Runs the full `DoubleDouble` analysis serially and asserts the probe's
+/// per-statement execution and erroneous counts (and maximum error) match
+/// the analysis's operation records exactly.
+fn assert_probe_matches_analysis(src: &str, inputs: &[Vec<f64>], threshold: f64) {
+    let p = program(src);
+    // Compensation detection suppresses record updates for detected
+    // compensations, which the probe (by design) does not model — disable it
+    // so both sides count every execution.
+    let config = AnalysisConfig {
+        local_error_threshold: threshold,
+        detect_compensation: false,
+        ..AnalysisConfig::default()
+    };
+    let mut analysis = Herbgrind::<DoubleDouble>::new(config);
+    let machine = Machine::new(&p);
+    for input in inputs {
+        machine.run_traced(input, &mut analysis).unwrap();
+    }
+    let records = analysis.op_records();
+    let summary = probe_local_error::<4>(&p, inputs, threshold).unwrap();
+
+    let context = |pc: usize| format!("{src} @ pc {pc}, threshold {threshold}");
+    assert_eq!(
+        summary.statements.len(),
+        records.len(),
+        "{src}, threshold {threshold}: statement sets differ"
+    );
+    let mut total_ops = 0;
+    for row in &summary.statements {
+        let record = records
+            .get(&row.pc)
+            .unwrap_or_else(|| panic!("no analysis record: {}", context(row.pc)));
+        assert_eq!(row.executions, record.total, "{}", context(row.pc));
+        assert_eq!(row.erroneous, record.erroneous, "{}", context(row.pc));
+        assert_eq!(
+            row.max_error_bits,
+            record.max_local_error,
+            "{}",
+            context(row.pc)
+        );
+        total_ops += row.executions;
+    }
+    assert_eq!(summary.total_ops, total_ops);
+}
+
+const THRESHOLDS: [f64; 8] = [-1.0, 0.0, 0.3, 4.5, 5.0, 20.0, 63.5, 64.0];
+
+#[test]
+fn probe_agrees_on_catastrophic_cancellation() {
+    let inputs: Vec<Vec<f64>> = (0..26).map(|i| vec![10f64.powi(i)]).collect();
+    for threshold in THRESHOLDS {
+        assert_probe_matches_analysis(
+            "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))",
+            &inputs,
+            threshold,
+        );
+    }
+}
+
+#[test]
+fn probe_agrees_on_nan_and_infinity_lanes() {
+    // sqrt of negatives (NaN in both the float and the shadow), division by
+    // zero (infinities), and 0 · ∞ (a NaN appearing mid-expression): the
+    // ulps counters saturate and must still land on the analysis's side of
+    // the threshold, including at the 64-bit clamp.
+    let inputs: Vec<Vec<f64>> = vec![
+        vec![-1.0],
+        vec![4.0],
+        vec![0.0],
+        vec![-9.0],
+        vec![1e-300],
+        vec![f64::INFINITY],
+        vec![2.5],
+    ];
+    for threshold in THRESHOLDS {
+        assert_probe_matches_analysis("(FPCore (x) (sqrt x))", &inputs, threshold);
+        assert_probe_matches_analysis("(FPCore (x) (* x (/ 1 x)))", &inputs, threshold);
+    }
+}
+
+#[test]
+fn probe_agrees_on_divergent_loops() {
+    // Per-lane trip counts differ, so lane groups split and reconverge while
+    // the counters accumulate.
+    let inputs: Vec<Vec<f64>> = (1..11).map(|i| vec![(i * 6) as f64]).collect();
+    for threshold in [0.3, 4.5, 5.0] {
+        assert_probe_matches_analysis(
+            "(FPCore (n) (while (< i n) ((s 0 (+ s (/ 1 i))) (i 1 (+ i 1))) s))",
+            &inputs,
+            threshold,
+        );
+    }
+}
