@@ -1,9 +1,9 @@
 //! An FpDebug-style detector: per-operation shadow error, reported by opcode
 //! address.
 
-use fpvm::{Addr, Machine, MachineError, Program, Tracer};
+use fpvm::{Addr, Machine, MachineError, Program, Tracer, Value, MAX_ARITY};
 use shadowreal::{bits_error, BigFloat, Real, RealOp};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Per-operation error statistics, keyed by statement index (the analogue of
 /// FpDebug's per-instruction-address report).
@@ -29,12 +29,29 @@ impl FpDebugReport {
     }
 }
 
+/// A shadow slot stamped with the run generation it was written in: stale
+/// slots read as empty, so resetting shadow memory between runs is O(1) —
+/// the same discipline the main analysis uses, replacing the `HashMap`
+/// (hash + per-operand clone on the hot path) this baseline started with.
+#[derive(Clone, Debug, Default)]
+struct ShadowSlot {
+    gen: u64,
+    value: Option<BigFloat>,
+}
+
 /// The FpDebug-style tracer: shadows every float with a `BigFloat` and
 /// records the error of every operation result, with no influence tracking,
 /// no symbolic expressions, and no spot model.
+///
+/// Shadow storage is an address-indexed slot table reset by generation
+/// stamp, and sweeps drive the machine through
+/// [`Machine::run_traced_reusing`], so an N-input baseline run does
+/// O(program) setup rather than O(N × program) — keeping the baseline's
+/// measured overhead about its *analysis*, not about avoidable bookkeeping.
 #[derive(Debug, Default)]
 pub struct FpDebugDetector {
-    shadows: HashMap<Addr, BigFloat>,
+    shadows: Vec<ShadowSlot>,
+    gen: u64,
     report: FpDebugReport,
 }
 
@@ -57,46 +74,67 @@ impl FpDebugDetector {
     pub fn analyze(program: &Program, inputs: &[Vec<f64>]) -> Result<FpDebugReport, MachineError> {
         let mut detector = FpDebugDetector::new();
         let machine = Machine::new(program);
+        let mut memory = Vec::new();
         for input in inputs {
-            machine.run_traced(input, &mut detector)?;
+            machine.run_traced_reusing(input, &mut detector, &mut memory)?;
         }
         Ok(detector.report.clone())
     }
 
-    fn shadow(&mut self, addr: Addr, value: f64) -> BigFloat {
+    /// The live shadow of `addr`, if one was written this run.
+    fn shadow_at(&self, addr: Addr) -> Option<&BigFloat> {
         self.shadows
-            .get(&addr)
-            .cloned()
-            .unwrap_or_else(|| BigFloat::from_f64(value))
+            .get(addr)
+            .filter(|slot| slot.gen == self.gen)
+            .and_then(|slot| slot.value.as_ref())
+    }
+
+    /// Writes `addr`'s slot for the current run, growing the table on the
+    /// cold path (statements may address beyond the space seen so far).
+    fn put_shadow(&mut self, addr: Addr, value: Option<BigFloat>) {
+        if addr >= self.shadows.len() {
+            self.shadows.resize_with(addr + 1, ShadowSlot::default);
+        }
+        let slot = &mut self.shadows[addr];
+        slot.gen = self.gen;
+        slot.value = value;
+    }
+
+    /// Lazily installs a leaf shadow for an operand that was never written
+    /// this run.
+    fn ensure_shadow(&mut self, addr: Addr, value: f64) {
+        if self.shadow_at(addr).is_none() {
+            self.put_shadow(addr, Some(BigFloat::from_f64(value)));
+        }
     }
 }
 
 impl Tracer for FpDebugDetector {
     fn on_start(&mut self, _program: &Program, _args: &[f64]) {
-        self.shadows.clear();
+        // O(1) shadow reset: bumping the generation invalidates every slot.
+        self.gen += 1;
     }
 
     fn on_const_f(&mut self, _pc: usize, dest: Addr, value: f64) {
-        self.shadows.insert(dest, BigFloat::from_f64(value));
+        self.put_shadow(dest, Some(BigFloat::from_f64(value)));
     }
 
     fn on_const_i(&mut self, _pc: usize, dest: Addr, _value: i64) {
-        self.shadows.remove(&dest);
+        self.put_shadow(dest, None);
     }
 
-    fn on_copy(&mut self, _pc: usize, dest: Addr, src: Addr, value: fpvm::Value) {
-        match self.shadows.get(&src).cloned() {
-            Some(s) => {
-                self.shadows.insert(dest, s);
-            }
-            None => {
-                if let fpvm::Value::F(v) = value {
-                    self.shadows.insert(dest, BigFloat::from_f64(v));
-                } else {
-                    self.shadows.remove(&dest);
+    fn on_copy(&mut self, _pc: usize, dest: Addr, src: Addr, value: Value) {
+        if self.shadow_at(src).is_none() {
+            match value {
+                Value::F(v) => self.ensure_shadow(src, v),
+                Value::I(_) => {
+                    self.put_shadow(dest, None);
+                    return;
                 }
             }
         }
+        let shared = self.shadow_at(src).cloned();
+        self.put_shadow(dest, shared);
     }
 
     fn on_compute(
@@ -108,22 +146,29 @@ impl Tracer for FpDebugDetector {
         arg_values: &[f64],
         result: f64,
     ) {
-        let exact_args: Vec<BigFloat> = args
-            .iter()
-            .zip(arg_values)
-            .map(|(&a, &v)| self.shadow(a, v))
-            .collect();
-        let exact = BigFloat::apply(op, &exact_args);
+        // Ensure every operand is shadowed, then read them by reference —
+        // the exact evaluation clones nothing out of the slot table.
+        for (&addr, &value) in args.iter().zip(arg_values) {
+            self.ensure_shadow(addr, value);
+        }
+        let exact = {
+            let first = self.shadow_at(args[0]).expect("operand shadow populated");
+            let mut exact_refs: [&BigFloat; MAX_ARITY] = [first; MAX_ARITY];
+            for (slot, &addr) in exact_refs.iter_mut().zip(args) {
+                *slot = self.shadow_at(addr).expect("operand shadow populated");
+            }
+            BigFloat::apply_ref(op, &exact_refs[..args.len()])
+        };
         let error = bits_error(result, exact.to_f64());
         let entry = self.report.per_operation.entry(pc).or_insert((0, 0.0, 0.0));
         entry.0 += 1;
         entry.1 = entry.1.max(error);
         entry.2 += error;
-        self.shadows.insert(dest, exact);
+        self.put_shadow(dest, Some(exact));
     }
 
     fn on_cast_to_int(&mut self, _pc: usize, dest: Addr, _src: Addr, _value: f64, _result: i64) {
-        self.shadows.remove(&dest);
+        self.put_shadow(dest, None);
     }
 }
 
@@ -133,10 +178,13 @@ mod tests {
     use fpcore::parse_core;
     use fpvm::compile_core;
 
+    fn program(src: &str) -> Program {
+        compile_core(&parse_core(src).unwrap(), Default::default()).unwrap()
+    }
+
     #[test]
     fn detects_error_at_the_operation_that_exhibits_it() {
-        let core = parse_core("(FPCore (x) (* (- (+ x 1) x) 2))").unwrap();
-        let program = compile_core(&core, Default::default()).unwrap();
+        let program = program("(FPCore (x) (* (- (+ x 1) x) 2))");
         let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![10f64.powi(i)]).collect();
         let report = FpDebugDetector::analyze(&program, &inputs).unwrap();
         let erroneous = report.erroneous_operations(5.0);
@@ -149,9 +197,36 @@ mod tests {
 
     #[test]
     fn accurate_programs_have_no_erroneous_operations() {
-        let core = parse_core("(FPCore (x y) (sqrt (+ (* x x) (* y y))))").unwrap();
-        let program = compile_core(&core, Default::default()).unwrap();
+        let program = program("(FPCore (x y) (sqrt (+ (* x x) (* y y))))");
         let report = FpDebugDetector::analyze(&program, &[vec![3.0, 4.0]]).unwrap();
         assert!(report.erroneous_operations(5.0).is_empty());
+    }
+
+    #[test]
+    fn reused_slots_do_not_leak_shadows_across_runs() {
+        // A loop whose accumulator slot is written a different number of
+        // times per input: a slot-table reset bug would let a long first
+        // run's shadows bleed into a shorter later run. The sweep must
+        // accumulate exactly what per-input fresh detectors accumulate.
+        let p = program("(FPCore (n) (while (< i n) ((s 0 (+ s (/ 1 i))) (i 1 (+ i 1))) s))");
+        let inputs: Vec<Vec<f64>> = [40.0, 3.0, 17.0].iter().map(|&n| vec![n]).collect();
+        let swept = FpDebugDetector::analyze(&p, &inputs).unwrap();
+        let mut expected: BTreeMap<usize, (u64, f64, f64)> = BTreeMap::new();
+        for input in &inputs {
+            let single = FpDebugDetector::analyze(&p, std::slice::from_ref(input)).unwrap();
+            for (pc, (count, max, sum)) in single.per_operation {
+                let entry = expected.entry(pc).or_insert((0, 0.0, 0.0));
+                entry.0 += count;
+                entry.1 = entry.1.max(max);
+                entry.2 += sum;
+            }
+        }
+        assert_eq!(swept.per_operation.len(), expected.len());
+        for (pc, (count, max, sum)) in &swept.per_operation {
+            let (ecount, emax, esum) = expected[pc];
+            assert_eq!(*count, ecount, "pc {pc}");
+            assert_eq!(max.to_bits(), emax.to_bits(), "pc {pc}");
+            assert_eq!(sum.to_bits(), esum.to_bits(), "pc {pc}");
+        }
     }
 }

@@ -1,0 +1,247 @@
+//! `tiered_sweep`: throughput of the tiered adaptive-precision driver
+//! (`herbgrind::analyze_tiered`) against the all-`BigFloat` full-report
+//! analysis it is bit-identical to, in analyzed ops per second.
+//!
+//! The kernels are transcendental-heavy — `sin`/`cos` products, `exp`
+//! decay, `log` ratios, a Gaussian exponent — because that is where the
+//! tiers matter most: the BigFloat shadow pays a software multiprecision
+//! libm call per operation, while the certify probe proves (for the vast
+//! majority of these inputs) that the `DoubleDouble` shadow's decisions are
+//! identical, so the full record-keeping pass runs on the cheap tier.
+//! Inputs sit inside the certificate domains; the in-run `TierStats`
+//! assertion keeps the kernels honest about that, and the in-run report
+//! comparison keeps the speedup honest about bit-identity.
+//!
+//! Three measurement modes over the same kernels and inputs, all at one
+//! analysis thread (this bench measures the tiering, not sweep
+//! parallelism):
+//!
+//! * `full-report` — `herbgrind::analyze`: the complete analysis on the
+//!   `BigFloat` shadow for every input (what the tiered driver replaces).
+//! * `tiered` — `herbgrind::analyze_tiered`: batched certify probe, then
+//!   the full analysis on `DoubleDouble` for certified inputs and on
+//!   `BigFloat` for the escalated remainder.
+//! * `dd-full` — `analyze_with_shadow::<DoubleDouble>`: the (uncertified)
+//!   all-dd analysis, as context for how much of the remaining gap is
+//!   probe overhead vs. shadow arithmetic.
+//!
+//! Output is human-readable rows plus machine-readable JSON between
+//! `TIERED_SWEEP_JSON_BEGIN`/`END` markers; `TIERED_SWEEP_JSON=path` also
+//! writes the JSON to a file (the committed `BENCH_tiered_sweep.json`
+//! baseline is produced that way), and `BENCH_SMOKE=1` switches to one
+//! short iteration per measurement for CI.
+
+use fpvm::{Addr, Machine, Program, Tracer};
+use herbgrind::{
+    analyze, analyze_tiered, analyze_tiered_with_stats, analyze_with_shadow, AnalysisConfig,
+};
+use shadowreal::{DoubleDouble, RealOp};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Counts executed floating-point operations (the denominator of every
+/// ops/sec figure; identical across modes because the analysis follows the
+/// client's control flow).
+#[derive(Default)]
+struct OpCounter {
+    computes: u64,
+}
+
+impl Tracer for OpCounter {
+    fn on_compute(&mut self, _: usize, _: RealOp, _: Addr, _: &[Addr], _: &[f64], _: f64) {
+        self.computes += 1;
+    }
+}
+
+struct Row {
+    mode: &'static str,
+    ns_per_op: f64,
+}
+
+impl Row {
+    fn ops_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_op
+    }
+}
+
+/// Best-of-`reps` ns per analyzed op for one full sweep.
+fn measure<F: FnMut()>(total_ops: u64, reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let ns = start.elapsed().as_nanos() as f64 / total_ops as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+struct SweepKernel {
+    program: Program,
+    inputs: Vec<Vec<f64>>,
+}
+
+fn kernel(src: &str, inputs: Vec<Vec<f64>>) -> SweepKernel {
+    let core = fpcore::parse_core(src).expect("kernel parses");
+    let program = fpvm::compile_core(&core, Default::default()).expect("kernel compiles");
+    SweepKernel { program, inputs }
+}
+
+/// Transcendental-heavy kernels whose inputs stay inside the certificate
+/// domains (arguments well within the trig reduction range, `exp` inputs
+/// far from overflow, `log` arguments bounded away from zero), so the
+/// probe certifies nearly every input and the sweep's speedup reflects the
+/// dd tier doing the work.
+fn sweep_kernels(smoke: bool) -> Vec<SweepKernel> {
+    let n = if smoke { 4 } else { 200 };
+    vec![
+        // sin/cos product with a polynomial correction.
+        kernel(
+            "(FPCore (x) (+ (* (sin x) (cos x)) (* 0.5 (* x x))))",
+            (1..=n).map(|i| vec![i as f64 * 0.011]).collect(),
+        ),
+        // Exponential decay times a shifted log.
+        kernel(
+            "(FPCore (x) (* (exp (* x -0.5)) (log (+ x 2))))",
+            (1..=n).map(|i| vec![i as f64 * 0.03]).collect(),
+        ),
+        // Logit on mid-range probabilities.
+        kernel(
+            "(FPCore (p) (log (/ p (- 1 p))))",
+            (1..=n)
+                .map(|i| vec![0.2 + 0.55 * (i as f64 / n as f64)])
+                .collect(),
+        ),
+        // Gaussian exponent: square, scale, exp.
+        kernel(
+            "(FPCore (x m s) (exp (- (/ (* (- x m) (- x m)) (* 2 (* s s))))))",
+            (1..=n).map(|i| vec![i as f64 * 0.013, 1.25, 0.8]).collect(),
+        ),
+        // atan of a quotient in the right half-plane.
+        kernel(
+            "(FPCore (y x) (atan (/ y x)))",
+            (1..=n).map(|i| vec![i as f64 * 0.07, 2.5]).collect(),
+        ),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let reps = if smoke { 1 } else { 9 };
+    let prepared = sweep_kernels(smoke);
+    // One analysis thread throughout: this bench measures the tiering.
+    let config = AnalysisConfig::default().with_threads(1);
+
+    let mut total_ops = 0u64;
+    for p in &prepared {
+        let machine = Machine::new(&p.program);
+        for input in &p.inputs {
+            let mut counter = OpCounter::default();
+            machine
+                .run_traced(input, &mut counter)
+                .expect("benchmark runs");
+            total_ops += counter.computes;
+        }
+    }
+
+    // The speedup claim rests on two in-run facts: the tiered report is
+    // bit-identical to the full BigFloat report, and the probe actually
+    // certifies (almost) the whole sweep onto the dd tier.
+    let mut total_inputs = 0usize;
+    let mut certified_inputs = 0usize;
+    for p in &prepared {
+        let full = analyze(&p.program, &p.inputs, &config).expect("full-report");
+        let (tiered, stats) =
+            analyze_tiered_with_stats(&p.program, &p.inputs, &config).expect("tiered");
+        assert_eq!(
+            format!("{tiered:?}"),
+            format!("{full:?}"),
+            "tiered report diverged from the all-BigFloat analysis"
+        );
+        total_inputs += stats.total_inputs;
+        certified_inputs += stats.certified_inputs;
+    }
+    assert!(
+        certified_inputs * 10 >= total_inputs * 8,
+        "kernels drifted out of the certificate domains: {certified_inputs}/{total_inputs} certified"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let ns = measure(total_ops, reps, || {
+        for p in &prepared {
+            black_box(analyze(&p.program, &p.inputs, &config).expect("full-report"));
+        }
+    });
+    rows.push(Row {
+        mode: "full-report",
+        ns_per_op: ns,
+    });
+    let ns = measure(total_ops, reps, || {
+        for p in &prepared {
+            black_box(analyze_tiered(&p.program, &p.inputs, &config).expect("tiered"));
+        }
+    });
+    rows.push(Row {
+        mode: "tiered",
+        ns_per_op: ns,
+    });
+    let ns = measure(total_ops, reps, || {
+        for p in &prepared {
+            black_box(
+                analyze_with_shadow::<DoubleDouble>(&p.program, &p.inputs, &config)
+                    .expect("dd-full"),
+            );
+        }
+    });
+    rows.push(Row {
+        mode: "dd-full",
+        ns_per_op: ns,
+    });
+
+    // --- Report -----------------------------------------------------------
+    let find = |mode: &str| {
+        rows.iter()
+            .find(|r| r.mode == mode)
+            .expect("row present")
+            .ns_per_op
+    };
+    for row in &rows {
+        println!(
+            "bench tiered_sweep/{}: {:.1} ns/op  ({:.2e} analyzed ops/s)",
+            row.mode,
+            row.ns_per_op,
+            row.ops_per_sec()
+        );
+    }
+    let tiered_vs_full = find("full-report") / find("tiered");
+    let dd_vs_full = find("full-report") / find("dd-full");
+    println!(
+        "bench tiered_sweep: tiered vs full-report: {tiered_vs_full:.2}x \
+         (uncertified all-dd context: {dd_vs_full:.2}x; \
+         {certified_inputs}/{total_inputs} inputs certified; \
+         {total_ops} analyzed ops per sweep)"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"tiered_sweep\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"ns_per_op\": {:.2}, \"ops_per_sec\": {:.0}}}{}\n",
+            row.mode,
+            row.ns_per_op,
+            row.ops_per_sec(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"analyzed_ops_per_sweep\": {total_ops},\n  \"total_inputs\": {total_inputs},\n  \"certified_inputs\": {certified_inputs},\n  \"speedup\": {{\"tiered_vs_full_report\": {tiered_vs_full:.2}, \"dd_full_vs_full_report\": {dd_vs_full:.2}}}\n}}\n"
+    ));
+    println!("TIERED_SWEEP_JSON_BEGIN");
+    print!("{json}");
+    println!("TIERED_SWEEP_JSON_END");
+    if let Some(path) = std::env::var_os("TIERED_SWEEP_JSON") {
+        std::fs::write(&path, json).expect("write TIERED_SWEEP_JSON file");
+    }
+}

@@ -298,10 +298,13 @@ pub struct Herbgrind<R: Real> {
 }
 
 impl<R: Real> Herbgrind<R> {
-    /// Creates an analysis with the given configuration.
+    /// Creates an analysis with the given configuration. The configuration
+    /// is normalized ([`AnalysisConfig::normalize`]) so invariant-violating
+    /// struct literals (e.g. `max_expression_depth: 0`, which the builder
+    /// clamps but a literal can bypass) cannot reach the analysis.
     pub fn new(config: AnalysisConfig) -> Herbgrind<R> {
         Herbgrind {
-            config,
+            config: config.normalize(),
             shadow_slots: Vec::new(),
             shadow_gen: 0,
             interner: ExprInterner::new(),
@@ -677,6 +680,121 @@ impl<R: Real> Herbgrind<R> {
     /// Produces the final report. The slot tables are folded into ordered
     /// form here — the only place order matters — rather than on every
     /// operation.
+    pub fn report(&self) -> Report {
+        Report::build(
+            &self.program_name,
+            &self.config,
+            self.op_slots
+                .iter()
+                .enumerate()
+                .filter_map(|(pc, slot)| slot.as_ref().map(|record| (pc, record))),
+            self.spot_slots
+                .iter()
+                .enumerate()
+                .filter_map(|(pc, slot)| slot.as_ref().map(|record| (pc, record))),
+            self.runs,
+            self.compensations_detected,
+            self.branch_divergences,
+        )
+    }
+
+    /// Extracts the accumulated analysis results, dropping the shadow-real
+    /// state. The returned [`AnalysisState`] carries no trace of which
+    /// shadow representation produced it — which is what lets the tiered
+    /// driver ([`crate::tiered::analyze_tiered`]) fold `DoubleDouble`-tier
+    /// and `BigFloat`-tier sweeps into one report.
+    pub fn into_state(self) -> AnalysisState {
+        AnalysisState {
+            config: self.config,
+            op_slots: self.op_slots,
+            spot_slots: self.spot_slots,
+            locations: self.locations,
+            program_name: self.program_name,
+            runs: self.runs,
+            compensations_detected: self.compensations_detected,
+            branch_divergences: self.branch_divergences,
+        }
+    }
+}
+
+/// The shadow-type-independent results of an analysis sweep: the
+/// per-statement record tables and counters of a [`Herbgrind`], without the
+/// shadow memory or the shadow-real type parameter.
+///
+/// Records combine associatively and index-wise exactly as
+/// [`Herbgrind::merge`] combines them, so states extracted from sweeps over
+/// *different shadow representations* merge cleanly — the foundation of the
+/// tiered analysis, where certified input groups run on the `DoubleDouble`
+/// shadow and the rest on [`BigFloat`], and the groups' states are folded
+/// back in input order.
+#[derive(Debug)]
+pub struct AnalysisState {
+    config: AnalysisConfig,
+    op_slots: Vec<Option<OpRecord>>,
+    spot_slots: Vec<Option<SpotRecord>>,
+    locations: Vec<Arc<SourceLoc>>,
+    program_name: String,
+    runs: u64,
+    compensations_detected: u64,
+    branch_divergences: u64,
+}
+
+impl AnalysisState {
+    /// An empty state (no runs observed), for seeding a merge fold.
+    pub fn empty(config: AnalysisConfig) -> AnalysisState {
+        AnalysisState {
+            config,
+            op_slots: Vec::new(),
+            spot_slots: Vec::new(),
+            locations: Vec::new(),
+            program_name: String::new(),
+            runs: 0,
+            compensations_detected: 0,
+            branch_divergences: 0,
+        }
+    }
+
+    /// The number of runs folded into this state.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Merges a later input shard's state into this one — the same
+    /// index-wise, in-input-order fold as [`Herbgrind::merge`], so chaining
+    /// per-group states in input order reproduces the records of one
+    /// continuous sweep bit for bit.
+    pub fn merge(&mut self, other: AnalysisState) {
+        if self.locations.is_empty() {
+            self.locations = other.locations;
+            self.program_name = other.program_name;
+        }
+        self.runs += other.runs;
+        self.compensations_detected += other.compensations_detected;
+        self.branch_divergences += other.branch_divergences;
+        if self.op_slots.len() < other.op_slots.len() {
+            self.op_slots.resize_with(other.op_slots.len(), || None);
+        }
+        for (pc, record) in other.op_slots.into_iter().enumerate() {
+            let Some(record) = record else { continue };
+            match &mut self.op_slots[pc] {
+                Some(existing) => existing.merge(&record, &self.config),
+                slot @ None => *slot = Some(record),
+            }
+        }
+        if self.spot_slots.len() < other.spot_slots.len() {
+            self.spot_slots.resize_with(other.spot_slots.len(), || None);
+        }
+        for (pc, record) in other.spot_slots.into_iter().enumerate() {
+            let Some(record) = record else { continue };
+            match &mut self.spot_slots[pc] {
+                Some(existing) => existing.merge(&record),
+                slot @ None => *slot = Some(record),
+            }
+        }
+    }
+
+    /// Builds the report — identical to [`Herbgrind::report`] on the
+    /// analysis this state was extracted (and merged) from.
     pub fn report(&self) -> Report {
         Report::build(
             &self.program_name,

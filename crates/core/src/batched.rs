@@ -105,11 +105,15 @@ pub struct BatchHerbgrind<R: BatchReal, const W: usize> {
 }
 
 impl<R: BatchReal, const W: usize> BatchHerbgrind<R, W> {
-    /// One analysis shard per lane.
+    /// One analysis shard per lane. The configuration is normalized
+    /// ([`AnalysisConfig::normalize`]) like the serial analysis does, so the
+    /// group-level record layer and the lane shards agree on every clamped
+    /// parameter.
     pub fn new(config: &AnalysisConfig) -> Self {
+        let config = config.normalize();
         BatchHerbgrind {
             lanes: (0..W).map(|_| Herbgrind::new(config.clone())).collect(),
-            config: config.clone(),
+            config,
             interner: ExprInterner::new(),
             node_scratch: Vec::new(),
         }
@@ -388,7 +392,7 @@ impl<R: BatchReal, const W: usize> BatchTracer<W> for BatchHerbgrind<R, W> {
 /// chunks, one batch pass per chunk position, per-lane failure isolation
 /// with the earliest-input error surfaced — the lane-level mirror of the
 /// thread-sharded driver.
-fn batched_sweep<R: BatchReal, const W: usize>(
+pub(crate) fn batched_sweep<R: BatchReal, const W: usize>(
     machine: &Machine<'_>,
     inputs: &[Vec<f64>],
     config: &AnalysisConfig,
@@ -438,7 +442,7 @@ fn batched_sweep<R: BatchReal, const W: usize>(
 }
 
 /// Dispatches a sweep to the compiled batch width.
-fn dispatch_sweep<R: BatchReal>(
+pub(crate) fn dispatch_sweep<R: BatchReal>(
     machine: &Machine<'_>,
     width: usize,
     inputs: &[Vec<f64>],

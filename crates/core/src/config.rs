@@ -76,12 +76,39 @@ impl Default for AnalysisConfig {
 
 impl AnalysisConfig {
     /// A configuration that mimics FpDebug: only the operation where error
-    /// appears is reported (expression depth 1), no ranges.
+    /// appears is reported (expression depth 1), no ranges, and no
+    /// compensation detection — FpDebug has no analogue of §5.3, so a
+    /// baseline comparison against it must not quietly keep Herbgrind's
+    /// expert-trick suppression switched on.
     pub fn fpdebug_like() -> AnalysisConfig {
         AnalysisConfig {
             max_expression_depth: 1,
             range_kind: RangeKind::None,
+            detect_compensation: false,
             ..AnalysisConfig::default()
+        }
+    }
+
+    /// Returns the configuration with every cross-field invariant enforced:
+    ///
+    /// * `max_expression_depth >= 1` — depth 0 would record no expression at
+    ///   all and break the depth-bounded trace machinery, which is why
+    ///   [`AnalysisConfig::with_max_expression_depth`] clamps it; a struct
+    ///   literal can bypass the builder, so every analysis entry point
+    ///   normalizes instead of trusting the construction path.
+    /// * `antiunify_equivalence_depth >= 1` — anti-unification must compare
+    ///   at least the node itself.
+    /// * `shadow_precision >= 53` — a shadow less precise than the doubles
+    ///   it shadows cannot measure their error.
+    ///
+    /// Normalization is idempotent, and configurations built through
+    /// [`Default`] or the builders are already normal.
+    pub fn normalize(&self) -> AnalysisConfig {
+        AnalysisConfig {
+            max_expression_depth: self.max_expression_depth.max(1),
+            antiunify_equivalence_depth: self.antiunify_equivalence_depth.max(1),
+            shadow_precision: self.shadow_precision.max(53),
+            ..self.clone()
         }
     }
 
@@ -174,5 +201,48 @@ mod tests {
     fn depth_is_clamped_to_at_least_one() {
         let c = AnalysisConfig::default().with_max_expression_depth(0);
         assert_eq!(c.max_expression_depth, 1);
+    }
+
+    #[test]
+    fn fpdebug_configuration_disables_compensation_detection() {
+        // FpDebug has no compensation detection (§5.3 is Herbgrind's
+        // contribution); the baseline configuration must not keep it on.
+        assert!(!AnalysisConfig::fpdebug_like().detect_compensation);
+    }
+
+    #[test]
+    fn normalize_enforces_invariants_bypassed_by_struct_literals() {
+        // A struct literal can skip the builder's clamp; normalization at
+        // the analysis entry points must restore every invariant.
+        let raw = AnalysisConfig {
+            max_expression_depth: 0,
+            antiunify_equivalence_depth: 0,
+            shadow_precision: 8,
+            ..AnalysisConfig::default()
+        };
+        let normal = raw.normalize();
+        assert_eq!(normal.max_expression_depth, 1);
+        assert_eq!(normal.antiunify_equivalence_depth, 1);
+        assert_eq!(normal.shadow_precision, 53);
+        // Untouched fields pass through, and normalization is idempotent.
+        assert_eq!(normal.batch_width, raw.batch_width);
+        assert_eq!(normal.threads, raw.threads);
+        let again = normal.normalize();
+        assert_eq!(again.max_expression_depth, normal.max_expression_depth);
+        assert_eq!(again.shadow_precision, normal.shadow_precision);
+    }
+
+    #[test]
+    fn default_and_builder_configurations_are_already_normal() {
+        for config in [
+            AnalysisConfig::default(),
+            AnalysisConfig::fpdebug_like(),
+            AnalysisConfig::default().with_max_expression_depth(3),
+        ] {
+            let normal = config.normalize();
+            assert_eq!(normal.max_expression_depth, config.max_expression_depth);
+            assert_eq!(normal.shadow_precision, config.shadow_precision);
+            assert_eq!(normal.detect_compensation, config.detect_compensation);
+        }
     }
 }

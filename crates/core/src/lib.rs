@@ -59,8 +59,10 @@ pub mod records;
 pub mod reference;
 pub mod report;
 pub mod symbolic;
+pub mod tiered;
 pub mod trace;
 
+pub use analysis::AnalysisState;
 pub use analysis::{
     analyze, analyze_parallel, analyze_parallel_with_shadow, analyze_with_shadow, Herbgrind,
 };
@@ -72,4 +74,5 @@ pub use config::{AnalysisConfig, RangeKind};
 pub use errsum::ErrorBitsSum;
 pub use report::{Report, RootCauseReport, SpotReport};
 pub use symbolic::SymbolicExpr;
+pub use tiered::{analyze_tiered, analyze_tiered_with_stats, CertifyProbe, TierStats};
 pub use trace::{ConcreteExpr, ExprInterner};

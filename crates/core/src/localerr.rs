@@ -11,25 +11,58 @@
 
 use shadowreal::{bits_error, Real, RealOp, MAX_ARITY};
 
+/// The operand list passed to [`local_error`] was empty.
+///
+/// Every float operation has at least one operand (the machine validates
+/// arity before tracing), so this indicates a malformed caller, not a
+/// property of the analyzed program — it is reported as a typed error
+/// rather than a panic so that release builds embedding the analysis
+/// degrade gracefully.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NoOperands(
+    /// The operation that was invoked without operands.
+    pub RealOp,
+);
+
+impl std::fmt::Display for NoOperands {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no operands for {}", self.0)
+    }
+}
+
+impl std::error::Error for NoOperands {}
+
 /// Computes the local error, in bits, of applying `op` to operands whose
 /// exact values are `exact_args`.
 ///
 /// Returns the local error together with the exact result (so the caller does
 /// not need to recompute it for the shadow update).
-pub fn local_error<R: Real>(op: RealOp, exact_args: &[R]) -> (f64, R) {
-    assert!(!exact_args.is_empty(), "no operands for {op}");
-    let mut refs: [&R; MAX_ARITY] = [&exact_args[0]; MAX_ARITY];
+///
+/// # Errors
+///
+/// Returns [`NoOperands`] when `exact_args` is empty — every real operation
+/// has at least one operand, so this only happens on a malformed call.
+pub fn local_error<R: Real>(op: RealOp, exact_args: &[R]) -> Result<(f64, R), NoOperands> {
+    let Some(first) = exact_args.first() else {
+        return Err(NoOperands(op));
+    };
+    let mut refs: [&R; MAX_ARITY] = [first; MAX_ARITY];
     for (slot, arg) in refs.iter_mut().zip(exact_args) {
         *slot = arg;
     }
-    local_error_ref(op, &refs[..exact_args.len()])
+    Ok(local_error_ref(op, &refs[..exact_args.len()]))
 }
 
 /// Computes the local error like [`local_error`], with the operands passed
 /// by reference — the form the analysis hot loop uses, so that shadow values
 /// never leave the slot table (no per-operand clone) and the rounded
 /// operands live on the stack (no per-op allocation).
+///
+/// `exact_args` must be non-empty (checked with a `debug_assert`; the
+/// machine validates operation arity before any tracer callback fires, so
+/// the hot path does not re-check in release builds).
 pub fn local_error_ref<R: Real>(op: RealOp, exact_args: &[&R]) -> (f64, R) {
+    debug_assert!(!exact_args.is_empty(), "no operands for {op}");
     let exact_result = R::apply_ref(op, exact_args);
     let exact_rounded = exact_result.to_f64();
     let mut rounded = [0.0f64; MAX_ARITY];
@@ -53,6 +86,17 @@ mod tests {
 
     fn big(values: &[f64]) -> Vec<BigFloat> {
         values.iter().map(|&v| BigFloat::from_f64(v)).collect()
+    }
+
+    fn local_error<R: Real>(op: RealOp, exact_args: &[R]) -> (f64, R) {
+        super::local_error(op, exact_args).expect("operands provided")
+    }
+
+    #[test]
+    fn empty_operands_are_a_typed_error_not_a_panic() {
+        let err = super::local_error::<BigFloat>(RealOp::Add, &[]).unwrap_err();
+        assert_eq!(err, NoOperands(RealOp::Add));
+        assert_eq!(err.to_string(), "no operands for +");
     }
 
     #[test]

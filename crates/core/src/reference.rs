@@ -57,10 +57,12 @@ pub struct ReferenceHerbgrind<R: Real> {
 }
 
 impl<R: Real> ReferenceHerbgrind<R> {
-    /// Creates an analysis with the given configuration.
+    /// Creates an analysis with the given configuration, normalized like
+    /// the optimized implementation ([`AnalysisConfig::normalize`]) so the
+    /// two stay comparable under invariant-violating struct literals.
     pub fn new(config: AnalysisConfig) -> ReferenceHerbgrind<R> {
         ReferenceHerbgrind {
-            config,
+            config: config.normalize(),
             shadows: HashMap::new(),
             interner: ExprInterner::new(),
             ops: BTreeMap::new(),
@@ -249,7 +251,12 @@ impl<R: Real> Tracer for ReferenceHerbgrind<R> {
             influences.extend(shadow.influences.iter().copied());
         }
 
-        let (local_err, exact_result) = local_error(op, &exact_args);
+        // The machine validates arity before tracing, so the operand list is
+        // never empty; if a malformed embedding calls in without operands,
+        // skip the observation instead of panicking.
+        let Ok((local_err, exact_result)) = local_error(op, &exact_args) else {
+            return;
+        };
         let erroneous = local_err > self.config.local_error_threshold;
 
         let compensation =

@@ -72,6 +72,12 @@ impl DoubleDouble {
         DoubleDouble { hi, lo }
     }
 
+    /// `const` form of [`DoubleDouble::raw`] for compile-time constants
+    /// whose components are known to be normalized (checked in tests).
+    pub(crate) const fn const_parts(hi: f64, lo: f64) -> Self {
+        DoubleDouble { hi, lo }
+    }
+
     /// The high (leading) component.
     pub fn hi(&self) -> f64 {
         self.hi

@@ -24,7 +24,6 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::dd::{quick_two_sum, two_prod, two_sum};
-use crate::real::apply_f64;
 use crate::{DoubleDouble, RealOp, MAX_ARITY};
 
 /// A lane group of double-doubles, struct-of-arrays.
@@ -249,15 +248,18 @@ pub fn apply<const W: usize>(op: RealOp, args: &[DdLanes<W>]) -> DdLanes<W> {
         (RealOp::Sqrt, [a]) => sqrt(a),
         (RealOp::Fma, [a, b, c]) => add(&mul(a, b), c),
         _ => {
-            // The scalar fallback rounds every operand to a double, applies
-            // the double-precision operation, and widens exactly.
+            // Library calls loop the scalar double-double kernel per lane —
+            // the same function the scalar `apply_ref` fallback calls, so
+            // per-lane bit-identity holds by construction.
             let mut out = DdLanes::zero();
-            let mut lane_args = [0.0f64; MAX_ARITY];
+            let mut lane_args = [DoubleDouble::ZERO; MAX_ARITY];
             for l in 0..W {
                 for (slot, lanes) in lane_args.iter_mut().zip(args) {
-                    *slot = lanes.hi[l];
+                    *slot = lanes.get(l);
                 }
-                out.hi[l] = apply_f64(op, &lane_args[..args.len()]);
+                let refs: [&DoubleDouble; MAX_ARITY] =
+                    [&lane_args[0], &lane_args[1], &lane_args[2]];
+                out.set(l, crate::dd_math::apply_library(op, &refs[..args.len()]));
             }
             out
         }

@@ -1,0 +1,647 @@
+//! Double-double elementary functions.
+//!
+//! The [`DoubleDouble`] shadow originally evaluated library calls by rounding
+//! its operands to `f64` and calling libm (~53 accurate bits). That is far
+//! too coarse for the tiered analysis, whose ulp-certificates must prove
+//! that a double-double result rounds to the *same* double as the 256-bit
+//! [`crate::BigFloat`] result. This module provides double-double-accurate
+//! kernels (target relative error well below `2^-85`, typically `2^-95` or
+//! better inside the certificate domains) for the transcendental operations
+//! the certificates cover, following the classic QD recipes: argument
+//! reduction with exact-product constant chunks, Taylor series whose terms
+//! are formed with double-double divisions, and Newton refinement of an
+//! `f64` seed.
+//!
+//! Operations without an accurate kernel here (`fmod`, the rounding family,
+//! hyperbolics, …) keep the historical libm-on-`hi` fallback; the tiered
+//! certificates simply refuse to certify them, so inputs that reach them
+//! escalate to the `BigFloat` shadow.
+//!
+//! Every kernel is a pure scalar function; the lane-vectorized
+//! [`crate::dd_batch`] fallback calls the same kernel per lane, so scalar
+//! and batched evaluation stay bit-identical by construction.
+
+use crate::dd::{quick_two_sum, two_sum, DoubleDouble};
+use crate::real::{apply_f64, RealOp};
+
+type Dd = DoubleDouble;
+
+/// π as a double-double (QD's `_pi`: the rounded double plus its
+/// correction word; validated against `BigFloat` in tests).
+pub const PI: Dd = Dd::const_parts(std::f64::consts::PI, 1.2246467991473532e-16);
+/// π/2 as a double-double.
+pub const FRAC_PI_2: Dd = Dd::const_parts(std::f64::consts::FRAC_PI_2, 6.123233995736766e-17);
+/// ln 2 as a double-double.
+pub const LN_2: Dd = Dd::const_parts(std::f64::consts::LN_2, 2.3190468138462996e-17);
+/// ln 10 as a double-double.
+pub const LN_10: Dd = Dd::const_parts(std::f64::consts::LN_10, -2.1707562233822494e-16);
+
+/// Exact scaling by a power of two (no rounding while both components stay
+/// in range, which the kernels' domain guards ensure).
+#[inline]
+fn mul_pwr2(a: &Dd, p: f64) -> Dd {
+    Dd::raw(a.hi() * p, a.lo() * p)
+}
+
+#[inline]
+fn dd(x: f64) -> Dd {
+    Dd::from_f64(x)
+}
+
+/// Knuth-style accurate double-double addition. Unlike [`DoubleDouble::add`]
+/// (the fast "sloppy" kernel used by the shadow arithmetic itself), its
+/// error stays a couple of ulps *of the result* even under catastrophic
+/// cancellation — which the trig argument reduction relies on.
+fn add_accurate(a: &Dd, b: &Dd) -> Dd {
+    let (s1, e1) = two_sum(a.hi(), b.hi());
+    let (s2, e2) = two_sum(a.lo(), b.lo());
+    let (s1, e1) = quick_two_sum(s1, e1 + s2);
+    let (hi, lo) = quick_two_sum(s1, e1 + e2);
+    Dd::raw(hi, lo)
+}
+
+/// π/2 as five non-overlapping doubles (successive nearest-double roundings
+/// of the 384-bit value, ~265 significant bits in total). The trig argument
+/// reduction subtracts `k · chunk` products, each exact as a double-double
+/// via `two_prod`, so the reduced argument keeps double-double accuracy for
+/// quotients as large as the reduction limit allows.
+fn pi_2_chunks() -> &'static [f64; 5] {
+    static CHUNKS: std::sync::OnceLock<[f64; 5]> = std::sync::OnceLock::new();
+    CHUNKS.get_or_init(|| {
+        // π/2 = 2·atan(1), derived from the BigFloat oracle rather than
+        // hand-transcribed digits.
+        let mut v = crate::BigFloat::from_f64_prec(1.0, 384)
+            .atan()
+            .mul(&crate::BigFloat::from_f64_prec(2.0, 384));
+        std::array::from_fn(|_| {
+            let c = v.to_f64();
+            v = v.sub(&crate::BigFloat::from_f64(c));
+            c
+        })
+    })
+}
+
+/// `exp` with ~`2^-95` relative error for `hi ∈ (-708, 709)`; libm fallback
+/// outside (overflow, deep underflow, non-finite). Below ~`-670` the scaled
+/// low word goes subnormal and accuracy degrades gradually toward plain
+/// double; the certificate domain stops well above that.
+pub fn exp(a: &Dd) -> Dd {
+    let x = a.hi();
+    if !x.is_finite() || !(-708.0..=709.0).contains(&x) {
+        return dd(x.exp());
+    }
+    // exp(x) = 2^m · (e^r)^512 with r = (x - m·ln2)/512, |r| ≤ ln2/1024.
+    let m = (x / std::f64::consts::LN_2).round();
+    let r = mul_pwr2(&a.sub(&LN_2.mul(&dd(m))), 1.0 / 512.0);
+    // expm1(r) by Taylor; divisions keep every term accurate to ~2^-104.
+    let mut term = mul_pwr2(&r.mul(&r), 0.5);
+    let mut sum = r.add(&term);
+    for k in 3..=12 {
+        term = term.mul(&r).div(&dd(k as f64));
+        sum = sum.add(&term);
+        if term.hi().abs() < 1e-40 * sum.hi().abs() {
+            break;
+        }
+    }
+    // Undo the /512 scaling: (1+s)^2 = 1 + (2s + s²), nine times.
+    for _ in 0..9 {
+        sum = mul_pwr2(&sum, 2.0).add(&sum.mul(&sum));
+    }
+    let result = sum.add(&Dd::ONE);
+    let scale = 2f64.powi(m as i32);
+    Dd::raw(result.hi() * scale, result.lo() * scale)
+}
+
+/// `exp2(x) = exp(x·ln2)`; exact on integer arguments in the accurate
+/// domain because the reduction cancels exactly.
+pub fn exp2(a: &Dd) -> Dd {
+    let x = a.hi();
+    if !x.is_finite() || !(-1021.0..=1022.0).contains(&x) {
+        return dd(x.exp2());
+    }
+    exp(&a.mul(&LN_2))
+}
+
+/// `expm1`, cancellation-free for small arguments.
+pub fn expm1(a: &Dd) -> Dd {
+    let x = a.hi();
+    if !x.is_finite() || x > 700.0 {
+        return dd(x.exp_m1());
+    }
+    if a.is_zero() {
+        // Preserve the sign of zero like libm.
+        return Dd::raw(x, 0.0);
+    }
+    if x.abs() > 0.34 {
+        // No cancellation once |e^x − 1| is comparable to max(e^x, 1).
+        return exp(a).sub(&Dd::ONE);
+    }
+    let mut term = *a;
+    let mut sum = *a;
+    for k in 2..=30 {
+        term = term.mul(a).div(&dd(k as f64));
+        sum = sum.add(&term);
+        if term.hi().abs() < 1e-40 * sum.hi().abs() {
+            break;
+        }
+    }
+    sum
+}
+
+/// `ln`, via an `atanh`-style series near 1 and a Newton step on the libm
+/// seed elsewhere: `ln a ≈ y₀ + (a·e^(−y₀) − 1)`.
+pub fn log(a: &Dd) -> Dd {
+    let x = a.hi();
+    if !x.is_finite() || x <= 0.0 {
+        return dd(x.ln());
+    }
+    if !(1e-290..1e290).contains(&x) {
+        // Rescale by an exact power of two so the Newton step's exp stays
+        // comfortably inside its accurate domain.
+        let half_scale = dd(512.0).mul(&LN_2);
+        return if x >= 1e290 {
+            log(&mul_pwr2(a, 2f64.powi(-512))).add(&half_scale)
+        } else {
+            log(&mul_pwr2(a, 2f64.powi(512))).sub(&half_scale)
+        };
+    }
+    if (1.0 - 2f64.powi(-10)..=1.0 + 2f64.powi(-10)).contains(&x) {
+        // a − 1 is error-free here (Sterbenz), so the series sees the exact
+        // reduced argument and stays relatively accurate as log(a) → 0.
+        return log1p_series(&a.sub(&Dd::ONE));
+    }
+    let y0 = x.ln();
+    let e = a.mul(&exp(&dd(-y0)));
+    dd(y0).add(&e.sub(&Dd::ONE))
+}
+
+/// `log1p(z)` for `|z| ≤ ~2^-9` via `2·atanh(z/(2+z))`.
+fn log1p_series(z: &Dd) -> Dd {
+    let r = z.div(&dd(2.0).add(z));
+    let rsq = r.mul(&r);
+    let mut term = r;
+    let mut sum = r;
+    for k in [3.0f64, 5.0, 7.0, 9.0, 11.0] {
+        term = term.mul(&rsq);
+        sum = sum.add(&term.div(&dd(k)));
+    }
+    mul_pwr2(&sum, 2.0)
+}
+
+/// `log1p`, relatively accurate down to tiny arguments.
+pub fn log1p(a: &Dd) -> Dd {
+    let x = a.hi();
+    if !x.is_finite() || x <= -1.0 {
+        return dd(x.ln_1p());
+    }
+    if a.is_zero() {
+        return Dd::raw(x, 0.0);
+    }
+    if x.abs() < 2f64.powi(-10) {
+        return log1p_series(a);
+    }
+    log(&Dd::ONE.add(a))
+}
+
+/// `log2 = ln(x)/ln 2`.
+pub fn log2(a: &Dd) -> Dd {
+    let x = a.hi();
+    if !x.is_finite() || x <= 0.0 {
+        return dd(x.log2());
+    }
+    log(a).div(&LN_2)
+}
+
+/// `log10 = ln(x)/ln 10`.
+pub fn log10(a: &Dd) -> Dd {
+    let x = a.hi();
+    if !x.is_finite() || x <= 0.0 {
+        return dd(x.log10());
+    }
+    log(a).div(&LN_10)
+}
+
+/// `pow(a, b) = exp(b·ln a)` for strictly positive finite `a`; libm
+/// fallback for every other case (negative bases, zeros, specials) and for
+/// overflowing exponents.
+pub fn pow(a: &Dd, b: &Dd) -> Dd {
+    // `<= 0` plus the finiteness screen covers NaN bases too (NaN fails
+    // both comparisons but not `is_finite`).
+    if a.hi() <= 0.0 || !a.hi().is_finite() || !b.hi().is_finite() || b.is_zero() {
+        return dd(a.hi().powf(b.hi()));
+    }
+    let t = b.mul(&log(a));
+    if !t.hi().is_finite() || t.hi().abs() > 705.0 {
+        return dd(a.hi().powf(b.hi()));
+    }
+    exp(&t)
+}
+
+/// Largest `|x|` the trig argument reduction accepts; the quotient
+/// `round(x/(π/2))` stays an exact small integer below it.
+const TRIG_REDUCE_LIMIT: f64 = 1.073741824e9; // 2^30
+
+/// sin and cos of the reduced argument `|t| ≤ π/4 + ε` by Taylor series.
+fn sin_cos_taylor(t: &Dd) -> (Dd, Dd) {
+    let tsq = t.mul(t);
+    // sin t = t − t³/3! + …
+    let mut term = *t;
+    let mut sin = *t;
+    for k in 1..=15 {
+        let denom = (2 * k) as f64 * (2 * k + 1) as f64;
+        term = term.mul(&tsq).div(&dd(-denom));
+        sin = sin.add(&term);
+        if term.hi().abs() < 1e-40 {
+            break;
+        }
+    }
+    // cos t = 1 − t²/2! + …
+    let mut term = Dd::ONE;
+    let mut cos = Dd::ONE;
+    for k in 1..=15 {
+        let denom = (2 * k - 1) as f64 * (2 * k) as f64;
+        term = term.mul(&tsq).div(&dd(-denom));
+        cos = cos.add(&term);
+        if term.hi().abs() < 1e-40 {
+            break;
+        }
+    }
+    (sin, cos)
+}
+
+/// (sin x, cos x) with chunked π/2 argument reduction; `None` when the
+/// argument is outside the reduction range (callers fall back to libm).
+fn sin_cos(a: &Dd) -> Option<(Dd, Dd)> {
+    let x = a.hi();
+    if !x.is_finite() || x.abs() > TRIG_REDUCE_LIMIT {
+        return None;
+    }
+    let k = (x / std::f64::consts::FRAC_PI_2).round();
+    let mut t = *a;
+    if k != 0.0 {
+        // t = a − k·(π/2): each k·chunk product is exact as a double-double,
+        // and the accurate addition keeps the cancelling remainder's
+        // relative error at the double-double level.
+        let neg_k = dd(-k);
+        for &chunk in pi_2_chunks() {
+            t = add_accurate(&t, &dd(chunk).mul(&neg_k));
+        }
+    }
+    let (s, c) = sin_cos_taylor(&t);
+    let q = (k as i64).rem_euclid(4);
+    Some(match q {
+        0 => (s, c),
+        1 => (c, s.neg()),
+        2 => (s.neg(), c.neg()),
+        _ => (c.neg(), s),
+    })
+}
+
+/// `sin`.
+pub fn sin(a: &Dd) -> Dd {
+    match sin_cos(a) {
+        Some((s, _)) => s,
+        None => dd(a.hi().sin()),
+    }
+}
+
+/// `cos`.
+pub fn cos(a: &Dd) -> Dd {
+    match sin_cos(a) {
+        Some((_, c)) => c,
+        None => dd(a.hi().cos()),
+    }
+}
+
+/// `tan = sin/cos` from one shared reduction.
+pub fn tan(a: &Dd) -> Dd {
+    match sin_cos(a) {
+        Some((s, c)) => s.div(&c),
+        None => dd(a.hi().tan()),
+    }
+}
+
+/// `atan`, by series for small arguments and one Newton-style correction of
+/// the libm seed otherwise: `atan(a) ≈ z₀ + (a·cos z₀ − sin z₀)·cos z₀`.
+pub fn atan(a: &Dd) -> Dd {
+    let x = a.hi();
+    if !x.is_finite() {
+        return dd(x.atan());
+    }
+    if x.abs() > 1.0 {
+        // The Newton correction linearizes around the seed, which breaks
+        // down as tan becomes steep; fold onto [−1, 1] first.
+        let r = atan(&Dd::ONE.div(a));
+        return if x > 0.0 {
+            FRAC_PI_2.sub(&r)
+        } else {
+            FRAC_PI_2.neg().sub(&r)
+        };
+    }
+    if x.abs() < 0.015625 {
+        // atan a = a − a³/3 + a⁵/5 − …, relatively accurate for small a.
+        let asq = a.mul(a);
+        let mut term = *a;
+        let mut sum = *a;
+        for k in 1..=10 {
+            term = term.mul(&asq).neg();
+            sum = sum.add(&term.div(&dd((2 * k + 1) as f64)));
+            if term.hi().abs() < 1e-40 * sum.hi().abs() {
+                break;
+            }
+        }
+        return sum;
+    }
+    let z0 = x.atan();
+    let (s, c) = sin_cos(&dd(z0)).expect("atan seed is finite and small");
+    dd(z0).add(&a.mul(&c).sub(&s).mul(&c))
+}
+
+/// `atan2` for finite operands off the axes, with quadrant handling; libm
+/// fallback on the axes and specials.
+pub fn atan2(y: &Dd, x: &Dd) -> Dd {
+    if !x.hi().is_finite() || !y.hi().is_finite() || x.is_zero() || y.hi() == 0.0 {
+        return dd(y.hi().atan2(x.hi()));
+    }
+    let r = atan(&y.div(x));
+    if x.hi() > 0.0 {
+        r
+    } else if y.hi() > 0.0 {
+        r.add(&PI)
+    } else {
+        r.sub(&PI)
+    }
+}
+
+/// `asin(a) = atan2(a, √((1−a)(1+a)))`.
+pub fn asin(a: &Dd) -> Dd {
+    let x = a.hi();
+    if !x.is_finite() || x.abs() > 1.0 {
+        return dd(x.asin());
+    }
+    if x.abs() == 1.0 && a.lo() == 0.0 {
+        return if x > 0.0 { FRAC_PI_2 } else { FRAC_PI_2.neg() };
+    }
+    let cos = Dd::ONE.sub(a).mul(&Dd::ONE.add(a)).sqrt();
+    atan2(a, &cos)
+}
+
+/// `acos(a) = atan2(√((1−a)(1+a)), a)`.
+pub fn acos(a: &Dd) -> Dd {
+    let x = a.hi();
+    if !x.is_finite() || x.abs() > 1.0 {
+        return dd(x.acos());
+    }
+    if x == 1.0 && a.lo() == 0.0 {
+        return Dd::ZERO;
+    }
+    if x == -1.0 && a.lo() == 0.0 {
+        return PI;
+    }
+    let sin = Dd::ONE.sub(a).mul(&Dd::ONE.add(a)).sqrt();
+    atan2(&sin, a)
+}
+
+/// `cbrt`, one Newton step on the libm seed: `x·(1 + (a/x³ − 1)/3)`.
+pub fn cbrt(a: &Dd) -> Dd {
+    let x = a.hi();
+    if !x.is_finite() || a.is_zero() {
+        return Dd::raw(x.cbrt(), 0.0);
+    }
+    if !(1e-250..1e250).contains(&x.abs()) {
+        // Keep z³ and its two_prod residuals in normal range: rescale by an
+        // exact power of 2³ (528 = 3 · 176).
+        return if x.abs() >= 1e250 {
+            mul_pwr2(&cbrt(&mul_pwr2(a, 2f64.powi(-528))), 2f64.powi(176))
+        } else {
+            mul_pwr2(&cbrt(&mul_pwr2(a, 2f64.powi(528))), 2f64.powi(-176))
+        };
+    }
+    let z = dd(x.cbrt());
+    let r = a.div(&z.mul(&z).mul(&z));
+    z.add(&z.mul(&r.sub(&Dd::ONE)).div(&dd(3.0)))
+}
+
+/// Evaluates a library-call operation (everything outside the hardware set
+/// `+ − × ÷ neg |·| √ fma`) on double-double operands: the accurate kernels
+/// above where available, the historical libm-on-`hi` fallback otherwise.
+///
+/// # Panics
+///
+/// Panics if `args.len() != op.arity()`.
+pub fn apply_library(op: RealOp, args: &[&Dd]) -> Dd {
+    assert_eq!(args.len(), op.arity(), "arity mismatch for {op}");
+    match op {
+        RealOp::Exp => exp(args[0]),
+        RealOp::Exp2 => exp2(args[0]),
+        RealOp::Expm1 => expm1(args[0]),
+        RealOp::Log => log(args[0]),
+        RealOp::Log2 => log2(args[0]),
+        RealOp::Log10 => log10(args[0]),
+        RealOp::Log1p => log1p(args[0]),
+        RealOp::Pow => pow(args[0], args[1]),
+        RealOp::Sin => sin(args[0]),
+        RealOp::Cos => cos(args[0]),
+        RealOp::Tan => tan(args[0]),
+        RealOp::Asin => asin(args[0]),
+        RealOp::Acos => acos(args[0]),
+        RealOp::Atan => atan(args[0]),
+        RealOp::Atan2 => atan2(args[0], args[1]),
+        RealOp::Cbrt => cbrt(args[0]),
+        _ => {
+            // Documented accuracy limitation of the fast shadow for the
+            // remaining library calls (~53 bits); the tiered certificates
+            // never certify these, so they always escalate to BigFloat.
+            let mut buf = [0.0f64; crate::real::MAX_ARITY];
+            for (slot, a) in buf.iter_mut().zip(args) {
+                *slot = a.to_f64();
+            }
+            dd(apply_f64(op, &buf[..args.len()]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BigFloat, Real};
+
+    /// Relative error of a dd value against the 256-bit BigFloat oracle.
+    fn rel_err_vs_big(got: &Dd, op: RealOp, args: &[f64]) -> f64 {
+        let big_args: Vec<BigFloat> = args.iter().map(|&a| BigFloat::from_f64(a)).collect();
+        let want = BigFloat::apply(op, &big_args);
+        if want.is_nan() || got.is_nan() {
+            assert_eq!(want.is_nan(), got.is_nan(), "{op} on {args:?}");
+            return 0.0;
+        }
+        let got_big = BigFloat::from_f64(got.hi()).add(&BigFloat::from_f64(got.lo()));
+        let diff = got_big.sub(&want).abs();
+        if want.to_f64() == 0.0 {
+            return diff.to_f64();
+        }
+        diff.div(&want.abs()).to_f64()
+    }
+
+    #[test]
+    fn constants_match_bigfloat() {
+        let pi = BigFloat::from_f64(1.0).atan().mul(&BigFloat::from_f64(4.0));
+        let half_pi = BigFloat::from_f64(1.0).atan().mul(&BigFloat::from_f64(2.0));
+        for (c, big) in [
+            (PI, pi),
+            (FRAC_PI_2, half_pi),
+            (LN_2, BigFloat::from_f64(2.0).ln()),
+            (LN_10, BigFloat::from_f64(10.0).ln()),
+        ] {
+            let got = BigFloat::from_f64(c.hi()).add(&BigFloat::from_f64(c.lo()));
+            let err = got.sub(&big).abs().div(&big.abs()).to_f64();
+            assert!(err < 2f64.powi(-104), "constant off by {err:e}");
+        }
+    }
+
+    #[test]
+    fn pi_2_chunks_are_nonoverlapping_and_sum_to_half_pi() {
+        let chunks = pi_2_chunks();
+        assert_eq!(chunks[0], std::f64::consts::FRAC_PI_2);
+        for w in chunks.windows(2) {
+            assert!(w[1].abs() <= w[0].abs() * 2f64.powi(-52), "{w:?}");
+        }
+        let mut sum = BigFloat::from_f64_prec(0.0, 384);
+        for &c in chunks {
+            sum = sum.add(&BigFloat::from_f64(c));
+        }
+        let half_pi = BigFloat::from_f64_prec(1.0, 384)
+            .atan()
+            .mul(&BigFloat::from_f64_prec(2.0, 384));
+        let err = sum.sub(&half_pi).abs().to_f64();
+        assert!(err < 2f64.powi(-250), "chunk sum off by {err:e}");
+    }
+
+    #[test]
+    fn unary_kernels_track_bigfloat_to_85_bits() {
+        let tol = 2f64.powi(-85);
+        let grid: Vec<f64> = vec![
+            1e-30,
+            1e-9,
+            0.001,
+            0.0625,
+            0.24,
+            0.5,
+            0.75,
+            1.0,
+            1.0 + 1e-14,
+            1.5,
+            2.0,
+            std::f64::consts::E,
+            10.0,
+            100.5,
+            1e4,
+            1e8,
+            444.0,
+            700.0,
+            1e300,
+            1e-300,
+        ];
+        for &x in &grid {
+            for (op, dom) in [
+                (RealOp::Exp, x <= 700.0),
+                (RealOp::Expm1, x <= 700.0),
+                (RealOp::Exp2, x.abs() <= 1000.0),
+                (RealOp::Log, x > 0.0),
+                (RealOp::Log2, x > 0.0),
+                (RealOp::Log10, x > 0.0),
+                (RealOp::Log1p, true),
+                (RealOp::Sin, x.abs() < TRIG_REDUCE_LIMIT),
+                (RealOp::Cos, x.abs() < TRIG_REDUCE_LIMIT),
+                (RealOp::Tan, x.abs() < TRIG_REDUCE_LIMIT),
+                (RealOp::Atan, true),
+                (RealOp::Asin, x.abs() <= 1.0),
+                (RealOp::Acos, x.abs() <= 1.0),
+                (RealOp::Cbrt, true),
+            ] {
+                if !dom {
+                    continue;
+                }
+                for &signed in &[x, -x] {
+                    if matches!(op, RealOp::Log | RealOp::Log2 | RealOp::Log10) && signed <= 0.0 {
+                        continue;
+                    }
+                    if op == RealOp::Log1p && signed <= -1.0 {
+                        continue;
+                    }
+                    if matches!(op, RealOp::Asin | RealOp::Acos) && signed.abs() > 1.0 {
+                        continue;
+                    }
+                    // The scaled-down low word of exp goes subnormal below
+                    // ~e^-670; accuracy there is documented as degraded.
+                    if matches!(op, RealOp::Exp | RealOp::Expm1) && signed < -670.0 {
+                        continue;
+                    }
+                    let got = apply_library(op, &[&dd(signed)]);
+                    let err = rel_err_vs_big(&got, op, &[signed]);
+                    assert!(err < tol, "{op}({signed}) rel err {err:e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_kernels_track_bigfloat_to_85_bits() {
+        let tol = 2f64.powi(-85);
+        let pairs = [
+            (2.0, 0.5),
+            (0.3, 7.0),
+            (10.0, -3.25),
+            (1.5, 100.0),
+            (0.9999, 250.0),
+            (3.0, 0.0),
+        ];
+        for &(a, b) in &pairs {
+            let got = pow(&dd(a), &dd(b));
+            let err = rel_err_vs_big(&got, RealOp::Pow, &[a, b]);
+            assert!(err < tol, "pow({a},{b}) rel err {err:e}");
+        }
+        let quads = [
+            (1.0, 2.0),
+            (-1.0, 2.0),
+            (3.0, -4.0),
+            (-0.5, -0.25),
+            (1e-8, 1.0),
+        ];
+        for &(y, x) in &quads {
+            let got = atan2(&dd(y), &dd(x));
+            let err = rel_err_vs_big(&got, RealOp::Atan2, &[y, x]);
+            assert!(err < tol, "atan2({y},{x}) rel err {err:e}");
+        }
+    }
+
+    #[test]
+    fn kernels_preserve_low_order_operand_bits() {
+        // The point of the accurate kernels: a perturbation far below f64
+        // precision must move the result, which the old libm-on-hi fallback
+        // lost entirely.
+        let a = dd(1.0).add(&dd(1e-25));
+        let diff = exp(&a).sub(&exp(&dd(1.0)));
+        assert!(
+            (diff.to_f64() - std::f64::consts::E * 1e-25).abs() < 1e-28,
+            "exp ignored the low word: {diff:?}"
+        );
+    }
+
+    #[test]
+    fn special_values_follow_libm() {
+        assert!(log(&dd(-1.0)).is_nan());
+        assert_eq!(log(&dd(0.0)).hi(), f64::NEG_INFINITY);
+        assert_eq!(exp(&dd(f64::NEG_INFINITY)).hi(), 0.0);
+        assert_eq!(exp(&dd(f64::INFINITY)).hi(), f64::INFINITY);
+        assert!(sin(&dd(f64::INFINITY)).is_nan());
+        assert!(asin(&dd(1.5)).is_nan());
+        assert!(pow(&dd(f64::NAN), &dd(2.0)).is_nan());
+        assert_eq!(expm1(&dd(-0.0)).hi().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(atan2(&dd(0.0), &dd(1.0)).hi(), 0.0);
+        assert_eq!(cbrt(&dd(-8.0)).to_f64(), -2.0);
+        assert_eq!(asin(&dd(1.0)).to_f64(), std::f64::consts::FRAC_PI_2);
+        assert_eq!(acos(&dd(-1.0)).to_f64(), std::f64::consts::PI);
+        assert_eq!(exp2(&dd(10.0)).to_f64(), 1024.0);
+        assert_eq!(exp2(&dd(10.0)).lo(), 0.0);
+    }
+}

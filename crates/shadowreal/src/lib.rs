@@ -44,7 +44,9 @@ mod dd;
 mod real;
 
 pub mod bigfloat;
+pub mod cert;
 pub mod dd_batch;
+pub mod dd_math;
 
 pub use bigfloat::BigFloat;
 pub use bits::{bits_error, ordinal, ulps_between, MAX_ERROR_BITS};

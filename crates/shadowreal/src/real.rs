@@ -557,17 +557,11 @@ impl Real for DoubleDouble {
             Fabs => args[0].abs(),
             Sqrt => args[0].sqrt(),
             Fma => args[0].mul(args[1]).add(args[2]),
-            // Transcendental operations fall back to double precision plus the
-            // double-double pair structure of the result where cheap; this is a
-            // documented accuracy limitation of the fast shadow (~53 bits for
-            // library calls). The BigFloat shadow has no such limitation.
-            _ => {
-                let mut buf = [0.0f64; MAX_ARITY];
-                for (slot, a) in buf.iter_mut().zip(args) {
-                    *slot = a.to_f64();
-                }
-                DoubleDouble::from_f64(apply_f64(op, &buf[..args.len()]))
-            }
+            // Library calls go through the double-double elementary kernels:
+            // accurate (≲ 2^-85 relative) for the transcendental set the
+            // tiered certificates cover, the documented double-precision
+            // fallback for the rest.
+            _ => crate::dd_math::apply_library(op, args),
         }
     }
 }

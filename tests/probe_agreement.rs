@@ -8,8 +8,8 @@
 //! analysis it gates.
 
 use fpvm::Machine;
-use herbgrind::{probe_local_error, AnalysisConfig, Herbgrind};
-use shadowreal::DoubleDouble;
+use herbgrind::{analyze_tiered_with_stats, probe_local_error, AnalysisConfig, Herbgrind};
+use shadowreal::{BigFloat, DoubleDouble};
 
 fn program(src: &str) -> fpvm::Program {
     fpvm::compile_core(&fpcore::parse_core(src).unwrap(), Default::default()).unwrap()
@@ -93,6 +93,77 @@ fn probe_agrees_on_nan_and_infinity_lanes() {
         assert_probe_matches_analysis("(FPCore (x) (sqrt x))", &inputs, threshold);
         assert_probe_matches_analysis("(FPCore (x) (* x (/ 1 x)))", &inputs, threshold);
     }
+}
+
+/// Conservativeness of the certify probe: whenever the tiered driver
+/// certifies an input for the `DoubleDouble` tier, the full single-input
+/// `DoubleDouble` analysis must be bit-identical to the single-input
+/// `BigFloat` analysis. This checks the certificate's superset property
+/// input by input — not just that the merged tiered report comes out right,
+/// but that no certified input *individually* depends on escalation.
+fn assert_certification_is_conservative(src: &str, inputs: &[Vec<f64>], config: &AnalysisConfig) {
+    use herbgrind::analyze_with_shadow;
+    let p = program(src);
+    let mut certified = 0usize;
+    for (i, input) in inputs.iter().enumerate() {
+        let single = std::slice::from_ref(input);
+        let Ok((_, stats)) = analyze_tiered_with_stats(&p, single, config) else {
+            continue;
+        };
+        if stats.certified_inputs == 0 {
+            continue;
+        }
+        certified += 1;
+        let dd = analyze_with_shadow::<DoubleDouble>(&p, single, config).unwrap();
+        let big = analyze_with_shadow::<BigFloat>(&p, single, config).unwrap();
+        assert_eq!(
+            format!("{dd:?}"),
+            format!("{big:?}"),
+            "{src}: input {i} ({input:?}) was certified but the DoubleDouble \
+             analysis diverges from BigFloat"
+        );
+    }
+    assert!(certified > 0, "{src}: no input certified — vacuous check");
+}
+
+#[test]
+fn certified_inputs_never_need_the_bigfloat_tier() {
+    let cancel: Vec<Vec<f64>> = (0..26).map(|i| vec![10f64.powi(i)]).collect();
+    let mixed: Vec<Vec<f64>> = vec![
+        vec![-1.0],
+        vec![4.0],
+        vec![0.0],
+        vec![1e-300],
+        vec![f64::INFINITY],
+        vec![2.5],
+    ];
+    let loops: Vec<Vec<f64>> = (1..11).map(|i| vec![f64::from(i * 6)]).collect();
+    for threshold in [0.5, 5.0, 40.0] {
+        let config = AnalysisConfig {
+            local_error_threshold: threshold,
+            ..AnalysisConfig::default()
+        };
+        assert_certification_is_conservative(
+            "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))",
+            &cancel,
+            &config,
+        );
+        assert_certification_is_conservative("(FPCore (x) (* x (/ 1 x)))", &mixed, &config);
+        assert_certification_is_conservative(
+            "(FPCore (n) (while (< i n) ((s 0 (+ s (/ 1 i))) (i 1 (+ i 1))) s))",
+            &loops,
+            &config,
+        );
+    }
+    // Compensation detection adds its own certified decisions (§5.3
+    // pass-through equality); exercise it on a compensated sum.
+    assert_certification_is_conservative(
+        "(FPCore (a b) (- b (- (- (+ a b) a) b)))",
+        &(1..16)
+            .map(|i| vec![f64::from(i) * 1e9, 1.0 / f64::from(i)])
+            .collect::<Vec<_>>(),
+        &AnalysisConfig::default(),
+    );
 }
 
 #[test]

@@ -1,0 +1,127 @@
+//! Differential oracle for the tiered adaptive-precision driver: over the
+//! embedded FPBench suite, [`herbgrind::analyze_tiered`] must produce
+//! reports **bit-identical** to the all-`BigFloat` analyses — the flat
+//! driver and the retained map-based reference implementation — while
+//! actually exercising both tiers. The oracle compares reports, not
+//! certificates: a probe bug that over-certifies would surface here as a
+//! report divergence, not hide behind its own machinery.
+
+use herbgrind::reference::analyze_with_shadow_reference;
+use herbgrind::{analyze, analyze_tiered_with_stats, AnalysisConfig, TierStats};
+use shadowreal::BigFloat;
+
+fn assert_tiered_matches_oracles(
+    program: &fpvm::Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+    context: &str,
+) -> TierStats {
+    let tiered = analyze_tiered_with_stats(program, inputs, config);
+    let flat = analyze(program, inputs, config);
+    let reference = analyze_with_shadow_reference::<BigFloat>(program, inputs, config);
+    match (tiered, flat, reference) {
+        (Ok((tiered, stats)), Ok(flat), Ok(reference)) => {
+            assert_eq!(
+                format!("{tiered:?}"),
+                format!("{flat:?}"),
+                "tiered vs flat diverged: {context}"
+            );
+            assert_eq!(
+                format!("{tiered:?}"),
+                format!("{reference:?}"),
+                "tiered vs reference diverged: {context}"
+            );
+            assert_eq!(
+                tiered.to_text(),
+                reference.to_text(),
+                "rendered reports diverged: {context}"
+            );
+            assert_eq!(stats.total_inputs, inputs.len(), "{context}");
+            stats
+        }
+        (tiered, flat, _) => {
+            assert_eq!(
+                format!("{:?}", tiered.as_ref().err()),
+                format!("{:?}", flat.err()),
+                "errors diverged: {context}"
+            );
+            TierStats::default()
+        }
+    }
+}
+
+#[test]
+fn tiered_matches_the_reference_on_the_benchmark_suite() {
+    let mut totals = TierStats::default();
+    for core in fpbench::suite() {
+        let name = core.display_name().to_string();
+        let prepared = fpbench::prepare(&core, 12, 2024).expect("prepare");
+        let stats = assert_tiered_matches_oracles(
+            &prepared.program,
+            &prepared.inputs,
+            &AnalysisConfig::default(),
+            &name,
+        );
+        totals.total_inputs += stats.total_inputs;
+        totals.certified_inputs += stats.certified_inputs;
+    }
+    // Both tiers must actually run across the suite: a probe that certifies
+    // nothing degenerates to the plain analysis, one that certifies
+    // everything is not being conservative about specials and domain edges.
+    // (The whole suite is the honest denominator here — the NMSE kernels at
+    // the front are cancellation stress tests where escalation is the
+    // *correct* verdict, and a subset-only rate would hide a probe that
+    // stopped certifying the accumulation and polynomial benchmarks.)
+    assert!(
+        totals.certified_inputs * 2 > totals.total_inputs,
+        "suite should be mostly certified: {totals:?}"
+    );
+    assert!(
+        totals.certified_inputs < totals.total_inputs,
+        "suite should escalate somewhere: {totals:?}"
+    );
+}
+
+#[test]
+fn tiered_matches_on_lowered_library_calls() {
+    // The lowered programs (§8.2) replace library calls with polynomial
+    // kernels: long add/mul chains with different certificate profiles.
+    for core in fpbench::subset(6) {
+        let name = core.display_name().to_string();
+        let prepared = fpbench::prepare(&core, 12, 2024).expect("prepare");
+        assert_tiered_matches_oracles(
+            &prepared.program_lowered,
+            &prepared.inputs,
+            &AnalysisConfig::default(),
+            &format!("{name} (lowered)"),
+        );
+    }
+}
+
+#[test]
+fn tiered_matches_across_configuration_knobs() {
+    let core = fpcore::parse_core("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+    let program = fpvm::compile_core(&core, Default::default()).unwrap();
+    let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![10f64.powi(i)]).collect();
+    let configs = [
+        AnalysisConfig::fpdebug_like(),
+        AnalysisConfig::default().with_local_error_threshold(1.0),
+        AnalysisConfig::default().with_compensation_detection(false),
+        AnalysisConfig::default()
+            .with_threads(3)
+            .with_batch_width(4),
+        // Below the tier threshold: the precision gate escalates everything.
+        AnalysisConfig {
+            shadow_precision: 64,
+            ..AnalysisConfig::default()
+        },
+        // Above the default: certificates retune to the wider rounding.
+        AnalysisConfig {
+            shadow_precision: 512,
+            ..AnalysisConfig::default()
+        },
+    ];
+    for (i, config) in configs.into_iter().enumerate() {
+        assert_tiered_matches_oracles(&program, &inputs, &config, &format!("config {i}"));
+    }
+}
