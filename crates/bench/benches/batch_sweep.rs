@@ -183,6 +183,24 @@ fn main() {
         width: 0,
         ns_per_op: full_serial_dd,
     });
+    // Fault-isolated serial driver on the same clean sweep: the per-input
+    // catch_unwind + quarantine bookkeeping must be almost free when nothing
+    // faults (the committed baseline asserts the fast path stays within 2%
+    // of the plain driver).
+    let full_isolated_dd = measure(total_ops, reps, || {
+        for p in &prepared {
+            black_box(herbgrind::analyze_isolated_with_shadow::<DoubleDouble>(
+                &p.program, &p.inputs, &base,
+            ));
+        }
+    });
+    rows.push(Row {
+        mode: "full-report",
+        shadow: "dd",
+        engine: "isolated",
+        width: 0,
+        ns_per_op: full_isolated_dd,
+    });
     for &width in &widths {
         let config = base.clone().with_batch_width(width);
         let ns = measure(total_ops, reps, || {
@@ -250,6 +268,17 @@ fn main() {
             format!("{batched:?}"),
             "batched report diverged from serial"
         );
+        let isolated =
+            herbgrind::analyze_isolated_with_shadow::<DoubleDouble>(&p.program, &p.inputs, &base);
+        assert!(
+            isolated.quarantined.is_empty(),
+            "clean benchmark sweep must not quarantine"
+        );
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{isolated:?}"),
+            "fault-isolated report diverged from serial"
+        );
     }
 
     // --- Report -----------------------------------------------------------
@@ -284,8 +313,10 @@ fn main() {
         find("full-report", "f64", "batched", 1) / find("full-report", "f64", "batched", 8);
     let full_dd_w8_vs_serial =
         find("full-report", "dd", "serial", 0) / find("full-report", "dd", "batched", 8);
+    let isolated_vs_serial =
+        find("full-report", "dd", "serial", 0) / find("full-report", "dd", "isolated", 0);
     println!(
-        "bench batch_sweep: DoubleDouble W=8 vs W=1: {probe_w8_vs_w1:.2}x shadow-error, {full_dd_w8_vs_w1:.2}x full-report ({full_dd_w8_vs_serial:.2}x vs serial; f64 full-report {full_f64_w8_vs_w1:.2}x; {total_ops} analyzed ops per sweep)"
+        "bench batch_sweep: DoubleDouble W=8 vs W=1: {probe_w8_vs_w1:.2}x shadow-error, {full_dd_w8_vs_w1:.2}x full-report ({full_dd_w8_vs_serial:.2}x vs serial; f64 full-report {full_f64_w8_vs_w1:.2}x; fault-isolated serial {isolated_vs_serial:.2}x vs plain; {total_ops} analyzed ops per sweep)"
     );
 
     let mut json = String::from("{\n  \"bench\": \"batch_sweep\",\n  \"rows\": [\n");
@@ -303,7 +334,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"analyzed_ops_per_sweep\": {total_ops},\n  \"speedup\": {{\"dd_shadow_error_w8_vs_w1\": {probe_w8_vs_w1:.2}, \"dd_full_report_w8_vs_w1\": {full_dd_w8_vs_w1:.2}, \"f64_full_report_w8_vs_w1\": {full_f64_w8_vs_w1:.2}, \"dd_full_report_w8_vs_serial\": {full_dd_w8_vs_serial:.2}}}\n}}\n"
+        "  \"analyzed_ops_per_sweep\": {total_ops},\n  \"speedup\": {{\"dd_shadow_error_w8_vs_w1\": {probe_w8_vs_w1:.2}, \"dd_full_report_w8_vs_w1\": {full_dd_w8_vs_w1:.2}, \"f64_full_report_w8_vs_w1\": {full_f64_w8_vs_w1:.2}, \"dd_full_report_w8_vs_serial\": {full_dd_w8_vs_serial:.2}, \"dd_full_report_isolated_vs_serial\": {isolated_vs_serial:.2}}}\n}}\n"
     ));
     println!("BATCH_SWEEP_JSON_BEGIN");
     print!("{json}");

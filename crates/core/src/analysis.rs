@@ -25,6 +25,11 @@
 //! The retained map-based implementation lives in [`crate::reference`] and
 //! is held bit-identical to this one by the equivalence test suite.
 
+// Quarantine semantics depend on faults being *typed*: a stray `.unwrap()`
+// in driver code turns a recoverable per-input fault into a sweep-wide
+// panic, so bare unwraps are linted here (tests opt back in locally).
+#![warn(clippy::unwrap_used)]
+
 use crate::config::AnalysisConfig;
 use crate::localerr::{local_error_ref, total_error};
 use crate::records::{InfluenceSet, OpRecord, SpotKind, SpotRecord};
@@ -295,6 +300,15 @@ pub struct Herbgrind<R: Real> {
     runs: u64,
     compensations_detected: u64,
     branch_divergences: u64,
+    /// An analysis-side fault (trace-budget exhaustion, injected failure)
+    /// awaiting delivery through the interpreter's per-step
+    /// [`Tracer::fault`] poll, which aborts the run with it.
+    pending_fault: Option<MachineError>,
+    /// Fault-injection context for the current run: the global input index
+    /// and the pipeline stage, consulted against the installed
+    /// [`crate::faultinject`] plan on every compute observation.
+    #[cfg(feature = "fault-injection")]
+    inject: Option<(usize, crate::faultinject::InjectStage)>,
 }
 
 impl<R: Real> Herbgrind<R> {
@@ -315,6 +329,67 @@ impl<R: Real> Herbgrind<R> {
             runs: 0,
             compensations_detected: 0,
             branch_divergences: 0,
+            pending_fault: None,
+            #[cfg(feature = "fault-injection")]
+            inject: None,
+        }
+    }
+
+    /// Arms deterministic fault injection for the next run: `input_index` is
+    /// the sweep-global index of the input about to run and `stage` the
+    /// pipeline stage executing it. Consulted by every compute observation
+    /// against the installed [`crate::faultinject`] plan.
+    #[cfg(feature = "fault-injection")]
+    pub(crate) fn arm_injection(
+        &mut self,
+        input_index: usize,
+        stage: crate::faultinject::InjectStage,
+    ) {
+        self.inject = Some((input_index, stage));
+    }
+
+    /// Consults the installed fault plan for the current (input, pc, stage)
+    /// site. Panics for injected panics, latches budget faults into
+    /// [`Herbgrind::pending_fault`], and returns `true` when the exact
+    /// shadow result should be NaN-poisoned.
+    #[cfg(feature = "fault-injection")]
+    fn consult_injection(&mut self, pc: usize) -> bool {
+        use crate::faultinject::{self, InjectKind, InjectStage};
+        let Some((input_index, stage)) = self.inject else {
+            return false;
+        };
+        match faultinject::query(input_index, pc, stage) {
+            Some(InjectKind::Panic) => {
+                panic!("injected analysis panic: input {input_index}, pc {pc}")
+            }
+            Some(InjectKind::StepBudget) => {
+                self.pending_fault = Some(MachineError::StepBudgetExceeded {
+                    limit: self.config.step_limit,
+                });
+                false
+            }
+            Some(InjectKind::Deadline) => {
+                self.pending_fault = Some(MachineError::DeadlineExceeded {
+                    millis: self.config.deadline_millis.max(1),
+                });
+                false
+            }
+            Some(InjectKind::TraceBudget) => {
+                self.pending_fault = Some(MachineError::TraceBudgetExceeded {
+                    limit: self.config.trace_node_budget.max(1),
+                });
+                false
+            }
+            Some(InjectKind::NanPoison) => true,
+            Some(InjectKind::TierEscalation) => {
+                // Modeled as the escalation tier itself failing: the
+                // BigFloat reference tier panics, ending the retry ladder.
+                if stage == InjectStage::TieredBigFloat {
+                    panic!("injected tier-escalation failure: input {input_index}, pc {pc}")
+                }
+                false
+            }
+            None => false,
         }
     }
 
@@ -545,6 +620,16 @@ impl<R: Real> Herbgrind<R> {
                 erroneous,
                 config,
             );
+        }
+        // Trace-memory budget ([`AnalysisConfig::trace_node_budget`]): the
+        // per-run interner is the analysis's dominant growing allocation, so
+        // its node count is the budget's measure. The fault is delivered
+        // through the interpreter's per-step poll, aborting the run before
+        // the next statement. (The batched engine interns through its
+        // group-level table and performs the equivalent check there.)
+        let budget = self.config.trace_node_budget;
+        if budget != 0 && self.interner.len() >= budget && self.pending_fault.is_none() {
+            self.pending_fault = Some(MachineError::TraceBudgetExceeded { limit: budget });
         }
     }
 
@@ -836,6 +921,7 @@ impl<R: Real> Tracer for Herbgrind<R> {
             self.spot_slots.resize_with(program.len(), || None);
         }
         self.interner.clear();
+        self.pending_fault = None;
         if self.locations.is_empty() {
             self.locations = program
                 .locations
@@ -888,6 +974,11 @@ impl<R: Real> Tracer for Herbgrind<R> {
         arg_values: &[f64],
         result: f64,
     ) {
+        // Deterministic fault injection: consult the installed plan for this
+        // (input, pc, stage) site before any analysis work, so an injected
+        // panic models a shadow-op failure at exactly this statement.
+        #[cfg(feature = "fault-injection")]
+        let poison = self.consult_injection(pc);
         // Make sure every operand has a shadow (creating leaf shadows
         // lazily); afterwards the hot path reads them by reference only.
         for (&addr, &value) in args.iter().zip(arg_values) {
@@ -895,7 +986,8 @@ impl<R: Real> Tracer for Herbgrind<R> {
         }
 
         // Local error of this operation on exact inputs (Figure 4).
-        let (local_err, exact_result) = {
+        #[allow(unused_mut)]
+        let (mut local_err, mut exact_result) = {
             let first = shadow_at(&self.shadow_slots, self.shadow_gen, args[0])
                 .expect("operand shadow populated");
             let mut exact_refs: [&R; MAX_ARITY] = [&first.real; MAX_ARITY];
@@ -906,6 +998,15 @@ impl<R: Real> Tracer for Herbgrind<R> {
             }
             local_error_ref(op, &exact_refs[..args.len()])
         };
+        // NaN poisoning replaces the exact shadow result — modeling a shadow
+        // op hitting a domain edge — and must not crash the analysis: the
+        // poisoned shadow propagates through the fail-closed shadow kernels
+        // and surfaces as maximal error, never as a fault.
+        #[cfg(feature = "fault-injection")]
+        if poison {
+            exact_result = R::from_f64_prec(f64::NAN, self.config.shadow_precision);
+            local_err = MAX_ERROR_BITS;
+        }
         self.finish_compute(
             pc,
             op,
@@ -1013,6 +1114,14 @@ impl<R: Real> Tracer for Herbgrind<R> {
         });
         record.record(error, erroneous, &shadow.influences);
     }
+
+    fn fault(&mut self) -> Option<MachineError> {
+        self.pending_fault.take()
+    }
+
+    fn has_fault(&self) -> bool {
+        self.pending_fault.is_some()
+    }
 }
 
 /// Runs a program under the analysis for every input vector, using the
@@ -1052,7 +1161,9 @@ pub fn analyze_with_shadow<R: Real>(
     config: &AnalysisConfig,
 ) -> Result<Report, MachineError> {
     let mut analysis = Herbgrind::<R>::new(config.clone());
-    let machine = Machine::new(program).with_step_limit(config.step_limit);
+    let machine = Machine::new(program)
+        .with_step_limit(config.step_limit)
+        .with_deadline_millis(config.deadline_millis);
     let mut memory = Vec::new();
     for input in inputs {
         machine.run_traced_reusing(input, &mut analysis, &mut memory)?;
@@ -1103,7 +1214,9 @@ pub fn analyze_parallel_with_shadow<R: Real + Send>(
     // partition hands every thread a shard (chunk lengths differ by at most
     // one), where ceil-division chunking used to leave threads idle whenever
     // the sweep length was not a near-multiple of the thread count.
-    let shared = Machine::new(program).with_step_limit(config.step_limit);
+    let shared = Machine::new(program)
+        .with_step_limit(config.step_limit)
+        .with_deadline_millis(config.deadline_millis);
     let shards: Vec<Result<Herbgrind<R>, MachineError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = balanced_chunks(inputs, threads)
             .into_iter()
@@ -1126,7 +1239,11 @@ pub fn analyze_parallel_with_shadow<R: Real + Send>(
     });
     // Merge in shard (= input) order; the earliest shard error is the error
     // the serial sweep would have stopped with, since chunks are contiguous
-    // and each shard processes its inputs in order.
+    // and each shard processes its inputs in order. When several shards
+    // fail, this `?`-in-shard-order fold deterministically selects the
+    // failing shard holding the lowest input index — the thread-level mirror
+    // of `probe_local_error`'s lowest-failed-lane rule — regardless of which
+    // thread finished (or failed) first.
     let mut merged: Option<Herbgrind<R>> = None;
     for shard in shards {
         let shard = shard?;
@@ -1141,6 +1258,8 @@ pub fn analyze_parallel_with_shadow<R: Real + Send>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // test assertions may unwrap freely
+
     use super::*;
     use fpcore::parse_core;
     use fpvm::compile_core;

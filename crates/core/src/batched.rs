@@ -40,6 +40,11 @@
 //! cloned machine sharing one decoded tape, and shard merges happen in
 //! input order.
 
+// Quarantine semantics depend on faults being *typed*: a stray `.unwrap()`
+// in driver code turns a recoverable per-input fault into a sweep-wide
+// panic, so bare unwraps are linted here (tests opt back in locally).
+#![warn(clippy::unwrap_used)]
+
 use crate::analysis::{balanced_chunks, Herbgrind};
 use crate::config::AnalysisConfig;
 use crate::records::{GroupObservation, OpRecord};
@@ -47,7 +52,7 @@ use crate::report::Report;
 use crate::trace::{ConcreteExpr, ExprInterner, LaneNode, TraceChildren};
 use fpcore::CmpOp;
 use fpvm::batch::{full_mask, lane_active, lane_indices, BatchMemory, BatchTracer, LaneMask};
-use fpvm::{Addr, Machine, MachineError, Program, Tracer, Value, MAX_ARITY};
+use fpvm::{Addr, Machine, MachineError, Program, Tracer, Value, MAX_ARITY, MAX_LANES};
 use shadowreal::{apply_f64_lanes, bits_error, BatchReal, BigFloat, DdLanes, RealOp};
 use std::sync::Arc;
 
@@ -102,6 +107,16 @@ pub struct BatchHerbgrind<R: BatchReal, const W: usize> {
     interner: ExprInterner,
     /// Reusable per-group output buffer for [`ExprInterner::node_group`].
     node_scratch: Vec<Option<Arc<ConcreteExpr>>>,
+    /// Per-lane analysis-side faults (group trace-budget exhaustion,
+    /// injected failures) awaiting delivery through the batch scheduler's
+    /// per-group [`BatchTracer::lane_fault`] poll, which masks the lane out.
+    lane_faults: [Option<MachineError>; MAX_LANES],
+    /// Per-lane fault-injection context for the current pass: each lane's
+    /// sweep-global input index, plus the pipeline stage.
+    #[cfg(feature = "fault-injection")]
+    inject_lanes: [Option<usize>; MAX_LANES],
+    #[cfg(feature = "fault-injection")]
+    inject_stage: crate::faultinject::InjectStage,
 }
 
 impl<R: BatchReal, const W: usize> BatchHerbgrind<R, W> {
@@ -116,7 +131,25 @@ impl<R: BatchReal, const W: usize> BatchHerbgrind<R, W> {
             config,
             interner: ExprInterner::new(),
             node_scratch: Vec::new(),
+            lane_faults: std::array::from_fn(|_| None),
+            #[cfg(feature = "fault-injection")]
+            inject_lanes: [None; MAX_LANES],
+            #[cfg(feature = "fault-injection")]
+            inject_stage: crate::faultinject::InjectStage::Batched,
         }
+    }
+
+    /// Arms deterministic fault injection for the next pass: `lanes[l]` is
+    /// lane `l`'s sweep-global input index (`None` for idle lanes), `stage`
+    /// the pipeline stage executing the pass.
+    #[cfg(feature = "fault-injection")]
+    pub(crate) fn arm_lane_injection(
+        &mut self,
+        lanes: [Option<usize>; MAX_LANES],
+        stage: crate::faultinject::InjectStage,
+    ) {
+        self.inject_lanes = lanes;
+        self.inject_stage = stage;
     }
 
     /// Folds the lane shards in lane order — with contiguous-chunk lane
@@ -144,6 +177,7 @@ impl<R: BatchReal, const W: usize> BatchTracer<W> for BatchHerbgrind<R, W> {
         // The group interner is per-pass state, like the serial shard
         // interners are per-run state: a pass is one run per lane.
         self.interner.clear();
+        self.lane_faults = std::array::from_fn(|_| None);
         for l in lane_indices(mask) {
             if let Some(args) = lane_inputs[l] {
                 self.lanes[l].on_start(program, args);
@@ -161,12 +195,52 @@ impl<R: BatchReal, const W: usize> BatchTracer<W> for BatchHerbgrind<R, W> {
         results: &[f64; W],
         mask: LaneMask,
     ) {
+        // Deterministic fault injection, consulted per lane before any
+        // analysis work: an injected panic unwinds the whole pass (like a
+        // real crashing shadow op would); budget kinds latch into the lane's
+        // fault slot, delivered through the scheduler's per-group poll.
+        #[cfg(feature = "fault-injection")]
+        for l in lane_indices(mask) {
+            if let Some(ix) = self.inject_lanes[l] {
+                use crate::faultinject::{self, InjectKind, InjectStage};
+                match faultinject::query(ix, pc, self.inject_stage) {
+                    Some(InjectKind::Panic) => {
+                        panic!("injected analysis panic: input {ix}, pc {pc}, lane {l}")
+                    }
+                    Some(InjectKind::TierEscalation)
+                        if self.inject_stage == InjectStage::TieredBigFloat =>
+                    {
+                        panic!("injected tier-escalation failure: input {ix}, pc {pc}, lane {l}")
+                    }
+                    Some(InjectKind::StepBudget) => {
+                        self.lane_faults[l] = Some(MachineError::StepBudgetExceeded {
+                            limit: self.config.step_limit,
+                        });
+                    }
+                    Some(InjectKind::Deadline) => {
+                        self.lane_faults[l] = Some(MachineError::DeadlineExceeded {
+                            millis: self.config.deadline_millis.max(1),
+                        });
+                    }
+                    Some(InjectKind::TraceBudget) => {
+                        self.lane_faults[l] = Some(MachineError::TraceBudgetExceeded {
+                            limit: self.config.trace_node_budget.max(1),
+                        });
+                    }
+                    // NaN poisoning targets the serial stages; lane groups
+                    // share exact evaluations, so it is a no-op here.
+                    Some(InjectKind::NanPoison) | Some(InjectKind::TierEscalation) | None => {}
+                }
+            }
+        }
         let n = args.len();
         let BatchHerbgrind {
             lanes,
             config,
             interner,
             node_scratch,
+            lane_faults,
+            ..
         } = self;
         // One lane-vectorized exact evaluation for the whole group, with the
         // lazy leaf-shadow creation (through the group interner, so lanes
@@ -317,6 +391,20 @@ impl<R: BatchReal, const W: usize> BatchTracer<W> for BatchHerbgrind<R, W> {
             max_depth,
             config,
         );
+
+        // Trace-memory budget on the group interner — the batched
+        // counterpart of the serial per-run check. The table is shared by
+        // every lane, so attribution is collective: all active lanes fault,
+        // and the isolated driver's serial retry (per-input interner)
+        // decides which inputs genuinely exceed the budget alone.
+        let budget = config.trace_node_budget;
+        if budget != 0 && interner.len() >= budget {
+            for l in lane_indices(mask) {
+                if lane_faults[l].is_none() {
+                    lane_faults[l] = Some(MachineError::TraceBudgetExceeded { limit: budget });
+                }
+            }
+        }
     }
 
     fn on_const_f(&mut self, _pc: usize, dest: Addr, value: f64, mask: LaneMask) {
@@ -386,6 +474,14 @@ impl<R: BatchReal, const W: usize> BatchTracer<W> for BatchHerbgrind<R, W> {
             self.lanes[l].on_output(pc, src, values[l]);
         }
     }
+
+    fn any_fault(&self) -> bool {
+        self.lane_faults.iter().any(Option::is_some)
+    }
+
+    fn lane_fault(&mut self, lane: usize) -> Option<MachineError> {
+        self.lane_faults[lane].take()
+    }
 }
 
 /// Runs one batched sweep at compile-time width `W`: contiguous lane
@@ -439,6 +535,108 @@ pub(crate) fn batched_sweep<R: BatchReal, const W: usize>(
         return Err(error.clone());
     }
     Ok(tracer.into_merged())
+}
+
+/// [`batched_sweep`] in fault-collecting form, for the fault-isolated
+/// drivers: instead of surfacing one error, every failed run is reported as
+/// `(sweep-global input index, error)` — `index_base` is the global index of
+/// `inputs[0]` — and the analysis state is returned only when the sweep was
+/// fault-free (a faulted lane's partial records make the accumulated state
+/// unusable; the isolated engine rebuilds without the faulted inputs). A
+/// failed lane stops consuming its chunk, so its tail is reported to the
+/// caller as unprocessed rather than failed; panics unwind to the caller.
+#[allow(clippy::type_complexity)]
+pub(crate) fn batched_sweep_collect<R: BatchReal, const W: usize>(
+    machine: &Machine<'_>,
+    inputs: &[Vec<f64>],
+    index_base: usize,
+    config: &AnalysisConfig,
+    #[cfg(feature = "fault-injection")] stage: crate::faultinject::InjectStage,
+) -> (Option<Herbgrind<R>>, Vec<(usize, MachineError)>) {
+    let lane_count = W.min(inputs.len()).max(1);
+    let chunks = balanced_chunks(inputs, lane_count);
+    let positions = chunks.first().map_or(0, |chunk| chunk.len());
+    let mut offsets = Vec::with_capacity(chunks.len());
+    let mut start = 0;
+    for chunk in &chunks {
+        offsets.push(start);
+        start += chunk.len();
+    }
+    let batch = machine.batched::<W>();
+    let mut tracer = BatchHerbgrind::<R, W>::new(config);
+    let mut memory = BatchMemory::new();
+    let mut failed = [false; W];
+    let mut faults: Vec<(usize, MachineError)> = Vec::new();
+    for position in 0..positions {
+        let mut lane_inputs: [Option<&[f64]>; W] = [None; W];
+        let mut any = false;
+        #[cfg(feature = "fault-injection")]
+        let mut lane_indices_global = [None; MAX_LANES];
+        for (l, chunk) in chunks.iter().enumerate() {
+            if !failed[l] {
+                if let Some(input) = chunk.get(position) {
+                    lane_inputs[l] = Some(input.as_slice());
+                    any = true;
+                    #[cfg(feature = "fault-injection")]
+                    {
+                        lane_indices_global[l] = Some(index_base + offsets[l] + position);
+                    }
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        #[cfg(feature = "fault-injection")]
+        tracer.arm_lane_injection(lane_indices_global, stage);
+        let outcome = batch.run_batch(&lane_inputs, &mut tracer, &mut memory);
+        for (l, error) in outcome.errors.iter().enumerate() {
+            if !failed[l] {
+                if let Some(error) = error {
+                    failed[l] = true;
+                    faults.push((index_base + offsets[l] + position, error.clone()));
+                }
+            }
+        }
+    }
+    if faults.is_empty() {
+        (Some(tracer.into_merged()), faults)
+    } else {
+        faults.sort_by_key(|(index, _)| *index);
+        (None, faults)
+    }
+}
+
+/// [`batched_sweep_collect`] dispatched to the compiled batch width.
+#[allow(clippy::type_complexity)]
+pub(crate) fn dispatch_sweep_collect<R: BatchReal>(
+    machine: &Machine<'_>,
+    width: usize,
+    inputs: &[Vec<f64>],
+    index_base: usize,
+    config: &AnalysisConfig,
+    #[cfg(feature = "fault-injection")] stage: crate::faultinject::InjectStage,
+) -> (Option<Herbgrind<R>>, Vec<(usize, MachineError)>) {
+    macro_rules! go {
+        ($w:literal) => {
+            batched_sweep_collect::<R, $w>(
+                machine,
+                inputs,
+                index_base,
+                config,
+                #[cfg(feature = "fault-injection")]
+                stage,
+            )
+        };
+    }
+    match width {
+        2 => go!(2),
+        4 => go!(4),
+        8 => go!(8),
+        13 => go!(13),
+        16 => go!(16),
+        _ => go!(1),
+    }
 }
 
 /// Dispatches a sweep to the compiled batch width.
@@ -497,7 +695,9 @@ pub fn analyze_batched_with_shadow<R: BatchReal + Send>(
     let threads = config.effective_threads(inputs.len());
     // One decode for the whole sweep: thread shards clone the machine and
     // share its tape.
-    let shared = Machine::new(program).with_step_limit(config.step_limit);
+    let shared = Machine::new(program)
+        .with_step_limit(config.step_limit)
+        .with_deadline_millis(config.deadline_millis);
     if threads <= 1 || inputs.len() <= 1 {
         return dispatch_sweep::<R>(&shared, width, inputs, config).map(|a| a.report());
     }
@@ -922,6 +1122,8 @@ pub fn probe_local_error<const W: usize>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // test assertions may unwrap freely
+
     use super::*;
     use crate::analysis::analyze;
     use fpcore::parse_core;

@@ -41,6 +41,21 @@ pub struct AnalysisConfig {
     pub shadow_precision: u32,
     /// Step budget per machine run.
     pub step_limit: u64,
+    /// Wall-clock deadline per machine run, in milliseconds; `0` (the
+    /// default) disables it. Unlike the step budget the deadline is
+    /// machine-load-dependent, so which run trips it is not reproducible —
+    /// the fault-isolated drivers quarantine the input either way, but
+    /// sweeps that must be bit-reproducible should prefer
+    /// [`AnalysisConfig::step_limit`].
+    pub deadline_millis: u64,
+    /// Trace-memory budget per machine run, in interned expression nodes
+    /// (leaves + interior nodes, see
+    /// [`ExprInterner::len`](crate::trace::ExprInterner::len)); `0` (the
+    /// default) disables it. A run whose recorded concrete expressions
+    /// outgrow the budget faults with
+    /// [`fpvm::MachineError::TraceBudgetExceeded`], which the fault-isolated
+    /// drivers turn into a quarantine entry.
+    pub trace_node_budget: usize,
     /// Number of analysis threads used by
     /// [`analyze_parallel`](crate::analysis::analyze_parallel): the input
     /// sweep is split into this many contiguous shards, analyzed
@@ -68,6 +83,8 @@ impl Default for AnalysisConfig {
             detect_compensation: true,
             shadow_precision: 256,
             step_limit: 50_000_000,
+            deadline_millis: 0,
+            trace_node_budget: 0,
             threads: 0,
             batch_width: 8,
         }
@@ -147,6 +164,26 @@ impl AnalysisConfig {
     /// [`AnalysisConfig::batch_width`].
     pub fn with_batch_width(mut self, width: usize) -> Self {
         self.batch_width = width;
+        self
+    }
+
+    /// Sets the per-run step budget (builder style).
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Sets the per-run wall-clock deadline in milliseconds (builder style);
+    /// `0` disables it. See [`AnalysisConfig::deadline_millis`].
+    pub fn with_deadline_millis(mut self, millis: u64) -> Self {
+        self.deadline_millis = millis;
+        self
+    }
+
+    /// Sets the per-run trace-memory budget in interned nodes (builder
+    /// style); `0` disables it. See [`AnalysisConfig::trace_node_budget`].
+    pub fn with_trace_node_budget(mut self, nodes: usize) -> Self {
+        self.trace_node_budget = nodes;
         self
     }
 

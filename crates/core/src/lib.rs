@@ -52,8 +52,11 @@ pub mod analysis;
 pub mod batched;
 pub mod config;
 pub mod errsum;
+#[cfg(feature = "fault-injection")]
+pub mod faultinject;
 pub mod inputs;
 pub mod localerr;
+pub mod quarantine;
 pub mod records;
 #[cfg(feature = "reference-analysis")]
 pub mod reference;
@@ -72,6 +75,10 @@ pub use batched::{
 };
 pub use config::{AnalysisConfig, RangeKind};
 pub use errsum::ErrorBitsSum;
+pub use quarantine::{
+    analyze_batched_isolated, analyze_isolated, analyze_isolated_with_shadow,
+    analyze_parallel_isolated, analyze_tiered_isolated, QuarantinedInput, SweepFault, SweepStage,
+};
 pub use report::{Report, RootCauseReport, SpotReport};
 pub use symbolic::SymbolicExpr;
 pub use tiered::{analyze_tiered, analyze_tiered_with_stats, CertifyProbe, TierStats};

@@ -1,0 +1,729 @@
+//! Fault-isolated sweep drivers: per-input quarantine, budgets, and
+//! degraded partial reports.
+//!
+//! The plain drivers ([`analyze`](crate::analysis::analyze),
+//! [`analyze_parallel`](crate::analysis::analyze_parallel),
+//! [`analyze_batched`](crate::batched::analyze_batched),
+//! [`analyze_tiered`](crate::tiered::analyze_tiered)) abort the whole sweep
+//! on the first [`MachineError`] — correct for small curated suites, but one
+//! pathological input (a runaway loop hitting the step budget, a trace that
+//! outgrows memory, a crashing shadow op) should not cost the results of
+//! the other ten thousand. The `*_isolated` drivers in this module instead
+//! *quarantine* the offending input and finish the sweep:
+//!
+//! * Every driver always returns a [`Report`]. Failed inputs appear in
+//!   [`Report::quarantined`], in input order, each carrying the input's
+//!   sweep-global index, the deciding fault, and the pipeline stage that
+//!   decided it.
+//! * The degraded report is **bit-identical** to analyzing the surviving
+//!   inputs alone: a faulted run's partial records never leak into the
+//!   report. This falls out of the merge laws the parallel/batched drivers
+//!   are built on — contiguous chunks of a sweep merge to the same result
+//!   as one continuous sweep — so the engine can discard fault-contaminated
+//!   state and rebuild from clean per-chunk states.
+//! * Quarantine lists are deterministic across thread counts and batch
+//!   widths for every per-input-deterministic fault (step budgets,
+//!   trace-memory budgets, injected faults). Wall-clock deadlines
+//!   ([`crate::AnalysisConfig::deadline_millis`]) are inherently
+//!   load-dependent; the drivers quarantine deadline victims all the same,
+//!   but reproducible sweeps should express budgets in steps or nodes.
+//!
+//! # How isolation works
+//!
+//! Machine faults are *per-input deterministic* here: the serial analysis
+//! clears its expression interner per run, so step budgets, trace budgets
+//! and injected faults depend only on the input — not on which other inputs
+//! ran before it. The serial engine exploits this with an *optimistic
+//! collect*: it sweeps all live inputs once, records every machine fault as
+//! a final verdict, then — only if something faulted — rebuilds the
+//! analysis state from scratch over the survivors. The fault-free fast path
+//! is exactly one plain sweep plus a per-run `catch_unwind` frame.
+//!
+//! The batched engine needs one more mechanism: a lane group shares its
+//! expression interner, so a trace-budget fault is attributed to *all*
+//! active lanes of the group, and a panic in a lane-vectorized shadow op
+//! cannot be attributed to any single lane. Fault candidates from a batched
+//! pass are therefore re-tried on a *serial probe ladder* — a fresh
+//! single-input serial run (then, for the tiered driver's certified tier, a
+//! `BigFloat`-tier probe) whose verdict is canonical because it is
+//! per-input deterministic. A candidate whose probe succeeds is *healed*:
+//! its probe state is cached and merged back in input order, and the input
+//! is demoted out of batched execution so the group fault cannot recur. A
+//! candidate that fails every rung is quarantined with the last rung's
+//! fault and stage. Probing is what makes quarantine lists independent of
+//! the batch width the group fault happened to occur at.
+//!
+//! Panics unwind out of the *analysis observer* (the machine itself never
+//! panics on user input): the serial engines catch them per input, the
+//! batched engine catches them per pass and probes every input of the pass.
+//! Either way only the offending input is quarantined — the shard or lane
+//! group is rebuilt without it.
+
+// Quarantine semantics depend on faults being *typed*: a stray `.unwrap()`
+// in driver code turns a recoverable per-input fault into a sweep-wide
+// panic, so bare unwraps are linted here (tests opt back in locally).
+#![warn(clippy::unwrap_used)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::analysis::{balanced_chunks, AnalysisState, Herbgrind};
+use crate::batched::{dispatch_sweep_collect, effective_batch_width};
+use crate::config::AnalysisConfig;
+use crate::report::Report;
+use crate::tiered::certify_dispatch;
+use fpvm::{Machine, MachineError, Program};
+use shadowreal::cert::CertParams;
+use shadowreal::{BatchReal, BigFloat, DoubleDouble, Real};
+
+#[cfg(feature = "fault-injection")]
+use crate::faultinject::InjectStage;
+
+/// The pipeline stage whose verdict quarantined an input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepStage {
+    /// The serial driver's sweep loop.
+    Serial,
+    /// A thread shard of the parallel driver.
+    ParallelShard,
+    /// The batched driver (lane-group pass or its serial retry probe — the
+    /// probe is part of the same pipeline stage).
+    BatchedLane,
+    /// The tiered driver's certified `DoubleDouble` tier.
+    TieredDoubleDouble,
+    /// The tiered driver's `BigFloat` tier — the last rung of the tiered
+    /// retry ladder, so tiered quarantines report this stage.
+    TieredBigFloat,
+}
+
+impl std::fmt::Display for SweepStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label = match self {
+            SweepStage::Serial => "serial sweep",
+            SweepStage::ParallelShard => "parallel shard",
+            SweepStage::BatchedLane => "batched lane",
+            SweepStage::TieredDoubleDouble => "tiered double-double tier",
+            SweepStage::TieredBigFloat => "tiered bigfloat tier",
+        };
+        f.write_str(label)
+    }
+}
+
+/// The fault that quarantined an input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SweepFault {
+    /// The run failed with a machine error (budget exhaustion, arity
+    /// mismatch, runaway program counter).
+    Machine(MachineError),
+    /// The analysis observer panicked; the payload's message, when it was a
+    /// string.
+    Panic(String),
+}
+
+impl std::fmt::Display for SweepFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepFault::Machine(error) => write!(f, "{error}"),
+            SweepFault::Panic(message) => write!(f, "analysis panicked: {message}"),
+        }
+    }
+}
+
+/// One quarantined input of a fault-isolated sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedInput {
+    /// Sweep-global index of the input (position in the `inputs` slice).
+    pub input_index: usize,
+    /// The pipeline stage whose verdict decided the quarantine.
+    pub stage: SweepStage,
+    /// The deciding fault.
+    pub error: SweepFault,
+}
+
+impl std::fmt::Display for QuarantinedInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "input {} ({}): {}",
+            self.input_index, self.stage, self.error
+        )
+    }
+}
+
+/// Renders a panic payload's message, when it carried one.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A contiguous chunk's survivor state plus its quarantine records.
+struct ChunkOutcome {
+    state: AnalysisState,
+    quarantined: Vec<QuarantinedInput>,
+}
+
+/// Runs the serial fault-isolated engine over one contiguous input chunk
+/// whose first input has sweep-global index `index_base`.
+///
+/// Optimistic collect: one accumulating pass over the live inputs records
+/// every machine fault as a final verdict (faults are per-input
+/// deterministic — the interner is per-run). A panic stops the pass, since
+/// a half-observed run leaves the tracer in an untrusted state. If anything
+/// faulted, the contaminated state is discarded and the pass rebuilt over
+/// the survivors; each rebuild quarantines at least one more input, so the
+/// loop runs at most `inputs.len() + 1` passes and exactly one pass when
+/// nothing faults.
+fn serial_engine<R: Real>(
+    machine: &Machine<'_>,
+    inputs: &[Vec<f64>],
+    index_base: usize,
+    config: &AnalysisConfig,
+    stage: SweepStage,
+    #[cfg(feature = "fault-injection")] inject_stage: InjectStage,
+) -> ChunkOutcome {
+    let mut quarantined: Vec<QuarantinedInput> = Vec::new();
+    loop {
+        let mut analysis = Herbgrind::<R>::new(config.clone());
+        let mut memory = Vec::new();
+        let mut faults: Vec<QuarantinedInput> = Vec::new();
+        for (offset, input) in inputs.iter().enumerate() {
+            let global = index_base + offset;
+            if quarantined.iter().any(|q| q.input_index == global) {
+                continue;
+            }
+            #[cfg(feature = "fault-injection")]
+            analysis.arm_injection(global, inject_stage);
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                machine.run_traced_reusing(input, &mut analysis, &mut memory)
+            }));
+            match run {
+                Ok(Ok(_)) => {}
+                Ok(Err(error)) => faults.push(QuarantinedInput {
+                    input_index: global,
+                    stage,
+                    error: SweepFault::Machine(error),
+                }),
+                Err(payload) => {
+                    faults.push(QuarantinedInput {
+                        input_index: global,
+                        stage,
+                        error: SweepFault::Panic(panic_message(payload)),
+                    });
+                    break;
+                }
+            }
+        }
+        if faults.is_empty() {
+            quarantined.sort_by_key(|q| q.input_index);
+            return ChunkOutcome {
+                state: analysis.into_state(),
+                quarantined,
+            };
+        }
+        quarantined.extend(faults);
+    }
+}
+
+/// Which scalar shadow a retry-ladder probe runs with.
+#[derive(Clone, Copy)]
+enum ProbeShadow {
+    /// The [`DoubleDouble`] shadow (tiered certified tier).
+    DoubleDouble,
+    /// The [`BigFloat`] shadow.
+    BigFloat,
+}
+
+/// One rung of the batched engine's serial retry ladder.
+#[derive(Clone, Copy)]
+struct LadderRung {
+    shadow: ProbeShadow,
+    stage: SweepStage,
+    #[cfg(feature = "fault-injection")]
+    inject: InjectStage,
+}
+
+/// A fresh single-input serial run: the canonical per-input verdict for a
+/// batched fault candidate, and (on success) the cached state that replaces
+/// the input's batched execution.
+fn probe_with<R: Real>(
+    machine: &Machine<'_>,
+    input: &[f64],
+    #[cfg(feature = "fault-injection")] global: usize,
+    #[cfg(feature = "fault-injection")] inject_stage: InjectStage,
+    config: &AnalysisConfig,
+) -> Result<AnalysisState, SweepFault> {
+    let mut analysis = Herbgrind::<R>::new(config.clone());
+    #[cfg(feature = "fault-injection")]
+    analysis.arm_injection(global, inject_stage);
+    let mut memory = Vec::new();
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        machine.run_traced_reusing(input, &mut analysis, &mut memory)
+    }));
+    match run {
+        Ok(Ok(_)) => Ok(analysis.into_state()),
+        Ok(Err(error)) => Err(SweepFault::Machine(error)),
+        Err(payload) => Err(SweepFault::Panic(panic_message(payload))),
+    }
+}
+
+/// Walks a fault candidate down the serial retry ladder. The first rung
+/// that runs clean heals the input (its state is merged back in input
+/// order); if every rung fails, the input is quarantined with the *last*
+/// rung's fault and stage — the deciding rung — which keeps the record
+/// independent of the batch width or thread count the original fault
+/// surfaced at.
+fn run_ladder(
+    machine: &Machine<'_>,
+    input: &[f64],
+    global: usize,
+    config: &AnalysisConfig,
+    rungs: &[LadderRung],
+) -> Result<AnalysisState, QuarantinedInput> {
+    let mut last: Option<QuarantinedInput> = None;
+    for rung in rungs {
+        let probed = match rung.shadow {
+            ProbeShadow::DoubleDouble => probe_with::<DoubleDouble>(
+                machine,
+                input,
+                #[cfg(feature = "fault-injection")]
+                global,
+                #[cfg(feature = "fault-injection")]
+                rung.inject,
+                config,
+            ),
+            ProbeShadow::BigFloat => probe_with::<BigFloat>(
+                machine,
+                input,
+                #[cfg(feature = "fault-injection")]
+                global,
+                #[cfg(feature = "fault-injection")]
+                rung.inject,
+                config,
+            ),
+        };
+        match probed {
+            Ok(state) => return Ok(state),
+            Err(error) => {
+                last = Some(QuarantinedInput {
+                    input_index: global,
+                    stage: rung.stage,
+                    error,
+                });
+            }
+        }
+    }
+    Err(last.unwrap_or(QuarantinedInput {
+        input_index: global,
+        stage: SweepStage::Serial,
+        error: SweepFault::Panic("empty retry ladder".to_string()),
+    }))
+}
+
+/// How each input of a batched chunk is currently executed.
+enum Mode {
+    /// Runs in the lane-parallel batched pass (the fast path).
+    Batched,
+    /// Healed by a ladder probe: the cached single-input state replaces the
+    /// input's batched execution, merged back in input order.
+    Probed(Option<AnalysisState>),
+    /// Quarantined; excluded from the sweep.
+    Quarantined(Option<QuarantinedInput>),
+}
+
+/// Runs the batched fault-isolated engine over one contiguous input chunk
+/// whose first input has sweep-global index `index_base`.
+///
+/// Each iteration partitions the chunk's live batched-mode inputs into
+/// maximal contiguous runs, executes each run with the fault-collecting
+/// batched sweep, and resolves every fault candidate through the serial
+/// retry ladder: healed candidates demote to [`Mode::Probed`] (so a
+/// group-attributed fault cannot recur), failed candidates to
+/// [`Mode::Quarantined`]. A panic in a pass cannot be attributed to a lane,
+/// so every input of the panicking run becomes a candidate and the probes
+/// sort the guilty from the innocent. Every iteration with candidates
+/// resolves at least one input, bounding the loop; a fault-free chunk costs
+/// exactly one batched sweep.
+fn batched_engine<R: BatchReal>(
+    machine: &Machine<'_>,
+    width: usize,
+    inputs: &[Vec<f64>],
+    index_base: usize,
+    config: &AnalysisConfig,
+    rungs: &[LadderRung],
+    #[cfg(feature = "fault-injection")] pass_stage: InjectStage,
+) -> ChunkOutcome {
+    let mut modes: Vec<Mode> = (0..inputs.len()).map(|_| Mode::Batched).collect();
+    loop {
+        // Maximal contiguous runs of batched-mode inputs, by local offset.
+        let mut segments: Vec<(usize, usize)> = Vec::new();
+        let mut cursor = 0;
+        while cursor < inputs.len() {
+            if matches!(modes[cursor], Mode::Batched) {
+                let start = cursor;
+                while cursor < inputs.len() && matches!(modes[cursor], Mode::Batched) {
+                    cursor += 1;
+                }
+                segments.push((start, cursor));
+            } else {
+                cursor += 1;
+            }
+        }
+        let mut states: Vec<AnalysisState> = Vec::new();
+        let mut candidates: Vec<usize> = Vec::new();
+        for &(start, end) in &segments {
+            let segment = &inputs[start..end];
+            let swept = catch_unwind(AssertUnwindSafe(|| {
+                dispatch_sweep_collect::<R>(
+                    machine,
+                    width,
+                    segment,
+                    index_base + start,
+                    config,
+                    #[cfg(feature = "fault-injection")]
+                    pass_stage,
+                )
+            }));
+            match swept {
+                Ok((Some(analysis), _)) => states.push(analysis.into_state()),
+                Ok((None, faults)) => {
+                    candidates.extend(faults.into_iter().map(|(global, _)| global));
+                }
+                // The pass panicked: no lane can be blamed, so every input
+                // of the run is probed and the ladder decides.
+                Err(_) => candidates.extend((start..end).map(|offset| index_base + offset)),
+            }
+        }
+        if candidates.is_empty() {
+            // Assemble: merge segment states and cached probe states in
+            // input order — contiguous chunks, so the merge laws make the
+            // result bit-identical to one continuous sweep of the
+            // survivors.
+            let mut state = AnalysisState::empty(config.clone());
+            let mut quarantined = Vec::new();
+            let mut next_segment = states.into_iter();
+            let mut position = 0;
+            while position < inputs.len() {
+                match &mut modes[position] {
+                    Mode::Batched => {
+                        if let Some(segment_state) = next_segment.next() {
+                            state.merge(segment_state);
+                        }
+                        while position < inputs.len() && matches!(modes[position], Mode::Batched) {
+                            position += 1;
+                        }
+                    }
+                    Mode::Probed(cached) => {
+                        if let Some(cached) = cached.take() {
+                            state.merge(cached);
+                        }
+                        position += 1;
+                    }
+                    Mode::Quarantined(record) => {
+                        if let Some(record) = record.take() {
+                            quarantined.push(record);
+                        }
+                        position += 1;
+                    }
+                }
+            }
+            quarantined.sort_by_key(|q| q.input_index);
+            return ChunkOutcome { state, quarantined };
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        for global in candidates {
+            let offset = global - index_base;
+            match run_ladder(machine, &inputs[offset], global, config, rungs) {
+                Ok(state) => modes[offset] = Mode::Probed(Some(state)),
+                Err(record) => modes[offset] = Mode::Quarantined(Some(record)),
+            }
+        }
+    }
+}
+
+/// Folds per-chunk outcomes (in input order) into the final degraded
+/// report.
+fn assemble(config: &AnalysisConfig, outcomes: Vec<ChunkOutcome>) -> Report {
+    let mut state = AnalysisState::empty(config.clone());
+    let mut quarantined = Vec::new();
+    for outcome in outcomes {
+        state.merge(outcome.state);
+        quarantined.extend(outcome.quarantined);
+    }
+    quarantined.sort_by_key(|q| q.input_index);
+    let mut report = state.report();
+    report.quarantined = quarantined;
+    report
+}
+
+/// Contiguous balanced chunks plus each chunk's starting global index.
+fn chunks_with_offsets(inputs: &[Vec<f64>], parts: usize) -> Vec<(usize, &[Vec<f64>])> {
+    let chunks = balanced_chunks(inputs, parts);
+    let mut out = Vec::with_capacity(chunks.len());
+    let mut start = 0;
+    for chunk in chunks {
+        out.push((start, chunk));
+        start += chunk.len();
+    }
+    out
+}
+
+/// Fault-isolated serial sweep with the default [`BigFloat`] shadow: the
+/// isolating counterpart of [`analyze`](crate::analysis::analyze). Always
+/// returns a report; failed inputs are quarantined
+/// ([`Report::quarantined`]) and the report body covers exactly the
+/// survivors, bit-identical to analyzing them alone.
+pub fn analyze_isolated(program: &Program, inputs: &[Vec<f64>], config: &AnalysisConfig) -> Report {
+    analyze_isolated_with_shadow::<BigFloat>(program, inputs, config)
+}
+
+/// [`analyze_isolated`] with an explicit shadow-real type.
+pub fn analyze_isolated_with_shadow<R: Real>(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Report {
+    let machine = Machine::new(program)
+        .with_step_limit(config.step_limit)
+        .with_deadline_millis(config.deadline_millis);
+    let outcome = serial_engine::<R>(
+        &machine,
+        inputs,
+        0,
+        config,
+        SweepStage::Serial,
+        #[cfg(feature = "fault-injection")]
+        InjectStage::Serial,
+    );
+    assemble(config, vec![outcome])
+}
+
+/// Fault-isolated thread-sharded sweep: the isolating counterpart of
+/// [`analyze_parallel`](crate::analysis::analyze_parallel). Each shard runs
+/// the serial isolation engine over its contiguous chunk, so a fault (or a
+/// panicking shadow op) quarantines only its own input while the shard
+/// rebuilds and finishes; shard states and quarantine lists merge in input
+/// order. Quarantine lists and the report are bit-identical for every
+/// thread count.
+pub fn analyze_parallel_isolated(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Report {
+    let threads = config.effective_threads(inputs.len());
+    let shared = Machine::new(program)
+        .with_step_limit(config.step_limit)
+        .with_deadline_millis(config.deadline_millis);
+    let run_shard = |(start, chunk): (usize, &[Vec<f64>])| {
+        serial_engine::<BigFloat>(
+            &shared,
+            chunk,
+            start,
+            config,
+            SweepStage::ParallelShard,
+            #[cfg(feature = "fault-injection")]
+            InjectStage::Parallel,
+        )
+    };
+    if threads <= 1 || inputs.len() <= 1 {
+        let outcome = run_shard((0, inputs));
+        return assemble(config, vec![outcome]);
+    }
+    let outcomes: Vec<ChunkOutcome> = std::thread::scope(|scope| {
+        let run = &run_shard;
+        let handles: Vec<_> = chunks_with_offsets(inputs, threads)
+            .into_iter()
+            .map(|(start, chunk)| (start, chunk.len(), scope.spawn(move || run((start, chunk)))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|(start, len, handle)| {
+                handle.join().unwrap_or_else(|payload| {
+                    // The engine catches panics per input, so a shard thread
+                    // dying is out-of-model (e.g. a panic while panicking).
+                    // Fail closed: quarantine the whole chunk rather than
+                    // lose the sweep.
+                    let message = panic_message(payload);
+                    ChunkOutcome {
+                        state: AnalysisState::empty(config.clone()),
+                        quarantined: (start..start + len)
+                            .map(|input_index| QuarantinedInput {
+                                input_index,
+                                stage: SweepStage::ParallelShard,
+                                error: SweepFault::Panic(message.clone()),
+                            })
+                            .collect(),
+                    }
+                })
+            })
+            .collect()
+    });
+    assemble(config, outcomes)
+}
+
+/// Fault-isolated batched sweep: the isolating counterpart of
+/// [`analyze_batched`](crate::batched::analyze_batched). Lane-group faults
+/// and pass panics are re-tried on a serial probe per input — the probe's
+/// per-input-deterministic verdict decides the quarantine, which is what
+/// keeps quarantine lists identical across batch widths and thread counts.
+pub fn analyze_batched_isolated(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Report {
+    let width = effective_batch_width(config.batch_width);
+    let threads = config.effective_threads(inputs.len());
+    let shared = Machine::new(program)
+        .with_step_limit(config.step_limit)
+        .with_deadline_millis(config.deadline_millis);
+    let rungs = [LadderRung {
+        shadow: ProbeShadow::BigFloat,
+        stage: SweepStage::BatchedLane,
+        #[cfg(feature = "fault-injection")]
+        inject: InjectStage::Batched,
+    }];
+    let run_shard = |(start, chunk): (usize, &[Vec<f64>])| {
+        batched_engine::<BigFloat>(
+            &shared,
+            width,
+            chunk,
+            start,
+            config,
+            &rungs,
+            #[cfg(feature = "fault-injection")]
+            InjectStage::Batched,
+        )
+    };
+    if threads <= 1 || inputs.len() <= 1 {
+        let outcome = run_shard((0, inputs));
+        return assemble(config, vec![outcome]);
+    }
+    let outcomes: Vec<ChunkOutcome> = std::thread::scope(|scope| {
+        let run = &run_shard;
+        let handles: Vec<_> = chunks_with_offsets(inputs, threads)
+            .into_iter()
+            .map(|(start, chunk)| (start, chunk.len(), scope.spawn(move || run((start, chunk)))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|(start, len, handle)| {
+                handle.join().unwrap_or_else(|payload| {
+                    let message = panic_message(payload);
+                    ChunkOutcome {
+                        state: AnalysisState::empty(config.clone()),
+                        quarantined: (start..start + len)
+                            .map(|input_index| QuarantinedInput {
+                                input_index,
+                                stage: SweepStage::BatchedLane,
+                                error: SweepFault::Panic(message.clone()),
+                            })
+                            .collect(),
+                    }
+                })
+            })
+            .collect()
+    });
+    assemble(config, outcomes)
+}
+
+/// Fault-isolated tiered adaptive-precision sweep: the isolating
+/// counterpart of [`analyze_tiered`](crate::tiered::analyze_tiered).
+///
+/// The certification probe is already fault-tolerant (a failed or injected
+/// run is simply uncertified); a *panicking* certify pass fails closed by
+/// escalating every input to the `BigFloat` tier. Certified groups run the
+/// batched isolation engine on the `DoubleDouble` shadow with a two-rung
+/// retry ladder — a serial `DoubleDouble` probe, then a serial `BigFloat`
+/// probe (sound for certified inputs, whose `DoubleDouble` and `BigFloat`
+/// records agree by construction) — so an input is quarantined only when
+/// even the reference tier fails it. Uncertified groups run the engine on
+/// the `BigFloat` shadow directly.
+pub fn analyze_tiered_isolated(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Report {
+    let config = config.normalize();
+    let width = effective_batch_width(config.batch_width);
+    let machine = Machine::new(program)
+        .with_step_limit(config.step_limit)
+        .with_deadline_millis(config.deadline_millis);
+    let params = CertParams::new(config.shadow_precision);
+    let certified: Vec<bool> = match params {
+        Some(params) => catch_unwind(AssertUnwindSafe(|| {
+            certify_dispatch(
+                &machine,
+                width,
+                inputs,
+                &params,
+                config.detect_compensation,
+                #[cfg(feature = "fault-injection")]
+                Some(0),
+            )
+        }))
+        .unwrap_or_else(|_| vec![false; inputs.len()]),
+        // Precision gate: below the tier threshold everything escalates.
+        None => vec![false; inputs.len()],
+    };
+    let dd_rungs = [
+        LadderRung {
+            shadow: ProbeShadow::DoubleDouble,
+            stage: SweepStage::TieredDoubleDouble,
+            #[cfg(feature = "fault-injection")]
+            inject: InjectStage::TieredDoubleDouble,
+        },
+        LadderRung {
+            shadow: ProbeShadow::BigFloat,
+            stage: SweepStage::TieredBigFloat,
+            #[cfg(feature = "fault-injection")]
+            inject: InjectStage::TieredBigFloat,
+        },
+    ];
+    let big_rungs = [LadderRung {
+        shadow: ProbeShadow::BigFloat,
+        stage: SweepStage::TieredBigFloat,
+        #[cfg(feature = "fault-injection")]
+        inject: InjectStage::TieredBigFloat,
+    }];
+    let mut outcomes = Vec::new();
+    let mut start = 0;
+    while start < inputs.len() {
+        let verdict = certified[start];
+        let mut end = start + 1;
+        while end < inputs.len() && certified[end] == verdict {
+            end += 1;
+        }
+        let group = &inputs[start..end];
+        let outcome = if verdict {
+            batched_engine::<DoubleDouble>(
+                &machine,
+                width,
+                group,
+                start,
+                &config,
+                &dd_rungs,
+                #[cfg(feature = "fault-injection")]
+                InjectStage::TieredDoubleDouble,
+            )
+        } else {
+            batched_engine::<BigFloat>(
+                &machine,
+                width,
+                group,
+                start,
+                &config,
+                &big_rungs,
+                #[cfg(feature = "fault-injection")]
+                InjectStage::TieredBigFloat,
+            )
+        };
+        outcomes.push(outcome);
+        start = end;
+    }
+    assemble(&config, outcomes)
+}

@@ -81,6 +81,11 @@ pub struct Report {
     pub compensations_detected: u64,
     /// Control-flow divergences between the float and shadow executions.
     pub branch_divergences: u64,
+    /// Inputs the fault-isolated drivers ([`crate::quarantine`]) excluded
+    /// from the sweep, in input order. Always empty for the plain drivers,
+    /// which abort on the first failure instead; when non-empty, the rest of
+    /// the report describes exactly the surviving inputs.
+    pub quarantined: Vec<crate::quarantine::QuarantinedInput>,
 }
 
 impl Report {
@@ -146,6 +151,7 @@ impl Report {
             total_runs,
             compensations_detected,
             branch_divergences,
+            quarantined: Vec::new(),
         }
     }
 
@@ -189,6 +195,16 @@ impl Report {
             self.total_operations,
             self.compensations_detected
         );
+        if !self.quarantined.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} input(s) quarantined; the report covers the survivors:",
+                self.quarantined.len()
+            );
+            for q in &self.quarantined {
+                let _ = writeln!(out, "  {q}");
+            }
+        }
         if self.spots.is_empty() {
             let _ = writeln!(out, "No significant error reached any spot.");
             return out;

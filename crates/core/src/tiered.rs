@@ -56,6 +56,11 @@
 //! rounding terms), so the driver skips the probe and runs the whole sweep
 //! in the `BigFloat` tier.
 
+// Quarantine semantics depend on faults being *typed*: a stray `.unwrap()`
+// in driver code turns a recoverable per-input fault into a sweep-wide
+// panic, so bare unwraps are linted here (tests opt back in locally).
+#![warn(clippy::unwrap_used)]
+
 use crate::analysis::{balanced_chunks, AnalysisState};
 use crate::batched::{dispatch_sweep, effective_batch_width};
 use crate::config::AnalysisConfig;
@@ -369,6 +374,7 @@ fn certify_inputs<const W: usize>(
     inputs: &[Vec<f64>],
     params: &CertParams,
     detect_compensation: bool,
+    #[cfg(feature = "fault-injection")] inject_base: Option<usize>,
 ) -> Vec<bool> {
     let lane_count = W.min(inputs.len()).max(1);
     let chunks = balanced_chunks(inputs, lane_count);
@@ -399,29 +405,59 @@ fn certify_inputs<const W: usize>(
         let outcome = batch.run_batch(&lane_inputs, &mut probe, &mut memory);
         for (l, chunk) in chunks.iter().enumerate() {
             if chunk.get(position).is_some() {
-                certified[offsets[l] + position] =
-                    probe.lane_certified(l) && outcome.errors[l].is_none();
+                let index = offsets[l] + position;
+                #[allow(unused_mut)]
+                let mut verdict = probe.lane_certified(l) && outcome.errors[l].is_none();
+                // An injected tier-escalation failure forces the input out of
+                // the certified tier at verdict time, so the escalation tier
+                // (where the same injection panics) is exercised. Armed only
+                // by the fault-isolated driver.
+                #[cfg(feature = "fault-injection")]
+                if let Some(base) = inject_base {
+                    use crate::faultinject::{self, InjectKind, InjectStage};
+                    if faultinject::query(base + index, 0, InjectStage::TieredCertify)
+                        == Some(InjectKind::TierEscalation)
+                    {
+                        verdict = false;
+                    }
+                }
+                certified[index] = verdict;
             }
         }
     }
     certified
 }
 
-/// [`certify_inputs`] dispatched to the compiled batch width.
-fn certify_dispatch(
+/// [`certify_inputs`] dispatched to the compiled batch width. `inject_base`
+/// (fault-injection builds only) arms injected certification verdicts with
+/// the sweep-global index of `inputs[0]`; the plain drivers pass `None`.
+pub(crate) fn certify_dispatch(
     machine: &Machine<'_>,
     width: usize,
     inputs: &[Vec<f64>],
     params: &CertParams,
     detect_compensation: bool,
+    #[cfg(feature = "fault-injection")] inject_base: Option<usize>,
 ) -> Vec<bool> {
+    macro_rules! go {
+        ($w:literal) => {
+            certify_inputs::<$w>(
+                machine,
+                inputs,
+                params,
+                detect_compensation,
+                #[cfg(feature = "fault-injection")]
+                inject_base,
+            )
+        };
+    }
     match width {
-        2 => certify_inputs::<2>(machine, inputs, params, detect_compensation),
-        4 => certify_inputs::<4>(machine, inputs, params, detect_compensation),
-        8 => certify_inputs::<8>(machine, inputs, params, detect_compensation),
-        13 => certify_inputs::<13>(machine, inputs, params, detect_compensation),
-        16 => certify_inputs::<16>(machine, inputs, params, detect_compensation),
-        _ => certify_inputs::<1>(machine, inputs, params, detect_compensation),
+        2 => go!(2),
+        4 => go!(4),
+        8 => go!(8),
+        13 => go!(13),
+        16 => go!(16),
+        _ => go!(1),
     }
 }
 
@@ -436,9 +472,15 @@ fn tiered_sweep(
     params: Option<&CertParams>,
 ) -> Result<(AnalysisState, TierStats), MachineError> {
     let certified = match params {
-        Some(params) => {
-            certify_dispatch(machine, width, inputs, params, config.detect_compensation)
-        }
+        Some(params) => certify_dispatch(
+            machine,
+            width,
+            inputs,
+            params,
+            config.detect_compensation,
+            #[cfg(feature = "fault-injection")]
+            None,
+        ),
         // Precision gate: below the tier threshold everything escalates.
         None => vec![false; inputs.len()],
     };
@@ -490,7 +532,9 @@ pub fn analyze_tiered_with_stats(
     let width = effective_batch_width(config.batch_width);
     let threads = config.effective_threads(inputs.len());
     let params = CertParams::new(config.shadow_precision);
-    let shared = Machine::new(program).with_step_limit(config.step_limit);
+    let shared = Machine::new(program)
+        .with_step_limit(config.step_limit)
+        .with_deadline_millis(config.deadline_millis);
     if threads <= 1 || inputs.len() <= 1 {
         let (state, stats) = tiered_sweep(&shared, width, inputs, &config, params.as_ref())?;
         return Ok((state.report(), stats));
@@ -536,6 +580,8 @@ pub fn analyze_tiered(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // test assertions may unwrap freely
+
     use super::*;
     use crate::analysis::analyze;
     use fpcore::parse_core;

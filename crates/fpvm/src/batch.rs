@@ -144,6 +144,19 @@ pub trait BatchTracer<const W: usize> {
     fn on_output(&mut self, pc: usize, src: Addr, values: &[f64; W], mask: LaneMask) {}
     /// The batch pass finished (every lane halted or failed).
     fn on_finish(&mut self, outcome: &BatchOutcome<W>) {}
+    /// Cheap pass-level poll, checked once per scheduled lane group: `true`
+    /// when at least one lane has a pending fault to report through
+    /// [`BatchTracer::lane_fault`]. Must stay `true` until every pending
+    /// lane fault has been drained.
+    fn any_fault(&self) -> bool {
+        false
+    }
+    /// Reports and clears the pending fault for one lane, if any. Only
+    /// called while [`BatchTracer::any_fault`] returns `true`; a faulted
+    /// lane is masked out before it executes another statement.
+    fn lane_fault(&mut self, lane: usize) -> Option<MachineError> {
+        None
+    }
 }
 
 /// A batch tracer that observes nothing — the uninstrumented baseline.
@@ -264,6 +277,16 @@ impl<T: Tracer + ?Sized, const W: usize> BatchTracer<W> for LaneTracer<'_, T> {
             self.inner.on_finish(&outcome.lanes[self.lane]);
         }
     }
+    fn any_fault(&self) -> bool {
+        self.inner.has_fault()
+    }
+    fn lane_fault(&mut self, lane: usize) -> Option<MachineError> {
+        if lane == self.lane {
+            self.inner.fault()
+        } else {
+            None
+        }
+    }
 }
 
 /// Struct-of-arrays lane memory: one `[_; W]` lane array per address.
@@ -380,6 +403,7 @@ pub struct BatchMachine<'p, const W: usize> {
     program: &'p Program,
     tape: Arc<[Inst]>,
     step_limit: u64,
+    deadline_millis: Option<u64>,
 }
 
 impl<'p> Machine<'p> {
@@ -397,6 +421,7 @@ impl<'p> Machine<'p> {
             program: self.program,
             tape: Arc::clone(&self.tape),
             step_limit: self.step_limit,
+            deadline_millis: self.deadline_millis,
         }
     }
 }
@@ -443,6 +468,13 @@ impl<'p, const W: usize> BatchMachine<'p, W> {
         }
         tracer.on_start(program, lane_inputs, mask);
 
+        let deadline = self.deadline_millis.map(|ms| {
+            (
+                std::time::Instant::now() + std::time::Duration::from_millis(ms),
+                ms,
+            )
+        });
+        let mut ticks = 0u64;
         let mut steps = [0u64; W];
         let mut pending: Vec<Group> = Vec::new();
         if mask != 0 {
@@ -493,6 +525,36 @@ impl<'p, const W: usize> BatchMachine<'p, W> {
                             limit: self.step_limit,
                         });
                         cur.mask &= !(1 << l);
+                    }
+                }
+                // Pass-level wall-clock deadline: every still-active lane —
+                // the current group and every parked one — fails together,
+                // and the pass completes with per-lane errors.
+                if ticks & 1023 == 0 {
+                    if let Some((at, millis)) = deadline {
+                        if std::time::Instant::now() >= at {
+                            for l in lane_indices(cur.mask) {
+                                outcome.errors[l] = Some(MachineError::DeadlineExceeded { millis });
+                            }
+                            for g in pending.drain(..) {
+                                for l in lane_indices(g.mask) {
+                                    outcome.errors[l] =
+                                        Some(MachineError::DeadlineExceeded { millis });
+                                }
+                            }
+                            continue 'schedule;
+                        }
+                    }
+                }
+                ticks += 1;
+                // Tracer faults (analysis-side budgets, injected failures):
+                // drained before the lane executes another statement.
+                if tracer.any_fault() {
+                    for l in lane_indices(cur.mask) {
+                        if let Some(err) = tracer.lane_fault(l) {
+                            outcome.errors[l] = Some(err);
+                            cur.mask &= !(1 << l);
+                        }
                     }
                 }
                 if cur.mask == 0 {

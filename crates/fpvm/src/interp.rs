@@ -32,6 +32,18 @@ pub enum MachineError {
         /// The offending program counter.
         pc: usize,
     },
+    /// Execution exceeded the wall-clock deadline
+    /// ([`Machine::with_deadline_millis`]).
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds.
+        millis: u64,
+    },
+    /// An attached analysis exhausted its trace-memory budget (interned
+    /// expression nodes); surfaced through [`Tracer::fault`].
+    TraceBudgetExceeded {
+        /// The configured budget, in interned nodes.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -44,6 +56,12 @@ impl fmt::Display for MachineError {
                 write!(f, "execution exceeded the {limit}-step budget")
             }
             MachineError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+            MachineError::DeadlineExceeded { millis } => {
+                write!(f, "execution exceeded the {millis} ms deadline")
+            }
+            MachineError::TraceBudgetExceeded { limit } => {
+                write!(f, "analysis exceeded the {limit}-node trace budget")
+            }
         }
     }
 }
@@ -105,6 +123,20 @@ pub trait Tracer {
     fn on_start(&mut self, program: &Program, args: &[f64]) {}
     /// Execution finished.
     fn on_finish(&mut self, result: &RunResult) {}
+    /// Polled once per executed statement: a tracer that has exhausted one
+    /// of its own resource budgets (e.g. trace memory) returns the error
+    /// here and the interpreter aborts the run with it. Take semantics: the
+    /// tracer should clear its pending fault when reporting it.
+    fn fault(&mut self) -> Option<MachineError> {
+        None
+    }
+    /// Non-mutating peek used by adapters (e.g.
+    /// [`LaneTracer`](crate::batch::LaneTracer)) that must know whether
+    /// [`Tracer::fault`] would report without taking it. Must agree with
+    /// `fault`: `true` iff a fault is pending.
+    fn has_fault(&self) -> bool {
+        false
+    }
 }
 
 /// A tracer that observes nothing — the uninstrumented baseline.
@@ -230,6 +262,7 @@ pub struct Machine<'p> {
     pub(crate) program: &'p Program,
     pub(crate) tape: std::sync::Arc<[Inst]>,
     pub(crate) step_limit: u64,
+    pub(crate) deadline_millis: Option<u64>,
 }
 
 /// Default step budget per run (generous; FPBench loop benchmarks stay far
@@ -244,12 +277,25 @@ impl<'p> Machine<'p> {
             program,
             tape: decode(program).into(),
             step_limit: DEFAULT_STEP_LIMIT,
+            deadline_millis: None,
         }
     }
 
     /// Overrides the step budget.
     pub fn with_step_limit(mut self, limit: u64) -> Machine<'p> {
         self.step_limit = limit;
+        self
+    }
+
+    /// Sets a per-run wall-clock deadline in milliseconds (`0` disables it,
+    /// the default). The clock starts when a run begins and is checked every
+    /// 1024 steps, so a runaway transcendental-heavy loop is caught within
+    /// microseconds of the deadline without a per-step `Instant` read.
+    /// Unlike the step budget, where a run trips the deadline is
+    /// machine-load-dependent; sweeps that must be reproducible should
+    /// prefer [`Machine::with_step_limit`].
+    pub fn with_deadline_millis(mut self, millis: u64) -> Machine<'p> {
+        self.deadline_millis = if millis == 0 { None } else { Some(millis) };
         self
     }
 
@@ -307,6 +353,12 @@ impl<'p> Machine<'p> {
         }
         tracer.on_start(program, args);
 
+        let deadline = self.deadline_millis.map(|ms| {
+            (
+                std::time::Instant::now() + std::time::Duration::from_millis(ms),
+                ms,
+            )
+        });
         let mut result = RunResult::default();
         let mut pc = 0usize;
         loop {
@@ -314,6 +366,18 @@ impl<'p> Machine<'p> {
                 return Err(MachineError::StepBudgetExceeded {
                     limit: self.step_limit,
                 });
+            }
+            if result.steps & 1023 == 0 {
+                if let Some((at, millis)) = deadline {
+                    if std::time::Instant::now() >= at {
+                        return Err(MachineError::DeadlineExceeded { millis });
+                    }
+                }
+            }
+            if tracer.has_fault() {
+                if let Some(err) = tracer.fault() {
+                    return Err(err);
+                }
             }
             result.steps += 1;
             let Some(inst) = self.tape.get(pc) else {

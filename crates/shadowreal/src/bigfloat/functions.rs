@@ -19,6 +19,11 @@ use super::{BigFloat, Finite, Repr, MAX_PRECISION};
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
+// The constant caches recover from lock poisoning instead of propagating
+// it: entries are idempotent inserts of deterministic values, so a cache
+// abandoned mid-update by a panicking run is still valid, and one
+// quarantined input must not poison the shadow arithmetic for the rest of
+// a fault-isolated sweep.
 fn pi_cache() -> &'static Mutex<HashMap<u32, BigFloat>> {
     static CACHE: OnceLock<Mutex<HashMap<u32, BigFloat>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
@@ -34,13 +39,17 @@ fn ln2_cache() -> &'static Mutex<HashMap<u32, BigFloat>> {
 fn sqrt_half(prec: u32) -> BigFloat {
     static CACHE: OnceLock<Mutex<HashMap<u32, BigFloat>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(v) = cache.lock().expect("sqrt_half cache").get(&prec) {
+    if let Some(v) = cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&prec)
+    {
         return v.clone();
     }
     let v = BigFloat::from_f64_prec(0.5, prec).sqrt();
     cache
         .lock()
-        .expect("sqrt_half cache")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .insert(prec, v.clone());
     v
 }
@@ -84,7 +93,11 @@ impl BigFloat {
     /// π at the given precision (cached).
     pub fn pi(prec: u32) -> BigFloat {
         let prec = prec.min(MAX_PRECISION);
-        if let Some(v) = pi_cache().lock().expect("pi cache").get(&prec) {
+        if let Some(v) = pi_cache()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&prec)
+        {
             return v.clone();
         }
         // Machin's formula: π = 16·atan(1/5) − 4·atan(1/239).
@@ -94,7 +107,7 @@ impl BigFloat {
         let pi = a.sub(&b).with_precision(prec);
         pi_cache()
             .lock()
-            .expect("pi cache")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(prec, pi.clone());
         pi
     }
@@ -102,7 +115,11 @@ impl BigFloat {
     /// ln 2 at the given precision (cached).
     pub fn ln2(prec: u32) -> BigFloat {
         let prec = prec.min(MAX_PRECISION);
-        if let Some(v) = ln2_cache().lock().expect("ln2 cache").get(&prec) {
+        if let Some(v) = ln2_cache()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&prec)
+        {
             return v.clone();
         }
         // ln 2 = 2·atanh(1/3) = 2·(1/3 + (1/3)³/3 + (1/3)⁵/5 + ...)
@@ -122,7 +139,7 @@ impl BigFloat {
                 let result = next.mul(&BigFloat::from_i64(2)).with_precision(prec);
                 ln2_cache()
                     .lock()
-                    .expect("ln2 cache")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .insert(prec, result.clone());
                 return result;
             }

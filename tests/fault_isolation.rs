@@ -1,0 +1,350 @@
+//! Deterministic fault injection against the fault-isolated drivers
+//! (enabled with `--features fault-injection`).
+//!
+//! The contract under test, over real FPBench benchmarks:
+//!
+//! 1. **No loss** — no fault configuration loses a non-faulted input's
+//!    records: the degraded report is bit-identical to the plain serial
+//!    analysis of the surviving inputs alone.
+//! 2. **Determinism** — quarantine lists are identical across thread
+//!    counts and batch widths, and the `(input, error)` pairs are identical
+//!    across all four drivers.
+//! 3. **Typed faults** — injected budget faults surface as the same typed
+//!    [`MachineError`] the real budget produces.
+//! 4. **Retry ladder** — tier-scoped faults heal through the ladder
+//!    (`DoubleDouble` probe, then `BigFloat` probe); faults that survive
+//!    the whole ladder quarantine with the last rung's stage.
+#![cfg(feature = "fault-injection")]
+
+use fpvm::MachineError;
+use herbgrind::faultinject::{self, FaultPlan, FaultSpec, InjectKind, InjectStage, SeededFaults};
+use herbgrind::{
+    analyze, analyze_batched_isolated, analyze_isolated, analyze_parallel_isolated,
+    analyze_tiered_isolated, AnalysisConfig, QuarantinedInput, Report, SweepStage,
+};
+
+fn assert_degraded_matches_survivors(degraded: &Report, survivors: &Report, context: &str) {
+    let mut cleared = degraded.clone();
+    cleared.quarantined.clear();
+    assert_eq!(
+        format!("{cleared:?}"),
+        format!("{survivors:?}"),
+        "structural mismatch: {context}"
+    );
+    assert_eq!(
+        cleared.to_text(),
+        survivors.to_text(),
+        "rendered mismatch: {context}"
+    );
+}
+
+fn surviving_inputs(inputs: &[Vec<f64>], quarantined: &[QuarantinedInput]) -> Vec<Vec<f64>> {
+    inputs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !quarantined.iter().any(|q| q.input_index == *i))
+        .map(|(_, input)| input.clone())
+        .collect()
+}
+
+/// Runs every isolated driver (serial; parallel ×2 thread counts; batched
+/// ×3 widths; tiered ×2 widths) and asserts the full contract: expected
+/// quarantine indices, per-driver deterministic stages, cross-driver
+/// identical `(index, error)` pairs, and survivor bit-identity.
+fn assert_isolation_contract(
+    program: &fpvm::Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+    expected_indices: &[usize],
+    context: &str,
+) {
+    let reference = analyze_isolated(program, inputs, config);
+    let got: Vec<usize> = reference
+        .quarantined
+        .iter()
+        .map(|q| q.input_index)
+        .collect();
+    assert_eq!(got, expected_indices, "serial quarantine set: {context}");
+    assert!(
+        reference
+            .quarantined
+            .iter()
+            .all(|q| q.stage == SweepStage::Serial),
+        "serial stages: {context}"
+    );
+    // The cross-driver invariant: same inputs quarantined for the same
+    // faults; only the recorded pipeline stage differs by driver.
+    let keys: Vec<(usize, herbgrind::SweepFault)> = reference
+        .quarantined
+        .iter()
+        .map(|q| (q.input_index, q.error.clone()))
+        .collect();
+    // The plain drivers never consult the plan, so the survivors oracle is
+    // uninjected even while the plan is installed.
+    let survivors = analyze(
+        program,
+        &surviving_inputs(inputs, &reference.quarantined),
+        config,
+    )
+    .unwrap_or_else(|e| panic!("survivors oracle failed ({context}): {e:?}"));
+    assert_eq!(
+        survivors.total_runs as usize,
+        inputs.len() - expected_indices.len()
+    );
+    assert_degraded_matches_survivors(&reference, &survivors, &format!("serial: {context}"));
+
+    for threads in [2usize, 8] {
+        let report =
+            analyze_parallel_isolated(program, inputs, &config.clone().with_threads(threads));
+        let pairs: Vec<_> = report
+            .quarantined
+            .iter()
+            .map(|q| (q.input_index, q.error.clone()))
+            .collect();
+        assert_eq!(pairs, keys, "parallel t={threads}: {context}");
+        assert!(report
+            .quarantined
+            .iter()
+            .all(|q| q.stage == SweepStage::ParallelShard));
+        assert_degraded_matches_survivors(
+            &report,
+            &survivors,
+            &format!("parallel t={threads}: {context}"),
+        );
+    }
+
+    for width in [1usize, 4, 8] {
+        let report = analyze_batched_isolated(
+            program,
+            inputs,
+            &config.clone().with_batch_width(width).with_threads(2),
+        );
+        let pairs: Vec<_> = report
+            .quarantined
+            .iter()
+            .map(|q| (q.input_index, q.error.clone()))
+            .collect();
+        assert_eq!(pairs, keys, "batched w={width}: {context}");
+        assert!(report
+            .quarantined
+            .iter()
+            .all(|q| q.stage == SweepStage::BatchedLane));
+        assert_degraded_matches_survivors(
+            &report,
+            &survivors,
+            &format!("batched w={width}: {context}"),
+        );
+    }
+
+    for width in [1usize, 8] {
+        let report =
+            analyze_tiered_isolated(program, inputs, &config.clone().with_batch_width(width));
+        let pairs: Vec<_> = report
+            .quarantined
+            .iter()
+            .map(|q| (q.input_index, q.error.clone()))
+            .collect();
+        assert_eq!(pairs, keys, "tiered w={width}: {context}");
+        assert_degraded_matches_survivors(
+            &report,
+            &survivors,
+            &format!("tiered w={width}: {context}"),
+        );
+    }
+}
+
+#[test]
+fn injected_panic_quarantines_only_that_input_across_drivers() {
+    // A stage-agnostic panic at input 7: every driver (and every retry
+    // probe) re-observes it, so exactly input 7 is quarantined everywhere.
+    let _guard = faultinject::install(FaultPlan::sites(vec![FaultSpec::input(
+        7,
+        InjectKind::Panic,
+    )]));
+    for core in fpbench::subset(4) {
+        let name = core.display_name().to_string();
+        let prepared = fpbench::prepare(&core, 20, 2026).expect("prepare");
+        assert_isolation_contract(
+            &prepared.program,
+            &prepared.inputs,
+            &AnalysisConfig::default(),
+            &[7],
+            &format!("panic at 7, {name}"),
+        );
+    }
+}
+
+#[test]
+fn injected_budget_faults_are_typed_and_deterministic() {
+    // Step-budget fault at input 3, trace-budget fault at input 11: the
+    // quarantine records carry the same typed errors the real budgets
+    // produce, with the configured limits.
+    let _guard = faultinject::install(FaultPlan::sites(vec![
+        FaultSpec::input(3, InjectKind::StepBudget),
+        FaultSpec::input(11, InjectKind::TraceBudget),
+    ]));
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 18, 7).expect("prepare");
+    let config = AnalysisConfig::default()
+        .with_step_limit(123_456)
+        .with_trace_node_budget(777);
+    assert_isolation_contract(
+        &prepared.program,
+        &prepared.inputs,
+        &config,
+        &[3, 11],
+        "injected budgets",
+    );
+    let report = analyze_isolated(&prepared.program, &prepared.inputs, &config);
+    assert_eq!(
+        report.quarantined[0].error,
+        herbgrind::SweepFault::Machine(MachineError::StepBudgetExceeded { limit: 123_456 })
+    );
+    assert_eq!(
+        report.quarantined[1].error,
+        herbgrind::SweepFault::Machine(MachineError::TraceBudgetExceeded { limit: 777 })
+    );
+}
+
+#[test]
+fn seeded_background_faults_lose_no_surviving_records() {
+    // Pseudo-random panics keyed only on (input, pc): the same fault set
+    // reproduces on every driver, thread count, and width, and the
+    // survivors' records are never lost.
+    let _guard = faultinject::install(FaultPlan {
+        specs: vec![],
+        seeded: Some(SeededFaults {
+            seed: 0xA5A5,
+            one_in: 40,
+            kind: InjectKind::Panic,
+            stage: None,
+        }),
+    });
+    for core in fpbench::subset(3) {
+        let name = core.display_name().to_string();
+        let prepared = fpbench::prepare(&core, 16, 99).expect("prepare");
+        let config = AnalysisConfig::default();
+        // Discover the seeded quarantine set from the serial driver, then
+        // hold every other driver to exactly that set.
+        let reference = analyze_isolated(&prepared.program, &prepared.inputs, &config);
+        let expected: Vec<usize> = reference
+            .quarantined
+            .iter()
+            .map(|q| q.input_index)
+            .collect();
+        assert!(
+            expected.len() < prepared.inputs.len(),
+            "seeded plan must leave survivors ({name})"
+        );
+        assert_isolation_contract(
+            &prepared.program,
+            &prepared.inputs,
+            &config,
+            &expected,
+            &format!("seeded faults, {name}"),
+        );
+    }
+}
+
+#[test]
+fn tier_escalation_exercises_the_full_retry_ladder() {
+    // A TierEscalation fault at input 5: the certify probe forces it out of
+    // the certified tier, the BigFloat tier's pass panics on it, and the
+    // BigFloat retry probe — the ladder's last rung — panics again, so it
+    // is quarantined with the TieredBigFloat stage. Every other input's
+    // records survive.
+    let _guard = faultinject::install(FaultPlan::sites(vec![FaultSpec::input(
+        5,
+        InjectKind::TierEscalation,
+    )]));
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 14, 3).expect("prepare");
+    let config = AnalysisConfig::default();
+    let survivors_inputs: Vec<Vec<f64>> = prepared
+        .inputs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 5)
+        .map(|(_, input)| input.clone())
+        .collect();
+    let survivors = analyze(&prepared.program, &survivors_inputs, &config).expect("oracle");
+    for width in [1usize, 4, 8] {
+        let report = analyze_tiered_isolated(
+            &prepared.program,
+            &prepared.inputs,
+            &config.clone().with_batch_width(width),
+        );
+        assert_eq!(
+            report
+                .quarantined
+                .iter()
+                .map(|q| (q.input_index, q.stage))
+                .collect::<Vec<_>>(),
+            vec![(5, SweepStage::TieredBigFloat)],
+            "width={width}"
+        );
+        assert!(matches!(
+            report.quarantined[0].error,
+            herbgrind::SweepFault::Panic(_)
+        ));
+        assert_degraded_matches_survivors(&report, &survivors, &format!("escalation w={width}"));
+    }
+    // The other drivers never reach a tier stage, so the same plan is a
+    // no-op for them: nothing quarantined, full report.
+    let serial = analyze_isolated(&prepared.program, &prepared.inputs, &config);
+    assert!(serial.quarantined.is_empty());
+    let full = analyze(&prepared.program, &prepared.inputs, &config).expect("full oracle");
+    assert_degraded_matches_survivors(&serial, &full, "escalation is tier-scoped");
+}
+
+#[test]
+fn stage_scoped_faults_heal_through_the_retry_ladder() {
+    // A panic scoped to the DoubleDouble tier only: the tier pass and the
+    // DoubleDouble probe both fail, but the BigFloat probe rung runs clean,
+    // so the input *heals* — nothing is quarantined, and the report equals
+    // the plain analysis of every input (sound because certified inputs
+    // have identical DoubleDouble and BigFloat records).
+    let _guard = faultinject::install(FaultPlan::sites(vec![FaultSpec::input(
+        2,
+        InjectKind::Panic,
+    )
+    .in_stage(InjectStage::TieredDoubleDouble)]));
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 12, 5).expect("prepare");
+    let config = AnalysisConfig::default();
+    let full = analyze(&prepared.program, &prepared.inputs, &config).expect("full oracle");
+    for width in [1usize, 8] {
+        let report = analyze_tiered_isolated(
+            &prepared.program,
+            &prepared.inputs,
+            &config.clone().with_batch_width(width),
+        );
+        assert!(
+            report.quarantined.is_empty(),
+            "dd-scoped fault must heal at the BigFloat rung (width={width}): {:?}",
+            report.quarantined
+        );
+        assert_degraded_matches_survivors(&report, &full, &format!("healed ladder w={width}"));
+    }
+}
+
+#[test]
+fn nan_poison_is_absorbed_without_quarantine() {
+    // NaN poisoning models a corrupted shadow value rather than a crashed
+    // run: the analysis must absorb it (fail-closed error kernels) without
+    // quarantining or panicking, and every input must still be analyzed.
+    let _guard = faultinject::install(FaultPlan::sites(vec![FaultSpec::input(
+        4,
+        InjectKind::NanPoison,
+    )
+    .in_stage(InjectStage::Serial)]));
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 10, 13).expect("prepare");
+    let config = AnalysisConfig::default();
+    let report = analyze_isolated(&prepared.program, &prepared.inputs, &config);
+    assert!(report.quarantined.is_empty());
+    assert_eq!(report.total_runs, 10);
+    // The poisoned input's error is pinned to the fail-closed maximum, so
+    // the report must flag significant error somewhere.
+    assert!(report.has_significant_error());
+}

@@ -131,6 +131,41 @@ fn sharded_analysis_handles_loops_and_branch_divergence() {
 }
 
 #[test]
+fn multiple_failing_shards_surface_the_lowest_input_index_error() {
+    // When several shards fail with *different* errors, the driver must
+    // deterministically return the error of the lowest failing input — the
+    // error serial analysis stops with — regardless of which thread
+    // finishes (or fails) first. Input 2 fails instantly with an arity
+    // mismatch; input 7 burns its whole step budget first, so a
+    // first-failure-wins implementation would race toward the wrong error.
+    let core = fpcore::parse_core(
+        "(FPCore (n) (while (< i n) ((i 0 (+ i 1)) (acc 1 (* acc 1.0000001))) acc))",
+    )
+    .unwrap();
+    let program = fpvm::compile_core(&core, Default::default()).unwrap();
+    let mut inputs: Vec<Vec<f64>> = (0..10).map(|n| vec![n as f64]).collect();
+    inputs[2] = vec![1.0, 2.0]; // arity mismatch
+    inputs[7] = vec![1.0e9]; // step-budget exhaustion
+    let config = AnalysisConfig::default().with_step_limit(10_000);
+    let expected = fpvm::MachineError::ArityMismatch {
+        expected: 1,
+        actual: 2,
+    };
+    assert_eq!(
+        analyze(&program, &inputs, &config).err(),
+        Some(expected.clone())
+    );
+    for threads in [2usize, 3, 4, 8] {
+        let got = analyze_parallel(&program, &inputs, &config.clone().with_threads(threads)).err();
+        assert_eq!(
+            got,
+            Some(expected.clone()),
+            "threads={threads} must surface the input-2 error, not the input-7 one"
+        );
+    }
+}
+
+#[test]
 fn shard_counts_beyond_input_count_are_harmless() {
     let core = fpcore::parse_core("(FPCore (x) :pre (<= 1 x 1e15) (- (+ x 1) x))").unwrap();
     let program = fpvm::compile_core(&core, Default::default()).unwrap();
