@@ -36,13 +36,27 @@ const INLINE_INFLUENCES: usize = 8;
 /// vector. Iteration order is ascending, exactly the order the previous
 /// `BTreeSet` representation produced, so record merges and reports are
 /// bit-identical to it.
+///
+/// The spill vector sits behind an `Arc` with copy-on-write mutation, so
+/// cloning a spilled set — the `on_copy` path shares whole shadows per
+/// client copy instruction — is a reference-count bump, not a heap copy.
+/// Mutations detach ([`Arc::make_mut`]) only when the storage is actually
+/// shared.
 #[derive(Clone)]
 pub struct InfluenceSet {
     /// Number of inline entries; meaningful only while `spill` is empty.
     len: usize,
     inline: [usize; INLINE_INFLUENCES],
     /// Heap storage; non-empty iff the set has spilled.
-    spill: Vec<usize>,
+    spill: Arc<Vec<usize>>,
+}
+
+/// The shared empty spill vector: lets `InfluenceSet::new` and `clear`
+/// stay allocation-free (a plain `Arc::new(Vec::new())` would allocate the
+/// reference-count block even though the vector itself is empty).
+fn empty_spill() -> Arc<Vec<usize>> {
+    static EMPTY: std::sync::OnceLock<Arc<Vec<usize>>> = std::sync::OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
 }
 
 impl InfluenceSet {
@@ -51,7 +65,7 @@ impl InfluenceSet {
         InfluenceSet {
             len: 0,
             inline: [0; INLINE_INFLUENCES],
-            spill: Vec::new(),
+            spill: empty_spill(),
         }
     }
 
@@ -97,11 +111,13 @@ impl InfluenceSet {
                         self.inline[pos] = value;
                         self.len += 1;
                     } else {
-                        // Spill: move the inline entries to the heap (the
-                        // heap buffer's capacity survives `clear`, so a
-                        // reused set spills without reallocating).
-                        self.spill.extend_from_slice(&self.inline);
-                        self.spill.insert(pos, value);
+                        // Spill: move the inline entries to the heap (an
+                        // exclusively-owned buffer's capacity survives
+                        // `clear`, so a reused set spills without
+                        // reallocating).
+                        let spill = Arc::make_mut(&mut self.spill);
+                        spill.extend_from_slice(&self.inline);
+                        spill.insert(pos, value);
                         self.len = 0;
                     }
                     true
@@ -111,17 +127,23 @@ impl InfluenceSet {
             match self.spill.binary_search(&value) {
                 Ok(_) => false,
                 Err(pos) => {
-                    self.spill.insert(pos, value);
+                    Arc::make_mut(&mut self.spill).insert(pos, value);
                     true
                 }
             }
         }
     }
 
-    /// Empties the set, keeping any heap capacity for reuse.
+    /// Empties the set, keeping exclusively-owned heap capacity for reuse;
+    /// shared spill storage is released to its other owners instead.
     pub fn clear(&mut self) {
         self.len = 0;
-        self.spill.clear();
+        if !self.spill.is_empty() {
+            match Arc::get_mut(&mut self.spill) {
+                Some(vec) => vec.clear(),
+                None => self.spill = empty_spill(),
+            }
+        }
     }
 
     /// Unions another set into this one with a single linear merge of the
@@ -145,16 +167,17 @@ impl InfluenceSet {
                 self.inline[self.len..self.len + b.len()].copy_from_slice(b);
                 self.len += b.len();
             } else {
-                if self.spill.is_empty() {
-                    self.spill.extend_from_slice(&self.inline[..self.len]);
+                let spill = Arc::make_mut(&mut self.spill);
+                if spill.is_empty() {
+                    spill.extend_from_slice(&self.inline[..self.len]);
                     self.len = 0;
                 }
-                self.spill.extend_from_slice(b);
+                spill.extend_from_slice(b);
             }
             return;
         }
         let a_inline = self.inline;
-        let a_vec = std::mem::take(&mut self.spill);
+        let a_vec = std::mem::replace(&mut self.spill, empty_spill());
         let a = if a_vec.is_empty() {
             &a_inline[..self.len]
         } else {
@@ -168,7 +191,7 @@ impl InfluenceSet {
             let mut out = Vec::with_capacity(a.len() + b.len());
             merge_sorted_dedup(a, b, |_, v| out.push(v));
             self.len = 0;
-            self.spill = out;
+            self.spill = Arc::new(out);
         }
     }
 }
@@ -607,6 +630,31 @@ mod tests {
         // Equality and Debug go through the logical contents.
         assert_eq!(set, InfluenceSet::from([5usize]));
         assert_eq!(format!("{set:?}"), "{5}");
+    }
+
+    #[test]
+    fn cloned_spilled_sets_share_storage_until_mutated() {
+        let mut set = InfluenceSet::new();
+        for pc in 0..2 * INLINE_INFLUENCES {
+            set.insert(pc);
+        }
+        assert!(!set.spill.is_empty(), "set should have spilled");
+        // The clone is a reference-count bump on the same spill vector.
+        let mut copy = set.clone();
+        assert!(Arc::ptr_eq(&set.spill, &copy.spill));
+        assert_eq!(set, copy);
+        // Mutating the clone detaches it (copy-on-write) without touching
+        // the original.
+        copy.insert(1_000);
+        assert!(!Arc::ptr_eq(&set.spill, &copy.spill));
+        assert!(copy.contains(&1_000) && !set.contains(&1_000));
+        assert_eq!(set.len(), 2 * INLINE_INFLUENCES);
+        // Clearing a still-shared set releases the storage to the other
+        // owner rather than wiping it.
+        let third = set.clone();
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(third.len(), 2 * INLINE_INFLUENCES);
     }
 
     #[test]

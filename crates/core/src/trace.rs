@@ -167,16 +167,33 @@ impl ConcreteExpr {
         pc: usize,
         loc: impl Into<Arc<SourceLoc>>,
     ) -> Arc<ConcreteExpr> {
-        let children = children.into();
+        Arc::new(ConcreteExpr::node_value(
+            op,
+            value,
+            children.into(),
+            pc,
+            loc.into(),
+        ))
+    }
+
+    /// Builds the node value itself (depth included) without boxing it into
+    /// an `Arc`, so [`ExprInterner`] can place it into a recycled allocation.
+    fn node_value(
+        op: RealOp,
+        value: f64,
+        children: TraceChildren,
+        pc: usize,
+        loc: Arc<SourceLoc>,
+    ) -> ConcreteExpr {
         let depth = 1 + children.iter().map(|c| c.depth()).max().unwrap_or(0);
-        Arc::new(ConcreteExpr::Node {
+        ConcreteExpr::Node {
             op,
             value,
             children,
             pc,
-            loc: loc.into(),
+            loc,
             depth,
-        })
+        }
     }
 
     /// The double value at this node.
@@ -458,6 +475,12 @@ pub struct LaneNode<'a> {
 pub struct ExprInterner {
     leaves: HashMap<u64, Arc<ConcreteExpr>, Prehashed>,
     nodes: HashMap<NodeKey, Arc<ConcreteExpr>, Prehashed>,
+    /// Recycled node allocations: `Arc`s whose contents died with the
+    /// previous run ([`ExprInterner::clear`]) and whose heap blocks can be
+    /// rewritten in place for this run's nodes. Every entry is uniquely
+    /// owned (checked with [`Arc::get_mut`] before pooling), so overwriting
+    /// it is invisible to the rest of the analysis.
+    pool: Vec<Arc<ConcreteExpr>>,
 }
 
 /// Hash builder for the interner tables: every key either is a single word
@@ -495,6 +518,11 @@ impl BuildHasher for Prehashed {
 /// cannot pin unbounded memory in exchange for a near-zero hit rate.
 const MAX_INTERNED: usize = 1 << 20;
 
+/// Cap on recycled node allocations kept across [`ExprInterner::clear`]:
+/// enough to cover the per-run working set of a sweep input without pinning
+/// a pathological run's worth of dead blocks.
+const POOL_CAP: usize = 4096;
+
 impl ExprInterner {
     /// Creates an empty interner.
     pub fn new() -> ExprInterner {
@@ -531,7 +559,13 @@ impl ExprInterner {
         if let Some(existing) = self.nodes.get(&key) {
             return Arc::clone(existing);
         }
-        let node = ConcreteExpr::node(op, value, children, pc, loc);
+        let node = self.alloc_node(ConcreteExpr::node_value(
+            op,
+            value,
+            children.into(),
+            pc,
+            loc.into(),
+        ));
         if self.nodes.len() < MAX_INTERNED {
             self.nodes.insert(key, Arc::clone(&node));
         }
@@ -555,13 +589,13 @@ impl ExprInterner {
         if let Some(existing) = self.nodes.get(&key) {
             return Arc::clone(existing);
         }
-        let node = ConcreteExpr::node(
+        let node = self.alloc_node(ConcreteExpr::node_value(
             op,
             value,
             TraceChildren::from_refs(children),
             pc,
             Arc::clone(loc),
-        );
+        ));
         if self.nodes.len() < MAX_INTERNED {
             self.nodes.insert(key, Arc::clone(&node));
         }
@@ -640,13 +674,13 @@ impl ExprInterner {
                 out[l] = Some(Arc::clone(existing));
                 continue;
             }
-            let node = ConcreteExpr::node(
+            let node = self.alloc_node(ConcreteExpr::node_value(
                 op,
                 req.value,
                 TraceChildren::from_refs(req.children),
                 pc,
                 Arc::clone(loc),
-            );
+            ));
             if self.nodes.len() < MAX_INTERNED {
                 self.nodes.insert(key, Arc::clone(&node));
             }
@@ -654,10 +688,43 @@ impl ExprInterner {
         }
     }
 
+    /// Boxes a freshly built node, reusing a recycled allocation from the
+    /// previous run when one is available — the steady-state sweep path
+    /// allocates trace nodes only while a run's working set outgrows every
+    /// prior run's.
+    fn alloc_node(&mut self, node: ConcreteExpr) -> Arc<ConcreteExpr> {
+        while let Some(mut recycled) = self.pool.pop() {
+            if let Some(slot) = Arc::get_mut(&mut recycled) {
+                *slot = node;
+                return recycled;
+            }
+        }
+        Arc::new(node)
+    }
+
     /// Drops all interned nodes (per-run state, like shadow memory).
+    ///
+    /// Node allocations whose only owner is the table are not returned to
+    /// the system: their contents are replaced with an inert leaf — which
+    /// releases child subtrees and locations immediately, exactly like
+    /// dropping — and the empty blocks are kept (up to [`POOL_CAP`]) for
+    /// [`ExprInterner::alloc_node`] to rewrite during the next run.
     pub fn clear(&mut self) {
-        self.leaves.clear();
-        self.nodes.clear();
+        let ExprInterner {
+            leaves,
+            nodes,
+            pool,
+        } = self;
+        leaves.clear();
+        for (_, mut node) in nodes.drain() {
+            if pool.len() >= POOL_CAP {
+                continue;
+            }
+            if let Some(slot) = Arc::get_mut(&mut node) {
+                *slot = ConcreteExpr::Leaf { value: 0.0 };
+                pool.push(node);
+            }
+        }
     }
 
     /// The number of distinct interned nodes (leaves plus operations).
@@ -828,6 +895,49 @@ mod tests {
         );
         assert!(!Arc::ptr_eq(&a, &d));
         assert_eq!(interner.len(), 4);
+    }
+
+    #[test]
+    fn clear_recycles_exclusively_owned_node_allocations() {
+        let mut interner = ExprInterner::new();
+        let x = interner.leaf(7.0);
+        let first = interner.node(
+            RealOp::Mul,
+            49.0,
+            vec![x.clone(), x.clone()],
+            0,
+            SourceLoc::default(),
+        );
+        let recycled_block = Arc::as_ptr(&first);
+        // Keeping an outside owner across `clear` pins the allocation: the
+        // interner must not hand it out to the next run.
+        let pinned = interner.node(
+            RealOp::Add,
+            14.0,
+            vec![x.clone(), x],
+            1,
+            SourceLoc::default(),
+        );
+        drop(first);
+        interner.clear();
+        assert!(interner.is_empty());
+        let y = interner.leaf(9.0);
+        let reused = interner.node(
+            RealOp::Sub,
+            2.0,
+            vec![y.clone(), y.clone()],
+            2,
+            SourceLoc::default(),
+        );
+        // The sole-owner node's heap block was rewritten in place for the
+        // new run's node; the pinned node's block was not.
+        assert_eq!(Arc::as_ptr(&reused), recycled_block);
+        assert_ne!(Arc::as_ptr(&reused), Arc::as_ptr(&pinned));
+        assert_eq!(reused.value(), 2.0);
+        assert_eq!(reused.depth(), 1);
+        // The pinned node still reads back its original contents.
+        assert_eq!(pinned.value(), 14.0);
+        assert_eq!(pinned.operation_count(), 1);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! evaluation is the mantissas wider than four limbs created at the
 //! `work = prec + 64` guard precision.
 
-use super::{BigFloat, Finite, Repr, MAX_PRECISION};
+use super::{fast_paths_enabled, BigFloat, Finite, Repr, MAX_PRECISION, MIN_PRECISION};
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
@@ -75,6 +75,102 @@ fn atan_recip_int(x: i64, prec: u32) -> BigFloat {
         }
         sum = next;
         k += 1;
+    }
+}
+
+fn two_over_pi_cache() -> &'static Mutex<HashMap<u32, BigFloat>> {
+    static CACHE: OnceLock<Mutex<HashMap<u32, BigFloat>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// 2/π at the given precision, cached: the Payne–Hanek trig reduction
+/// reads a bit window out of it for every large argument.
+fn two_over_pi(prec: u32) -> BigFloat {
+    if let Some(v) = two_over_pi_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&prec)
+    {
+        return v.clone();
+    }
+    let v = BigFloat::from_i64(2)
+        .with_precision(prec)
+        .div(&BigFloat::pi(prec));
+    two_over_pi_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(prec, v.clone());
+    v
+}
+
+/// Guard bits kept on top of a term's contributing window when its
+/// evaluation precision is staged down (see [`SeriesArg`]).
+const STAGE_GUARD: u32 = 96;
+
+/// Staged working precision for a series argument (`r`, `x²`, ...).
+///
+/// In a Taylor/atanh series evaluated at `work` bits, a term whose leading
+/// bit sits `below` bits under the running sum only contributes its top
+/// `work − below` bits to the result — evaluating it at full guard width
+/// wastes quadratic multiply work on bits the final rounding never sees.
+/// Each term is therefore demoted to the narrowest 64-bit-aligned rung that
+/// still covers its contributing window plus [`STAGE_GUARD`] bits (the
+/// re-rounding of the argument is linear in the mantissa, noise next to the
+/// multiply it narrows). The staging is part of the fast-path surface: with
+/// `set_disable_fast_paths` every term runs at full width and the loops
+/// below replay the historical evaluation order bit for bit.
+struct SeriesArg<'a> {
+    x: &'a BigFloat,
+    work: u32,
+    staged: bool,
+}
+
+impl<'a> SeriesArg<'a> {
+    fn new(x: &'a BigFloat, work: u32) -> Self {
+        SeriesArg {
+            x,
+            work,
+            staged: fast_paths_enabled(),
+        }
+    }
+
+    /// The stage precision for a term sitting `below` bits under the
+    /// running sum.
+    fn prec_at(&self, below: i64) -> u32 {
+        let needed = (self.work as i64 + STAGE_GUARD as i64 - below).max(128) as u32;
+        self.work - 64 * ((self.work.saturating_sub(needed)) / 64)
+    }
+
+    /// Demotes a series accumulator and pairs it with an argument copy at
+    /// the matching stage precision; the full-width path passes both
+    /// through untouched.
+    fn stage(&self, term: BigFloat, below: i64) -> (BigFloat, BigFloat) {
+        let sp = self.prec_at(below);
+        if self.staged && term.precision() > sp {
+            (term.with_precision(sp), self.x.with_precision(sp))
+        } else {
+            (term, self.x.clone())
+        }
+    }
+
+    /// An integer series coefficient: [`MIN_PRECISION`] on the staged path
+    /// (so a narrow term is not promoted back up by the division), the
+    /// historical `from_i64` default precision otherwise.
+    fn int(&self, k: i64) -> BigFloat {
+        let c = BigFloat::from_i64(k);
+        if self.staged {
+            c.with_precision(MIN_PRECISION)
+        } else {
+            c
+        }
+    }
+}
+
+/// Bits the leading edge of `term` sits below the leading edge of `sum`.
+fn bits_below(sum: &BigFloat, term: &BigFloat) -> i64 {
+    match (sum.exponent(), term.exponent()) {
+        (Some(s), Some(t)) => (s - t).max(0),
+        _ => 0,
     }
 }
 
@@ -194,12 +290,16 @@ impl BigFloat {
                 let n = x.div(&ln2).round_nearest().to_f64() as i64;
                 let nb = BigFloat::from_i64(n).with_precision(work);
                 let r = x.sub(&nb.mul(&ln2));
-                // Taylor series for exp(r), |r| ≲ ln2/2.
+                // Taylor series for exp(r), |r| ≲ ln2/2, with staged
+                // working precision as the terms shrink.
+                let args = SeriesArg::new(&r, work);
                 let mut term = BigFloat::one().with_precision(work);
                 let mut sum = term.clone();
                 let mut k: i64 = 1;
                 loop {
-                    term = term.mul(&r).div(&BigFloat::from_i64(k));
+                    let below = bits_below(&sum, &term);
+                    let (t, rs) = args.stage(term, below);
+                    term = t.mul(&rs).div(&args.int(k));
                     let next = sum.add(&term);
                     if converged(&next, &term, work) {
                         return next.scale_exp(n).with_precision(prec);
@@ -233,20 +333,7 @@ impl BigFloat {
                 // ln m = 2·atanh(t), t = (m−1)/(m+1), |t| ≤ 0.172.
                 let one = BigFloat::one().with_precision(work);
                 let t = m.sub(&one).div(&m.add(&one));
-                let t2 = t.mul(&t);
-                let mut power = t.clone();
-                let mut sum = t.clone();
-                let mut i: i64 = 1;
-                let ln_m = loop {
-                    power = power.mul(&t2);
-                    let contrib = power.div(&BigFloat::from_i64(2 * i + 1));
-                    let next = sum.add(&contrib);
-                    if converged(&next, &contrib, work) || contrib.is_zero() {
-                        break next.mul(&BigFloat::from_i64(2));
-                    }
-                    sum = next;
-                    i += 1;
-                };
+                let ln_m = t.atanh_series(work).mul(&BigFloat::from_i64(2));
                 let kb = BigFloat::from_i64(k).with_precision(work);
                 kb.mul(&BigFloat::ln2(work)).add(&ln_m).with_precision(prec)
             }
@@ -339,12 +426,15 @@ impl BigFloat {
     fn atanh_series(&self, work: u32) -> BigFloat {
         let t = self.with_precision(work);
         let t2 = t.mul(&t);
+        let args = SeriesArg::new(&t2, work);
         let mut power = t.clone();
         let mut sum = t.clone();
         let mut i: i64 = 1;
         loop {
-            power = power.mul(&t2);
-            let contrib = power.div(&BigFloat::from_i64(2 * i + 1));
+            let below = bits_below(&sum, &power);
+            let (p, ts) = args.stage(power, below);
+            power = p.mul(&ts);
+            let contrib = power.div(&args.int(2 * i + 1));
             let next = sum.add(&contrib);
             if converged(&next, &contrib, work) || contrib.is_zero() {
                 return next;
@@ -357,6 +447,9 @@ impl BigFloat {
     /// Reduces the argument modulo π/2, returning the remainder (|r| ≤ π/4)
     /// and the quadrant (0..=3).
     fn trig_reduce(&self, work: u32) -> (BigFloat, u8) {
+        if let Some(red) = self.trig_reduce_payne_hanek(work) {
+            return red;
+        }
         let exp_extra = self.exponent().unwrap_or(0).max(0) as u32;
         let red_work = (work + exp_extra + 16).min(MAX_PRECISION);
         let pi = BigFloat::pi(red_work);
@@ -369,19 +462,72 @@ impl BigFloat {
         (r, q as u8)
     }
 
+    /// Payne–Hanek reduction for large arguments: instead of dividing by
+    /// π/2 at `work + exponent` bits, reads a fixed-width window out of a
+    /// cached 2/π.
+    ///
+    /// Writing `x = f·2^e` with an `mb`-bit mantissa, every bit of 2/π of
+    /// weight `2^−j` with `j ≤ e − mb − 2` multiplies `x` into an exact
+    /// multiple of 4 — irrelevant to both the quadrant (`n mod 4`) and the
+    /// remainder. Only a window of `mb + work + O(guard)` bits of 2/π below
+    /// that line ever matters, so the reduction cost stops growing with the
+    /// exponent. Returns `None` (falling back to the plain reduction) for
+    /// small arguments, where the window would not drop anything, and for
+    /// exponents so large the cached constant cannot cover the window.
+    fn trig_reduce_payne_hanek(&self, work: u32) -> Option<(BigFloat, u8)> {
+        if !fast_paths_enabled() {
+            return None;
+        }
+        let f = match &self.repr {
+            Repr::Finite(f) => f,
+            _ => return None,
+        };
+        let mb = 64 * f.limbs.len() as i64;
+        // High bits of 2/π with weight ≥ 2^−drop contribute multiples of 4.
+        let drop = f.exp - mb - 2;
+        if drop < 1 {
+            return None;
+        }
+        let window = (mb as u32 + work + 160).min(MAX_PRECISION);
+        // Round the constant's precision up to a coarse grid so repeated
+        // reductions at nearby exponents share a cache entry.
+        let cprec = (drop as u64 + window as u64).next_multiple_of(2048);
+        if cprec > MAX_PRECISION as u64 {
+            return None;
+        }
+        let c = two_over_pi(cprec as u32);
+        // m = 2/π with the irrelevant high bits sliced off: frac(2/π·2^drop)
+        // rescaled, then narrowed to the window.
+        let shifted = c.scale_exp(drop);
+        let m = shifted
+            .sub(&shifted.trunc())
+            .scale_exp(-drop)
+            .with_precision(window);
+        // p = x·m carries n mod 4 in its integer part (|p| < 2^(mb+3)) and
+        // the reduced fraction below the point.
+        let p = self.with_precision(window).mul(&m);
+        let n = p.round_nearest();
+        let frac = p.sub(&n).with_precision((work + 32).min(MAX_PRECISION));
+        let q = n.fmod(&BigFloat::from_i64(4)).to_f64() as i64;
+        let q = ((q % 4) + 4) % 4;
+        let half_pi = BigFloat::pi((work + 32).min(MAX_PRECISION)).scale_exp(-1);
+        let r = frac.mul(&half_pi).with_precision(work);
+        Some((r, q as u8))
+    }
+
     /// Taylor series for sine, valid for small arguments.
     fn sin_series(&self, work: u32) -> BigFloat {
         let x = self.with_precision(work);
         let x2 = x.mul(&x);
+        let args = SeriesArg::new(&x2, work);
         let mut term = x.clone();
         let mut sum = x.clone();
         let mut k: i64 = 1;
         loop {
             // term_{k+1} = -term_k * x² / ((2k)(2k+1))
-            term = term
-                .mul(&x2)
-                .div(&BigFloat::from_i64(2 * k * (2 * k + 1)))
-                .neg();
+            let below = bits_below(&sum, &term);
+            let (t, xs) = args.stage(term, below);
+            term = t.mul(&xs).div(&args.int(2 * k * (2 * k + 1))).neg();
             let next = sum.add(&term);
             if converged(&next, &term, work) || term.is_zero() {
                 return next;
@@ -395,15 +541,15 @@ impl BigFloat {
     fn cos_series(&self, work: u32) -> BigFloat {
         let x = self.with_precision(work);
         let x2 = x.mul(&x);
+        let args = SeriesArg::new(&x2, work);
         let mut term = BigFloat::one().with_precision(work);
         let mut sum = term.clone();
         let mut k: i64 = 1;
         loop {
             // term_{k+1} = -term_k * x² / ((2k-1)(2k))
-            term = term
-                .mul(&x2)
-                .div(&BigFloat::from_i64((2 * k - 1) * (2 * k)))
-                .neg();
+            let below = bits_below(&sum, &term);
+            let (t, xs) = args.stage(term, below);
+            term = t.mul(&xs).div(&args.int((2 * k - 1) * (2 * k))).neg();
             let next = sum.add(&term);
             if converged(&next, &term, work) || term.is_zero() {
                 return next;

@@ -1,0 +1,146 @@
+//! Lane-grouped evaluation of the unrolled 256-bit BigFloat kernels.
+//!
+//! The batched analysis hands [`crate::BatchReal::apply_lanes`] a lane
+//! group per operation; for `DoubleDouble` that call lands in a SoA loop
+//! the compiler vectorizes. BigFloat's limb kernels are carry chains that
+//! no SIMD unit helps with, but the escalated tier still loses real time
+//! to per-lane dispatch: every scalar call re-matches the `Repr` variants,
+//! re-checks the fast-path conditions, and re-resolves the operation. The
+//! functions here hoist all of that out of the lane loop — conforming
+//! lanes (both operands finite, four inline limbs, 256-bit result) are
+//! gathered contiguously, then a monomorphic loop runs the const-size
+//! kernel (`add_finite_fast::<4, 5>`, `mul_finite_fast::<4, 8>`, the
+//! Newton/reciprocal `div_finite`) back to back, letting the compiler
+//! inline and schedule one unrolled body across the whole group.
+//!
+//! Bit-identity is structural: a conforming lane is dispatched to exactly
+//! the kernel the scalar path would pick for the same operands, and every
+//! non-conforming lane is reported back to the caller for the scalar
+//! fallback. With `set_disable_fast_paths` the gather declines every lane.
+
+use super::{fast_paths_enabled, newton, BigFloat, Finite, Repr};
+
+/// The mantissa width (limbs) and result precision the lane kernels are
+/// specialized for: the default 256-bit tier.
+const LANE_LIMBS: usize = 4;
+const LANE_PREC: u32 = 256;
+
+/// A gathered binary lane group: contiguous conforming operand pairs plus
+/// their original lane indices.
+struct Gather<'a, const W: usize> {
+    pairs: [Option<(&'a Finite, &'a Finite)>; W],
+    lanes: [u8; W],
+    len: usize,
+    handled: u32,
+}
+
+impl<'a, const W: usize> Gather<'a, W> {
+    /// Collects the active lanes whose operands both sit in the 4-limb /
+    /// 256-bit representation the unrolled kernels cover.
+    fn collect(a: &[Option<&'a BigFloat>; W], b: &[Option<&'a BigFloat>; W], mask: u32) -> Self {
+        let mut g = Gather {
+            pairs: [None; W],
+            lanes: [0; W],
+            len: 0,
+            handled: 0,
+        };
+        if !fast_paths_enabled() {
+            return g;
+        }
+        for l in 0..W {
+            if (mask >> l) & 1 == 0 {
+                continue;
+            }
+            if let (Some(x), Some(y)) = (a[l], b[l]) {
+                if let (Repr::Finite(fa), Repr::Finite(fb)) = (&x.repr, &y.repr) {
+                    if fa.prec == LANE_PREC
+                        && fb.prec == LANE_PREC
+                        && fa.limbs.len() == LANE_LIMBS
+                        && fb.limbs.len() == LANE_LIMBS
+                    {
+                        g.pairs[g.len] = Some((fa, fb));
+                        g.lanes[g.len] = l as u8;
+                        g.len += 1;
+                        g.handled |= 1 << l;
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+/// Lane-grouped 256-bit addition. Returns the mask of lanes evaluated;
+/// the caller owes the rest to the scalar path.
+pub(crate) fn add_lanes<const W: usize>(
+    a: &[Option<&BigFloat>; W],
+    b: &[Option<&BigFloat>; W],
+    mask: u32,
+    out: &mut [Option<BigFloat>; W],
+) -> u32 {
+    let g = Gather::collect(a, b, mask);
+    for i in 0..g.len {
+        let (fa, fb) = g.pairs[i].expect("gathered lane");
+        out[g.lanes[i] as usize] = Some(BigFloat {
+            repr: BigFloat::add_finite_fast::<4, 5>(fa, fb),
+        });
+    }
+    g.handled
+}
+
+/// Lane-grouped 256-bit subtraction: the scalar path negates the second
+/// operand and adds, so the lane loop does the same (the mantissa copy is
+/// an inline-limb stack move).
+pub(crate) fn sub_lanes<const W: usize>(
+    a: &[Option<&BigFloat>; W],
+    b: &[Option<&BigFloat>; W],
+    mask: u32,
+    out: &mut [Option<BigFloat>; W],
+) -> u32 {
+    let g = Gather::collect(a, b, mask);
+    for i in 0..g.len {
+        let (fa, fb) = g.pairs[i].expect("gathered lane");
+        let nb = Finite {
+            neg: !fb.neg,
+            ..fb.clone()
+        };
+        out[g.lanes[i] as usize] = Some(BigFloat {
+            repr: BigFloat::add_finite_fast::<4, 5>(fa, &nb),
+        });
+    }
+    g.handled
+}
+
+/// Lane-grouped 256-bit multiplication.
+pub(crate) fn mul_lanes<const W: usize>(
+    a: &[Option<&BigFloat>; W],
+    b: &[Option<&BigFloat>; W],
+    mask: u32,
+    out: &mut [Option<BigFloat>; W],
+) -> u32 {
+    let g = Gather::collect(a, b, mask);
+    for i in 0..g.len {
+        let (fa, fb) = g.pairs[i].expect("gathered lane");
+        out[g.lanes[i] as usize] = Some(BigFloat {
+            repr: BigFloat::mul_finite_fast::<4, 8>(fa, fb, fa.neg != fb.neg),
+        });
+    }
+    g.handled
+}
+
+/// Lane-grouped 256-bit division through the Newton/reciprocal kernel.
+pub(crate) fn div_lanes<const W: usize>(
+    a: &[Option<&BigFloat>; W],
+    b: &[Option<&BigFloat>; W],
+    mask: u32,
+    out: &mut [Option<BigFloat>; W],
+) -> u32 {
+    let g = Gather::collect(a, b, mask);
+    for i in 0..g.len {
+        let (fa, fb) = g.pairs[i].expect("gathered lane");
+        out[g.lanes[i] as usize] = Some(BigFloat {
+            repr: newton::div_finite(fa, fb, LANE_PREC, fa.neg != fb.neg),
+        });
+    }
+    g.handled
+}

@@ -8,26 +8,28 @@
 //! Storage is the [`SmallBuf`] type: up to `N` limbs live inline on the
 //! stack, longer buffers fall back to the heap. Two instantiations are used:
 //!
-//! * [`Limbs`] (`N = 4`) holds stored mantissas — precisions up to 256 bits
-//!   (the default) never touch the allocator;
-//! * [`Scratch`] (`N = 12`) holds the working windows of the arithmetic
-//!   kernels — the widened addition window (`limbs + 1`) and the full
-//!   product (`a.len() + b.len()`) stay on the stack for operands up to
-//!   384 bits.
+//! * [`Limbs`] (`N = 6`) holds stored mantissas — precisions up to 384 bits
+//!   never touch the allocator, covering the default 256 plus the widened
+//!   working precision (`prec + 64`) the transcendental kernels run at;
+//! * [`Scratch`] (`N = 16`) holds the working windows of the arithmetic
+//!   kernels — the widened addition window (`limbs + 1`), the full product
+//!   (`a.len() + b.len()`), and the Newton division/sqrt windows stay on
+//!   the stack for operands up to the widened default precision.
 //!
 //! All kernels operate in place on `&mut [u64]` slices so the same code
 //! serves both representations; none of them allocate.
 
 use std::ops::{Deref, DerefMut};
 
-/// Number of limbs stored inline in a mantissa: 4 limbs = 256 bits, the
-/// default shadow precision.
-pub(crate) const INLINE_LIMBS: usize = 4;
+/// Number of limbs stored inline in a mantissa: 6 limbs = 384 bits, the
+/// default shadow precision (256) plus the `prec + 64` guard width the
+/// transcendental kernels work at.
+pub(crate) const INLINE_LIMBS: usize = 6;
 
 /// Number of limbs stored inline in a scratch window (covers the addition
-/// window and the double-width product at default precision with room to
-/// spare for mixed-precision operands).
-pub(crate) const SCRATCH_LIMBS: usize = 12;
+/// window, the double-width product, and the Newton division/sqrt windows
+/// at default precision with room to spare for mixed-precision operands).
+pub(crate) const SCRATCH_LIMBS: usize = 16;
 
 /// A limb buffer with inline storage for up to `N` limbs and heap fallback
 /// above.
@@ -39,7 +41,7 @@ pub(crate) enum SmallBuf<const N: usize> {
     Heap(Vec<u64>),
 }
 
-/// Stored mantissa limbs: inline for precisions up to 256 bits.
+/// Stored mantissa limbs: inline for precisions up to 384 bits.
 pub(crate) type Limbs = SmallBuf<INLINE_LIMBS>;
 
 /// Scratch working window for the arithmetic kernels.
@@ -334,18 +336,150 @@ pub(crate) fn add_shifted_into(dst: &mut [u64], src: &[u64], bits: u64) -> (bool
     (sticky, carry)
 }
 
+/// Two's-complement negation in place:
+/// `a = (2^(64·len) − a) mod 2^(64·len)`.
+#[inline]
+pub(crate) fn negate_in_place(a: &mut [u64]) {
+    let mut carry = true;
+    for limb in a.iter_mut() {
+        let (v, c) = (!*limb).overflowing_add(carry as u64);
+        *limb = v;
+        carry = c;
+    }
+}
+
+/// Adds `src` into `dst` starting at limb `offset`, propagating the carry
+/// through the rest of `dst`. Returns the carry out of the top (callers on
+/// two's-complement buffers let it wrap; others assert it clear).
+#[inline]
+pub(crate) fn add_at(dst: &mut [u64], src: &[u64], offset: usize) -> bool {
+    debug_assert!(offset + src.len() <= dst.len());
+    let mut carry = false;
+    for (d, &s) in dst[offset..].iter_mut().zip(src) {
+        let (v1, c1) = d.overflowing_add(s);
+        let (v2, c2) = v1.overflowing_add(carry as u64);
+        *d = v2;
+        carry = c1 || c2;
+    }
+    for d in dst[offset + src.len()..].iter_mut() {
+        if !carry {
+            break;
+        }
+        let (v, c) = d.overflowing_add(1);
+        *d = v;
+        carry = c;
+    }
+    carry
+}
+
+/// Subtracts `src` from `dst` starting at limb `offset`, propagating the
+/// borrow through the rest of `dst`. Returns the borrow out of the top
+/// (on two's-complement buffers a set borrow just wraps the sign).
+#[inline]
+pub(crate) fn sub_at(dst: &mut [u64], src: &[u64], offset: usize) -> bool {
+    debug_assert!(offset + src.len() <= dst.len());
+    let mut borrow = false;
+    for (d, &s) in dst[offset..].iter_mut().zip(src) {
+        let (v1, b1) = d.overflowing_sub(s);
+        let (v2, b2) = v1.overflowing_sub(borrow as u64);
+        *d = v2;
+        borrow = b1 || b2;
+    }
+    for d in dst[offset + src.len()..].iter_mut() {
+        if !borrow {
+            break;
+        }
+        let (v, b) = d.overflowing_sub(1);
+        *d = v;
+        borrow = b;
+    }
+    borrow
+}
+
+/// Subtracts `q · src` from `acc` limb-wise (`acc.len() == src.len()`),
+/// returning the borrow word out of the top — the schoolbook division
+/// inner step. The borrow word cannot overflow: the per-limb high product
+/// is at most 2^64 − 2, leaving room for the subtraction borrow.
+#[inline]
+pub(crate) fn submul_1(acc: &mut [u64], src: &[u64], q: u64) -> u64 {
+    debug_assert_eq!(acc.len(), src.len());
+    let mut borrow = 0u64;
+    for (a, &s) in acc.iter_mut().zip(src) {
+        let p = (q as u128) * (s as u128) + borrow as u128;
+        let (v, under) = a.overflowing_sub(p as u64);
+        *a = v;
+        borrow = (p >> 64) as u64 + under as u64;
+    }
+    borrow
+}
+
+/// Shifts left by `bits` (must be < 64) in place, discarding anything
+/// shifted out the top — unlike [`shl_in_place`], which forbids overflow.
+/// Used on fraction windows where the integer part is dropped by design.
+#[inline]
+pub(crate) fn shl_small_wrapping(a: &mut [u64], bits: u32) {
+    debug_assert!(bits < 64);
+    if bits == 0 {
+        return;
+    }
+    let mut carry = 0u64;
+    for limb in a.iter_mut() {
+        let new = (*limb << bits) | carry;
+        carry = *limb >> (64 - bits);
+        *limb = new;
+    }
+}
+
 /// Full product of two limb buffers, written into `out`, which must be
 /// exactly `a.len() + b.len()` limbs long. Column-wise (comba) accumulation:
 /// each output limb is written exactly once, and carries propagate through a
 /// 192-bit running accumulator instead of per-row read-modify-write sweeps.
 ///
-/// The 4×4 case — 256-bit mantissas, the default shadow precision — is
-/// dispatched to a const-size instantiation the compiler fully unrolls.
+/// Small square operand counts — covering the default 256-bit mantissas
+/// and the widened `prec + 64` working precision of the transcendental
+/// kernels — are dispatched to const-size instantiations the compiler
+/// fully unrolls.
+#[inline]
 pub(crate) fn mul_into(out: &mut [u64], a: &[u64], b: &[u64]) {
-    if a.len() == INLINE_LIMBS && b.len() == INLINE_LIMBS {
-        mul_comba::<INLINE_LIMBS>(out, a, b);
-    } else {
-        mul_comba_dyn(out, a, b);
+    if a.len() == b.len() {
+        match a.len() {
+            1 => return mul_comba::<1>(out, a, b),
+            2 => return mul_comba::<2>(out, a, b),
+            3 => return mul_comba::<3>(out, a, b),
+            4 => return mul_comba::<4>(out, a, b),
+            5 => return mul_comba::<5>(out, a, b),
+            6 => return mul_comba::<6>(out, a, b),
+            _ => {}
+        }
+    }
+    mul_comba_dyn(out, a, b);
+}
+
+/// Truncated product: computes only the comba columns `cut ..
+/// a.len() + b.len()` of `a × b`, writing them into `out` (which must be
+/// exactly `a.len() + b.len() - cut` limbs). Partial products entirely
+/// below column `cut` are skipped, so the result can fall short of the
+/// true top columns by up to `min(a.len(), b.len()) + 1` units of column
+/// `cut` (the carries the skipped columns would have propagated up).
+/// Callers keep ≥ 2 guard limbs below the bits they consume, which makes
+/// the shortfall irrelevant next to their own fixup step.
+#[inline]
+pub(crate) fn mul_trunc_into(out: &mut [u64], a: &[u64], b: &[u64], cut: usize) {
+    debug_assert_eq!(out.len() + cut, a.len() + b.len());
+    let mut acc_lo: u128 = 0;
+    let mut acc_hi: u64 = 0;
+    for (o, col) in out.iter_mut().zip(cut..) {
+        let i_min = col.saturating_sub(b.len() - 1);
+        let i_max = (col + 1).min(a.len());
+        for i in i_min..i_max {
+            let p = (a[i] as u128) * (b[col - i] as u128);
+            let (sum, overflowed) = acc_lo.overflowing_add(p);
+            acc_lo = sum;
+            acc_hi += overflowed as u64;
+        }
+        *o = acc_lo as u64;
+        acc_lo = (acc_lo >> 64) | ((acc_hi as u128) << 64);
+        acc_hi = 0;
     }
 }
 
@@ -374,24 +508,33 @@ pub(crate) fn mul_comba<const N: usize>(out: &mut [u64], a: &[u64], b: &[u64]) {
     debug_assert_eq!(acc_lo, 0);
 }
 
+#[inline]
 fn mul_comba_dyn(out: &mut [u64], a: &[u64], b: &[u64]) {
     debug_assert_eq!(out.len(), a.len() + b.len());
-    let mut acc_lo: u128 = 0; // low 128 bits of the running column sum
-    let mut acc_hi: u64 = 0; // overflow above 128 bits
-    for (col, o) in out.iter_mut().enumerate() {
-        let i_min = col.saturating_sub(b.len() - 1);
-        let i_max = (col + 1).min(a.len());
-        for i in i_min..i_max {
-            let p = (a[i] as u128) * (b[col - i] as u128);
-            let (sum, overflowed) = acc_lo.overflowing_add(p);
-            acc_lo = sum;
-            acc_hi += overflowed as u64;
-        }
-        *o = acc_lo as u64;
-        acc_lo = (acc_lo >> 64) | ((acc_hi as u128) << 64);
-        acc_hi = 0;
+    // Row-major schoolbook: each a-limb row is multiply-accumulated into
+    // `out` with a single carry word. Shorter dependency chains than a
+    // column-comba accumulator for the small asymmetric shapes the
+    // Newton kernels produce.
+    let (row0, rest) = out.split_at_mut(b.len());
+    let mut carry = 0u64;
+    let a0 = a[0];
+    for (o, &bj) in row0.iter_mut().zip(b) {
+        let p = (a0 as u128) * (bj as u128) + carry as u128;
+        *o = p as u64;
+        carry = (p >> 64) as u64;
     }
-    debug_assert_eq!(acc_lo, 0);
+    rest[0] = carry;
+    for (i, &ai) in a.iter().enumerate().skip(1) {
+        let mut carry = 0u64;
+        let row = &mut out[i..i + b.len() + 1];
+        let (acc, top) = row.split_at_mut(b.len());
+        for (o, &bj) in acc.iter_mut().zip(b) {
+            let p = (ai as u128) * (bj as u128) + *o as u128 + carry as u128;
+            *o = p as u64;
+            carry = (p >> 64) as u64;
+        }
+        top[0] = carry;
+    }
 }
 
 #[cfg(test)]

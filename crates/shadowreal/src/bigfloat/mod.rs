@@ -19,7 +19,9 @@
 //! accurate than required to measure error in double-precision clients.
 
 mod functions;
+pub(crate) mod lanes;
 mod limbs;
+mod newton;
 
 use limbs::{Limbs, Scratch};
 use std::cmp::Ordering;
@@ -658,8 +660,17 @@ impl BigFloat {
     }
 
     fn add_finite(a: &Finite, b: &Finite, prec: u32) -> Repr {
-        if a.limbs.len() == 4 && b.limbs.len() == 4 && prec == 256 && fast_paths_enabled() {
-            return Self::add_finite_256(a, b);
+        let nl = a.limbs.len();
+        if nl == b.limbs.len() && prec as usize == nl * 64 && fast_paths_enabled() {
+            // Whole-limb precisions up to the default 256 bits take the
+            // unrolled const-size window (NL limbs plus one guard limb).
+            match nl {
+                1 => return Self::add_finite_fast::<1, 2>(a, b),
+                2 => return Self::add_finite_fast::<2, 3>(a, b),
+                3 => return Self::add_finite_fast::<3, 4>(a, b),
+                4 => return Self::add_finite_fast::<4, 5>(a, b),
+                _ => {}
+            }
         }
         // Working window: target precision plus one guard limb. The windows
         // are stack scratch buffers; nothing in this kernel allocates at
@@ -737,10 +748,18 @@ impl BigFloat {
             (Inf { .. }, _) | (_, Inf { .. }) => BigFloat::inf_at(sign, prec),
             (Zero { .. }, _) | (_, Zero { .. }) => BigFloat::zero_at(sign, prec),
             (Finite(a), Finite(b)) => {
-                if a.limbs.len() == 4 && b.limbs.len() == 4 && prec == 256 && fast_paths_enabled() {
-                    return BigFloat {
-                        repr: Self::mul_finite_256(a, b, sign),
+                let nl = a.limbs.len();
+                if nl == b.limbs.len() && prec as usize == nl * 64 && fast_paths_enabled() {
+                    let fast = match nl {
+                        1 => Some(Self::mul_finite_fast::<1, 2>(a, b, sign)),
+                        2 => Some(Self::mul_finite_fast::<2, 4>(a, b, sign)),
+                        3 => Some(Self::mul_finite_fast::<3, 6>(a, b, sign)),
+                        4 => Some(Self::mul_finite_fast::<4, 8>(a, b, sign)),
+                        _ => None,
                     };
+                    if let Some(repr) = fast {
+                        return BigFloat { repr };
+                    }
                 }
                 // The double-width product lives in a stack scratch window.
                 let mut product = Scratch::zeroed(a.limbs.len() + b.limbs.len());
@@ -772,35 +791,27 @@ impl BigFloat {
             (_, Inf { .. }) => BigFloat::zero_at(sign, prec),
             (Zero { .. }, _) => BigFloat::zero_at(sign, prec),
             (_, Zero { .. }) => BigFloat::inf_at(sign, prec),
-            (Finite(_), Finite(_)) => {
-                let work = prec + 64;
-                let recip = other.abs().recip_newton(work);
-                let q = self
-                    .abs()
-                    .with_precision(work)
-                    .mul(&recip)
-                    .with_precision(prec);
-                if sign {
-                    q.neg()
-                } else {
-                    q
-                }
-            }
+            (Finite(a), Finite(b)) => BigFloat {
+                repr: newton::div_finite(a, b, prec, sign),
+            },
         }
     }
 
-    /// Addition fast path for the default configuration: both operands carry
-    /// exactly four limbs and the result precision is 256 bits, so the
-    /// working window is a five-limb stack array whose length the compiler
-    /// sees, letting it unroll the shift/add/round loops. The logic is the
-    /// general `add_finite` body verbatim; bit-identical results are pinned
-    /// by the fast-path proptests (`set_disable_fast_paths`).
-    fn add_finite_256(a: &Finite, b: &Finite) -> Repr {
-        debug_assert!(a.limbs.len() == 4 && b.limbs.len() == 4);
+    /// Addition fast path for whole-limb precisions: both operands carry
+    /// exactly `NL` limbs and the result precision is `64·NL` bits, so the
+    /// working window is an `NL + 1`-limb stack array whose length the
+    /// compiler sees, letting it unroll the shift/add/round loops. (`WL`
+    /// must be `NL + 1`; stable const generics cannot express the sum.)
+    /// The logic is the general `add_finite` body verbatim; bit-identical
+    /// results are pinned by the fast-path proptests
+    /// (`set_disable_fast_paths`).
+    fn add_finite_fast<const NL: usize, const WL: usize>(a: &Finite, b: &Finite) -> Repr {
+        debug_assert!(a.limbs.len() == NL && b.limbs.len() == NL && WL == NL + 1);
+        let prec = (NL * 64) as u32;
         let (hi, lo) = if a.exp >= b.exp { (a, b) } else { (b, a) };
         let diff = (hi.exp - lo.exp) as u64;
-        let mut acc = [0u64; 5];
-        acc[1..5].copy_from_slice(&hi.limbs);
+        let mut acc = [0u64; WL];
+        acc[1..].copy_from_slice(&hi.limbs);
 
         if hi.neg == lo.neg {
             // Magnitude addition: the top bit of the window stays set (the
@@ -810,22 +821,22 @@ impl BigFloat {
             let mut exp = hi.exp;
             if carry {
                 sticky |= acc[0] & 1 == 1;
-                for i in 0..4 {
+                for i in 0..NL {
                     acc[i] = (acc[i] >> 1) | (acc[i + 1] << 63);
                 }
-                acc[4] = (acc[4] >> 1) | (1u64 << 63);
+                acc[NL] = (acc[NL] >> 1) | (1u64 << 63);
                 exp += 1;
             }
             let round_bit = acc[0] >> 63 == 1;
             let sticky = sticky || (acc[0] << 1) != 0;
-            let mut kept = Limbs::zeroed(4);
+            let mut kept = Limbs::zeroed(NL);
             let k = kept.as_mut_slice();
-            k.copy_from_slice(&acc[1..5]);
+            k.copy_from_slice(&acc[1..]);
             if round_bit && (sticky || k[0] & 1 == 1) {
                 let carry = limbs::add_bit_in_place(k, 0);
                 if carry {
                     // Mantissa overflowed to 1.0: renormalize.
-                    k[3] = 1u64 << 63;
+                    k[NL - 1] = 1u64 << 63;
                     exp += 1;
                 }
             }
@@ -833,11 +844,11 @@ impl BigFloat {
                 neg: hi.neg,
                 exp,
                 limbs: kept,
-                prec: 256,
+                prec,
             })
         } else {
-            let mut small = [0u64; 5];
-            small[1..5].copy_from_slice(&lo.limbs);
+            let mut small = [0u64; WL];
+            small[1..].copy_from_slice(&lo.limbs);
             let sticky = limbs::shr_in_place(&mut small, diff);
             let ord = if diff == 0 {
                 limbs::cmp(&acc, &small)
@@ -847,61 +858,60 @@ impl BigFloat {
             match ord {
                 Ordering::Equal => {
                     if sticky {
-                        Repr::Zero {
-                            neg: lo.neg,
-                            prec: 256,
-                        }
+                        Repr::Zero { neg: lo.neg, prec }
                     } else {
-                        Repr::Zero {
-                            neg: false,
-                            prec: 256,
-                        }
+                        Repr::Zero { neg: false, prec }
                     }
                 }
                 Ordering::Greater => {
                     limbs::sub_in_place(&mut acc, &small);
-                    Finite::normalize_and_round(hi.neg, &mut acc, hi.exp, 256, sticky)
+                    Finite::normalize_and_round(hi.neg, &mut acc, hi.exp, prec, sticky)
                 }
                 Ordering::Less => {
                     limbs::sub_in_place(&mut small, &acc);
-                    Finite::normalize_and_round(lo.neg, &mut small, hi.exp, 256, sticky)
+                    Finite::normalize_and_round(lo.neg, &mut small, hi.exp, prec, sticky)
                 }
             }
         }
     }
 
-    /// Multiplication fast path for the default configuration: both operands
-    /// carry exactly four limbs and the result precision is 256 bits, so the
-    /// product is 8 limbs, the leading-zero count is 0 or 1, and no partial
-    /// low limb exists. Bit-identical to the general
+    /// Multiplication fast path for whole-limb precisions: both operands
+    /// carry exactly `NL` limbs and the result precision is `64·NL` bits,
+    /// so the product is `TW = 2·NL` limbs, the leading-zero count is 0 or
+    /// 1, and no partial low limb exists. Bit-identical to the general
     /// `mul_into`/`normalize_and_round` pipeline (checked by the
     /// `mul_fast_path_matches_general_pipeline` test); fully unrolled, no
     /// scratch window.
-    fn mul_finite_256(a: &Finite, b: &Finite, sign: bool) -> Repr {
-        debug_assert!(a.limbs.len() == 4 && b.limbs.len() == 4);
-        let mut out = [0u64; 8];
-        limbs::mul_comba::<4>(&mut out, &a.limbs, &b.limbs);
+    fn mul_finite_fast<const NL: usize, const TW: usize>(
+        a: &Finite,
+        b: &Finite,
+        sign: bool,
+    ) -> Repr {
+        debug_assert!(a.limbs.len() == NL && b.limbs.len() == NL && TW == 2 * NL);
+        let prec = (NL * 64) as u32;
+        let mut out = [0u64; TW];
+        limbs::mul_comba::<NL>(&mut out, &a.limbs, &b.limbs);
         let mut exp = a.exp + b.exp;
         // Both fractions are in [0.5, 1), so the product is in [0.25, 1):
         // at most one normalization shift.
-        if out[7] >> 63 == 0 {
-            for i in (1..8).rev() {
+        if out[TW - 1] >> 63 == 0 {
+            for i in (1..TW).rev() {
                 out[i] = (out[i] << 1) | (out[i - 1] >> 63);
             }
             out[0] <<= 1;
             exp -= 1;
         }
-        // Round to nearest, ties to even, dropping the low four limbs.
-        let round_bit = out[3] >> 63 == 1;
-        let sticky = (out[3] << 1) != 0 || out[0] != 0 || out[1] != 0 || out[2] != 0;
-        let mut kept = Limbs::zeroed(4);
+        // Round to nearest, ties to even, dropping the low NL limbs.
+        let round_bit = out[NL - 1] >> 63 == 1;
+        let sticky = (out[NL - 1] << 1) != 0 || out[..NL - 1].iter().any(|&l| l != 0);
+        let mut kept = Limbs::zeroed(NL);
         let k = kept.as_mut_slice();
-        k.copy_from_slice(&out[4..8]);
+        k.copy_from_slice(&out[NL..]);
         if round_bit && (sticky || k[0] & 1 == 1) {
             let carry = limbs::add_bit_in_place(k, 0);
             if carry {
                 // Mantissa overflowed to 1.0: renormalize to 0.5 * 2^(exp+1).
-                k[3] = 1u64 << 63;
+                k[NL - 1] = 1u64 << 63;
                 exp += 1;
             }
         }
@@ -911,33 +921,8 @@ impl BigFloat {
             neg: sign,
             exp,
             limbs: kept,
-            prec: 256,
+            prec,
         })
-    }
-
-    /// Newton–Raphson reciprocal of a positive finite value at `work` bits.
-    fn recip_newton(&self, work: u32) -> Self {
-        let f = match &self.repr {
-            Repr::Finite(f) => f,
-            _ => return BigFloat::nan_at(work),
-        };
-        // Initial estimate from the top limb: self ≈ t * 2^exp, t in [0.5, 1).
-        let t = (f.limbs[f.limbs.len() - 1] as f64) / 18446744073709551616.0;
-        let r0 = 1.0 / t; // in (1, 2]
-        let mut x = BigFloat::from_f64_prec(r0, work);
-        if let Repr::Finite(ref mut xf) = x.repr {
-            xf.exp -= f.exp;
-        }
-        let a = self.with_precision(work);
-        let one = BigFloat::from_f64_prec(1.0, work);
-        // ~50 correct bits initially; each iteration doubles that.
-        let mut correct = 40u32;
-        while correct < work + 2 {
-            let e = one.sub(&a.mul(&x));
-            x = x.add(&x.mul(&e));
-            correct = correct.saturating_mul(2);
-        }
-        x
     }
 
     /// Square root (NaN for negative inputs, following IEEE 754).
@@ -950,37 +935,9 @@ impl BigFloat {
             Inf { neg: false, .. } => self.clone(),
             Inf { neg: true, .. } => BigFloat::nan_at(prec),
             Finite(f) if f.neg => BigFloat::nan_at(prec),
-            Finite(f) => {
-                let work = prec + 64;
-                // Initial estimate for 1/sqrt(self) from the top limb.
-                let t = (f.limbs[f.limbs.len() - 1] as f64) / 18446744073709551616.0;
-                let (t, even_exp) = if f.exp % 2 == 0 {
-                    (t, f.exp)
-                } else {
-                    (t / 2.0, f.exp + 1)
-                };
-                let r0 = 1.0 / t.sqrt();
-                let mut y = BigFloat::from_f64_prec(r0, work);
-                if let Repr::Finite(ref mut yf) = y.repr {
-                    yf.exp -= even_exp / 2;
-                }
-                let a = self.with_precision(work);
-                let three = BigFloat::from_f64_prec(3.0, work);
-                let half = BigFloat::from_f64_prec(0.5, work);
-                let mut correct = 40u32;
-                while correct < work + 2 {
-                    // y = y * (3 - a*y*y) / 2
-                    let ayy = a.mul(&y).mul(&y);
-                    y = y.mul(&three.sub(&ayy)).mul(&half);
-                    correct = correct.saturating_mul(2);
-                }
-                let s = a.mul(&y);
-                // One final Newton step directly on sqrt for good measure:
-                // s = (s + a/s) / 2 would need division; instead correct via
-                // s = s + y*(a - s*s)/2 which uses the reciprocal sqrt.
-                let corr = y.mul(&a.sub(&s.mul(&s))).mul(&half);
-                s.add(&corr).with_precision(prec)
-            }
+            Finite(f) => BigFloat {
+                repr: newton::sqrt_finite(f, prec),
+            },
         }
     }
 

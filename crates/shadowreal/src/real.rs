@@ -421,10 +421,45 @@ impl BatchReal for f64 {
     }
 }
 
-/// `BigFloat` uses the scalar kernels per lane (its limb arithmetic does not
-/// vectorize); the batched engine still amortizes decode and dispatch
-/// around it.
-impl BatchReal for BigFloat {}
+/// `BigFloat` lane groups run the unrolled 256-bit kernels back to back:
+/// conforming lanes (both operands finite at the default four-limb
+/// precision) are gathered contiguously and dispatched once per group
+/// instead of once per lane ([`crate::bigfloat::lanes`]); everything else
+/// — other precisions, non-finite operands, non-arithmetic operations —
+/// falls back to the scalar kernels, so every lane stays bit-identical to
+/// [`Real::apply_ref`].
+impl BatchReal for BigFloat {
+    fn apply_lanes<const W: usize>(
+        op: RealOp,
+        args: &[[Option<&Self>; W]],
+        mask: u32,
+        out: &mut [Option<Self>; W],
+    ) {
+        assert_eq!(args.len(), op.arity(), "arity mismatch for {op}");
+        let handled = match (op, args) {
+            (RealOp::Add, [a, b]) => crate::bigfloat::lanes::add_lanes(a, b, mask, out),
+            (RealOp::Sub, [a, b]) => crate::bigfloat::lanes::sub_lanes(a, b, mask, out),
+            (RealOp::Mul, [a, b]) => crate::bigfloat::lanes::mul_lanes(a, b, mask, out),
+            (RealOp::Div, [a, b]) => crate::bigfloat::lanes::div_lanes(a, b, mask, out),
+            _ => 0,
+        };
+        let rest = mask & !handled;
+        if rest == 0 {
+            return;
+        }
+        for l in 0..W {
+            if (rest >> l) & 1 == 0 {
+                continue;
+            }
+            let mut refs: [&Self; MAX_ARITY] =
+                [args[0][l].expect("active lane operand"); MAX_ARITY];
+            for (slot, lanes) in refs.iter_mut().zip(args) {
+                *slot = lanes[l].expect("active lane operand");
+            }
+            out[l] = Some(Self::apply_ref(op, &refs[..args.len()]));
+        }
+    }
+}
 
 impl Real for BigFloat {
     fn from_f64(x: f64) -> Self {

@@ -1,0 +1,200 @@
+//! Property tests pinning the Newton/reciprocal division and square-root
+//! kernels to the retained digit-by-digit reference paths.
+//!
+//! The fast kernels (`div_core_mg` / `div_core_newton` / `div_core_word`
+//! and the rsqrt-based square root) are required to be *bit-identical* to
+//! restoring long division / restoring square root on every input: same
+//! mantissa, same exponent, same sticky-driven rounding. In debug builds
+//! the `set_disable_fast_paths` hook reruns each computation on the
+//! reference path, and `set_force_heap_limbs` repeats the comparison with
+//! every limb buffer forced onto the heap, covering the inline/heap
+//! boundary. The directed generators aim at the spots where a
+//! reciprocal-estimate pipeline would drift: exact power-of-two divisors,
+//! quotients that land on rounding-boundary ties, and operands at
+//! subnormal-adjacent f64 exponents.
+
+#![cfg(debug_assertions)]
+
+use proptest::prelude::*;
+use shadowreal::BigFloat;
+
+/// The precision spread from the issue: below the clamp floor (53 maps to
+/// the 64-bit minimum), both inline widths, odd in-between widths that
+/// leave partial top limbs, and a heap width.
+const PRECISIONS: [u32; 6] = [53, 64, 106, 212, 256, 1024];
+
+/// Asserts two same-precision BigFloats are bit-identical.
+fn assert_bit_identical(a: &BigFloat, b: &BigFloat, context: &str) {
+    assert_eq!(a.precision(), b.precision(), "precision: {context}");
+    if a.is_nan() || b.is_nan() {
+        assert_eq!(a.is_nan(), b.is_nan(), "NaN-ness: {context}");
+        return;
+    }
+    if a.is_zero() && b.is_zero() {
+        assert_eq!(a.is_negative(), b.is_negative(), "zero sign: {context}");
+        return;
+    }
+    assert!(a.eq_value(b), "value: {context}");
+    assert_eq!(a.exponent(), b.exponent(), "exponent: {context}");
+    assert_eq!(a.is_negative(), b.is_negative(), "sign: {context}");
+    assert_eq!(
+        a.to_f64().to_bits(),
+        b.to_f64().to_bits(),
+        "f64 rounding: {context}"
+    );
+}
+
+/// Runs `op` on the fast path, the reference path, and the reference path
+/// with forced-heap limbs, and asserts all three agree bit for bit.
+fn pin_to_reference(op: impl Fn() -> BigFloat, context: &str) {
+    let fast = op();
+    shadowreal::bigfloat::set_disable_fast_paths(true);
+    let reference = op();
+    shadowreal::bigfloat::set_force_heap_limbs(true);
+    let heap_reference = op();
+    shadowreal::bigfloat::set_force_heap_limbs(false);
+    shadowreal::bigfloat::set_disable_fast_paths(false);
+    shadowreal::bigfloat::set_force_heap_limbs(true);
+    let heap_fast = op();
+    shadowreal::bigfloat::set_force_heap_limbs(false);
+    assert_bit_identical(&fast, &reference, &format!("fast vs reference: {context}"));
+    assert_bit_identical(
+        &fast,
+        &heap_reference,
+        &format!("fast vs heap ref: {context}"),
+    );
+    assert_bit_identical(
+        &fast,
+        &heap_fast,
+        &format!("inline vs heap fast: {context}"),
+    );
+}
+
+/// Dense mantissas: dividing small integers by 7/3 fills the fraction with
+/// a repeating pattern at full precision.
+fn dense(x: f64, prec: u32) -> BigFloat {
+    BigFloat::from_f64_prec(x, prec).div(&BigFloat::from_f64_prec(7.0, prec))
+}
+
+proptest! {
+    /// Division is bit-identical to restoring long division across the
+    /// whole precision spread and the inline/heap boundary.
+    #[test]
+    fn division_matches_long_division(
+        x in -1e9f64..1e9,
+        y in -1e9f64..1e9,
+        scale in -200i32..200,
+    ) {
+        prop_assume!(x != 0.0 && y != 0.0);
+        for prec in PRECISIONS {
+            let a = dense(x, prec);
+            let b = dense(y * 2f64.powi(scale / 2), prec);
+            pin_to_reference(
+                || a.div(&b),
+                &format!("{x} / {y} (scale {scale}) at {prec} bits"),
+            );
+        }
+    }
+
+    /// Square root is bit-identical to the restoring digit algorithm.
+    #[test]
+    fn sqrt_matches_digit_root(x in 1e-12f64..1e12, scale in -200i32..200) {
+        for prec in PRECISIONS {
+            let g = dense(x * 2f64.powi(scale / 2), prec).abs();
+            pin_to_reference(|| g.sqrt(), &format!("sqrt({x}) scale {scale} at {prec} bits"));
+        }
+    }
+
+    /// Exact power-of-two divisors take the single-word short-division
+    /// path; the quotient must still match the reference bit for bit (the
+    /// mantissa is unchanged, only the exponent moves).
+    #[test]
+    fn power_of_two_divisors(x in -1e9f64..1e9, k in -120i32..120) {
+        prop_assume!(x != 0.0);
+        for prec in PRECISIONS {
+            let a = dense(x, prec);
+            let b = BigFloat::from_f64_prec(2f64.powi(k), prec);
+            pin_to_reference(|| a.div(&b), &format!("{x} / 2^{k} at {prec} bits"));
+            let q = a.div(&b);
+            prop_assert!(
+                q.eq_value(&a.mul(&BigFloat::from_f64_prec(2f64.powi(-k), prec))),
+                "power-of-two division must be an exact exponent shift"
+            );
+        }
+    }
+
+    /// Quotients constructed to land exactly on the rounding boundary: with
+    /// `q` holding one bit more than the target precision and `a = q·b`
+    /// computed exactly, `a/b` is a tie the sticky logic must break
+    /// identically on both paths.
+    #[test]
+    fn rounding_boundary_ties(
+        qbits in 1u64..(1 << 52),
+        y in 1e-3f64..1e3,
+        prec_idx in 0usize..PRECISIONS.len(),
+    ) {
+        let prec = PRECISIONS[prec_idx];
+        let wide = (prec + 128).min(16384);
+        // q = a dense value re-rounded to prec+1 bits: one bit beyond the
+        // target precision, so dividing it back out rounds at a tie-adjacent
+        // boundary whenever that trailing bit is set.
+        let q = dense(qbits as f64, wide).with_precision((prec + 1).min(16384));
+        let b = dense(y, wide);
+        let a = q.with_precision(wide).mul(&b);
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let narrow_a = a.with_precision(prec);
+        pin_to_reference(
+            || narrow_a.div(&b.with_precision(prec)),
+            &format!("tie quotient {qbits}/{y} at {prec} bits"),
+        );
+    }
+
+    /// Subnormal-adjacent f64 exponents: operands built from the smallest
+    /// positive doubles stress the exponent bookkeeping in the scaled
+    /// dividend (BigFloat itself has no subnormals, so these are ordinary
+    /// mantissas at extreme exponents).
+    #[test]
+    fn subnormal_adjacent_operands(mx in 1u64..4096, my in 1u64..4096) {
+        let tiny_x = f64::MIN_POSITIVE * mx as f64;
+        let tiny_y = f64::MIN_POSITIVE * my as f64;
+        for prec in [64u32, 256, 1024] {
+            let a = dense(tiny_x, prec);
+            let b = dense(tiny_y, prec);
+            pin_to_reference(|| a.div(&b), &format!("tiny/tiny ({mx}, {my}) at {prec} bits"));
+            pin_to_reference(|| b.abs().sqrt(), &format!("sqrt(tiny {my}) at {prec} bits"));
+        }
+    }
+
+    /// Large-argument trig goes through the Payne–Hanek window; the result
+    /// must stay within a couple of ulps of the full-precision reduction
+    /// (the two reductions are both faithful but not identical), and the
+    /// Pythagorean identity must hold to the working precision.
+    #[test]
+    fn payne_hanek_reduction_is_faithful(x in 1.0f64..1e9, e in 340i32..1000) {
+        let prec = 256u32;
+        let big = BigFloat::from_f64_prec(x * 2f64.powi(e % 60), prec)
+            .mul(&BigFloat::from_f64_prec(2f64.powi(e - e % 60), prec));
+        let (s, c) = (big.sin(), big.cos());
+        shadowreal::bigfloat::set_disable_fast_paths(true);
+        let (s_ref, c_ref) = (big.sin(), big.cos());
+        shadowreal::bigfloat::set_disable_fast_paths(false);
+        for (fast, slow, what) in [(&s, &s_ref, "sin"), (&c, &c_ref, "cos")] {
+            let diff = fast.sub(slow).abs();
+            if !diff.is_zero() {
+                let bound = fast.abs().exponent().unwrap_or(0) - (prec as i64 - 8);
+                prop_assert!(
+                    diff.exponent().unwrap_or(i64::MIN) <= bound,
+                    "{what} diverged beyond faithful bounds at 2^{e}"
+                );
+            }
+        }
+        let one = BigFloat::from_f64_prec(1.0, prec);
+        let pyth = s.mul(&s).add(&c.mul(&c)).sub(&one).abs();
+        if !pyth.is_zero() {
+            prop_assert!(
+                pyth.exponent().unwrap_or(i64::MIN) < -(prec as i64 - 16),
+                "sin² + cos² drifted from 1 at 2^{e}"
+            );
+        }
+    }
+}

@@ -92,6 +92,30 @@ fn steady_state_shadow_arithmetic_does_not_allocate() {
     });
     assert_eq!(ops, 0, "steady-state 256-bit shadow arithmetic allocated");
 
+    // The Newton/reciprocal kernels run on stack scratch windows: 256-bit
+    // division, square root, and the exp series (including its staged
+    // working precision and cached-constant lookups) must stay
+    // allocation-free after the constant caches are warm.
+    black_box(a.div(&dense).abs().sqrt().exp());
+    let kernels = allocations_during(|| {
+        let mut acc = a.clone();
+        for _ in 0..64 {
+            acc = acc.div(&dense);
+            acc = acc.abs().sqrt();
+            acc = acc.add(&b);
+        }
+        acc
+    });
+    assert_eq!(kernels, 0, "steady-state 256-bit div/sqrt allocated");
+    let series = allocations_during(|| {
+        let mut acc = b.clone();
+        for _ in 0..8 {
+            acc = acc.exp().with_precision(256).sub(&BigFloat::one());
+        }
+        acc
+    });
+    assert_eq!(series, 0, "steady-state 256-bit exp allocated");
+
     // Comparisons, truncation, sign operations and f64 conversion ride the
     // same guarantee.
     let auxiliary = allocations_during(|| {
