@@ -18,7 +18,12 @@
 //!   Width 1 is the serial-equivalent baseline (same engine, one lane).
 //!
 //! Both modes run at lane widths 1, 4, and 8 with the `f64` (engine
-//! overhead only) and `DoubleDouble` shadows. Output is human-readable rows
+//! overhead only) and `DoubleDouble` shadows. Two extra `full-report` rows
+//! re-run the batched W=8 dd sweep inside a telemetry capture
+//! (`telemetry-off` / `telemetry-on` engines): the off row documents the
+//! zero-cost-when-off contract (within 2% of the plain row, asserted on
+//! the committed baseline), the on row the full recording cost.
+//! Output is human-readable rows
 //! plus machine-readable JSON between `BATCH_SWEEP_JSON_BEGIN`/`END`
 //! markers; `BATCH_SWEEP_JSON=path` also writes the JSON to a file (the
 //! committed `BENCH_batch_sweep.json` baseline is produced that way), and
@@ -235,6 +240,36 @@ fn main() {
         });
     }
 
+    // --- telemetry capture overhead on the batched dd sweep ---------------
+    // Same sweep as the batched w=8 row, run through a telemetry capture:
+    // `Off` (the default) must cost nothing measurable — every recording
+    // site in the pipeline reduces to one relaxed atomic load — and `On`
+    // shows the full-recording cost for reference. The committed baseline
+    // asserts the off-mode row stays within 2% of the plain batched row.
+    let config_w8 = base.clone().with_batch_width(8);
+    for (engine, mode) in [
+        ("telemetry-off", herbgrind::TelemetryMode::Off),
+        ("telemetry-on", herbgrind::TelemetryMode::On),
+    ] {
+        let ns = measure(total_ops, reps, || {
+            for p in &prepared {
+                let capture = herbgrind::SweepCapture::begin(mode);
+                black_box(
+                    analyze_batched_with_shadow::<DoubleDouble>(&p.program, &p.inputs, &config_w8)
+                        .expect("batched"),
+                );
+                black_box(capture.finish());
+            }
+        });
+        rows.push(Row {
+            mode: "full-report",
+            shadow: "dd",
+            engine,
+            width: 8,
+            ns_per_op: ns,
+        });
+    }
+
     // --- shadow-error mode: the vectorized DoubleDouble probe -------------
     let threshold = base.local_error_threshold;
     for &width in &widths {
@@ -315,8 +350,12 @@ fn main() {
         find("full-report", "dd", "serial", 0) / find("full-report", "dd", "batched", 8);
     let isolated_vs_serial =
         find("full-report", "dd", "serial", 0) / find("full-report", "dd", "isolated", 0);
+    let telemetry_off_vs_plain =
+        find("full-report", "dd", "batched", 8) / find("full-report", "dd", "telemetry-off", 8);
+    let telemetry_on_vs_off = find("full-report", "dd", "telemetry-off", 8)
+        / find("full-report", "dd", "telemetry-on", 8);
     println!(
-        "bench batch_sweep: DoubleDouble W=8 vs W=1: {probe_w8_vs_w1:.2}x shadow-error, {full_dd_w8_vs_w1:.2}x full-report ({full_dd_w8_vs_serial:.2}x vs serial; f64 full-report {full_f64_w8_vs_w1:.2}x; fault-isolated serial {isolated_vs_serial:.2}x vs plain; {total_ops} analyzed ops per sweep)"
+        "bench batch_sweep: DoubleDouble W=8 vs W=1: {probe_w8_vs_w1:.2}x shadow-error, {full_dd_w8_vs_w1:.2}x full-report ({full_dd_w8_vs_serial:.2}x vs serial; f64 full-report {full_f64_w8_vs_w1:.2}x; fault-isolated serial {isolated_vs_serial:.2}x vs plain; telemetry off-wrapper {telemetry_off_vs_plain:.2}x vs plain, on {telemetry_on_vs_off:.2}x vs off; {total_ops} analyzed ops per sweep)"
     );
 
     let mut json = String::from("{\n  \"bench\": \"batch_sweep\",\n  \"rows\": [\n");
@@ -334,7 +373,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"analyzed_ops_per_sweep\": {total_ops},\n  \"speedup\": {{\"dd_shadow_error_w8_vs_w1\": {probe_w8_vs_w1:.2}, \"dd_full_report_w8_vs_w1\": {full_dd_w8_vs_w1:.2}, \"f64_full_report_w8_vs_w1\": {full_f64_w8_vs_w1:.2}, \"dd_full_report_w8_vs_serial\": {full_dd_w8_vs_serial:.2}, \"dd_full_report_isolated_vs_serial\": {isolated_vs_serial:.2}}}\n}}\n"
+        "  \"analyzed_ops_per_sweep\": {total_ops},\n  \"speedup\": {{\"dd_shadow_error_w8_vs_w1\": {probe_w8_vs_w1:.2}, \"dd_full_report_w8_vs_w1\": {full_dd_w8_vs_w1:.2}, \"f64_full_report_w8_vs_w1\": {full_f64_w8_vs_w1:.2}, \"dd_full_report_w8_vs_serial\": {full_dd_w8_vs_serial:.2}, \"dd_full_report_isolated_vs_serial\": {isolated_vs_serial:.2}, \"dd_full_report_w8_telemetry_off_vs_plain\": {telemetry_off_vs_plain:.2}, \"dd_full_report_w8_telemetry_on_vs_off\": {telemetry_on_vs_off:.2}}}\n}}\n"
     ));
     println!("BATCH_SWEEP_JSON_BEGIN");
     print!("{json}");

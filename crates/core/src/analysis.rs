@@ -192,6 +192,19 @@ pub(crate) fn intern_depth_bound(config: &AnalysisConfig) -> usize {
         .min(config.max_expression_depth.saturating_mul(4))
 }
 
+/// The telemetry counter attributing analyzed operations to this shadow
+/// representation ([`Real::kind_name`]). Resolves to a constant reference
+/// per monomorphization; any out-of-tree shadow kind counts as BigFloat
+/// (the only other in-tree escalation tier).
+#[inline]
+pub(crate) fn shadow_ops_counter<R: Real>() -> &'static telemetry::Counter {
+    match R::kind_name() {
+        "f64" => &telemetry::SHADOW_F64_OPS,
+        "dd" => &telemetry::SHADOW_DD_OPS,
+        _ => &telemetry::SHADOW_BIGFLOAT_OPS,
+    }
+}
+
 /// Grows a pc-indexed record slot table to cover `pc` and returns the slot
 /// (cold path; `on_start` pre-sizes the tables to the program length).
 fn record_slot<T>(slots: &mut Vec<Option<T>>, pc: usize) -> &mut Option<T> {
@@ -317,6 +330,7 @@ impl<R: Real> Herbgrind<R> {
     /// struct literals (e.g. `max_expression_depth: 0`, which the builder
     /// clamps but a literal can bypass) cannot reach the analysis.
     pub fn new(config: AnalysisConfig) -> Herbgrind<R> {
+        telemetry::INTERNER_NODE_BUDGET.record(config.trace_node_budget as u64);
         Herbgrind {
             config: config.normalize(),
             shadow_slots: Vec::new(),
@@ -563,6 +577,7 @@ impl<R: Real> Herbgrind<R> {
         local_err: f64,
         exact_result: R,
     ) {
+        shadow_ops_counter::<R>().incr();
         // Build the result trace through the shard's own interner, then run
         // the shadow tail and the record update. The batched analysis uses
         // the same two tail steps but builds traces through its group-level

@@ -233,6 +233,7 @@ impl<R: BatchReal, const W: usize> BatchTracer<W> for BatchHerbgrind<R, W> {
                 }
             }
         }
+        crate::analysis::shadow_ops_counter::<R>().add(u64::from(mask.count_ones()));
         let n = args.len();
         let BatchHerbgrind {
             lanes,

@@ -70,6 +70,13 @@ pub struct AnalysisConfig {
     /// width ([`crate::batched::SUPPORTED_BATCH_WIDTHS`]); `0` and `1` run
     /// single-lane batches. The report is bit-identical for every setting.
     pub batch_width: usize,
+    /// Whether the `*_telemetry` driver entry points capture a
+    /// [`telemetry::SweepTelemetry`] snapshot for the sweep. The default is
+    /// [`telemetry::TelemetryMode::Off`], under which every recording site in
+    /// the pipeline reduces to one relaxed atomic load and a predictable
+    /// branch, and the `*_telemetry` drivers return a disabled snapshot. The
+    /// report is bit-identical for every setting.
+    pub telemetry: telemetry::TelemetryMode,
 }
 
 impl Default for AnalysisConfig {
@@ -87,6 +94,7 @@ impl Default for AnalysisConfig {
             trace_node_budget: 0,
             threads: 0,
             batch_width: 8,
+            telemetry: telemetry::TelemetryMode::Off,
         }
     }
 }
@@ -164,6 +172,13 @@ impl AnalysisConfig {
     /// [`AnalysisConfig::batch_width`].
     pub fn with_batch_width(mut self, width: usize) -> Self {
         self.batch_width = width;
+        self
+    }
+
+    /// Sets the telemetry capture mode (builder style); see
+    /// [`AnalysisConfig::telemetry`].
+    pub fn with_telemetry(mut self, mode: telemetry::TelemetryMode) -> Self {
+        self.telemetry = mode;
         self
     }
 

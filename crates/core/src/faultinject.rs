@@ -16,10 +16,11 @@
 //! oracle sweeps the suites compare against stay uninjected even while a
 //! plan is installed.
 
+use std::collections::BTreeSet;
 use std::sync::{Mutex, MutexGuard, RwLock};
 
 /// What an injected fault does at its site.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum InjectKind {
     /// Panic in the analysis observer, modeling a crashing shadow op.
     Panic,
@@ -41,7 +42,7 @@ pub enum InjectKind {
 
 /// The pipeline stage a run executes in, armed per run by the isolated
 /// drivers and matched against [`FaultSpec::stage`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum InjectStage {
     /// The serial driver's sweep loop.
     Serial,
@@ -161,8 +162,26 @@ impl FaultPlan {
     }
 }
 
+/// One fault site at which an installed plan actually fired: the query key
+/// plus the kind it resolved to. Sites are deduplicated — a fault that fires
+/// repeatedly at the same `(input, pc, stage)` (retry-ladder rungs, batched
+/// re-dispatch) records one entry — so the set depends only on the plan and
+/// the input sweep, not on thread count or batch width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FiredSite {
+    /// Sweep-global input index the fault fired for.
+    pub input_index: usize,
+    /// Statement pc the fault fired at.
+    pub pc: usize,
+    /// Pipeline stage the faulted run was armed with.
+    pub stage: InjectStage,
+    /// What the fault did.
+    pub kind: InjectKind,
+}
+
 static EXCLUSIVE: Mutex<()> = Mutex::new(());
 static PLAN: RwLock<Option<FaultPlan>> = RwLock::new(None);
+static FIRED: Mutex<BTreeSet<FiredSite>> = Mutex::new(BTreeSet::new());
 
 /// Keeps the installed plan alive; uninstalls it (and releases the
 /// test-serialization lock) on drop.
@@ -182,25 +201,55 @@ impl Drop for FaultGuard {
 /// so concurrently running `#[test]`s cannot observe each other's plans.
 pub fn install(plan: FaultPlan) -> FaultGuard {
     let exclusive = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    FIRED.lock().unwrap_or_else(|e| e.into_inner()).clear();
     *PLAN.write().unwrap_or_else(|e| e.into_inner()) = Some(plan);
     FaultGuard {
         _exclusive: exclusive,
     }
 }
 
+/// The distinct sites at which the installed plan has fired since the last
+/// [`install`], in sorted (deterministic) order. The set survives the
+/// [`FaultGuard`] drop so a test can uninstall the plan before auditing which
+/// faults actually landed.
+pub fn fired_sites() -> Vec<FiredSite> {
+    FIRED
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .copied()
+        .collect()
+}
+
 /// Consults the installed plan for one site. Returns the first matching
 /// explicit spec's kind, then the seeded background's verdict.
 pub(crate) fn query(input_index: usize, pc: usize, stage: InjectStage) -> Option<InjectKind> {
-    let plan = PLAN.read().unwrap_or_else(|e| e.into_inner());
-    let plan = plan.as_ref()?;
-    for spec in &plan.specs {
-        if spec.matches(input_index, pc, stage) {
-            return Some(spec.kind);
-        }
+    let kind = {
+        let plan = PLAN.read().unwrap_or_else(|e| e.into_inner());
+        let plan = plan.as_ref()?;
+        plan.specs
+            .iter()
+            .find(|spec| spec.matches(input_index, pc, stage))
+            .map(|spec| spec.kind)
+            .or_else(|| {
+                plan.seeded
+                    .as_ref()
+                    .and_then(|seeded| seeded.query(input_index, pc, stage))
+            })
+    };
+    if let Some(kind) = kind {
+        telemetry::FAULTINJECT_FIRED.incr();
+        FIRED
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(FiredSite {
+                input_index,
+                pc,
+                stage,
+                kind,
+            });
     }
-    plan.seeded
-        .as_ref()
-        .and_then(|seeded| seeded.query(input_index, pc, stage))
+    kind
 }
 
 #[cfg(test)]
@@ -238,6 +287,29 @@ mod tests {
         assert_eq!(first, second);
         assert!(first.iter().any(Option::is_some), "rate 1/4 over 64 sites");
         assert!(first.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn fired_sites_deduplicate_and_survive_guard_drop() {
+        let guard = install(FaultPlan::sites(vec![FaultSpec::input(
+            3,
+            InjectKind::Panic,
+        )]));
+        assert!(fired_sites().is_empty(), "install clears prior fires");
+        query(3, 7, InjectStage::Batched);
+        query(3, 7, InjectStage::Batched);
+        query(2, 7, InjectStage::Batched);
+        assert_eq!(
+            fired_sites(),
+            vec![FiredSite {
+                input_index: 3,
+                pc: 7,
+                stage: InjectStage::Batched,
+                kind: InjectKind::Panic,
+            }]
+        );
+        drop(guard);
+        assert_eq!(fired_sites().len(), 1, "sites outlive the guard");
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod errsum;
 pub mod faultinject;
 pub mod inputs;
 pub mod localerr;
+pub mod observe;
 pub mod quarantine;
 pub mod records;
 #[cfg(feature = "reference-analysis")]
@@ -75,11 +76,20 @@ pub use batched::{
 };
 pub use config::{AnalysisConfig, RangeKind};
 pub use errsum::ErrorBitsSum;
+pub use observe::{
+    analyze_batched_isolated_telemetry, analyze_batched_telemetry, analyze_isolated_telemetry,
+    analyze_parallel_isolated_telemetry, analyze_parallel_telemetry, analyze_telemetry,
+    analyze_tiered_isolated_telemetry, analyze_tiered_telemetry,
+};
 pub use quarantine::{
     analyze_batched_isolated, analyze_isolated, analyze_isolated_with_shadow,
-    analyze_parallel_isolated, analyze_tiered_isolated, QuarantinedInput, SweepFault, SweepStage,
+    analyze_parallel_isolated, analyze_tiered_isolated, analyze_tiered_isolated_with_stats,
+    QuarantinedInput, SweepFault, SweepStage,
 };
 pub use report::{Report, RootCauseReport, SpotReport};
 pub use symbolic::SymbolicExpr;
 pub use tiered::{analyze_tiered, analyze_tiered_with_stats, CertifyProbe, TierStats};
 pub use trace::{ConcreteExpr, ExprInterner};
+
+pub use telemetry;
+pub use telemetry::{telemetry_to_json, SweepCapture, SweepTelemetry, TelemetryMode};

@@ -1,0 +1,205 @@
+//! Telemetry-capturing sweep drivers: every analysis entry point, returning
+//! a [`telemetry::SweepTelemetry`] snapshot alongside the report.
+//!
+//! Each wrapper runs the corresponding plain or fault-isolated driver inside
+//! a [`telemetry::SweepCapture`] scoped to the sweep, with the whole sweep
+//! timed under [`telemetry::Phase::Sweep`]. Capture honors
+//! [`AnalysisConfig::telemetry`]:
+//!
+//! * [`TelemetryMode::Off`] (the default) — no capture lock is taken, the
+//!   registry is untouched, and the wrapper returns
+//!   [`SweepTelemetry::disabled`]. Every recording site in the pipeline
+//!   reduces to one relaxed atomic load and a predictable branch, so the
+//!   off-mode sweep costs the same as calling the plain driver directly
+//!   (CI asserts the overhead stays within noise of the committed
+//!   baseline).
+//! * [`TelemetryMode::On`] — the process-global registry is reset, recording
+//!   is enabled for the duration of the sweep, and the snapshot is read out
+//!   before recording is disabled again. Captures are serialized through a
+//!   global lock because the registry is process-wide; concurrent
+//!   telemetry-on sweeps from different threads queue rather than mixing
+//!   their counts.
+//!
+//! The report is bit-identical whether telemetry is on or off — recording
+//! never feeds back into the analysis (asserted for all four driver families
+//! in `tests/telemetry_determinism.rs`).
+
+use crate::config::AnalysisConfig;
+use crate::report::Report;
+use fpvm::{MachineError, Program};
+use telemetry::{SweepCapture, SweepTelemetry, TelemetryMode};
+
+/// Runs `sweep` inside a capture scoped by `mode`, timing it as
+/// [`telemetry::Phase::Sweep`], and pairs its output with the snapshot.
+fn with_capture<T>(mode: TelemetryMode, sweep: impl FnOnce() -> T) -> (T, SweepTelemetry) {
+    let capture = SweepCapture::begin(mode);
+    let out = {
+        let _span = telemetry::span(telemetry::Phase::Sweep);
+        sweep()
+    };
+    (out, capture.finish())
+}
+
+/// [`analyze`](crate::analyze) with a telemetry snapshot of the sweep.
+pub fn analyze_telemetry(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<(Report, SweepTelemetry), MachineError> {
+    let (result, tel) = with_capture(config.telemetry, || {
+        crate::analysis::analyze(program, inputs, config)
+    });
+    result.map(|report| (report, tel))
+}
+
+/// [`analyze_parallel`](crate::analyze_parallel) with a telemetry snapshot
+/// of the sweep.
+pub fn analyze_parallel_telemetry(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<(Report, SweepTelemetry), MachineError> {
+    let (result, tel) = with_capture(config.telemetry, || {
+        crate::analysis::analyze_parallel(program, inputs, config)
+    });
+    result.map(|report| (report, tel))
+}
+
+/// [`analyze_batched`](crate::analyze_batched) with a telemetry snapshot of
+/// the sweep.
+pub fn analyze_batched_telemetry(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<(Report, SweepTelemetry), MachineError> {
+    let (result, tel) = with_capture(config.telemetry, || {
+        crate::batched::analyze_batched(program, inputs, config)
+    });
+    result.map(|report| (report, tel))
+}
+
+/// [`analyze_tiered`](crate::analyze_tiered) with a telemetry snapshot of
+/// the sweep: the tier split also lands in the `tiered.*` counters, so the
+/// snapshot subsumes [`TierStats`](crate::TierStats).
+pub fn analyze_tiered_telemetry(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Result<(Report, SweepTelemetry), MachineError> {
+    let (result, tel) = with_capture(config.telemetry, || {
+        crate::tiered::analyze_tiered(program, inputs, config)
+    });
+    result.map(|report| (report, tel))
+}
+
+/// [`analyze_isolated`](crate::analyze_isolated) with a telemetry snapshot
+/// of the sweep, including the `quarantine.*` fault table.
+pub fn analyze_isolated_telemetry(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> (Report, SweepTelemetry) {
+    with_capture(config.telemetry, || {
+        crate::quarantine::analyze_isolated(program, inputs, config)
+    })
+}
+
+/// [`analyze_parallel_isolated`](crate::analyze_parallel_isolated) with a
+/// telemetry snapshot of the sweep.
+pub fn analyze_parallel_isolated_telemetry(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> (Report, SweepTelemetry) {
+    with_capture(config.telemetry, || {
+        crate::quarantine::analyze_parallel_isolated(program, inputs, config)
+    })
+}
+
+/// [`analyze_batched_isolated`](crate::analyze_batched_isolated) with a
+/// telemetry snapshot of the sweep.
+pub fn analyze_batched_isolated_telemetry(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> (Report, SweepTelemetry) {
+    with_capture(config.telemetry, || {
+        crate::quarantine::analyze_batched_isolated(program, inputs, config)
+    })
+}
+
+/// [`analyze_tiered_isolated`](crate::analyze_tiered_isolated) with a
+/// telemetry snapshot of the sweep. The standalone
+/// [`analyze_tiered_isolated_with_stats`](crate::quarantine::analyze_tiered_isolated_with_stats)
+/// accessor still returns [`TierStats`](crate::TierStats) without capture;
+/// here the tier split is read from the snapshot's `tiered.*` counters.
+pub fn analyze_tiered_isolated_telemetry(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> (Report, SweepTelemetry) {
+    with_capture(config.telemetry, || {
+        crate::quarantine::analyze_tiered_isolated(program, inputs, config)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpcore::parse_core;
+    use fpvm::compile_core;
+
+    fn cancellation_setup() -> (Program, Vec<Vec<f64>>) {
+        let core = parse_core("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))").unwrap();
+        let program = compile_core(&core, Default::default()).unwrap();
+        let inputs = (0..16).map(|i| vec![10f64.powi(i / 2)]).collect();
+        (program, inputs)
+    }
+
+    #[test]
+    fn off_mode_returns_disabled_snapshot() {
+        let (program, inputs) = cancellation_setup();
+        let config = AnalysisConfig::default();
+        let (report, tel) = analyze_telemetry(&program, &inputs, &config).unwrap();
+        assert!(report.has_significant_error());
+        assert!(!tel.enabled);
+        assert_eq!(tel.counter("fpvm.steps"), 0);
+    }
+
+    #[test]
+    fn on_mode_counts_steps_and_ops() {
+        let (program, inputs) = cancellation_setup();
+        let config = AnalysisConfig::default().with_telemetry(TelemetryMode::On);
+        let (report, tel) = analyze_telemetry(&program, &inputs, &config).unwrap();
+        assert!(report.has_significant_error());
+        assert!(tel.enabled);
+        assert!(tel.counter("fpvm.steps") > 0);
+        assert!(tel.counter("shadow.bigfloat_ops") > 0);
+        assert!(tel.phase(telemetry::Phase::Sweep).count >= 1);
+    }
+
+    #[test]
+    fn tiered_snapshot_subsumes_tier_stats() {
+        let (program, inputs) = cancellation_setup();
+        let config = AnalysisConfig::default().with_telemetry(TelemetryMode::On);
+        let (_, stats) =
+            crate::tiered::analyze_tiered_with_stats(&program, &inputs, &config).unwrap();
+        let (_, tel) = analyze_tiered_telemetry(&program, &inputs, &config).unwrap();
+        assert_eq!(
+            tel.counter("tiered.inputs_certified"),
+            stats.certified_inputs as u64
+        );
+        assert_eq!(
+            tel.counter("tiered.inputs_escalated"),
+            stats.escalated_inputs() as u64
+        );
+    }
+
+    #[test]
+    fn capture_disables_recording_after_finish() {
+        let (program, inputs) = cancellation_setup();
+        let config = AnalysisConfig::default().with_telemetry(TelemetryMode::On);
+        let _ = analyze_batched_telemetry(&program, &inputs, &config).unwrap();
+        assert!(!telemetry::enabled());
+    }
+}

@@ -71,7 +71,7 @@ use crate::analysis::{balanced_chunks, AnalysisState, Herbgrind};
 use crate::batched::{dispatch_sweep_collect, effective_batch_width};
 use crate::config::AnalysisConfig;
 use crate::report::Report;
-use crate::tiered::certify_dispatch;
+use crate::tiered::{certify_dispatch, TierStats};
 use fpvm::{Machine, MachineError, Program};
 use shadowreal::cert::CertParams;
 use shadowreal::{BatchReal, BigFloat, DoubleDouble, Real};
@@ -284,8 +284,10 @@ fn run_ladder(
     config: &AnalysisConfig,
     rungs: &[LadderRung],
 ) -> Result<AnalysisState, QuarantinedInput> {
+    let _ladder_span = telemetry::span(telemetry::Phase::Ladder);
     let mut last: Option<QuarantinedInput> = None;
     for rung in rungs {
+        telemetry::QUARANTINE_LADDER_ATTEMPTS.incr();
         let probed = match rung.shadow {
             ProbeShadow::DoubleDouble => probe_with::<DoubleDouble>(
                 machine,
@@ -307,7 +309,10 @@ fn run_ladder(
             ),
         };
         match probed {
-            Ok(state) => return Ok(state),
+            Ok(state) => {
+                telemetry::QUARANTINE_LADDER_HEALS.incr();
+                return Ok(state);
+            }
             Err(error) => {
                 last = Some(QuarantinedInput {
                     input_index: global,
@@ -446,9 +451,38 @@ fn batched_engine<R: BatchReal>(
     }
 }
 
+/// The telemetry fault-table cell for one quarantine record: the final
+/// records are counted (not intermediate candidates), so the stage × kind
+/// table is deterministic across thread counts and batch widths, exactly
+/// like the quarantine list itself.
+fn record_quarantine_telemetry(record: &QuarantinedInput) {
+    let stage = match record.stage {
+        SweepStage::Serial => telemetry::FaultStage::Serial,
+        SweepStage::ParallelShard => telemetry::FaultStage::ParallelShard,
+        SweepStage::BatchedLane => telemetry::FaultStage::BatchedLane,
+        SweepStage::TieredDoubleDouble => telemetry::FaultStage::TieredDoubleDouble,
+        SweepStage::TieredBigFloat => telemetry::FaultStage::TieredBigFloat,
+    };
+    let kind = match &record.error {
+        SweepFault::Panic(_) => telemetry::FaultKind::Panic,
+        SweepFault::Machine(MachineError::StepBudgetExceeded { .. }) => {
+            telemetry::FaultKind::StepBudget
+        }
+        SweepFault::Machine(MachineError::DeadlineExceeded { .. }) => {
+            telemetry::FaultKind::Deadline
+        }
+        SweepFault::Machine(MachineError::TraceBudgetExceeded { .. }) => {
+            telemetry::FaultKind::TraceBudget
+        }
+        SweepFault::Machine(_) => telemetry::FaultKind::Other,
+    };
+    telemetry::record_fault(stage, kind);
+}
+
 /// Folds per-chunk outcomes (in input order) into the final degraded
 /// report.
 fn assemble(config: &AnalysisConfig, outcomes: Vec<ChunkOutcome>) -> Report {
+    let _report_span = telemetry::span(telemetry::Phase::Report);
     let mut state = AnalysisState::empty(config.clone());
     let mut quarantined = Vec::new();
     for outcome in outcomes {
@@ -456,6 +490,12 @@ fn assemble(config: &AnalysisConfig, outcomes: Vec<ChunkOutcome>) -> Report {
         quarantined.extend(outcome.quarantined);
     }
     quarantined.sort_by_key(|q| q.input_index);
+    if telemetry::enabled() {
+        telemetry::QUARANTINE_INPUTS.add(quarantined.len() as u64);
+        for record in &quarantined {
+            record_quarantine_telemetry(record);
+        }
+    }
     let mut report = state.report();
     report.quarantined = quarantined;
     report
@@ -648,6 +688,18 @@ pub fn analyze_tiered_isolated(
     inputs: &[Vec<f64>],
     config: &AnalysisConfig,
 ) -> Report {
+    analyze_tiered_isolated_with_stats(program, inputs, config).0
+}
+
+/// [`analyze_tiered_isolated`] with the tier split: how many inputs the
+/// probe certified into the cheap `DoubleDouble` tier versus escalated to
+/// `BigFloat` — the same [`TierStats`] the plain driver exposes through
+/// [`analyze_tiered_with_stats`](crate::tiered::analyze_tiered_with_stats).
+pub fn analyze_tiered_isolated_with_stats(
+    program: &Program,
+    inputs: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> (Report, TierStats) {
     let config = config.normalize();
     let width = effective_batch_width(config.batch_width);
     let machine = Machine::new(program)
@@ -655,21 +707,33 @@ pub fn analyze_tiered_isolated(
         .with_deadline_millis(config.deadline_millis);
     let params = CertParams::new(config.shadow_precision);
     let certified: Vec<bool> = match params {
-        Some(params) => catch_unwind(AssertUnwindSafe(|| {
-            certify_dispatch(
-                &machine,
-                width,
-                inputs,
-                &params,
-                config.detect_compensation,
-                #[cfg(feature = "fault-injection")]
-                Some(0),
-            )
-        }))
-        .unwrap_or_else(|_| vec![false; inputs.len()]),
+        Some(params) => {
+            let _certify_span = telemetry::span(telemetry::Phase::Certify);
+            catch_unwind(AssertUnwindSafe(|| {
+                certify_dispatch(
+                    &machine,
+                    width,
+                    inputs,
+                    &params,
+                    config.detect_compensation,
+                    #[cfg(feature = "fault-injection")]
+                    Some(0),
+                )
+            }))
+            .unwrap_or_else(|_| vec![false; inputs.len()])
+        }
         // Precision gate: below the tier threshold everything escalates.
-        None => vec![false; inputs.len()],
+        None => {
+            telemetry::TIERED_ESCALATE_PRECISION_GATE.add(inputs.len() as u64);
+            vec![false; inputs.len()]
+        }
     };
+    let stats = TierStats {
+        total_inputs: inputs.len(),
+        certified_inputs: certified.iter().filter(|&&c| c).count(),
+    };
+    telemetry::TIERED_INPUTS_CERTIFIED.add(stats.certified_inputs as u64);
+    telemetry::TIERED_INPUTS_ESCALATED.add(stats.escalated_inputs() as u64);
     let dd_rungs = [
         LadderRung {
             shadow: ProbeShadow::DoubleDouble,
@@ -700,6 +764,7 @@ pub fn analyze_tiered_isolated(
         }
         let group = &inputs[start..end];
         let outcome = if verdict {
+            let _tier_span = telemetry::span(telemetry::Phase::TierDoubleDouble);
             batched_engine::<DoubleDouble>(
                 &machine,
                 width,
@@ -711,6 +776,7 @@ pub fn analyze_tiered_isolated(
                 InjectStage::TieredDoubleDouble,
             )
         } else {
+            let _tier_span = telemetry::span(telemetry::Phase::TierBigFloat);
             batched_engine::<BigFloat>(
                 &machine,
                 width,
@@ -725,5 +791,5 @@ pub fn analyze_tiered_isolated(
         outcomes.push(outcome);
         start = end;
     }
-    assemble(&config, outcomes)
+    (assemble(&config, outcomes), stats)
 }

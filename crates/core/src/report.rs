@@ -185,6 +185,17 @@ impl Report {
 
     /// Renders the paper-style textual report.
     pub fn to_text(&self) -> String {
+        self.to_text_with_stats(None)
+    }
+
+    /// Renders the paper-style textual report with an optional tier summary:
+    /// sweeps that came through a tiered driver can pass the
+    /// [`TierStats`](crate::tiered::TierStats) returned alongside the report
+    /// so the summary footer shows the escalation rate; without stats the
+    /// rate reads `n/a`. The footer is derived entirely from the rendered
+    /// values — it adds no fields to [`Report`], so report bit-identity
+    /// across drivers, thread counts, and batch widths is untouched.
+    pub fn to_text_with_stats(&self, tiers: Option<&crate::tiered::TierStats>) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "=== Herbgrind report for {} ===", self.program_name);
         let _ = writeln!(
@@ -207,7 +218,6 @@ impl Report {
         }
         if self.spots.is_empty() {
             let _ = writeln!(out, "No significant error reached any spot.");
-            return out;
         }
         for spot in &self.spots {
             let _ = writeln!(out);
@@ -244,6 +254,24 @@ impl Report {
                 }
             }
         }
+        let escalation = match tiers {
+            Some(t) if t.total_inputs > 0 => format!(
+                "{:.1}% ({}/{})",
+                100.0 * t.escalated_inputs() as f64 / t.total_inputs as f64,
+                t.escalated_inputs(),
+                t.total_inputs
+            ),
+            Some(_) => "0.0% (0/0)".to_string(),
+            None => "n/a".to_string(),
+        };
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "summary: {} input(s) analyzed, {} quarantined, escalation rate {}",
+            self.total_runs,
+            self.quarantined.len(),
+            escalation
+        );
         out
     }
 }
@@ -357,6 +385,22 @@ mod tests {
         );
         assert!(text.contains("Example problematic input:"), "{text}");
         assert!(text.contains("FPCore"), "{text}");
+    }
+
+    #[test]
+    fn summary_footer_reports_inputs_quarantine_and_escalation() {
+        let report = cancellation_report();
+        let text = report.to_text();
+        assert!(
+            text.contains("summary: 39 input(s) analyzed, 0 quarantined, escalation rate n/a"),
+            "{text}"
+        );
+        let stats = crate::tiered::TierStats {
+            total_inputs: 39,
+            certified_inputs: 34,
+        };
+        let with = report.to_text_with_stats(Some(&stats));
+        assert!(with.contains("escalation rate 12.8% (5/39)"), "{with}");
     }
 
     #[test]

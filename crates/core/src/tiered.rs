@@ -92,6 +92,20 @@ impl TierStats {
     }
 }
 
+/// Which certificate check first failed a probe lane — the telemetry
+/// attribution for an escalation ("escalation causes by `cert` failure
+/// kind"). Lane execution is bit-identical to serial, so the first failing
+/// check per input is deterministic across lane widths and thread counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CertFailKind {
+    /// [`cert::rounding_certified`] could not pin the rounded result.
+    Rounding,
+    /// A §5.3 compensation pass-through equality was not certified.
+    Compensation,
+    /// A branch comparison was not certified separated-or-exact.
+    Branch,
+}
+
 /// The certify-pass tracer: a lane-parallel `DoubleDouble` shadow execution
 /// that carries a certificate bound per shadow value and a sticky per-lane
 /// verdict per run.
@@ -119,6 +133,9 @@ pub struct CertifyProbe<const W: usize> {
     written: Vec<LaneMask>,
     /// Per-lane verdict for the current run; sticky until the next pass.
     certified: [bool; W],
+    /// The check that first dropped each lane's verdict this run (telemetry
+    /// attribution only; never read by the verdict logic).
+    fail_kinds: [Option<CertFailKind>; W],
     params: CertParams,
     /// Whether the full analysis will run compensation detection (§5.3),
     /// whose pass-through equality tests must then be certified too.
@@ -134,6 +151,7 @@ impl<const W: usize> CertifyProbe<W> {
             errs: Vec::new(),
             written: Vec::new(),
             certified: [true; W],
+            fail_kinds: [None; W],
             params,
             detect_compensation,
         }
@@ -143,6 +161,11 @@ impl<const W: usize> CertifyProbe<W> {
     /// decision of that lane's run was certified.
     pub fn lane_certified(&self, l: usize) -> bool {
         self.certified[l]
+    }
+
+    /// The certificate check that first failed lane `l` this run, if any.
+    fn lane_fail_kind(&self, l: usize) -> Option<CertFailKind> {
+        self.fail_kinds[l]
     }
 
     /// Grows the planes on the cold path, like the analysis's `put_shadow` —
@@ -183,6 +206,7 @@ impl<const W: usize> BatchTracer<W> for CertifyProbe<W> {
         self.written.clear();
         self.written.resize(program.num_addrs, 0);
         self.certified = [true; W];
+        self.fail_kinds = [None; W];
         for l in lane_indices(mask) {
             if let Some(args) = lane_inputs[l] {
                 for (&addr, &value) in program.arg_addrs.iter().zip(args) {
@@ -234,6 +258,7 @@ impl<const W: usize> BatchTracer<W> for CertifyProbe<W> {
             // operation (and, downstream, total error and casts), so an
             // uncertifiable rounding fails the lane immediately.
             let mut ok = cert::rounding_certified(&result, e);
+            let mut fail_kind = CertFailKind::Rounding;
             if ok && self.detect_compensation && matches!(op, RealOp::Add | RealOp::Sub) {
                 // §5.3 pass-through tests: `exact_result.eq_value(arg)` for
                 // every candidate argument (subtraction never passes its
@@ -246,6 +271,7 @@ impl<const W: usize> BatchTracer<W> for CertifyProbe<W> {
                     }
                     if !cert::compare_certified(&result, e, arg, errs[l]) {
                         ok = false;
+                        fail_kind = CertFailKind::Compensation;
                         break;
                     }
                 }
@@ -254,6 +280,7 @@ impl<const W: usize> BatchTracer<W> for CertifyProbe<W> {
                 result_errs[l] = e;
             } else {
                 self.certified[l] = false;
+                self.fail_kinds[l].get_or_insert(fail_kind);
             }
         }
         self.grow(dest);
@@ -345,6 +372,7 @@ impl<const W: usize> BatchTracer<W> for CertifyProbe<W> {
             let rv = self.values[rhs].get(l);
             if !cert::compare_certified(&lv, self.errs[lhs][l], &rv, self.errs[rhs][l]) {
                 self.certified[l] = false;
+                self.fail_kinds[l].get_or_insert(CertFailKind::Branch);
             }
         }
     }
@@ -408,6 +436,24 @@ fn certify_inputs<const W: usize>(
                 let index = offsets[l] + position;
                 #[allow(unused_mut)]
                 let mut verdict = probe.lane_certified(l) && outcome.errors[l].is_none();
+                if telemetry::enabled() && !verdict {
+                    // Escalation cause: the first failing certificate check,
+                    // or a machine fault when every check passed.
+                    if !probe.lane_certified(l) {
+                        match probe.lane_fail_kind(l) {
+                            Some(CertFailKind::Rounding) => {
+                                telemetry::TIERED_ESCALATE_ROUNDING.incr()
+                            }
+                            Some(CertFailKind::Compensation) => {
+                                telemetry::TIERED_ESCALATE_COMPENSATION.incr()
+                            }
+                            Some(CertFailKind::Branch) => telemetry::TIERED_ESCALATE_BRANCH.incr(),
+                            None => {}
+                        }
+                    } else {
+                        telemetry::TIERED_ESCALATE_MACHINE_FAULT.incr();
+                    }
+                }
                 // An injected tier-escalation failure forces the input out of
                 // the certified tier at verdict time, so the escalation tier
                 // (where the same injection panics) is exercised. Armed only
@@ -418,6 +464,9 @@ fn certify_inputs<const W: usize>(
                     if faultinject::query(base + index, 0, InjectStage::TieredCertify)
                         == Some(InjectKind::TierEscalation)
                     {
+                        if verdict {
+                            telemetry::TIERED_ESCALATE_INJECTED.incr();
+                        }
                         verdict = false;
                     }
                 }
@@ -472,22 +521,30 @@ fn tiered_sweep(
     params: Option<&CertParams>,
 ) -> Result<(AnalysisState, TierStats), MachineError> {
     let certified = match params {
-        Some(params) => certify_dispatch(
-            machine,
-            width,
-            inputs,
-            params,
-            config.detect_compensation,
-            #[cfg(feature = "fault-injection")]
-            None,
-        ),
+        Some(params) => {
+            let _certify_span = telemetry::span(telemetry::Phase::Certify);
+            certify_dispatch(
+                machine,
+                width,
+                inputs,
+                params,
+                config.detect_compensation,
+                #[cfg(feature = "fault-injection")]
+                None,
+            )
+        }
         // Precision gate: below the tier threshold everything escalates.
-        None => vec![false; inputs.len()],
+        None => {
+            telemetry::TIERED_ESCALATE_PRECISION_GATE.add(inputs.len() as u64);
+            vec![false; inputs.len()]
+        }
     };
     let stats = TierStats {
         total_inputs: inputs.len(),
         certified_inputs: certified.iter().filter(|&&c| c).count(),
     };
+    telemetry::TIERED_INPUTS_CERTIFIED.add(stats.certified_inputs as u64);
+    telemetry::TIERED_INPUTS_ESCALATED.add(stats.escalated_inputs() as u64);
     let mut state = AnalysisState::empty(config.clone());
     let mut start = 0;
     while start < inputs.len() {
@@ -502,8 +559,10 @@ fn tiered_sweep(
         // input's error — failing inputs are always uncertified (machine
         // errors are tracer-independent), so the error reruns here.
         let swept = if verdict {
+            let _tier_span = telemetry::span(telemetry::Phase::TierDoubleDouble);
             dispatch_sweep::<DoubleDouble>(machine, width, group, config)?.into_state()
         } else {
+            let _tier_span = telemetry::span(telemetry::Phase::TierBigFloat);
             dispatch_sweep::<BigFloat>(machine, width, group, config)?.into_state()
         };
         state.merge(swept);

@@ -557,8 +557,10 @@ impl ExprInterner {
     ) -> Arc<ConcreteExpr> {
         let key = NodeKey::new(op, value, pc, &children);
         if let Some(existing) = self.nodes.get(&key) {
+            telemetry::INTERNER_PROBE_HITS.incr();
             return Arc::clone(existing);
         }
+        telemetry::INTERNER_PROBE_MISSES.incr();
         let node = self.alloc_node(ConcreteExpr::node_value(
             op,
             value,
@@ -587,8 +589,10 @@ impl ExprInterner {
     ) -> Arc<ConcreteExpr> {
         let key = NodeKey::from_refs(op, value, pc, children);
         if let Some(existing) = self.nodes.get(&key) {
+            telemetry::INTERNER_PROBE_HITS.incr();
             return Arc::clone(existing);
         }
+        telemetry::INTERNER_PROBE_MISSES.incr();
         let node = self.alloc_node(ConcreteExpr::node_value(
             op,
             value,
@@ -652,9 +656,11 @@ impl ExprInterner {
                         .all(|(a, b)| Arc::ptr_eq(a, b)))
                 .then(|| Arc::clone(node))
             }) {
+                telemetry::BATCH_GROUP_SHARED_NODES.incr();
                 out[l] = Some(shared);
                 continue;
             }
+            telemetry::BATCH_GROUP_SPLIT_NODES.incr();
             let structural = match structures[..structure_count]
                 .iter()
                 .find(|(p, a, _)| *a == arity && *p == ptrs)
@@ -671,9 +677,11 @@ impl ExprInterner {
             };
             let key = NodeKey::with_structural(op, req.value, pc, ptrs, arity, structural);
             if let Some(existing) = self.nodes.get(&key) {
+                telemetry::INTERNER_PROBE_HITS.incr();
                 out[l] = Some(Arc::clone(existing));
                 continue;
             }
+            telemetry::INTERNER_PROBE_MISSES.incr();
             let node = self.alloc_node(ConcreteExpr::node_value(
                 op,
                 req.value,
@@ -696,6 +704,7 @@ impl ExprInterner {
         while let Some(mut recycled) = self.pool.pop() {
             if let Some(slot) = Arc::get_mut(&mut recycled) {
                 *slot = node;
+                telemetry::INTERNER_POOL_RECYCLES.incr();
                 return recycled;
             }
         }
@@ -710,6 +719,7 @@ impl ExprInterner {
     /// dropping — and the empty blocks are kept (up to [`POOL_CAP`]) for
     /// [`ExprInterner::alloc_node`] to rewrite during the next run.
     pub fn clear(&mut self) {
+        telemetry::INTERNER_PEAK_NODES.record((self.leaves.len() + self.nodes.len()) as u64);
         let ExprInterner {
             leaves,
             nodes,

@@ -476,6 +476,11 @@ impl<'p, const W: usize> BatchMachine<'p, W> {
         });
         let mut ticks = 0u64;
         let mut steps = [0u64; W];
+        // Telemetry accumulators: plain locals bumped only on the (rare)
+        // split/merge events, flushed once at pass end behind a single
+        // `telemetry::enabled()` check — nothing per-instruction.
+        let mut divergences = 0u64;
+        let mut reconverges = 0u64;
         let mut pending: Vec<Group> = Vec::new();
         if mask != 0 {
             pending.push(Group { pc: 0, mask });
@@ -504,6 +509,7 @@ impl<'p, const W: usize> BatchMachine<'p, W> {
                     pending.retain(|g| {
                         if g.pc == cur.pc {
                             cur.mask |= g.mask;
+                            reconverges += 1;
                             false
                         } else {
                             min_other = min_other.min(g.pc);
@@ -745,6 +751,7 @@ impl<'p, const W: usize> BatchMachine<'p, W> {
                                     mask: taken,
                                 }
                             };
+                            divergences += 1;
                             min_pending = min_pending.min(parked.pc);
                             pending.push(parked);
                         }
@@ -763,6 +770,21 @@ impl<'p, const W: usize> BatchMachine<'p, W> {
 
         for (l, result) in outcome.lanes.iter_mut().enumerate() {
             result.steps = steps[l];
+        }
+        if telemetry::enabled() {
+            let total_steps: u64 = steps.iter().sum();
+            telemetry::FPVM_BATCH_PASSES.add(1);
+            telemetry::FPVM_BATCH_DISPATCHES.add(ticks);
+            telemetry::FPVM_BATCH_ACTIVE_LANE_SLOTS.add(total_steps);
+            telemetry::FPVM_STEPS.add(total_steps);
+            // The per-lane step-budget check runs once per active lane slot.
+            telemetry::FPVM_BUDGET_CHECKS.add(total_steps);
+            telemetry::FPVM_BRANCH_DIVERGENCE.add(divergences);
+            telemetry::FPVM_BRANCH_RECONVERGE.add(reconverges);
+            telemetry::HIST_BATCH_GROUP_SIZE.observe(u64::from(mask.count_ones()));
+            for l in lane_indices(mask) {
+                telemetry::HIST_RUN_STEPS.observe(steps[l]);
+            }
         }
         tracer.on_finish(&outcome);
         outcome

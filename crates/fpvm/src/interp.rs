@@ -363,6 +363,7 @@ impl<'p> Machine<'p> {
         let mut pc = 0usize;
         loop {
             if result.steps >= self.step_limit {
+                flush_run_telemetry(result.steps);
                 return Err(MachineError::StepBudgetExceeded {
                     limit: self.step_limit,
                 });
@@ -370,17 +371,20 @@ impl<'p> Machine<'p> {
             if result.steps & 1023 == 0 {
                 if let Some((at, millis)) = deadline {
                     if std::time::Instant::now() >= at {
+                        flush_run_telemetry(result.steps);
                         return Err(MachineError::DeadlineExceeded { millis });
                     }
                 }
             }
             if tracer.has_fault() {
                 if let Some(err) = tracer.fault() {
+                    flush_run_telemetry(result.steps);
                     return Err(err);
                 }
             }
             result.steps += 1;
             let Some(inst) = self.tape.get(pc) else {
+                flush_run_telemetry(result.steps);
                 return Err(MachineError::PcOutOfRange { pc });
             };
             match inst {
@@ -449,8 +453,20 @@ impl<'p> Machine<'p> {
             }
         }
         tracer.on_finish(&result);
+        flush_run_telemetry(result.steps);
         Ok(result)
     }
+}
+
+/// Flush one serial run's step count into the telemetry registry. The hot
+/// loop counts into `result.steps` anyway, so off-mode cost is the single
+/// gate check inside each `Counter::add`. The step-limit check runs once per
+/// iteration, so the budget-check count equals the step count.
+#[inline]
+fn flush_run_telemetry(steps: u64) {
+    telemetry::FPVM_STEPS.add(steps);
+    telemetry::FPVM_BUDGET_CHECKS.add(steps);
+    telemetry::HIST_RUN_STEPS.observe(steps);
 }
 
 #[cfg(test)]

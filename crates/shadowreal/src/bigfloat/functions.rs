@@ -44,8 +44,10 @@ fn sqrt_half(prec: u32) -> BigFloat {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .get(&prec)
     {
+        telemetry::BIGFLOAT_CONST_CACHE_HITS.incr();
         return v.clone();
     }
+    telemetry::BIGFLOAT_CONST_CACHE_MISSES.incr();
     let v = BigFloat::from_f64_prec(0.5, prec).sqrt();
     cache
         .lock()
@@ -91,8 +93,10 @@ fn two_over_pi(prec: u32) -> BigFloat {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .get(&prec)
     {
+        telemetry::BIGFLOAT_CONST_CACHE_HITS.incr();
         return v.clone();
     }
+    telemetry::BIGFLOAT_CONST_CACHE_MISSES.incr();
     let v = BigFloat::from_i64(2)
         .with_precision(prec)
         .div(&BigFloat::pi(prec));
@@ -194,8 +198,10 @@ impl BigFloat {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&prec)
         {
+            telemetry::BIGFLOAT_CONST_CACHE_HITS.incr();
             return v.clone();
         }
+        telemetry::BIGFLOAT_CONST_CACHE_MISSES.incr();
         // Machin's formula: π = 16·atan(1/5) − 4·atan(1/239).
         let work = prec + 32;
         let a = atan_recip_int(5, work).mul(&BigFloat::from_i64(16));
@@ -216,8 +222,10 @@ impl BigFloat {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&prec)
         {
+            telemetry::BIGFLOAT_CONST_CACHE_HITS.incr();
             return v.clone();
         }
+        telemetry::BIGFLOAT_CONST_CACHE_MISSES.incr();
         // ln 2 = 2·atanh(1/3) = 2·(1/3 + (1/3)³/3 + (1/3)⁵/5 + ...)
         let work = prec + 32;
         let third = BigFloat::one()

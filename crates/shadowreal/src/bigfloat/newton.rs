@@ -59,12 +59,16 @@ pub(crate) fn div_finite(a: &Finite, b: &Finite, prec: u32, sign: bool) -> Repr 
     let dividend = &mut dbuf[..wd];
     let mut q = Scratch::zeroed(qn + 1);
     let rem_sticky = if !fast_paths_enabled() {
+        telemetry::BIGFLOAT_DIV_SCHOOLBOOK.incr();
         div_core_long(dividend, &b.limbs, qn, &mut q)
     } else if limbs::is_zero(&b.limbs[..nb - 1]) {
+        telemetry::BIGFLOAT_DIV_WORD.incr();
         div_core_word(dividend, b.limbs[nb - 1], nb, qn, &mut q)
     } else if nb <= MG_THRESHOLD {
+        telemetry::BIGFLOAT_DIV_SCHOOLBOOK.incr();
         div_core_mg(dividend, &b.limbs, qn, &mut q)
     } else {
+        telemetry::BIGFLOAT_DIV_NEWTON.incr();
         div_core_newton(dividend, &b.limbs, qn, &mut q)
     };
     debug_assert_eq!(q[qn], 0);

@@ -209,6 +209,12 @@ pub trait Real: Clone + Debug + Sized {
     fn eq_value(&self, other: &Self) -> bool {
         self.compare(other) == Some(Ordering::Equal)
     }
+
+    /// Stable short name of this shadow representation, used to attribute
+    /// telemetry op counts ("f64", "dd", "bigfloat").
+    fn kind_name() -> &'static str {
+        "shadow"
+    }
 }
 
 /// A shadow representation that can evaluate an operation over a whole lane
@@ -268,6 +274,9 @@ impl Real for f64 {
     fn apply(op: RealOp, args: &[Self]) -> Self {
         assert_eq!(args.len(), op.arity(), "arity mismatch for {op}");
         apply_f64(op, args)
+    }
+    fn kind_name() -> &'static str {
+        "f64"
     }
     fn apply_ref(op: RealOp, args: &[&Self]) -> Self {
         assert_eq!(args.len(), op.arity(), "arity mismatch for {op}");
@@ -477,6 +486,9 @@ impl Real for BigFloat {
     fn compare(&self, other: &Self) -> Option<Ordering> {
         BigFloat::partial_cmp(self, other)
     }
+    fn kind_name() -> &'static str {
+        "bigfloat"
+    }
     fn apply(op: RealOp, args: &[Self]) -> Self {
         assert!(!args.is_empty(), "arity mismatch for {op}");
         let mut refs: [&Self; MAX_ARITY] = [&args[0]; MAX_ARITY];
@@ -487,6 +499,7 @@ impl Real for BigFloat {
     }
     fn apply_ref(op: RealOp, args: &[&Self]) -> Self {
         assert_eq!(args.len(), op.arity(), "arity mismatch for {op}");
+        telemetry::BIGFLOAT_APPLY_OPS.incr();
         use RealOp::*;
         match op {
             Add => args[0].add(args[1]),
@@ -579,6 +592,9 @@ impl Real for DoubleDouble {
             *slot = a;
         }
         Self::apply_ref(op, &refs[..args.len()])
+    }
+    fn kind_name() -> &'static str {
+        "dd"
     }
     fn apply_ref(op: RealOp, args: &[&Self]) -> Self {
         assert_eq!(args.len(), op.arity(), "arity mismatch for {op}");

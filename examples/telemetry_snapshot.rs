@@ -1,0 +1,61 @@
+//! Sweep telemetry snapshots from every driver family: the same golden
+//! sweep run through the serial, parallel, batched, and tiered telemetry
+//! drivers (plus the tiered fault-isolated driver), printing the
+//! human-readable snapshot for the tiered sweep and the stable JSON
+//! rendering for all of them between machine-parseable markers — CI runs
+//! this example and schema-validates every JSON block.
+//!
+//! Run with `cargo run --release --example telemetry_snapshot`.
+
+use fpcore::parse_core;
+use fpvm::compile_core;
+use herbgrind::{
+    analyze_batched_telemetry, analyze_parallel_telemetry, analyze_telemetry,
+    analyze_tiered_isolated_telemetry, analyze_tiered_telemetry, telemetry_to_json, AnalysisConfig,
+    SweepTelemetry, TelemetryMode,
+};
+
+fn main() {
+    // The §3 complex-plotter kernel: sqrt(x² + y²) − x cancels for small y.
+    let source = "(FPCore (x y) :name \"plotter\" (- (sqrt (+ (* x x) (* y y))) x))";
+    let core = parse_core(source).expect("valid FPCore");
+    let program = compile_core(&core, Default::default()).expect("compiles");
+    let inputs: Vec<Vec<f64>> = (1..200)
+        .map(|i| vec![0.25 / f64::from(i), 1e-9 / f64::from(i)])
+        .collect();
+    let config = AnalysisConfig::default().with_telemetry(TelemetryMode::On);
+
+    let mut snapshots: Vec<(&str, SweepTelemetry)> = Vec::new();
+
+    let (serial_report, tel) = analyze_telemetry(&program, &inputs, &config).expect("serial");
+    snapshots.push(("serial", tel));
+    let (report, tel) = analyze_parallel_telemetry(&program, &inputs, &config).expect("parallel");
+    assert_eq!(format!("{serial_report:?}"), format!("{report:?}"));
+    snapshots.push(("parallel", tel));
+    let (report, tel) = analyze_batched_telemetry(&program, &inputs, &config).expect("batched");
+    assert_eq!(format!("{serial_report:?}"), format!("{report:?}"));
+    snapshots.push(("batched", tel));
+    let (report, tel) = analyze_tiered_telemetry(&program, &inputs, &config).expect("tiered");
+    assert_eq!(format!("{serial_report:?}"), format!("{report:?}"));
+    snapshots.push(("tiered", tel));
+    let (report, tel) = analyze_tiered_isolated_telemetry(&program, &inputs, &config);
+    assert!(report.quarantined.is_empty());
+    snapshots.push(("tiered_isolated", tel));
+
+    // Human-readable snapshot for one driver; the report's summary footer
+    // rides along via the tier split captured in the snapshot.
+    let tiered = &snapshots[3].1;
+    println!("{}", tiered.to_text());
+    println!(
+        "lane utilization (batched driver): {:?}",
+        snapshots[2].1.lane_utilization()
+    );
+
+    // Stable JSON between markers, one block per driver, for CI to extract
+    // and schema-validate.
+    for (driver, tel) in &snapshots {
+        println!("--- TELEMETRY JSON BEGIN {driver} ---");
+        println!("{}", telemetry_to_json(tel));
+        println!("--- TELEMETRY JSON END {driver} ---");
+    }
+}

@@ -14,3 +14,4 @@ pub use fpvm;
 pub use herbgrind;
 pub use herbie_lite;
 pub use shadowreal;
+pub use telemetry;

@@ -348,3 +348,61 @@ fn nan_poison_is_absorbed_without_quarantine() {
     // the report must flag significant error somewhere.
     assert!(report.has_significant_error());
 }
+
+#[test]
+fn fired_sites_match_the_installed_plan() {
+    // The harness audits which faults actually landed: the distinct fired
+    // inputs must be exactly the planned inputs, each with the planned
+    // kind, and the telemetry fire counter must cover every distinct site.
+    let _guard = faultinject::install(FaultPlan::sites(vec![
+        FaultSpec::input(3, InjectKind::Panic),
+        FaultSpec::input(5, InjectKind::StepBudget),
+    ]));
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 12, 7).expect("prepare");
+    let config = AnalysisConfig::default().with_telemetry(herbgrind::TelemetryMode::On);
+    let (report, tel) =
+        herbgrind::analyze_isolated_telemetry(&prepared.program, &prepared.inputs, &config);
+    let indices: Vec<usize> = report.quarantined.iter().map(|q| q.input_index).collect();
+    assert_eq!(indices, vec![3, 5]);
+
+    let sites = faultinject::fired_sites();
+    assert!(!sites.is_empty());
+    for site in &sites {
+        match site.input_index {
+            3 => assert_eq!(site.kind, InjectKind::Panic, "site {site:?}"),
+            5 => assert_eq!(site.kind, InjectKind::StepBudget, "site {site:?}"),
+            other => panic!("fault fired at unplanned input {other}: {site:?}"),
+        }
+    }
+    let fired_inputs: std::collections::BTreeSet<usize> =
+        sites.iter().map(|s| s.input_index).collect();
+    assert_eq!(fired_inputs.into_iter().collect::<Vec<_>>(), vec![3, 5]);
+    assert!(
+        tel.counter("faultinject.fired") >= sites.len() as u64,
+        "fire counter {} below distinct-site count {}",
+        tel.counter("faultinject.fired"),
+        sites.len()
+    );
+}
+
+#[test]
+fn stage_scoped_plan_fires_only_in_that_stage() {
+    // A serial-stage-only fault plan must never fire while the batched or
+    // tiered drivers run, and the fired-site audit proves it.
+    let _guard = faultinject::install(FaultPlan::sites(vec![FaultSpec::input(
+        2,
+        InjectKind::Panic,
+    )
+    .in_stage(InjectStage::Serial)]));
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 8, 3).expect("prepare");
+    let config = AnalysisConfig::default();
+    let batched = analyze_batched_isolated(&prepared.program, &prepared.inputs, &config);
+    assert!(batched.quarantined.is_empty());
+    assert!(
+        faultinject::fired_sites().is_empty(),
+        "serial-stage plan fired during a batched sweep: {:?}",
+        faultinject::fired_sites()
+    );
+}

@@ -312,8 +312,19 @@ fn quarantine_section_is_rendered_in_the_text_report() {
         text.contains("input 1 (serial sweep): execution exceeded the 500-step budget"),
         "missing quarantine line in:\n{text}"
     );
-    // A clean sweep renders no quarantine section at all, keeping golden
-    // reports stable.
+    // The summary footer counts the survivors the report covers plus the
+    // quarantined inputs.
+    assert!(
+        text.contains("summary: 2 input(s) analyzed, 1 quarantined"),
+        "missing summary footer in:\n{text}"
+    );
+    // A clean sweep renders no quarantine section at all (only the "0
+    // quarantined" summary footer), keeping golden reports stable.
     let clean = analyze_isolated(&program, &[vec![3.0]], &config);
-    assert!(!clean.to_text().contains("quarantined"));
+    let clean_text = clean.to_text();
+    assert!(!clean_text.contains("quarantined; the report covers the survivors"));
+    assert!(
+        clean_text.contains("summary: 1 input(s) analyzed, 0 quarantined"),
+        "missing summary footer in:\n{clean_text}"
+    );
 }

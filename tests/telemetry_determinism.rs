@@ -1,0 +1,195 @@
+//! Determinism contracts of the sweep telemetry layer:
+//!
+//! 1. **Order-independent metrics are execution-plan-invariant** — every
+//!    counter the registry marks *stable* (machine steps, shadow op counts
+//!    by kind, `BigFloat` division dispatch, tier verdicts and escalation
+//!    causes, quarantine totals) is identical across thread counts and
+//!    batch widths. Width-dependent metrics (pass counts, divergence
+//!    events, interner traffic, cache hits) are deliberately excluded from
+//!    the stable set.
+//! 2. **Telemetry never feeds back into analysis** — the report is
+//!    bit-identical with telemetry on and off, for all four driver
+//!    families, and the `*_telemetry` wrappers return the same report as
+//!    the plain drivers.
+//! 3. **The JSON rendering is schema-stable** — fixed schema name and
+//!    version, every registered metric present.
+
+use herbgrind::{
+    analyze, analyze_batched, analyze_batched_telemetry, analyze_parallel_telemetry,
+    analyze_telemetry, analyze_tiered, analyze_tiered_isolated_telemetry, analyze_tiered_telemetry,
+    telemetry_to_json, AnalysisConfig, Report, SweepTelemetry, TelemetryMode,
+};
+
+fn assert_reports_identical(a: &Report, b: &Report, context: &str) {
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "structural mismatch: {context}"
+    );
+    assert_eq!(a.to_text(), b.to_text(), "rendered mismatch: {context}");
+}
+
+fn assert_stable_counters_match(a: &SweepTelemetry, b: &SweepTelemetry, context: &str) {
+    assert_eq!(
+        a.stable_counters(),
+        b.stable_counters(),
+        "stable counters diverge: {context}"
+    );
+}
+
+#[test]
+fn stable_counters_are_thread_count_invariant() {
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 32, 2026).expect("prepare");
+    let baseline_config = AnalysisConfig::default()
+        .with_threads(1)
+        .with_telemetry(TelemetryMode::On);
+    let (_, baseline) =
+        analyze_parallel_telemetry(&prepared.program, &prepared.inputs, &baseline_config)
+            .expect("threads=1");
+    assert!(baseline.counter("fpvm.steps") > 0);
+    for threads in [2usize, 4] {
+        let config = AnalysisConfig::default()
+            .with_threads(threads)
+            .with_telemetry(TelemetryMode::On);
+        let (_, tel) = analyze_parallel_telemetry(&prepared.program, &prepared.inputs, &config)
+            .unwrap_or_else(|e| panic!("threads={threads}: {e:?}"));
+        assert_stable_counters_match(&baseline, &tel, &format!("{threads} threads vs 1"));
+    }
+}
+
+#[test]
+fn stable_counters_are_batch_width_invariant() {
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 32, 2026).expect("prepare");
+    let baseline_config = AnalysisConfig::default()
+        .with_batch_width(1)
+        .with_telemetry(TelemetryMode::On);
+    let (_, baseline) =
+        analyze_batched_telemetry(&prepared.program, &prepared.inputs, &baseline_config)
+            .expect("width=1");
+    assert!(baseline.counter("fpvm.steps") > 0);
+    for width in [4usize, 8] {
+        let config = AnalysisConfig::default()
+            .with_batch_width(width)
+            .with_telemetry(TelemetryMode::On);
+        let (_, tel) = analyze_batched_telemetry(&prepared.program, &prepared.inputs, &config)
+            .unwrap_or_else(|e| panic!("width={width}: {e:?}"));
+        assert_stable_counters_match(&baseline, &tel, &format!("width {width} vs 1"));
+    }
+}
+
+#[test]
+fn tiered_stable_counters_are_batch_width_invariant() {
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 32, 2026).expect("prepare");
+    let mut snapshots = Vec::new();
+    for width in [1usize, 4, 8] {
+        let config = AnalysisConfig::default()
+            .with_batch_width(width)
+            .with_telemetry(TelemetryMode::On);
+        let (_, tel) = analyze_tiered_telemetry(&prepared.program, &prepared.inputs, &config)
+            .unwrap_or_else(|e| panic!("width={width}: {e:?}"));
+        snapshots.push((width, tel));
+    }
+    let (_, baseline) = &snapshots[0];
+    let total =
+        baseline.counter("tiered.inputs_certified") + baseline.counter("tiered.inputs_escalated");
+    assert_eq!(total, prepared.inputs.len() as u64, "tier verdict totals");
+    for (width, tel) in &snapshots[1..] {
+        assert_stable_counters_match(baseline, tel, &format!("tiered width {width} vs 1"));
+    }
+}
+
+#[test]
+fn reports_are_bit_identical_with_telemetry_on_and_off() {
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 24, 7).expect("prepare");
+    let off = AnalysisConfig::default();
+    let on = AnalysisConfig::default().with_telemetry(TelemetryMode::On);
+
+    let plain = analyze(&prepared.program, &prepared.inputs, &off).expect("serial");
+    let (serial_off, tel_off) =
+        analyze_telemetry(&prepared.program, &prepared.inputs, &off).expect("serial off");
+    let (serial_on, tel_on) =
+        analyze_telemetry(&prepared.program, &prepared.inputs, &on).expect("serial on");
+    assert!(!tel_off.enabled);
+    assert!(tel_on.enabled);
+    assert_reports_identical(&plain, &serial_off, "serial wrapper vs plain");
+    assert_reports_identical(&serial_off, &serial_on, "serial on vs off");
+
+    let (parallel_off, _) =
+        analyze_parallel_telemetry(&prepared.program, &prepared.inputs, &off).expect("par off");
+    let (parallel_on, _) =
+        analyze_parallel_telemetry(&prepared.program, &prepared.inputs, &on).expect("par on");
+    assert_reports_identical(&parallel_off, &parallel_on, "parallel on vs off");
+    assert_reports_identical(&plain, &parallel_on, "parallel vs serial");
+
+    let plain_batched =
+        analyze_batched(&prepared.program, &prepared.inputs, &off).expect("batched");
+    let (batched_off, _) =
+        analyze_batched_telemetry(&prepared.program, &prepared.inputs, &off).expect("batched off");
+    let (batched_on, _) =
+        analyze_batched_telemetry(&prepared.program, &prepared.inputs, &on).expect("batched on");
+    assert_reports_identical(&plain_batched, &batched_off, "batched wrapper vs plain");
+    assert_reports_identical(&batched_off, &batched_on, "batched on vs off");
+
+    let plain_tiered = analyze_tiered(&prepared.program, &prepared.inputs, &off).expect("tiered");
+    let (tiered_off, _) =
+        analyze_tiered_telemetry(&prepared.program, &prepared.inputs, &off).expect("tiered off");
+    let (tiered_on, _) =
+        analyze_tiered_telemetry(&prepared.program, &prepared.inputs, &on).expect("tiered on");
+    assert_reports_identical(&plain_tiered, &tiered_off, "tiered wrapper vs plain");
+    assert_reports_identical(&tiered_off, &tiered_on, "tiered on vs off");
+}
+
+#[test]
+fn isolated_driver_reports_are_bit_identical_with_telemetry_on_and_off() {
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 24, 7).expect("prepare");
+    let off = AnalysisConfig::default();
+    let on = AnalysisConfig::default().with_telemetry(TelemetryMode::On);
+    let (report_off, tel_off) =
+        analyze_tiered_isolated_telemetry(&prepared.program, &prepared.inputs, &off);
+    let (report_on, tel_on) =
+        analyze_tiered_isolated_telemetry(&prepared.program, &prepared.inputs, &on);
+    assert!(!tel_off.enabled);
+    assert!(tel_on.enabled);
+    assert_reports_identical(&report_off, &report_on, "tiered isolated on vs off");
+    assert_eq!(
+        tel_on.counter("tiered.inputs_certified") + tel_on.counter("tiered.inputs_escalated"),
+        prepared.inputs.len() as u64
+    );
+}
+
+#[test]
+fn json_rendering_is_schema_stable() {
+    let core = fpbench::by_name("NMSE example 3.1").expect("benchmark present");
+    let prepared = fpbench::prepare(&core, 16, 7).expect("prepare");
+    let config = AnalysisConfig::default().with_telemetry(TelemetryMode::On);
+    let (_, tel) =
+        analyze_tiered_telemetry(&prepared.program, &prepared.inputs, &config).expect("tiered");
+    let json = telemetry_to_json(&tel);
+    assert!(
+        json.contains("\"schema\": \"herbgrind-sweep-telemetry\""),
+        "{json}"
+    );
+    assert!(json.contains("\"version\": 1"), "{json}");
+    assert!(json.contains("\"enabled\": true"), "{json}");
+    for (name, _) in tel.counters() {
+        assert!(
+            json.contains(&format!("\"{name}\"")),
+            "missing counter {name}"
+        );
+    }
+    for name in ["sweep", "certify", "tier_dd", "tier_bigfloat", "report"] {
+        assert!(
+            json.contains(&format!("\"{name}\"")),
+            "missing phase {name}"
+        );
+    }
+    // A disabled snapshot renders the same schema with enabled: false.
+    let disabled = telemetry_to_json(&SweepTelemetry::disabled());
+    assert!(disabled.contains("\"schema\": \"herbgrind-sweep-telemetry\""));
+    assert!(disabled.contains("\"enabled\": false"));
+}
