@@ -1,0 +1,242 @@
+//! `static_prune`: the tier-0 static error-dataflow pass over the full
+//! embedded FPBench suite.
+//!
+//! Two measurements share one run:
+//!
+//! * **Survey** — `fpbench::static_prune_survey` over every suite benchmark:
+//!   how many compute statements the abstract interpretation certifies
+//!   stable, how many land in the prune mask (certified *and* whole forward
+//!   cone certified), and how many static lints fire. This is pure static
+//!   analysis — no inputs execute.
+//! * **Sweep** — `herbgrind::analyze_tiered` over sampled inputs for every
+//!   benchmark, once with the default config and once with the benchmark's
+//!   declared sampling region armed (`with_input_ranges`), which switches
+//!   tier 0 on. The armed report must be bit-identical to the plain one for
+//!   every benchmark (asserted in-run), the telemetry must show executions
+//!   actually skipping shadow work, and no statement the dynamic analysis
+//!   flags as erroneous may carry the `CertifiedStable` verdict (the
+//!   suite-wide soundness count, reported as `unsound_certifications`).
+//!
+//! Output is human-readable rows plus machine-readable JSON between
+//! `STATIC_PRUNE_JSON_BEGIN`/`END` markers; `STATIC_PRUNE_JSON=path` also
+//! writes the JSON to a file (the committed `BENCH_static_prune.json`
+//! baseline is produced that way), and `BENCH_SMOKE=1` switches to a few
+//! samples and one short iteration per measurement for CI.
+
+use fpvm::{Addr, Machine, Program, Tracer};
+use herbgrind::staticerr::{analyze_program, StaticParams, StaticVerdict};
+use herbgrind::{analyze_tiered, AnalysisConfig, SweepCapture, TelemetryMode};
+use shadowreal::RealOp;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Counts executed floating-point operations (the denominator of every
+/// ops/sec figure; identical across modes because the analysis follows the
+/// client's control flow).
+#[derive(Default)]
+struct OpCounter {
+    computes: u64,
+}
+
+impl Tracer for OpCounter {
+    fn on_compute(&mut self, _: usize, _: RealOp, _: Addr, _: &[Addr], _: &[f64], _: f64) {
+        self.computes += 1;
+    }
+}
+
+struct Row {
+    mode: &'static str,
+    ns_per_op: f64,
+}
+
+impl Row {
+    fn ops_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_op
+    }
+}
+
+/// Best-of-`reps` ns per analyzed op for one full sweep.
+fn measure<F: FnMut()>(total_ops: u64, reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let ns = start.elapsed().as_nanos() as f64 / total_ops as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+struct PreparedSweep {
+    program: Program,
+    inputs: Vec<Vec<f64>>,
+    region: Vec<(f64, f64)>,
+}
+
+fn main() {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let reps = if smoke { 1 } else { 7 };
+    let samples = if smoke { 4 } else { 24 };
+    let suite = fpbench::suite();
+
+    // --- Survey (static only, whole suite) --------------------------------
+    let survey = fpbench::static_prune_survey(&suite, &StaticParams::default());
+    assert_eq!(survey.skipped, 0, "every suite benchmark must compile");
+    assert!(
+        survey.prune_rate() > 0.20,
+        "suite prune rate fell below the 20% floor: {}",
+        survey.to_text()
+    );
+
+    // --- Prepare the dynamic sweep ----------------------------------------
+    let prepared: Vec<PreparedSweep> = suite
+        .iter()
+        .filter_map(|core| {
+            let p = fpbench::prepare(core, samples, 2024).ok()?;
+            Some(PreparedSweep {
+                region: fpbench::sampling_region(core),
+                program: p.program,
+                inputs: p.inputs,
+            })
+        })
+        .collect();
+    // One analysis thread throughout: this bench measures the pruning.
+    let plain = AnalysisConfig::default().with_threads(1);
+
+    let mut total_ops = 0u64;
+    let mut total_inputs = 0usize;
+    for p in &prepared {
+        let machine = Machine::new(&p.program);
+        for input in &p.inputs {
+            let mut counter = OpCounter::default();
+            machine
+                .run_traced(input, &mut counter)
+                .expect("benchmark runs");
+            total_ops += counter.computes;
+        }
+        total_inputs += p.inputs.len();
+    }
+
+    // The speedup claim rests on three in-run facts: the tier-0-armed report
+    // is bit-identical to the plain tiered one on every benchmark, the prune
+    // mask actually removes shadow work, and no dynamically-erroneous
+    // statement is ever statically certified.
+    let capture = SweepCapture::begin(TelemetryMode::On);
+    let mut unsound_certifications = 0usize;
+    for p in &prepared {
+        let armed_config = plain.clone().with_input_ranges(p.region.clone());
+        let flat = analyze_tiered(&p.program, &p.inputs, &plain);
+        let armed = analyze_tiered(&p.program, &p.inputs, &armed_config);
+        match (flat, armed) {
+            (Ok(flat), Ok(armed)) => {
+                assert_eq!(
+                    format!("{armed:?}"),
+                    format!("{flat:?}"),
+                    "tier-0-armed report diverged from the plain tiered analysis"
+                );
+                let analysis = analyze_program(&p.program, &p.region, &StaticParams::default());
+                for spot in &flat.spots {
+                    if spot.erroneous > 0
+                        && analysis.verdict(spot.pc) == StaticVerdict::CertifiedStable
+                    {
+                        unsound_certifications += 1;
+                    }
+                    for cause in &spot.root_causes {
+                        if cause.erroneous_count > 0
+                            && analysis.verdict(cause.pc) == StaticVerdict::CertifiedStable
+                        {
+                            unsound_certifications += 1;
+                        }
+                    }
+                }
+            }
+            (flat, armed) => {
+                assert_eq!(
+                    format!("{:?}", flat.err()),
+                    format!("{:?}", armed.err()),
+                    "errors diverged between plain and tier-0-armed runs"
+                );
+            }
+        }
+    }
+    let telemetry = capture.finish();
+    let pruned_executions = telemetry.counter("tier0.pruned_executions");
+    assert!(
+        pruned_executions > 0,
+        "tier 0 never skipped shadowing across the whole suite"
+    );
+    assert_eq!(
+        unsound_certifications, 0,
+        "dynamically erroneous statements were statically certified"
+    );
+
+    // --- Measure ----------------------------------------------------------
+    let mut rows: Vec<Row> = Vec::new();
+    let ns = measure(total_ops, reps, || {
+        for p in &prepared {
+            black_box(analyze_tiered(&p.program, &p.inputs, &plain).ok());
+        }
+    });
+    rows.push(Row {
+        mode: "tiered",
+        ns_per_op: ns,
+    });
+    let armed_configs: Vec<AnalysisConfig> = prepared
+        .iter()
+        .map(|p| plain.clone().with_input_ranges(p.region.clone()))
+        .collect();
+    let ns = measure(total_ops, reps, || {
+        for (p, config) in prepared.iter().zip(&armed_configs) {
+            black_box(analyze_tiered(&p.program, &p.inputs, config).ok());
+        }
+    });
+    rows.push(Row {
+        mode: "tiered+tier0",
+        ns_per_op: ns,
+    });
+
+    // --- Report -----------------------------------------------------------
+    for row in &rows {
+        println!(
+            "bench static_prune/{}: {:.1} ns/op  ({:.2e} analyzed ops/s)",
+            row.mode,
+            row.ns_per_op,
+            row.ops_per_sec()
+        );
+    }
+    let speedup = rows[0].ns_per_op / rows[1].ns_per_op;
+    println!(
+        "bench static_prune: tier-0-armed vs plain tiered: {speedup:.2}x \
+         ({}; {pruned_executions} pruned statement-executions over \
+         {total_inputs} inputs; {total_ops} analyzed ops per sweep)",
+        survey.to_text()
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"static_prune\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"ns_per_op\": {:.2}, \"ops_per_sec\": {:.0}}}{}\n",
+            row.mode,
+            row.ns_per_op,
+            row.ops_per_sec(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"analyzed_ops_per_sweep\": {total_ops},\n  \"total_inputs\": {total_inputs},\n  \"pruned_executions\": {pruned_executions},\n  \"unsound_certifications\": {unsound_certifications},\n  \"speedup\": {{\"tier0_armed_vs_plain\": {speedup:.2}}},\n"
+    ));
+    // The survey JSON is itself schema-stable (`herbgrind-static-prune` v1);
+    // embed it verbatim as the `survey` member.
+    json.push_str("  \"survey\": ");
+    json.push_str(survey.to_json().trim_end());
+    json.push_str("\n}\n");
+    println!("STATIC_PRUNE_JSON_BEGIN");
+    print!("{json}");
+    println!("STATIC_PRUNE_JSON_END");
+    if let Some(path) = std::env::var_os("STATIC_PRUNE_JSON") {
+        std::fs::write(&path, json).expect("write STATIC_PRUNE_JSON file");
+    }
+}

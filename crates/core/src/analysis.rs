@@ -27,8 +27,8 @@
 
 // Quarantine semantics depend on faults being *typed*: a stray `.unwrap()`
 // in driver code turns a recoverable per-input fault into a sweep-wide
-// panic, so bare unwraps are linted here (tests opt back in locally).
-#![warn(clippy::unwrap_used)]
+// panic, so bare unwraps are denied here (tests opt back in locally).
+#![deny(clippy::unwrap_used)]
 
 use crate::config::AnalysisConfig;
 use crate::localerr::{local_error_ref, total_error};
@@ -322,6 +322,12 @@ pub struct Herbgrind<R: Real> {
     /// [`crate::faultinject`] plan on every compute observation.
     #[cfg(feature = "fault-injection")]
     inject: Option<(usize, crate::faultinject::InjectStage)>,
+    /// Tier-0 static prune mask: compute statements certified stable by the
+    /// static error-dataflow pass ([`staticerr`]) skip shadow arithmetic
+    /// entirely. Installed only by the tiered driver, and only for inputs
+    /// inside the statically declared region — every other driver leaves it
+    /// `None` and behaves exactly as before.
+    prune: Option<Arc<staticerr::PruneMask>>,
 }
 
 impl<R: Real> Herbgrind<R> {
@@ -346,7 +352,31 @@ impl<R: Real> Herbgrind<R> {
             pending_fault: None,
             #[cfg(feature = "fault-injection")]
             inject: None,
+            prune: None,
         }
+    }
+
+    /// Installs (or clears) the tier-0 static prune mask consulted by every
+    /// compute observation. Callers are responsible for only installing a
+    /// mask whose declared input region covers the inputs about to run —
+    /// the tiered driver checks each input and sweeps out-of-region inputs
+    /// unpruned.
+    pub(crate) fn set_prune_mask(&mut self, mask: Option<Arc<staticerr::PruneMask>>) {
+        self.prune = mask;
+    }
+
+    /// Observes a statically pruned compute. The operation record is still
+    /// created (report totals count operations by record *existence*, and a
+    /// certified statement's record never becomes erroneous, so an empty
+    /// record is report-identical to a fully-populated clean one), and the
+    /// destination shadow is invalidated so any downstream consumer lazily
+    /// recreates a leaf from the client double — the certification margin
+    /// guarantees that leaf is within the statically bounded drift of the
+    /// exact value, and the prune mask's poison fixpoint guarantees the
+    /// substitution is invisible in the report.
+    pub(crate) fn on_pruned_compute(&mut self, pc: usize, op: RealOp, dest: Addr) {
+        self.op_record_entry(pc, op);
+        put_shadow(&mut self.shadow_slots, self.shadow_gen, dest, None);
     }
 
     /// Arms deterministic fault injection for the next run: `input_index` is
@@ -994,6 +1024,14 @@ impl<R: Real> Tracer for Herbgrind<R> {
         // panic models a shadow-op failure at exactly this statement.
         #[cfg(feature = "fault-injection")]
         let poison = self.consult_injection(pc);
+        // Tier 0: a statement certified stable by the static pass skips
+        // shadow arithmetic entirely (after the injection consult, so
+        // injected faults still fire at pruned sites).
+        if self.prune.as_ref().is_some_and(|m| m.is_pruned(pc)) {
+            telemetry::TIER0_PRUNED_EXECUTIONS.incr();
+            self.on_pruned_compute(pc, op, dest);
+            return;
+        }
         // Make sure every operand has a shadow (creating leaf shadows
         // lazily); afterwards the hot path reads them by reference only.
         for (&addr, &value) in args.iter().zip(arg_values) {

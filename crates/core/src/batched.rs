@@ -42,8 +42,8 @@
 
 // Quarantine semantics depend on faults being *typed*: a stray `.unwrap()`
 // in driver code turns a recoverable per-input fault into a sweep-wide
-// panic, so bare unwraps are linted here (tests opt back in locally).
-#![warn(clippy::unwrap_used)]
+// panic, so bare unwraps are denied here (tests opt back in locally).
+#![deny(clippy::unwrap_used)]
 
 use crate::analysis::{balanced_chunks, Herbgrind};
 use crate::config::AnalysisConfig;
@@ -117,6 +117,10 @@ pub struct BatchHerbgrind<R: BatchReal, const W: usize> {
     inject_lanes: [Option<usize>; MAX_LANES],
     #[cfg(feature = "fault-injection")]
     inject_stage: crate::faultinject::InjectStage,
+    /// Tier-0 static prune mask, shared by all lanes (pruning is a
+    /// per-statement decision, identical across lanes). Installed only by
+    /// the tiered driver for input groups inside the declared static region.
+    prune: Option<Arc<staticerr::PruneMask>>,
 }
 
 impl<R: BatchReal, const W: usize> BatchHerbgrind<R, W> {
@@ -136,7 +140,20 @@ impl<R: BatchReal, const W: usize> BatchHerbgrind<R, W> {
             inject_lanes: [None; MAX_LANES],
             #[cfg(feature = "fault-injection")]
             inject_stage: crate::faultinject::InjectStage::Batched,
+            prune: None,
         }
+    }
+
+    /// Installs (or clears) the tier-0 static prune mask consulted by every
+    /// compute group, forwarding it to the lane shards so a lane driven
+    /// through its serial [`Tracer`] interface prunes identically. The
+    /// caller guarantees every input in the pass lies inside the mask's
+    /// declared region.
+    pub(crate) fn set_prune_mask(&mut self, mask: Option<Arc<staticerr::PruneMask>>) {
+        for lane in &mut self.lanes {
+            lane.set_prune_mask(mask.clone());
+        }
+        self.prune = mask;
     }
 
     /// Arms deterministic fault injection for the next pass: `lanes[l]` is
@@ -232,6 +249,18 @@ impl<R: BatchReal, const W: usize> BatchTracer<W> for BatchHerbgrind<R, W> {
                     Some(InjectKind::NanPoison) | Some(InjectKind::TierEscalation) | None => {}
                 }
             }
+        }
+        // Tier 0: a statically certified statement skips the group's shadow
+        // work entirely — each active lane records the op's existence and
+        // invalidates the destination shadow, exactly like the serial
+        // analysis does for pruned statements (after the injection consult,
+        // so injected faults still fire at pruned sites).
+        if self.prune.as_ref().is_some_and(|m| m.is_pruned(pc)) {
+            telemetry::TIER0_PRUNED_EXECUTIONS.add(u64::from(mask.count_ones()));
+            for l in lane_indices(mask) {
+                self.lanes[l].on_pruned_compute(pc, op, dest);
+            }
+            return;
         }
         crate::analysis::shadow_ops_counter::<R>().add(u64::from(mask.count_ones()));
         let n = args.len();
@@ -493,6 +522,7 @@ pub(crate) fn batched_sweep<R: BatchReal, const W: usize>(
     machine: &Machine<'_>,
     inputs: &[Vec<f64>],
     config: &AnalysisConfig,
+    prune: Option<&Arc<staticerr::PruneMask>>,
 ) -> Result<Herbgrind<R>, MachineError> {
     let lane_count = W.min(inputs.len()).max(1);
     // Balanced contiguous partition: chunk lengths differ by at most one, so
@@ -504,6 +534,7 @@ pub(crate) fn batched_sweep<R: BatchReal, const W: usize>(
     let positions = chunks.first().map_or(0, |chunk| chunk.len());
     let batch = machine.batched::<W>();
     let mut tracer = BatchHerbgrind::<R, W>::new(config);
+    tracer.set_prune_mask(prune.map(Arc::clone));
     let mut memory = BatchMemory::new();
     let mut failures: [Option<MachineError>; W] = std::array::from_fn(|_| None);
     for position in 0..positions {
@@ -640,20 +671,23 @@ pub(crate) fn dispatch_sweep_collect<R: BatchReal>(
     }
 }
 
-/// Dispatches a sweep to the compiled batch width.
+/// Dispatches a sweep to the compiled batch width. `prune` is the tier-0
+/// static prune mask — `None` everywhere except the tiered driver's
+/// in-region certified groups.
 pub(crate) fn dispatch_sweep<R: BatchReal>(
     machine: &Machine<'_>,
     width: usize,
     inputs: &[Vec<f64>],
     config: &AnalysisConfig,
+    prune: Option<&Arc<staticerr::PruneMask>>,
 ) -> Result<Herbgrind<R>, MachineError> {
     match width {
-        2 => batched_sweep::<R, 2>(machine, inputs, config),
-        4 => batched_sweep::<R, 4>(machine, inputs, config),
-        8 => batched_sweep::<R, 8>(machine, inputs, config),
-        13 => batched_sweep::<R, 13>(machine, inputs, config),
-        16 => batched_sweep::<R, 16>(machine, inputs, config),
-        _ => batched_sweep::<R, 1>(machine, inputs, config),
+        2 => batched_sweep::<R, 2>(machine, inputs, config, prune),
+        4 => batched_sweep::<R, 4>(machine, inputs, config, prune),
+        8 => batched_sweep::<R, 8>(machine, inputs, config, prune),
+        13 => batched_sweep::<R, 13>(machine, inputs, config, prune),
+        16 => batched_sweep::<R, 16>(machine, inputs, config, prune),
+        _ => batched_sweep::<R, 1>(machine, inputs, config, prune),
     }
 }
 
@@ -700,7 +734,7 @@ pub fn analyze_batched_with_shadow<R: BatchReal + Send>(
         .with_step_limit(config.step_limit)
         .with_deadline_millis(config.deadline_millis);
     if threads <= 1 || inputs.len() <= 1 {
-        return dispatch_sweep::<R>(&shared, width, inputs, config).map(|a| a.report());
+        return dispatch_sweep::<R>(&shared, width, inputs, config, None).map(|a| a.report());
     }
     // Balanced thread shards, like `analyze_parallel`: every thread gets a
     // chunk whenever there are at least `threads` inputs.
@@ -709,7 +743,7 @@ pub fn analyze_batched_with_shadow<R: BatchReal + Send>(
             .into_iter()
             .map(|chunk| {
                 let machine = shared.clone();
-                scope.spawn(move || dispatch_sweep::<R>(&machine, width, chunk, config))
+                scope.spawn(move || dispatch_sweep::<R>(&machine, width, chunk, config, None))
             })
             .collect();
         handles

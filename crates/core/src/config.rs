@@ -70,6 +70,18 @@ pub struct AnalysisConfig {
     /// width ([`crate::batched::SUPPORTED_BATCH_WIDTHS`]); `0` and `1` run
     /// single-lane batches. The report is bit-identical for every setting.
     pub batch_width: usize,
+    /// Declared input region for tier 0 of the tiered analysis
+    /// ([`analyze_tiered`](crate::tiered::analyze_tiered)): one `(lo, hi)`
+    /// interval per program argument, in argument order. When set, the
+    /// tiered driver runs the static error-dataflow pass
+    /// ([`staticerr::analyze_program`]) over the compiled tape before any
+    /// input executes and skips dynamic shadowing for statements it
+    /// certifies stable — the report stays bit-identical as long as every
+    /// swept input actually lies inside the declared region (the driver
+    /// checks this per input and falls back to unpruned shadowing for
+    /// out-of-region inputs). `None` (the default) disables tier 0
+    /// everywhere; the serial and reference analyses never consult it.
+    pub input_ranges: Option<Vec<(f64, f64)>>,
     /// Whether the `*_telemetry` driver entry points capture a
     /// [`telemetry::SweepTelemetry`] snapshot for the sweep. The default is
     /// [`telemetry::TelemetryMode::Off`], under which every recording site in
@@ -94,6 +106,7 @@ impl Default for AnalysisConfig {
             trace_node_budget: 0,
             threads: 0,
             batch_width: 8,
+            input_ranges: None,
             telemetry: telemetry::TelemetryMode::Off,
         }
     }
@@ -172,6 +185,13 @@ impl AnalysisConfig {
     /// [`AnalysisConfig::batch_width`].
     pub fn with_batch_width(mut self, width: usize) -> Self {
         self.batch_width = width;
+        self
+    }
+
+    /// Declares the input region for static tier-0 certification (builder
+    /// style); see [`AnalysisConfig::input_ranges`].
+    pub fn with_input_ranges(mut self, ranges: Vec<(f64, f64)>) -> Self {
+        self.input_ranges = Some(ranges);
         self
     }
 

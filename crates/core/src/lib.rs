@@ -91,5 +91,6 @@ pub use symbolic::SymbolicExpr;
 pub use tiered::{analyze_tiered, analyze_tiered_with_stats, CertifyProbe, TierStats};
 pub use trace::{ConcreteExpr, ExprInterner};
 
+pub use staticerr;
 pub use telemetry;
 pub use telemetry::{telemetry_to_json, SweepCapture, SweepTelemetry, TelemetryMode};

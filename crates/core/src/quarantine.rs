@@ -61,8 +61,8 @@
 
 // Quarantine semantics depend on faults being *typed*: a stray `.unwrap()`
 // in driver code turns a recoverable per-input fault into a sweep-wide
-// panic, so bare unwraps are linted here (tests opt back in locally).
-#![warn(clippy::unwrap_used)]
+// panic, so bare unwraps are denied here (tests opt back in locally).
+#![deny(clippy::unwrap_used)]
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};

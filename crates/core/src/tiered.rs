@@ -58,8 +58,8 @@
 
 // Quarantine semantics depend on faults being *typed*: a stray `.unwrap()`
 // in driver code turns a recoverable per-input fault into a sweep-wide
-// panic, so bare unwraps are linted here (tests opt back in locally).
-#![warn(clippy::unwrap_used)]
+// panic, so bare unwraps are denied here (tests opt back in locally).
+#![deny(clippy::unwrap_used)]
 
 use crate::analysis::{balanced_chunks, AnalysisState};
 use crate::batched::{dispatch_sweep, effective_batch_width};
@@ -70,6 +70,7 @@ use fpvm::batch::{lane_active, lane_indices, BatchMemory, BatchTracer, LaneMask}
 use fpvm::{Addr, Machine, MachineError, Program, Value, MAX_ARITY};
 use shadowreal::cert::{self, CertParams};
 use shadowreal::{dd_batch, BigFloat, DdLanes, DoubleDouble, RealOp};
+use std::sync::Arc;
 
 /// How a tiered sweep split its inputs between the shadow tiers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -510,6 +511,63 @@ pub(crate) fn certify_dispatch(
     }
 }
 
+/// The armed tier 0 of a tiered sweep: the static prune mask plus the
+/// declared input region it is valid for.
+///
+/// Tier 0 runs *before any input executes*: [`staticerr::analyze_program`]
+/// abstractly interprets the compiled tape over
+/// [`AnalysisConfig::input_ranges`] and certifies statements whose dynamic
+/// error can never trip the thresholds for any in-region input. Certified
+/// statements (filtered to the report-invisible subset by
+/// [`staticerr::prune_mask`]) skip dynamic shadowing in **both** dynamic
+/// tiers — the certificate bounds the exact value, not a particular shadow,
+/// so it holds under `DoubleDouble` and `BigFloat` alike. The driver checks
+/// every input against the declared region and sweeps out-of-region inputs
+/// unpruned, so the bit-identity contract holds unconditionally even when
+/// the declared ranges are wrong.
+struct Tier0 {
+    mask: Arc<staticerr::PruneMask>,
+    ranges: Vec<(f64, f64)>,
+}
+
+/// Runs the static tier-0 pass when the configuration declares input
+/// ranges. Returns `None` when disarmed (`input_ranges: None`), when the
+/// declared ranges do not match the program's arity (fail closed: no
+/// pruning), or when nothing prunable was certified.
+fn arm_tier0(program: &Program, config: &AnalysisConfig) -> Option<Tier0> {
+    let ranges = config.input_ranges.as_ref()?;
+    if ranges.len() != program.arg_addrs.len() {
+        return None;
+    }
+    let _span = telemetry::span(telemetry::Phase::Tier0Static);
+    let params = staticerr::StaticParams {
+        local_error_threshold: config.local_error_threshold,
+        output_error_threshold: config.output_error_threshold,
+        detect_compensation: config.detect_compensation,
+    };
+    let analysis = staticerr::analyze_program(program, ranges, &params);
+    let mask = staticerr::prune_mask(program, &analysis);
+    telemetry::TIER0_STATEMENTS_CERTIFIED.add(analysis.certified_computes as u64);
+    telemetry::TIER0_STATEMENTS_PRUNED.add(mask.pruned_computes() as u64);
+    if mask.is_empty() {
+        return None;
+    }
+    Some(Tier0 {
+        mask: Arc::new(mask),
+        ranges: ranges.clone(),
+    })
+}
+
+/// Whether an input vector lies inside the declared tier-0 region (NaN
+/// coordinates are never in range).
+fn input_in_region(input: &[f64], ranges: &[(f64, f64)]) -> bool {
+    input.len() == ranges.len()
+        && input
+            .iter()
+            .zip(ranges)
+            .all(|(&x, &(lo, hi))| lo <= x && x <= hi)
+}
+
 /// One thread shard of the tiered sweep: certify, partition into contiguous
 /// same-verdict groups, dispatch each group to its tier, fold the states in
 /// input order.
@@ -519,6 +577,7 @@ fn tiered_sweep(
     inputs: &[Vec<f64>],
     config: &AnalysisConfig,
     params: Option<&CertParams>,
+    tier0: Option<&Tier0>,
 ) -> Result<(AnalysisState, TierStats), MachineError> {
     let certified = match params {
         Some(params) => {
@@ -545,25 +604,41 @@ fn tiered_sweep(
     };
     telemetry::TIERED_INPUTS_CERTIFIED.add(stats.certified_inputs as u64);
     telemetry::TIERED_INPUTS_ESCALATED.add(stats.escalated_inputs() as u64);
+    // Tier 0 applies per input: only inputs inside the statically declared
+    // region may use the prune mask. Out-of-region inputs sweep unpruned,
+    // so a wrong `input_ranges` declaration costs throughput, never report
+    // fidelity.
+    let in_region: Vec<bool> = match tier0 {
+        Some(t) => inputs
+            .iter()
+            .map(|input| input_in_region(input, &t.ranges))
+            .collect(),
+        None => vec![false; inputs.len()],
+    };
     let mut state = AnalysisState::empty(config.clone());
     let mut start = 0;
     while start < inputs.len() {
         let verdict = certified[start];
+        let region = in_region[start];
         let mut end = start + 1;
-        while end < inputs.len() && certified[end] == verdict {
+        while end < inputs.len() && certified[end] == verdict && in_region[end] == region {
             end += 1;
         }
         let group = &inputs[start..end];
+        let prune = match tier0 {
+            Some(t) if region => Some(&t.mask),
+            _ => None,
+        };
         // Groups are contiguous in input order and dispatched in order, so
         // stopping at the first failing group surfaces the earliest failing
         // input's error — failing inputs are always uncertified (machine
         // errors are tracer-independent), so the error reruns here.
         let swept = if verdict {
             let _tier_span = telemetry::span(telemetry::Phase::TierDoubleDouble);
-            dispatch_sweep::<DoubleDouble>(machine, width, group, config)?.into_state()
+            dispatch_sweep::<DoubleDouble>(machine, width, group, config, prune)?.into_state()
         } else {
             let _tier_span = telemetry::span(telemetry::Phase::TierBigFloat);
-            dispatch_sweep::<BigFloat>(machine, width, group, config)?.into_state()
+            dispatch_sweep::<BigFloat>(machine, width, group, config, prune)?.into_state()
         };
         state.merge(swept);
         start = end;
@@ -591,22 +666,32 @@ pub fn analyze_tiered_with_stats(
     let width = effective_batch_width(config.batch_width);
     let threads = config.effective_threads(inputs.len());
     let params = CertParams::new(config.shadow_precision);
+    // Tier 0: one static pass over the tape, shared by every thread shard.
+    let tier0 = arm_tier0(program, &config);
     let shared = Machine::new(program)
         .with_step_limit(config.step_limit)
         .with_deadline_millis(config.deadline_millis);
     if threads <= 1 || inputs.len() <= 1 {
-        let (state, stats) = tiered_sweep(&shared, width, inputs, &config, params.as_ref())?;
+        let (state, stats) = tiered_sweep(
+            &shared,
+            width,
+            inputs,
+            &config,
+            params.as_ref(),
+            tier0.as_ref(),
+        )?;
         return Ok((state.report(), stats));
     }
     let shards: Vec<Result<(AnalysisState, TierStats), MachineError>> =
         std::thread::scope(|scope| {
             let config = &config;
             let params = params.as_ref();
+            let tier0 = tier0.as_ref();
             let handles: Vec<_> = balanced_chunks(inputs, threads)
                 .into_iter()
                 .map(|chunk| {
                     let machine = shared.clone();
-                    scope.spawn(move || tiered_sweep(&machine, width, chunk, config, params))
+                    scope.spawn(move || tiered_sweep(&machine, width, chunk, config, params, tier0))
                 })
                 .collect();
             handles
@@ -763,5 +848,86 @@ mod tests {
         let (tiered, stats) = analyze_tiered_with_stats(&p, &[], &config).unwrap();
         assert_eq!(format!("{serial:?}"), format!("{tiered:?}"));
         assert_eq!(stats, TierStats::default());
+    }
+
+    #[test]
+    fn tier0_prunes_and_stays_identical() {
+        // Well-conditioned polynomial over a declared region: the static
+        // pass certifies the whole dataflow, so tier 0 prunes shadow work
+        // while the report must stay bit-identical to the unpruned serial
+        // analysis.
+        let p = program("(FPCore (x) (+ (* x x) (+ x 2)))");
+        let inputs: Vec<Vec<f64>> = (0..24).map(|i| vec![1.0 + f64::from(i) * 0.5]).collect();
+        for (threads, width) in [(1, 1), (1, 8), (3, 4)] {
+            let config = AnalysisConfig::default()
+                .with_threads(threads)
+                .with_batch_width(width)
+                .with_input_ranges(vec![(1.0, 16.0)]);
+            let capture = telemetry::SweepCapture::begin(telemetry::TelemetryMode::On);
+            let (tiered, _) = analyze_tiered_with_stats(&p, &inputs, &config).unwrap();
+            let snap = capture.finish();
+            let serial = analyze(&p, &inputs, &AnalysisConfig::default().with_threads(1)).unwrap();
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{tiered:?}"),
+                "threads={threads} width={width}"
+            );
+            assert!(
+                snap.counter("tier0.statements_pruned") > 0,
+                "static pass should prune this program: {snap:?}"
+            );
+            assert!(
+                snap.counter("tier0.pruned_executions") > 0,
+                "pruned statements should actually skip executions"
+            );
+        }
+    }
+
+    #[test]
+    fn tier0_out_of_region_inputs_sweep_unpruned_and_identical() {
+        // The declared region covers only part of the sweep: out-of-region
+        // inputs (including one far outside, where the certificate would be
+        // meaningless) must run unpruned and the merged report must still be
+        // bit-identical.
+        let p = program("(FPCore (x) (+ (* x x) (+ x 2)))");
+        let mut inputs: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0 + f64::from(i)]).collect();
+        inputs.push(vec![1e200]);
+        inputs.push(vec![3.5]);
+        inputs.push(vec![-50.0]);
+        let config = AnalysisConfig::default()
+            .with_threads(1)
+            .with_input_ranges(vec![(1.0, 16.0)]);
+        let serial = analyze(&p, &inputs, &AnalysisConfig::default().with_threads(1)).unwrap();
+        let (tiered, _) = analyze_tiered_with_stats(&p, &inputs, &config).unwrap();
+        assert_eq!(format!("{serial:?}"), format!("{tiered:?}"));
+    }
+
+    #[test]
+    fn tier0_arity_mismatch_fails_closed() {
+        let p = program("(FPCore (x y) (+ x y))");
+        let inputs: Vec<Vec<f64>> = (0..6).map(|i| vec![f64::from(i), 2.0]).collect();
+        // Wrong arity in the declared ranges: tier 0 must disarm, not prune.
+        let config = AnalysisConfig::default()
+            .with_threads(1)
+            .with_input_ranges(vec![(0.0, 8.0)]);
+        let serial = analyze(&p, &inputs, &AnalysisConfig::default().with_threads(1)).unwrap();
+        let (tiered, _) = analyze_tiered_with_stats(&p, &inputs, &config).unwrap();
+        assert_eq!(format!("{serial:?}"), format!("{tiered:?}"));
+    }
+
+    #[test]
+    fn tier0_unstable_programs_are_never_pruned_into_silence() {
+        // Catastrophic cancellation inside the declared region: the static
+        // pass must not certify the cancelling subtraction, and the report
+        // must keep flagging it.
+        let p = program("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))");
+        let inputs: Vec<Vec<f64>> = (0..24).map(|i| vec![10f64.powi(i)]).collect();
+        let config = AnalysisConfig::default()
+            .with_threads(1)
+            .with_input_ranges(vec![(1.0, 1e24)]);
+        let serial = analyze(&p, &inputs, &AnalysisConfig::default().with_threads(1)).unwrap();
+        let (tiered, _) = analyze_tiered_with_stats(&p, &inputs, &config).unwrap();
+        assert_eq!(format!("{serial:?}"), format!("{tiered:?}"));
+        assert!(tiered.has_significant_error());
     }
 }

@@ -1,0 +1,43 @@
+//! Prints the tier-0 static prune survey over the full embedded suite;
+//! `--json` emits the survey as `herbgrind-static-prune` JSON, and
+//! `--report <benchmark name>` prints one benchmark's full static
+//! error-dataflow report (text + `herbgrind-static-report` JSON) instead.
+
+use herbgrind::staticerr;
+
+fn single_report(name: &str) {
+    let core = fpbench::by_name(name).expect("benchmark name from the embedded suite");
+    let program = fpvm::compile_core(&core, Default::default()).expect("compile");
+    let region = fpbench::sampling_region(&core);
+    let analysis = staticerr::analyze_program(&program, &region, &Default::default());
+    let mask = staticerr::prune_mask(&program, &analysis);
+    let report = staticerr::static_report(&program, &analysis, &mask);
+    print!("{}", report.to_text());
+    println!();
+    print!("{}", report.to_json());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--report") {
+        let name = args.get(i + 1).expect("--report takes a benchmark name");
+        single_report(name);
+        return;
+    }
+    let survey = fpbench::static_prune_survey(&fpbench::suite(), &Default::default());
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", survey.to_json());
+    } else {
+        println!("{}", survey.to_text());
+        for row in &survey.rows {
+            println!(
+                "  {:40} {:>3} computes, {:>3} certified, {:>3} pruned, {:>2} lints",
+                row.name,
+                row.total_computes,
+                row.certified_computes,
+                row.pruned_computes,
+                row.lints
+            );
+        }
+    }
+}

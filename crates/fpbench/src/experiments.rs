@@ -5,10 +5,11 @@
 //! results. The drivers take a benchmark list and a per-benchmark sample
 //! count so that quick runs (tests) and full runs (benches) share the code.
 
-use crate::driver::{prepare, DriverError};
+use crate::driver::{prepare, sampling_region, DriverError};
 use fpcore::FPCore;
-use herbgrind::{AnalysisConfig, RangeKind};
+use herbgrind::{staticerr, AnalysisConfig, RangeKind};
 use herbie_lite::{improve, ImprovementOptions};
+use std::fmt::Write as _;
 
 /// The per-benchmark outcome of the improvability experiment (§8.1).
 #[derive(Clone, Debug)]
@@ -310,6 +311,152 @@ pub fn wrapping_comparison(
     }
 }
 
+/// The per-benchmark outcome of the static prune survey (tier 0).
+#[derive(Clone, Debug)]
+pub struct StaticPruneRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Compute statements on the tape.
+    pub total_computes: usize,
+    /// Compute statements the static pass certified stable.
+    pub certified_computes: usize,
+    /// Compute statements in the tier-0 prune mask.
+    pub pruned_computes: usize,
+    /// Lints flagged by the static pass.
+    pub lints: usize,
+}
+
+/// The suite-wide static prune survey: how much dynamic shadow work the
+/// tier-0 static error-dataflow pass certifies away, before any input runs.
+#[derive(Clone, Debug, Default)]
+pub struct StaticPruneSurvey {
+    /// Per-benchmark rows.
+    pub rows: Vec<StaticPruneRow>,
+    /// Total compute statements across the suite.
+    pub total_computes: usize,
+    /// Certified-stable compute statements across the suite.
+    pub certified_computes: usize,
+    /// Pruned compute statements across the suite.
+    pub pruned_computes: usize,
+    /// Total lints flagged across the suite.
+    pub total_lints: usize,
+    /// Benchmarks that failed to compile (skipped).
+    pub skipped: usize,
+}
+
+/// Runs the tier-0 static error-dataflow pass over every benchmark, using
+/// each benchmark's declared [`sampling_region`] as the input region.
+///
+/// No inputs are sampled and nothing executes dynamically — this measures
+/// the static prune rate (the fraction of compute statements whose shadow
+/// work tier 0 eliminates) and collects the static lints.
+pub fn static_prune_survey(
+    benchmarks: &[FPCore],
+    params: &staticerr::StaticParams,
+) -> StaticPruneSurvey {
+    let mut survey = StaticPruneSurvey::default();
+    for core in benchmarks {
+        let Ok(program) = fpvm::compile_core(core, Default::default()) else {
+            survey.skipped += 1;
+            continue;
+        };
+        let region = sampling_region(core);
+        let analysis = staticerr::analyze_program(&program, &region, params);
+        let mask = staticerr::prune_mask(&program, &analysis);
+        let report = staticerr::static_report(&program, &analysis, &mask);
+        survey.total_computes += report.total_computes;
+        survey.certified_computes += report.certified_computes;
+        survey.pruned_computes += report.pruned_computes;
+        survey.total_lints += report.lints.len();
+        survey.rows.push(StaticPruneRow {
+            name: core.display_name().to_string(),
+            total_computes: report.total_computes,
+            certified_computes: report.certified_computes,
+            pruned_computes: report.pruned_computes,
+            lints: report.lints.len(),
+        });
+    }
+    survey
+}
+
+impl StaticPruneSurvey {
+    /// Suite-wide prune rate over compute statements.
+    pub fn prune_rate(&self) -> f64 {
+        if self.total_computes == 0 {
+            0.0
+        } else {
+            self.pruned_computes as f64 / self.total_computes as f64
+        }
+    }
+
+    /// Suite-wide certification rate over compute statements.
+    pub fn certified_rate(&self) -> f64 {
+        if self.total_computes == 0 {
+            0.0
+        } else {
+            self.certified_computes as f64 / self.total_computes as f64
+        }
+    }
+
+    /// Renders the survey as schema-stable JSON (`herbgrind-static-prune`
+    /// version 1), the format of the committed `BENCH_static_prune.json`
+    /// artifact validated in CI.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"herbgrind-static-prune\",\n");
+        out.push_str("  \"version\": 1,\n");
+        let _ = writeln!(out, "  \"benchmarks\": {},", self.rows.len());
+        let _ = writeln!(out, "  \"skipped\": {},", self.skipped);
+        let _ = writeln!(out, "  \"total_computes\": {},", self.total_computes);
+        let _ = writeln!(
+            out,
+            "  \"certified_computes\": {},",
+            self.certified_computes
+        );
+        let _ = writeln!(out, "  \"pruned_computes\": {},", self.pruned_computes);
+        let _ = writeln!(out, "  \"total_lints\": {},", self.total_lints);
+        let _ = writeln!(out, "  \"prune_rate\": {:.6},", self.prune_rate());
+        let _ = writeln!(out, "  \"certified_rate\": {:.6},", self.certified_rate());
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"computes\": {}, \"certified\": {}, \"pruned\": {}, \"lints\": {}}}",
+                row.name.replace('\\', "\\\\").replace('"', "\\\""),
+                row.total_computes,
+                row.certified_computes,
+                row.pruned_computes,
+                row.lints
+            );
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Renders the survey as a short text summary.
+    pub fn to_text(&self) -> String {
+        format!(
+            "tier-0 static pass over {} benchmarks: {}/{} computes certified ({:.1}%), \
+             {}/{} pruned ({:.1}%), {} lints",
+            self.rows.len(),
+            self.certified_computes,
+            self.total_computes,
+            100.0 * self.certified_rate(),
+            self.pruned_computes,
+            self.total_computes,
+            100.0 * self.prune_rate(),
+            self.total_lints
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +527,39 @@ mod tests {
             cmp.unwrapped_max_ops,
             cmp.wrapped_max_ops
         );
+    }
+
+    #[test]
+    fn static_prune_survey_covers_the_suite_and_hits_the_target_rate() {
+        let survey = static_prune_survey(&crate::suite::suite(), &Default::default());
+        assert_eq!(survey.skipped, 0, "every suite benchmark must compile");
+        assert_eq!(survey.rows.len(), crate::suite::suite().len());
+        // The paper-level claim the committed artifact pins: more than a
+        // fifth of the suite's compute statements need no dynamic shadowing.
+        assert!(
+            survey.prune_rate() > 0.20,
+            "prune rate regressed: {}",
+            survey.to_text()
+        );
+        assert!(survey.certified_rate() > survey.prune_rate());
+        assert!(survey.total_lints > 0, "the lint pass went silent");
+        let json = survey.to_json();
+        assert!(json.contains("\"schema\": \"herbgrind-static-prune\""));
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"rows\": ["));
+    }
+
+    #[test]
+    fn static_prune_survey_json_row_counts_are_consistent() {
+        let survey = static_prune_survey(&subset(8), &Default::default());
+        let sum: usize = survey.rows.iter().map(|r| r.pruned_computes).sum();
+        assert_eq!(sum, survey.pruned_computes);
+        let sum: usize = survey.rows.iter().map(|r| r.total_computes).sum();
+        assert_eq!(sum, survey.total_computes);
+        for row in &survey.rows {
+            assert!(row.pruned_computes <= row.certified_computes);
+            assert!(row.certified_computes <= row.total_computes);
+        }
     }
 
     #[test]

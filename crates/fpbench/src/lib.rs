@@ -20,9 +20,10 @@ pub mod driver;
 pub mod experiments;
 pub mod suite;
 
-pub use driver::{prepare, DriverError, PreparedBenchmark};
+pub use driver::{prepare, sampling_region, DriverError, PreparedBenchmark};
 pub use experiments::{
-    depth_sweep, improvability, range_kind_sweep, threshold_sweep, wrapping_comparison, DepthPoint,
-    ImprovabilityRow, ImprovabilitySummary, RangeKindPoint, ThresholdPoint, WrappingComparison,
+    depth_sweep, improvability, range_kind_sweep, static_prune_survey, threshold_sweep,
+    wrapping_comparison, DepthPoint, ImprovabilityRow, ImprovabilitySummary, RangeKindPoint,
+    StaticPruneRow, StaticPruneSurvey, ThresholdPoint, WrappingComparison,
 };
 pub use suite::{by_name, subset, suite};

@@ -148,6 +148,101 @@ pub const SUITE_SOURCE: &str = r#"
   (while (<= i N) ((i 1 (+ i 1)) (g x0 (* 0.5 (+ g (/ x0 g))))) g))
 (FPCore (N) :name "compensation-free running sum" :pre (<= 10 N 2000)
   (while (<= i N) ((i 1 (+ i 1)) (s 0 (+ s 0.1))) (- s (* 0.1 N))))
+
+;; ---- Well-conditioned kernels (FPBench-style accurate baselines) ----
+;; Products, quotients bounded away from zero, and same-sign accumulations:
+;; the control group the paper's evaluation needs alongside the cancellation
+;; stress tests, and the population the tier-0 static pass certifies.
+(FPCore (x) :name "horner quartic positive" :pre (<= 1 x 2)
+  (+ 5 (* x (+ 4 (* x (+ 3 (* x (+ 2 (* x 1)))))))))
+(FPCore (x) :name "horner sextic positive" :pre (<= 0.5 x 3)
+  (+ 7 (* x (+ 6 (* x (+ 5 (* x (+ 4 (* x (+ 3 (* x (+ 2 (* x 1)))))))))))))
+(FPCore (x y z) :name "rms of three" :pre (and (<= 1 x 10) (<= 1 y 10) (<= 1 z 10))
+  (sqrt (/ (+ (+ (* x x) (* y y)) (* z z)) 3)))
+(FPCore (x y z w) :name "sum of squares (four)" :pre (and (<= 1 x 10) (<= 1 y 10) (<= 1 z 10) (<= 1 w 10))
+  (+ (+ (* x x) (* y y)) (+ (* z z) (* w w))))
+(FPCore (x y z) :name "geometric mean (three)" :pre (and (<= 0.5 x 2) (<= 0.5 y 2) (<= 0.5 z 2))
+  (cbrt (* (* x y) z)))
+(FPCore (r1 r2 r3) :name "parallel resistance (three)" :pre (and (<= 1 r1 100) (<= 1 r2 100) (<= 1 r3 100))
+  (/ 1 (+ (+ (/ 1 r1) (/ 1 r2)) (/ 1 r3))))
+(FPCore (q1 q2 r) :name "coulomb energy" :pre (and (<= 1e-6 q1 1e-3) (<= 1e-6 q2 1e-3) (<= 0.1 r 10))
+  (/ (* (* 8.9875e9 q1) q2) r))
+(FPCore (m v) :name "kinetic energy" :pre (and (<= 1 m 100) (<= 1 v 100))
+  (* (* 0.5 m) (* v v)))
+(FPCore (v theta) :name "projectile range" :pre (and (<= 1 v 50) (<= 0.3 theta 1.2))
+  (/ (* (* v v) (sin (* 2 theta))) 9.81))
+(FPCore (n T V) :name "ideal gas pressure" :pre (and (<= 1 n 10) (<= 250 T 400) (<= 0.1 V 1))
+  (/ (* (* n 8.314462618) T) V))
+(FPCore (A lambda t) :name "exponential decay" :pre (and (<= 1 A 10) (<= 0.01 lambda 1) (<= 0.1 t 10))
+  (* A (exp (- (* lambda t)))))
+(FPCore (x y) :name "log magnitude" :pre (and (<= 10 x 1000) (<= 10 y 1000))
+  (log (* x y)))
+(FPCore (x y z) :name "weighted average (three)" :pre (and (<= 1 x 100) (<= 1 y 100) (<= 1 z 100))
+  (/ (+ (+ (* 2 x) (* 3 y)) (* 5 z)) 10))
+(FPCore (x y z w) :name "one-norm (four)" :pre (and (<= 0.1 x 100) (<= 0.1 y 100) (<= 0.1 z 100) (<= 0.1 w 100))
+  (+ (+ (+ x y) z) w))
+(FPCore (x y z w) :name "arithmetic mean (four)" :pre (and (<= 1 x 100) (<= 1 y 100) (<= 1 z 100) (<= 1 w 100))
+  (/ (+ (+ (+ x y) z) w) 4))
+(FPCore (x) :name "rising cubic product" :pre (<= 0.5 x 10)
+  (* (* (+ x 1) (+ x 2)) (+ x 3)))
+(FPCore (x y z) :name "hypot3" :pre (and (<= 1 x 100) (<= 1 y 100) (<= 1 z 100))
+  (sqrt (+ (+ (* x x) (* y y)) (* z z))))
+(FPCore (r h) :name "cone volume" :pre (and (<= 0.1 r 10) (<= 0.1 h 10))
+  (/ (* PI (* (* r r) h)) 3))
+(FPCore (x) :name "logistic midrange" :pre (<= 1 x 5)
+  (/ 1 (+ 1 (exp (- x)))))
+(FPCore (k x m h) :name "energy sum" :pre (and (<= 1 k 100) (<= 0.1 x 1) (<= 1 m 10) (<= 0.1 h 10))
+  (+ (* (* 0.5 k) (* x x)) (* (* m 9.81) h)))
+(FPCore (a b c) :name "box surface area" :pre (and (<= 1 a 10) (<= 1 b 10) (<= 1 c 10))
+  (* 2 (+ (+ (* a b) (* b c)) (* c a))))
+(FPCore (I R V) :name "power dissipation" :pre (and (<= 0.1 I 10) (<= 1 R 100) (<= 1 V 100))
+  (+ (* (* I I) R) (/ (* V V) R)))
+(FPCore (x1 y1 x2 y2 x3 y3) :name "dot product (three)" :pre (and (<= 1 x1 10) (<= 1 y1 10) (<= 1 x2 10) (<= 1 y2 10) (<= 1 x3 10) (<= 1 y3 10))
+  (+ (+ (* x1 y1) (* x2 y2)) (* x3 y3)))
+(FPCore (r h) :name "cylinder volume" :pre (and (<= 0.1 r 10) (<= 0.1 h 10))
+  (* (* PI (* r r)) h))
+(FPCore (a b) :name "rectangle diagonal" :pre (and (<= 1 a 100) (<= 1 b 100))
+  (sqrt (+ (* a a) (* b b))))
+(FPCore (u v) :name "thin lens equation" :pre (and (<= 1 u 100) (<= 1 v 100))
+  (/ 1 (+ (/ 1 u) (/ 1 v))))
+(FPCore (m k) :name "spring period" :pre (and (<= 1 m 10) (<= 1 k 100))
+  (* (* 2 PI) (sqrt (/ m k))))
+(FPCore (V R1 R2) :name "resistor divider" :pre (and (<= 1 V 100) (<= 1 R1 100) (<= 1 R2 100))
+  (/ (* V R2) (+ R1 R2)))
+(FPCore (a b c) :name "triangle perimeter" :pre (and (<= 1 a 100) (<= 1 b 100) (<= 1 c 100))
+  (+ (+ a b) c))
+(FPCore (a b c) :name "cuboid volume" :pre (and (<= 0.5 a 20) (<= 0.5 b 20) (<= 0.5 c 20))
+  (* (* a b) c))
+(FPCore (P r t) :name "simple interest" :pre (and (<= 100 P 1e6) (<= 0.01 r 0.2) (<= 1 t 30))
+  (* (* P r) t))
+(FPCore (f1 f2) :name "beat frequency mean" :pre (and (<= 100 f1 1000) (<= 100 f2 1000))
+  (/ (+ f1 f2) 2))
+(FPCore (r) :name "circle circumference" :pre (<= 0.1 r 1000)
+  (* (* 2 PI) r))
+(FPCore (V R) :name "ohmic heating" :pre (and (<= 1 V 240) (<= 1 R 1000))
+  (* (/ V R) V))
+(FPCore (x) :name "fourth root" :pre (<= 1 x 1e8)
+  (sqrt (sqrt x)))
+(FPCore (x y) :name "log quotient" :pre (and (<= 10 x 1000) (<= 0.1 y 1))
+  (log (/ x y)))
+(FPCore (x y) :name "exp product" :pre (and (<= 0.1 x 2) (<= 0.1 y 2))
+  (* (exp x) (exp y)))
+(FPCore (a x) :name "scaled sqrt" :pre (and (<= 1 a 100) (<= 1 x 1e6))
+  (* a (sqrt x)))
+(FPCore (m c) :name "mass energy" :pre (and (<= 1e-3 m 10) (<= 2.99e8 c 3e8))
+  (* m (* c c)))
+(FPCore (R1 R2 R3) :name "wheatstone ratio" :pre (and (<= 1 R1 1000) (<= 1 R2 1000) (<= 1 R3 1000))
+  (/ (* R1 R3) R2))
+(FPCore (r) :name "sphere surface area" :pre (<= 0.1 r 100)
+  (* (* 4 PI) (* r r)))
+(FPCore (r) :name "sphere volume" :pre (<= 0.1 r 100)
+  (/ (* (* 4 PI) (* (* r r) r)) 3))
+(FPCore (x y) :name "geometric mean (two)" :pre (and (<= 0.5 x 100) (<= 0.5 y 100))
+  (sqrt (* x y)))
+(FPCore (C V) :name "capacitor energy" :pre (and (<= 1e-9 C 1e-3) (<= 1 V 400))
+  (* (* 0.5 C) (* V V)))
+(FPCore (L) :name "pendulum period" :pre (<= 0.1 L 10)
+  (* (* 2 PI) (sqrt (/ L 9.81))))
 "#;
 
 /// Returns the parsed benchmark suite.

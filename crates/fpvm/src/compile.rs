@@ -154,12 +154,22 @@ impl Compiler {
                 .lookup(name)
                 .ok_or_else(|| CompileError::UnboundVariable(name.clone())),
             Expr::Op(op, args) => {
+                let call_line = self.current_line;
                 let mut addrs = Vec::with_capacity(args.len());
                 for a in args {
                     addrs.push(self.compile_expr(a)?);
                 }
                 if self.options.lower_library_calls && op.is_library_call() {
-                    if let Some(result) = libm_lowering::lower_call(self, *op, &addrs) {
+                    // The lowered instruction sequence carries the *call
+                    // site's* line, not whatever line the last argument
+                    // subexpression advanced the cursor to — reports and
+                    // static lints must point at the user's `exp`/`log`
+                    // call, never at lowered internals.
+                    let after_args = self.current_line;
+                    self.current_line = call_line;
+                    let lowered = libm_lowering::lower_call(self, *op, &addrs);
+                    self.current_line = after_args;
+                    if let Some(result) = lowered {
                         return Ok(result);
                     }
                 }
@@ -592,5 +602,61 @@ mod tests {
             compile_core(&core, CompileOptions::default()).unwrap_err(),
             CompileError::BooleanInNumericPosition
         );
+    }
+
+    #[test]
+    fn lowered_statements_carry_the_call_site_location() {
+        // `exp`'s argument is a deep subexpression, so by the time the
+        // lowering runs, the line cursor has moved well past the call site.
+        // Every statement the lowering emits must still carry the `exp`
+        // call's own line — reports and static lints point at user code,
+        // not at lowered libm internals.
+        let src = "(FPCore (x y) (exp (+ x (* y (+ y 1)))))";
+        let core = parse_core(src).unwrap();
+        let wrapped = compile_core(&core, CompileOptions::default()).unwrap();
+        let lowered = compile_core(
+            &core,
+            CompileOptions {
+                lower_library_calls: true,
+                source_file: None,
+            },
+        )
+        .unwrap();
+        // `exp` is the body's outermost expression, so its call site is the
+        // first line the cursor assigns (the cursor starts at 1 and steps on
+        // every expression entry).
+        let call_line = 2;
+        // The argument prefix is identical in both programs; it ends where
+        // the wrapped program's single Exp compute sits. Everything past it
+        // in the lowered program belongs to the lowering.
+        let prefix_len = wrapped
+            .statements
+            .iter()
+            .position(|stmt| matches!(stmt, Statement::Compute { op, .. } if *op == RealOp::Exp))
+            .expect("exp compute present");
+        let arg_lines: Vec<u32> = (0..prefix_len)
+            .map(|pc| lowered.location(pc).line)
+            .collect();
+        assert!(
+            arg_lines.iter().any(|&line| line > call_line),
+            "argument subexpressions advance the cursor past the call: {arg_lines:?}"
+        );
+        let lowered_body: Vec<usize> = (prefix_len..lowered.statements.len())
+            .filter(|&pc| {
+                matches!(
+                    lowered.statements[pc],
+                    Statement::Compute { .. } | Statement::ConstF { .. }
+                )
+            })
+            .collect();
+        assert!(lowered_body.len() > 10, "lowering expands the call");
+        for pc in lowered_body {
+            assert_eq!(
+                lowered.location(pc).line,
+                call_line,
+                "pc {pc} ({:?}) should carry the exp call site",
+                lowered.statements[pc]
+            );
+        }
     }
 }

@@ -1,0 +1,37 @@
+//! Static error-dataflow certification over the compiled fpvm tape
+//! (tier 0 of the tiered analysis pipeline).
+//!
+//! This crate abstractly interprets an [`fpvm::Program`] over a declared
+//! input region, propagating per-address abstract values that combine an
+//! outward-rounded **interval domain** with a **relative-error-amplification
+//! domain** (first-order condition-number bounds per operation, fail-closed
+//! on transcendental domain edges; loops are widened to a fixpoint along a
+//! bounded ladder). Two products come out:
+//!
+//! 1. a per-statement [`StaticVerdict`] — `CertifiedStable` statements can
+//!    skip dynamic shadowing entirely (the [`PruneMask`] consumed by the
+//!    tiered driver as *tier 0*), with reports provably bit-identical to
+//!    the unpruned analysis;
+//! 2. a [`StaticReport`] lint layer flagging cancellation sites, absorbing
+//!    accumulations and range-unstable branches before any input runs,
+//!    rendered as text and as schema-stable JSON
+//!    (`herbgrind-static-report` version 1).
+//!
+//! The certification argument and the poison fixpoint behind the prune
+//! mask are documented in `analyze`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+
+pub mod analyze;
+pub mod domain;
+pub mod report;
+pub mod transfer;
+
+pub use analyze::{
+    analyze_program, prune_mask, DominantTerm, PruneMask, StatementInfo, StaticAnalysis,
+    StaticParams, StaticVerdict,
+};
+pub use domain::AbsVal;
+pub use report::{lint_program, static_report, Lint, LintKind, StaticReport};

@@ -1,0 +1,498 @@
+//! The static lint layer and the `herbgrind-static-report` rendering.
+//!
+//! Lints are advisory: they surface the anti-patterns the dynamic analysis
+//! detects at runtime (cancellation, absorption, unstable branches) before
+//! a single input runs, pointing at source locations. They carry no
+//! soundness obligation — the prune mask never consults them.
+
+use crate::analyze::{StaticAnalysis, StaticVerdict};
+use crate::domain::AbsVal;
+use crate::PruneMask;
+use fpvm::{Pred, Program, SourceLoc, Statement};
+use shadowreal::RealOp;
+use std::fmt::Write as _;
+
+/// Magnitude ratio past which an addition absorbs its smaller operand
+/// entirely (2⁵³).
+const ABSORPTION_RATIO: f64 = 9007199254740992.0;
+
+/// The kind of anti-pattern a lint flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LintKind {
+    /// `x*x − y*y`: a difference of squares, cancellation-prone and
+    /// rewritable as `(x−y)·(x+y)`.
+    DifferenceOfSquares,
+    /// `1 − cos(x)` (or `cos(x) − 1`): cancellation near small angles,
+    /// rewritable via `2·sin²(x/2)`.
+    OneMinusCos,
+    /// Subtraction of same-sign operands whose ranges overlap: possible
+    /// catastrophic cancellation.
+    CancellationRange,
+    /// An accumulation where one operand's magnitude range dwarfs the
+    /// other's: the small addend is absorbed outright.
+    Absorption,
+    /// A branch comparison whose operand ranges overlap (and are not
+    /// drift-certified): control flow can flip under rounding.
+    UnstableBranch,
+}
+
+impl LintKind {
+    /// Stable machine-readable name (part of the JSON schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            LintKind::DifferenceOfSquares => "difference-of-squares",
+            LintKind::OneMinusCos => "one-minus-cos",
+            LintKind::CancellationRange => "cancellation-range",
+            LintKind::Absorption => "absorption",
+            LintKind::UnstableBranch => "unstable-branch",
+        }
+    }
+}
+
+/// One flagged site.
+#[derive(Clone, Debug)]
+pub struct Lint {
+    /// What was flagged.
+    pub kind: LintKind,
+    /// The tape index.
+    pub pc: usize,
+    /// The source location of the statement.
+    pub location: SourceLoc,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The static report: verdict tallies, prune summary, lints.
+#[derive(Clone, Debug)]
+pub struct StaticReport {
+    /// Program name.
+    pub program: String,
+    /// Total tape statements.
+    pub total_statements: usize,
+    /// Compute statements.
+    pub total_computes: usize,
+    /// Certified-stable compute statements.
+    pub certified_computes: usize,
+    /// Compute statements with verdict `MayErr`.
+    pub may_err_computes: usize,
+    /// Compute statements with verdict `StaticallyUnstable`.
+    pub statically_unstable_computes: usize,
+    /// Compute statements the tier-0 mask prunes.
+    pub pruned_computes: usize,
+    /// The lints.
+    pub lints: Vec<Lint>,
+}
+
+/// The unique defining statement of each address, when there is exactly
+/// one writer in the whole tape (enough for structural pattern lints).
+fn unique_defs(program: &Program) -> Vec<Option<usize>> {
+    let mut defs: Vec<Option<usize>> = vec![None; program.num_addrs];
+    let mut multi = vec![false; program.num_addrs];
+    for (pc, stmt) in program.statements.iter().enumerate() {
+        let dest = match stmt {
+            Statement::ConstF { dest, .. }
+            | Statement::ConstI { dest, .. }
+            | Statement::Copy { dest, .. }
+            | Statement::Compute { dest, .. }
+            | Statement::CastToInt { dest, .. } => *dest,
+            _ => continue,
+        };
+        if defs[dest].is_some() {
+            multi[dest] = true;
+        }
+        defs[dest] = Some(pc);
+    }
+    for (def, &m) in defs.iter_mut().zip(multi.iter()) {
+        if m {
+            *def = None;
+        }
+    }
+    defs
+}
+
+fn entry_val(analysis: &StaticAnalysis, pc: usize, addr: usize) -> Option<AbsVal> {
+    analysis
+        .entries
+        .get(pc)?
+        .as_deref()
+        .map(|state| state[addr])
+}
+
+/// Runs the lint pass over a program and its static analysis.
+pub fn lint_program(program: &Program, analysis: &StaticAnalysis) -> Vec<Lint> {
+    let defs = unique_defs(program);
+    let mut lints = Vec::new();
+    let mut push = |kind: LintKind, pc: usize, message: String| {
+        lints.push(Lint {
+            kind,
+            pc,
+            location: program.location(pc).clone(),
+            message,
+        });
+    };
+
+    for (pc, stmt) in program.statements.iter().enumerate() {
+        match stmt {
+            Statement::Compute {
+                op: RealOp::Sub,
+                args,
+                ..
+            } => {
+                let (a, b) = (args[0], args[1]);
+                // Structural: x*x − y*y.
+                let is_square = |addr: usize| {
+                    defs[addr].and_then(|d| match &program.statements[d] {
+                        Statement::Compute {
+                            op: RealOp::Mul,
+                            args,
+                            ..
+                        } if args[0] == args[1] => Some(d),
+                        _ => None,
+                    })
+                };
+                if is_square(a).is_some() && is_square(b).is_some() {
+                    push(
+                        LintKind::DifferenceOfSquares,
+                        pc,
+                        "difference of squares x*x - y*y; rewrite as (x-y)*(x+y)".to_string(),
+                    );
+                }
+                // Structural: 1 − cos(x) or cos(x) − 1.
+                let is_one = |addr: usize| {
+                    defs[addr].is_some_and(|d| {
+                        matches!(
+                            program.statements[d],
+                            Statement::ConstF { value, .. } if value == 1.0
+                        )
+                    })
+                };
+                let is_cos = |addr: usize| {
+                    defs[addr].is_some_and(|d| {
+                        matches!(
+                            &program.statements[d],
+                            Statement::Compute {
+                                op: RealOp::Cos,
+                                ..
+                            }
+                        )
+                    })
+                };
+                if (is_one(a) && is_cos(b)) || (is_cos(a) && is_one(b)) {
+                    push(
+                        LintKind::OneMinusCos,
+                        pc,
+                        "1 - cos(x) cancels near small angles; rewrite via 2*sin^2(x/2)"
+                            .to_string(),
+                    );
+                }
+                // Range-based: same-sign overlapping operands, uncertified.
+                if analysis.verdict(pc) != StaticVerdict::CertifiedStable {
+                    if let (Some(va), Some(vb)) =
+                        (entry_val(analysis, pc, a), entry_val(analysis, pc, b))
+                    {
+                        let same_sign =
+                            (va.lo > 0.0 && vb.lo > 0.0) || (va.hi < 0.0 && vb.hi < 0.0);
+                        let overlap = va.lo <= vb.hi && vb.lo <= va.hi;
+                        if same_sign && overlap && va.is_finite() && vb.is_finite() {
+                            push(
+                                LintKind::CancellationRange,
+                                pc,
+                                format!(
+                                    "subtraction of same-sign overlapping ranges [{:.3e}, {:.3e}] - [{:.3e}, {:.3e}] can cancel catastrophically",
+                                    va.lo, va.hi, vb.lo, vb.hi
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Statement::Compute {
+                op: RealOp::Add,
+                args,
+                ..
+            } => {
+                if let (Some(va), Some(vb)) = (
+                    entry_val(analysis, pc, args[0]),
+                    entry_val(analysis, pc, args[1]),
+                ) {
+                    if va.is_finite() && vb.is_finite() {
+                        let absorbed = (vb.max_abs() > 0.0
+                            && va.min_abs() >= vb.max_abs() * ABSORPTION_RATIO)
+                            || (va.max_abs() > 0.0
+                                && vb.min_abs() >= va.max_abs() * ABSORPTION_RATIO);
+                        if absorbed {
+                            push(
+                                LintKind::Absorption,
+                                pc,
+                                "addition absorbs its smaller operand entirely (magnitude gap ≥ 2^53)"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                }
+            }
+            Statement::Branch {
+                pred: Pred::Cmp(op, a, b),
+                ..
+            } if analysis.verdict(pc) != StaticVerdict::CertifiedStable
+                && analysis.statements.get(pc).is_some_and(|s| s.reachable) =>
+            {
+                if let (Some(va), Some(vb)) =
+                    (entry_val(analysis, pc, *a), entry_val(analysis, pc, *b))
+                {
+                    let overlap = va.lo <= vb.hi && vb.lo <= va.hi;
+                    if overlap && va.is_finite() && vb.is_finite() {
+                        push(
+                            LintKind::UnstableBranch,
+                            pc,
+                            format!(
+                                "comparison `{}` over overlapping ranges: the branch can flip under rounding",
+                                op.name()
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    lints
+}
+
+/// Builds the full static report for a program.
+pub fn static_report(
+    program: &Program,
+    analysis: &StaticAnalysis,
+    mask: &PruneMask,
+) -> StaticReport {
+    let mut may_err = 0usize;
+    let mut unstable = 0usize;
+    for (pc, stmt) in program.statements.iter().enumerate() {
+        if matches!(stmt, Statement::Compute { .. }) {
+            match analysis.verdict(pc) {
+                StaticVerdict::MayErr => may_err += 1,
+                StaticVerdict::StaticallyUnstable => unstable += 1,
+                StaticVerdict::CertifiedStable => {}
+            }
+        }
+    }
+    StaticReport {
+        program: program.name.clone(),
+        total_statements: program.statements.len(),
+        total_computes: analysis.total_computes,
+        certified_computes: analysis.certified_computes,
+        may_err_computes: may_err,
+        statically_unstable_computes: unstable,
+        pruned_computes: mask.pruned_computes(),
+        lints: lint_program(program, analysis),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl StaticReport {
+    /// Prune rate over compute statements.
+    pub fn prune_rate(&self) -> f64 {
+        if self.total_computes == 0 {
+            0.0
+        } else {
+            self.pruned_computes as f64 / self.total_computes as f64
+        }
+    }
+
+    /// Renders the report as indented text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Static error-dataflow report for {}", self.program);
+        let _ = writeln!(
+            out,
+            "  statements: {} total, {} computes ({} certified stable, {} may-err, {} statically unstable)",
+            self.total_statements,
+            self.total_computes,
+            self.certified_computes,
+            self.may_err_computes,
+            self.statically_unstable_computes,
+        );
+        let _ = writeln!(
+            out,
+            "  tier-0 prune: {}/{} computes ({:.1}%)",
+            self.pruned_computes,
+            self.total_computes,
+            100.0 * self.prune_rate()
+        );
+        if self.lints.is_empty() {
+            let _ = writeln!(out, "  lints: none");
+        } else {
+            let _ = writeln!(out, "  lints ({}):", self.lints.len());
+            for lint in &self.lints {
+                let _ = writeln!(
+                    out,
+                    "    [{}] pc {} at {}: {}",
+                    lint.kind.name(),
+                    lint.pc,
+                    lint.location,
+                    lint.message
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the report as schema-stable JSON (`herbgrind-static-report`
+    /// version 1). Keys are emitted in a fixed order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"herbgrind-static-report\",\n");
+        out.push_str("  \"version\": 1,\n");
+        let _ = writeln!(out, "  \"program\": \"{}\",", json_escape(&self.program));
+        out.push_str("  \"statements\": {\n");
+        let _ = writeln!(out, "    \"total\": {},", self.total_statements);
+        let _ = writeln!(out, "    \"computes\": {},", self.total_computes);
+        let _ = writeln!(
+            out,
+            "    \"certified_stable\": {},",
+            self.certified_computes
+        );
+        let _ = writeln!(out, "    \"may_err\": {},", self.may_err_computes);
+        let _ = writeln!(
+            out,
+            "    \"statically_unstable\": {}",
+            self.statically_unstable_computes
+        );
+        out.push_str("  },\n");
+        out.push_str("  \"prune\": {\n");
+        let _ = writeln!(out, "    \"pruned_computes\": {},", self.pruned_computes);
+        let _ = writeln!(out, "    \"total_computes\": {},", self.total_computes);
+        let _ = writeln!(out, "    \"rate\": {:.6}", self.prune_rate());
+        out.push_str("  },\n");
+        out.push_str("  \"lints\": [");
+        for (i, lint) in self.lints.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"kind\": \"{}\", \"pc\": {}, \"file\": \"{}\", \"line\": {}, \"function\": \"{}\", \"message\": \"{}\"",
+                lint.kind.name(),
+                lint.pc,
+                json_escape(&lint.location.file),
+                lint.location.line,
+                json_escape(&lint.location.function),
+                json_escape(&lint.message)
+            );
+            out.push('}');
+        }
+        if !self.lints.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze_program, prune_mask, StaticParams};
+    use fpcore::parse_core;
+    use fpvm::compile_core;
+
+    fn report_for(src: &str, ranges: &[(f64, f64)]) -> StaticReport {
+        let core = parse_core(src).expect("parse");
+        let program = compile_core(&core, Default::default()).expect("compile");
+        let analysis = analyze_program(&program, ranges, &StaticParams::default());
+        let mask = prune_mask(&program, &analysis);
+        static_report(&program, &analysis, &mask)
+    }
+
+    #[test]
+    fn difference_of_squares_is_flagged() {
+        let report = report_for(
+            "(FPCore (x y) (- (* x x) (* y y)))",
+            &[(1.0, 2.0), (1.0, 2.0)],
+        );
+        assert!(
+            report
+                .lints
+                .iter()
+                .any(|l| l.kind == LintKind::DifferenceOfSquares),
+            "{:#?}",
+            report.lints
+        );
+    }
+
+    #[test]
+    fn one_minus_cos_is_flagged() {
+        let report = report_for("(FPCore (x) (- 1 (cos x)))", &[(-0.1, 0.1)]);
+        assert!(
+            report.lints.iter().any(|l| l.kind == LintKind::OneMinusCos),
+            "{:#?}",
+            report.lints
+        );
+    }
+
+    #[test]
+    fn absorption_is_flagged() {
+        let report = report_for("(FPCore (x y) (+ x y))", &[(1e20, 1e21), (1.0, 2.0)]);
+        assert!(
+            report.lints.iter().any(|l| l.kind == LintKind::Absorption),
+            "{:#?}",
+            report.lints
+        );
+    }
+
+    #[test]
+    fn unstable_branch_is_flagged() {
+        let report = report_for(
+            "(FPCore (x y) (if (< (+ x 0.1) y) 1 2))",
+            &[(0.0, 1.0), (0.0, 1.0)],
+        );
+        assert!(
+            report
+                .lints
+                .iter()
+                .any(|l| l.kind == LintKind::UnstableBranch),
+            "{:#?}",
+            report.lints
+        );
+    }
+
+    #[test]
+    fn clean_programs_produce_no_lints() {
+        let report = report_for("(FPCore (x) (* 2 (+ x 10)))", &[(1.0, 2.0)]);
+        assert!(report.lints.is_empty(), "{:#?}", report.lints);
+        assert!(report.to_text().contains("lints: none"));
+    }
+
+    #[test]
+    fn json_is_schema_stable_and_escaped() {
+        let report = report_for(
+            "(FPCore (x y) (- (* x x) (* y y)))",
+            &[(1.0, 2.0), (1.0, 2.0)],
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"herbgrind-static-report\""));
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"kind\": \"difference-of-squares\""));
+        assert!(json.contains("\"prune\""));
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,939 @@
+//! Per-operation abstract transfer functions: a sound result interval plus
+//! first-order condition-number bounds.
+//!
+//! For each [`RealOp`] the transfer computes
+//!
+//! * a result interval that contains every exact *and* every client value
+//!   the operation can produce from operands in the argument boxes
+//!   (endpoints are nudged outward past any rounding the evaluation here
+//!   could itself commit — one ulp for correctly-rounded hardware ops,
+//!   several for libm evaluations);
+//! * per-operand condition numbers `κᵢ` bounding how much relative operand
+//!   error the operation amplifies (`f64::INFINITY` = fail-closed: no bound
+//!   could be established over the box, e.g. `log` across 1 or `sin` across
+//!   a zero outside the small-angle window);
+//! * the operation's own rounding contribution in ulps (0 for exact
+//!   operations, 1 for correctly-rounded IEEE ops, [`LIBM_ULPS`] for
+//!   library calls);
+//! * drift and exactness bookkeeping via [`AbsVal`] (see `domain`).
+//!
+//! Condition numbers follow the standard first-order relative-error
+//! calculus: for `f` with relative operand errors `δᵢ`, the result's
+//! relative error is bounded by `Σ κᵢ|δᵢ| + O(δ²)` with
+//! `κᵢ = sup |xᵢ ∂f/∂xᵢ / f|` over the operand box. The `O(δ²)` slack and
+//! the rounding of computing `κ` itself are absorbed by [`KAPPA_PAD`],
+//! applied by the analyzer when it forms certification bounds.
+
+use crate::domain::{down, down_n, up, up_n, AbsVal, EXACT_INT_LIMIT, UNIT_ROUNDOFF};
+use shadowreal::{RealOp, MAX_ARITY};
+
+/// Ulps of rounding attributed to a math-library call (Rust's libm routines
+/// are well under 2 ulps; 4 is a comfortable sound margin).
+pub const LIBM_ULPS: f64 = 4.0;
+
+/// Multiplicative padding applied to condition numbers when forming
+/// certification bounds, absorbing second-order terms and the rounding of
+/// the κ computation itself.
+pub const KAPPA_PAD: f64 = 1.0625;
+
+/// Smallest magnitude at which the relative-error model is trusted for
+/// non-exact values: comfortably above the subnormal range (2⁻¹⁰¹⁵), so a
+/// drifted value cannot fall where ulps stop scaling with magnitude.
+pub const MIN_MAGNITUDE_GUARD: f64 = 2.872657220394559e-306;
+
+/// Largest magnitude at which the relative-error model is trusted for
+/// non-exact values (2¹⁰²⁰): far enough from overflow that a drifted value
+/// cannot round to infinity.
+pub const MAX_MAGNITUDE_GUARD: f64 = 1.1235582092889474e307;
+
+/// How many ulps to nudge endpoints outward after a libm evaluation.
+const LIBM_NUDGE: u32 = 8;
+
+/// The outcome of one abstract operation.
+#[derive(Clone, Copy, Debug)]
+pub struct OpFlow {
+    /// Result abstract value (interval, NaN flag, drift, exactness).
+    pub val: AbsVal,
+    /// Condition number per operand (`f64::INFINITY` = fail-closed).
+    pub kappa: [f64; MAX_ARITY],
+    /// The operation's own rounding in ulps (0 = exact operation).
+    pub round_ulps: f64,
+}
+
+/// How the result's drift and exactness are derived.
+enum Rounding {
+    /// The result is exactly representable and equal to the exact real
+    /// (e.g. small-integer arithmetic, `floor` of an exact value).
+    ForceExact {
+        /// The result is additionally an integer.
+        int: bool,
+    },
+    /// The operation itself commits no rounding (`neg`, `fabs`); exactness
+    /// and integrality carry over from the operands.
+    ExactOp,
+    /// The operation rounds; the result is never exact.
+    Rounded,
+}
+
+/// Conservative failure: no information beyond "it is a float".
+fn fail(arity: usize) -> OpFlow {
+    let _ = arity;
+    OpFlow {
+        val: AbsVal::top(),
+        kappa: [f64::INFINITY; MAX_ARITY],
+        round_ulps: LIBM_ULPS,
+    }
+}
+
+/// Assembles the result [`AbsVal`] from the interval, flags and the
+/// first-order drift recurrence `E = round·u + Σ κᵢ·Eᵢ`, applying the
+/// magnitude guards that keep the relative-error model honest.
+fn finish(
+    args: &[AbsVal],
+    lo: f64,
+    hi: f64,
+    may_nan: bool,
+    kappa: [f64; MAX_ARITY],
+    round_ulps: f64,
+    rounding: Rounding,
+) -> OpFlow {
+    let may_nan = may_nan || args.iter().any(|a| a.may_nan) || lo.is_nan() || hi.is_nan();
+    let (err, exact, int) = match rounding {
+        Rounding::ForceExact { int } => (0.0, !may_nan, int),
+        Rounding::ExactOp => {
+            let exact = args.iter().all(|a| a.exact) && !may_nan;
+            let int = args.iter().all(|a| a.int);
+            (propagated_err(args, &kappa, 0.0), exact, int)
+        }
+        Rounding::Rounded => (propagated_err(args, &kappa, round_ulps), false, false),
+    };
+    let mut val = AbsVal {
+        lo,
+        hi,
+        may_nan,
+        err,
+        exact,
+        int,
+    };
+    // Relative drift only converts to ulps while the value stays well
+    // inside the normal range; outside it the bound is withdrawn. Exact
+    // values are bit-for-bit and need no model.
+    if !val.exact
+        && (val.may_nan
+            || !val.is_finite()
+            || (val.min_abs() < MIN_MAGNITUDE_GUARD && val.err > 0.0)
+            || val.max_abs() > MAX_MAGNITUDE_GUARD)
+    {
+        val.err = AbsVal::UNKNOWN_ERR;
+    }
+    OpFlow {
+        val,
+        kappa,
+        round_ulps,
+    }
+}
+
+/// The drift recurrence: `round·u + Σ κᵢ·Eᵢ`, with `κ·0 = 0` even for
+/// infinite κ (an exact operand contributes nothing no matter how
+/// ill-conditioned the operation is in its neighbourhood).
+fn propagated_err(args: &[AbsVal], kappa: &[f64; MAX_ARITY], round_ulps: f64) -> f64 {
+    // `round_ulps` ulps of error is at most `2·round_ulps·u` in relative
+    // terms (one ulp at magnitude v is at most 2u·|v| for normal v).
+    let mut err = 2.0 * round_ulps * UNIT_ROUNDOFF;
+    for (arg, &k) in args.iter().zip(kappa.iter()) {
+        if arg.err != 0.0 {
+            err += k * KAPPA_PAD * arg.err;
+        }
+    }
+    if err.is_nan() {
+        AbsVal::UNKNOWN_ERR
+    } else {
+        err
+    }
+}
+
+fn both_finite(a: &AbsVal, b: &AbsVal) -> bool {
+    a.is_finite() && b.is_finite()
+}
+
+/// Endpoints of a nondecreasing libm function over `[lo, hi]`.
+fn mono_up(f: impl Fn(f64) -> f64, a: &AbsVal) -> (f64, f64) {
+    (down_n(f(a.lo), LIBM_NUDGE), up_n(f(a.hi), LIBM_NUDGE))
+}
+
+/// Min/max over the four corner products/quotients, nudged outward.
+fn corners(f: impl Fn(f64, f64) -> f64, a: &AbsVal, b: &AbsVal, nudge: u32) -> (f64, f64) {
+    let c = [f(a.lo, b.lo), f(a.lo, b.hi), f(a.hi, b.lo), f(a.hi, b.hi)];
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for x in c {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (down_n(lo, nudge), up_n(hi, nudge))
+}
+
+/// True when the interval `[lo, hi]`, widened by a few ulps, contains
+/// `base + k·π` for some integer `k` (used for trig zero/pole detection).
+fn contains_pi_multiple(lo: f64, hi: f64, base: f64) -> bool {
+    if !(lo.is_finite() && hi.is_finite()) {
+        return true;
+    }
+    let pi = std::f64::consts::PI;
+    // Past 2^53 consecutive doubles are more than π apart, so some multiple
+    // always lies inside (and the quotient below would overflow `i64`):
+    // answer conservatively without computing the k-range.
+    const EXACT_INT_LIMIT: f64 = 9007199254740992.0;
+    if (lo - base).abs() >= EXACT_INT_LIMIT || (hi - base).abs() >= EXACT_INT_LIMIT {
+        return true;
+    }
+    let k0 = ((lo - base) / pi).floor() as i64 - 1;
+    let k1 = ((hi - base) / pi).ceil() as i64 + 1;
+    if k1 - k0 > 64 {
+        return true;
+    }
+    for k in k0..=k1 {
+        let crit = base + (k as f64) * pi;
+        if up_n(crit, 4) >= lo && down_n(crit, 4) <= hi {
+            return true;
+        }
+    }
+    false
+}
+
+/// Sound enclosure of `sin`/`cos` over `[lo, hi]`.
+fn trig_interval(a: &AbsVal, is_sin: bool) -> (f64, f64) {
+    if !a.is_finite() || a.hi - a.lo >= std::f64::consts::TAU {
+        return (-1.0, 1.0);
+    }
+    let f = |x: f64| if is_sin { x.sin() } else { x.cos() };
+    let mut mn = f(a.lo).min(f(a.hi));
+    let mut mx = f(a.lo).max(f(a.hi));
+    // Interior extremes of sin sit at π/2 + kπ (alternating ±1), of cos at
+    // kπ; conservatively include ±1 whenever a critical point may be
+    // inside.
+    let base = if is_sin {
+        std::f64::consts::FRAC_PI_2
+    } else {
+        0.0
+    };
+    if contains_pi_multiple(a.lo, a.hi, base) {
+        mn = -1.0;
+        mx = 1.0;
+    }
+    (
+        down_n(mn, LIBM_NUDGE).max(-1.0),
+        up_n(mx, LIBM_NUDGE).min(1.0),
+    )
+}
+
+/// Lower bound on `|sin|` (or `|cos|`) over the box, zero when a zero of
+/// the function may lie inside.
+fn trig_min_abs(a: &AbsVal, is_sin: bool) -> f64 {
+    if !a.is_finite() {
+        return 0.0;
+    }
+    let zero_base = if is_sin {
+        0.0
+    } else {
+        std::f64::consts::FRAC_PI_2
+    };
+    if contains_pi_multiple(a.lo, a.hi, zero_base) {
+        return 0.0;
+    }
+    let f = |x: f64| if is_sin { x.sin() } else { x.cos() };
+    down_n(f(a.lo).abs().min(f(a.hi).abs()), LIBM_NUDGE).max(0.0)
+}
+
+/// The abstract transfer of `op` over the given operand boxes.
+///
+/// # Panics
+///
+/// Panics if `args.len() != op.arity()` (the tape is validated before
+/// analysis).
+pub fn transfer(op: RealOp, args: &[AbsVal]) -> OpFlow {
+    assert_eq!(args.len(), op.arity(), "arity mismatch for {op}");
+    use RealOp::*;
+    let mut k = [0.0f64; MAX_ARITY];
+    match op {
+        Add | Sub => {
+            let (a, b) = (&args[0], &args[1]);
+            if !both_finite(a, b) {
+                return fail(2);
+            }
+            let (raw_lo, raw_hi) = if op == Add {
+                (a.lo + b.lo, a.hi + b.hi)
+            } else {
+                (a.lo - b.hi, a.hi - b.lo)
+            };
+            // Small-integer arithmetic is exact: the loop-counter rule.
+            // (Integer endpoints inside ±2⁵³ sum exactly, so the raw
+            // endpoints need no outward nudge.)
+            if a.exact
+                && b.exact
+                && a.int
+                && b.int
+                && raw_lo >= -EXACT_INT_LIMIT
+                && raw_hi <= EXACT_INT_LIMIT
+            {
+                return finish(
+                    args,
+                    raw_lo,
+                    raw_hi,
+                    false,
+                    k,
+                    0.0,
+                    Rounding::ForceExact { int: true },
+                );
+            }
+            let (lo, hi) = (down(raw_lo), up(raw_hi));
+            // No cancellation is possible when the two addends have the same
+            // effective sign (for Sub, opposite operand signs): then
+            // |result| = |a| + |b|, so each per-operand condition number
+            // |operand|/|result| is at most 1 — independent of the interval
+            // widths, which is what lets long well-conditioned sum chains
+            // certify (the generic sup/inf quotient below compounds the
+            // decorrelated endpoints instead).
+            let no_cancel = if op == Add {
+                (a.lo >= 0.0 && b.lo >= 0.0) || (a.hi <= 0.0 && b.hi <= 0.0)
+            } else {
+                (a.lo >= 0.0 && b.hi <= 0.0) || (a.hi <= 0.0 && b.lo >= 0.0)
+            };
+            if no_cancel {
+                k[0] = 1.0;
+                k[1] = 1.0;
+            } else {
+                // κ = sup|operand| / inf|result|: meaningful only when the
+                // result interval excludes zero (otherwise cancellation can
+                // be total and the bound fails closed).
+                let res_min = AbsVal {
+                    lo,
+                    hi,
+                    ..AbsVal::top()
+                }
+                .min_abs();
+                if res_min > 0.0 {
+                    k[0] = up(a.max_abs() / res_min);
+                    k[1] = up(b.max_abs() / res_min);
+                } else {
+                    k[0] = f64::INFINITY;
+                    k[1] = f64::INFINITY;
+                }
+            }
+            finish(args, lo, hi, false, k, 1.0, Rounding::Rounded)
+        }
+        Mul => {
+            let (a, b) = (&args[0], &args[1]);
+            if !both_finite(a, b) {
+                return fail(2);
+            }
+            let (raw_lo, raw_hi) = corners(|x, y| x * y, a, b, 0);
+            if a.exact
+                && b.exact
+                && a.int
+                && b.int
+                && raw_lo >= -EXACT_INT_LIMIT
+                && raw_hi <= EXACT_INT_LIMIT
+            {
+                return finish(
+                    args,
+                    raw_lo,
+                    raw_hi,
+                    false,
+                    k,
+                    0.0,
+                    Rounding::ForceExact { int: true },
+                );
+            }
+            let (lo, hi) = (down(raw_lo), up(raw_hi));
+            k[0] = 1.0;
+            k[1] = 1.0;
+            finish(args, lo, hi, false, k, 1.0, Rounding::Rounded)
+        }
+        Div => {
+            let (a, b) = (&args[0], &args[1]);
+            if !both_finite(a, b) || (b.lo <= 0.0 && b.hi >= 0.0) {
+                return fail(2);
+            }
+            let (lo, hi) = corners(|x, y| x / y, a, b, 1);
+            k[0] = 1.0;
+            k[1] = 1.0;
+            finish(args, lo, hi, false, k, 1.0, Rounding::Rounded)
+        }
+        Neg => {
+            let a = &args[0];
+            k[0] = 1.0;
+            finish(args, -a.hi, -a.lo, false, k, 0.0, Rounding::ExactOp)
+        }
+        Fabs => {
+            let a = &args[0];
+            let lo = a.min_abs();
+            let hi = a.max_abs();
+            k[0] = 1.0;
+            finish(args, lo, hi, false, k, 0.0, Rounding::ExactOp)
+        }
+        Sqrt => {
+            let a = &args[0];
+            if !a.is_finite() || a.lo < 0.0 {
+                return fail(1);
+            }
+            let (lo, hi) = (down(a.lo.sqrt()), up(a.hi.sqrt()));
+            k[0] = 0.5;
+            finish(args, lo.max(0.0), hi, false, k, 1.0, Rounding::Rounded)
+        }
+        Cbrt => {
+            let a = &args[0];
+            if !a.is_finite() {
+                return fail(1);
+            }
+            let (lo, hi) = mono_up(f64::cbrt, a);
+            k[0] = 0.334;
+            finish(args, lo, hi, false, k, LIBM_ULPS, Rounding::Rounded)
+        }
+        Fma => {
+            let (a, b, c) = (&args[0], &args[1], &args[2]);
+            if !both_finite(a, b) || !c.is_finite() {
+                return fail(3);
+            }
+            let (plo, phi) = corners(|x, y| x * y, a, b, 1);
+            let (lo, hi) = (down(plo + c.lo), up(phi + c.hi));
+            let res_min = AbsVal {
+                lo,
+                hi,
+                ..AbsVal::top()
+            }
+            .min_abs();
+            let sup_ab = up(a.max_abs() * b.max_abs());
+            if res_min > 0.0 {
+                k[0] = up(sup_ab / res_min);
+                k[1] = k[0];
+                k[2] = up(c.max_abs() / res_min);
+            } else {
+                k = [f64::INFINITY; MAX_ARITY];
+            }
+            finish(args, lo, hi, false, k, 1.0, Rounding::Rounded)
+        }
+        Exp | Exp2 => {
+            let a = &args[0];
+            if !a.is_finite() {
+                return fail(1);
+            }
+            let (lo, hi) = if op == Exp {
+                mono_up(f64::exp, a)
+            } else {
+                mono_up(f64::exp2, a)
+            };
+            let scale = if op == Exp {
+                1.0
+            } else {
+                std::f64::consts::LN_2
+            };
+            k[0] = up(a.max_abs() * scale);
+            finish(
+                args,
+                lo.max(0.0),
+                hi,
+                false,
+                k,
+                LIBM_ULPS,
+                Rounding::Rounded,
+            )
+        }
+        Expm1 => {
+            let a = &args[0];
+            if !a.is_finite() {
+                return fail(1);
+            }
+            let (lo, hi) = mono_up(f64::exp_m1, a);
+            // κ = |x·eˣ/(eˣ−1)| ≤ |x| + 1 on all of ℝ.
+            k[0] = up(a.max_abs() + 1.0);
+            finish(
+                args,
+                lo.max(-1.0),
+                hi,
+                false,
+                k,
+                LIBM_ULPS,
+                Rounding::Rounded,
+            )
+        }
+        Log | Log2 | Log10 => {
+            let a = &args[0];
+            if !a.is_finite() || a.lo <= 0.0 {
+                return fail(1);
+            }
+            let f = match op {
+                Log => f64::ln,
+                Log2 => f64::log2,
+                _ => f64::log10,
+            };
+            let (lo, hi) = mono_up(f, a);
+            // κ = 1/|ln x|, which blows up across x = 1.
+            k[0] = if a.lo > 1.0 || a.hi < 1.0 {
+                let m = down_n(a.lo.ln().abs().min(a.hi.ln().abs()), LIBM_NUDGE);
+                if m > 0.0 {
+                    up(1.0 / m)
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                f64::INFINITY
+            };
+            finish(args, lo, hi, false, k, LIBM_ULPS, Rounding::Rounded)
+        }
+        Log1p => {
+            let a = &args[0];
+            if !a.is_finite() || a.lo <= -1.0 {
+                return fail(1);
+            }
+            let (lo, hi) = mono_up(f64::ln_1p, a);
+            // κ = |x / ((1+x)·ln(1+x))| is decreasing on (−1, ∞) with
+            // limit 1 at 0, so its sup over the box sits at the left
+            // endpoint.
+            let g = |x: f64| {
+                if x == 0.0 {
+                    1.0
+                } else {
+                    (x / ((1.0 + x) * x.ln_1p())).abs()
+                }
+            };
+            k[0] = up_n(g(a.lo).max(g(a.hi)).max(1.0), LIBM_NUDGE);
+            finish(args, lo, hi, false, k, LIBM_ULPS, Rounding::Rounded)
+        }
+        Pow => {
+            let (a, b) = (&args[0], &args[1]);
+            if !both_finite(a, b) || a.lo <= 0.0 {
+                return fail(2);
+            }
+            // For x > 0, x^y is monotone in each coordinate, so the box
+            // extremes sit at corners.
+            let (lo, hi) = corners(f64::powf, a, b, LIBM_NUDGE);
+            k[0] = up(b.max_abs());
+            let sup_ln = up_n(a.lo.ln().abs().max(a.hi.ln().abs()), LIBM_NUDGE);
+            k[1] = up(b.max_abs() * sup_ln);
+            finish(
+                args,
+                lo.max(0.0),
+                hi,
+                false,
+                k,
+                LIBM_ULPS,
+                Rounding::Rounded,
+            )
+        }
+        Sin | Cos => {
+            let a = &args[0];
+            if !a.is_finite() {
+                return fail(1);
+            }
+            let is_sin = op == Sin;
+            let (lo, hi) = trig_interval(a, is_sin);
+            let m = trig_min_abs(a, is_sin);
+            // The f64 FRAC_PI_2 rounds below true π/2, so the closed f64
+            // comparison stays inside the open real interval.
+            let half_pi = std::f64::consts::FRAC_PI_2;
+            k[0] = if is_sin && a.lo >= -half_pi && a.hi <= half_pi {
+                // |x·cot x| ≤ 1 on (−π/2, π/2): rescues sin near its zero
+                // at the origin (the haversine pattern).
+                1.0
+            } else if !is_sin && a.lo >= -1.0 && a.hi <= 1.0 {
+                // |x·tan x| ≤ tan 1 < 1.6 on [−1, 1].
+                1.6
+            } else if m > 0.0 {
+                up(a.max_abs() / m)
+            } else {
+                f64::INFINITY
+            };
+            finish(args, lo, hi, false, k, LIBM_ULPS, Rounding::Rounded)
+        }
+        Tan => {
+            let a = &args[0];
+            if !a.is_finite() || contains_pi_multiple(a.lo, a.hi, std::f64::consts::FRAC_PI_2) {
+                return fail(1);
+            }
+            let (lo, hi) = mono_up(f64::tan, a);
+            k[0] = if a.lo >= -0.5 && a.hi <= 0.5 {
+                // |2x / sin 2x| ≤ 1/(sin 1) < 1.25 on [−½, ½].
+                1.25
+            } else {
+                let ms = trig_min_abs(a, true);
+                let mc = trig_min_abs(a, false);
+                if ms > 0.0 && mc > 0.0 {
+                    up(a.max_abs() / (ms * mc))
+                } else {
+                    f64::INFINITY
+                }
+            };
+            finish(args, lo, hi, false, k, LIBM_ULPS, Rounding::Rounded)
+        }
+        Asin => {
+            let a = &args[0];
+            if !a.is_finite() || a.lo < -1.0 || a.hi > 1.0 {
+                return fail(1);
+            }
+            let (lo, hi) = mono_up(f64::asin, a);
+            // κ = |x / (√(1−x²)·asin x)| ≤ 1/√(1−s²) for |x| ≤ s < 1.
+            let s = a.max_abs();
+            let den = down_n((1.0 - s * s).sqrt(), LIBM_NUDGE);
+            k[0] = if s < 1.0 && den > 0.0 {
+                up(1.0 / den)
+            } else {
+                f64::INFINITY
+            };
+            finish(args, lo, hi, false, k, LIBM_ULPS, Rounding::Rounded)
+        }
+        Acos => {
+            let a = &args[0];
+            if !a.is_finite() || a.lo < -1.0 || a.hi > 1.0 {
+                return fail(1);
+            }
+            // acos is decreasing.
+            let (lo, hi) = (
+                down_n(a.hi.acos(), LIBM_NUDGE).max(0.0),
+                up_n(a.lo.acos(), LIBM_NUDGE),
+            );
+            let s = a.max_abs();
+            let den_sqrt = down_n((1.0 - s * s).sqrt(), LIBM_NUDGE);
+            let den_acos = down_n(a.hi.acos(), LIBM_NUDGE);
+            k[0] = if s < 1.0 && den_sqrt > 0.0 && den_acos > 0.0 {
+                up(s / (den_sqrt * den_acos))
+            } else {
+                f64::INFINITY
+            };
+            finish(args, lo, hi, false, k, LIBM_ULPS, Rounding::Rounded)
+        }
+        Atan => {
+            let a = &args[0];
+            if !a.is_finite() {
+                return fail(1);
+            }
+            let (lo, hi) = mono_up(f64::atan, a);
+            // κ = |x / ((1+x²)·atan x)| ≤ 1 everywhere.
+            k[0] = 1.0;
+            finish(args, lo, hi, false, k, LIBM_ULPS, Rounding::Rounded)
+        }
+        Atan2 => {
+            let (y, x) = (&args[0], &args[1]);
+            // Only the right half-plane away from the axis is certified:
+            // there atan2(y, x) = atan(y/x), whose conditioning is tame.
+            if !both_finite(y, x) || x.lo <= 0.0 {
+                return fail(2);
+            }
+            let (lo, hi) = corners(f64::atan2, y, x, LIBM_NUDGE);
+            k[0] = 1.0;
+            k[1] = 1.0;
+            finish(args, lo, hi, false, k, LIBM_ULPS, Rounding::Rounded)
+        }
+        Sinh => {
+            let a = &args[0];
+            if !a.is_finite() {
+                return fail(1);
+            }
+            let (lo, hi) = mono_up(f64::sinh, a);
+            // κ = |x·coth x| ≤ |x| + 1.
+            k[0] = up(a.max_abs() + 1.0);
+            finish(args, lo, hi, false, k, LIBM_ULPS, Rounding::Rounded)
+        }
+        Cosh => {
+            let a = &args[0];
+            if !a.is_finite() {
+                return fail(1);
+            }
+            let lo = if a.lo <= 0.0 && a.hi >= 0.0 {
+                1.0
+            } else {
+                down_n(a.lo.cosh().min(a.hi.cosh()), LIBM_NUDGE)
+            };
+            let hi = up_n(a.lo.cosh().max(a.hi.cosh()), LIBM_NUDGE);
+            // κ = |x·tanh x| ≤ |x|.
+            k[0] = up(a.max_abs());
+            finish(
+                args,
+                lo.max(1.0),
+                hi,
+                false,
+                k,
+                LIBM_ULPS,
+                Rounding::Rounded,
+            )
+        }
+        Tanh => {
+            let a = &args[0];
+            if !a.is_finite() {
+                return fail(1);
+            }
+            let (lo, hi) = mono_up(f64::tanh, a);
+            // κ = |x / (sinh x · cosh x)| ≤ 1.
+            k[0] = 1.0;
+            finish(
+                args,
+                lo.max(-1.0),
+                hi.min(1.0),
+                false,
+                k,
+                LIBM_ULPS,
+                Rounding::Rounded,
+            )
+        }
+        Asinh => {
+            let a = &args[0];
+            if !a.is_finite() {
+                return fail(1);
+            }
+            let (lo, hi) = mono_up(f64::asinh, a);
+            k[0] = 1.0;
+            finish(args, lo, hi, false, k, LIBM_ULPS, Rounding::Rounded)
+        }
+        Acosh => {
+            let a = &args[0];
+            if !a.is_finite() || a.lo <= 1.0 {
+                return fail(1);
+            }
+            let (lo, hi) = mono_up(f64::acosh, a);
+            // κ = |x / (√(x²−1)·acosh x)|, decreasing in x; sup at lo.
+            let den = down_n((a.lo * a.lo - 1.0).sqrt() * a.lo.acosh(), LIBM_NUDGE);
+            k[0] = if den > 0.0 {
+                up(a.lo / den)
+            } else {
+                f64::INFINITY
+            };
+            finish(
+                args,
+                lo.max(0.0),
+                hi,
+                false,
+                k,
+                LIBM_ULPS,
+                Rounding::Rounded,
+            )
+        }
+        Atanh => {
+            let a = &args[0];
+            if !a.is_finite() || a.lo <= -1.0 || a.hi >= 1.0 {
+                return fail(1);
+            }
+            let (lo, hi) = mono_up(f64::atanh, a);
+            // κ = |x / ((1−x²)·atanh x)| ≤ 1/(1−s²).
+            let s = a.max_abs();
+            let den = down((1.0 - s * s).abs());
+            k[0] = if den > 0.0 {
+                up(1.0 / den)
+            } else {
+                f64::INFINITY
+            };
+            finish(args, lo, hi, false, k, LIBM_ULPS, Rounding::Rounded)
+        }
+        Hypot => {
+            let (a, b) = (&args[0], &args[1]);
+            if !both_finite(a, b) {
+                return fail(2);
+            }
+            let lo = down_n(a.min_abs().hypot(b.min_abs()), LIBM_NUDGE).max(0.0);
+            let hi = up_n(a.max_abs().hypot(b.max_abs()), LIBM_NUDGE);
+            // κ_x = x²/(x²+y²) ≤ 1, likewise κ_y.
+            k[0] = 1.0;
+            k[1] = 1.0;
+            finish(args, lo, hi, false, k, LIBM_ULPS, Rounding::Rounded)
+        }
+        Fmin | Fmax => {
+            let (a, b) = (&args[0], &args[1]);
+            // Selection between drifted values can flip between the client
+            // and the exact execution; only the all-exact case is modelled.
+            if !(a.exact && b.exact) || a.may_nan || b.may_nan {
+                return fail(2);
+            }
+            let (lo, hi) = if op == Fmin {
+                (a.lo.min(b.lo), a.hi.min(b.hi))
+            } else {
+                (a.lo.max(b.lo), a.hi.max(b.hi))
+            };
+            finish(args, lo, hi, false, k, 0.0, Rounding::ExactOp)
+        }
+        Copysign => {
+            let (a, b) = (&args[0], &args[1]);
+            // The sign donor's sign must be statically determined, and (if
+            // drifted) unable to flip between the client and exact runs.
+            let sign_fixed = !b.may_nan
+                && (b.lo > 0.0 || b.hi < 0.0)
+                && (b.exact || (b.has_err_bound() && b.err < 0.5));
+            if !sign_fixed || a.may_nan {
+                return fail(2);
+            }
+            let mag_lo = a.min_abs();
+            let mag_hi = a.max_abs();
+            let (lo, hi) = if b.lo > 0.0 {
+                (mag_lo, mag_hi)
+            } else {
+                (-mag_hi, -mag_lo)
+            };
+            k[0] = 1.0;
+            // Only the first operand's value flows into the result.
+            let flow_args = [args[0], AbsVal::exact_point(1.0)];
+            finish(&flow_args, lo, hi, false, k, 0.0, Rounding::ExactOp)
+        }
+        Floor | Ceil | Trunc | Round => {
+            let a = &args[0];
+            // A drift across an integer boundary changes the result by a
+            // whole unit, so only exact arguments are modelled.
+            if !a.exact || a.may_nan || !a.is_finite() {
+                return fail(1);
+            }
+            let f = match op {
+                Floor => f64::floor,
+                Ceil => f64::ceil,
+                Trunc => f64::trunc,
+                _ => |x: f64| x.round(),
+            };
+            let int = a.max_abs() <= EXACT_INT_LIMIT;
+            finish(
+                args,
+                f(a.lo),
+                f(a.hi),
+                false,
+                k,
+                0.0,
+                Rounding::ForceExact { int },
+            )
+        }
+        Fdim | Fmod => fail(2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64) -> AbsVal {
+        AbsVal::exact_point(x)
+    }
+
+    fn rng(lo: f64, hi: f64) -> AbsVal {
+        AbsVal::range(lo, hi)
+    }
+
+    #[test]
+    fn small_int_arithmetic_is_exact() {
+        let f = transfer(RealOp::Add, &[pt(3.0), pt(4.0)]);
+        assert!(f.val.exact && f.val.int);
+        assert_eq!(f.val.err, 0.0);
+        assert_eq!((f.val.lo, f.val.hi), (7.0, 7.0));
+        let g = transfer(RealOp::Mul, &[rng(1.0, 10.0), pt(2.0)]);
+        assert!(!g.val.exact, "range operand is not known integral");
+    }
+
+    #[test]
+    fn loop_counter_increment_stays_exact_over_a_range() {
+        let mut i = AbsVal::exact_int(1);
+        i.hi = 1000.0; // widened counter range [1, 1000]
+        let f = transfer(RealOp::Add, &[i, pt(1.0)]);
+        assert!(f.val.exact && f.val.int, "{:?}", f.val);
+        assert_eq!((f.val.lo, f.val.hi), (2.0, 1001.0));
+    }
+
+    #[test]
+    fn subtraction_of_separated_ranges_is_well_conditioned() {
+        // b² with b ∈ [10, 11] minus 4ac with ac ∈ [1, 2]: no cancellation.
+        let f = transfer(RealOp::Sub, &[rng(100.0, 121.0), rng(4.0, 8.0)]);
+        assert!(f.kappa[0].is_finite() && f.kappa[0] < 2.0, "{:?}", f.kappa);
+        // Overlapping ranges fail closed.
+        let g = transfer(RealOp::Sub, &[rng(0.0, 2.0), rng(0.0, 2.0)]);
+        assert!(g.kappa[0].is_infinite());
+    }
+
+    #[test]
+    fn division_excludes_zero_denominators() {
+        let f = transfer(RealOp::Div, &[pt(1.0), rng(2.0, 4.0)]);
+        assert!(f.val.lo <= 0.25 && f.val.hi >= 0.5);
+        assert_eq!(f.kappa[1], 1.0);
+        let g = transfer(RealOp::Div, &[pt(1.0), rng(-1.0, 1.0)]);
+        assert!(g.val.may_nan);
+    }
+
+    #[test]
+    fn sqrt_fails_closed_on_possibly_negative_input() {
+        let ok = transfer(RealOp::Sqrt, &[rng(4.0, 9.0)]);
+        assert!(ok.val.lo <= 2.0 && ok.val.hi >= 3.0 && !ok.val.may_nan);
+        let bad = transfer(RealOp::Sqrt, &[rng(-1.0, 9.0)]);
+        assert!(bad.val.may_nan);
+    }
+
+    #[test]
+    fn log_across_one_fails_closed_but_interval_is_sound() {
+        let f = transfer(RealOp::Log, &[rng(0.5, 2.0)]);
+        assert!(f.kappa[0].is_infinite());
+        assert!(f.val.lo <= (0.5f64).ln() && f.val.hi >= (2.0f64).ln());
+        let g = transfer(RealOp::Log, &[rng(2.0, 8.0)]);
+        assert!(g.kappa[0].is_finite());
+    }
+
+    #[test]
+    fn sin_small_angle_window_has_unit_condition() {
+        let f = transfer(RealOp::Sin, &[rng(-0.5, 0.5)]);
+        assert_eq!(f.kappa[0], 1.0);
+        assert!(f.val.lo >= -0.5 && f.val.hi <= 0.5);
+        // Away from zero the κ bound uses min |sin|.
+        let g = transfer(RealOp::Sin, &[rng(1.0, 2.0)]);
+        assert!(g.kappa[0].is_finite());
+        // Across a zero at π it fails closed.
+        let h = transfer(RealOp::Sin, &[rng(3.0, 3.3)]);
+        assert!(h.kappa[0].is_infinite());
+    }
+
+    #[test]
+    fn interval_soundness_spot_checks() {
+        // Exhaustive-ish sampling: every concrete result lies in the box.
+        let cases = [
+            (RealOp::Exp, rng(-2.0, 2.0)),
+            (RealOp::Log1p, rng(-0.5, 3.0)),
+            (RealOp::Cos, rng(-10.0, 10.0)),
+            (RealOp::Tanh, rng(-5.0, 5.0)),
+            (RealOp::Atan, rng(-100.0, 100.0)),
+            (RealOp::Cbrt, rng(-8.0, 8.0)),
+        ];
+        for (op, a) in cases {
+            let f = transfer(op, &[a]);
+            for i in 0..=100 {
+                let x = a.lo + (a.hi - a.lo) * (i as f64) / 100.0;
+                let y = <f64 as shadowreal::Real>::apply(op, &[x]);
+                assert!(
+                    y >= f.val.lo && y <= f.val.hi,
+                    "{op}({x}) = {y} outside [{}, {}]",
+                    f.val.lo,
+                    f.val.hi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn floor_of_exact_is_exact_and_integral() {
+        let f = transfer(RealOp::Floor, &[rng(1.25, 3.75)]);
+        assert!(f.val.exact && f.val.int);
+        assert_eq!((f.val.lo, f.val.hi), (1.0, 3.0));
+        let g = transfer(RealOp::Floor, &[non_exact(rng(1.25, 3.75))]);
+        assert!(!g.val.exact && g.kappa[0].is_infinite());
+    }
+
+    fn non_exact(mut v: AbsVal) -> AbsVal {
+        v.exact = false;
+        v.err = 4.0 * UNIT_ROUNDOFF;
+        v
+    }
+
+    #[test]
+    fn drift_recurrence_amplifies_through_kappa() {
+        let drifted = non_exact(rng(10.0, 11.0));
+        let f = transfer(RealOp::Mul, &[drifted, pt(2.0)]);
+        assert!(f.val.err > 4.0 * UNIT_ROUNDOFF);
+        assert!(f.val.err < 10.0 * UNIT_ROUNDOFF);
+        // Exact operands contribute nothing even under infinite κ (the
+        // result interval must exclude zero for a relative bound to exist).
+        let g = transfer(RealOp::Log, &[rng(2.0, 8.0)]);
+        assert!(g.val.err.is_finite(), "exact arg → finite drift: {g:?}");
+        // When the result interval straddles zero the relative bound is
+        // withdrawn — downstream amplification cannot use it — but the op's
+        // own rounding stays certifiable (all-exact-args leg in analyze).
+        let h = transfer(RealOp::Log, &[rng(0.5, 2.0)]);
+        assert_eq!(h.val.err, AbsVal::UNKNOWN_ERR);
+    }
+}

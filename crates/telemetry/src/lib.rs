@@ -303,6 +303,13 @@ declare_counters! {
      "Inputs escalated wholesale because the shadow precision has no certificate parameters."),
     (TIERED_ESCALATE_INJECTED, "tiered.escalate_injected", true,
      "Escalations forced by the fault-injection harness."),
+    // Static tier 0 (error-dataflow certification over the tape).
+    (TIER0_STATEMENTS_CERTIFIED, "tier0.statements_certified", true,
+     "Compute statements the static tier-0 pass certified stable."),
+    (TIER0_STATEMENTS_PRUNED, "tier0.statements_pruned", true,
+     "Compute statements in the tier-0 prune mask (certified, non-compensating, clean destination)."),
+    (TIER0_PRUNED_EXECUTIONS, "tier0.pruned_executions", true,
+     "Dynamic compute executions that skipped shadowing because the statement was statically pruned."),
     // Quarantine.
     (QUARANTINE_INPUTS, "quarantine.inputs_quarantined", true,
      "Inputs quarantined in the final report."),
@@ -376,6 +383,8 @@ pub enum Phase {
     Ladder,
     /// Report assembly and merging.
     Report,
+    /// Tiered driver: tier-0 static error-dataflow pass over the tape.
+    Tier0Static,
 }
 
 /// All phases, in registry order (part of the stable JSON schema).
@@ -386,6 +395,7 @@ pub const PHASES: &[Phase] = &[
     Phase::TierBigFloat,
     Phase::Ladder,
     Phase::Report,
+    Phase::Tier0Static,
 ];
 
 /// Stable snake_case name for each phase.
@@ -396,6 +406,7 @@ pub const PHASE_NAMES: &[&str] = &[
     "tier_bigfloat",
     "ladder",
     "report",
+    "tier0_static",
 ];
 
 struct PhaseCell {
@@ -403,12 +414,12 @@ struct PhaseCell {
     nanos: Counter,
 }
 
-static PHASE_CELLS: [PhaseCell; 6] = [const {
+static PHASE_CELLS: [PhaseCell; 7] = [const {
     PhaseCell {
         count: Counter::new(),
         nanos: Counter::new(),
     }
-}; 6];
+}; 7];
 
 /// RAII span that records one entry and its wall-clock duration for a phase.
 /// Inert (no clock read) when telemetry is disabled at construction time.

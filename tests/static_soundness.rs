@@ -1,0 +1,242 @@
+//! Soundness oracle for the tier-0 static error-dataflow pass.
+//!
+//! Two properties over random FPBench-style programs and in-range inputs:
+//!
+//! 1. **Interval soundness** — every exact (high-precision shadow) value a
+//!    dynamic execution computes lies within the static interval the
+//!    abstract interpretation derived for that statement.
+//! 2. **Verdict soundness** — no statement the dynamic analysis flags as
+//!    erroneous (a root cause with erroneous executions, or a spot with
+//!    erroneous evaluations) ever carries the `CertifiedStable` verdict.
+//!    This holds across batch widths and thread counts, like the existing
+//!    determinism oracles.
+//!
+//! The tier-0 prune mask only skips work for `CertifiedStable` statements,
+//! so these two properties are exactly what the bit-identical-pruning
+//! argument rests on.
+
+use fpcore::{Expr, FPCore};
+use fpvm::{compile_core, Addr, Machine, Program, Tracer, Value};
+use herbgrind::staticerr::{analyze_program, StaticAnalysis, StaticParams, StaticVerdict};
+use herbgrind::AnalysisConfig;
+use proptest::prelude::*;
+use shadowreal::{BigFloat, Real, RealOp};
+
+/// One ulp below, saturating: the outward tolerance for comparing a
+/// round-to-nearest `f64` image of an exact value against an interval
+/// endpoint.
+fn nudge_down(x: f64) -> f64 {
+    if x.is_nan() || x == f64::NEG_INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return -f64::MIN_POSITIVE;
+    }
+    let bits = x.to_bits();
+    f64::from_bits(if x > 0.0 { bits - 1 } else { bits + 1 })
+}
+
+fn nudge_up(x: f64) -> f64 {
+    -nudge_down(-x)
+}
+
+/// A tracer that recomputes every statement in high-precision BigFloat
+/// arithmetic (the "exact" values of the paper's shadow semantics) and
+/// checks each compute result against the static interval for its pc.
+struct IntervalOracle<'a> {
+    analysis: &'a StaticAnalysis,
+    shadows: Vec<Option<BigFloat>>,
+    violations: Vec<String>,
+}
+
+impl<'a> IntervalOracle<'a> {
+    fn new(analysis: &'a StaticAnalysis) -> Self {
+        IntervalOracle {
+            analysis,
+            shadows: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+}
+
+impl Tracer for IntervalOracle<'_> {
+    fn on_start(&mut self, program: &Program, args: &[f64]) {
+        self.shadows = vec![None; program.num_addrs];
+        for (&addr, &v) in program.arg_addrs.iter().zip(args) {
+            self.shadows[addr] = Some(BigFloat::from_f64(v));
+        }
+    }
+
+    fn on_const_f(&mut self, _pc: usize, dest: Addr, value: f64) {
+        self.shadows[dest] = Some(BigFloat::from_f64(value));
+    }
+
+    fn on_copy(&mut self, _pc: usize, dest: Addr, src: Addr, _value: Value) {
+        self.shadows[dest] = self.shadows[src].clone();
+    }
+
+    fn on_compute(
+        &mut self,
+        pc: usize,
+        op: RealOp,
+        dest: Addr,
+        args: &[Addr],
+        arg_values: &[f64],
+        _result: f64,
+    ) {
+        let shadow_args: Vec<BigFloat> = args
+            .iter()
+            .zip(arg_values)
+            .map(|(&a, &v)| {
+                self.shadows[a]
+                    .clone()
+                    .unwrap_or_else(|| BigFloat::from_f64(v))
+            })
+            .collect();
+        let exact = BigFloat::apply(op, &shadow_args);
+        if let Some(out) = self.analysis.statements[pc].out {
+            let x = exact.to_f64();
+            if x.is_nan() {
+                if !out.may_nan {
+                    self.violations.push(format!(
+                        "pc {pc} {op}: exact value is NaN but may_nan=false"
+                    ));
+                }
+            } else if x < nudge_down(out.lo) || x > nudge_up(out.hi) {
+                self.violations.push(format!(
+                    "pc {pc} {op}: exact value {x:e} outside static interval [{:e}, {:e}]",
+                    out.lo, out.hi
+                ));
+            }
+        }
+        self.shadows[dest] = Some(exact);
+    }
+}
+
+/// A random well-formed straight-line expression over `a` and `b`, mixing
+/// the smooth ops with cancellation- and domain-edge-prone ones.
+fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-50.0f64..50.0).prop_map(|v| Expr::Number((v * 4.0).round() / 4.0)),
+        Just(Expr::var("a")),
+        Just(Expr::var("b")),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::op(RealOp::Add, vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::op(RealOp::Sub, vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::op(RealOp::Mul, vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::op(RealOp::Div, vec![x, y])),
+            inner.clone().prop_map(|x| Expr::op(RealOp::Sqrt, vec![x])),
+            inner.clone().prop_map(|x| Expr::op(RealOp::Fabs, vec![x])),
+            inner.clone().prop_map(|x| Expr::op(RealOp::Exp, vec![x])),
+            inner.clone().prop_map(|x| Expr::op(RealOp::Log, vec![x])),
+            inner.clone().prop_map(|x| Expr::op(RealOp::Sin, vec![x])),
+            inner.clone().prop_map(|x| Expr::op(RealOp::Cos, vec![x])),
+        ]
+    })
+}
+
+/// Declared ranges: ordered pairs that may be sign-definite or span zero.
+fn arb_range() -> impl Strategy<Value = (f64, f64)> {
+    prop_oneof![
+        (0.5f64..10.0, 0.0f64..100.0).prop_map(|(lo, w)| (lo, lo + w)),
+        (-100.0f64..-0.5, 0.0f64..100.0).prop_map(|(lo, w)| (lo, lo + w)),
+        (-10.0f64..0.0, 0.0f64..20.0).prop_map(|(lo, w)| (lo, lo + w)),
+        (1e-6f64..1e-3, 0.0f64..1.0).prop_map(|(lo, w)| (lo, lo + w)),
+    ]
+}
+
+/// In-range inputs: fractions of the declared ranges.
+fn inputs_for(ranges: &[(f64, f64)], fracs: &[(f64, f64)]) -> Vec<Vec<f64>> {
+    fracs
+        .iter()
+        .map(|&(fa, fb)| {
+            vec![
+                ranges[0].0 + fa * (ranges[0].1 - ranges[0].0),
+                ranges[1].0 + fb * (ranges[1].1 - ranges[1].0),
+            ]
+        })
+        .collect()
+}
+
+fn program_for(expr: &Expr) -> Option<Program> {
+    let core = FPCore {
+        arguments: vec!["a".to_string(), "b".to_string()],
+        name: None,
+        pre: None,
+        properties: Default::default(),
+        body: expr.clone(),
+    };
+    compile_core(&core, Default::default()).ok()
+}
+
+proptest! {
+    /// Interval soundness: every exact value computed dynamically from
+    /// in-range inputs lies within the static interval for its statement.
+    #[test]
+    fn exact_values_lie_within_static_intervals(
+        expr in arb_expr(3),
+        ra in arb_range(),
+        rb in arb_range(),
+        fracs in proptest::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 1..8),
+    ) {
+        let Some(program) = program_for(&expr) else { return; };
+        let ranges = [ra, rb];
+        let analysis = analyze_program(&program, &ranges, &StaticParams::default());
+        let machine = Machine::new(&program);
+        let mut oracle = IntervalOracle::new(&analysis);
+        for input in inputs_for(&ranges, &fracs) {
+            let _ = machine.run_traced(&input, &mut oracle);
+        }
+        prop_assert!(
+            oracle.violations.is_empty(),
+            "interval violations for {}:\n{}",
+            fpcore::expr_to_string(&expr),
+            oracle.violations.join("\n")
+        );
+    }
+
+    /// Verdict soundness: statements the dynamic analysis flags as
+    /// erroneous are never statically certified — across batch widths and
+    /// thread counts.
+    #[test]
+    fn dynamically_erroneous_statements_are_never_certified(
+        expr in arb_expr(3),
+        ra in arb_range(),
+        rb in arb_range(),
+        fracs in proptest::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 1..6),
+    ) {
+        let Some(program) = program_for(&expr) else { return; };
+        let ranges = [ra, rb];
+        let analysis = analyze_program(&program, &ranges, &StaticParams::default());
+        let inputs = inputs_for(&ranges, &fracs);
+        for (threads, width) in [(1usize, 1usize), (1, 8), (3, 4)] {
+            let config = AnalysisConfig::default()
+                .with_threads(threads)
+                .with_batch_width(width);
+            let Ok(report) = herbgrind::analyze_parallel(&program, &inputs, &config) else {
+                continue;
+            };
+            let mut flagged: Vec<usize> = Vec::new();
+            for spot in &report.spots {
+                if spot.erroneous > 0 {
+                    flagged.push(spot.pc);
+                }
+                for cause in &spot.root_causes {
+                    if cause.erroneous_count > 0 {
+                        flagged.push(cause.pc);
+                    }
+                }
+            }
+            for pc in flagged {
+                prop_assert!(
+                    analysis.verdict(pc) != StaticVerdict::CertifiedStable,
+                    "pc {pc} dynamically erroneous but CertifiedStable \
+                     (threads={threads}, width={width}) in {}",
+                    fpcore::expr_to_string(&expr)
+                );
+            }
+        }
+    }
+}

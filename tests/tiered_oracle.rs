@@ -83,6 +83,33 @@ fn tiered_matches_the_reference_on_the_benchmark_suite() {
 }
 
 #[test]
+fn tier0_armed_tiered_matches_the_oracles_on_the_whole_suite() {
+    // Tier 0: arming the static prune mask via the benchmark's declared
+    // sampling region must leave every report bit-identical to the unpruned
+    // tiered run AND to the flat/reference analyses, while actually pruning
+    // a meaningful share of the suite's shadow work.
+    let capture = herbgrind::SweepCapture::begin(herbgrind::TelemetryMode::On);
+    for core in fpbench::suite() {
+        let name = core.display_name().to_string();
+        let prepared = fpbench::prepare(&core, 12, 2024).expect("prepare");
+        let region = fpbench::sampling_region(&core);
+        let config = AnalysisConfig::default().with_input_ranges(region);
+        // The oracle helper runs flat + reference with the same config:
+        // input_ranges must be inert everywhere except the tiered driver.
+        assert_tiered_matches_oracles(&prepared.program, &prepared.inputs, &config, &name);
+    }
+    let telemetry = capture.finish();
+    assert!(
+        telemetry.counter("tier0.statements_pruned") > 0,
+        "tier 0 never pruned anything across the whole suite"
+    );
+    assert!(
+        telemetry.counter("tier0.pruned_executions") > 0,
+        "tier 0 masks exist but no execution ever skipped shadowing"
+    );
+}
+
+#[test]
 fn tiered_matches_on_lowered_library_calls() {
     // The lowered programs (§8.2) replace library calls with polynomial
     // kernels: long add/mul chains with different certificate profiles.
